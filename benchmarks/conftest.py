@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one paper table/figure: it runs the
+experiment under pytest-benchmark (so regressions in simulation cost show
+up), prints the same series the paper plots, and asserts the paper's
+qualitative claims still hold on the regenerated data.
+
+Run:  pytest benchmarks/ --benchmark-only
+See the printed rows with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trends import TrendCheck
+from repro.core.results import SweepResult
+
+
+def print_sweep(sweep: SweepResult, xs: list[float] | None = None) -> None:
+    """Print a figure's series as rows (x, throughput per series)."""
+    print(f"\n--- {sweep.name} ({sweep.metadata}) ---")
+    labels = sweep.labels()
+    print("  " + " ".join(f"{'x':>6}" if i == 0 else f"{label:>12}"
+                          for i, label in enumerate(["x"] + labels)))
+    first = sweep.series[0]
+    for point in first.points:
+        if xs is not None and point.x not in xs:
+            continue
+        row = [f"{point.x:>6g}"]
+        for label in labels:
+            row.append(
+                f"{sweep.series_by_label(label).throughput_at(point.x):>12.4g}")
+        print("  " + " ".join(row))
+
+
+def assert_claims(checks: list[TrendCheck]) -> None:
+    """Fail the benchmark if any paper claim stopped reproducing."""
+    for c in checks:
+        print(f"  {c}")
+    failed = [c.claim for c in checks if not c.passed]
+    assert not failed, f"claims no longer reproduced: {failed}"
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the target exactly once per round (experiments are seconds-
+    scale; pytest-benchmark's auto-calibration would loop them)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,200 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation switches one modeled mechanism off (or swaps one protocol
+element) and shows the paper-visible consequence, demonstrating that the
+corresponding trend is produced by that mechanism and not baked into the
+curves.
+"""
+
+import statistics
+
+from conftest import assert_claims
+
+from repro.analysis.trends import check, flat_up_to, noisiness
+from repro.common.datatypes import INT, ULL
+from repro.compiler.ops import PrimitiveKind, op_atomic
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import Series
+from repro.core.spec import MeasurementSpec
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import (
+    cuda_atomic_scalar_spec,
+    omp_atomic_read_spec,
+    omp_atomic_write_spec,
+    sweep_cuda,
+    sweep_omp,
+)
+from repro.gpu.presets import gpu_preset
+from repro.mem.coherence import CoherenceModel
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+
+def test_ablation_warp_aggregation(bench_once):
+    """Without warp aggregation, Fig. 9's flat int curve collapses to the
+    decaying shape of the non-aggregating types."""
+    device = gpu_preset(3)
+    no_agg = device.with_atomics(device.atomics.without_aggregation())
+    spec = cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_ADD, INT)
+
+    def run():
+        with_agg = sweep_cuda(device, {"int": spec}, name="agg-on",
+                              block_count=2)
+        without = sweep_cuda(no_agg, {"int": spec}, name="agg-off",
+                             block_count=2)
+        return with_agg, without
+
+    with_agg, without = bench_once(run)
+    on = with_agg.series_by_label("int")
+    off = without.series_by_label("int")
+    print(f"  agg on:  thr@64={on.throughput_at(64):.3g}, "
+          f"thr@1024={on.throughput_at(1024):.3g}")
+    print(f"  agg off: thr@64={off.throughput_at(64):.3g}, "
+          f"thr@1024={off.throughput_at(1024):.3g}")
+    assert_claims([
+        check("with aggregation the int curve is flat to 64 threads",
+              flat_up_to(on, knee_x=64, tol=0.05)),
+        check("without aggregation it decays before the warp size",
+              not flat_up_to(off, knee_x=32, tol=0.05)),
+        check("aggregation only helps, never hurts",
+              all(a >= b for a, b in zip(on.throughputs,
+                                         off.throughputs))),
+    ])
+
+
+def test_ablation_subtraction_vs_naive(bench_once):
+    """Naive timing (test runtime / op count, no baseline subtraction)
+    contaminates small-cost primitives with scaffolding overhead — the
+    atomic read would look expensive instead of free."""
+    machine = cpu_preset(2)
+    engine = MeasurementEngine(machine)
+
+    def run():
+        ctx = machine.context(8)
+        return engine.measure(omp_atomic_read_spec(INT), ctx, label="abl")
+
+    result = bench_once(run)
+    print(f"  subtracted overhead: {result.per_op_time:.2f} ns; "
+          f"naive estimate: {result.naive_per_op_time:.2f} ns")
+    assert_claims([
+        check("subtraction reports (near) zero read overhead",
+              abs(result.per_op_time) < 2.0),
+        check("naive timing would overstate it",
+              result.naive_per_op_time > abs(result.per_op_time)),
+    ])
+
+
+def test_ablation_protocol_retry_and_median(bench_once):
+    """The 9-run median with retry-on-negative tames AMD jitter; a
+    single-shot protocol is visibly noisier across a thread sweep."""
+    machine = cpu_preset(3)
+    spec = omp_atomic_write_spec(ULL)
+    full = MeasurementProtocol()
+    single = MeasurementProtocol(n_runs=1, max_attempts=1)
+
+    def run():
+        robust = sweep_omp(machine, {"w": spec}, name="robust",
+                           protocol=full)
+        fragile = sweep_omp(machine, {"w": spec}, name="fragile",
+                            protocol=single.with_seed(1))
+        return robust, fragile
+
+    robust, fragile = bench_once(run)
+    robust_noise = noisiness(robust.series_by_label("w"))
+    fragile_noise = noisiness(fragile.series_by_label("w"))
+    print(f"  median-of-9 noisiness: {robust_noise:.3f}; "
+          f"single-shot noisiness: {fragile_noise:.3f}")
+    assert_claims([
+        check("median-of-9 with retry is quieter than single-shot",
+              robust_noise < fragile_noise),
+    ])
+
+
+def test_ablation_smt_aware_false_sharing(bench_once):
+    """SMT siblings share an L1 and cannot falsely share with each other;
+    ignoring placement (treating every thread as its own core) overstates
+    partner counts once hyperthreads engage."""
+    target = PrivateArrayElement(ULL, 4)  # 2 elements per line
+    model = CoherenceModel()
+
+    def run():
+        smt_aware = {tid: ("s0", tid // 2) for tid in range(16)}
+        naive = {tid: ("s0", tid) for tid in range(16)}
+        return (model.max_false_sharing_partners(target, 16, smt_aware),
+                model.max_false_sharing_partners(target, 16, naive))
+
+    aware, naive = bench_once(run)
+    print(f"  max partners with SMT-aware placement: {aware}; "
+          f"thread-as-core: {naive}")
+    assert_claims([
+        check("SMT-aware accounting removes sibling 'false' sharers",
+              aware == 0 and naive == 1),
+    ])
+
+
+def test_ablation_warmup(bench_once):
+    """Skipping the warm-up loop leaves the cold-start cost inside the
+    timed section.  The subtraction cancels it (it hits baseline and test
+    alike), but naive timing inflates — the §III rationale for N_WARMUP."""
+    machine = cpu_preset(2)
+    spec = MeasurementSpec.single(
+        "upd", op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                         SharedScalar(INT)))
+
+    def run():
+        warm = MeasurementEngine(
+            machine, MeasurementProtocol(n_warmup=10, n_iter=10, unroll=10))
+        cold = MeasurementEngine(
+            machine, MeasurementProtocol(n_warmup=0, n_iter=10, unroll=10))
+        ctx = machine.context(8)
+        return (warm.measure(spec, ctx, label="w"),
+                cold.measure(spec, ctx, label="c"))
+
+    warm_result, cold_result = bench_once(run)
+    print(f"  naive ns/op: warm={warm_result.naive_per_op_time:.1f}, "
+          f"cold={cold_result.naive_per_op_time:.1f}")
+    print(f"  subtracted ns/op: warm={warm_result.per_op_time:.1f}, "
+          f"cold={cold_result.per_op_time:.1f}")
+    assert_claims([
+        check("skipping warm-up inflates naive timing",
+              cold_result.naive_per_op_time >
+              1.5 * warm_result.naive_per_op_time),
+        check("the subtraction cancels the cold-start cost",
+              abs(cold_result.per_op_time - warm_result.per_op_time)
+              < 0.25 * warm_result.per_op_time),
+    ])
+
+
+def test_ablation_unroll_factor(bench_once):
+    """Loop bookkeeping is amortized over the unroll factor.  Naive
+    timing improves with unrolling; the subtraction is immune (the
+    paper's rationale for N_UNROLL = 100)."""
+    machine = cpu_preset(2)
+    spec = MeasurementSpec.single(
+        "upd", op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                         SharedScalar(INT)))
+
+    def run():
+        out = {}
+        for unroll in (1, 10, 100):
+            engine = MeasurementEngine(
+                machine, MeasurementProtocol(unroll=unroll))
+            out[unroll] = engine.measure(spec, machine.context(8),
+                                         label="abl")
+        return out
+
+    results = bench_once(run)
+    naive = {u: r.naive_per_op_time for u, r in results.items()}
+    subtracted = {u: r.per_op_time for u, r in results.items()}
+    print(f"  naive ns/op by unroll: "
+          f"{ {u: round(v, 2) for u, v in naive.items()} }")
+    print(f"  subtracted ns/op by unroll: "
+          f"{ {u: round(v, 2) for u, v in subtracted.items()} }")
+    spread = (max(subtracted.values()) - min(subtracted.values())) / \
+        statistics.mean(subtracted.values())
+    assert_claims([
+        check("naive estimate shrinks as unrolling amortizes loop cost",
+              naive[1] > naive[10] > naive[100]),
+        check("subtracted estimate is stable across unroll factors",
+              spread < 0.1, detail=f"relative spread {spread:.3f}"),
+    ])

@@ -1,0 +1,28 @@
+"""Extension: CLOMP-style break-even work for the OpenMP barrier — how
+much work per iteration makes barrier overhead acceptable (related work
+§VI [24])."""
+
+from conftest import assert_claims
+
+from repro.analysis.breakeven import breakeven_sweep
+from repro.analysis.trends import check
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import omp_barrier_spec
+
+
+def test_ext_breakeven(bench_once):
+    machine = cpu_preset(3)
+    contexts = [(n, machine.context(n)) for n in (2, 4, 8, 16, 32)]
+
+    points = bench_once(breakeven_sweep, machine, omp_barrier_spec(),
+                        contexts, 0.1)
+    for p in points:
+        print(f"  threads={p.x:>3g}: barrier={p.sync_cost:>7.0f} ns, "
+              f"work for <=10% overhead: {p.work_needed:>8.0f} ns")
+    assert_claims([
+        check("break-even work grows with the thread count "
+              "(barriers cost more as the team grows)",
+              points[0].work_needed < points[-1].work_needed),
+        check("a barrier per ~20us of work keeps overhead under 10% "
+              "on System 3", all(p.work_needed < 20_000 for p in points)),
+    ])

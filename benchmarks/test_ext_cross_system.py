@@ -1,0 +1,17 @@
+"""Extension: the headline trends hold on all three paper systems (the
+artifact's expectation for foreign hardware)."""
+
+from conftest import assert_claims
+
+from repro.experiments.ext_cross_system import claims_cross_system, \
+    run_cross_system
+
+
+def test_ext_cross_system(bench_once):
+    payload = bench_once(run_cross_system, None)
+    for key in sorted(payload):
+        sweep = payload[key]
+        first = sweep.series[0]
+        print(f"  {sweep.name}: {len(first.points)} points, "
+              f"peak {max(first.finite_throughputs()):.3g} ops/s/thread")
+    assert_claims(claims_cross_system(payload))

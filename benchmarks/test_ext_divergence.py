@@ -1,0 +1,16 @@
+"""Extension: branch-divergence cost is constant (Bialas & Strzelecki,
+the paper's methodological ancestor, §VI)."""
+
+from conftest import assert_claims
+
+from repro.experiments.ext_divergence import claims_divergence, \
+    run_divergence
+
+
+def test_ext_divergence(bench_once):
+    points = bench_once(run_divergence)
+    for p in points:
+        print(f"  branches={p.n_branches:>3}: "
+              f"{p.elapsed_cycles:>8.0f} cycles "
+              f"({p.divergent_passes} divergent passes)")
+    assert_claims(claims_divergence(points))

@@ -1,0 +1,17 @@
+"""Extension: OpenMP reduction strategies (privatized > atomic >
+critical), run as real programs on the interpreter."""
+
+from conftest import assert_claims
+
+from repro.experiments.ext_reduction_strategies import (
+    claims_reduction_strategies,
+    run_reduction_strategies,
+)
+
+
+def test_ext_reduce(bench_once):
+    outcomes = bench_once(run_reduction_strategies)
+    for strategy, outcome in outcomes.items():
+        print(f"  {strategy:>11}: value={outcome.value:.0f}, "
+              f"{outcome.result.elapsed_ns / 1e3:.1f} us")
+    assert_claims(claims_reduction_strategies(outcomes))

@@ -1,0 +1,11 @@
+"""Fig. 1: throughput of the OpenMP barrier (System 3, spread affinity)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_barrier import claims_fig1, run_fig1
+
+
+def test_fig01_omp_barrier(bench_once):
+    sweep = bench_once(run_fig1)
+    print_sweep(sweep, xs=[2, 4, 8, 16, 24, 32])
+    assert_claims(claims_fig1(sweep))

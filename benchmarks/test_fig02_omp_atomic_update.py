@@ -1,0 +1,11 @@
+"""Fig. 2: OpenMP atomic update on a single shared variable (4 dtypes)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_atomic_update import claims_fig2, run_fig2
+
+
+def test_fig02_omp_atomic_update(bench_once):
+    sweep = bench_once(run_fig2)
+    print_sweep(sweep, xs=[2, 4, 8, 16, 24, 32])
+    assert_claims(claims_fig2(sweep))

@@ -1,0 +1,16 @@
+"""§V-A2: atomic capture performs like atomic update (no paper figure)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_atomic_update import (
+    claims_fig2_capture,
+    run_fig2,
+    run_fig2_capture,
+)
+
+
+def test_fig02b_omp_atomic_capture(bench_once):
+    capture = bench_once(run_fig2_capture)
+    update = run_fig2()
+    print_sweep(capture, xs=[2, 8, 16, 32])
+    assert_claims(claims_fig2_capture(update, capture))

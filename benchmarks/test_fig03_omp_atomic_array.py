@@ -1,0 +1,13 @@
+"""Fig. 3: OpenMP atomic update on private array elements, four stride
+panels (1, 4, 8, 16) — the false-sharing cliffs."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_atomic_array import claims_fig3, run_fig3
+
+
+def test_fig03_omp_atomic_array(bench_once):
+    panels = bench_once(run_fig3)
+    for stride, sweep in panels.items():
+        print_sweep(sweep, xs=[2, 8, 16, 32])
+    assert_claims(claims_fig3(panels))

@@ -1,0 +1,13 @@
+"""Fig. 4: OpenMP atomic write on Systems 3 (noisy AMD) and 2 (Intel)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_atomic_write import claims_fig4, \
+    run_fig4_both_systems
+
+
+def test_fig04_omp_atomic_write(bench_once):
+    panels = bench_once(run_fig4_both_systems)
+    for system, sweep in panels.items():
+        print_sweep(sweep, xs=[2, 8, 16, 32])
+    assert_claims(claims_fig4(panels))

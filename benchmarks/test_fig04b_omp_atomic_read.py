@@ -1,0 +1,15 @@
+"""§V-A2: atomic read carries no measurable overhead (no paper figure)."""
+
+from conftest import assert_claims
+
+from repro.experiments.omp_atomic_write import claims_atomic_read, \
+    run_atomic_read
+
+
+def test_fig04b_omp_atomic_read(bench_once):
+    sweep = bench_once(run_atomic_read)
+    for series in sweep.series:
+        diffs = [p.result.per_op_time for p in series.points]
+        print(f"  {series.label}: measured overhead (ns) min="
+              f"{min(diffs):.2f} max={max(diffs):.2f}")
+    assert_claims(claims_atomic_read(sweep))

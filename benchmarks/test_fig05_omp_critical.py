@@ -1,0 +1,11 @@
+"""Fig. 5: addition under an OpenMP critical section (vs the atomic)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_critical import claims_fig5, run_fig5
+
+
+def test_fig05_omp_critical(bench_once):
+    sweep = bench_once(run_fig5)
+    print_sweep(sweep, xs=[2, 4, 8, 16, 24, 32])
+    assert_claims(claims_fig5(sweep))

@@ -1,0 +1,13 @@
+"""Fig. 6: OpenMP flush between two array updates, four stride panels
+(System 2, close affinity)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.omp_flush import claims_fig6, run_fig6
+
+
+def test_fig06_omp_flush(bench_once):
+    panels = bench_once(run_fig6)
+    for stride, sweep in panels.items():
+        print_sweep(sweep, xs=[2, 16, 32, 64])
+    assert_claims(claims_fig6(panels))

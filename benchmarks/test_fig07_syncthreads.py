@@ -1,0 +1,11 @@
+"""Fig. 7: __syncthreads() throughput at every paper block count."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_syncthreads import claims_fig7, run_fig7
+
+
+def test_fig07_syncthreads(bench_once):
+    panels = bench_once(run_fig7)
+    print_sweep(panels[1], xs=[1, 32, 64, 256, 1024])
+    assert_claims(claims_fig7(panels))

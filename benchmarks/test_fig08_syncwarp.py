@@ -1,0 +1,15 @@
+"""Fig. 8: __syncwarp() on the RTX 4090 and RTX 2070 SUPER, full and
+double block counts — the per-SM full-speed knee."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_syncwarp import claims_fig8, \
+    run_fig8_both_systems
+
+
+def test_fig08_syncwarp(bench_once):
+    panels = bench_once(run_fig8_both_systems)
+    for system, pair in panels.items():
+        for config, sweep in pair.items():
+            print_sweep(sweep, xs=[32, 128, 256, 512, 1024])
+    assert_claims(claims_fig8(panels))

@@ -1,0 +1,13 @@
+"""Fig. 9: atomicAdd() on one shared variable, blocks 2 and 64 —
+warp aggregation keeps the int curve flat past the warp size."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_atomicadd import claims_fig9, run_fig9
+
+
+def test_fig09_atomicadd_scalar(bench_once):
+    panels = bench_once(run_fig9)
+    for blocks, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 32, 64, 256, 1024])
+    assert_claims(claims_fig9(panels))

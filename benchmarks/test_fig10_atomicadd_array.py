@@ -1,0 +1,13 @@
+"""Fig. 10: atomicAdd() on private array elements, (blocks, stride)
+panels — the fixed total atomic rate."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_atomicadd import claims_fig10, run_fig10
+
+
+def test_fig10_atomicadd_array(bench_once):
+    panels = bench_once(run_fig10)
+    for key, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 32, 256, 1024])
+    assert_claims(claims_fig10(panels))

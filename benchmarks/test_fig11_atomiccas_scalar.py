@@ -1,0 +1,13 @@
+"""Fig. 11: atomicCAS() on one shared variable — no warp aggregation, so
+the flat region ends after 4 threads (1 block) / 2 threads (2 blocks)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_atomiccas import claims_fig11, run_fig11
+
+
+def test_fig11_atomiccas_scalar(bench_once):
+    panels = bench_once(run_fig11)
+    for blocks, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 2, 4, 8, 32, 1024])
+    assert_claims(claims_fig11(panels))

@@ -1,0 +1,12 @@
+"""Fig. 12: atomicCAS() on private array elements."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_atomiccas import claims_fig12, run_fig12
+
+
+def test_fig12_atomiccas_array(bench_once):
+    panels = bench_once(run_fig12)
+    for key, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 32, 256, 1024])
+    assert_claims(claims_fig12(panels))

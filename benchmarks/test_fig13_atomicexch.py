@@ -1,0 +1,13 @@
+"""Fig. 13: atomicExch() on one shared variable — memory-bound, no
+arithmetic, same shape as atomicCAS."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_atomicexch import claims_fig13, run_fig13
+
+
+def test_fig13_atomicexch(bench_once):
+    panels = bench_once(run_fig13)
+    for blocks, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 2, 4, 32, 1024])
+    assert_claims(claims_fig13(panels))

@@ -1,0 +1,13 @@
+"""Fig. 14: __threadfence() — constant throughput regardless of thread
+count, block count, or stride."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_threadfence import claims_fig14, run_fig14
+
+
+def test_fig14_threadfence(bench_once):
+    panels = bench_once(run_fig14)
+    for key, sweep in panels.items():
+        print_sweep(sweep, xs=[1, 32, 1024])
+    assert_claims(claims_fig14(panels))

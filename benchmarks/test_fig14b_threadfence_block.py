@@ -1,0 +1,17 @@
+"""§V-B3: __threadfence_block() measures at or near zero above the warp
+size and strides above 2 (no paper figure)."""
+
+from conftest import assert_claims
+
+from repro.experiments.cuda_threadfence import claims_fence_block, \
+    run_fence_block
+
+
+def test_fig14b_threadfence_block(bench_once):
+    panels = bench_once(run_fence_block)
+    for (blocks, stride), sweep in panels.items():
+        costs = [p.result.per_op_time
+                 for p in sweep.series_by_label("fence").points]
+        print(f"  blocks={blocks} stride={stride}: per-op cycles "
+              f"{[f'{c:.1f}' for c in costs]}")
+    assert_claims(claims_fence_block(panels))

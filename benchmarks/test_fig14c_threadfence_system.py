@@ -1,0 +1,18 @@
+"""§V-B3: __threadfence_system() — like the device fence but erratic
+(PCIe round trips; no paper figure)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_threadfence import (
+    claims_fence_system,
+    run_fence_system,
+    run_fig14,
+)
+
+
+def test_fig14c_threadfence_system(bench_once):
+    system_panels = bench_once(run_fence_system)
+    device_panels = run_fig14()
+    for key, sweep in system_panels.items():
+        print_sweep(sweep, xs=[1, 32, 1024])
+    assert_claims(claims_fence_system(device_panels, system_panels))

@@ -1,0 +1,24 @@
+"""Fig. 15: __shfl_sync() at full and double block counts — 64-bit types
+drop at half the thread count (two 32-bit shuffle instructions)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_shfl import (
+    claims_fig15,
+    claims_shfl_variants,
+    run_fig15,
+    run_shfl_variants,
+)
+
+
+def test_fig15_shfl_sync(bench_once):
+    panels = bench_once(run_fig15)
+    for config, sweep in panels.items():
+        print_sweep(sweep, xs=[32, 128, 256, 512, 1024])
+    assert_claims(claims_fig15(panels))
+
+
+def test_fig15_shfl_variants(bench_once):
+    sweep = bench_once(run_shfl_variants)
+    print_sweep(sweep, xs=[32, 256, 1024])
+    assert_claims(claims_shfl_variants(sweep))

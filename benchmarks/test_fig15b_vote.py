@@ -1,0 +1,12 @@
+"""§V-B4: warp votes behave like __syncwarp() at slightly lower
+throughput; __ballot_sync() is unrecordable (optimized away)."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.cuda_shfl import claims_votes, run_votes
+
+
+def test_fig15b_vote(bench_once):
+    sweep = bench_once(run_votes)
+    print_sweep(sweep, xs=[32, 256, 1024])
+    assert_claims(claims_votes(sweep))

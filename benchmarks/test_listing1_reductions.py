@@ -1,0 +1,17 @@
+"""Listing 1 / §II-C: the five reduction implementations, executed on the
+warp-synchronous interpreter (correctness checked against numpy)."""
+
+from conftest import assert_claims
+
+from repro.experiments.listing1 import claims_listing1, run_listing1
+
+
+def test_listing1_reductions(bench_once):
+    outcomes = bench_once(run_listing1)
+    for name, outcome in outcomes.items():
+        print(f"  {name}: {outcome.elapsed_cycles:>8.0f} cycles "
+              f"(grid {outcome.launch.grid_blocks}x"
+              f"{outcome.launch.block_threads}, "
+              f"global atomics {outcome.stats.global_atomics}, "
+              f"block atomics {outcome.stats.block_atomics})")
+    assert_claims(claims_listing1(outcomes))

@@ -1,0 +1,13 @@
+"""Table I: system specifications (regenerated from the presets)."""
+
+from conftest import assert_claims
+
+from repro.experiments.table1 import claims_table1, render_table1, \
+    run_table1
+
+
+def test_table1_systems(bench_once):
+    table = bench_once(run_table1)
+    print()
+    print(render_table1(table))
+    assert_claims(claims_table1(table))

@@ -1,0 +1,116 @@
+"""Workload-level benchmarks: the paper's recommendations applied to
+real programs (histogram strategies, scan, pipeline, BFS)."""
+
+import numpy as np
+from conftest import assert_claims
+
+from repro.analysis.trends import check
+from repro.cpu.presets import cpu_preset
+from repro.experiments.listing1 import mini_gpu
+from repro.workloads.bfs import gpu_bfs, random_graph
+from repro.workloads.histogram import cpu_histogram, gpu_histogram
+from repro.workloads.pipeline import cpu_pipeline
+from repro.workloads.prefix_sum import gpu_block_prefix_sum
+
+
+def test_workload_histogram_strategies(bench_once):
+    """V-A5 (3) on the CPU and the shared-bin optimization on the GPU."""
+    machine = cpu_preset(3)
+    device = mini_gpu(sm_count=4)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 8, size=2048).astype(np.int64)
+
+    def run():
+        return {
+            "cpu_atomic": cpu_histogram(machine, data, 8,
+                                        strategy="atomic"),
+            "cpu_privatized": cpu_histogram(machine, data, 8,
+                                            strategy="privatized"),
+            "gpu_global": gpu_histogram(device, data, 8,
+                                        strategy="global"),
+            "gpu_shared": gpu_histogram(device, data, 8,
+                                        strategy="shared"),
+        }
+
+    outcomes = bench_once(run)
+    for name, o in outcomes.items():
+        unit = "ns" if name.startswith("cpu") else "cycles"
+        print(f"  {name:>14}: {o.elapsed:>10.0f} {unit} "
+              f"({'ok' if o.correct else 'WRONG'})")
+    assert_claims([
+        check("all strategies compute the correct histogram",
+              all(o.correct for o in outcomes.values())),
+        check("CPU: privatized bins beat shared atomic bins (V-A5)",
+              outcomes["cpu_privatized"].elapsed <
+              outcomes["cpu_atomic"].elapsed),
+        check("GPU: block-shared bins beat global atomic bins (V-B5)",
+              outcomes["gpu_shared"].elapsed <
+              outcomes["gpu_global"].elapsed),
+    ])
+
+
+def test_workload_scan_and_pipeline(bench_once):
+    machine = cpu_preset(3)
+    device = mini_gpu(sm_count=4)
+    rng = np.random.default_rng(1)
+    data = rng.integers(-100, 100, size=256)
+
+    def run():
+        scan = gpu_block_prefix_sum(device, data)
+        pipe = cpu_pipeline(machine, items_per_producer=12, n_threads=4,
+                            queue_slots=4)
+        return scan, pipe
+
+    scan, pipe = bench_once(run)
+    print(f"  block scan of {data.size}: {scan.elapsed:.0f} cycles")
+    print(f"  pipeline (24 items, 4-slot queue): "
+          f"{pipe.elapsed / 1e3:.1f} us")
+    assert_claims([
+        check("Hillis-Steele scan is correct", scan.correct),
+        check("pipeline consumes every item exactly once", pipe.correct),
+    ])
+
+
+def test_workload_sort_and_custom_barrier(bench_once):
+    """Bitonic sort (barrier-heavy) and the atomics-built barrier."""
+    machine = cpu_preset(3)
+    device = mini_gpu(sm_count=4)
+    rng = np.random.default_rng(2)
+
+    def run():
+        from repro.workloads.custom_barrier import compare_barriers
+        from repro.workloads.sort import gpu_bitonic_sort
+        sort = gpu_bitonic_sort(device, rng.integers(-500, 500, 256),
+                                trace=True)
+        barrier_cmp = compare_barriers(machine, n_threads=8, rounds=8)
+        return sort, barrier_cmp
+
+    sort, barrier_cmp = bench_once(run)
+    print(f"  bitonic sort 256: {sort.elapsed:.0f} cycles, "
+          f"{sort.barrier_share:.0%} in __syncthreads()")
+    print(f"  custom barrier: {barrier_cmp.custom_ns:.0f} ns vs native "
+          f"{barrier_cmp.native_ns:.0f} ns")
+    assert_claims([
+        check("bitonic sort is correct", sort.correct),
+        check("the sort kernel is barrier-dominated (V-B5 (1) premise)",
+              sort.barrier_share > 0.5),
+        check("a barrier built from atomics synchronizes correctly and "
+              "lands in the library barrier's cost regime (Fig. 2's "
+              "inference)",
+              barrier_cmp.correct and 0.1 <= barrier_cmp.ratio <= 10.0),
+    ])
+
+
+def test_workload_bfs(bench_once):
+    device = mini_gpu(sm_count=4)
+    row_ptr, cols = random_graph(64, avg_degree=4, seed=3)
+
+    outcome = bench_once(gpu_bfs, device, row_ptr, cols)
+    print(f"  BFS over 64 vertices / {cols.size} edges: "
+          f"{outcome.levels} levels, {outcome.elapsed:.0f} cycles")
+    assert_claims([
+        check("level-synchronized BFS matches the sequential reference",
+              outcome.correct),
+        check("the ring keeps the graph connected (all reached)",
+              bool((outcome.distances >= 0).all())),
+    ])

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Calibrate a machine model from measurements, save it, reuse it.
+
+The full loop a user with real hardware would follow:
+
+1. measure a Fig. 2-style sweep (here: on a 'mystery' machine whose
+   constants we pretend not to know);
+2. fit the cost-model constants from the sweep
+   (`repro.analysis.calibrate`);
+3. build a machine from the fit and save it as JSON
+   (`repro.machines`);
+4. reload it and verify it predicts the original measurements.
+
+Run:  python examples/calibration_workshop.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import INT, MeasurementEngine, MeasurementSpec
+from repro.analysis.calibrate import fit_shared_atomic_params
+from repro.compiler.ops import PrimitiveKind, op_atomic
+from repro.core.results import Series
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+from repro.machines import load_machine, save_cpu_machine
+from repro.mem.layout import SharedScalar
+
+# The "mystery" machine: pretend these constants came from real silicon.
+MYSTERY = CpuMachine(
+    CpuTopology(name="mystery-16c", sockets=1, cores_per_socket=16,
+                threads_per_core=2, numa_nodes=1, base_clock_ghz=3.8),
+    CpuCostParams(int_alu_ns=4.5, line_transfer_ns=17.0,
+                  contention_knee=9),
+    JitterModel(rel_sigma=0.01, abs_sigma_ns=0.5),
+)
+
+
+def measure_sweep(machine) -> Series:
+    engine = MeasurementEngine(machine)
+    spec = MeasurementSpec.single(
+        "atomic", op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                            SharedScalar(INT)))
+    series = Series(label="int")
+    for n in range(2, machine.topology.physical_cores + 1):
+        series.add(n, engine.measure(spec, machine.context(n),
+                                     label=f"t={n}"))
+    return series
+
+
+def main() -> None:
+    print("1. measuring atomic-update sweep on the mystery machine...")
+    series = measure_sweep(MYSTERY)
+
+    print("2. fitting the contention model...")
+    fit = fit_shared_atomic_params(series)
+    print(f"   fitted: alu={fit.alu_ns:.2f} ns (true 4.50), "
+          f"transfer={fit.transfer_ns:.2f} ns (true 17.00), "
+          f"knee={fit.knee} (true 9), rms={fit.residual:.2f} ns")
+
+    print("3. building + saving the calibrated machine...")
+    calibrated = CpuMachine(MYSTERY.topology, fit.as_params())
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_cpu_machine(calibrated, Path(tmp) / "mystery.json")
+        print(f"   wrote {path.name}")
+        loaded = load_machine(path)
+
+    print("4. cross-validating the reloaded model...")
+    predicted = measure_sweep(loaded)
+    worst = 0.0
+    for p_true, p_pred in zip(series.points, predicted.points):
+        rel = abs(p_pred.per_op_time - p_true.per_op_time) \
+            / p_true.per_op_time
+        worst = max(worst, rel)
+    print(f"   worst per-op prediction error across the sweep: "
+          f"{worst:.1%}")
+    print("   (the calibrated model reproduces the mystery machine)")
+
+
+if __name__ == "__main__":
+    main()

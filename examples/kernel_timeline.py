@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Look inside a kernel: trace where Reduction 3 spends its cycles.
+
+Runs Listing 1's Reduction 3 with execution tracing enabled and renders
+one block's warp timeline plus a cycle profile by operation — showing the
+two ``__syncthreads()`` walls, the cheap block-scoped atomics between
+them, and the lone global atomic at the end.
+
+Run:  python examples/kernel_timeline.py
+"""
+
+import numpy as np
+
+from repro.cuda.interpreter import Cuda
+from repro.experiments.listing1 import mini_gpu
+from repro.gpu.spec import LaunchConfig
+from repro.reductions.kernels import INT_MIN, make_reduction
+
+
+def main() -> None:
+    device = mini_gpu(sm_count=4)
+    rng = np.random.default_rng(3)
+    size = 512
+    data = rng.integers(-10 ** 6, 10 ** 6, size=size).astype(np.int32)
+    result = np.full(1, INT_MIN, dtype=np.int32)
+
+    cuda = Cuda(device)
+    out = cuda.launch(
+        make_reduction("reduction3", size),
+        LaunchConfig(size // 128, 128),
+        globals_={"data": data, "result": result},
+        shared_decls={"block_result": (1, np.dtype(np.int32))},
+        trace=True,
+    )
+    assert result[0] == data.max()
+
+    print(f"reduction3 over {size} ints on {device.name}: "
+          f"{out.elapsed_cycles:.0f} cycles, max={result[0]}\n")
+    print(out.trace.render(block=0, width=68))
+    print()
+    print("cycle profile by operation (all blocks):")
+    totals = out.trace.total_cycles_by_label()
+    full = sum(totals.values())
+    for label, cycles in sorted(totals.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(40 * cycles / full)
+        print(f"  {label:>22}: {cycles:>8.0f} cycles "
+              f"({100 * cycles / full:4.1f}%)  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The paper's recommendations (§V-A5, §V-B5) as a queryable advisor.
+
+Walks a few realistic synchronization scenarios through
+:mod:`repro.advisor` and prints the applicable guidance, each item traced
+to the paper section and the reproduced experiment backing it.
+
+Run:  python examples/primitive_advisor.py
+"""
+
+from repro.advisor import Scenario, advise
+from repro.advisor.rules import Api, Operation
+from repro.common.datatypes import DOUBLE, INT
+
+SCENARIOS = [
+    ("Histogram on CPU: all threads bump one shared counter",
+     Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE, same_location=True,
+              dtype=INT)),
+    ("Per-thread accumulators packed densely in one array (stride 4 B)",
+     Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE, stride_bytes=4,
+              dtype=INT)),
+    ("Per-thread accumulators padded to 64 B",
+     Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE, stride_bytes=64,
+              dtype=INT)),
+    ("Guarding a multi-field update with a critical section",
+     Scenario(Api.OPENMP, Operation.CRITICAL_SECTION)),
+    ("Reading a shared flag atomically in a polling loop",
+     Scenario(Api.OPENMP, Operation.ATOMIC_READ)),
+    ("GPU kernel: double-precision atomicAdd into one accumulator",
+     Scenario(Api.CUDA, Operation.ATOMIC_UPDATE, same_location=True,
+              dtype=DOUBLE)),
+    ("GPU kernel: only lane 0 of each warp issues the atomic",
+     Scenario(Api.CUDA, Operation.ATOMIC_UPDATE, partial_warp=True,
+              dtype=INT)),
+    ("GPU kernel: barrier-heavy stencil with 1024-thread blocks",
+     Scenario(Api.CUDA, Operation.BARRIER)),
+    ("GPU kernel: exchanging values between warp lanes",
+     Scenario(Api.CUDA, Operation.WARP_SHUFFLE)),
+]
+
+
+def main() -> None:
+    for title, scenario in SCENARIOS:
+        print(f"* {title}")
+        recommendations = advise(scenario)
+        if not recommendations:
+            print("    (no specific guidance)")
+        for rec in recommendations:
+            print(f"    [{rec.severity:6s}] {rec.advice}")
+            print(f"             -- paper {rec.paper_section}, reproduced "
+                  f"by experiment '{rec.evidence}'")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of *Characterizing CUDA and OpenMP Synchronization
+Primitives* (Burtchell & Burtscher, IISWC 2024) on simulated substrates.
+
+Layers, bottom to top:
+
+* :mod:`repro.common`, :mod:`repro.mem` — data types, cache-line geometry,
+  coherence cost accounting.
+* :mod:`repro.cpu`, :mod:`repro.gpu` — the simulated machines of Table I.
+* :mod:`repro.compiler` — op IR and the dead-code-elimination model.
+* :mod:`repro.core` — the paper's measurement framework (baseline/test
+  subtraction, 9-run/7-attempt median protocol, throughput conversion).
+* :mod:`repro.openmp`, :mod:`repro.cuda` — API layers with functional
+  interpreters (real programs over numpy memory, race detection on CPU,
+  warp-synchronous execution on GPU).
+* :mod:`repro.reductions` — the five Listing 1 reductions.
+* :mod:`repro.experiments` — one module per paper figure/table, with
+  claim checks; ``syncperf`` CLI.
+* :mod:`repro.analysis` — trend predicates and ASCII charts.
+* :mod:`repro.advisor` — the paper's recommendations as a queryable API.
+
+Quickstart::
+
+    from repro import (MeasurementEngine, MeasurementSpec, SYSTEM3_CPU,
+                       Affinity)
+    from repro.compiler.ops import op_barrier
+
+    engine = MeasurementEngine(SYSTEM3_CPU)
+    spec = MeasurementSpec.single("barrier", op_barrier())
+    ctx = SYSTEM3_CPU.context(8, Affinity.SPREAD)
+    result = engine.measure(spec, ctx)
+    print(result.throughput, "barriers/s per thread")
+"""
+
+from repro.common.datatypes import DOUBLE, DTYPES, FLOAT, INT, ULL, DataType
+from repro.common.errors import (
+    ConfigurationError,
+    DataRaceError,
+    MeasurementError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import MeasurementResult, Series, SweepResult
+from repro.core.spec import MeasurementSpec
+from repro.cpu.affinity import Affinity
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import SYSTEM1_CPU, SYSTEM2_CPU, SYSTEM3_CPU, \
+    cpu_preset
+from repro.cpu.topology import CpuTopology
+from repro.cuda.interpreter import Cuda
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import SYSTEM1_GPU, SYSTEM2_GPU, SYSTEM3_GPU, \
+    gpu_preset
+from repro.gpu.spec import LaunchConfig, GpuSpec
+from repro.openmp.interpreter import OpenMP
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data types
+    "DataType", "DTYPES", "INT", "ULL", "FLOAT", "DOUBLE",
+    # errors
+    "ReproError", "ConfigurationError", "MeasurementError",
+    "SimulationError", "DataRaceError",
+    # measurement framework
+    "MeasurementEngine", "MeasurementProtocol", "MeasurementSpec",
+    "MeasurementResult", "Series", "SweepResult",
+    # machines
+    "CpuMachine", "CpuTopology", "Affinity",
+    "SYSTEM1_CPU", "SYSTEM2_CPU", "SYSTEM3_CPU", "cpu_preset",
+    "GpuDevice", "GpuSpec", "LaunchConfig",
+    "SYSTEM1_GPU", "SYSTEM2_GPU", "SYSTEM3_GPU", "gpu_preset",
+    # runtimes
+    "OpenMP", "Cuda",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias for the ``syncperf`` CLI."""
+
+from repro.experiments.launch import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

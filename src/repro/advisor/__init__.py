@@ -1,0 +1,16 @@
+"""Primitive advisor: the paper's recommendations as a queryable API.
+
+Sections V-A5 and V-B5 distill the measurements into developer guidance.
+:func:`advise` takes a scenario description and returns the applicable
+recommendations, each tied to the paper section and the experiment that
+supports it — so the advice is traceable to reproduced data.
+"""
+
+from repro.advisor.rules import (
+    Recommendation,
+    Scenario,
+    advise,
+    all_recommendations,
+)
+
+__all__ = ["Recommendation", "Scenario", "advise", "all_recommendations"]

@@ -1,0 +1,226 @@
+"""The recommendation rules of Sections V-A5 and V-B5."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.datatypes import DataType
+
+
+class Api(enum.Enum):
+    """Which programming API the scenario targets."""
+
+    OPENMP = "openmp"
+    CUDA = "cuda"
+
+
+class Operation(enum.Enum):
+    """What the scenario needs to synchronize."""
+
+    BARRIER = "barrier"
+    ATOMIC_UPDATE = "atomic_update"
+    ATOMIC_READ = "atomic_read"
+    ATOMIC_WRITE = "atomic_write"
+    ATOMIC_CAS = "atomic_cas"
+    CRITICAL_SECTION = "critical_section"
+    MEMORY_FENCE = "memory_fence"
+    WARP_SHUFFLE = "warp_shuffle"
+    WARP_SYNC = "warp_sync"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A synchronization scenario to get advice for.
+
+    Attributes:
+        api: OpenMP (CPU) or CUDA (GPU).
+        operation: The primitive family being considered.
+        same_location: Whether multiple threads target one address.
+        dtype: Operand type, when relevant.
+        stride_bytes: Byte distance between different threads' elements
+            (None when ``same_location``).
+        uses_hyperthreads: CPU scenario runs more threads than cores.
+        heavy_atomic_traffic: Many simultaneous atomics are in flight.
+        partial_warp: Only some lanes of each warp need the operation.
+    """
+
+    api: Api
+    operation: Operation
+    same_location: bool = False
+    dtype: Optional[DataType] = None
+    stride_bytes: Optional[int] = None
+    uses_hyperthreads: bool = False
+    heavy_atomic_traffic: bool = False
+    partial_warp: bool = False
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One piece of advice, traceable to the paper.
+
+    Attributes:
+        advice: The actionable statement.
+        paper_section: Where the paper states it (V-A5 item, V-B5 item).
+        evidence: Experiment id whose reproduced data supports it.
+        severity: "avoid" (anti-pattern), "prefer" (better alternative),
+            or "fine" (no concern).
+    """
+
+    advice: str
+    paper_section: str
+    evidence: str
+    severity: str = "prefer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.advice} " \
+               f"({self.paper_section}; see {self.evidence})"
+
+
+@dataclass(frozen=True)
+class _Rule:
+    applies: Callable[[Scenario], bool]
+    recommendation: Recommendation
+
+
+_LINE_BYTES = 64
+
+
+def _rules() -> list[_Rule]:
+    return [
+        # ----------------------------- OpenMP -------------------------- #
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.BARRIER,
+            Recommendation(
+                "Barriers are not much cheaper at low thread counts; they "
+                "are not a growing concern as thread counts rise.",
+                "V-A5 (1)", "fig1", "fine")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation in
+            (Operation.ATOMIC_UPDATE, Operation.ATOMIC_WRITE)
+            and s.same_location,
+            Recommendation(
+                "Avoid atomic updates/writes by multiple threads to the "
+                "same memory location; they are quite slow.",
+                "V-A5 (2)", "fig2", "avoid")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.ATOMIC_UPDATE and not s.same_location
+            and s.stride_bytes is not None
+            and s.stride_bytes < _LINE_BYTES,
+            Recommendation(
+                "Pad or reassign work so different threads' elements land "
+                "on different cache lines; false sharing dominates at "
+                f"strides under {_LINE_BYTES} bytes.",
+                "V-A5 (3)", "fig3", "avoid")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.ATOMIC_UPDATE and not s.same_location
+            and (s.stride_bytes is None or s.stride_bytes >= _LINE_BYTES),
+            Recommendation(
+                "Non-overlapping, line-separated atomic accesses are fast "
+                "and scale; this layout is the recommended pattern.",
+                "V-A5 (3)", "fig3", "fine")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.ATOMIC_READ,
+            Recommendation(
+                "Atomic reads incur no extra latency; use them wherever "
+                "prudent.",
+                "V-A5 (4)", "omp-read", "fine")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.CRITICAL_SECTION,
+            Recommendation(
+                "Avoid critical sections unless no alternative exists; "
+                "prefer atomics for logically equivalent operations.",
+                "V-A5 (5)", "fig5", "avoid")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.operation is
+            Operation.MEMORY_FENCE,
+            Recommendation(
+                "Flushes have little performance impact; use them as "
+                "needed.",
+                "V-A5 (6)", "fig6", "fine")),
+        _Rule(
+            lambda s: s.api is Api.OPENMP and s.uses_hyperthreads,
+            Recommendation(
+                "Using hyperthreads is fine; they do not significantly "
+                "slow down synchronization.",
+                "V-A5 (7)", "fig1", "fine")),
+        # ------------------------------ CUDA --------------------------- #
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation is
+            Operation.BARRIER,
+            Recommendation(
+                "__syncthreads() slows with warp count; consider smaller "
+                "blocks in barrier-heavy code.",
+                "V-B5 (1)", "fig7", "prefer")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation is
+            Operation.WARP_SYNC,
+            Recommendation(
+                "__syncwarp() throughput is largely constant; use it "
+                "without regard for block or thread count.",
+                "V-B5 (2)", "fig8", "fine")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation in
+            (Operation.ATOMIC_UPDATE, Operation.ATOMIC_CAS)
+            and s.dtype is not None and not (s.dtype.is_integer and
+                                             s.dtype.size_bytes == 4),
+            Recommendation(
+                "Prefer 32-bit int operands for atomic add/CAS; other "
+                "types are served slower by the atomic units.",
+                "V-B5 (3)", "fig9", "prefer")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation in
+            (Operation.ATOMIC_UPDATE, Operation.ATOMIC_CAS)
+            and s.same_location,
+            Recommendation(
+                "Avoid many atomics to the same location; overlap "
+                "serializes at the atomic unit.",
+                "V-B5 (4)", "fig9", "avoid")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.heavy_atomic_traffic,
+            Recommendation(
+                "Avoid running too many simultaneous atomics; the hardware "
+                "performs a fixed number per unit time.",
+                "V-B5 (5)", "fig10", "avoid")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation is
+            Operation.MEMORY_FENCE,
+            Recommendation(
+                "Thread fences cost a largely constant overhead; use them "
+                "as necessary without regard for thread count.",
+                "V-B5 (6)", "fig14", "fine")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.operation is
+            Operation.WARP_SHUFFLE,
+            Recommendation(
+                "Warp shuffles are fast (use them to avoid memory "
+                "traffic), but throughput drops when the SM is nearly "
+                "fully loaded — more so for 8-byte types.",
+                "V-B5 (7)", "fig15", "prefer")),
+        _Rule(
+            lambda s: s.api is Api.CUDA and s.partial_warp and s.operation
+            in (Operation.ATOMIC_UPDATE, Operation.ATOMIC_CAS,
+                Operation.ATOMIC_WRITE),
+            Recommendation(
+                "For atomics, 'turning off' warp lanes that do not need "
+                "the atomic can improve performance; elsewhere, keep "
+                "warps full.",
+                "V-B5 (8)", "fig9", "prefer")),
+    ]
+
+
+def advise(scenario: Scenario) -> list[Recommendation]:
+    """All recommendations applicable to a scenario, in paper order."""
+    return [rule.recommendation for rule in _rules()
+            if rule.applies(scenario)]
+
+
+def all_recommendations() -> list[Recommendation]:
+    """Every recommendation the paper makes, in order."""
+    return [rule.recommendation for rule in _rules()]

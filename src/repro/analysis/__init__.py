@@ -1,0 +1,67 @@
+"""Analysis: trend checks against the paper's claims, and rendering.
+
+:mod:`repro.analysis.trends` provides shape predicates (plateaus, decays,
+cliffs, crossovers) used to verify that each reproduced figure matches the
+paper's qualitative findings; :mod:`repro.analysis.ascii_chart` renders
+series as terminal charts for the examples and the CLI.
+"""
+
+from repro.analysis.trends import (
+    TrendCheck,
+    aggregate_throughput,
+    check,
+    decreasing_then_stable,
+    drops_after,
+    flat_up_to,
+    geometric_mean_ratio,
+    is_roughly_constant,
+    is_roughly_nonincreasing,
+    jump_between,
+    noisiness,
+    saturates,
+    series_above,
+)
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.svg_chart import render_svg
+from repro.analysis.breakeven import breakeven_sweep, breakeven_work
+from repro.analysis.calibrate import (
+    fit_false_sharing_cost,
+    fit_gpu_scalar_atomic,
+    fit_shared_atomic_params,
+)
+from repro.analysis.compare import compare_sweeps, comparison_table
+from repro.analysis.stats import (
+    fastest_series,
+    summarize_series,
+    summarize_sweep,
+    summary_table,
+)
+
+__all__ = [
+    "TrendCheck",
+    "aggregate_throughput",
+    "check",
+    "decreasing_then_stable",
+    "drops_after",
+    "flat_up_to",
+    "geometric_mean_ratio",
+    "is_roughly_constant",
+    "is_roughly_nonincreasing",
+    "jump_between",
+    "noisiness",
+    "saturates",
+    "series_above",
+    "render_chart",
+    "render_svg",
+    "breakeven_work",
+    "breakeven_sweep",
+    "fit_shared_atomic_params",
+    "fit_gpu_scalar_atomic",
+    "fit_false_sharing_cost",
+    "compare_sweeps",
+    "comparison_table",
+    "summarize_series",
+    "summarize_sweep",
+    "summary_table",
+    "fastest_series",
+]

@@ -1,0 +1,70 @@
+"""Terminal rendering of throughput series.
+
+The artifact generates PDF figures with matplotlib/seaborn; in this
+offline reproduction the equivalent is a compact ASCII chart, used by the
+examples and the ``syncperf`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import SweepResult
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_chart(sweep: SweepResult, width: int = 72, height: int = 16,
+                 log_x: bool = False) -> str:
+    """Render a sweep as an ASCII scatter chart.
+
+    Args:
+        sweep: The figure's series.
+        width: Plot-area columns.
+        height: Plot-area rows.
+        log_x: Log-scale the x axis (the paper's CUDA charts do).
+
+    Returns:
+        A multi-line string: title, plot, x-axis, legend.
+    """
+    points: list[tuple[float, float, int]] = []
+    for si, series in enumerate(sweep.series):
+        for p in series.points:
+            if math.isfinite(p.throughput) and p.throughput > 0:
+                x = math.log2(p.x) if log_x and p.x > 0 else p.x
+                points.append((x, p.throughput, si))
+    lines = [f"{sweep.name}  (throughput, ops/s/thread; "
+             f"x = {sweep.x_label}{', log2' if log_x else ''})"]
+    if not points:
+        lines.append("  <no finite data>")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, si in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        if grid[row][col] not in (" ", glyph):
+            grid[row][col] = "?"  # overlapping series
+        else:
+            grid[row][col] = glyph
+
+    y_labels = [f"{y_hi:8.2e}"] + [" " * 8] * (height - 2) + [f"{y_lo:8.2e}"]
+    for row in range(height):
+        lines.append(f"{y_labels[row]} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 10 + left + " " * max(pad, 1) + right)
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={s.label}"
+                        for i, s in enumerate(sweep.series))
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""CLOMP-style break-even analysis.
+
+The paper's closest related work, CLOMP (Bronevetsky et al.), quantifies
+"the amount of work required to compensate for the overhead introduced by
+OpenMP synchronization".  Given a measured primitive cost, this module
+answers the same question for any primitive in this library: how much
+useful work per synchronized iteration makes the synchronization overhead
+an acceptable fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.core.spec import MeasurementSpec
+
+
+@dataclass(frozen=True)
+class BreakevenPoint:
+    """Break-even work for one configuration.
+
+    Attributes:
+        x: The swept parameter value (e.g. thread count).
+        sync_cost: Measured cost of one primitive (machine time unit).
+        work_needed: Work per iteration (same unit) at which the
+            primitive's overhead drops to the target fraction.
+    """
+
+    x: float
+    sync_cost: float
+    work_needed: float
+
+
+def breakeven_work(sync_cost: float, overhead_fraction: float) -> float:
+    """Work per iteration so that sync overhead is ``overhead_fraction``.
+
+    With work ``W`` and sync cost ``S`` per iteration, the overhead
+    fraction is ``S / (S + W)``; solving for ``W`` gives
+    ``W = S * (1 - f) / f``.
+
+    Raises:
+        ConfigurationError: unless ``0 < overhead_fraction < 1``.
+    """
+    if not 0.0 < overhead_fraction < 1.0:
+        raise ConfigurationError(
+            f"overhead fraction must be in (0, 1), got {overhead_fraction}")
+    if sync_cost < 0:
+        raise ConfigurationError(f"negative sync cost {sync_cost}")
+    return sync_cost * (1.0 - overhead_fraction) / overhead_fraction
+
+
+def breakeven_sweep(machine, spec: MeasurementSpec,
+                    contexts: list[tuple[float, object]],
+                    overhead_fraction: float = 0.1,
+                    protocol: MeasurementProtocol | None = None
+                    ) -> list[BreakevenPoint]:
+    """Measure a primitive across configurations and compute break-even
+    work for each.
+
+    Args:
+        machine: CPU or GPU machine.
+        spec: The primitive's measurement spec.
+        contexts: ``(x, machine context)`` pairs to sweep.
+        overhead_fraction: Acceptable sync share of the runtime.
+        protocol: Measurement protocol (paper defaults if None).
+
+    Returns:
+        One :class:`BreakevenPoint` per configuration, in sweep order.
+    """
+    engine = MeasurementEngine(machine, protocol)
+    points = []
+    for x, ctx in contexts:
+        result = engine.measure_or_raise(spec, ctx, label=f"breakeven/{x}")
+        cost = max(result.per_op_time or 0.0, 0.0)
+        points.append(BreakevenPoint(
+            x=x, sync_cost=cost,
+            work_needed=breakeven_work(cost, overhead_fraction)))
+    return points

@@ -1,0 +1,189 @@
+"""Calibrate the CPU cost model against a measured throughput sweep.
+
+The simulators ship with constants calibrated to the paper's systems, but
+the artifact's promise is that the experiments run on *any* hardware.  If
+you have a real Fig. 2-style sweep (shared-variable atomic update across
+thread counts), :func:`fit_shared_atomic_params` recovers the cost-model
+constants — per-type ALU cost, line-transfer cost, and the contention
+knee — by least squares over the knee candidates, so a
+:class:`~repro.cpu.machine.CpuMachine` can be built that mimics the
+measured machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.core.results import Series
+from repro.cpu.costs import CpuCostParams
+
+
+@dataclass(frozen=True)
+class SharedAtomicFit:
+    """Recovered constants for the shared-scalar atomic cost model.
+
+    The model is ``cost(T) = alu * (c(T) + 1) + transfer * c(T)`` with
+    ``c(T) = min(T - 1, knee)`` (threads placed on distinct cores).
+
+    Attributes:
+        alu_ns: Fitted per-op arithmetic cost.
+        transfer_ns: Fitted per-contender line-transfer cost.
+        knee: Fitted contention knee.
+        residual: Root-mean-square error of the fit (ns).
+    """
+
+    alu_ns: float
+    transfer_ns: float
+    knee: int
+    residual: float
+
+    def as_params(self, base: CpuCostParams | None = None,
+                  integer: bool = True) -> CpuCostParams:
+        """Fold the fit into a :class:`CpuCostParams`."""
+        base = base or CpuCostParams()
+        if integer:
+            return base.with_overrides(int_alu_ns=self.alu_ns,
+                                       line_transfer_ns=self.transfer_ns,
+                                       contention_knee=self.knee)
+        return base.with_overrides(fp_alu_ns=self.alu_ns,
+                                   line_transfer_ns=self.transfer_ns,
+                                   contention_knee=self.knee)
+
+
+def _costs_from_series(series: Series) -> tuple[np.ndarray, np.ndarray]:
+    xs, costs = [], []
+    for p in series.points:
+        if p.per_op_time is not None and np.isfinite(p.per_op_time) \
+                and p.per_op_time > 0:
+            xs.append(p.x)
+            costs.append(p.per_op_time)
+    if len(xs) < 3:
+        raise ConfigurationError(
+            "need at least 3 finite points to fit the contention model")
+    return np.asarray(xs, float), np.asarray(costs, float)
+
+
+def fit_shared_atomic_params(series: Series,
+                             max_knee: int = 32) -> SharedAtomicFit:
+    """Fit (alu, transfer, knee) to a measured per-op cost series.
+
+    For each knee candidate the model is linear in (alu, transfer), so the
+    inner fit is ordinary least squares; the best knee minimizes the
+    residual.
+
+    Args:
+        series: Fig. 2-style series whose x is the thread count and whose
+            results carry per-op times.
+        max_knee: Largest contention knee to consider.
+
+    Raises:
+        ConfigurationError: with fewer than 3 usable points.
+    """
+    xs, costs = _costs_from_series(series)
+    best: SharedAtomicFit | None = None
+    for knee in range(1, max_knee + 1):
+        contenders = np.minimum(xs - 1, knee)
+        design = np.column_stack([contenders + 1, contenders])
+        coeffs, *_ = np.linalg.lstsq(design, costs, rcond=None)
+        alu, transfer = float(coeffs[0]), float(coeffs[1])
+        if alu <= 0 or transfer < 0:
+            continue
+        residual = float(np.sqrt(np.mean(
+            (design @ coeffs - costs) ** 2)))
+        if best is None or residual < best.residual:
+            best = SharedAtomicFit(alu_ns=alu, transfer_ns=transfer,
+                                   knee=knee, residual=residual)
+    if best is None:
+        raise ConfigurationError(
+            "no physically sensible fit (non-positive costs?)")
+    return best
+
+
+@dataclass(frozen=True)
+class GpuAtomicFit:
+    """Recovered constants for the GPU scalar-atomic model.
+
+    The model is ``cost(t) = max(floor, service * streams(t))`` with
+    ``streams(t) = blocks * ceil(t/32)`` when warp aggregation applies
+    and ``blocks * t`` otherwise (Figs. 9/11).
+
+    Attributes:
+        latency_floor_cycles: Fitted pipeline floor.
+        service_cycles: Fitted per-stream service time.
+        residual: RMS error of the fit (cycles).
+    """
+
+    latency_floor_cycles: float
+    service_cycles: float
+    residual: float
+
+
+def fit_gpu_scalar_atomic(series: Series, block_count: int,
+                          aggregated: bool) -> GpuAtomicFit:
+    """Fit (floor, service) to a measured scalar-atomic sweep.
+
+    Args:
+        series: Fig. 9/11-style series; x = threads per block, results
+            carry per-op cycle costs.
+        block_count: Blocks the sweep was launched with.
+        aggregated: Whether warp aggregation applies (32-bit integer
+            add/max/min) — decides the stream count per thread count.
+
+    Raises:
+        ConfigurationError: with fewer than 3 usable points.
+    """
+    xs, costs = _costs_from_series(series)
+    streams = block_count * (np.ceil(xs / 32.0) if aggregated else xs)
+    floor = float(costs.min())
+    above = costs > floor * 1.01
+    if above.any():
+        service = float(np.median(costs[above] / streams[above]))
+    else:
+        service = 0.0
+    model = np.maximum(floor, service * streams)
+    residual = float(np.sqrt(np.mean((model - costs) ** 2)))
+    return GpuAtomicFit(latency_floor_cycles=floor,
+                        service_cycles=service, residual=residual)
+
+
+def fit_false_sharing_cost(series_by_stride: dict[int, Series],
+                           dtype_size: int, line_bytes: int = 64,
+                           n_threads_hint: int | None = None) -> float:
+    """Estimate the per-partner false-sharing cost from stride panels.
+
+    Uses the Fig. 3 structure: for each stride the steady-state cost is
+    ``alu + false_share * partners(stride)``; regressing cost against the
+    geometric partner count recovers the per-partner cost.
+
+    Args:
+        series_by_stride: stride -> measured series (same dtype).
+        dtype_size: Element size in bytes.
+        line_bytes: Cache-line size.
+        n_threads_hint: Thread count at which to read each series (default:
+            the largest common x).
+
+    Returns:
+        The fitted per-partner invalidation cost (ns).
+    """
+    strides = sorted(series_by_stride)
+    if len(strides) < 2:
+        raise ConfigurationError("need at least two stride panels")
+    partner_counts, costs = [], []
+    for stride in strides:
+        series = series_by_stride[stride]
+        xs = [p.x for p in series.points if p.per_op_time is not None]
+        if not xs:
+            continue
+        x = n_threads_hint if n_threads_hint in xs else max(xs)
+        cost = next(p.per_op_time for p in series.points if p.x == x)
+        byte_stride = stride * dtype_size
+        epl = 1 if byte_stride >= line_bytes \
+            else -(-line_bytes // byte_stride)
+        partner_counts.append(min(epl, x) - 1)
+        costs.append(cost)
+    design = np.column_stack([np.ones(len(costs)), partner_counts])
+    coeffs, *_ = np.linalg.lstsq(design, np.asarray(costs), rcond=None)
+    return float(coeffs[1])

@@ -1,0 +1,73 @@
+"""Cross-machine comparisons of the same experiment.
+
+The paper runs everything on three systems and reports where behaviour
+differs (Figs. 4, 8).  These helpers quantify such comparisons: for two
+sweeps of the same experiment on different machines, the per-series
+geometric-mean throughput ratio and the winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.trends import geometric_mean_ratio
+from repro.common.errors import ConfigurationError
+from repro.core.results import SweepResult
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One series compared across two machines.
+
+    Attributes:
+        label: Series label (shared between the sweeps).
+        ratio: Geometric mean of a/b throughput over common x positions.
+        winner: Which machine name is faster (or "tie").
+    """
+
+    label: str
+    ratio: float
+    a_name: str
+    b_name: str
+
+    @property
+    def winner(self) -> str:
+        if math.isnan(self.ratio) or 0.95 <= self.ratio <= 1.05:
+            return "tie"
+        return self.a_name if self.ratio > 1.0 else self.b_name
+
+
+def compare_sweeps(a: SweepResult, b: SweepResult,
+                   a_name: str = "A", b_name: str = "B"
+                   ) -> list[ComparisonRow]:
+    """Compare every common series of two sweeps.
+
+    Raises:
+        ConfigurationError: if the sweeps share no series labels.
+    """
+    common = [label for label in a.labels() if label in b.labels()]
+    if not common:
+        raise ConfigurationError(
+            f"sweeps {a.name!r} and {b.name!r} share no series "
+            f"({a.labels()} vs {b.labels()})")
+    rows = []
+    for label in common:
+        ratio = geometric_mean_ratio(a.series_by_label(label),
+                                     b.series_by_label(label))
+        rows.append(ComparisonRow(label=label, ratio=ratio,
+                                  a_name=a_name, b_name=b_name))
+    return rows
+
+
+def comparison_table(rows: list[ComparisonRow]) -> str:
+    """Render comparison rows as markdown."""
+    if not rows:
+        return "(no common series)"
+    a_name, b_name = rows[0].a_name, rows[0].b_name
+    lines = [f"| series | {a_name} / {b_name} | faster |",
+             "|---|---|---|"]
+    for row in rows:
+        ratio = "n/a" if math.isnan(row.ratio) else f"{row.ratio:.2f}x"
+        lines.append(f"| {row.label} | {ratio} | {row.winner} |")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Summary statistics over sweeps.
+
+Condenses a figure's series into the numbers a results table reports:
+range, geometric mean, knee position, and decline factor per series, plus
+cross-series winners — the quantities the paper's prose cites ("drops
+more quickly", "largely stable", "gap between int and the other types").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import Series, SweepResult
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary of one curve.
+
+    Attributes:
+        label: Series label.
+        n_points: Finite points summarized.
+        min_throughput / max_throughput / gmean_throughput: Range and
+            geometric mean of per-thread throughput.
+        decline: max/min ratio — how far the curve falls overall.
+        knee_x: Largest x still within 1% of the peak throughput (the
+            end of the flat region).
+    """
+
+    label: str
+    n_points: int
+    min_throughput: float
+    max_throughput: float
+    gmean_throughput: float
+    decline: float
+    knee_x: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.label}: [{self.min_throughput:.3g}, "
+                f"{self.max_throughput:.3g}] ops/s, gmean "
+                f"{self.gmean_throughput:.3g}, decline "
+                f"{self.decline:.2f}x, knee at x={self.knee_x:g}")
+
+
+def summarize_series(series: Series) -> SeriesSummary:
+    """Summarize one series (finite points only).
+
+    Raises:
+        ValueError: if the series has no finite points.
+    """
+    finite = [(p.x, p.throughput) for p in series.points
+              if math.isfinite(p.throughput) and p.throughput > 0]
+    if not finite:
+        raise ValueError(f"series {series.label!r} has no finite points")
+    throughputs = [t for _x, t in finite]
+    peak = max(throughputs)
+    knee = max((x for x, t in finite if t >= 0.99 * peak), default=finite[0][0])
+    gmean = math.exp(sum(math.log(t) for t in throughputs)
+                     / len(throughputs))
+    return SeriesSummary(
+        label=series.label,
+        n_points=len(finite),
+        min_throughput=min(throughputs),
+        max_throughput=peak,
+        gmean_throughput=gmean,
+        decline=peak / min(throughputs),
+        knee_x=knee,
+    )
+
+
+def summarize_sweep(sweep: SweepResult) -> dict[str, SeriesSummary]:
+    """Summaries for every series with finite data."""
+    out = {}
+    for series in sweep.series:
+        try:
+            out[series.label] = summarize_series(series)
+        except ValueError:
+            continue
+    return out
+
+
+def fastest_series(sweep: SweepResult) -> str:
+    """Label of the series with the highest geometric-mean throughput."""
+    summaries = summarize_sweep(sweep)
+    if not summaries:
+        raise ValueError(f"sweep {sweep.name!r} has no finite data")
+    return max(summaries.values(),
+               key=lambda s: s.gmean_throughput).label
+
+
+def summary_table(sweep: SweepResult) -> str:
+    """Render the summaries as a markdown table."""
+    lines = [f"#### {sweep.name}", "",
+             "| series | gmean ops/s | min | max | decline | knee |",
+             "|---|---|---|---|---|---|"]
+    for summary in summarize_sweep(sweep).values():
+        lines.append(
+            f"| {summary.label} | {summary.gmean_throughput:.3g} "
+            f"| {summary.min_throughput:.3g} "
+            f"| {summary.max_throughput:.3g} "
+            f"| {summary.decline:.2f}x | {summary.knee_x:g} |")
+    return "\n".join(lines)

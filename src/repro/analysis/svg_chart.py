@@ -1,0 +1,204 @@
+"""Pure-Python SVG rendering of throughput figures.
+
+The artifact generates one matplotlib/seaborn figure per test; offline we
+render the equivalent as standalone SVG (no dependencies): axes with tick
+labels, one polyline+markers per series, a legend, and optional log2 x
+scaling — enough to eyeball every trend the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import SweepResult
+
+#: Line/marker colors per series index (Okabe-Ito palette: color-blind
+#: safe, like seaborn's defaults).
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#D55E00",
+           "#CC79A7", "#56B4E9", "#F0E442", "#000000")
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+@dataclass(frozen=True)
+class ChartLayout:
+    """Pixel geometry of the rendered figure."""
+
+    width: int = 640
+    height: int = 400
+    margin_left: int = 80
+    margin_right: int = 20
+    margin_top: int = 40
+    margin_bottom: int = 60
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-2:
+        return f"{value:.1e}"
+    return f"{value:g}"
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(n, 1)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(t)
+        t += step
+    return ticks or [lo, hi]
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+    if shape == "square":
+        return (f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" '
+                f'height="6" fill="{color}"/>')
+    if shape == "diamond":
+        return (f'<path d="M{x:.1f} {y - 4:.1f} L{x + 4:.1f} {y:.1f} '
+                f'L{x:.1f} {y + 4:.1f} L{x - 4:.1f} {y:.1f} Z" '
+                f'fill="{color}"/>')
+    return (f'<path d="M{x:.1f} {y - 4:.1f} L{x + 4:.1f} {y + 3:.1f} '
+            f'L{x - 4:.1f} {y + 3:.1f} Z" fill="{color}"/>')
+
+
+def render_svg(sweep: SweepResult, layout: ChartLayout | None = None,
+               log_x: bool = False, title: str | None = None) -> str:
+    """Render a sweep as a standalone SVG document.
+
+    Args:
+        sweep: The figure's series (throughput on y).
+        layout: Pixel geometry.
+        log_x: Plot x on a log2 axis (the paper's CUDA charts).
+        title: Figure title (defaults to the sweep name).
+
+    Returns:
+        The SVG document as a string.
+    """
+    layout = layout or ChartLayout()
+    title = title if title is not None else sweep.name
+
+    points_by_series: list[list[tuple[float, float]]] = []
+    for series in sweep.series:
+        pts = [(math.log2(p.x) if log_x and p.x > 0 else p.x, p.throughput)
+               for p in series.points
+               if math.isfinite(p.throughput) and p.throughput > 0
+               and (not log_x or p.x > 0)]
+        points_by_series.append(pts)
+
+    all_pts = [pt for pts in points_by_series for pt in pts]
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{layout.width}" '
+        f'height="{layout.height}" viewBox="0 0 {layout.width} '
+        f'{layout.height}">',
+        f'<rect width="{layout.width}" height="{layout.height}" '
+        'fill="white"/>',
+        f'<text x="{layout.width / 2:.0f}" y="24" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="15">{_escape(title)}</text>',
+    ]
+    if not all_pts:
+        parts.append(
+            f'<text x="{layout.width / 2:.0f}" '
+            f'y="{layout.height / 2:.0f}" text-anchor="middle" '
+            'font-family="sans-serif" font-size="13">no finite data'
+            '</text></svg>')
+        return "\n".join(parts)
+
+    x_lo = min(p[0] for p in all_pts)
+    x_hi = max(p[0] for p in all_pts)
+    y_lo = 0.0  # zero-based y, like the paper's stride panels
+    y_hi = max(p[1] for p in all_pts) * 1.05
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(x: float) -> float:
+        return layout.margin_left + (x - x_lo) / x_span * layout.plot_width
+
+    def sy(y: float) -> float:
+        return layout.margin_top + \
+            (1 - (y - y_lo) / y_span) * layout.plot_height
+
+    # Axes.
+    x0, y0 = layout.margin_left, layout.margin_top + layout.plot_height
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0 + layout.plot_width}" '
+                 f'y2="{y0}" stroke="black"/>')
+    parts.append(f'<line x1="{x0}" y1="{layout.margin_top}" x2="{x0}" '
+                 f'y2="{y0}" stroke="black"/>')
+    for tick in _ticks(x_lo, x_hi):
+        px = sx(tick)
+        label = _fmt(2 ** tick if log_x else tick)
+        parts.append(f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" '
+                     f'y2="{y0 + 5}" stroke="black"/>')
+        parts.append(f'<text x="{px:.1f}" y="{y0 + 20}" '
+                     'text-anchor="middle" font-family="sans-serif" '
+                     f'font-size="11">{label}</text>')
+    for tick in _ticks(y_lo, y_hi):
+        py = sy(tick)
+        parts.append(f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" '
+                     f'y2="{py:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{x0 - 8}" y="{py + 4:.1f}" '
+                     'text-anchor="end" font-family="sans-serif" '
+                     f'font-size="11">{_fmt(tick)}</text>')
+    # Axis titles.
+    parts.append(f'<text x="{x0 + layout.plot_width / 2:.0f}" '
+                 f'y="{layout.height - 12}" text-anchor="middle" '
+                 'font-family="sans-serif" font-size="12">'
+                 f'{_escape(sweep.x_label)}{" (log2)" if log_x else ""}'
+                 '</text>')
+    parts.append(f'<text x="18" y="{layout.margin_top + layout.plot_height / 2:.0f}" '
+                 'text-anchor="middle" font-family="sans-serif" '
+                 'font-size="12" transform="rotate(-90 18 '
+                 f'{layout.margin_top + layout.plot_height / 2:.0f})">'
+                 'throughput (ops/s/thread)</text>')
+
+    # Series.
+    for i, (series, pts) in enumerate(zip(sweep.series, points_by_series)):
+        if not pts:
+            continue
+        color = PALETTE[i % len(PALETTE)]
+        marker = _MARKERS[i % len(_MARKERS)]
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in pts:
+            parts.append(_marker(marker, sx(x), sy(y), color))
+
+    # Legend.
+    legend_x = x0 + layout.plot_width - 110
+    legend_y = layout.margin_top + 8
+    for i, series in enumerate(sweep.series):
+        color = PALETTE[i % len(PALETTE)]
+        y = legend_y + i * 16
+        parts.append(f'<line x1="{legend_x}" y1="{y}" '
+                     f'x2="{legend_x + 18}" y2="{y}" stroke="{color}" '
+                     'stroke-width="2"/>')
+        parts.append(f'<text x="{legend_x + 24}" y="{y + 4}" '
+                     'font-family="sans-serif" font-size="11">'
+                     f'{_escape(series.label)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

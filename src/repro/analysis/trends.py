@@ -1,0 +1,176 @@
+"""Shape predicates for throughput curves.
+
+The reproduction target is the *shape* of each figure — who wins, where
+knees and cliffs fall — not absolute numbers (Section "F. Evaluation and
+expected results" of the artifact: "we expect the same general trends").
+These helpers express the shapes; every experiment module pairs them with
+the paper's sentences to produce checkable claims.
+
+All predicates take throughput sequences (higher is better) and tolerate
+the simulated measurement jitter via relative tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.results import Series
+
+
+@dataclass(frozen=True)
+class TrendCheck:
+    """One verified claim.
+
+    Attributes:
+        claim: The paper's statement being checked.
+        passed: Whether the reproduced data exhibits it.
+        detail: Supporting numbers for the report.
+    """
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.claim}{suffix}"
+
+
+def check(claim: str, passed: bool, detail: str = "") -> TrendCheck:
+    """Build a :class:`TrendCheck`."""
+    return TrendCheck(claim=claim, passed=bool(passed), detail=detail)
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def is_roughly_constant(values: Sequence[float], tol: float = 0.25) -> bool:
+    """Max relative deviation from the median is within ``tol``."""
+    vals = _finite(values)
+    if len(vals) < 2:
+        return True
+    mid = sorted(vals)[len(vals) // 2]
+    if mid == 0:
+        return all(v == 0 for v in vals)
+    return all(abs(v - mid) / abs(mid) <= tol for v in vals)
+
+
+def is_roughly_nonincreasing(values: Sequence[float],
+                             tol: float = 0.15) -> bool:
+    """Each value is at most ``(1 + tol)`` times the running minimum."""
+    vals = _finite(values)
+    running_min = math.inf
+    for v in vals:
+        if v > running_min * (1.0 + tol):
+            return False
+        running_min = min(running_min, v)
+    return True
+
+
+def decreasing_then_stable(series: Series, knee_x: float,
+                           drop_factor: float = 1.3,
+                           stable_tol: float = 0.3) -> bool:
+    """Throughput falls by at least ``drop_factor`` before ``knee_x`` and
+    stays roughly constant after (the Fig. 1/2 shape)."""
+    before = [p.throughput for p in series.points if p.x <= knee_x]
+    after = [p.throughput for p in series.points if p.x >= knee_x]
+    if not before or not after:
+        return False
+    dropped = max(before) >= min(before) * drop_factor or \
+        max(before) >= drop_factor * (sum(after) / len(after))
+    return dropped and is_roughly_constant(after, stable_tol)
+
+
+def flat_up_to(series: Series, knee_x: float, tol: float = 0.15) -> bool:
+    """Throughput is roughly constant for x <= knee_x."""
+    head = [p.throughput for p in series.points if p.x <= knee_x]
+    return is_roughly_constant(head, tol)
+
+
+def drops_after(series: Series, knee_x: float,
+                factor: float = 1.2) -> bool:
+    """Throughput beyond ``knee_x`` falls below the head average by at
+    least ``factor``."""
+    head = _finite([p.throughput for p in series.points if p.x <= knee_x])
+    tail = _finite([p.throughput for p in series.points if p.x > knee_x])
+    if not head or not tail:
+        return False
+    return (sum(head) / len(head)) >= factor * min(tail)
+
+
+def jump_between(low: Series, high: Series, min_factor: float) -> bool:
+    """``high``'s average throughput exceeds ``low``'s by >= min_factor
+    (the false-sharing escape cliff between two strides)."""
+    lo = _finite(low.throughputs)
+    hi = _finite(high.throughputs)
+    if not lo or not hi:
+        return False
+    return (sum(hi) / len(hi)) >= min_factor * (sum(lo) / len(lo))
+
+
+def series_above(upper: Series, lower: Series, min_ratio: float = 1.0,
+                 frac: float = 0.75) -> bool:
+    """``upper`` is at least ``min_ratio`` x ``lower`` at a ``frac``
+    fraction of their common x positions."""
+    lower_at = {p.x: p.throughput for p in lower.points}
+    common = [(p.throughput, lower_at[p.x]) for p in upper.points
+              if p.x in lower_at
+              and math.isfinite(p.throughput)
+              and math.isfinite(lower_at[p.x])]
+    if not common:
+        return False
+    wins = sum(1 for u, l in common if l > 0 and u / l >= min_ratio)
+    return wins >= frac * len(common)
+
+
+def geometric_mean_ratio(a: Series, b: Series) -> float:
+    """Geometric mean of a/b throughput over common x positions."""
+    b_at = {p.x: p.throughput for p in b.points}
+    logs = []
+    for p in a.points:
+        other = b_at.get(p.x)
+        if other and other > 0 and math.isfinite(p.throughput) \
+                and p.throughput > 0 and math.isfinite(other):
+            logs.append(math.log(p.throughput / other))
+    if not logs:
+        return float("nan")
+    return math.exp(sum(logs) / len(logs))
+
+
+def aggregate_throughput(series: Series,
+                         multiplier: float = 1.0) -> list[float]:
+    """Total (not per-thread) throughput at each x: ``x * throughput``.
+
+    ``x`` is a thread count, so per-thread throughput times x is the
+    system-wide op rate; ``multiplier`` scales x when it counts something
+    per-block (pass the block count).  Saturation of this quantity is the
+    paper's "fixed number of atomics that the hardware can perform per
+    time unit" (Fig. 10).
+    """
+    return [p.x * multiplier * p.throughput for p in series.points
+            if math.isfinite(p.throughput)]
+
+
+def saturates(series: Series, multiplier: float = 1.0,
+              tail_points: int = 4, tol: float = 0.2) -> bool:
+    """Whether the total throughput stops growing (is roughly constant
+    over the last ``tail_points`` sweep positions)."""
+    totals = aggregate_throughput(series, multiplier)
+    if len(totals) < tail_points + 1:
+        return False
+    return is_roughly_constant(totals[-tail_points:], tol)
+
+
+def noisiness(series: Series) -> float:
+    """Mean absolute successive relative change — a jitter measure used to
+    compare the AMD system's atomic-write wobble against Intel's."""
+    vals = _finite(series.throughputs)
+    if len(vals) < 2:
+        return 0.0
+    changes = [abs(vals[i + 1] - vals[i]) / max(vals[i], 1e-12)
+               for i in range(len(vals) - 1)]
+    return sum(changes) / len(changes)

@@ -1,0 +1,145 @@
+"""One-call characterization of a machine's synchronization primitives.
+
+``characterize_cpu``/``characterize_gpu`` run a compact version of the
+paper's whole suite on one machine and return a table of per-primitive
+throughputs at representative configurations — the "what does sync cost
+on *my* box" entry point a downstream user reaches for first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.datatypes import DTYPES, INT
+from repro.compiler.ops import PrimitiveKind, Scope
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.cpu.affinity import Affinity
+from repro.cpu.machine import CpuMachine
+from repro.experiments import base as exb
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import LaunchConfig
+
+
+@dataclass(frozen=True)
+class PrimitiveProfile:
+    """One primitive's measured behaviour on one machine.
+
+    Attributes:
+        primitive: Spec name.
+        unit: Time unit of ``per_op`` values.
+        per_op: config label -> isolated per-op time.
+        throughput: config label -> per-thread ops/s.
+    """
+
+    primitive: str
+    unit: str
+    per_op: dict[str, float]
+    throughput: dict[str, float]
+
+    def best_config(self) -> str:
+        """Config with the highest per-thread throughput."""
+        return max(self.throughput, key=lambda k: self.throughput[k])
+
+    def worst_config(self) -> str:
+        """Config with the lowest per-thread throughput."""
+        return min(self.throughput, key=lambda k: self.throughput[k])
+
+
+@dataclass
+class CharacterizationReport:
+    """Per-primitive profiles for one machine."""
+
+    machine: str
+    profiles: dict[str, PrimitiveProfile] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        """Render as a markdown table (one row per primitive/config)."""
+        lines = [f"### {self.machine}", "",
+                 "| primitive | config | per-op | ops/s/thread |",
+                 "|---|---|---|---|"]
+        for profile in self.profiles.values():
+            for config, per_op in profile.per_op.items():
+                thr = profile.throughput[config]
+                lines.append(
+                    f"| {profile.primitive} | {config} "
+                    f"| {per_op:.4g} {profile.unit} | {thr:.4g} |")
+        return "\n".join(lines)
+
+
+def _profile(engine: MeasurementEngine, spec, configs) -> PrimitiveProfile:
+    per_op: dict[str, float] = {}
+    throughput: dict[str, float] = {}
+    for label, ctx in configs:
+        result = engine.measure(spec, ctx, label=f"char/{label}")
+        per_op[label] = result.per_op_time \
+            if result.per_op_time is not None else float("nan")
+        throughput[label] = result.throughput
+    return PrimitiveProfile(primitive=spec.name,
+                            unit=engine.machine.time_unit,
+                            per_op=per_op, throughput=throughput)
+
+
+def characterize_cpu(machine: CpuMachine,
+                     protocol: MeasurementProtocol | None = None
+                     ) -> CharacterizationReport:
+    """Profile every OpenMP primitive at low/medium/full thread counts."""
+    engine = MeasurementEngine(machine, protocol)
+    cores = machine.topology.physical_cores
+    counts = sorted({2, max(2, cores // 2), cores, machine.max_threads})
+    configs = [(f"threads={n}", machine.context(n, Affinity.DEFAULT))
+               for n in counts]
+    report = CharacterizationReport(machine=machine.name)
+    specs = [
+        exb.omp_barrier_spec(),
+        exb.omp_atomic_update_scalar_spec(INT),
+        exb.omp_atomic_write_spec(INT),
+        exb.omp_critical_spec(INT),
+        exb.omp_flush_spec(INT, 16),
+        exb.omp_atomic_update_array_spec(INT, 1),
+        exb.omp_atomic_update_array_spec(INT, 16),
+    ]
+    for spec in specs:
+        report.profiles[spec.name] = _profile(engine, spec, configs)
+    return report
+
+
+def characterize_gpu(device: GpuDevice,
+                     protocol: MeasurementProtocol | None = None
+                     ) -> CharacterizationReport:
+    """Profile every CUDA primitive at representative launches."""
+    engine = MeasurementEngine(device, protocol)
+    sms = device.spec.sm_count
+    launches = [("1x32", LaunchConfig(1, 32)),
+                ("2x256", LaunchConfig(2, 256)),
+                (f"{sms}x256", LaunchConfig(sms, 256)),
+                (f"{2 * sms}x1024", LaunchConfig(2 * sms, 1024))]
+    configs = [(label, device.context(launch))
+               for label, launch in launches]
+    report = CharacterizationReport(machine=device.name)
+    specs = [
+        exb.cuda_syncthreads_spec(),
+        exb.cuda_syncwarp_spec(),
+        exb.cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_ADD, INT),
+        exb.cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_CAS, INT),
+        exb.cuda_atomic_array_spec(PrimitiveKind.ATOMIC_ADD, INT, 32),
+        exb.cuda_fence_spec(Scope.DEVICE, INT, 32),
+        exb.cuda_shfl_spec(PrimitiveKind.SHFL_SYNC, INT),
+    ]
+    for spec in specs:
+        report.profiles[spec.name] = _profile(engine, spec, configs)
+    return report
+
+
+def characterize_all_dtypes(machine: CpuMachine,
+                            protocol: MeasurementProtocol | None = None
+                            ) -> CharacterizationReport:
+    """Atomic-update profile per data type (the Fig. 2 cross-section)."""
+    engine = MeasurementEngine(machine, protocol)
+    configs = [(f"threads={n}", machine.context(n))
+               for n in (2, machine.topology.physical_cores)]
+    report = CharacterizationReport(machine=machine.name)
+    for dtype in DTYPES:
+        spec = exb.omp_atomic_update_scalar_spec(dtype)
+        report.profiles[spec.name] = _profile(engine, spec, configs)
+    return report

@@ -1,0 +1,42 @@
+"""Shared low-level substrate: data types, units, errors, deterministic RNG."""
+
+from repro.common.datatypes import DataType, DTYPES, INT, ULL, FLOAT, DOUBLE
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    MeasurementError,
+    SimulationError,
+    DataRaceError,
+)
+from repro.common.units import (
+    GHZ,
+    NS_PER_S,
+    cycles_to_seconds,
+    ns_to_seconds,
+    seconds_to_ns,
+    throughput_from_ns,
+    throughput_from_cycles,
+)
+from repro.common.rng import make_rng
+
+__all__ = [
+    "DataType",
+    "DTYPES",
+    "INT",
+    "ULL",
+    "FLOAT",
+    "DOUBLE",
+    "ReproError",
+    "ConfigurationError",
+    "MeasurementError",
+    "SimulationError",
+    "DataRaceError",
+    "GHZ",
+    "NS_PER_S",
+    "cycles_to_seconds",
+    "ns_to_seconds",
+    "seconds_to_ns",
+    "throughput_from_ns",
+    "throughput_from_cycles",
+    "make_rng",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle anything that goes wrong inside the
+simulators or the measurement framework.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, machine, or launch configuration is invalid.
+
+    Raised eagerly at construction time (e.g., a CUDA launch with more than
+    1024 threads per block, a stride of zero, a thread count below two for an
+    OpenMP sweep) so that bad parameters never reach the simulators.
+    """
+
+
+class MeasurementError(ReproError):
+    """The measurement protocol could not produce a valid result.
+
+    The paper's protocol retries an attempt when the test function appears
+    faster than the baseline (a physically meaningless outcome caused by OS
+    jitter).  If every attempt of every run is invalid, or a primitive was
+    eliminated by the compiler model, this error is raised.
+    """
+
+
+class SimulationError(ReproError):
+    """A functional simulation reached an impossible state.
+
+    Examples: a kernel deadlocked on ``__syncthreads()`` because threads of
+    the same block diverged around the barrier, or an interpreter step budget
+    was exhausted.
+    """
+
+
+class DataRaceError(SimulationError):
+    """The OpenMP race detector observed conflicting unsynchronized accesses."""

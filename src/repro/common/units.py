@@ -1,0 +1,63 @@
+"""Unit conversions between nanoseconds, cycles, and throughput.
+
+The paper reports CPU results as ``1 / runtime`` (operations per second per
+thread, runtime measured with ``gettimeofday``) and GPU results as
+``1 / num_cycles / clock_freq`` (cycles measured with ``clock64()``).
+These helpers implement exactly those conversions.
+"""
+
+from __future__ import annotations
+
+NS_PER_S = 1_000_000_000.0
+GHZ = 1_000_000_000.0
+
+
+def ns_to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def seconds_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def cycles_to_seconds(cycles: float, clock_ghz: float) -> float:
+    """Convert a clock-cycle count to seconds for a clock in GHz."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_ghz}")
+    return cycles / (clock_ghz * GHZ)
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float) -> float:
+    """Convert a clock-cycle count to nanoseconds for a clock in GHz."""
+    return cycles / clock_ghz
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> float:
+    """Convert nanoseconds to clock cycles for a clock in GHz."""
+    return ns * clock_ghz
+
+
+def throughput_from_ns(ns_per_op: float) -> float:
+    """Per-thread throughput (ops/s) from a per-op runtime in ns.
+
+    This is the paper's ``1 / runtime`` metric for the OpenMP tests.
+    A non-positive runtime (possible when the measured primitive costs less
+    than the timer accuracy, e.g. the atomic-read test) maps to ``inf``.
+    """
+    if ns_per_op <= 0:
+        return float("inf")
+    return NS_PER_S / ns_per_op
+
+
+def throughput_from_cycles(cycles_per_op: float, clock_ghz: float) -> float:
+    """Per-thread throughput (ops/s) from per-op cycles and a clock in GHz.
+
+    This is the paper's ``1 / num_cycles / clock_freq`` metric for CUDA.
+    """
+    if clock_ghz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {clock_ghz}")
+    if cycles_per_op <= 0:
+        return float("inf")
+    return (clock_ghz * GHZ) / cycles_per_op

@@ -1,0 +1,34 @@
+"""Compiler model: the op IR and a dead-code-elimination pass.
+
+The paper's Section III stresses that a timing harness "must ensure that the
+synchronization primitive we are timing is compiled into actual machine code"
+— i.e. that the optimizer does not delete it.  We reproduce that concern
+with a tiny IR (:mod:`repro.compiler.ops`) and a DCE pass
+(:mod:`repro.compiler.dce`) that removes value-producing, side-effect-free
+ops whose results are unused.  The measurement framework runs every spec
+through this pass; a spec whose measured op gets eliminated is reported as
+*unrecordable*, which is exactly what happened to the authors'
+``__ballot_sync()`` test.
+"""
+
+from repro.compiler.ops import (
+    Op,
+    PrimitiveKind,
+    Scope,
+    op_atomic,
+    op_barrier,
+    op_fence,
+    op_plain_update,
+)
+from repro.compiler.dce import eliminate_dead_ops
+
+__all__ = [
+    "Op",
+    "PrimitiveKind",
+    "Scope",
+    "op_atomic",
+    "op_barrier",
+    "op_fence",
+    "op_plain_update",
+    "eliminate_dead_ops",
+]

@@ -1,0 +1,52 @@
+"""Dead-code elimination over op sequences.
+
+Mirrors what ``g++ -O3`` / ``nvcc -O3`` do to a micro-benchmark loop body:
+an instruction whose result is never consumed and that has no side effect
+(no store, no synchronization semantics) is removed.  The measurement
+framework runs every baseline/test body through this pass before pricing
+it, so a carelessly written spec measures nothing — the same trap the paper
+describes and fell into with ``__ballot_sync()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ops import Op
+
+
+@dataclass(frozen=True)
+class DceResult:
+    """Outcome of dead-code elimination on one loop body.
+
+    Attributes:
+        kept: Ops that survive optimization, in original order.
+        removed: Ops that were eliminated.
+    """
+
+    kept: tuple[Op, ...]
+    removed: tuple[Op, ...]
+
+    @property
+    def eliminated_everything_measured(self) -> bool:
+        """True when no op survived at all (an unrecordable body)."""
+        return not self.kept
+
+
+def eliminate_dead_ops(body: list[Op] | tuple[Op, ...]) -> DceResult:
+    """Apply dead-code elimination to a loop body.
+
+    Args:
+        body: Ops executed once per (unrolled) loop iteration.
+
+    Returns:
+        The surviving and removed ops.  Order of surviving ops is preserved.
+    """
+    kept: list[Op] = []
+    removed: list[Op] = []
+    for op in body:
+        if op.is_eliminable:
+            removed.append(op)
+        else:
+            kept.append(op)
+    return DceResult(kept=tuple(kept), removed=tuple(removed))

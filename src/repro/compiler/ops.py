@@ -1,0 +1,247 @@
+"""The op IR: every synchronization primitive the paper measures.
+
+An :class:`Op` is one dynamic instance of a primitive inside a measured loop
+body.  The cost models price ops; the DCE pass may delete them; the
+functional interpreters execute them over real data.
+
+Eliminability follows the compiler's rules, not the measurer's wishes: an op
+can be deleted only if it produces a value, has no side effect (no memory
+mutation, no synchronization semantics), and its result is unused.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.common.datatypes import DataType
+from repro.mem.layout import MemoryTarget
+
+
+class Scope(enum.Enum):
+    """Scope of an atomic or fence operation."""
+
+    BLOCK = "block"
+    DEVICE = "device"
+    SYSTEM = "system"
+
+
+class PrimitiveKind(enum.Enum):
+    """Every primitive measured in the paper, CPU and GPU."""
+
+    # --- OpenMP (CPU) ---
+    OMP_BARRIER = "omp_barrier"
+    OMP_ATOMIC_UPDATE = "omp_atomic_update"
+    OMP_ATOMIC_READ = "omp_atomic_read"
+    OMP_ATOMIC_WRITE = "omp_atomic_write"
+    OMP_ATOMIC_CAPTURE = "omp_atomic_capture"
+    OMP_CRITICAL_UPDATE = "omp_critical_update"
+    OMP_FLUSH = "omp_flush"
+    OMP_LOCK_ACQUIRE = "omp_lock_acquire"
+    OMP_LOCK_RELEASE = "omp_lock_release"
+    # Non-synchronizing scaffold ops used by baseline bodies.
+    PLAIN_READ = "plain_read"
+    PLAIN_UPDATE = "plain_update"
+
+    # --- CUDA (GPU) ---
+    SYNCTHREADS = "syncthreads"
+    SYNCTHREADS_COUNT = "syncthreads_count"
+    SYNCTHREADS_AND = "syncthreads_and"
+    SYNCTHREADS_OR = "syncthreads_or"
+    SYNCWARP = "syncwarp"
+    ATOMIC_ADD = "atomic_add"
+    ATOMIC_SUB = "atomic_sub"
+    ATOMIC_MAX = "atomic_max"
+    ATOMIC_MIN = "atomic_min"
+    ATOMIC_AND = "atomic_and"
+    ATOMIC_OR = "atomic_or"
+    ATOMIC_XOR = "atomic_xor"
+    ATOMIC_INC = "atomic_inc"
+    ATOMIC_DEC = "atomic_dec"
+    ATOMIC_CAS = "atomic_cas"
+    ATOMIC_EXCH = "atomic_exch"
+    THREADFENCE = "threadfence"
+    THREADFENCE_BLOCK = "threadfence_block"
+    THREADFENCE_SYSTEM = "threadfence_system"
+    SHFL_SYNC = "shfl_sync"
+    SHFL_UP_SYNC = "shfl_up_sync"
+    SHFL_DOWN_SYNC = "shfl_down_sync"
+    SHFL_XOR_SYNC = "shfl_xor_sync"
+    VOTE_ALL = "vote_all"
+    VOTE_ANY = "vote_any"
+    VOTE_BALLOT = "vote_ballot"
+    MATCH_ANY_SYNC = "match_any_sync"
+    MATCH_ALL_SYNC = "match_all_sync"
+    ACTIVEMASK = "activemask"
+    REDUCE_MAX_SYNC = "reduce_max_sync"
+
+
+#: Kinds whose execution mutates memory (never eliminable).
+_MUTATING = frozenset({
+    PrimitiveKind.OMP_ATOMIC_UPDATE,
+    PrimitiveKind.OMP_ATOMIC_WRITE,
+    PrimitiveKind.OMP_ATOMIC_CAPTURE,
+    PrimitiveKind.OMP_CRITICAL_UPDATE,
+    PrimitiveKind.PLAIN_UPDATE,
+    PrimitiveKind.ATOMIC_ADD,
+    PrimitiveKind.ATOMIC_SUB,
+    PrimitiveKind.ATOMIC_MAX,
+    PrimitiveKind.ATOMIC_MIN,
+    PrimitiveKind.ATOMIC_AND,
+    PrimitiveKind.ATOMIC_OR,
+    PrimitiveKind.ATOMIC_XOR,
+    PrimitiveKind.ATOMIC_INC,
+    PrimitiveKind.ATOMIC_DEC,
+    PrimitiveKind.ATOMIC_CAS,
+    PrimitiveKind.ATOMIC_EXCH,
+})
+
+#: Kinds with synchronization semantics (never eliminable).
+_SYNCHRONIZING = frozenset({
+    PrimitiveKind.OMP_BARRIER,
+    PrimitiveKind.OMP_FLUSH,
+    PrimitiveKind.OMP_LOCK_ACQUIRE,
+    PrimitiveKind.OMP_LOCK_RELEASE,
+    PrimitiveKind.SYNCTHREADS,
+    PrimitiveKind.SYNCTHREADS_COUNT,
+    PrimitiveKind.SYNCTHREADS_AND,
+    PrimitiveKind.SYNCTHREADS_OR,
+    PrimitiveKind.SYNCWARP,
+    PrimitiveKind.THREADFENCE,
+    PrimitiveKind.THREADFENCE_BLOCK,
+    PrimitiveKind.THREADFENCE_SYSTEM,
+})
+
+#: Kinds that produce a value a later instruction could consume.
+_VALUE_PRODUCING = frozenset({
+    PrimitiveKind.OMP_ATOMIC_READ,
+    PrimitiveKind.OMP_ATOMIC_CAPTURE,
+    PrimitiveKind.PLAIN_READ,
+    PrimitiveKind.ATOMIC_CAS,
+    PrimitiveKind.ATOMIC_EXCH,
+    PrimitiveKind.SYNCTHREADS_COUNT,
+    PrimitiveKind.SYNCTHREADS_AND,
+    PrimitiveKind.SYNCTHREADS_OR,
+    PrimitiveKind.SHFL_SYNC,
+    PrimitiveKind.SHFL_UP_SYNC,
+    PrimitiveKind.SHFL_DOWN_SYNC,
+    PrimitiveKind.SHFL_XOR_SYNC,
+    PrimitiveKind.VOTE_ALL,
+    PrimitiveKind.VOTE_ANY,
+    PrimitiveKind.VOTE_BALLOT,
+    PrimitiveKind.MATCH_ANY_SYNC,
+    PrimitiveKind.MATCH_ALL_SYNC,
+    PrimitiveKind.ACTIVEMASK,
+    PrimitiveKind.REDUCE_MAX_SYNC,
+})
+
+#: All atomic read-modify-write kinds (CPU and GPU).
+ATOMIC_KINDS = frozenset({
+    PrimitiveKind.OMP_ATOMIC_UPDATE,
+    PrimitiveKind.OMP_ATOMIC_CAPTURE,
+    PrimitiveKind.ATOMIC_ADD,
+    PrimitiveKind.ATOMIC_SUB,
+    PrimitiveKind.ATOMIC_MAX,
+    PrimitiveKind.ATOMIC_MIN,
+    PrimitiveKind.ATOMIC_AND,
+    PrimitiveKind.ATOMIC_OR,
+    PrimitiveKind.ATOMIC_XOR,
+    PrimitiveKind.ATOMIC_INC,
+    PrimitiveKind.ATOMIC_DEC,
+    PrimitiveKind.ATOMIC_CAS,
+    PrimitiveKind.ATOMIC_EXCH,
+})
+
+#: GPU atomic kinds that warp aggregation can collapse (commutative,
+#: associative read-modify-write with a uniform target; CAS/Exch cannot
+#: aggregate because each lane's outcome depends on the others').
+AGGREGATABLE_KINDS = frozenset({
+    PrimitiveKind.ATOMIC_ADD,
+    PrimitiveKind.ATOMIC_SUB,
+    PrimitiveKind.ATOMIC_MAX,
+    PrimitiveKind.ATOMIC_MIN,
+    PrimitiveKind.ATOMIC_AND,
+    PrimitiveKind.ATOMIC_OR,
+    PrimitiveKind.ATOMIC_XOR,
+})
+
+
+@dataclass(frozen=True)
+class Op:
+    """One primitive invocation inside a measured loop body.
+
+    Attributes:
+        kind: Which primitive this is.
+        dtype: Data type operated on (None for barriers/fences/syncs).
+        target: Memory-access pattern (None for pure sync ops).
+        scope: Atomic/fence scope; GPU block-scoped atomics are much cheaper
+            than device-scoped ones.
+        result_used: Whether a later instruction consumes this op's value.
+            Only meaningful for value-producing kinds; the DCE pass deletes
+            value-producing, side-effect-free ops with ``result_used=False``.
+        label: Optional human-readable tag for diagnostics.
+    """
+
+    kind: PrimitiveKind
+    dtype: Optional[DataType] = None
+    target: Optional[MemoryTarget] = None
+    scope: Scope = Scope.DEVICE
+    result_used: bool = True
+    label: str = ""
+
+    @property
+    def mutates_memory(self) -> bool:
+        return self.kind in _MUTATING
+
+    @property
+    def synchronizes(self) -> bool:
+        return self.kind in _SYNCHRONIZING
+
+    @property
+    def produces_value(self) -> bool:
+        return self.kind in _VALUE_PRODUCING
+
+    @property
+    def is_eliminable(self) -> bool:
+        """Whether the DCE pass may delete this op (given an unused result)."""
+        return (self.produces_value and not self.mutates_memory
+                and not self.synchronizes and not self.result_used)
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.kind in ATOMIC_KINDS or self.kind in (
+            PrimitiveKind.OMP_ATOMIC_READ, PrimitiveKind.OMP_ATOMIC_WRITE)
+
+    def with_unused_result(self) -> "Op":
+        """Copy of this op whose result is not consumed."""
+        return replace(self, result_used=False)
+
+
+def op_atomic(kind: PrimitiveKind, dtype: DataType, target: MemoryTarget,
+              scope: Scope = Scope.DEVICE, label: str = "") -> Op:
+    """Convenience constructor for atomic ops."""
+    return Op(kind=kind, dtype=dtype, target=target, scope=scope, label=label)
+
+
+def op_barrier(kind: PrimitiveKind = PrimitiveKind.OMP_BARRIER,
+               label: str = "") -> Op:
+    """Convenience constructor for barrier-style ops."""
+    return Op(kind=kind, label=label)
+
+
+def op_fence(kind: PrimitiveKind, target: Optional[MemoryTarget] = None,
+             label: str = "") -> Op:
+    """Convenience constructor for fence/flush ops.
+
+    The target, when given, describes the surrounding accesses the fence
+    must order — it determines how much traffic the fence has to drain.
+    """
+    return Op(kind=kind, target=target, label=label)
+
+
+def op_plain_update(dtype: DataType, target: MemoryTarget,
+                    label: str = "") -> Op:
+    """A non-atomic read-modify-write used by baseline loop bodies."""
+    return Op(kind=PrimitiveKind.PLAIN_UPDATE, dtype=dtype, target=target,
+              label=label)

@@ -1,0 +1,27 @@
+"""The measurement framework (the paper's Section III/IV methodology).
+
+A :class:`MeasurementSpec` pairs a *baseline* loop body with a *test* loop
+body that performs the measured primitive one extra time; subtracting the
+two isolates the primitive's cost without timing any scaffolding.  The
+:class:`MeasurementEngine` executes the paper's full protocol on a machine
+(simulated CPU or GPU): dead-code-elimination check, warm-up, unrolled
+timed loops, nine runs of up to seven attempts each with retry when the
+test appears faster than the baseline, medians, subtraction, and conversion
+to per-thread throughput.
+"""
+
+from repro.core.spec import MeasurementSpec
+from repro.core.protocol import MeasurementProtocol
+from repro.core.engine import MeasurementEngine
+from repro.core.results import MeasurementResult, Series, SeriesPoint, \
+    SweepResult
+
+__all__ = [
+    "MeasurementSpec",
+    "MeasurementProtocol",
+    "MeasurementEngine",
+    "MeasurementResult",
+    "Series",
+    "SeriesPoint",
+    "SweepResult",
+]

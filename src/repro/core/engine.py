@@ -1,0 +1,135 @@
+"""The measurement engine: executes the protocol on a machine.
+
+Device-agnostic: a *machine* is anything exposing ``name``, ``time_unit``,
+``loop_overhead``, ``body_cost(body, ctx)``, ``run_noise(rng, ctx, body)``,
+and ``throughput(per_op_time)`` — i.e. :class:`repro.cpu.CpuMachine` or
+:class:`repro.gpu.GpuDevice`.
+
+The engine reproduces every methodological element of Section III/IV:
+
+* The loop bodies are first run through the compiler model's dead-code
+  elimination; a spec whose measured primitive does not survive is
+  reported *unrecordable* instead of yielding a bogus zero.
+* Loop bookkeeping overhead is amortized over the unroll factor and —
+  because it appears identically in baseline and test — cancels in the
+  subtraction.  (The ``naive_per_op_time`` field records what timing the
+  test loop alone would have claimed, for the ablation benchmark.)
+* Each run retries up to ``max_attempts`` times while the test function
+  measures faster than the baseline; per-run medians are subtracted and
+  normalized by the number of extra measured ops.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.common.errors import MeasurementError
+from repro.common.rng import make_rng
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import MeasurementResult
+from repro.core.spec import MeasurementSpec
+
+
+class MeasurementEngine:
+    """Runs measurement specs on one machine under one protocol."""
+
+    def __init__(self, machine: object,
+                 protocol: MeasurementProtocol | None = None) -> None:
+        self.machine = machine
+        self.protocol = protocol or MeasurementProtocol()
+
+    def measure(self, spec: MeasurementSpec, ctx: object,
+                label: str = "") -> MeasurementResult:
+        """Execute the full protocol for one parameter combination.
+
+        Args:
+            spec: Baseline/test pair to measure.
+            ctx: Machine context (thread placement / launch occupancy).
+            label: Distinguishes parameter combinations in the jitter
+                stream (e.g. ``"t=8"``); results are deterministic in
+                (machine, spec, label, seed).
+
+        Returns:
+            The measurement result; ``unrecordable=True`` when the
+            optimizer eliminated the measured primitive.
+        """
+        machine = self.machine
+        proto = self.protocol
+        baseline_kept, test_kept = spec.surviving_bodies()
+        eliminated = tuple(op.kind.value for op in spec.eliminated_ops())
+        extra_ops = spec.extra_op_count()
+
+        if extra_ops == 0:
+            return MeasurementResult(
+                spec_name=spec.name,
+                unit=machine.time_unit,
+                baseline_median=float("nan"),
+                test_median=float("nan"),
+                per_op_time=None,
+                throughput=float("nan"),
+                naive_per_op_time=float("nan"),
+                valid_fraction=0.0,
+                unrecordable=True,
+                eliminated=eliminated,
+            )
+
+        loop_overhead = machine.loop_overhead / proto.unroll
+        # Without a warm-up loop, the timed section pays the one-time
+        # cold-start cost (first-touch faults / cold caches), smeared over
+        # the measured ops.  It hits baseline and test alike, so the
+        # subtraction cancels it — but naive timing does not (§III's
+        # rationale for N_WARMUP).
+        cold = 0.0
+        if proto.n_warmup == 0:
+            cold = getattr(machine, "cold_start_cost", 0.0) / \
+                proto.ops_per_loop
+        cost_baseline = machine.body_cost(baseline_kept, ctx) \
+            + loop_overhead + cold
+        cost_test = machine.body_cost(test_kept, ctx) + loop_overhead + cold
+
+        baseline_times: list[float] = []
+        test_times: list[float] = []
+        valid_runs = 0
+        for run in range(proto.n_runs):
+            rng = make_rng(
+                f"{machine.name}/{spec.name}/{label}/run{run}", proto.seed)
+            chosen: tuple[float, float, bool] | None = None
+            for _attempt in range(proto.max_attempts):
+                tb = max(cost_baseline + machine.run_noise(
+                    rng, ctx, baseline_kept, cost_baseline), 0.0)
+                tt = max(cost_test + machine.run_noise(
+                    rng, ctx, test_kept, cost_test), 0.0)
+                chosen = (tb, tt, tt >= tb)
+                if tt >= tb:
+                    break
+            assert chosen is not None
+            baseline_times.append(chosen[0])
+            test_times.append(chosen[1])
+            valid_runs += chosen[2]
+
+        baseline_median = statistics.median(baseline_times)
+        test_median = statistics.median(test_times)
+        per_op = (test_median - baseline_median) / extra_ops
+        naive = test_median / max(len(test_kept), 1)
+        return MeasurementResult(
+            spec_name=spec.name,
+            unit=machine.time_unit,
+            baseline_median=baseline_median,
+            test_median=test_median,
+            per_op_time=per_op,
+            throughput=machine.throughput(per_op),
+            naive_per_op_time=naive,
+            valid_fraction=valid_runs / proto.n_runs,
+            unrecordable=False,
+            eliminated=eliminated,
+        )
+
+    def measure_or_raise(self, spec: MeasurementSpec, ctx: object,
+                         label: str = "") -> MeasurementResult:
+        """Like :meth:`measure` but raises for unrecordable specs."""
+        result = self.measure(spec, ctx, label)
+        if result.unrecordable:
+            raise MeasurementError(
+                f"spec {spec.name!r} is unrecordable: the optimizer "
+                f"eliminated {list(result.eliminated)}")
+        return result

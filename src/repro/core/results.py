@@ -1,0 +1,215 @@
+"""Result records: single measurements, series, and sweeps.
+
+A :class:`MeasurementResult` is the outcome of one protocol execution (one
+parameter combination).  A :class:`Series` strings results along an x-axis
+(thread count) under a label (data type, stride, block count...).  A
+:class:`SweepResult` is a figure's worth of series and knows how to render
+itself as CSV — the same artifact the paper's harness writes to
+``runtimes.csv``.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+def _finite_or_none(value: float | None) -> float | None:
+    """NaN/inf -> None, for strict JSON output."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """Outcome of the full protocol for one parameter combination.
+
+    Attributes:
+        spec_name: Name of the measured spec.
+        unit: Time unit ("ns" on CPU, "cycles" on GPU).
+        baseline_median: Median per-unrolled-iteration baseline time.
+        test_median: Median per-unrolled-iteration test time.
+        per_op_time: Isolated single-primitive time
+            ((test - baseline) / extra ops); None when unrecordable.
+        throughput: Per-thread ops/s (1/time in the machine's unit);
+            ``inf`` when the measured difference is non-positive.
+        naive_per_op_time: What naive timing (test runtime / ops, no
+            subtraction) would have reported; used by the ablation bench.
+        valid_fraction: Fraction of runs whose accepted attempt was valid
+            (test >= baseline).  Low values mean the measured cost is
+            within timer noise, like the paper's atomic-read experiment.
+        unrecordable: True when the optimizer eliminated the measured
+            primitive (the paper's ``__ballot_sync()`` case).
+        eliminated: Names of ops removed by dead-code elimination.
+    """
+
+    spec_name: str
+    unit: str
+    baseline_median: float
+    test_median: float
+    per_op_time: float | None
+    throughput: float
+    naive_per_op_time: float
+    valid_fraction: float
+    unrecordable: bool = False
+    eliminated: tuple[str, ...] = ()
+
+    @property
+    def within_timer_accuracy(self) -> bool:
+        """True when the difference is too small to be meaningful.
+
+        The paper draws this conclusion for atomic reads: "the difference
+        ... [was] extremely small and within the timer's accuracy."
+        """
+        if self.unrecordable or self.per_op_time is None:
+            return False
+        scale = max(abs(self.baseline_median), abs(self.test_median), 1e-12)
+        return abs(self.per_op_time) < 0.05 * scale \
+            or self.valid_fraction < 0.75
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One x position of a series (one thread count / launch size)."""
+
+    x: float
+    result: MeasurementResult
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def per_op_time(self) -> float | None:
+        return self.result.per_op_time
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure (e.g. dtype=int at stride 4)."""
+
+    label: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, result: MeasurementResult) -> None:
+        """Append one measured point at ``x``."""
+        self.points.append(SeriesPoint(x=x, result=result))
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def throughputs(self) -> list[float]:
+        return [p.throughput for p in self.points]
+
+    def finite_throughputs(self) -> list[float]:
+        """Throughputs with NaN/inf (unrecordable points) dropped."""
+        return [t for t in self.throughputs if math.isfinite(t)]
+
+    def throughput_at(self, x: float) -> float:
+        """Throughput at an exact x position (KeyError if absent)."""
+        for point in self.points:
+            if point.x == x:
+                return point.throughput
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class SweepResult:
+    """A figure's worth of series.
+
+    Attributes:
+        name: Figure/experiment id (e.g. "fig3/stride=8").
+        x_label: Meaning of the x-axis ("threads", "threads per block").
+        unit: Time unit of the underlying measurements.
+        series: The labelled curves.
+        metadata: Free-form context (machine name, affinity, stride...).
+    """
+
+    name: str
+    x_label: str
+    unit: str
+    series: list[Series] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up a series by label (KeyError with candidates if absent)."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"{self.name}: no series {label!r}; have "
+            f"{[s.label for s in self.series]}")
+
+    def labels(self) -> list[str]:
+        """Series labels in insertion order."""
+        return [s.label for s in self.series]
+
+    def to_json(self) -> dict:
+        """Full-fidelity dict of the sweep (the artifact's runtimes.bin
+        analog): every measurement's medians, validity, and flags."""
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "unit": self.unit,
+            "metadata": {k: str(v) for k, v in self.metadata.items()},
+            "series": [
+                {
+                    "label": s.label,
+                    "points": [
+                        {
+                            "x": p.x,
+                            "per_op_time": _finite_or_none(
+                                p.result.per_op_time),
+                            "throughput": _finite_or_none(p.throughput),
+                            "baseline_median": _finite_or_none(
+                                p.result.baseline_median),
+                            "test_median": _finite_or_none(
+                                p.result.test_median),
+                            "valid_fraction": p.result.valid_fraction,
+                            "unrecordable": p.result.unrecordable,
+                        }
+                        for p in s.points
+                    ],
+                }
+                for s in self.series
+            ],
+        }
+
+    def to_csv(self) -> str:
+        """Render as CSV with columns x, series, per_op_time, throughput.
+
+        Mirrors the artifact's ``runtimes.csv`` output format.
+        """
+        out = io.StringIO()
+        out.write(f"# {self.name}\n")
+        for key, value in sorted(self.metadata.items(),
+                                 key=lambda kv: kv[0]):
+            out.write(f"# {key}={value}\n")
+        out.write(f"{self.x_label},series,per_op_{self.unit},"
+                  "throughput_ops_per_s\n")
+        for s in self.series:
+            for p in s.points:
+                per_op = "" if p.per_op_time is None else f"{p.per_op_time:.6g}"
+                out.write(f"{p.x:g},{s.label},{per_op},{p.throughput:.6g}\n")
+        return out.getvalue()
+
+
+def merge_sweeps(name: str, sweeps: Iterable[SweepResult]) -> SweepResult:
+    """Combine sub-sweeps (e.g. the four stride panels of Fig. 3) into one
+    result, prefixing series labels with each sweep's name."""
+    sweeps = list(sweeps)
+    if not sweeps:
+        raise ValueError("no sweeps to merge")
+    merged = SweepResult(name=name, x_label=sweeps[0].x_label,
+                         unit=sweeps[0].unit)
+    for sweep in sweeps:
+        merged.metadata.update(sweep.metadata)
+        for s in sweep.series:
+            merged.series.append(
+                Series(label=f"{sweep.name}/{s.label}", points=list(s.points)))
+    return merged

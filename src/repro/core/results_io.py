@@ -1,0 +1,103 @@
+"""Artifact-style results output.
+
+The paper's artifact writes each test's results to
+``./results/<hostname>/<test>/`` — a raw log, a ``runtimes.csv``, and a
+figure.  This module reproduces that layout for the reproduction's
+experiments: per sweep a ``<name>.csv``, an ASCII ``<name>.chart.txt``,
+and a real ``<name>.svg`` figure (rendered without matplotlib), plus per
+experiment a ``claims.txt`` (paper-vs-measured verdicts) and a
+``meta.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.svg_chart import render_svg
+from repro.analysis.trends import TrendCheck
+from repro.core.results import SweepResult
+
+
+def _safe(name: str) -> str:
+    return name.replace("/", "_").replace(" ", "_")
+
+
+def save_sweep(sweep: SweepResult, directory: Path,
+               log_x: bool = False) -> list[Path]:
+    """Write one sweep's ``runtimes.csv`` and ASCII chart.
+
+    Returns:
+        The paths written.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = _safe(sweep.name)
+    csv_path = directory / f"{stem}.csv"
+    csv_path.write_text(sweep.to_csv())
+    chart_path = directory / f"{stem}.chart.txt"
+    chart_path.write_text(render_chart(sweep, log_x=log_x) + "\n")
+    svg_path = directory / f"{stem}.svg"
+    svg_path.write_text(render_svg(sweep, log_x=log_x) + "\n")
+    json_path = directory / f"{stem}.json"
+    json_path.write_text(json.dumps(sweep.to_json(), indent=1) + "\n")
+    return [csv_path, chart_path, svg_path, json_path]
+
+
+def save_experiment(exp_id: str, title: str, kind: str,
+                    sweeps: list[SweepResult], checks: list[TrendCheck],
+                    root: Path, wall_seconds: float = 0.0) -> Path:
+    """Write one experiment's results directory.
+
+    Layout::
+
+        <root>/<exp_id>/
+            meta.json        experiment id, title, kind, timing, verdicts
+            claims.txt       human-readable paper-vs-measured verdicts
+            <sweep>.csv      one per sweep (the artifact's runtimes.csv)
+            <sweep>.chart.txt
+
+    Returns:
+        The experiment directory.
+    """
+    directory = root / _safe(exp_id)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for sweep in sweeps:
+        written.extend(p.name for p in
+                       save_sweep(sweep, directory, log_x=kind == "cuda"))
+    claims_lines = [str(c) for c in checks]
+    (directory / "claims.txt").write_text("\n".join(claims_lines) + "\n")
+    meta = {
+        "experiment": exp_id,
+        "title": title,
+        "kind": kind,
+        "wall_seconds": round(wall_seconds, 3),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "claims_passed": sum(c.passed for c in checks),
+        "claims_total": len(checks),
+        "files": sorted(written),
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+    return directory
+
+
+def load_sweep_csv(path: Path) -> dict[str, list[tuple[float, float]]]:
+    """Parse a saved ``runtimes.csv`` back into series points.
+
+    Returns:
+        series label -> list of (x, throughput) rows.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    header_seen = False
+    for line in path.read_text().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not header_seen:
+            header_seen = True  # column header row
+            continue
+        x_str, label, _per_op, throughput = line.split(",")
+        series.setdefault(label, []).append(
+            (float(x_str), float(throughput)))
+    return series

@@ -1,0 +1,112 @@
+"""Measurement specifications: paired baseline/test loop bodies.
+
+"For each synchronization primitive, we define two functions — a baseline
+and a test function ... nearly identical except the test function performs
+the measured synchronization at least one more time in each iteration"
+(Section III).  Three pairing shapes cover every experiment in the paper:
+
+* :meth:`MeasurementSpec.single` — baseline does the primitive once per
+  iteration, test does it twice (barrier, atomics, critical section).
+* :meth:`MeasurementSpec.inserted` — baseline runs surrounding accesses,
+  test inserts the primitive between them (flush, thread fences).
+* :meth:`MeasurementSpec.contrast` — baseline and test run *different*
+  ops and the difference is their relative overhead (atomic read vs plain
+  read).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.compiler.dce import eliminate_dead_ops
+from repro.compiler.ops import Op
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """A baseline/test pair of unrolled loop bodies.
+
+    Attributes:
+        name: Identifier used in results and CSV output.
+        baseline_body: Ops run once per unrolled iteration by the baseline.
+        test_body: Ops run once per unrolled iteration by the test; must
+            contain everything the baseline does plus the measured extra.
+    """
+
+    name: str
+    baseline_body: tuple[Op, ...]
+    test_body: tuple[Op, ...]
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.test_body:
+            raise ConfigurationError(f"spec {self.name!r}: empty test body")
+
+    # ------------------------------ constructors ----------------------- #
+
+    @classmethod
+    def single(cls, name: str, op: Op, scaffold: tuple[Op, ...] = (),
+               description: str = "") -> "MeasurementSpec":
+        """Baseline performs ``op`` once per iteration, test twice."""
+        return cls(name=name,
+                   baseline_body=scaffold + (op,),
+                   test_body=scaffold + (op, op),
+                   description=description)
+
+    @classmethod
+    def inserted(cls, name: str, before: tuple[Op, ...], op: Op,
+                 after: tuple[Op, ...] = (),
+                 description: str = "") -> "MeasurementSpec":
+        """Baseline runs ``before + after``; test inserts ``op`` between.
+
+        This is the flush/fence shape: each thread updates two arrays and
+        the test version separates the updates with the fence.
+        """
+        return cls(name=name,
+                   baseline_body=before + after,
+                   test_body=before + (op,) + after,
+                   description=description)
+
+    @classmethod
+    def contrast(cls, name: str, baseline_op: Op, test_op: Op,
+                 description: str = "") -> "MeasurementSpec":
+        """Baseline and test run different single ops; the measured value
+        is the overhead of the test op over the baseline op."""
+        return cls(name=name,
+                   baseline_body=(baseline_op,),
+                   test_body=(test_op,),
+                   description=description)
+
+    # ------------------------------ analysis --------------------------- #
+
+    def surviving_bodies(self) -> tuple[tuple[Op, ...], tuple[Op, ...]]:
+        """Baseline and test bodies after dead-code elimination."""
+        return (eliminate_dead_ops(self.baseline_body).kept,
+                eliminate_dead_ops(self.test_body).kept)
+
+    def eliminated_ops(self) -> tuple[Op, ...]:
+        """Ops the optimizer removed from the test body."""
+        return eliminate_dead_ops(self.test_body).removed
+
+    def extra_op_count(self) -> int:
+        """How many surviving ops the test runs beyond the baseline.
+
+        For :meth:`contrast` specs this is defined as 1 (one op is being
+        compared against another).  Zero means the measurement is
+        unrecordable: the optimizer deleted the measured primitive, as
+        happened to the paper's ``__ballot_sync()`` test.
+        """
+        baseline_kept, test_kept = self.surviving_bodies()
+        if Counter(self.baseline_body) != Counter(self.test_body) and \
+                len(self.baseline_body) == len(self.test_body):
+            # contrast shape: same op count, different ops
+            return 1 if test_kept else 0
+        extra = len(test_kept) - len(baseline_kept)
+        return max(extra, 0)
+
+    @property
+    def is_recordable(self) -> bool:
+        """Whether any measured op survives the optimizer."""
+        return self.extra_op_count() > 0

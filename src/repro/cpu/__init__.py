@@ -1,0 +1,37 @@
+"""CPU substrate: topology, thread placement, jitter, and primitive costs.
+
+This package models the three CPUs of Table I closely enough that every
+OpenMP trend in Section V-A emerges from mechanism rather than curve
+fitting: coherence transfers for shared-variable atomics, line geometry for
+false sharing, lock overhead for critical sections, and an OS-jitter noise
+process (larger on the AMD part, per Fig. 4a).
+"""
+
+from repro.cpu.topology import CpuTopology, CorePlace
+from repro.cpu.affinity import Affinity, place_threads
+from repro.cpu.jitter import JitterModel
+from repro.cpu.costs import CpuCostParams, CpuCostModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import (
+    SYSTEM1_CPU,
+    SYSTEM2_CPU,
+    SYSTEM3_CPU,
+    cpu_preset,
+    CPU_PRESETS,
+)
+
+__all__ = [
+    "CpuTopology",
+    "CorePlace",
+    "Affinity",
+    "place_threads",
+    "JitterModel",
+    "CpuCostParams",
+    "CpuCostModel",
+    "CpuMachine",
+    "SYSTEM1_CPU",
+    "SYSTEM2_CPU",
+    "SYSTEM3_CPU",
+    "cpu_preset",
+    "CPU_PRESETS",
+]

@@ -1,0 +1,109 @@
+"""Thread-to-core placement under OpenMP affinity policies.
+
+The paper varies ``OMP_PROC_BIND`` between "spread" and "close" for some
+experiments and leaves placement to the OS for the rest.  Placement matters
+to the cost models in two ways: SMT siblings share an L1 (so they never
+falsely share lines with each other), and contention serializes at core
+granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.topology import CorePlace, CpuTopology
+
+
+class Affinity(enum.Enum):
+    """OpenMP thread-affinity policy (places = cores, as the paper's
+    dashed hyperthreading line implies: SMT slots are used only once every
+    core holds a thread, under every policy).
+
+    SPREAD distributes threads as widely as possible (alternating sockets).
+    CLOSE packs threads onto consecutive cores of one socket before moving
+    to the next.  DEFAULT models an unpinned Linux scheduler, which in
+    practice fills one socket's idle cores first — the same order as CLOSE.
+    """
+
+    SPREAD = "spread"
+    CLOSE = "close"
+    DEFAULT = "default"
+
+
+def place_threads(topology: CpuTopology, n_threads: int,
+                  affinity: Affinity = Affinity.DEFAULT
+                  ) -> dict[int, CorePlace]:
+    """Assign ``n_threads`` OpenMP threads to hardware-thread slots.
+
+    Args:
+        topology: The CPU to place onto.
+        n_threads: Number of threads (1 .. hardware_threads).
+        affinity: Placement policy.
+
+    Returns:
+        Mapping from thread id (0-based, ids are assigned to consecutive
+        loop indices / array elements) to :class:`CorePlace`.
+
+    Raises:
+        ConfigurationError: if more threads than hardware threads are asked
+            for (the paper never oversubscribes).
+    """
+    if n_threads < 1:
+        raise ConfigurationError(f"need at least 1 thread, got {n_threads}")
+    if n_threads > topology.hardware_threads:
+        raise ConfigurationError(
+            f"{n_threads} threads exceed the {topology.hardware_threads} "
+            f"hardware threads of {topology.name}")
+
+    if affinity is Affinity.CLOSE:
+        order = _close_order(topology)
+    elif affinity is Affinity.SPREAD:
+        order = _spread_order(topology)
+    else:
+        order = _default_order(topology)
+    return {tid: order[tid] for tid in range(n_threads)}
+
+
+def _close_order(topology: CpuTopology) -> list[CorePlace]:
+    """Consecutive cores of socket 0, then socket 1, ...; SMT slots only
+    once every core holds one thread."""
+    order: list[CorePlace] = []
+    for smt in range(topology.threads_per_core):
+        for socket in range(topology.sockets):
+            for core in range(topology.cores_per_socket):
+                order.append(CorePlace(socket, core, smt))
+    return order
+
+
+def _spread_order(topology: CpuTopology) -> list[CorePlace]:
+    """Round-robin over sockets, then cores; SMT slots only once all cores
+    hold one thread."""
+    order: list[CorePlace] = []
+    for smt in range(topology.threads_per_core):
+        for core in range(topology.cores_per_socket):
+            for socket in range(topology.sockets):
+                order.append(CorePlace(socket, core, smt))
+    return order
+
+
+def _default_order(topology: CpuTopology) -> list[CorePlace]:
+    """Unpinned-scheduler model: fill primary SMT slots of socket 0's cores,
+    then socket 1's, then the secondary SMT slots (same as CLOSE)."""
+    return _close_order(topology)
+
+
+def core_placement(placement: dict[int, CorePlace]
+                   ) -> dict[int, tuple[int, int]]:
+    """Project a placement down to physical-core keys.
+
+    This is the mapping the :class:`repro.mem.coherence.CoherenceModel`
+    consumes: threads mapping to the same core key share an L1.
+    """
+    return {tid: place.core_key for tid, place in placement.items()}
+
+
+def uses_hyperthreading(placement: dict[int, CorePlace]) -> bool:
+    """True when at least two threads share a physical core."""
+    cores = [place.core_key for place in placement.values()]
+    return len(set(cores)) < len(cores)

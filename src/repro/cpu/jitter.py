@@ -1,0 +1,73 @@
+"""OS-jitter model for CPU timing.
+
+Section IV reports a typical standard deviation of ~7.8 ns per primitive
+runtime on System 3's CPU and cites Vicente & Matias' study of Linux OS
+jitter to explain occasional faulty measurements where the test function
+appears *faster* than the baseline.  Fig. 4a additionally shows that the
+AMD part is visibly noisier than the Intel parts.
+
+Jitter on a timed loop is mostly *proportional* to its duration (timer
+interrupts and daemon wakeups steal a slice of whatever runs), with a small
+additive component from timer resolution.  The model therefore draws, per
+timed run:
+
+* Gaussian noise with sigma = abs_sigma + rel_sigma x (per-op cost);
+* extra relative variability when hyperthreading is active
+  ("hyperthreading yields more variability in thread timing", §V-A2);
+* rare positive spikes (daemon wakeups, interrupts), also duration-scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Stochastic noise added to each run's measured per-op runtime.
+
+    Attributes:
+        rel_sigma: Relative std-dev (fraction of the per-op cost).
+        abs_sigma_ns: Additive std-dev from timer granularity.
+        ht_rel_sigma: Extra relative std-dev when SMT siblings share cores.
+        spike_prob: Probability that a run is hit by an OS activity spike.
+        spike_rel: Magnitude of a spike as a fraction of the per-op cost.
+        spike_abs_ns: Additive floor of a spike's magnitude.
+    """
+
+    rel_sigma: float = 0.01
+    abs_sigma_ns: float = 1.0
+    ht_rel_sigma: float = 0.008
+    spike_prob: float = 0.02
+    spike_rel: float = 0.1
+    spike_abs_ns: float = 2.0
+
+    def sample_run_noise(self, rng: np.random.Generator, hyperthreaded: bool,
+                         base_cost_ns: float) -> float:
+        """Noise (ns, may be negative) on one run's per-op runtime.
+
+        Args:
+            rng: Noise stream for this run.
+            hyperthreaded: Whether any core runs two of the threads.
+            base_cost_ns: Deterministic per-op cost being perturbed.
+        """
+        rel = self.rel_sigma + (self.ht_rel_sigma if hyperthreaded else 0.0)
+        sigma = self.abs_sigma_ns + rel * max(base_cost_ns, 0.0)
+        noise = float(rng.normal(0.0, sigma))
+        if rng.random() < self.spike_prob:
+            noise += float(rng.exponential(
+                self.spike_abs_ns + self.spike_rel * max(base_cost_ns, 0.0)))
+        return noise
+
+    def scaled(self, factor: float) -> "JitterModel":
+        """A copy with all magnitudes scaled (used by ablation benches)."""
+        return replace(
+            self,
+            rel_sigma=self.rel_sigma * factor,
+            abs_sigma_ns=self.abs_sigma_ns * factor,
+            ht_rel_sigma=self.ht_rel_sigma * factor,
+            spike_rel=self.spike_rel * factor,
+            spike_abs_ns=self.spike_abs_ns * factor,
+        )

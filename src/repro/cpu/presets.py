@@ -1,0 +1,101 @@
+"""The three CPUs of Table I as ready-made machines.
+
+System 1: Intel Xeon E5-2687 v3 (2 sockets x 10 cores x 2 SMT, 2 NUMA).
+System 2: Intel Xeon Gold 6226R (2 sockets x 16 cores x 2 SMT, 2 NUMA).
+System 3: AMD Ryzen Threadripper 2950X (1 socket x 16 cores x 2 SMT,
+2 NUMA) — the paper's default system for figures, and the one with the
+noisy atomic-write measurements (Fig. 4a), which we model with a larger
+jitter sigma.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+
+
+def _system1_cpu() -> CpuMachine:
+    topology = CpuTopology(
+        name="Intel Xeon E5-2687 v3",
+        sockets=2,
+        cores_per_socket=10,
+        threads_per_core=2,
+        numa_nodes=2,
+        base_clock_ghz=3.10,
+    )
+    params = CpuCostParams(
+        int_alu_ns=7.0,
+        fp_alu_ns=14.0,
+        line_transfer_ns=18.0,
+        barrier_base_ns=1000.0,
+        barrier_per_core_ns=170.0,
+    )
+    return CpuMachine(topology, params,
+                      JitterModel(rel_sigma=0.008, abs_sigma_ns=0.8))
+
+
+def _system2_cpu() -> CpuMachine:
+    topology = CpuTopology(
+        name="Intel Xeon Gold 6226R",
+        sockets=2,
+        cores_per_socket=16,
+        threads_per_core=2,
+        numa_nodes=2,
+        base_clock_ghz=2.80,
+    )
+    params = CpuCostParams(
+        int_alu_ns=6.5,
+        fp_alu_ns=13.0,
+        line_transfer_ns=16.0,
+        barrier_base_ns=900.0,
+        barrier_per_core_ns=160.0,
+    )
+    # The paper shows System 2's flush results because they are the least
+    # noisy of the three systems.
+    return CpuMachine(topology, params,
+                      JitterModel(rel_sigma=0.006, abs_sigma_ns=0.7))
+
+
+def _system3_cpu() -> CpuMachine:
+    topology = CpuTopology(
+        name="AMD Ryzen Threadripper 2950X",
+        sockets=1,
+        cores_per_socket=16,
+        threads_per_core=2,
+        numa_nodes=2,
+        base_clock_ghz=3.50,
+    )
+    # Default cost params are calibrated to this part.  Fig. 4a attributes
+    # notable jitter to "architectural qualities of the AMD chip": larger
+    # sigma and more frequent spikes.
+    return CpuMachine(
+        topology,
+        CpuCostParams(),
+        JitterModel(rel_sigma=0.04, abs_sigma_ns=0.5, ht_rel_sigma=0.015,
+                    spike_prob=0.08, spike_rel=0.12, spike_abs_ns=2.0),
+    )
+
+
+SYSTEM1_CPU = _system1_cpu()
+SYSTEM2_CPU = _system2_cpu()
+SYSTEM3_CPU = _system3_cpu()
+
+#: Presets by the paper's system number.
+CPU_PRESETS: dict[int, CpuMachine] = {
+    1: SYSTEM1_CPU,
+    2: SYSTEM2_CPU,
+    3: SYSTEM3_CPU,
+}
+
+
+def cpu_preset(system: int) -> CpuMachine:
+    """CPU of paper System 1, 2, or 3.
+
+    Raises:
+        KeyError: for system numbers other than 1-3.
+    """
+    if system not in CPU_PRESETS:
+        raise KeyError(f"no System {system}; the paper tests systems 1-3")
+    return CPU_PRESETS[system]

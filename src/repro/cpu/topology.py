@@ -1,0 +1,120 @@
+"""CPU topology: sockets, cores, hardware threads, NUMA nodes.
+
+Table I specifies each test CPU by sockets x cores-per-socket x
+threads-per-core plus NUMA node count and base clock.  The topology answers
+the placement questions the cost models ask: how many physical cores exist,
+which hardware threads are SMT siblings, and which NUMA node a core
+belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class CorePlace:
+    """A hardware-thread slot: (socket, core, smt) coordinates.
+
+    Attributes:
+        socket: Socket index.
+        core: Core index within the socket.
+        smt: Hardware-thread index within the core (0 = primary).
+    """
+
+    socket: int
+    core: int
+    smt: int
+
+    @property
+    def core_key(self) -> tuple[int, int]:
+        """Identity of the physical core (what coherence cares about)."""
+        return (self.socket, self.core)
+
+
+@dataclass(frozen=True)
+class CpuTopology:
+    """Static description of a multicore CPU.
+
+    Attributes:
+        name: Marketing name (e.g. "AMD Ryzen Threadripper 2950X").
+        sockets: Number of sockets.
+        cores_per_socket: Physical cores per socket.
+        threads_per_core: SMT width (2 on all systems in Table I).
+        numa_nodes: Number of NUMA nodes.
+        base_clock_ghz: Base clock frequency in GHz.
+        line_bytes: L1 cache-line size (64 on all tested systems).
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    numa_nodes: int
+    base_clock_ghz: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in ("sockets", "cores_per_socket", "threads_per_core",
+                           "numa_nodes"):
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(
+                    f"{field_name} must be >= 1, got "
+                    f"{getattr(self, field_name)}")
+        if self.base_clock_ghz <= 0:
+            raise ConfigurationError(
+                f"base clock must be positive, got {self.base_clock_ghz}")
+        if self.numa_nodes % self.sockets and self.sockets % self.numa_nodes:
+            raise ConfigurationError(
+                f"NUMA nodes ({self.numa_nodes}) must tile sockets "
+                f"({self.sockets}) or vice versa")
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads (the maximum OpenMP thread count tested)."""
+        return self.physical_cores * self.threads_per_core
+
+    def all_places(self) -> list[CorePlace]:
+        """Every hardware-thread slot in (socket, core, smt) order."""
+        return [CorePlace(s, c, t)
+                for s in range(self.sockets)
+                for c in range(self.cores_per_socket)
+                for t in range(self.threads_per_core)]
+
+    def numa_node_of(self, place: CorePlace) -> int:
+        """NUMA node containing a hardware-thread slot.
+
+        NUMA nodes are split evenly: across sockets when there are at least
+        as many nodes as sockets (each socket holds ``numa_nodes/sockets``
+        nodes of consecutive cores, as on the Threadripper), or grouping
+        whole sockets otherwise.
+        """
+        if place.socket >= self.sockets or place.core >= self.cores_per_socket:
+            raise ConfigurationError(f"place {place} outside topology")
+        if self.numa_nodes >= self.sockets:
+            nodes_per_socket = self.numa_nodes // self.sockets
+            cores_per_node = -(-self.cores_per_socket // nodes_per_socket)
+            return (place.socket * nodes_per_socket
+                    + place.core // cores_per_node)
+        sockets_per_node = self.sockets // self.numa_nodes
+        return place.socket // sockets_per_node
+
+    def describe(self) -> dict[str, object]:
+        """Table I row for this CPU."""
+        return {
+            "name": self.name,
+            "base_clock_ghz": self.base_clock_ghz,
+            "sockets": self.sockets,
+            "cores_per_socket": self.cores_per_socket,
+            "threads_per_core": self.threads_per_core,
+            "numa_nodes": self.numa_nodes,
+            "physical_cores": self.physical_cores,
+            "hardware_threads": self.hardware_threads,
+        }

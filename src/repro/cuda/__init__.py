@@ -1,0 +1,28 @@
+"""CUDA API layer: kernels over the simulated GPU.
+
+Kernels are Python generator functions taking a :class:`KernelThread` and
+yielding requests (:mod:`repro.cuda.requests`); the warp-synchronous
+interpreter (:mod:`repro.cuda.interpreter`) schedules warps in lockstep,
+executes warp collectives (shuffles, votes, reductions) across lanes,
+serializes atomics through the atomic-unit model, and accounts cycles per
+warp/block/SM, including occupancy waves and per-block launch overhead —
+the effect that makes the persistent-threads Reduction 5 of Listing 1 the
+fastest.
+
+Example::
+
+    def kernel(t):
+        i = t.global_id
+        if i < n:
+            v = yield t.global_read("data", i)
+            yield t.atomic_max("result", 0, v)
+
+    cuda = Cuda(SYSTEM3_GPU)
+    out = cuda.launch(kernel, LaunchConfig(grid, block),
+                      globals_={"data": data, "result": result})
+"""
+
+from repro.cuda.interpreter import Cuda, KernelThread, LaunchResult
+from repro.cuda import requests
+
+__all__ = ["Cuda", "KernelThread", "LaunchResult", "requests"]

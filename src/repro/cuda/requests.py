@@ -1,0 +1,282 @@
+"""Request objects yielded by CUDA kernel threads.
+
+Each request corresponds to one CUDA primitive or memory access.  Warp
+collectives (shuffles, votes, ``__reduce_max_sync``) are executed for all
+participating lanes of the warp at once; everything else executes per
+lane, in lane order, under SIMT lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ops import Scope
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class for everything a kernel thread may yield."""
+
+
+@dataclass(frozen=True)
+class Syncthreads(Request):
+    """``__syncthreads()`` — block-wide barrier."""
+
+
+@dataclass(frozen=True)
+class SyncthreadsCount(Syncthreads):
+    """``__syncthreads_count()`` — barrier producing the block-wide count
+    of true predicates to every thread."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class SyncthreadsAnd(Syncthreads):
+    """``__syncthreads_and()`` — barrier producing the AND of all
+    predicates."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class SyncthreadsOr(Syncthreads):
+    """``__syncthreads_or()`` — barrier producing the OR of all
+    predicates."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class Syncwarp(Request):
+    """``__syncwarp()`` — warp-wide barrier."""
+
+
+@dataclass(frozen=True)
+class Threadfence(Request):
+    """``__threadfence*()`` family; scope picks the variant."""
+
+    scope: Scope = Scope.DEVICE
+
+
+@dataclass(frozen=True)
+class Alu(Request):
+    """``n`` simple arithmetic instructions (used to model loop work)."""
+
+    n: int = 1
+
+
+@dataclass(frozen=True)
+class MemoryRequest(Request):
+    """A request that touches ``var[idx]`` (global or block-shared)."""
+
+    var: str
+    idx: int
+
+
+@dataclass(frozen=True)
+class GlobalRead(MemoryRequest):
+    """Global-memory load; produces the value."""
+
+
+@dataclass(frozen=True)
+class GlobalWrite(MemoryRequest):
+    """Global-memory store."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class SharedRead(MemoryRequest):
+    """Block-shared-memory load; produces the value."""
+
+
+@dataclass(frozen=True)
+class SharedWrite(MemoryRequest):
+    """Block-shared-memory store."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicRmw(MemoryRequest):
+    """Base of the atomic read-modify-write family.
+
+    ``var`` may name a global array or a block-shared one; atomics on
+    shared memory are block-scoped by construction.  ``scope`` marks the
+    ``_block``-suffixed variants on global memory.
+    """
+
+    scope: Scope = Scope.DEVICE
+
+
+@dataclass(frozen=True)
+class AtomicAdd(AtomicRmw):
+    """``atomicAdd()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicSub(AtomicRmw):
+    """``atomicSub()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicAnd(AtomicRmw):
+    """``atomicAnd()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicOr(AtomicRmw):
+    """``atomicOr()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicXor(AtomicRmw):
+    """``atomicXor()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicMax(AtomicRmw):
+    """``atomicMax()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicMin(AtomicRmw):
+    """``atomicMin()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicInc(AtomicRmw):
+    """``atomicInc()``: ``x = (x >= value) ? 0 : x + 1``; produces the
+    old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicDec(AtomicRmw):
+    """``atomicDec()``: ``x = (x == 0 || x > value) ? value : x - 1``;
+    produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicCas(AtomicRmw):
+    """``atomicCAS()``; swaps in ``value`` if the current value equals
+    ``compare``; produces the old value."""
+
+    compare: object = 0
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicExch(AtomicRmw):
+    """``atomicExch()``; produces the old value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class WarpCollective(Request):
+    """Base of the warp-collective family: all live lanes of the warp must
+    yield a collective of the same type in the same step."""
+
+
+@dataclass(frozen=True)
+class ShflSync(WarpCollective):
+    """``__shfl_sync()`` — produce ``src_lane``'s value to every lane."""
+
+    value: object = 0
+    src_lane: int = 0
+
+
+@dataclass(frozen=True)
+class ShflUpSync(WarpCollective):
+    """``__shfl_up_sync()`` — lane ``l`` receives lane ``l - delta``."""
+
+    value: object = 0
+    delta: int = 1
+
+
+@dataclass(frozen=True)
+class ShflDownSync(WarpCollective):
+    """``__shfl_down_sync()`` — lane ``l`` receives lane ``l + delta``."""
+
+    value: object = 0
+    delta: int = 1
+
+
+@dataclass(frozen=True)
+class ShflXorSync(WarpCollective):
+    """``__shfl_xor_sync()`` — lane ``l`` receives lane ``l ^ lane_mask``."""
+
+    value: object = 0
+    lane_mask: int = 1
+
+
+@dataclass(frozen=True)
+class VoteAll(WarpCollective):
+    """``__all_sync()`` — produces True when every lane's pred is true."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class VoteAny(WarpCollective):
+    """``__any_sync()`` — produces True when any lane's pred is true."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class Ballot(WarpCollective):
+    """``__ballot_sync()`` — produces the 32-bit mask of true preds."""
+
+    pred: bool = False
+
+
+@dataclass(frozen=True)
+class MatchAnySync(WarpCollective):
+    """``__match_any_sync()`` (CC >= 7.0) — produces the mask of lanes
+    whose value equals this lane's value."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class MatchAllSync(WarpCollective):
+    """``__match_all_sync()`` (CC >= 7.0) — produces the full mask when
+    every lane's value matches, else 0."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class Activemask(Request):
+    """``__activemask()`` — the mask of currently active warp lanes.
+
+    A query, not a synchronization: it executes immediately for the
+    issuing lane.
+    """
+
+
+@dataclass(frozen=True)
+class ReduceMaxSync(WarpCollective):
+    """``__reduce_max_sync()`` — produces the warp maximum (CC >= 8.0)."""
+
+    value: object = 0

@@ -1,0 +1,24 @@
+"""Per-figure experiment definitions and the launch CLI.
+
+One module per paper figure/table; each exposes a ``run_*`` function
+returning :class:`repro.core.results.SweepResult` objects and a
+``claims_*`` function turning them into
+:class:`repro.analysis.trends.TrendCheck` verdicts.  The registry
+(:mod:`repro.experiments.registry`) indexes them by experiment id, and
+:mod:`repro.experiments.launch` mirrors the artifact's ``launch.py``
+workflow (``syncperf all|openmp|cuda|<id>``).
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentDef,
+    get_experiment,
+    experiments_of_kind,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentDef",
+    "get_experiment",
+    "experiments_of_kind",
+]

@@ -1,0 +1,74 @@
+"""Experiment configuration files (the artifact's ``config.h`` analog).
+
+The artifact keeps global test parameters (``N_UNROLL``, ``N_RUNS``,
+``n_iter``, thread ranges) in ``./include/config.h`` and a ``config.py``
+at the repository root.  This module provides the same customization
+point: a JSON file whose keys override the measurement protocol, loaded
+by the CLI's ``--config`` flag.
+
+Example ``config.json``::
+
+    {
+        "n_runs": 5,
+        "max_attempts": 3,
+        "n_iter": 500,
+        "unroll": 50,
+        "seed": 7
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.core.protocol import MeasurementProtocol
+
+#: Keys a config file may set (exactly the protocol's fields).
+ALLOWED_KEYS = frozenset(f.name for f in fields(MeasurementProtocol))
+
+
+def load_config(path: str | Path) -> MeasurementProtocol:
+    """Load a protocol from a JSON config file.
+
+    Unknown keys are rejected loudly (a typo silently reverting to the
+    default would invalidate a run without anyone noticing).
+
+    Raises:
+        ConfigurationError: for unreadable files, non-object JSON,
+            unknown keys, or values the protocol rejects.
+    """
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"config file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"config file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigurationError(
+            f"config file {path} must contain a JSON object, got "
+            f"{type(raw).__name__}")
+    unknown = set(raw) - ALLOWED_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config keys {sorted(unknown)}; allowed: "
+            f"{sorted(ALLOWED_KEYS)}")
+    for key, value in raw.items():
+        if not isinstance(value, int):
+            raise ConfigurationError(
+                f"config key {key!r} must be an integer, got {value!r}")
+    return MeasurementProtocol(**raw)
+
+
+def write_example_config(path: str | Path) -> Path:
+    """Write a commented example config (the artifact ships
+    ``config.py.example``)."""
+    path = Path(path)
+    example = {f.name: getattr(MeasurementProtocol(), f.name)
+               for f in fields(MeasurementProtocol)}
+    path.write_text(json.dumps(example, indent=2) + "\n")
+    return path

@@ -1,0 +1,124 @@
+"""Figs. 9 and 10: ``atomicAdd()`` on a shared scalar and on private
+array elements.
+
+Paper findings for the scalar (Fig. 9, block counts 2 and 64): the int
+curve is flat past the warp size thanks to warp-aggregated atomics (the
+2-block configuration stays flat to 64 threads); there is a clear gap
+between int and the other three types; ull beats the floating-point types
+but trails int (32-bit GPU datapaths).
+
+For the array (Fig. 10, strides 1/32, blocks 1/128): no aggregation
+benefit; higher block counts lower per-thread throughput (fixed total
+atomic rate); at one block the trend is stride-independent, while at many
+blocks the stride changes the curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    flat_up_to,
+    geometric_mean_ratio,
+    saturates,
+    series_above,
+)
+from repro.common.datatypes import DTYPES, INT
+from repro.compiler.ops import PrimitiveKind
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import (
+    cuda_atomic_array_spec,
+    cuda_atomic_scalar_spec,
+    sweep_cuda,
+)
+
+ARRAY_STRIDES = (1, 32)
+
+
+def run_fig9(device: GpuDevice | None = None,
+             protocol: MeasurementProtocol | None = None
+             ) -> dict[int, SweepResult]:
+    """Scalar atomicAdd at the figure's block counts: 2 and SMs/2."""
+    device = device or gpu_preset(3)
+    block_counts = (2, device.spec.sm_count // 2)
+    specs = {dt.name: cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_ADD, dt)
+             for dt in DTYPES}
+    return {blocks: sweep_cuda(device, specs,
+                               name=f"fig9/blocks={blocks}",
+                               block_count=blocks, protocol=protocol)
+            for blocks in block_counts}
+
+
+def run_fig10(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[tuple[int, int], SweepResult]:
+    """Array atomicAdd panels: (blocks, stride) in {1, SMs} x {1, 32}."""
+    device = device or gpu_preset(3)
+    panels = {}
+    for blocks in (1, device.spec.sm_count):
+        for stride in ARRAY_STRIDES:
+            specs = {dt.name: cuda_atomic_array_spec(
+                PrimitiveKind.ATOMIC_ADD, dt, stride) for dt in DTYPES}
+            panels[(blocks, stride)] = sweep_cuda(
+                device, specs, name=f"fig10/blocks={blocks}/stride={stride}",
+                block_count=blocks, protocol=protocol)
+    return panels
+
+
+def claims_fig9(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 9 statements."""
+    blocks = sorted(panels)
+    two = panels[blocks[0]]
+    half_sm = panels[blocks[1]]
+    int2 = two.series_by_label("int")
+    return [
+        check("int flat past the warp size at 2 blocks (warp aggregation), "
+              "up to 64 threads",
+              flat_up_to(int2, knee_x=64, tol=0.05)),
+        check("gap between int and the other three types",
+              series_above(int2, two.series_by_label("ull"), min_ratio=1.3,
+                           frac=0.6)
+              and series_above(int2, two.series_by_label("float"),
+                               min_ratio=1.3, frac=0.6)),
+        check("ull faster than floating-point but slower than int",
+              series_above(two.series_by_label("ull"),
+                           two.series_by_label("float"), min_ratio=1.2,
+                           frac=0.6)),
+        check("half-SM block count yields lower absolute throughput",
+              series_above(int2, half_sm.series_by_label("int"),
+                           min_ratio=1.5, frac=0.6)),
+        check("int flat up to the warp size even at many blocks",
+              flat_up_to(half_sm.series_by_label("int"), knee_x=32,
+                         tol=0.05)),
+    ]
+
+
+def claims_fig10(panels: dict[tuple[int, int], SweepResult],
+                 device: GpuDevice | None = None) -> list[TrendCheck]:
+    """Verify the paper's Fig. 10 statements."""
+    device = device or gpu_preset(3)
+    many = device.spec.sm_count
+    one_s1 = panels[(1, 1)].series_by_label(INT.name)
+    one_s32 = panels[(1, 32)].series_by_label(INT.name)
+    many_s1 = panels[(many, 1)].series_by_label(INT.name)
+    many_s32 = panels[(many, 32)].series_by_label(INT.name)
+    stride_ratio_one = geometric_mean_ratio(one_s1, one_s32)
+    stride_ratio_many = geometric_mean_ratio(many_s1, many_s32)
+    return [
+        check("higher block count lowers per-thread throughput",
+              series_above(one_s1, many_s1, min_ratio=2.0, frac=0.6)),
+        check("at 1 block the trend is the same regardless of stride",
+              0.9 <= stride_ratio_one <= 1.1,
+              detail=f"stride-1/stride-32 ratio at 1 block = "
+                     f"{stride_ratio_one:.2f}"),
+        check("at many blocks the stride changes the curve",
+              not 0.95 <= stride_ratio_many <= 1.05,
+              detail=f"stride-1/stride-32 ratio at {many} blocks = "
+                     f"{stride_ratio_many:.2f}"),
+        check("the downward trend reflects a fixed total atomic rate "
+              "(aggregate throughput saturates)",
+              saturates(many_s32, multiplier=many)),
+    ]

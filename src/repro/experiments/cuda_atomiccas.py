@@ -1,0 +1,102 @@
+"""Figs. 11 and 12: ``atomicCAS()`` on a shared scalar and on private
+array elements.
+
+Paper findings: CAS cannot benefit from warp aggregation (the comparison
+outcome couples the lanes), so the scalar's flat region ends after only 4
+threads at 1 block (2 at 2 blocks) and then follows the atomicAdd trend;
+the always-pass and always-fail variants perform identically; only int and
+ull are supported.  The array panels resemble Fig. 10 with an earlier
+drop-off at one block.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    drops_after,
+    flat_up_to,
+    geometric_mean_ratio,
+    series_above,
+)
+from repro.common.datatypes import CAS_DTYPES, INT
+from repro.compiler.ops import PrimitiveKind
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import (
+    cuda_atomic_array_spec,
+    cuda_atomic_scalar_spec,
+    sweep_cuda,
+)
+
+ARRAY_STRIDES = (1, 32)
+
+
+def run_fig11(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[int, SweepResult]:
+    """Scalar atomicCAS at block counts 1 and SMs (int/ull only)."""
+    device = device or gpu_preset(3)
+    specs = {dt.name: cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_CAS, dt)
+             for dt in CAS_DTYPES}
+    return {blocks: sweep_cuda(device, specs,
+                               name=f"fig11/blocks={blocks}",
+                               block_count=blocks, protocol=protocol)
+            for blocks in (1, 2, device.spec.sm_count)}
+
+
+def run_fig12(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[tuple[int, int], SweepResult]:
+    """Array atomicCAS panels: (blocks, stride) in {1, SMs} x {1, 32}."""
+    device = device or gpu_preset(3)
+    panels = {}
+    for blocks in (1, device.spec.sm_count):
+        for stride in ARRAY_STRIDES:
+            specs = {dt.name: cuda_atomic_array_spec(
+                PrimitiveKind.ATOMIC_CAS, dt, stride) for dt in CAS_DTYPES}
+            panels[(blocks, stride)] = sweep_cuda(
+                device, specs, name=f"fig12/blocks={blocks}/stride={stride}",
+                block_count=blocks, protocol=protocol)
+    return panels
+
+
+def claims_fig11(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 11 statements."""
+    one = panels[1].series_by_label("int")
+    two = panels[2].series_by_label("int")
+    return [
+        check("1-block configuration flat only up to 4 threads",
+              flat_up_to(one, knee_x=4, tol=0.05)
+              and drops_after(one, knee_x=4, factor=1.2)),
+        check("2-block configuration flat only up to 2 threads",
+              flat_up_to(two, knee_x=2, tol=0.05)
+              and drops_after(two, knee_x=2, factor=1.2)),
+        check("no warp-aggregation benefit: flat region ends before the "
+              "warp size",
+              drops_after(one, knee_x=8, factor=1.5)),
+    ]
+
+
+def claims_fig12(panels: dict[tuple[int, int], SweepResult],
+                 device: GpuDevice | None = None) -> list[TrendCheck]:
+    """Verify the paper's Fig. 12 statements."""
+    device = device or gpu_preset(3)
+    many = device.spec.sm_count
+    one_s1 = panels[(1, 1)].series_by_label(INT.name)
+    one_s32 = panels[(1, 32)].series_by_label(INT.name)
+    many_s1 = panels[(many, 1)].series_by_label(INT.name)
+    stride_ratio_one = geometric_mean_ratio(one_s1, one_s32)
+    return [
+        check("trends resemble the atomicAdd array results "
+              "(higher blocks -> lower per-thread throughput)",
+              series_above(one_s1, many_s1, min_ratio=2.0, frac=0.6)),
+        check("at 1 block the trend is stride-independent",
+              0.9 <= stride_ratio_one <= 1.1,
+              detail=f"ratio={stride_ratio_one:.2f}"),
+        check("1-block drop-off comes earlier than atomicAdd's "
+              "(CAS unit is slower)",
+              drops_after(one_s1, knee_x=64, factor=1.2)),
+    ]

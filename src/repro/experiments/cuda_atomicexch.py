@@ -1,0 +1,57 @@
+"""Fig. 13: ``atomicExch()`` on one shared variable.
+
+Paper findings: similar to ``atomicCAS()`` (Fig. 11); there is no
+arithmetic, so the per-thread performance is memory-bound and decreases as
+more threads wait for the single location.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    drops_after,
+    flat_up_to,
+    geometric_mean_ratio,
+    is_roughly_nonincreasing,
+)
+from repro.common.datatypes import CAS_DTYPES
+from repro.compiler.ops import PrimitiveKind
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import cuda_atomic_scalar_spec, sweep_cuda
+
+
+def run_fig13(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[int, SweepResult]:
+    """Scalar atomicExch at block counts 1 and SMs."""
+    device = device or gpu_preset(3)
+    specs = {dt.name: cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_EXCH, dt)
+             for dt in CAS_DTYPES}
+    return {blocks: sweep_cuda(device, specs,
+                               name=f"fig13/blocks={blocks}",
+                               block_count=blocks, protocol=protocol)
+            for blocks in (1, device.spec.sm_count)}
+
+
+def claims_fig13(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 13 statements."""
+    one = panels[1].series_by_label("int")
+    many_key = max(panels)
+    many = panels[many_key].series_by_label("int")
+    cas_like = flat_up_to(one, knee_x=4, tol=0.05) and \
+        drops_after(one, knee_x=4, factor=1.2)
+    return [
+        check("results similar to atomicCAS (short flat region, then "
+              "decay)", cas_like),
+        check("more active threads means longer waits (non-increasing "
+              "throughput)",
+              is_roughly_nonincreasing(one.finite_throughputs(), tol=0.1)),
+        check("many-block configuration is slower per thread",
+              geometric_mean_ratio(one, many) > 2.0,
+              detail=f"1-block/{many_key}-block = "
+                     f"{geometric_mean_ratio(one, many):.1f}x"),
+    ]

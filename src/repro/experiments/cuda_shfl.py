@@ -1,0 +1,133 @@
+"""Fig. 15 and §V-B4: warp shuffles and warp votes.
+
+Paper findings: ``__shfl_sync()`` behaves like ``__syncwarp()`` (it
+implies one); 64-bit types need two 32-bit shuffle instructions, so their
+throughput drops at half the thread count of the 32-bit types; the up,
+down, and xor variants perform identically.  The vote functions behave
+like ``__syncwarp()`` at slightly lower throughput, and ``__ballot_sync``
+could not be reliably recorded (an optimization eliminated it).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check, geometric_mean_ratio
+from repro.common.datatypes import DTYPES, INT
+from repro.compiler.ops import PrimitiveKind
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import (
+    cuda_shfl_spec,
+    cuda_syncwarp_spec,
+    cuda_vote_spec,
+    sweep_cuda,
+)
+
+SHFL_VARIANTS = (
+    PrimitiveKind.SHFL_SYNC,
+    PrimitiveKind.SHFL_UP_SYNC,
+    PrimitiveKind.SHFL_DOWN_SYNC,
+    PrimitiveKind.SHFL_XOR_SYNC,
+)
+
+
+def run_fig15(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[str, SweepResult]:
+    """``__shfl_sync()`` at full and double block counts, four dtypes."""
+    device = device or gpu_preset(3)
+    sms = device.spec.sm_count
+    specs = {dt.name: cuda_shfl_spec(PrimitiveKind.SHFL_SYNC, dt)
+             for dt in DTYPES}
+    return {
+        "full": sweep_cuda(device, specs, name="fig15/full",
+                           block_count=sms, protocol=protocol),
+        "double": sweep_cuda(device, specs, name="fig15/double",
+                             block_count=2 * sms, protocol=protocol),
+    }
+
+
+def run_shfl_variants(device: GpuDevice | None = None,
+                      protocol: MeasurementProtocol | None = None
+                      ) -> SweepResult:
+    """The four shuffle variants side by side (int, full blocks)."""
+    device = device or gpu_preset(3)
+    specs = {kind.value: cuda_shfl_spec(kind, INT)
+             for kind in SHFL_VARIANTS}
+    return sweep_cuda(device, specs, name="fig15-variants",
+                      block_count=device.spec.sm_count, protocol=protocol)
+
+
+def run_votes(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None) -> SweepResult:
+    """Votes vs syncwarp; ballot built the way the authors' test was
+    (result unused), so the optimizer removes it."""
+    device = device or gpu_preset(3)
+    specs = {
+        "syncwarp": cuda_syncwarp_spec(),
+        "all_sync": cuda_vote_spec(PrimitiveKind.VOTE_ALL),
+        "any_sync": cuda_vote_spec(PrimitiveKind.VOTE_ANY),
+        "ballot_sync": cuda_vote_spec(PrimitiveKind.VOTE_BALLOT,
+                                      result_used=False),
+    }
+    return sweep_cuda(device, specs, name="vote",
+                      block_count=device.spec.sm_count, protocol=protocol)
+
+
+def _knee_of(series) -> float:
+    peak = max(series.finite_throughputs())
+    knee = 0.0
+    for p in series.points:
+        if p.throughput >= 0.99 * peak:
+            knee = max(knee, p.x)
+    return knee
+
+
+def claims_fig15(panels: dict[str, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 15 statements."""
+    full = panels["full"]
+    int_knee = _knee_of(full.series_by_label("int"))
+    double_knee = _knee_of(full.series_by_label("double"))
+    ratio32 = geometric_mean_ratio(full.series_by_label("int"),
+                                   full.series_by_label("float"))
+    return [
+        check("64-bit types drop at half the thread count of 32-bit types",
+              double_knee == int_knee / 2,
+              detail=f"int knee={int_knee:g}, double knee={double_knee:g}"),
+        check("32-bit types beat 64-bit types (one shuffle instruction "
+              "instead of two)",
+              geometric_mean_ratio(full.series_by_label("int"),
+                                   full.series_by_label("ull")) > 1.5),
+        check("same-width types perform identically",
+              0.95 <= ratio32 <= 1.05, detail=f"int/float={ratio32:.2f}"),
+    ]
+
+
+def claims_shfl_variants(sweep: SweepResult) -> list[TrendCheck]:
+    """Up/down/xor variants identical to the basic shuffle."""
+    base = sweep.series_by_label(PrimitiveKind.SHFL_SYNC.value)
+    checks = []
+    for kind in SHFL_VARIANTS[1:]:
+        ratio = geometric_mean_ratio(sweep.series_by_label(kind.value), base)
+        checks.append(check(
+            f"{kind.value} performs identically to shfl_sync",
+            0.99 <= ratio <= 1.01, detail=f"ratio={ratio:.3f}"))
+    return checks
+
+
+def claims_votes(sweep: SweepResult) -> list[TrendCheck]:
+    """Verify the §V-B4 vote statements."""
+    sync = sweep.series_by_label("syncwarp")
+    all_s = sweep.series_by_label("all_sync")
+    any_s = sweep.series_by_label("any_sync")
+    ballot = sweep.series_by_label("ballot_sync")
+    ballot_unrecordable = all(p.result.unrecordable for p in ballot.points)
+    return [
+        check("vote functions behave like __syncwarp() at slightly lower "
+              "throughput",
+              0.5 <= geometric_mean_ratio(all_s, sync) < 1.0
+              and 0.5 <= geometric_mean_ratio(any_s, sync) < 1.0),
+        check("__ballot_sync() is unrecordable (eliminated by the "
+              "optimizer)", ballot_unrecordable),
+    ]

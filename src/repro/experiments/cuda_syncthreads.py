@@ -1,0 +1,47 @@
+"""Fig. 7: ``__syncthreads()`` throughput.
+
+Paper findings: constant up to the warp size (smaller thread counts still
+run a whole warp with lanes disabled), dropping beyond as warps wait for
+each other; identical for all block counts, because the barrier has no
+cross-block dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check, drops_after, flat_up_to
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.gpu.spec import paper_block_counts
+from repro.experiments.base import cuda_syncthreads_spec, sweep_cuda
+
+
+def run_fig7(device: GpuDevice | None = None,
+             protocol: MeasurementProtocol | None = None
+             ) -> dict[int, SweepResult]:
+    """One sweep per paper block count {1, 2, SMs/2, SMs, 2xSMs}."""
+    device = device or gpu_preset(3)
+    return {blocks: sweep_cuda(device,
+                               {"syncthreads": cuda_syncthreads_spec()},
+                               name=f"fig7/blocks={blocks}",
+                               block_count=blocks, protocol=protocol)
+            for blocks in paper_block_counts(device.spec)}
+
+
+def claims_fig7(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 7 statements."""
+    first = next(iter(panels.values())).series_by_label("syncthreads")
+    identical = all(
+        sweep.series_by_label("syncthreads").throughputs ==
+        first.throughputs
+        for sweep in panels.values())
+    return [
+        check("throughput constant up to the warp size (32 threads)",
+              flat_up_to(first, knee_x=32, tol=0.05)),
+        check("throughput drops beyond the warp size (warps wait for "
+              "each other)",
+              drops_after(first, knee_x=32, factor=1.5)),
+        check("results identical for all block counts (no cross-block "
+              "dependencies)", identical),
+    ]

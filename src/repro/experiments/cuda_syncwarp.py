@@ -1,0 +1,75 @@
+"""Fig. 8: ``__syncwarp()`` throughput on two systems.
+
+Paper findings: constant up to a per-SM resident-thread knee — ~256
+threads/SM at full speed on the RTX 4090, ~512 on the RTX 2070 SUPER —
+then drops somewhat (not to zero); the double-block configuration drops
+one step earlier than the full-block configuration because it co-locates
+two blocks per SM, so the knee depends on warps per SM, not warps per
+block.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check, drops_after, flat_up_to
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import cuda_syncwarp_spec, sweep_cuda
+
+
+def run_fig8(device: GpuDevice | None = None,
+             protocol: MeasurementProtocol | None = None
+             ) -> dict[str, SweepResult]:
+    """Full-block and double-block sweeps for one GPU."""
+    device = device or gpu_preset(3)
+    sms = device.spec.sm_count
+    return {
+        "full": sweep_cuda(device, {"syncwarp": cuda_syncwarp_spec()},
+                           name=f"fig8/{device.name}/full",
+                           block_count=sms, protocol=protocol),
+        "double": sweep_cuda(device, {"syncwarp": cuda_syncwarp_spec()},
+                             name=f"fig8/{device.name}/double",
+                             block_count=2 * sms, protocol=protocol),
+    }
+
+
+def run_fig8_both_systems(protocol: MeasurementProtocol | None = None
+                          ) -> dict[int, dict[str, SweepResult]]:
+    """The figure's two panels: System 3 (RTX 4090) and System 1 (2070S)."""
+    return {3: run_fig8(gpu_preset(3), protocol),
+            1: run_fig8(gpu_preset(1), protocol)}
+
+
+def claims_fig8(panels: dict[int, dict[str, SweepResult]]
+                ) -> list[TrendCheck]:
+    """Verify the paper's Fig. 8 statements."""
+    rtx4090_full = panels[3]["full"].series_by_label("syncwarp")
+    rtx4090_double = panels[3]["double"].series_by_label("syncwarp")
+    rtx2070_full = panels[1]["full"].series_by_label("syncwarp")
+
+    def knee_of(series) -> float:
+        """Largest thread count with full-speed throughput."""
+        peak = max(series.finite_throughputs())
+        knee = 0.0
+        for p in series.points:
+            if p.throughput >= 0.99 * peak:
+                knee = max(knee, p.x)
+        return knee
+
+    return [
+        check("RTX 4090 runs ~256 threads/SM at full speed",
+              knee_of(rtx4090_full) == 256,
+              detail=f"knee at {knee_of(rtx4090_full):g} threads"),
+        check("RTX 2070 SUPER runs ~512 threads/SM at full speed",
+              knee_of(rtx2070_full) == 512,
+              detail=f"knee at {knee_of(rtx2070_full):g} threads"),
+        check("double-block config drops one step earlier than full",
+              knee_of(rtx4090_double) == knee_of(rtx4090_full) / 2),
+        check("throughput drops only somewhat beyond the knee",
+              drops_after(rtx4090_full, knee_x=256, factor=1.2)
+              and min(rtx4090_full.finite_throughputs()) >
+              0.5 * max(rtx4090_full.finite_throughputs())),
+        check("throughput constant up to the knee",
+              flat_up_to(rtx4090_full, knee_x=256, tol=0.05)),
+    ]

@@ -1,0 +1,132 @@
+"""Fig. 14 and §V-B3: the ``__threadfence*()`` family.
+
+Paper findings: the device-wide fence's throughput is fairly constant
+regardless of thread count, block count, or stride (the cost is draining
+the load/store buffers).  ``__threadfence_system()`` behaves like the
+device fence but erratically (PCIe round trips).  ``__threadfence_block()``
+measures at or near zero above the warp size and at strides above 2,
+because the accesses it orders were not going to be reordered anyway.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.trends import TrendCheck, check, is_roughly_constant, \
+    noisiness
+from repro.common.datatypes import INT
+from repro.compiler.ops import Scope
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.gpu.device import GpuDevice
+from repro.gpu.presets import gpu_preset
+from repro.experiments.base import cuda_fence_spec, sweep_cuda
+
+STRIDES = (1, 32)
+
+
+def _fence_panels(device: GpuDevice, scope: Scope,
+                  protocol: MeasurementProtocol | None,
+                  figure: str) -> dict[tuple[int, int], SweepResult]:
+    panels = {}
+    for blocks in (1, device.spec.sm_count):
+        for stride in STRIDES:
+            specs = {"fence": cuda_fence_spec(scope, INT, stride)}
+            panels[(blocks, stride)] = sweep_cuda(
+                device, specs,
+                name=f"{figure}/blocks={blocks}/stride={stride}",
+                block_count=blocks, protocol=protocol)
+    return panels
+
+
+def run_fig14(device: GpuDevice | None = None,
+              protocol: MeasurementProtocol | None = None
+              ) -> dict[tuple[int, int], SweepResult]:
+    """Device-wide ``__threadfence()`` panels."""
+    device = device or gpu_preset(3)
+    return _fence_panels(device, Scope.DEVICE, protocol, "fig14")
+
+
+def run_fence_block(device: GpuDevice | None = None,
+                    protocol: MeasurementProtocol | None = None
+                    ) -> dict[tuple[int, int], SweepResult]:
+    """``__threadfence_block()`` panels (§V-B3, no figure)."""
+    device = device or gpu_preset(3)
+    return _fence_panels(device, Scope.BLOCK, protocol, "fence-block")
+
+
+def run_fence_system(device: GpuDevice | None = None,
+                     protocol: MeasurementProtocol | None = None
+                     ) -> dict[tuple[int, int], SweepResult]:
+    """``__threadfence_system()`` panels (§V-B3, no figure)."""
+    device = device or gpu_preset(3)
+    return _fence_panels(device, Scope.SYSTEM, protocol, "fence-system")
+
+
+def claims_fig14(panels: dict[tuple[int, int], SweepResult]
+                 ) -> list[TrendCheck]:
+    """Verify the paper's Fig. 14 statements."""
+    all_throughputs: list[float] = []
+    per_panel_flat = []
+    for sweep in panels.values():
+        ts = sweep.series_by_label("fence").finite_throughputs()
+        per_panel_flat.append(is_roughly_constant(ts, tol=0.1))
+        all_throughputs.extend(ts)
+    return [
+        check("fence throughput constant across thread counts",
+              all(per_panel_flat)),
+        check("fence throughput constant across block counts and strides",
+              is_roughly_constant(all_throughputs, tol=0.1)),
+    ]
+
+
+def claims_fence_block(panels: dict[tuple[int, int], SweepResult]
+                       ) -> list[TrendCheck]:
+    """Verify the §V-B3 block-fence statements."""
+    near_zero = []
+    small_flat = []
+    for (blocks, stride), sweep in panels.items():
+        for p in sweep.series_by_label("fence").points:
+            cost = p.result.per_op_time
+            if cost is None:
+                continue
+            if p.x > 32 and stride > 2:
+                near_zero.append(abs(cost) < 2.0)
+            elif p.x <= 32:
+                small_flat.append(cost > 2.0)
+    return [
+        check("above the warp size and strides above 2, measured runtimes "
+              "are at or near zero", bool(near_zero) and all(near_zero)),
+        check("within the warp size the fence has a small constant cost",
+              bool(small_flat) and all(small_flat)),
+    ]
+
+
+def claims_fence_system(device_panels: dict[tuple[int, int], SweepResult],
+                        system_panels: dict[tuple[int, int], SweepResult]
+                        ) -> list[TrendCheck]:
+    """System fence ~ device fence in shape, but more erratic."""
+    dev_noise = []
+    sys_noise = []
+    slower = []
+    for key in device_panels:
+        dev_series = device_panels[key].series_by_label("fence")
+        sys_series = system_panels[key].series_by_label("fence")
+        dev_noise.append(noisiness(dev_series))
+        sys_noise.append(noisiness(sys_series))
+        dev_mean = _mean(dev_series.finite_throughputs())
+        sys_mean = _mean(sys_series.finite_throughputs())
+        slower.append(sys_mean < dev_mean)
+    return [
+        check("system fence is slower than the device fence (PCIe)",
+              all(slower)),
+        check("system fence is more erratic than the device fence",
+              _mean(sys_noise) > _mean(dev_noise),
+              detail=f"system noise={_mean(sys_noise):.3f}, "
+                     f"device noise={_mean(dev_noise):.3f}"),
+    ]
+
+
+def _mean(values: list[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    return sum(finite) / len(finite) if finite else float("nan")

@@ -1,0 +1,86 @@
+"""Extension: the cost of thread divergence (Bialas & Strzelecki).
+
+The paper's timing methodology is "heavily inspired" by Bialas &
+Strzelecki's micro-benchmark of CUDA branch divergence, whose headline
+finding is that "the cost of a diverging branch is essentially constant"
+on a given architecture.  This extension experiment replicates that
+finding on the functional kernel interpreter: kernels with a varying
+number of two-way divergent branches are executed, and the added cost per
+branch is checked for constancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.trends import TrendCheck, check, is_roughly_constant
+from repro.cuda.interpreter import Cuda
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import LaunchConfig
+
+_SHARED = {"s": (1, np.dtype(np.int64))}
+
+
+@dataclass(frozen=True)
+class DivergencePoint:
+    """Measured cost of a kernel with ``n_branches`` divergent branches."""
+
+    n_branches: int
+    elapsed_cycles: float
+    divergent_passes: int
+
+
+def _kernel_with_branches(n_branches: int):
+    def kernel(t):
+        for _ in range(n_branches):
+            if t.lane % 2 == 0:
+                yield t.alu(1)
+            else:
+                yield t.shared_read("s", 0)
+        # A uniform tail so every kernel does some common work.
+        yield t.alu(4)
+
+    return kernel
+
+
+def run_divergence(device: GpuDevice | None = None,
+                   branch_counts: tuple[int, ...] = (0, 2, 4, 8, 16),
+                   ) -> list[DivergencePoint]:
+    """Execute kernels with increasing numbers of divergent branches."""
+    if device is None:
+        from repro.experiments.listing1 import mini_gpu
+        device = mini_gpu(sm_count=2)
+    cuda = Cuda(device)
+    points = []
+    for n in branch_counts:
+        result = cuda.launch(_kernel_with_branches(n), LaunchConfig(1, 32),
+                             shared_decls=_SHARED)
+        points.append(DivergencePoint(
+            n_branches=n, elapsed_cycles=result.elapsed_cycles,
+            divergent_passes=result.stats.divergent_passes))
+    return points
+
+
+def claims_divergence(points: list[DivergencePoint]) -> list[TrendCheck]:
+    """Verify the Bialas & Strzelecki finding on the reproduced data."""
+    by_n = {p.n_branches: p for p in points}
+    ns = sorted(by_n)
+    per_branch = []
+    base = by_n[ns[0]]
+    for n in ns[1:]:
+        per_branch.append(
+            (by_n[n].elapsed_cycles - base.elapsed_cycles)
+            / (n - ns[0]))
+    return [
+        check("diverged kernels are slower than uniform ones",
+              all(by_n[n].elapsed_cycles > base.elapsed_cycles
+                  for n in ns[1:])),
+        check("the cost of a diverging branch is essentially constant",
+              is_roughly_constant(per_branch, tol=0.05),
+              detail=f"per-branch cycles: "
+                     f"{[round(c, 1) for c in per_branch]}"),
+        check("every divergent branch is observed by the interpreter",
+              all(by_n[n].divergent_passes == n for n in ns)),
+    ]

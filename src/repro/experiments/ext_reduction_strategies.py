@@ -1,0 +1,50 @@
+"""Extension: OpenMP reduction strategies head to head.
+
+The paper's recommendations imply an ordering for implementing a
+reduction on the CPU: privatized per-thread accumulators (V-A5 (3)) beat
+a shared atomic accumulator (V-A5 (2)), which beats a critical section
+(V-A5 (5)).  This extension experiment runs all three strategies as real
+programs on the OpenMP interpreter and checks both correctness and the
+predicted ordering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.openmp.interpreter import OpenMP
+from repro.openmp.worksharing import ReduceOutcome, parallel_reduce
+
+STRATEGIES = ("atomic", "critical", "privatized")
+
+
+def run_reduction_strategies(machine: CpuMachine | None = None,
+                             n: int = 1024, n_threads: int = 16
+                             ) -> dict[str, ReduceOutcome]:
+    """Sum 0..n-1 with each strategy on a paper CPU."""
+    machine = machine or cpu_preset(3)
+    omp = OpenMP(machine, n_threads=n_threads)
+    return {strategy: parallel_reduce(omp, n, float, strategy=strategy)
+            for strategy in STRATEGIES}
+
+
+def claims_reduction_strategies(outcomes: dict[str, ReduceOutcome]
+                                ) -> list[TrendCheck]:
+    """Verify correctness and the predicted strategy ordering."""
+    # All strategies must agree on the value.
+    values = {s: o.value for s, o in outcomes.items()}
+    times = {s: o.result.elapsed_ns for s, o in outcomes.items()}
+    agree = len({round(v, 6) for v in values.values()}) == 1
+    return [
+        check("all three strategies compute the same sum", agree,
+              detail=f"values={values}"),
+        check("privatized reduction is fastest (V-A5 (3))",
+              times["privatized"] < min(times["atomic"],
+                                        times["critical"]),
+              detail=", ".join(f"{s}={t / 1e3:.1f}us"
+                               for s, t in times.items())),
+        check("critical section is slowest (V-A5 (5))",
+              times["critical"] > max(times["atomic"],
+                                      times["privatized"])),
+    ]

@@ -1,0 +1,145 @@
+"""Golden reference results.
+
+The artifact ships the raw results from its three test systems
+(``./results/system*/``).  This module is the reproduction's equivalent:
+a corpus of reference CSVs for headline sweeps, generated with the
+default protocol (fully deterministic), checked into ``results/reference``
+and guarded by a regression test — any accidental cost-model or protocol
+drift shows up as a corpus mismatch, with intentional recalibration
+requiring an explicit ``--write``.
+
+Usage::
+
+    python -m repro.experiments.golden --verify   # compare against disk
+    python -m repro.experiments.golden --write    # regenerate the corpus
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.core.results import SweepResult
+
+#: Headline sweeps in the corpus: corpus id -> producer of one sweep.
+GOLDEN_SWEEPS: dict[str, Callable[[], SweepResult]] = {}
+
+
+def _register(corpus_id: str):
+    def wrap(func: Callable[[], SweepResult]):
+        GOLDEN_SWEEPS[corpus_id] = func
+        return func
+    return wrap
+
+
+@_register("fig1_barrier")
+def _fig1() -> SweepResult:
+    from repro.experiments.omp_barrier import run_fig1
+    return run_fig1()
+
+
+@_register("fig2_atomic_update")
+def _fig2() -> SweepResult:
+    from repro.experiments.omp_atomic_update import run_fig2
+    return run_fig2()
+
+
+@_register("fig3_stride8")
+def _fig3() -> SweepResult:
+    from repro.experiments.omp_atomic_array import run_fig3
+    return run_fig3()[8]
+
+
+@_register("fig5_critical")
+def _fig5() -> SweepResult:
+    from repro.experiments.omp_critical import run_fig5
+    return run_fig5()
+
+
+@_register("fig7_syncthreads")
+def _fig7() -> SweepResult:
+    from repro.experiments.cuda_syncthreads import run_fig7
+    return run_fig7()[1]
+
+
+@_register("fig9_atomicadd_b2")
+def _fig9() -> SweepResult:
+    from repro.experiments.cuda_atomicadd import run_fig9
+    return run_fig9()[2]
+
+
+@_register("fig11_atomiccas_b1")
+def _fig11() -> SweepResult:
+    from repro.experiments.cuda_atomiccas import run_fig11
+    return run_fig11()[1]
+
+
+@_register("fig15_shfl_full")
+def _fig15() -> SweepResult:
+    from repro.experiments.cuda_shfl import run_fig15
+    return run_fig15()["full"]
+
+
+def default_corpus_dir() -> Path:
+    """``results/reference`` next to the repository's source tree."""
+    return Path(__file__).resolve().parents[3] / "results" / "reference"
+
+
+def write_golden(root: Path) -> list[Path]:
+    """(Re)generate the corpus under ``root``."""
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for corpus_id, producer in GOLDEN_SWEEPS.items():
+        path = root / f"{corpus_id}.csv"
+        path.write_text(producer().to_csv())
+        written.append(path)
+    return written
+
+
+def verify_golden(root: Path) -> list[str]:
+    """Regenerate every corpus sweep and diff against disk.
+
+    Returns:
+        Mismatch descriptions (empty when the corpus is clean).
+    """
+    problems = []
+    for corpus_id, producer in GOLDEN_SWEEPS.items():
+        path = root / f"{corpus_id}.csv"
+        if not path.exists():
+            problems.append(f"{corpus_id}: missing {path}")
+            continue
+        expected = path.read_text()
+        actual = producer().to_csv()
+        if actual != expected:
+            exp_lines = expected.splitlines()
+            act_lines = actual.splitlines()
+            first_diff = next(
+                (i for i, (a, b) in enumerate(zip(act_lines, exp_lines))
+                 if a != b), min(len(act_lines), len(exp_lines)))
+            problems.append(
+                f"{corpus_id}: drift at line {first_diff + 1} "
+                f"(expected {exp_lines[first_diff] if first_diff < len(exp_lines) else '<eof>'!r}, "
+                f"got {act_lines[first_diff] if first_diff < len(act_lines) else '<eof>'!r})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: ``--write`` regenerates, default verifies."""
+    argv = argv if argv is not None else sys.argv[1:]
+    root = default_corpus_dir()
+    if argv and argv[0] == "--write":
+        written = write_golden(root)
+        print(f"wrote {len(written)} reference files under {root}")
+        return 0
+    problems = verify_golden(root)
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}")
+        return 1
+    print(f"corpus clean: {len(GOLDEN_SWEEPS)} sweeps match {root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

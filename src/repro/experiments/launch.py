@@ -1,0 +1,176 @@
+"""The ``syncperf`` CLI, mirroring the artifact's ``launch.py`` workflow.
+
+Usage::
+
+    syncperf all                 # run every experiment
+    syncperf openmp              # only the OpenMP experiments
+    syncperf cuda                # only the CUDA experiments
+    syncperf fig3 fig9           # specific experiments
+    syncperf --list              # show the experiment index
+    syncperf fig1 --csv out/     # also write runtimes.csv per sweep
+    syncperf fig1 --chart        # render ASCII charts
+
+Like the artifact, results land in per-experiment files when ``--csv`` is
+given (the artifact writes ``./results/<hostname>/.../runtimes.csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.ascii_chart import render_chart
+from repro.experiments.registry import EXPERIMENTS, experiments_of_kind
+
+
+def _select(targets: list[str]) -> list[str]:
+    ids: list[str] = []
+    for target in targets:
+        if target == "all":
+            ids.extend(EXPERIMENTS)
+        elif target in ("openmp", "cuda", "meta", "extension"):
+            ids.extend(d.exp_id for d in experiments_of_kind(target))
+        elif target in EXPERIMENTS:
+            ids.append(target)
+        else:
+            raise SystemExit(
+                f"unknown target {target!r}; use 'all', 'openmp', 'cuda', "
+                f"or one of {sorted(EXPERIMENTS)}")
+    seen = set()
+    ordered = []
+    for exp_id in ids:
+        if exp_id not in seen:
+            seen.add(exp_id)
+            ordered.append(exp_id)
+    return ordered
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry for the ``syncperf`` command."""
+    parser = argparse.ArgumentParser(
+        prog="syncperf",
+        description="Run the SyncPerformance reproduction experiments.")
+    parser.add_argument("targets", nargs="*", default=["all"],
+                        help="'all', 'openmp', 'cuda', 'extension', or "
+                             "experiment ids")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="write each sweep's runtimes.csv under DIR")
+    parser.add_argument("--results", metavar="DIR",
+                        help="write artifact-style per-experiment result "
+                             "directories (csv + chart + claims + meta) "
+                             "under DIR")
+    parser.add_argument("--chart", action="store_true",
+                        help="render ASCII charts of each sweep")
+    parser.add_argument("--summary", action="store_true",
+                        help="print per-series summary statistics for "
+                             "each sweep")
+    parser.add_argument("--config", metavar="FILE",
+                        help="JSON file overriding the measurement "
+                             "protocol (n_runs, n_iter, unroll, seed, ...)")
+    parser.add_argument("--matrix", action="store_true",
+                        help="run the whole-experiment parameter matrix "
+                             "(the artifact's 72-hour launch.py all) "
+                             "instead of the per-figure experiments; "
+                             "combine with --results to write the "
+                             "artifact's results/system<N>/ layout")
+    parser.add_argument("--systems", default="1,2,3",
+                        help="comma-separated paper system numbers for "
+                             "--matrix (default: 1,2,3)")
+    parser.add_argument("--characterize", metavar="MACHINE",
+                        help="profile every primitive on one machine "
+                             "(cpu1..cpu3, gpu1..gpu3) and print the "
+                             "markdown table")
+    args = parser.parse_args(argv)
+
+    protocol = None
+    if args.config:
+        from repro.experiments.config import load_config
+        protocol = load_config(args.config)
+        print(f"using protocol from {args.config}: {protocol}")
+
+    if args.list:
+        for exp_id, d in EXPERIMENTS.items():
+            print(f"{exp_id:15s} {d.figure:10s} [{d.kind}] {d.title}")
+        return 0
+
+    if args.characterize:
+        from repro.characterize import characterize_cpu, characterize_gpu
+        from repro.cpu.presets import cpu_preset
+        from repro.gpu.presets import gpu_preset
+        target = args.characterize.lower()
+        if len(target) != 4 or target[:3] not in ("cpu", "gpu") or \
+                not target[3].isdigit():
+            raise SystemExit(
+                f"--characterize expects cpu1..cpu3 or gpu1..gpu3, "
+                f"got {args.characterize!r}")
+        system = int(target[3])
+        if target.startswith("cpu"):
+            report = characterize_cpu(cpu_preset(system), protocol)
+        else:
+            report = characterize_gpu(gpu_preset(system), protocol)
+        print(report.to_markdown())
+        return 0
+
+    if args.matrix:
+        from repro.experiments.matrix import run_full_matrix, \
+            save_full_matrix
+        systems = tuple(int(s) for s in args.systems.split(","))
+        print(f"running the full matrix on systems {systems} "
+              "(the artifact's whole-experiment workflow)...")
+        results = run_full_matrix(systems=systems, protocol=protocol)
+        print(f"completed {len(results)} sweeps")
+        if args.results:
+            written = save_full_matrix(results, Path(args.results))
+            print(f"wrote {written} files under {args.results}")
+        return 0
+
+    ids = _select(args.targets or ["all"])
+    print(f"running {len(ids)} experiment(s): {', '.join(ids)}")
+    failures = 0
+    for exp_id in ids:
+        definition = EXPERIMENTS[exp_id]
+        start = time.time()
+        payload = definition.run(protocol)
+        checks = definition.claims(payload)
+        wall = time.time() - start
+        n_pass = sum(c.passed for c in checks)
+        print(f"\n=== {exp_id} ({definition.figure}) — {definition.title} "
+              f"[{wall:.1f}s] ===")
+        for c in checks:
+            print(f"  {c}")
+        failures += len(checks) - n_pass
+        sweeps = definition.sweeps(payload)
+        if args.csv:
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for sweep in sweeps:
+                safe = sweep.name.replace("/", "_")
+                (out_dir / f"{safe}.csv").write_text(sweep.to_csv())
+            if sweeps:
+                print(f"  wrote {len(sweeps)} csv file(s) to {out_dir}")
+        if args.results:
+            from repro.core.results_io import save_experiment
+            directory = save_experiment(
+                exp_id, definition.title, definition.kind, sweeps, checks,
+                Path(args.results), wall_seconds=wall)
+            print(f"  wrote {directory}")
+        if args.summary:
+            from repro.analysis.stats import summary_table
+            for sweep in sweeps:
+                print()
+                print(summary_table(sweep))
+        if args.chart:
+            for sweep in sweeps:
+                print()
+                print(render_chart(sweep, log_x=definition.kind == "cuda"))
+    print(f"\n{'OK' if failures == 0 else 'FAILURES'}: "
+          f"{failures} claim(s) not reproduced")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

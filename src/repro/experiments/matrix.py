@@ -1,0 +1,184 @@
+"""The full parameter matrix: the artifact's whole-experiment workflow.
+
+``./launch.py all`` runs every test code across every parameter on one
+system (~72 hours on real hardware, per the appendix).  On the simulated
+substrates the same matrix — every primitive x data type x stride x
+affinity x thread count on each CPU, and every primitive x data type x
+stride x block count x thread count on each GPU — completes in seconds.
+:func:`run_full_matrix` produces the complete result set, and
+:func:`save_full_matrix` writes it in the artifact's
+``results/system<N>/`` layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.datatypes import CAS_DTYPES, DTYPES
+from repro.compiler.ops import PrimitiveKind, Scope
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.core.results_io import save_sweep
+from repro.cpu.affinity import Affinity
+from repro.cpu.presets import cpu_preset
+from repro.experiments import base as exb
+from repro.gpu.presets import gpu_preset
+from repro.gpu.spec import paper_block_counts
+
+STRIDES = (1, 4, 8, 16)
+GPU_STRIDES = (1, 32)
+
+
+@dataclass
+class MatrixResults:
+    """Every sweep of the full matrix, keyed by artifact-style test path.
+
+    Keys look like ``system3/omp/atomicadd_array/stride=8`` or
+    ``system3/cuda/atomicadd_scalar/blocks=64``.
+    """
+
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+
+    def add(self, key: str, sweep: SweepResult) -> None:
+        """Store a sweep under a unique artifact-style key."""
+        if key in self.sweeps:
+            raise KeyError(f"duplicate matrix key {key!r}")
+        self.sweeps[key] = sweep
+
+    def keys_for_system(self, system: int) -> list[str]:
+        """All matrix keys belonging to one paper system."""
+        prefix = f"system{system}/"
+        return [k for k in self.sweeps if k.startswith(prefix)]
+
+    def __len__(self) -> int:
+        return len(self.sweeps)
+
+
+def _omp_matrix(system: int, protocol: MeasurementProtocol | None,
+                out: MatrixResults) -> None:
+    machine = cpu_preset(system)
+    prefix = f"system{system}/omp"
+
+    out.add(f"{prefix}/barrier", exb.sweep_omp(
+        machine, {"barrier": exb.omp_barrier_spec()},
+        name=f"{prefix}/barrier", affinity=Affinity.SPREAD,
+        protocol=protocol))
+
+    for builder, test in (
+            (exb.omp_atomic_update_scalar_spec, "atomicadd_scalar"),
+            (exb.omp_atomic_capture_scalar_spec, "atomiccapture_scalar"),
+            (exb.omp_atomic_write_spec, "atomicwrite"),
+            (exb.omp_atomic_read_spec, "atomicread"),
+            (exb.omp_critical_spec, "critical")):
+        specs = {dt.name: builder(dt) for dt in DTYPES}
+        out.add(f"{prefix}/{test}", exb.sweep_omp(
+            machine, specs, name=f"{prefix}/{test}", protocol=protocol))
+
+    for stride in STRIDES:
+        specs = {dt.name: exb.omp_atomic_update_array_spec(dt, stride)
+                 for dt in DTYPES}
+        out.add(f"{prefix}/atomicadd_array/stride={stride}", exb.sweep_omp(
+            machine, specs,
+            name=f"{prefix}/atomicadd_array/stride={stride}",
+            protocol=protocol))
+        flush_specs = {dt.name: exb.omp_flush_spec(dt, stride)
+                       for dt in DTYPES}
+        out.add(f"{prefix}/flush/stride={stride}", exb.sweep_omp(
+            machine, flush_specs, name=f"{prefix}/flush/stride={stride}",
+            affinity=Affinity.CLOSE, protocol=protocol))
+
+
+def _cuda_matrix(system: int, protocol: MeasurementProtocol | None,
+                 out: MatrixResults) -> None:
+    device = gpu_preset(system)
+    prefix = f"system{system}/cuda"
+    block_counts = paper_block_counts(device.spec)
+
+    for blocks in block_counts:
+        out.add(f"{prefix}/syncthreads/blocks={blocks}", exb.sweep_cuda(
+            device, {"syncthreads": exb.cuda_syncthreads_spec()},
+            name=f"{prefix}/syncthreads/blocks={blocks}",
+            block_count=blocks, protocol=protocol))
+        out.add(f"{prefix}/syncwarp/blocks={blocks}", exb.sweep_cuda(
+            device, {"syncwarp": exb.cuda_syncwarp_spec()},
+            name=f"{prefix}/syncwarp/blocks={blocks}",
+            block_count=blocks, protocol=protocol))
+
+        add_specs = {dt.name: exb.cuda_atomic_scalar_spec(
+            PrimitiveKind.ATOMIC_ADD, dt) for dt in DTYPES}
+        out.add(f"{prefix}/atomicadd_scalar/blocks={blocks}",
+                exb.sweep_cuda(
+                    device, add_specs,
+                    name=f"{prefix}/atomicadd_scalar/blocks={blocks}",
+                    block_count=blocks, protocol=protocol))
+
+        cas_specs = {dt.name: exb.cuda_atomic_scalar_spec(
+            PrimitiveKind.ATOMIC_CAS, dt) for dt in CAS_DTYPES}
+        out.add(f"{prefix}/atomiccas_scalar/blocks={blocks}",
+                exb.sweep_cuda(
+                    device, cas_specs,
+                    name=f"{prefix}/atomiccas_scalar/blocks={blocks}",
+                    block_count=blocks, protocol=protocol))
+
+        exch_specs = {dt.name: exb.cuda_atomic_scalar_spec(
+            PrimitiveKind.ATOMIC_EXCH, dt) for dt in CAS_DTYPES}
+        out.add(f"{prefix}/atomicexch/blocks={blocks}", exb.sweep_cuda(
+            device, exch_specs,
+            name=f"{prefix}/atomicexch/blocks={blocks}",
+            block_count=blocks, protocol=protocol))
+
+        shfl_specs = {dt.name: exb.cuda_shfl_spec(
+            PrimitiveKind.SHFL_SYNC, dt) for dt in DTYPES}
+        out.add(f"{prefix}/shfl/blocks={blocks}", exb.sweep_cuda(
+            device, shfl_specs, name=f"{prefix}/shfl/blocks={blocks}",
+            block_count=blocks, protocol=protocol))
+
+        for stride in GPU_STRIDES:
+            arr_specs = {dt.name: exb.cuda_atomic_array_spec(
+                PrimitiveKind.ATOMIC_ADD, dt, stride) for dt in DTYPES}
+            key = f"{prefix}/atomicadd_array/blocks={blocks}" \
+                  f"/stride={stride}"
+            out.add(key, exb.sweep_cuda(device, arr_specs, name=key,
+                                        block_count=blocks,
+                                        protocol=protocol))
+            fence_specs = {
+                "device": exb.cuda_fence_spec(Scope.DEVICE, DTYPES[0],
+                                              stride),
+                "block": exb.cuda_fence_spec(Scope.BLOCK, DTYPES[0],
+                                             stride),
+                "system": exb.cuda_fence_spec(Scope.SYSTEM, DTYPES[0],
+                                              stride),
+            }
+            key = f"{prefix}/threadfence/blocks={blocks}/stride={stride}"
+            out.add(key, exb.sweep_cuda(device, fence_specs, name=key,
+                                        block_count=blocks,
+                                        protocol=protocol))
+
+
+def run_full_matrix(systems: tuple[int, ...] = (1, 2, 3),
+                    protocol: MeasurementProtocol | None = None,
+                    include_cpu: bool = True,
+                    include_gpu: bool = True) -> MatrixResults:
+    """Run the whole-experiment matrix for the requested systems."""
+    out = MatrixResults()
+    for system in systems:
+        if include_cpu:
+            _omp_matrix(system, protocol, out)
+        if include_gpu:
+            _cuda_matrix(system, protocol, out)
+    return out
+
+
+def save_full_matrix(results: MatrixResults, root: Path) -> int:
+    """Write every sweep under ``root`` in the artifact's layout.
+
+    Returns:
+        The number of files written.
+    """
+    written = 0
+    for key, sweep in results.sweeps.items():
+        directory = root / Path(key).parent
+        written += len(save_sweep(sweep, directory,
+                                  log_x="/cuda/" in f"/{key}"))
+    return written

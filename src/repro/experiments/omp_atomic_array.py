@@ -1,0 +1,89 @@
+"""Fig. 3: OpenMP atomic update on private elements of a shared array.
+
+Paper findings, per stride panel (strides 1, 4, 8, 16; 64 B lines):
+
+* stride 1 — maximum false sharing; the 4-byte types are slightly worse
+  than the 8-byte ones (twice as many words share a line).
+* stride 4 — all types improve.
+* stride 8 — the 64-bit types escape false sharing entirely (throughput
+  "shoots up drastically"); the 32-bit types improve only a little.
+* stride 16 — every type has its own line; throughput is flat across
+  threads and integer types beat floating-point regardless of width.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    is_roughly_constant,
+    jump_between,
+    series_above,
+)
+from repro.common.datatypes import DTYPES
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import omp_atomic_update_array_spec, sweep_omp
+
+STRIDES = (1, 4, 8, 16)
+
+
+def run_fig3(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None
+             ) -> dict[int, SweepResult]:
+    """One sweep per stride panel, four data types each."""
+    machine = machine or cpu_preset(3)
+    panels = {}
+    for stride in STRIDES:
+        specs = {dt.name: omp_atomic_update_array_spec(dt, stride)
+                 for dt in DTYPES}
+        panels[stride] = sweep_omp(machine, specs,
+                                   name=f"fig3/stride={stride}",
+                                   protocol=protocol)
+    return panels
+
+
+def claims_fig3(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 3 statements."""
+    s1, s4, s8, s16 = (panels[s] for s in STRIDES)
+    checks = [
+        check("stride 1: 4-byte types perform worse than 8-byte types "
+              "(more words per cache line)",
+              series_above(s1.series_by_label("ull"),
+                           s1.series_by_label("int"), min_ratio=1.2,
+                           frac=0.6)
+              and series_above(s1.series_by_label("double"),
+                               s1.series_by_label("float"), min_ratio=1.2,
+                               frac=0.6)),
+        check("stride 4: all types faster than at stride 1",
+              all(jump_between(s1.series_by_label(dt.name),
+                               s4.series_by_label(dt.name), 1.5)
+                  for dt in DTYPES)),
+        check("stride 8: 64-bit types shoot up (escape false sharing)",
+              jump_between(s4.series_by_label("ull"),
+                           s8.series_by_label("ull"), 2.0)
+              and jump_between(s4.series_by_label("double"),
+                               s8.series_by_label("double"), 1.4)),
+        check("stride 8: 32-bit types increase only a little",
+              not jump_between(s4.series_by_label("int"),
+                               s8.series_by_label("int"), 3.0)),
+        check("stride 16: 32-bit types jump like the 64-bit ones did",
+              jump_between(s8.series_by_label("int"),
+                           s16.series_by_label("int"), 1.5)),
+        check("stride 16: integer types faster than floating-point, "
+              "regardless of word size",
+              series_above(s16.series_by_label("int"),
+                           s16.series_by_label("float"), min_ratio=1.1,
+                           frac=0.6)
+              and series_above(s16.series_by_label("ull"),
+                               s16.series_by_label("double"), min_ratio=1.1,
+                               frac=0.6)),
+        check("stride 16: throughput largely constant across threads "
+              "(embarrassingly parallel)",
+              all(is_roughly_constant(
+                  s16.series_by_label(dt.name).finite_throughputs(),
+                  tol=0.45) for dt in DTYPES)),
+    ]
+    return checks

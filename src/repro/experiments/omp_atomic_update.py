@@ -1,0 +1,80 @@
+"""Fig. 2: OpenMP atomic update on a single shared variable.
+
+Paper findings: same trend as the barrier (decrease, then stable beyond
+~8 threads); integer types faster than floating-point; word size (32 vs
+64 bit) does not matter on 64-bit CPUs.  Atomic capture behaves nearly
+identically (§V-A2, no figure).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    decreasing_then_stable,
+    geometric_mean_ratio,
+    series_above,
+)
+from repro.common.datatypes import DTYPES
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import (
+    omp_atomic_capture_scalar_spec,
+    omp_atomic_update_scalar_spec,
+    sweep_omp,
+)
+
+
+def run_fig2(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None) -> SweepResult:
+    """Atomic update on one shared variable, all four data types."""
+    machine = machine or cpu_preset(3)
+    specs = {dt.name: omp_atomic_update_scalar_spec(dt) for dt in DTYPES}
+    return sweep_omp(machine, specs, name="fig2", protocol=protocol)
+
+
+def run_fig2_capture(machine: CpuMachine | None = None,
+                     protocol: MeasurementProtocol | None = None
+                     ) -> SweepResult:
+    """Atomic capture counterpart (§V-A2: nearly identical to update)."""
+    machine = machine or cpu_preset(3)
+    specs = {dt.name: omp_atomic_capture_scalar_spec(dt) for dt in DTYPES}
+    return sweep_omp(machine, specs, name="fig2-capture", protocol=protocol)
+
+
+def claims_fig2(sweep: SweepResult) -> list[TrendCheck]:
+    """Verify the paper's Fig. 2 statements."""
+    int_s = sweep.series_by_label("int")
+    ull_s = sweep.series_by_label("ull")
+    float_s = sweep.series_by_label("float")
+    double_s = sweep.series_by_label("double")
+    word_ratio_int = geometric_mean_ratio(int_s, ull_s)
+    word_ratio_fp = geometric_mean_ratio(float_s, double_s)
+    return [
+        check("same decrease-then-plateau trend as the barrier",
+              decreasing_then_stable(int_s, knee_x=8)),
+        check("integer types faster than floating-point types",
+              series_above(int_s, float_s, min_ratio=1.1)
+              and series_above(ull_s, double_s, min_ratio=1.1)),
+        check("word size does not affect performance (int ~ ull, "
+              "float ~ double)",
+              0.75 <= word_ratio_int <= 1.3 and
+              0.75 <= word_ratio_fp <= 1.3,
+              detail=f"int/ull={word_ratio_int:.2f}, "
+                     f"float/double={word_ratio_fp:.2f}"),
+    ]
+
+
+def claims_fig2_capture(update: SweepResult,
+                        capture: SweepResult) -> list[TrendCheck]:
+    """Capture ~ update, per §V-A2."""
+    checks = []
+    for dt in DTYPES:
+        ratio = geometric_mean_ratio(capture.series_by_label(dt.name),
+                                     update.series_by_label(dt.name))
+        checks.append(check(
+            f"atomic capture ~ atomic update for {dt.name}",
+            0.8 <= ratio <= 1.25, detail=f"capture/update={ratio:.2f}"))
+    return checks

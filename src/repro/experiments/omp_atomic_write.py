@@ -1,0 +1,91 @@
+"""Fig. 4: OpenMP atomic write, plus the atomic-read non-result (§V-A2).
+
+Paper findings for the write: the familiar exponentially-decreasing trend;
+*no* data-type effect (no arithmetic is involved and 64-bit CPUs store
+8 bytes in one transaction); System 3's AMD part shows notable jitter
+compared with System 2.
+
+For the read: the measured difference between an atomic read and a plain
+read is within the timer's accuracy — atomic reads are free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    geometric_mean_ratio,
+    is_roughly_nonincreasing,
+    noisiness,
+)
+from repro.common.datatypes import DTYPES
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import (
+    omp_atomic_read_spec,
+    omp_atomic_write_spec,
+    sweep_omp,
+)
+
+
+def run_fig4(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None) -> SweepResult:
+    """Atomic write on one system (call twice for the two-system figure)."""
+    machine = machine or cpu_preset(3)
+    specs = {dt.name: omp_atomic_write_spec(dt) for dt in DTYPES}
+    return sweep_omp(machine, specs, name=f"fig4/{machine.name}",
+                     protocol=protocol)
+
+
+def run_fig4_both_systems(protocol: MeasurementProtocol | None = None
+                          ) -> dict[int, SweepResult]:
+    """The figure's two panels: System 3 (noisy AMD) and System 2."""
+    return {3: run_fig4(cpu_preset(3), protocol),
+            2: run_fig4(cpu_preset(2), protocol)}
+
+
+def run_atomic_read(machine: CpuMachine | None = None,
+                    protocol: MeasurementProtocol | None = None
+                    ) -> SweepResult:
+    """Atomic read vs plain read (§V-A2, no figure)."""
+    machine = machine or cpu_preset(3)
+    specs = {dt.name: omp_atomic_read_spec(dt) for dt in DTYPES}
+    return sweep_omp(machine, specs, name="omp-read", protocol=protocol)
+
+
+def claims_fig4(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 4 statements."""
+    sys3, sys2 = panels[3], panels[2]
+    size_ratio = geometric_mean_ratio(sys2.series_by_label("int"),
+                                      sys2.series_by_label("double"))
+    amd_noise = max(noisiness(s) for s in sys3.series)
+    intel_noise = max(noisiness(s) for s in sys2.series)
+    return [
+        check("exponentially decreasing trend (on the cleaner system)",
+              is_roughly_nonincreasing(
+                  sys2.series_by_label("int").finite_throughputs(),
+                  tol=0.35)),
+        check("data-type size has no observable effect on atomic write",
+              0.7 <= size_ratio <= 1.4,
+              detail=f"int/double={size_ratio:.2f}"),
+        check("System 3 (AMD) shows notably more jitter than System 2",
+              amd_noise > 1.5 * intel_noise,
+              detail=f"AMD noise={amd_noise:.3f}, "
+                     f"Intel noise={intel_noise:.3f}"),
+    ]
+
+
+def claims_atomic_read(sweep: SweepResult) -> list[TrendCheck]:
+    """Atomic reads carry no measurable overhead."""
+    checks = []
+    for series in sweep.series:
+        within = all(p.result.within_timer_accuracy or
+                     (p.result.per_op_time is not None and
+                      abs(p.result.per_op_time) < 2.0)
+                     for p in series.points)
+        checks.append(check(
+            f"atomic read overhead within timer accuracy ({series.label})",
+            within))
+    return checks

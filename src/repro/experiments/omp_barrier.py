@@ -1,0 +1,44 @@
+"""Fig. 1: throughput of the OpenMP barrier.
+
+Paper findings: per-thread throughput initially decreases as more threads
+participate, is largely stable beyond about 8 threads, and does not drop
+much when hyperthreading is used.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check, decreasing_then_stable
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.affinity import Affinity
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import omp_barrier_spec, sweep_omp
+
+
+def run_fig1(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None) -> SweepResult:
+    """Barrier throughput across thread counts, affinity=spread."""
+    machine = machine or cpu_preset(3)
+    return sweep_omp(machine, {"barrier": omp_barrier_spec()},
+                     name="fig1", affinity=Affinity.SPREAD,
+                     protocol=protocol)
+
+
+def claims_fig1(sweep: SweepResult,
+                machine: CpuMachine | None = None) -> list[TrendCheck]:
+    """Verify the paper's Fig. 1 statements on a reproduced sweep."""
+    machine = machine or cpu_preset(3)
+    barrier = sweep.series_by_label("barrier")
+    cores = machine.topology.physical_cores
+    with_ht = [p.throughput for p in barrier.points if p.x > cores]
+    at_cores = barrier.throughput_at(cores)
+    ht_ok = all(t >= 0.7 * at_cores for t in with_ht) if with_ht else False
+    return [
+        check("throughput decreases then is largely stable beyond ~8 threads",
+              decreasing_then_stable(barrier, knee_x=8)),
+        check("hyperthreading does not significantly lower throughput",
+              ht_ok,
+              detail=f"min HT throughput / at-cores = "
+                     f"{min(with_ht) / at_cores:.2f}" if with_ht else ""),
+    ]

@@ -1,0 +1,63 @@
+"""Fig. 5: addition on one shared variable under an OpenMP critical section.
+
+Paper findings: the trend resembles the atomic counterpart (Fig. 2) but
+throughput drops more quickly and is lower — critical sections should only
+be used when no alternative exists.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    is_roughly_nonincreasing,
+    series_above,
+)
+from repro.common.datatypes import INT
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.affinity import Affinity
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import (
+    omp_atomic_update_scalar_spec,
+    omp_critical_spec,
+    sweep_omp,
+)
+
+
+def run_fig5(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None) -> SweepResult:
+    """Critical-section add alongside the equivalent atomic, for contrast."""
+    machine = machine or cpu_preset(3)
+    specs = {
+        "critical": omp_critical_spec(INT),
+        "atomic": omp_atomic_update_scalar_spec(INT),
+    }
+    return sweep_omp(machine, specs, name="fig5", affinity=Affinity.SPREAD,
+                     protocol=protocol)
+
+
+def claims_fig5(sweep: SweepResult) -> list[TrendCheck]:
+    """Verify the paper's Fig. 5 statements."""
+    critical = sweep.series_by_label("critical")
+    atomic = sweep.series_by_label("atomic")
+
+    # "drops more quickly": relative decline from the 2-thread value to the
+    # plateau is steeper for the critical section.
+    def decline(series) -> float:
+        first = series.throughput_at(2)
+        tail = series.finite_throughputs()[-5:]
+        return first / (sum(tail) / len(tail))
+
+    return [
+        check("critical-section throughput is lower than the atomic's",
+              series_above(atomic, critical, min_ratio=1.5)),
+        check("critical-section throughput drops more quickly",
+              decline(critical) > decline(atomic),
+              detail=f"critical decline={decline(critical):.1f}x, "
+                     f"atomic decline={decline(atomic):.1f}x"),
+        check("throughput decreases with thread count",
+              is_roughly_nonincreasing(critical.finite_throughputs(),
+                                       tol=0.35)),
+    ]

@@ -1,0 +1,70 @@
+"""Fig. 6: OpenMP flush between two private-element array updates.
+
+Paper findings (System 2, affinity=close, strides 1/4/8/16): at stride 1
+the throughput decays exponentially and plateaus around half the physical
+cores; at strides 4 and 8 oscillations appear (more for 64-bit types) and
+the 64-bit types jump once they escape false sharing; at stride 16 every
+type has its own line and the flush costs almost nothing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import (
+    TrendCheck,
+    check,
+    is_roughly_nonincreasing,
+    jump_between,
+    noisiness,
+)
+from repro.common.datatypes import DTYPES
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.cpu.affinity import Affinity
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import omp_flush_spec, sweep_omp
+
+STRIDES = (1, 4, 8, 16)
+
+
+def run_fig6(machine: CpuMachine | None = None,
+             protocol: MeasurementProtocol | None = None
+             ) -> dict[int, SweepResult]:
+    """One sweep per stride panel on System 2 (the paper's cleanest)."""
+    machine = machine or cpu_preset(2)
+    panels = {}
+    for stride in STRIDES:
+        specs = {dt.name: omp_flush_spec(dt, stride) for dt in DTYPES}
+        panels[stride] = sweep_omp(machine, specs,
+                                   name=f"fig6/stride={stride}",
+                                   affinity=Affinity.CLOSE,
+                                   protocol=protocol)
+    return panels
+
+
+def claims_fig6(panels: dict[int, SweepResult]) -> list[TrendCheck]:
+    """Verify the paper's Fig. 6 statements."""
+    s1, s4, s8, s16 = (panels[s] for s in STRIDES)
+    return [
+        check("stride 1: throughput decreases and plateaus",
+              is_roughly_nonincreasing(
+                  s1.series_by_label("int").finite_throughputs(), tol=0.4)),
+        check("stride 4: oscillations appear (noisier than stride 1's "
+              "plateau region)",
+              noisiness(s4.series_by_label("double")) >
+              0.5 * noisiness(s1.series_by_label("double"))),
+        check("stride 8: 64-bit types' throughput increases substantially",
+              jump_between(s4.series_by_label("ull"),
+                           s8.series_by_label("ull"), 2.0)
+              and jump_between(s4.series_by_label("double"),
+                               s8.series_by_label("double"), 2.0)),
+        check("stride 16: 32-bit types behave like the 64-bit types "
+              "(everyone escapes false sharing)",
+              jump_between(s8.series_by_label("int"),
+                           s16.series_by_label("int"), 1.5)),
+        check("without false sharing the flush has minimal per-thread "
+              "impact (stride-16 throughput >> stride-1 throughput)",
+              all(jump_between(s1.series_by_label(dt.name),
+                               s16.series_by_label(dt.name), 3.0)
+                  for dt in DTYPES)),
+    ]

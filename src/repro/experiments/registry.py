@@ -1,0 +1,266 @@
+"""The experiment registry: every paper table/figure, indexed by id.
+
+Each :class:`ExperimentDef` bundles a runner (produces the experiment's
+payload), a claims checker (turns the payload into
+:class:`~repro.analysis.trends.TrendCheck` verdicts against the paper's
+statements), and a sweep extractor (for CSV/chart output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.trends import TrendCheck
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.experiments import (
+    cuda_atomicadd,
+    cuda_atomiccas,
+    cuda_atomicexch,
+    cuda_shfl,
+    cuda_syncthreads,
+    cuda_syncwarp,
+    cuda_threadfence,
+    ext_cross_system,
+    ext_divergence,
+    ext_reduction_strategies,
+    listing1,
+    omp_atomic_array,
+    omp_atomic_update,
+    omp_atomic_write,
+    omp_barrier,
+    omp_critical,
+    omp_flush,
+    table1,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One reproducible experiment.
+
+    Attributes:
+        exp_id: Index key ("fig1" ... "fig15", "table1", "listing1", ...).
+        figure: The paper figure/table/section it reproduces.
+        title: Human-readable description.
+        kind: "openmp", "cuda", or "meta".
+        run: Produces the payload (sweeps/outcomes), given a protocol.
+        claims: Maps the payload to trend-check verdicts.
+        sweeps: Extracts flat sweep results for CSV/chart output.
+    """
+
+    exp_id: str
+    figure: str
+    title: str
+    kind: str
+    run: Callable[[MeasurementProtocol | None], object]
+    claims: Callable[[object], list[TrendCheck]]
+    sweeps: Callable[[object], list[SweepResult]]
+
+
+def _dict_sweeps(payload: object) -> list[SweepResult]:
+    assert isinstance(payload, dict)
+    return list(payload.values())
+
+
+def _single_sweep(payload: object) -> list[SweepResult]:
+    assert isinstance(payload, SweepResult)
+    return [payload]
+
+
+def _nested_sweeps(payload: object) -> list[SweepResult]:
+    assert isinstance(payload, dict)
+    out: list[SweepResult] = []
+    for value in payload.values():
+        if isinstance(value, SweepResult):
+            out.append(value)
+        else:
+            out.extend(value.values())
+    return out
+
+
+def _build() -> dict[str, ExperimentDef]:
+    defs = [
+        ExperimentDef(
+            "table1", "Table I", "System specifications", "meta",
+            lambda proto=None: table1.run_table1(),
+            table1.claims_table1,
+            lambda payload: []),
+        ExperimentDef(
+            "fig1", "Fig. 1", "OpenMP barrier throughput", "openmp",
+            lambda proto=None: omp_barrier.run_fig1(protocol=proto),
+            omp_barrier.claims_fig1,
+            _single_sweep),
+        ExperimentDef(
+            "fig2", "Fig. 2", "OpenMP atomic update on a shared variable",
+            "openmp",
+            lambda proto=None: omp_atomic_update.run_fig2(protocol=proto),
+            omp_atomic_update.claims_fig2,
+            _single_sweep),
+        ExperimentDef(
+            "fig2-capture", "§V-A2",
+            "OpenMP atomic capture ~ atomic update", "openmp",
+            lambda proto=None: {
+                "update": omp_atomic_update.run_fig2(protocol=proto),
+                "capture": omp_atomic_update.run_fig2_capture(
+                    protocol=proto)},
+            lambda payload: omp_atomic_update.claims_fig2_capture(
+                payload["update"], payload["capture"]),
+            _dict_sweeps),
+        ExperimentDef(
+            "fig3", "Fig. 3",
+            "OpenMP atomic update on private array elements (strides)",
+            "openmp",
+            lambda proto=None: omp_atomic_array.run_fig3(protocol=proto),
+            omp_atomic_array.claims_fig3,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig4", "Fig. 4", "OpenMP atomic write on two systems",
+            "openmp",
+            lambda proto=None: omp_atomic_write.run_fig4_both_systems(
+                protocol=proto),
+            omp_atomic_write.claims_fig4,
+            _dict_sweeps),
+        ExperimentDef(
+            "omp-read", "§V-A2", "OpenMP atomic read has no overhead",
+            "openmp",
+            lambda proto=None: omp_atomic_write.run_atomic_read(
+                protocol=proto),
+            omp_atomic_write.claims_atomic_read,
+            _single_sweep),
+        ExperimentDef(
+            "fig5", "Fig. 5", "OpenMP critical-section addition", "openmp",
+            lambda proto=None: omp_critical.run_fig5(protocol=proto),
+            omp_critical.claims_fig5,
+            _single_sweep),
+        ExperimentDef(
+            "fig6", "Fig. 6", "OpenMP flush at several strides", "openmp",
+            lambda proto=None: omp_flush.run_fig6(protocol=proto),
+            omp_flush.claims_fig6,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig7", "Fig. 7", "CUDA __syncthreads()", "cuda",
+            lambda proto=None: cuda_syncthreads.run_fig7(protocol=proto),
+            cuda_syncthreads.claims_fig7,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig8", "Fig. 8", "CUDA __syncwarp() on two systems", "cuda",
+            lambda proto=None: cuda_syncwarp.run_fig8_both_systems(
+                protocol=proto),
+            cuda_syncwarp.claims_fig8,
+            _nested_sweeps),
+        ExperimentDef(
+            "fig9", "Fig. 9", "CUDA atomicAdd() on a shared variable",
+            "cuda",
+            lambda proto=None: cuda_atomicadd.run_fig9(protocol=proto),
+            cuda_atomicadd.claims_fig9,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig10", "Fig. 10", "CUDA atomicAdd() on private elements",
+            "cuda",
+            lambda proto=None: cuda_atomicadd.run_fig10(protocol=proto),
+            cuda_atomicadd.claims_fig10,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig11", "Fig. 11", "CUDA atomicCAS() on a shared variable",
+            "cuda",
+            lambda proto=None: cuda_atomiccas.run_fig11(protocol=proto),
+            cuda_atomiccas.claims_fig11,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig12", "Fig. 12", "CUDA atomicCAS() on private elements",
+            "cuda",
+            lambda proto=None: cuda_atomiccas.run_fig12(protocol=proto),
+            cuda_atomiccas.claims_fig12,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig13", "Fig. 13", "CUDA atomicExch()", "cuda",
+            lambda proto=None: cuda_atomicexch.run_fig13(protocol=proto),
+            cuda_atomicexch.claims_fig13,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig14", "Fig. 14", "CUDA __threadfence()", "cuda",
+            lambda proto=None: cuda_threadfence.run_fig14(protocol=proto),
+            cuda_threadfence.claims_fig14,
+            _dict_sweeps),
+        ExperimentDef(
+            "fence-block", "§V-B3", "CUDA __threadfence_block()", "cuda",
+            lambda proto=None: cuda_threadfence.run_fence_block(
+                protocol=proto),
+            cuda_threadfence.claims_fence_block,
+            _dict_sweeps),
+        ExperimentDef(
+            "fence-system", "§V-B3", "CUDA __threadfence_system()", "cuda",
+            lambda proto=None: {
+                "device": cuda_threadfence.run_fig14(protocol=proto),
+                "system": cuda_threadfence.run_fence_system(
+                    protocol=proto)},
+            lambda payload: cuda_threadfence.claims_fence_system(
+                payload["device"], payload["system"]),
+            _nested_sweeps),
+        ExperimentDef(
+            "fig15", "Fig. 15", "CUDA __shfl_sync()", "cuda",
+            lambda proto=None: cuda_shfl.run_fig15(protocol=proto),
+            cuda_shfl.claims_fig15,
+            _dict_sweeps),
+        ExperimentDef(
+            "fig15-variants", "§V-B4", "Shuffle variants identical", "cuda",
+            lambda proto=None: cuda_shfl.run_shfl_variants(protocol=proto),
+            cuda_shfl.claims_shfl_variants,
+            _single_sweep),
+        ExperimentDef(
+            "vote", "§V-B4", "Warp votes; ballot unrecordable", "cuda",
+            lambda proto=None: cuda_shfl.run_votes(protocol=proto),
+            cuda_shfl.claims_votes,
+            _single_sweep),
+        ExperimentDef(
+            "listing1", "Listing 1", "Five reduction implementations",
+            "cuda",
+            lambda proto=None: listing1.run_listing1(),
+            listing1.claims_listing1,
+            lambda payload: []),
+        ExperimentDef(
+            "ext-divergence", "§VI [10]",
+            "Branch divergence cost is constant (Bialas & Strzelecki)",
+            "extension",
+            lambda proto=None: ext_divergence.run_divergence(),
+            ext_divergence.claims_divergence,
+            lambda payload: []),
+        ExperimentDef(
+            "ext-cross-system", "§F (artifact)",
+            "Headline trends hold on all three systems",
+            "extension",
+            lambda proto=None: ext_cross_system.run_cross_system(proto),
+            ext_cross_system.claims_cross_system,
+            _dict_sweeps),
+        ExperimentDef(
+            "ext-reduce", "§V-A5",
+            "Reduction strategies: privatized > atomic > critical",
+            "extension",
+            lambda proto=None:
+                ext_reduction_strategies.run_reduction_strategies(),
+            ext_reduction_strategies.claims_reduction_strategies,
+            lambda payload: []),
+    ]
+    return {d.exp_id: d for d in defs}
+
+
+EXPERIMENTS: dict[str, ExperimentDef] = _build()
+
+
+def get_experiment(exp_id: str) -> ExperimentDef:
+    """Look up an experiment by id.
+
+    Raises:
+        KeyError: with the list of valid ids.
+    """
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; valid ids: "
+                       f"{sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[exp_id]
+
+
+def experiments_of_kind(kind: str) -> list[ExperimentDef]:
+    """All experiments of one kind ("openmp", "cuda", or "meta")."""
+    return [d for d in EXPERIMENTS.values() if d.kind == kind]

@@ -1,0 +1,69 @@
+"""Table I: system specifications.
+
+The presets must match the paper's hardware table exactly; this experiment
+renders the table and checks every figure against the published values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check
+from repro.cpu.presets import CPU_PRESETS
+from repro.gpu.presets import GPU_PRESETS
+
+#: The published Table I values this reproduction must encode.
+PAPER_TABLE1 = {
+    1: {"cpu_clock": 3.10, "sockets": 2, "cores": 10, "smt": 2, "numa": 2,
+        "gpu_cc": 7.5, "gpu_clock": 1.80, "sms": 40, "max_thr_sm": 1024,
+        "cores_sm": 64, "mem_gb": 8},
+    2: {"cpu_clock": 2.80, "sockets": 2, "cores": 16, "smt": 2, "numa": 2,
+        "gpu_cc": 8.0, "gpu_clock": 1.41, "sms": 108, "max_thr_sm": 2048,
+        "cores_sm": 64, "mem_gb": 40},
+    3: {"cpu_clock": 3.50, "sockets": 1, "cores": 16, "smt": 2, "numa": 2,
+        "gpu_cc": 8.9, "gpu_clock": 2.625, "sms": 128, "max_thr_sm": 1536,
+        "cores_sm": 128, "mem_gb": 24},
+}
+
+
+def run_table1() -> dict[int, dict[str, dict[str, object]]]:
+    """Collect every system's CPU and GPU description."""
+    return {system: {"cpu": CPU_PRESETS[system].describe(),
+                     "gpu": GPU_PRESETS[system].describe()}
+            for system in sorted(CPU_PRESETS)}
+
+
+def render_table1(table: dict[int, dict[str, dict[str, object]]]
+                  ) -> str:
+    """Render the systems table as markdown."""
+    lines = ["| System | CPU | cores | GPU | SMs | thr/SM | clock |",
+             "|---|---|---|---|---|---|---|"]
+    for system, entry in table.items():
+        cpu, gpu = entry["cpu"], entry["gpu"]
+        lines.append(
+            f"| {system} | {cpu['name']} "
+            f"| {cpu['sockets']}x{cpu['cores_per_socket']}x"
+            f"{cpu['threads_per_core']} "
+            f"| {gpu['name']} | {gpu['sm_count']} "
+            f"| {gpu['max_threads_per_sm']} | {gpu['clock_ghz']} GHz |")
+    return "\n".join(lines)
+
+
+def claims_table1(table: dict[int, dict[str, dict[str, object]]]
+                  ) -> list[TrendCheck]:
+    """Every preset figure matches the published Table I."""
+    checks = []
+    for system, expected in PAPER_TABLE1.items():
+        cpu = table[system]["cpu"]
+        gpu = table[system]["gpu"]
+        ok = (cpu["base_clock_ghz"] == expected["cpu_clock"]
+              and cpu["sockets"] == expected["sockets"]
+              and cpu["cores_per_socket"] == expected["cores"]
+              and cpu["threads_per_core"] == expected["smt"]
+              and cpu["numa_nodes"] == expected["numa"]
+              and gpu["compute_capability"] == expected["gpu_cc"]
+              and gpu["clock_ghz"] == expected["gpu_clock"]
+              and gpu["sm_count"] == expected["sms"]
+              and gpu["max_threads_per_sm"] == expected["max_thr_sm"]
+              and gpu["cuda_cores_per_sm"] == expected["cores_sm"]
+              and gpu["memory_gb"] == expected["mem_gb"])
+        checks.append(check(f"System {system} specs match Table I", ok))
+    return checks

@@ -1,0 +1,56 @@
+"""GPU substrate: device specs, occupancy, atomic units, and op costs.
+
+Models the three NVIDIA GPUs of Table I.  The CUDA trends of Section V-B
+arise from four mechanisms:
+
+* **Warp-synchronous execution** — thread counts below 32 still run a full
+  warp with lanes disabled, so throughput is flat up to the warp size.
+* **Occupancy** — resident blocks per SM = min(requested, max-threads/SM /
+  blockDim, hardware block slot limit); the ``__syncwarp()``/shuffle knees
+  come from resident threads per SM crossing a full-speed issue width.
+* **Atomic units** — per-dtype service rates (integer fastest) with
+  warp-aggregation of same-address commutative integer atomics; CAS and
+  Exch cannot aggregate, so their flat region ends after a few threads.
+* **Fence drain** — device fences pay a fixed load/store-buffer drain,
+  independent of thread count; block fences are free when no reordering
+  would occur.
+"""
+
+from repro.gpu.device import GpuDevice, GpuRunContext
+from repro.gpu.spec import (
+    WARP_SIZE,
+    GpuSpec,
+    LaunchConfig,
+    paper_block_counts,
+    paper_thread_counts,
+)
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.atomic_units import AtomicUnitModel
+from repro.gpu.costs import GpuCostParams, GpuCostModel
+from repro.gpu.presets import (
+    SYSTEM1_GPU,
+    SYSTEM2_GPU,
+    SYSTEM3_GPU,
+    gpu_preset,
+    GPU_PRESETS,
+)
+
+__all__ = [
+    "GpuDevice",
+    "GpuSpec",
+    "LaunchConfig",
+    "GpuRunContext",
+    "WARP_SIZE",
+    "paper_block_counts",
+    "paper_thread_counts",
+    "OccupancyResult",
+    "occupancy",
+    "AtomicUnitModel",
+    "GpuCostParams",
+    "GpuCostModel",
+    "SYSTEM1_GPU",
+    "SYSTEM2_GPU",
+    "SYSTEM3_GPU",
+    "gpu_preset",
+    "GPU_PRESETS",
+]

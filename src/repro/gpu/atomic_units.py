@@ -1,0 +1,104 @@
+"""Atomic-unit throughput model.
+
+Old NVIDIA documentation describes *atomic units* — hardware near the L2
+that serializes atomic operations (the paper cites the Fermi whitepaper and
+infers from its measurements that integer units are faster or more numerous
+than floating-point ones).  This module models them as a set of pipelined
+service units with per-dtype service times, plus the *warp aggregation*
+optimization: the JIT compiler collapses a warp's same-address commutative
+integer atomics (add/max/min) into a single atomic plus an intra-warp
+reduction-and-broadcast, which is why ``atomicAdd`` on a shared int scalar
+stays flat well past the warp size (Fig. 9) while ``atomicCAS`` does not
+(Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ops import AGGREGATABLE_KINDS, Op, PrimitiveKind
+
+
+@dataclass(frozen=True)
+class AtomicUnitModel:
+    """Service rates of the device's atomic hardware.
+
+    All times are in GPU clock cycles.
+
+    Attributes:
+        int_service_cycles: Service time for one 32-bit integer atomic.
+        ull_service_cycles: Service time for one 64-bit integer atomic
+            (slower: the tested GPUs have 32-bit datapaths).
+        fp_service_cycles: Service time for one floating-point atomic.
+        cas_service_cycles: Service time for one 32-bit CAS/Exch (the
+            compare adds a round trip over a plain add).
+        cas64_service_cycles: Service time for a 64-bit CAS/Exch.
+        latency_floor_cycles: Pipeline latency of an uncontended atomic;
+            per-thread cost can never drop below this, which produces the
+            flat regions at low thread counts.
+        array_units_int: Parallel units available to integer atomics on
+            *distinct* addresses.
+        array_units_other: Parallel units for 64-bit/FP atomics on distinct
+            addresses.
+        aggregation: Whether the driver JIT performs warp aggregation
+            (ablations switch this off).
+    """
+
+    int_service_cycles: float = 6.0
+    ull_service_cycles: float = 12.0
+    fp_service_cycles: float = 18.0
+    cas_service_cycles: float = 8.0
+    cas64_service_cycles: float = 16.0
+    latency_floor_cycles: float = 32.0
+    array_units_int: int = 16
+    array_units_other: int = 8
+    aggregation: bool = True
+
+    def service_cycles(self, op: Op) -> float:
+        """Service time of one atomic of this kind/dtype."""
+        if op.dtype is None:
+            raise ValueError(f"atomic op {op.kind} needs a dtype")
+        if op.kind in (PrimitiveKind.ATOMIC_CAS, PrimitiveKind.ATOMIC_EXCH,
+                       PrimitiveKind.ATOMIC_INC, PrimitiveKind.ATOMIC_DEC):
+            # Inc/dec carry a wrap-around comparison, so they price like
+            # CAS rather than like a plain add.
+            return (self.cas_service_cycles if op.dtype.size_bytes == 4
+                    else self.cas64_service_cycles)
+        if not op.dtype.is_integer:
+            return self.fp_service_cycles
+        return (self.int_service_cycles if op.dtype.size_bytes == 4
+                else self.ull_service_cycles)
+
+    def aggregates(self, op: Op) -> bool:
+        """Whether warp aggregation collapses this op on a shared address.
+
+        Aggregation needs a commutative read-modify-write (CAS/Exch results
+        depend on lane ordering, so they cannot aggregate) and a 32-bit
+        integer operand (the datapath the reduction-and-broadcast uses).
+        """
+        return (self.aggregation
+                and op.kind in AGGREGATABLE_KINDS
+                and op.dtype is not None
+                and op.dtype.is_integer
+                and op.dtype.size_bytes == 4)
+
+    def parallel_units(self, op: Op) -> int:
+        """Units available to same-kind atomics on distinct addresses."""
+        if op.dtype is not None and op.dtype.is_integer and \
+                op.dtype.size_bytes == 4:
+            return self.array_units_int
+        return self.array_units_other
+
+    def without_aggregation(self) -> "AtomicUnitModel":
+        """Copy with warp aggregation disabled (ablation)."""
+        return AtomicUnitModel(
+            int_service_cycles=self.int_service_cycles,
+            ull_service_cycles=self.ull_service_cycles,
+            fp_service_cycles=self.fp_service_cycles,
+            cas_service_cycles=self.cas_service_cycles,
+            cas64_service_cycles=self.cas64_service_cycles,
+            latency_floor_cycles=self.latency_floor_cycles,
+            array_units_int=self.array_units_int,
+            array_units_other=self.array_units_other,
+            aggregation=False,
+        )

@@ -1,0 +1,317 @@
+"""Per-primitive steady-state cost model for the GPU (in clock cycles).
+
+Prices one dynamic op for the slowest participating thread, given a launch
+configuration and the resulting occupancy.  See the package docstring for
+the mechanisms; the individual methods cite the figure whose trend they
+produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import Op, PrimitiveKind, Scope
+from repro.gpu.atomic_units import AtomicUnitModel
+from repro.gpu.occupancy import OccupancyResult
+from repro.gpu.spec import WARP_SIZE, GpuSpec, LaunchConfig
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+#: L2 sector size in bytes (granularity of atomic line locking).
+SECTOR_BYTES = 32
+
+_SHFL_KINDS = frozenset({
+    PrimitiveKind.SHFL_SYNC,
+    PrimitiveKind.SHFL_UP_SYNC,
+    PrimitiveKind.SHFL_DOWN_SYNC,
+    PrimitiveKind.SHFL_XOR_SYNC,
+})
+
+_VOTE_KINDS = frozenset({
+    PrimitiveKind.VOTE_ALL,
+    PrimitiveKind.VOTE_ANY,
+    PrimitiveKind.VOTE_BALLOT,
+    PrimitiveKind.MATCH_ANY_SYNC,
+    PrimitiveKind.MATCH_ALL_SYNC,
+})
+
+_ATOMIC_KINDS = frozenset({
+    PrimitiveKind.ATOMIC_ADD,
+    PrimitiveKind.ATOMIC_SUB,
+    PrimitiveKind.ATOMIC_MAX,
+    PrimitiveKind.ATOMIC_MIN,
+    PrimitiveKind.ATOMIC_AND,
+    PrimitiveKind.ATOMIC_OR,
+    PrimitiveKind.ATOMIC_XOR,
+    PrimitiveKind.ATOMIC_INC,
+    PrimitiveKind.ATOMIC_DEC,
+    PrimitiveKind.ATOMIC_CAS,
+    PrimitiveKind.ATOMIC_EXCH,
+})
+
+_SYNCTHREADS_KINDS = frozenset({
+    PrimitiveKind.SYNCTHREADS,
+    PrimitiveKind.SYNCTHREADS_COUNT,
+    PrimitiveKind.SYNCTHREADS_AND,
+    PrimitiveKind.SYNCTHREADS_OR,
+})
+
+
+@dataclass(frozen=True)
+class GpuCostParams:
+    """Calibration constants for one GPU's cost model (clock cycles).
+
+    Attributes:
+        sync_base_cycles: ``__syncthreads()`` with a single warp.
+        sync_warp_step_cycles: Added per extra warp in the block (Fig. 7's
+            drop beyond 32 threads).
+        warp_sync_base_cycles: ``__syncwarp()`` at full issue speed.
+        warp_sync_slow_factor: Multiplier once resident threads per SM
+            exceed the device's full-speed width (Fig. 8's knee).
+        shfl_extra_cycles: Shuffle data-movement cost on top of the implied
+            warp sync; doubled for 64-bit types (two 32-bit instructions).
+        vote_extra_cycles: Vote reduce-and-broadcast cost on top of the
+            warp sync (slightly lower throughput than syncwarp, §V-B4).
+        reduce_sync_cycles: ``__reduce_max_sync()`` hardware instruction.
+        fence_drain_cycles: Device-wide ``__threadfence()`` drain (Fig. 14's
+            flat lines).
+        fence_block_cycles: Block fence when intra-block ordering actually
+            constrains the pipeline (small thread counts / tiny strides).
+        fence_system_factor: System fence cost multiplier over device scope.
+        block_atomic_service_cycles: SM-local (shared-memory) atomic service
+            time for block-scoped atomics.
+        block_atomic_floor_cycles: Pipeline floor for block-scoped atomics.
+        slice_conflict_cycles: L2 slice-camping penalty coefficient for
+            small-stride array atomics from many SMs (Fig. 10c vs 10d).
+        divergence_cycles: Fixed re-convergence overhead per extra
+            instruction group when lanes of a warp diverge (Bialas &
+            Strzelecki, the paper's methodological ancestor, found this
+            cost to be essentially constant per diverging branch).
+        alu_cycles: Simple ALU instruction (used by the kernel interpreter).
+        global_load_cycles: Amortized global load (interpreter).
+        uncoalesced_penalty_cycles: Extra cost per additional 32-byte
+            sector a warp's global accesses touch beyond the first
+            (interpreter coalescing model).
+        block_launch_cycles: Per-block scheduling overhead (what makes the
+            persistent-thread Reduction 5 win, §II-C).
+        kernel_launch_cycles: Fixed kernel launch overhead.
+    """
+
+    sync_base_cycles: float = 28.0
+    sync_warp_step_cycles: float = 16.0
+    warp_sync_base_cycles: float = 2.5
+    warp_sync_slow_factor: float = 1.5
+    shfl_extra_cycles: float = 1.5
+    vote_extra_cycles: float = 0.8
+    reduce_sync_cycles: float = 24.0
+    fence_drain_cycles: float = 115.0
+    fence_block_cycles: float = 10.0
+    fence_system_factor: float = 2.6
+    block_atomic_service_cycles: float = 2.0
+    block_atomic_floor_cycles: float = 20.0
+    slice_conflict_cycles: float = 6.0
+    divergence_cycles: float = 18.0
+    alu_cycles: float = 1.0
+    global_load_cycles: float = 8.0
+    uncoalesced_penalty_cycles: float = 4.0
+    block_launch_cycles: float = 100.0
+    kernel_launch_cycles: float = 2000.0
+
+    def with_overrides(self, **kwargs: float) -> "GpuCostParams":
+        """Copy with some constants replaced (for ablations/calibration)."""
+        return replace(self, **kwargs)
+
+
+class GpuCostModel:
+    """Prices GPU ops for a launch on a given device spec."""
+
+    def __init__(self, spec: GpuSpec, params: GpuCostParams | None = None,
+                 atomics: AtomicUnitModel | None = None) -> None:
+        self.spec = spec
+        self.params = params or GpuCostParams()
+        self.atomics = atomics or AtomicUnitModel()
+
+    def op_cost_cycles(self, op: Op, launch: LaunchConfig,
+                       occ: OccupancyResult) -> float:
+        """Deterministic steady-state cost (cycles) of one dynamic op."""
+        kind = op.kind
+        if kind in _SYNCTHREADS_KINDS:
+            cost = self._syncthreads(launch)
+            if kind is not PrimitiveKind.SYNCTHREADS:
+                # The predicate-reducing variants add a block-wide
+                # reduce-and-broadcast on top of the barrier.
+                cost += self.params.vote_extra_cycles * \
+                    launch.warps_per_block
+            return cost
+        if kind is PrimitiveKind.SYNCWARP:
+            return self._syncwarp(occ)
+        if kind in _SHFL_KINDS:
+            return self._shfl(op, occ)
+        if kind in _VOTE_KINDS:
+            return self._syncwarp(occ) + self.params.vote_extra_cycles
+        if kind is PrimitiveKind.REDUCE_MAX_SYNC:
+            return self.params.reduce_sync_cycles
+        if kind is PrimitiveKind.ACTIVEMASK:
+            # __activemask() only queries the hardware mask; it neither
+            # synchronizes nor touches memory.
+            return self.params.alu_cycles
+        if kind in _ATOMIC_KINDS:
+            return self._atomic(op, launch, occ)
+        if kind is PrimitiveKind.THREADFENCE:
+            return self.params.fence_drain_cycles
+        if kind is PrimitiveKind.THREADFENCE_BLOCK:
+            return self._fence_block(op, launch)
+        if kind is PrimitiveKind.THREADFENCE_SYSTEM:
+            return self.params.fence_drain_cycles * \
+                self.params.fence_system_factor
+        if kind is PrimitiveKind.PLAIN_UPDATE:
+            return self.params.alu_cycles + self.params.global_load_cycles
+        if kind is PrimitiveKind.PLAIN_READ:
+            return self.params.global_load_cycles
+        raise ConfigurationError(f"{kind} is not a GPU primitive")
+
+    # ------------------------------------------------------------------ #
+
+    def _syncthreads(self, launch: LaunchConfig) -> float:
+        """Block-wide barrier: flat up to one warp, then warps wait for each
+        other; no cross-block dependence, so block count is irrelevant
+        (Fig. 7)."""
+        p = self.params
+        return p.sync_base_cycles + \
+            p.sync_warp_step_cycles * (launch.warps_per_block - 1)
+
+    def _syncwarp(self, occ: OccupancyResult) -> float:
+        """Warp barrier: throughput depends on warps resident on the SM,
+        not warps per block (Fig. 8)."""
+        p = self.params
+        if occ.resident_threads_per_sm <= self.spec.full_speed_threads_per_sm:
+            return p.warp_sync_base_cycles
+        return p.warp_sync_base_cycles * p.warp_sync_slow_factor
+
+    def _shfl(self, op: Op, occ: OccupancyResult) -> float:
+        """Warp shuffle: implies a warp sync plus data movement.  The
+        hardware shuffles 32 bits, so 64-bit types need two instructions,
+        doubling issue pressure — their throughput drops at half the thread
+        count of the 32-bit types (Fig. 15)."""
+        p = self.params
+        if op.dtype is None:
+            raise ConfigurationError("shuffle needs a dtype")
+        n_instr = 1 if op.dtype.size_bytes == 4 else 2
+        pressure = occ.resident_threads_per_sm * n_instr
+        base = (p.warp_sync_base_cycles + p.shfl_extra_cycles) * n_instr
+        if pressure <= self.spec.full_speed_threads_per_sm:
+            return base
+        return base * p.warp_sync_slow_factor
+
+    def _fence_block(self, op: Op, launch: LaunchConfig) -> float:
+        """Block fence: measured cost collapses to ~zero above the warp
+        size and strides above 2, because intra-block accesses were not
+        going to be reordered anyway (§V-B3)."""
+        stride = 1
+        if isinstance(op.target, PrivateArrayElement):
+            stride = op.target.stride
+        if launch.block_threads <= WARP_SIZE or stride <= 2:
+            return self.params.fence_block_cycles
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def _resident_total_blocks(self, launch: LaunchConfig,
+                               occ: OccupancyResult) -> int:
+        return min(launch.grid_blocks,
+                   occ.active_sms * occ.blocks_per_sm_resident)
+
+    def _atomic(self, op: Op, launch: LaunchConfig,
+                occ: OccupancyResult) -> float:
+        if op.target is None or op.dtype is None:
+            raise ConfigurationError(
+                f"atomic op {op.kind} needs a dtype and target")
+        if op.scope is Scope.BLOCK:
+            return self._block_atomic(op, launch)
+        if isinstance(op.target, SharedScalar):
+            return self._scalar_atomic(op, launch, occ)
+        return self._array_atomic(op, launch, occ)
+
+    def _block_atomic(self, op: Op, launch: LaunchConfig) -> float:
+        """Block-scoped atomic served by SM-local hardware: cheap, and
+        contended only within the block (Listing 1's Reductions 3-5)."""
+        p = self.params
+        if self.atomics.aggregates(op) and isinstance(op.target, SharedScalar):
+            streams = launch.warps_per_block
+        elif isinstance(op.target, SharedScalar):
+            streams = launch.block_threads
+        else:
+            streams = 1
+        return max(p.block_atomic_floor_cycles,
+                   p.block_atomic_service_cycles * streams)
+
+    def _scalar_atomic(self, op: Op, launch: LaunchConfig,
+                       occ: OccupancyResult) -> float:
+        """All threads target one address: the atomic unit serializes every
+        concurrent stream.  Warp aggregation collapses each warp's integer
+        add/max/min into one stream, keeping the int curve flat past the
+        warp size (Fig. 9); CAS/Exch streams stay per-thread, so their flat
+        region ends after latency_floor/service threads (Figs. 11, 13)."""
+        blocks = self._resident_total_blocks(launch, occ)
+        if self.atomics.aggregates(op):
+            streams = blocks * launch.warps_per_block
+        else:
+            streams = blocks * launch.block_threads
+        service = self.atomics.service_cycles(op)
+        return max(self.atomics.latency_floor_cycles, service * streams)
+
+    def dynamic_atomic_cost(self, op: Op, n_addresses: int, n_lanes: int,
+                            issuing_warps: int, resident_blocks: int) -> float:
+        """Price an atomic from an *observed* issue pattern.
+
+        Used by the functional kernel interpreter, which — unlike the
+        steady-state sweeps — knows exactly how many lanes of the warp
+        issued the atomic, to how many distinct addresses, how many warps
+        of the block have been issuing the same atomic, and how many
+        blocks are resident.
+
+        Args:
+            op: The atomic op (kind/dtype/scope).
+            n_addresses: Distinct addresses targeted by this warp's lanes.
+            n_lanes: Lanes issuing in this warp step.
+            issuing_warps: Warps of the block observed issuing this atomic.
+            resident_blocks: Concurrently resident blocks (device scope).
+        """
+        if n_lanes < 1:
+            return 0.0
+        service = self.atomics.service_cycles(op)
+        if self.atomics.aggregates(op):
+            streams_per_warp = n_addresses
+        else:
+            streams_per_warp = n_lanes
+        if n_addresses >= n_lanes > 1:
+            # Fully disjoint addresses: parallel atomic units apply.
+            streams_per_warp = max(
+                1, streams_per_warp // self.atomics.parallel_units(op))
+        if op.scope is Scope.BLOCK:
+            return max(self.params.block_atomic_floor_cycles,
+                       self.params.block_atomic_service_cycles
+                       * streams_per_warp * max(issuing_warps, 1))
+        streams = streams_per_warp * max(issuing_warps, 1) \
+            * max(resident_blocks, 1)
+        return max(self.atomics.latency_floor_cycles, service * streams)
+
+    def _array_atomic(self, op: Op, launch: LaunchConfig,
+                      occ: OccupancyResult) -> float:
+        """Each thread targets its own element: no aggregation possible,
+        throughput bounded by the fixed number of atomic units (Figs. 10,
+        12).  Small strides concentrate many SMs' traffic on few L2
+        sectors/slices, which only hurts once multiple SMs are active —
+        at one block the trend is stride-independent, as the paper found."""
+        assert isinstance(op.target, PrivateArrayElement)
+        blocks = self._resident_total_blocks(launch, occ)
+        threads = blocks * launch.block_threads
+        service = self.atomics.service_cycles(op)
+        units = self.atomics.parallel_units(op)
+        pipelined = service * threads / units
+        cost = max(self.atomics.latency_floor_cycles, pipelined)
+        sector_sharers = max(1, SECTOR_BYTES // op.target.byte_stride)
+        if occ.active_sms > 1 and sector_sharers > 1:
+            cost += self.params.slice_conflict_cycles * (sector_sharers - 1) \
+                * (1.0 - 1.0 / occ.active_sms)
+        return cost

@@ -1,0 +1,113 @@
+"""The GPU device: spec + cost model behind the machine interface.
+
+A :class:`GpuDevice` implements the same interface the measurement engine
+uses for :class:`repro.cpu.machine.CpuMachine`, with time measured in clock
+cycles (the paper reads ``clock64()`` on the GPU) and near-deterministic
+timing: "there are no background processes or OS, and we directly read the
+cycle counter.  Thus, many of the GPU tests yield the exact same runtime"
+(Section IV).  The one noisy primitive is ``__threadfence_system()``, whose
+CPU round trip crosses the PCIe bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import throughput_from_cycles
+from repro.compiler.ops import Op, PrimitiveKind
+from repro.gpu.atomic_units import AtomicUnitModel
+from repro.gpu.costs import GpuCostModel, GpuCostParams
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.spec import GpuSpec, LaunchConfig
+
+
+@dataclass(frozen=True)
+class GpuRunContext:
+    """Resolved execution context for one CUDA measurement configuration.
+
+    Attributes:
+        launch: Grid/block dimensions.
+        occ: Occupancy of the busiest SM under this launch.
+    """
+
+    launch: LaunchConfig
+    occ: OccupancyResult
+
+
+class GpuDevice:
+    """A simulated NVIDIA GPU (one of Table I's devices, or custom)."""
+
+    time_unit = "cycles"
+
+    #: Per-outer-iteration loop bookkeeping cost (cycles); amortized over
+    #: the unroll factor and cancelled by the baseline/test subtraction.
+    loop_overhead = 2.0
+
+    #: One-time cold-start cost (cycles) of a timed kernel section: first
+    #: loads miss in L2.  The warm-up loop pays this before ``clock64()``
+    #: is read (§III).
+    cold_start_cost = 25_000.0
+
+    #: Per-op noise (cycles) on system-scope fences from PCIe traffic.
+    _PCIE_NOISE_CYCLES = 40.0
+
+    def __init__(self, spec: GpuSpec, params: GpuCostParams | None = None,
+                 atomics: AtomicUnitModel | None = None) -> None:
+        self.spec = spec
+        self.params = params or GpuCostParams()
+        self.atomics = atomics or AtomicUnitModel()
+        self.cost_model = GpuCostModel(spec, self.params, self.atomics)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def clock_ghz(self) -> float:
+        return self.spec.clock_ghz
+
+    def context(self, launch: LaunchConfig) -> GpuRunContext:
+        """Resolve a launch into its occupancy context."""
+        occ = occupancy(launch.grid_blocks, launch.block_threads,
+                        self.spec.sm_count, self.spec.max_threads_per_sm,
+                        self.spec.max_blocks_per_sm)
+        return GpuRunContext(launch=launch, occ=occ)
+
+    def op_cost(self, op: Op, ctx: GpuRunContext) -> float:
+        """Deterministic steady-state cost of one op (cycles)."""
+        return self.cost_model.op_cost_cycles(op, ctx.launch, ctx.occ)
+
+    def body_cost(self, body: tuple[Op, ...] | list[Op],
+                  ctx: GpuRunContext) -> float:
+        """Cost of one unrolled loop-body iteration (cycles)."""
+        return sum(self.op_cost(op, ctx) for op in body)
+
+    def run_noise(self, rng: np.random.Generator, ctx: GpuRunContext,
+                  body: tuple[Op, ...] = (),
+                  base_cost: float = 0.0) -> float:
+        """Per-op noise (cycles) for one run.
+
+        Zero for on-device primitives (deterministic cycle counter); erratic
+        for bodies containing a system-scope fence (Section V-B3: "the
+        behavior is more erratic since it involves communication with the
+        CPU across the PCIe bus").
+        """
+        del ctx, base_cost
+        if any(op.kind is PrimitiveKind.THREADFENCE_SYSTEM for op in body):
+            return float(rng.exponential(self._PCIE_NOISE_CYCLES))
+        return 0.0
+
+    def throughput(self, per_op_time: float) -> float:
+        """Per-thread ops/s from per-op cycles (1 / cycles / clock period)."""
+        return throughput_from_cycles(per_op_time, self.spec.clock_ghz)
+
+    def with_atomics(self, atomics: AtomicUnitModel) -> "GpuDevice":
+        """Copy of this device with a different atomic-unit model
+        (used by the warp-aggregation ablation)."""
+        return GpuDevice(self.spec, self.params, atomics)
+
+    def describe(self) -> dict[str, object]:
+        """Table I row for this device."""
+        return self.spec.describe()

@@ -1,0 +1,124 @@
+"""Occupancy: how many blocks and threads are resident on each SM.
+
+CUDA distributes thread blocks across SMs; several blocks may be resident
+on one SM concurrently as long as their combined threads fit under the
+architecture's max-threads-per-SM and block-slot limits (Section II-B).
+The paper's block counts {1, 2, SMs/2, SMs, 2xSMs} make occupancy the
+deciding factor for several figures: e.g. at 2xSMs blocks every SM holds
+two blocks — except at 1024 threads/block on the RTX 4090 (1536 threads/SM
+max), where only one fits and blocks run in waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident-state of the busiest SM for a given launch.
+
+    Attributes:
+        blocks_per_sm_wanted: Blocks the scheduler would like to co-locate
+            on the busiest SM (ceil(grid / SMs)).
+        blocks_per_sm_resident: Blocks actually resident at once, after the
+            threads-per-SM and block-slot limits.
+        resident_threads_per_sm: Threads concurrently resident on the
+            busiest SM.
+        waves: Number of sequential waves needed to run all of the busiest
+            SM's blocks (1 when everything is resident at once).
+        active_sms: SMs that received at least one block.
+    """
+
+    blocks_per_sm_wanted: int
+    blocks_per_sm_resident: int
+    resident_threads_per_sm: int
+    waves: int
+    active_sms: int
+
+    @property
+    def resident_warps_per_sm(self) -> int:
+        return -(-self.resident_threads_per_sm // 32)
+
+
+def occupancy(grid_blocks: int, block_threads: int, sm_count: int,
+              max_threads_per_sm: int, max_blocks_per_sm: int = 16
+              ) -> OccupancyResult:
+    """Compute the busiest SM's resident state for a launch.
+
+    Args:
+        grid_blocks: Number of thread blocks launched.
+        block_threads: Threads per block (1..1024).
+        sm_count: SMs on the device.
+        max_threads_per_sm: Architecture limit (Table I row).
+        max_blocks_per_sm: Hardware block-slot limit per SM.
+
+    Raises:
+        ConfigurationError: for non-positive sizes or > 1024 threads/block.
+    """
+    if grid_blocks < 1:
+        raise ConfigurationError(f"grid must have >= 1 block, got {grid_blocks}")
+    if not 1 <= block_threads <= 1024:
+        raise ConfigurationError(
+            f"threads per block must be in 1..1024, got {block_threads}")
+    if sm_count < 1 or max_threads_per_sm < 1024:
+        raise ConfigurationError(
+            f"implausible device: {sm_count} SMs, "
+            f"{max_threads_per_sm} threads/SM")
+
+    wanted = -(-grid_blocks // sm_count)
+    by_threads = max_threads_per_sm // block_threads
+    resident = max(1, min(wanted, by_threads, max_blocks_per_sm))
+    waves = -(-wanted // resident)
+    return OccupancyResult(
+        blocks_per_sm_wanted=wanted,
+        blocks_per_sm_resident=resident,
+        resident_threads_per_sm=resident * block_threads,
+        waves=waves,
+        active_sms=min(grid_blocks, sm_count),
+    )
+
+
+@dataclass(frozen=True)
+class OccupancyReportRow:
+    """One block size's theoretical occupancy on a device.
+
+    Attributes:
+        block_threads: Threads per block.
+        blocks_per_sm: Blocks that can co-reside on one SM.
+        warps_per_sm: Resident warps per SM at that residency.
+        occupancy: Resident warps / the architecture's max warps per SM
+            (the quantity NVIDIA's occupancy calculator reports).
+    """
+
+    block_threads: int
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+
+
+def occupancy_report(sm_count: int, max_threads_per_sm: int,
+                     max_blocks_per_sm: int = 16,
+                     block_sizes: list[int] | None = None
+                     ) -> list[OccupancyReportRow]:
+    """Theoretical-occupancy table across block sizes (the CUDA
+    occupancy-calculator view of a device).
+
+    A saturating grid (``sm_count * max_blocks_per_sm`` blocks) is
+    assumed, so the residency limit is the architecture, not the launch.
+    """
+    rows = []
+    max_warps = max_threads_per_sm // 32
+    for block_threads in block_sizes or [2 ** k for k in range(5, 11)]:
+        occ = occupancy(sm_count * max_blocks_per_sm, block_threads,
+                        sm_count, max_threads_per_sm, max_blocks_per_sm)
+        warps = occ.blocks_per_sm_resident * (-(-block_threads // 32))
+        rows.append(OccupancyReportRow(
+            block_threads=block_threads,
+            blocks_per_sm=occ.blocks_per_sm_resident,
+            warps_per_sm=warps,
+            occupancy=min(1.0, warps / max_warps),
+        ))
+    return rows

@@ -1,0 +1,68 @@
+"""The three GPUs of Table I as ready-made devices.
+
+System 1: NVIDIA GeForce RTX 2070 SUPER (CC 7.5, 40 SMs, 1024 thr/SM).
+System 2: NVIDIA A100 40GB (CC 8.0, 108 SMs, 2048 thr/SM).
+System 3: NVIDIA GeForce RTX 4090 (CC 8.9, 128 SMs, 1536 thr/SM) — the
+paper's default device for figures.
+
+The ``full_speed_threads_per_sm`` values encode the Fig. 8 observation
+that "the RTX 4090 can handle up to 256 threads per SM, and the RTX 2070
+SUPER can handle up to 512 threads per SM at full speed" (System 2 behaves
+like System 3).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import GpuSpec
+
+SYSTEM1_GPU = GpuDevice(GpuSpec(
+    name="NVIDIA GeForce RTX 2070 SUPER",
+    compute_capability=7.5,
+    clock_ghz=1.80,
+    sm_count=40,
+    max_threads_per_sm=1024,
+    cuda_cores_per_sm=64,
+    memory_gb=8,
+    full_speed_threads_per_sm=512,
+))
+
+SYSTEM2_GPU = GpuDevice(GpuSpec(
+    name="NVIDIA A100 40GB",
+    compute_capability=8.0,
+    clock_ghz=1.41,
+    sm_count=108,
+    max_threads_per_sm=2048,
+    cuda_cores_per_sm=64,
+    memory_gb=40,
+    full_speed_threads_per_sm=256,
+))
+
+SYSTEM3_GPU = GpuDevice(GpuSpec(
+    name="NVIDIA GeForce RTX 4090",
+    compute_capability=8.9,
+    clock_ghz=2.625,
+    sm_count=128,
+    max_threads_per_sm=1536,
+    cuda_cores_per_sm=128,
+    memory_gb=24,
+    full_speed_threads_per_sm=256,
+))
+
+#: Presets by the paper's system number.
+GPU_PRESETS: dict[int, GpuDevice] = {
+    1: SYSTEM1_GPU,
+    2: SYSTEM2_GPU,
+    3: SYSTEM3_GPU,
+}
+
+
+def gpu_preset(system: int) -> GpuDevice:
+    """GPU of paper System 1, 2, or 3.
+
+    Raises:
+        KeyError: for system numbers other than 1-3.
+    """
+    if system not in GPU_PRESETS:
+        raise KeyError(f"no System {system}; the paper tests systems 1-3")
+    return GPU_PRESETS[system]

@@ -1,0 +1,113 @@
+"""Static GPU device specifications and kernel launch configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU (one row of Table I).
+
+    Attributes:
+        name: Marketing name.
+        compute_capability: e.g. 8.9 for the RTX 4090.
+        clock_ghz: Clock frequency as reported by ``cudaDeviceProp``.
+        sm_count: Number of streaming multiprocessors.
+        max_threads_per_sm: Architectural residency limit.
+        cuda_cores_per_sm: CUDA cores per SM.
+        memory_gb: Device memory size.
+        full_speed_threads_per_sm: Resident threads per SM the warp
+            scheduler sustains at full issue rate; beyond this,
+            ``__syncwarp()``/shuffle throughput drops somewhat (Fig. 8:
+            ~256 on the RTX 4090 and A100, ~512 on the RTX 2070 SUPER).
+        max_blocks_per_sm: Hardware block-slot limit.
+    """
+
+    name: str
+    compute_capability: float
+    clock_ghz: float
+    sm_count: int
+    max_threads_per_sm: int
+    cuda_cores_per_sm: int
+    memory_gb: int
+    full_speed_threads_per_sm: int
+    max_blocks_per_sm: int = 16
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigurationError(
+                f"clock must be positive, got {self.clock_ghz}")
+        if self.sm_count < 1:
+            raise ConfigurationError(f"need >= 1 SM, got {self.sm_count}")
+        if self.max_threads_per_sm < 1024:
+            raise ConfigurationError(
+                "max threads per SM below the 1024-thread block limit: "
+                f"{self.max_threads_per_sm}")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // WARP_SIZE
+
+    def describe(self) -> dict[str, object]:
+        """Table I row for this GPU."""
+        return {
+            "name": self.name,
+            "compute_capability": self.compute_capability,
+            "clock_ghz": self.clock_ghz,
+            "sm_count": self.sm_count,
+            "max_threads_per_sm": self.max_threads_per_sm,
+            "cuda_cores_per_sm": self.cuda_cores_per_sm,
+            "memory_gb": self.memory_gb,
+        }
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch: ``kernel<<<grid_blocks, block_threads>>>``.
+
+    Attributes:
+        grid_blocks: Number of thread blocks.
+        block_threads: Threads per block (1..1024; a block is a logical
+            group of up to 1024 threads, Section II-B).
+    """
+
+    grid_blocks: int
+    block_threads: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise ConfigurationError(
+                f"grid needs >= 1 block, got {self.grid_blocks}")
+        if not 1 <= self.block_threads <= 1024:
+            raise ConfigurationError(
+                f"threads per block must be in 1..1024, "
+                f"got {self.block_threads}")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.block_threads
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block; partial warps still occupy a full warp slot."""
+        return -(-self.block_threads // WARP_SIZE)
+
+    @property
+    def total_warps(self) -> int:
+        return self.grid_blocks * self.warps_per_block
+
+
+def paper_block_counts(spec: GpuSpec) -> list[int]:
+    """The paper's block-count sweep: 1, 2, SMs/2, SMs, 2xSMs."""
+    return [1, 2, max(1, spec.sm_count // 2), spec.sm_count,
+            2 * spec.sm_count]
+
+
+def paper_thread_counts() -> list[int]:
+    """The paper's per-block thread sweep: powers of two through 1024."""
+    return [2 ** k for k in range(0, 11)]

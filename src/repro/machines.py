@@ -1,0 +1,98 @@
+"""Machine definitions as JSON: save, load, share, calibrate.
+
+The artifact's promise is that the experiments run on any hardware; this
+module makes custom machines portable.  A machine file fully describes a
+:class:`~repro.cpu.machine.CpuMachine` (topology + cost params + jitter)
+or a :class:`~repro.gpu.device.GpuDevice` (spec + cost params + atomic
+units), so a calibration fitted on one box (see
+:mod:`repro.analysis.calibrate`) can be saved and reloaded anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+from repro.gpu.atomic_units import AtomicUnitModel
+from repro.gpu.costs import GpuCostParams
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import GpuSpec
+
+
+def _build(cls, data: dict, where: str):
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown keys {sorted(unknown)}; allowed "
+            f"{sorted(allowed)}")
+    return cls(**data)
+
+
+def save_cpu_machine(machine: CpuMachine, path: str | Path) -> Path:
+    """Serialize a CPU machine to JSON."""
+    path = Path(path)
+    payload = {
+        "kind": "cpu",
+        "topology": asdict(machine.topology),
+        "cost_params": asdict(machine.params),
+        "jitter": asdict(machine.jitter),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def save_gpu_device(device: GpuDevice, path: str | Path) -> Path:
+    """Serialize a GPU device to JSON."""
+    path = Path(path)
+    payload = {
+        "kind": "gpu",
+        "spec": asdict(device.spec),
+        "cost_params": asdict(device.params),
+        "atomic_units": asdict(device.atomics),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_machine(path: str | Path) -> CpuMachine | GpuDevice:
+    """Load a machine file written by the savers above.
+
+    Raises:
+        ConfigurationError: for unreadable files, missing/unknown kinds,
+            or fields the dataclasses reject.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"machine file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"machine file {path} is not valid JSON: {exc}") from exc
+    kind = payload.get("kind")
+    if kind == "cpu":
+        return CpuMachine(
+            _build(CpuTopology, payload.get("topology", {}),
+                   f"{path}:topology"),
+            _build(CpuCostParams, payload.get("cost_params", {}),
+                   f"{path}:cost_params"),
+            _build(JitterModel, payload.get("jitter", {}),
+                   f"{path}:jitter"),
+        )
+    if kind == "gpu":
+        return GpuDevice(
+            _build(GpuSpec, payload.get("spec", {}), f"{path}:spec"),
+            _build(GpuCostParams, payload.get("cost_params", {}),
+                   f"{path}:cost_params"),
+            _build(AtomicUnitModel, payload.get("atomic_units", {}),
+                   f"{path}:atomic_units"),
+        )
+    raise ConfigurationError(
+        f"machine file {path} has kind {kind!r}; expected 'cpu' or 'gpu'")

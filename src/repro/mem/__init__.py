@@ -1,0 +1,30 @@
+"""Memory substrate: access-pattern descriptors and cache-line geometry.
+
+The paper's experiments access memory in two patterns: every thread hammers
+one *shared scalar*, or each thread updates a *private element* of a shared
+array at a configurable stride.  :mod:`repro.mem.layout` describes those
+patterns; :mod:`repro.mem.cacheline` computes which threads' elements land on
+the same cache line (the source of false sharing); and
+:mod:`repro.mem.coherence` turns sharer counts into invalidation-traffic
+costs.
+"""
+
+from repro.mem.layout import MemoryTarget, SharedScalar, PrivateArrayElement
+from repro.mem.cacheline import (
+    CacheLineGeometry,
+    elements_per_line,
+    line_index_of_thread,
+    sharer_groups,
+)
+from repro.mem.coherence import CoherenceModel
+
+__all__ = [
+    "MemoryTarget",
+    "SharedScalar",
+    "PrivateArrayElement",
+    "CacheLineGeometry",
+    "elements_per_line",
+    "line_index_of_thread",
+    "sharer_groups",
+    "CoherenceModel",
+]

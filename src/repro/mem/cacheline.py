@@ -1,0 +1,73 @@
+"""Cache-line geometry: which threads' elements share a line.
+
+False sharing (Fig. 3, Fig. 6) is purely geometric: with a 64-byte line, a
+4-byte type at stride 1 packs 16 threads' elements per line, while a stride
+of 16 gives each element its own line.  The 64-bit types escape false
+sharing at stride 8 and the 32-bit types at stride 16 — exactly the cliffs
+the paper observes.  This module computes those groupings from first
+principles so the cliffs *emerge* rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.mem.layout import PrivateArrayElement
+
+
+@dataclass(frozen=True)
+class CacheLineGeometry:
+    """Geometry of one cache level's lines.
+
+    Attributes:
+        line_bytes: Cache-line size in bytes (64 on every system in Table I).
+    """
+
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"cache line size must be a positive power of two, "
+                f"got {self.line_bytes}")
+
+
+def elements_per_line(geometry: CacheLineGeometry,
+                      target: PrivateArrayElement) -> int:
+    """Number of *accessed* elements that fit on one cache line.
+
+    With byte stride ``s`` and line size ``L``, consecutive threads' elements
+    share a line while ``s < L``; up to ``ceil(L / s)`` accessed elements
+    land on one line (assuming the array is line-aligned; for strides that
+    do not divide the line evenly, the fullest line holds the ceiling).
+    """
+    byte_stride = target.byte_stride
+    if byte_stride >= geometry.line_bytes:
+        return 1
+    return -(-geometry.line_bytes // byte_stride)
+
+
+def line_index_of_thread(geometry: CacheLineGeometry,
+                         target: PrivateArrayElement,
+                         thread_id: int) -> int:
+    """Cache-line index touched by ``thread_id`` (array assumed line-aligned)."""
+    return target.byte_offset(thread_id) // geometry.line_bytes
+
+
+def sharer_groups(geometry: CacheLineGeometry,
+                  target: PrivateArrayElement,
+                  n_threads: int) -> list[list[int]]:
+    """Group thread ids by the cache line their element lives on.
+
+    Returns:
+        A list of groups (each a list of thread ids) in increasing line
+        order.  A group of size 1 means that thread suffers no false sharing.
+    """
+    if n_threads < 1:
+        raise ConfigurationError(f"need at least one thread, got {n_threads}")
+    groups: dict[int, list[int]] = {}
+    for tid in range(n_threads):
+        groups.setdefault(line_index_of_thread(geometry, target, tid),
+                          []).append(tid)
+    return [groups[line] for line in sorted(groups)]

@@ -1,0 +1,87 @@
+"""MESI-style coherence cost accounting.
+
+Private L1 caches mean that every write to a line cached by another core
+triggers an invalidation and a later line transfer.  For the steady-state
+micro-benchmarks in the paper, the relevant quantity per thread is *how many
+other cores keep yanking its line away*:
+
+* Shared scalar: every other contending core.
+* Private array element: the other cores whose elements share the line
+  (false sharing).  SMT siblings share an L1, so two hyperthreads on the
+  same core can never falsely share a line with each other — a detail the
+  paper calls out explicitly ("hyperthreads running on the same core cannot
+  suffer from false sharing as they access the same cache").
+
+Thread placement is abstracted as a mapping from thread id to an opaque
+*core key* so this module does not depend on the CPU topology classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.mem.cacheline import CacheLineGeometry, sharer_groups
+from repro.mem.layout import PrivateArrayElement
+
+
+@dataclass(frozen=True)
+class CoherenceModel:
+    """Counts the coherence partners each thread fights for lines with.
+
+    Attributes:
+        geometry: Cache-line geometry (64 B lines on all tested systems).
+    """
+
+    geometry: CacheLineGeometry = CacheLineGeometry()
+
+    def contending_cores(self, n_threads: int,
+                         placement: Mapping[int, object]) -> int:
+        """Number of distinct cores touching a single shared scalar.
+
+        Used for the shared-variable atomic/critical/barrier experiments:
+        contention serializes at core granularity because SMT siblings share
+        their L1 and do not generate inter-core coherence traffic.
+        """
+        self._check_placement(n_threads, placement)
+        return len({placement[tid] for tid in range(n_threads)})
+
+    def false_sharing_partners(self, target: PrivateArrayElement,
+                               n_threads: int,
+                               placement: Mapping[int, object]) -> list[int]:
+        """Per-thread count of *other cores* sharing that thread's line.
+
+        Returns:
+            ``partners[tid]`` = number of distinct cores other than
+            ``tid``'s own whose accessed element lies on the same cache
+            line.  Zero means the thread is free of false sharing.
+        """
+        self._check_placement(n_threads, placement)
+        partners = [0] * n_threads
+        for group in sharer_groups(self.geometry, target, n_threads):
+            cores_on_line = {placement[tid] for tid in group}
+            for tid in group:
+                others = cores_on_line - {placement[tid]}
+                partners[tid] = len(others)
+        return partners
+
+    def max_false_sharing_partners(self, target: PrivateArrayElement,
+                                   n_threads: int,
+                                   placement: Mapping[int, object]) -> int:
+        """Worst-case sharer count across threads (drives the slowest thread,
+        which is what the paper's max-across-threads timing records)."""
+        partners = self.false_sharing_partners(target, n_threads, placement)
+        return max(partners)
+
+    @staticmethod
+    def _check_placement(n_threads: int,
+                         placement: Mapping[int, object]) -> None:
+        if n_threads < 1:
+            raise ConfigurationError(
+                f"need at least one thread, got {n_threads}")
+        missing = [tid for tid in range(n_threads) if tid not in placement]
+        if missing:
+            raise ConfigurationError(
+                f"placement missing thread ids {missing[:5]}"
+                f"{'...' if len(missing) > 5 else ''}")

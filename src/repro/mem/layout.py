@@ -1,0 +1,81 @@
+"""Descriptors for the memory-access patterns exercised by the experiments.
+
+Two patterns cover every experiment in the paper:
+
+* :class:`SharedScalar` — all participating threads operate on one shared
+  variable (Figs. 1, 2, 4, 5, 7, 9, 11, 13).
+* :class:`PrivateArrayElement` — thread *t* operates on element
+  ``t * stride`` of a shared array (Figs. 3, 6, 10, 12, 14).  Contention is
+  impossible, but *false sharing* occurs whenever several threads' elements
+  share a cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.datatypes import DataType
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTarget:
+    """Base class for a memory-access pattern.
+
+    Attributes:
+        dtype: Data type of the accessed variable/elements.
+    """
+
+    dtype: DataType
+
+    @property
+    def is_shared(self) -> bool:
+        """True when all threads access the same address (true contention)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SharedScalar(MemoryTarget):
+    """All threads access one shared variable at a single address."""
+
+    @property
+    def is_shared(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PrivateArrayElement(MemoryTarget):
+    """Each thread accesses its own element of a shared array.
+
+    Thread ``t`` touches element ``t * stride``; the byte offset between
+    consecutive threads' elements is ``stride * dtype.size_bytes``.
+
+    Attributes:
+        stride: Distance, in elements, between accessed elements (>= 1).
+    """
+
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ConfigurationError(
+                f"array stride must be >= 1, got {self.stride}")
+
+    @property
+    def is_shared(self) -> bool:
+        return False
+
+    @property
+    def byte_stride(self) -> int:
+        """Byte distance between consecutive threads' elements."""
+        return self.stride * self.dtype.size_bytes
+
+    def element_index(self, thread_id: int) -> int:
+        """Array index accessed by ``thread_id``."""
+        if thread_id < 0:
+            raise ConfigurationError(f"negative thread id {thread_id}")
+        return thread_id * self.stride
+
+    def byte_offset(self, thread_id: int) -> int:
+        """Byte offset of the element accessed by ``thread_id``."""
+        return self.element_index(thread_id) * self.dtype.size_bytes

@@ -1,0 +1,70 @@
+"""OpenMP API layer: parallel regions over the simulated CPU.
+
+Thread bodies are written as Python generator functions that *yield*
+synchronization/memory requests (:mod:`repro.openmp.requests`); the
+cooperative interpreter (:mod:`repro.openmp.interpreter`) schedules the
+threads, executes the requests against real numpy-backed shared memory,
+charges each request's cost from the CPU cost model, and runs a data-race
+detector (:mod:`repro.openmp.race`) over every access.
+
+Example::
+
+    omp = OpenMP(SYSTEM3_CPU, n_threads=8)
+
+    def body(tc):
+        for _ in range(100):
+            yield tc.atomic_update("counter", 0, lambda v: v + 1)
+        yield tc.barrier()
+
+    result = omp.parallel(body, shared={"counter": np.zeros(1, np.int64)})
+    assert result.memory["counter"][0] == 800
+"""
+
+from repro.openmp.requests import (
+    AtomicCapture,
+    AtomicRead,
+    AtomicUpdate,
+    AtomicWrite,
+    Barrier,
+    Critical,
+    Flush,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Write,
+)
+from repro.openmp.interpreter import OpenMP, ParallelResult, ThreadContext
+from repro.openmp.race import RaceDetector, RaceReport
+from repro.openmp.worksharing import (
+    ReduceOutcome,
+    Schedule,
+    parallel_for,
+    parallel_for_ordered,
+    parallel_reduce,
+    parallel_sections,
+)
+
+__all__ = [
+    "OpenMP",
+    "ParallelResult",
+    "ThreadContext",
+    "Barrier",
+    "Flush",
+    "Critical",
+    "LockAcquire",
+    "LockRelease",
+    "AtomicUpdate",
+    "AtomicCapture",
+    "AtomicRead",
+    "AtomicWrite",
+    "Read",
+    "Write",
+    "RaceDetector",
+    "RaceReport",
+    "Schedule",
+    "parallel_for",
+    "parallel_for_ordered",
+    "parallel_reduce",
+    "parallel_sections",
+    "ReduceOutcome",
+]

@@ -1,0 +1,147 @@
+"""Request objects yielded by OpenMP thread bodies.
+
+Each request corresponds to one OpenMP construct (or a plain memory
+access).  The interpreter executes the request, charges its cost, feeds it
+to the race detector, and sends any produced value back into the
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class for everything a thread body may yield."""
+
+
+@dataclass(frozen=True)
+class Barrier(Request):
+    """``#pragma omp barrier`` — blocks until all threads arrive.
+
+    Implies a flush, so it also closes the race detector's epoch.
+    """
+
+
+@dataclass(frozen=True)
+class Flush(Request):
+    """``#pragma omp flush`` — memory fence ordering this thread's accesses."""
+
+
+@dataclass(frozen=True)
+class MemoryRequest(Request):
+    """A request that touches ``var[idx]``."""
+
+    var: str
+    idx: int
+
+
+@dataclass(frozen=True)
+class Read(MemoryRequest):
+    """Plain (non-atomic) load; produces the value."""
+
+
+@dataclass(frozen=True)
+class Write(MemoryRequest):
+    """Plain (non-atomic) store of ``value``."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class AtomicRead(MemoryRequest):
+    """``#pragma omp atomic read`` — produces the value."""
+
+    dtype: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class AtomicWrite(MemoryRequest):
+    """``#pragma omp atomic write`` of ``value``."""
+
+    value: object = 0
+    dtype: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class AtomicUpdate(MemoryRequest):
+    """``#pragma omp atomic update`` — applies ``func`` to the value."""
+
+    func: Callable[[object], object] = field(default=lambda v: v)
+    dtype: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class AtomicCapture(AtomicUpdate):
+    """``#pragma omp atomic capture`` — like update, but produces a value.
+
+    Attributes:
+        capture_old: Produce the pre-update value (``v = x++`` style) when
+            True; the post-update value otherwise.
+    """
+
+    capture_old: bool = True
+
+
+@dataclass(frozen=True)
+class Single(Request):
+    """``#pragma omp single`` — one thread executes ``func(memory)``, the
+    rest skip it; an implicit barrier follows (the default, no ``nowait``).
+
+    Attributes:
+        name: Identifies the construct; every thread of the team must
+            reach the same single (matching names) before anyone proceeds.
+        func: Executed exactly once, by the lowest-numbered arriving
+            thread; its return value is produced to that thread (others
+            receive None — ``copyprivate`` is not modeled).
+        touches: Access declarations for the race detector, as in
+            :class:`Critical`.
+    """
+
+    name: str = "single"
+    func: Callable[[dict], object] = field(default=lambda mem: None)
+    touches: tuple[tuple[str, int, bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class LockAcquire(Request):
+    """``omp_set_lock()`` — blocks until the named lock is free.
+
+    Accesses performed while holding any lock are recorded as locked for
+    the race detector (lockset-lite: lock identity is not distinguished).
+    """
+
+    name: str = "lock"
+
+
+@dataclass(frozen=True)
+class LockRelease(Request):
+    """``omp_unset_lock()`` — releases the named lock.
+
+    Releasing a lock the thread does not hold is a simulation error.
+    """
+
+    name: str = "lock"
+
+
+@dataclass(frozen=True)
+class Critical(Request):
+    """``#pragma omp critical`` — runs ``func(memory)`` holding the lock.
+
+    ``func`` receives the shared-memory mapping (name -> numpy array) and
+    may read and write freely; the whole callable executes atomically.
+    Its return value, if any, is produced to the yielding thread.
+
+    Attributes:
+        touches: Optional declarations of the locations ``func`` accesses,
+            as ``(var, idx, is_write)`` triples, so the race detector can
+            check them against accesses outside the critical section.
+    """
+
+    func: Callable[[dict], object] = field(default=lambda mem: None)
+    dtype: Optional[DataType] = None
+    touches: tuple[tuple[str, int, bool], ...] = ()

@@ -1,0 +1,90 @@
+"""Execution traces for the OpenMP interpreter.
+
+When a region runs with ``trace=True``, each executed request is recorded
+as a :class:`CpuTraceEvent` — thread, operation, and modeled time
+interval — and barrier waits become visible as the gap each thread spends
+blocked, which is exactly the "threads spend more time waiting for the
+other threads" effect behind Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CpuTraceEvent:
+    """One executed request.
+
+    Attributes:
+        tid: Thread id.
+        label: Operation label ("AtomicUpdate", "Barrier", "wait", ...).
+        start_ns / end_ns: Modeled interval on the thread's clock.
+    """
+
+    tid: int
+    label: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class CpuTrace:
+    """Ordered event log for one parallel region."""
+
+    events: list[CpuTraceEvent] = field(default_factory=list)
+
+    def add(self, tid: int, label: str, start: float, end: float) -> None:
+        """Record one executed request."""
+        self.events.append(CpuTraceEvent(tid, label, start, end))
+
+    def for_thread(self, tid: int) -> list[CpuTraceEvent]:
+        """Events of one thread, in recording order."""
+        return [e for e in self.events if e.tid == tid]
+
+    def total_ns_by_label(self) -> dict[str, float]:
+        """Aggregate durations per operation label (a cost profile)."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.label] = totals.get(event.label, 0.0) + \
+                event.duration
+        return totals
+
+    def wait_fraction(self, tid: int) -> float:
+        """Fraction of a thread's time spent waiting at barriers."""
+        events = self.for_thread(tid)
+        if not events:
+            return 0.0
+        total = max(e.end_ns for e in events)
+        if total <= 0:
+            return 0.0
+        waited = sum(e.duration for e in events if e.label == "wait")
+        return waited / total
+
+    def render(self, width: int = 64) -> str:
+        """Render all threads as an ASCII timeline (waits shown as '.')."""
+        if not self.events:
+            return "<no events>"
+        end = max(e.end_ns for e in self.events)
+        if end <= 0:
+            return "<zero-length trace>"
+        tids = sorted({e.tid for e in self.events})
+        lines = [f"region timeline (0 .. {end:.0f} ns)"]
+        for tid in tids:
+            row = [" "] * width
+            for e in self.for_thread(tid):
+                lo = int(e.start_ns / end * (width - 1))
+                hi = max(lo + 1, int(e.end_ns / end * (width - 1)) + 1)
+                glyph = "." if e.label == "wait" else e.label[0].upper()
+                for i in range(lo, min(hi, width)):
+                    row[i] = glyph
+            lines.append(f"  t{tid:<2}: |{''.join(row)}|")
+        labels = sorted({e.label for e in self.events
+                         if e.label != "wait"})
+        lines.append("  key: .=wait, " + ", ".join(
+            f"{label[0].upper()}={label}" for label in labels))
+        return "\n".join(lines)

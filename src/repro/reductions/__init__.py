@@ -1,0 +1,30 @@
+"""The five max-reduction implementations of Listing 1.
+
+Section II-C's motivating example: five correct CUDA reductions whose
+performance ordering is non-intuitive.  Of Reductions 1-4, Reduction 3
+(block-scoped atomics) is fastest, then Reduction 4 (hardware warp
+reduction), then Reduction 1 (naive global atomics, saved by warp
+aggregation), and Reduction 2 (shuffle tree) is slowest; the
+persistent-threads Reduction 5 beats them all, by about 2.5x over
+Reduction 2 on the paper's input and GPU.
+"""
+
+from repro.reductions.kernels import (
+    INT_MIN,
+    REDUCTION_NAMES,
+    make_reduction,
+)
+from repro.reductions.runner import (
+    ReductionOutcome,
+    run_reduction,
+    compare_reductions,
+)
+
+__all__ = [
+    "INT_MIN",
+    "REDUCTION_NAMES",
+    "make_reduction",
+    "ReductionOutcome",
+    "run_reduction",
+    "compare_reductions",
+]

@@ -1,0 +1,149 @@
+"""Kernel bodies for the five reductions of Listing 1.
+
+Each ``make_reduction_N(size)`` returns a kernel (generator function over a
+:class:`repro.cuda.KernelThread`) that reduces ``data[0:size]`` into
+``result[0]`` with ``max``, exactly mirroring the CUDA source in the paper:
+same primitives, same scopes, same guard conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.common.errors import ConfigurationError
+from repro.cuda.interpreter import KernelThread
+
+#: C's INT_MIN, the reductions' identity element.
+INT_MIN = -(2 ** 31)
+
+REDUCTION_NAMES = ("reduction1", "reduction2", "reduction3", "reduction4",
+                   "reduction5")
+
+
+def make_reduction1(size: int) -> Callable[[KernelThread], Generator]:
+    """Reduction 1 (CC >= 1.3): one global ``atomicMax()`` per thread."""
+
+    def kernel(t: KernelThread):
+        i = t.global_id
+        if i < size:
+            value = yield t.global_read("data", i)
+            yield t.atomic_max("result", 0, value)
+
+    return kernel
+
+
+def make_reduction2(size: int) -> Callable[[KernelThread], Generator]:
+    """Reduction 2 (CC >= 3.0): shuffle-tree warp reduction, then one
+    global atomic per warp."""
+
+    def kernel(t: KernelThread):
+        i = t.global_id
+        active = yield t.any_sync(i < size)
+        if active:
+            if i < size:
+                value = yield t.global_read("data", i)
+            else:
+                value = INT_MIN
+            j = 16  # warpSize / 2
+            while j > 0:
+                other = yield t.shfl_xor_sync(value, j)
+                value = max(value, other)
+                j //= 2
+            if t.lane == 0:
+                yield t.atomic_max("result", 0, value)
+
+    return kernel
+
+
+def make_reduction3(size: int) -> Callable[[KernelThread], Generator]:
+    """Reduction 3 (CC >= 6.0): block-scoped atomics into ``__shared__``
+    memory, then one global atomic per block."""
+
+    def kernel(t: KernelThread):
+        if t.threadIdx == 0:
+            yield t.shared_write("block_result", 0, INT_MIN)
+        yield t.syncthreads()
+        i = t.global_id
+        if i < size:
+            value = yield t.global_read("data", i)
+            yield t.atomic_max("block_result", 0, value)
+        yield t.syncthreads()
+        if t.threadIdx == 0:
+            block_result = yield t.shared_read("block_result", 0)
+            yield t.atomic_max("result", 0, block_result)
+
+    return kernel
+
+
+def make_reduction4(size: int) -> Callable[[KernelThread], Generator]:
+    """Reduction 4 (CC >= 8.0): hardware ``__reduce_max_sync()`` per warp,
+    block atomic per warp leader, global atomic per block."""
+
+    def kernel(t: KernelThread):
+        if t.threadIdx == 0:
+            yield t.shared_write("block_result", 0, INT_MIN)
+        yield t.syncthreads()
+        i = t.global_id
+        active = yield t.any_sync(i < size)
+        if active:
+            if i < size:
+                value = yield t.global_read("data", i)
+            else:
+                value = INT_MIN
+            value = yield t.reduce_max_sync(value)
+            if t.lane == 0:
+                yield t.atomic_max("block_result", 0, value)
+        yield t.syncthreads()
+        if t.threadIdx == 0:
+            block_result = yield t.shared_read("block_result", 0)
+            yield t.atomic_max("result", 0, block_result)
+
+    return kernel
+
+
+def make_reduction5(size: int) -> Callable[[KernelThread], Generator]:
+    """Reduction 5: persistent threads — each thread strides over many
+    elements, then the Reduction-3 combine."""
+
+    def kernel(t: KernelThread):
+        thread_result = INT_MIN
+        if t.threadIdx == 0:
+            yield t.shared_write("block_result", 0, INT_MIN)
+        yield t.syncthreads()
+        j = t.global_id
+        while j < size:
+            value = yield t.global_read("data", j)
+            if value > thread_result:
+                thread_result = value
+            yield t.alu(2)  # compare + stride increment
+            j += t.total_threads
+        yield t.atomic_max("block_result", 0, thread_result)
+        yield t.syncthreads()
+        if t.threadIdx == 0:
+            block_result = yield t.shared_read("block_result", 0)
+            yield t.atomic_max("result", 0, block_result)
+
+    return kernel
+
+
+_FACTORIES = {
+    "reduction1": make_reduction1,
+    "reduction2": make_reduction2,
+    "reduction3": make_reduction3,
+    "reduction4": make_reduction4,
+    "reduction5": make_reduction5,
+}
+
+
+def make_reduction(name: str, size: int
+                   ) -> Callable[[KernelThread], Generator]:
+    """Kernel factory by name ("reduction1" .. "reduction5").
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown reduction {name!r}; expected one of "
+            f"{list(_FACTORIES)}")
+    return _FACTORIES[name](size)

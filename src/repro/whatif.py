@@ -1,0 +1,124 @@
+"""What-if estimation: put numbers on the advisor's advice.
+
+The advisor (:mod:`repro.advisor`) says *what* to change; this module
+predicts *how much* it buys, by evaluating the cost models on both sides
+of a proposed change.  Each estimator returns a
+:class:`SpeedupEstimate` with the predicted per-thread speedup factor and
+the evidence experiment behind the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.datatypes import DataType, INT
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import PrimitiveKind, op_atomic
+from repro.cpu.machine import CpuMachine
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import LaunchConfig
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """Predicted effect of one change.
+
+    Attributes:
+        change: Human-readable description of the change.
+        before / after: Per-op costs in the machine's time unit.
+        speedup: before/after (>1 means the change helps).
+        evidence: Experiment id supporting the underlying mechanism.
+    """
+
+    change: str
+    before: float
+    after: float
+    evidence: str
+
+    @property
+    def speedup(self) -> float:
+        if self.after <= 0:
+            return float("inf")
+        return self.before / self.after
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.change}: {self.before:.4g} -> {self.after:.4g} "
+                f"({self.speedup:.2f}x; see {self.evidence})")
+
+
+def pad_array_stride(machine: CpuMachine, dtype: DataType,
+                     from_stride: int, to_stride: int,
+                     n_threads: int) -> SpeedupEstimate:
+    """Effect of padding per-thread atomic targets (Fig. 3's mechanism)."""
+    ctx = machine.context(n_threads)
+
+    def cost(stride: int) -> float:
+        op = op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                       PrivateArrayElement(dtype, stride))
+        return machine.op_cost(op, ctx)
+
+    return SpeedupEstimate(
+        change=f"pad {dtype.name} array stride {from_stride} -> "
+               f"{to_stride} at {n_threads} threads",
+        before=cost(from_stride), after=cost(to_stride), evidence="fig3")
+
+
+def replace_critical_with_atomic(machine: CpuMachine, dtype: DataType,
+                                 n_threads: int) -> SpeedupEstimate:
+    """Effect of swapping a critical-section update for an atomic
+    (Fig. 5's comparison)."""
+    ctx = machine.context(n_threads)
+    critical = machine.op_cost(
+        op_atomic(PrimitiveKind.OMP_CRITICAL_UPDATE, dtype,
+                  SharedScalar(dtype)), ctx)
+    atomic = machine.op_cost(
+        op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                  SharedScalar(dtype)), ctx)
+    return SpeedupEstimate(
+        change=f"replace critical section with atomic update "
+               f"({dtype.name}, {n_threads} threads)",
+        before=critical, after=atomic, evidence="fig5")
+
+
+def switch_atomic_dtype(device: GpuDevice, from_dtype: DataType,
+                        blocks: int, threads: int,
+                        to_dtype: DataType = INT) -> SpeedupEstimate:
+    """Effect of switching a shared-scalar GPU atomicAdd's operand type
+    (Fig. 9's int gap, including warp aggregation)."""
+    ctx = device.context(LaunchConfig(blocks, threads))
+
+    def cost(dtype: DataType) -> float:
+        return device.op_cost(
+            op_atomic(PrimitiveKind.ATOMIC_ADD, dtype,
+                      SharedScalar(dtype)), ctx)
+
+    return SpeedupEstimate(
+        change=f"switch atomicAdd operand {from_dtype.name} -> "
+               f"{to_dtype.name} at {blocks}x{threads}",
+        before=cost(from_dtype), after=cost(to_dtype), evidence="fig9")
+
+
+def shrink_block_for_barriers(device: GpuDevice, from_threads: int,
+                              to_threads: int,
+                              blocks: int = 1) -> SpeedupEstimate:
+    """Effect of a smaller block on ``__syncthreads()`` cost (the V-B5
+    (1) recommendation; Fig. 7's mechanism).
+
+    Raises:
+        ConfigurationError: if the change is not actually a shrink.
+    """
+    if to_threads >= from_threads:
+        raise ConfigurationError(
+            f"expected a shrink, got {from_threads} -> {to_threads}")
+    from repro.compiler.ops import Op
+
+    def cost(threads: int) -> float:
+        ctx = device.context(LaunchConfig(blocks, threads))
+        return device.op_cost(Op(kind=PrimitiveKind.SYNCTHREADS), ctx)
+
+    return SpeedupEstimate(
+        change=f"shrink block {from_threads} -> {to_threads} threads "
+               "for barrier-heavy code",
+        before=cost(from_threads), after=cost(to_threads),
+        evidence="fig7")

@@ -1,0 +1,52 @@
+"""Workload gallery: realistic parallel programs over the API layers.
+
+The paper's introduction motivates its study with the parallel codes
+developers actually write — codes whose correctness needs data-race
+prevention and whose performance hinges on choosing the right primitive.
+Each module here is such a program, implemented against the OpenMP or
+CUDA layer, with multiple synchronization strategies where the choice
+matters:
+
+* :mod:`repro.workloads.histogram` — binning with atomic vs privatized
+  counters (CPU) and global vs shared-memory atomics (GPU).
+* :mod:`repro.workloads.prefix_sum` — a barrier-phased Hillis-Steele
+  scan on a GPU block, and a two-level CPU scan.
+* :mod:`repro.workloads.stencil` — Jacobi iterations with double
+  buffering; the barrier is what makes the buffer swap safe.
+* :mod:`repro.workloads.pipeline` — a bounded producer/consumer queue
+  built from locks.
+* :mod:`repro.workloads.bfs` — level-synchronized BFS with one kernel
+  launch per frontier, atomics building the next frontier.
+* :mod:`repro.workloads.sort` — block-level bitonic sort, the
+  barrier-heavy kernel behind recommendation V-B5 (1).
+* :mod:`repro.workloads.custom_barrier` — a sense-reversing barrier
+  built from atomics, testing Fig. 2's inference constructively.
+
+Every workload validates its result against a sequential reference.
+"""
+
+from repro.workloads.histogram import (
+    cpu_histogram,
+    gpu_histogram,
+)
+from repro.workloads.prefix_sum import (
+    cpu_prefix_sum,
+    gpu_block_prefix_sum,
+)
+from repro.workloads.stencil import cpu_jacobi
+from repro.workloads.pipeline import cpu_pipeline
+from repro.workloads.bfs import gpu_bfs
+from repro.workloads.sort import gpu_bitonic_sort
+from repro.workloads.custom_barrier import compare_barriers
+
+__all__ = [
+    "cpu_histogram",
+    "gpu_histogram",
+    "cpu_prefix_sum",
+    "gpu_block_prefix_sum",
+    "cpu_jacobi",
+    "cpu_pipeline",
+    "gpu_bfs",
+    "gpu_bitonic_sort",
+    "compare_barriers",
+]

@@ -1,0 +1,100 @@
+"""Producer/consumer pipeline: locks guarding a bounded queue.
+
+Half the team produces items, half consumes them, through a shared ring
+buffer whose head/tail/slots are protected by a single lock — the
+pattern critical sections and locks exist for (no single atomic covers a
+multi-word queue update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.machine import CpuMachine
+from repro.openmp.interpreter import OpenMP
+
+
+@dataclass(frozen=True)
+class PipelineOutcome:
+    """Result of a producer/consumer run.
+
+    Attributes:
+        consumed_sum: Sum of every consumed item.
+        expected_sum: Sum of every produced item.
+        correct: All items consumed exactly once.
+        elapsed: Modeled runtime (ns).
+    """
+
+    consumed_sum: int
+    expected_sum: int
+    correct: bool
+    elapsed: float
+
+
+def cpu_pipeline(machine: CpuMachine, items_per_producer: int = 16,
+                 n_threads: int = 4,
+                 queue_slots: int = 4) -> PipelineOutcome:
+    """Run the pipeline with ``n_threads/2`` producers and consumers.
+
+    Raises:
+        ConfigurationError: for an odd team or empty queue.
+    """
+    if n_threads % 2:
+        raise ConfigurationError("need an even team "
+                                 f"(producers+consumers), got {n_threads}")
+    if queue_slots < 1:
+        raise ConfigurationError(f"queue needs >= 1 slot, got {queue_slots}")
+    n_producers = n_threads // 2
+    total_items = n_producers * items_per_producer
+
+    # Queue state: queue[slot], head (next pop), tail (next push), count,
+    # plus a consumed-items tally.
+    def body(tc):
+        is_producer = tc.tid < n_producers
+        if is_producer:
+            produced = 0
+            while produced < items_per_producer:
+                item = tc.tid * items_per_producer + produced + 1
+                yield tc.lock_acquire("queue")
+                count = yield tc.read("state", 2)
+                if count < queue_slots:
+                    tail = yield tc.read("state", 1)
+                    yield tc.write("queue", tail, item)
+                    yield tc.write("state", 1, (tail + 1) % queue_slots)
+                    yield tc.write("state", 2, count + 1)
+                    produced += 1
+                yield tc.lock_release("queue")
+        else:
+            consumed = 0
+            my_share = items_per_producer  # one consumer per producer
+            while consumed < my_share:
+                yield tc.lock_acquire("queue")
+                count = yield tc.read("state", 2)
+                if count > 0:
+                    head = yield tc.read("state", 0)
+                    item = yield tc.read("queue", head)
+                    yield tc.write("state", 0, (head + 1) % queue_slots)
+                    yield tc.write("state", 2, count - 1)
+                    total = yield tc.read("sum", 0)
+                    yield tc.write("sum", 0, total + item)
+                    consumed += 1
+                yield tc.lock_release("queue")
+
+    omp = OpenMP(machine, n_threads=n_threads)
+    shared = {
+        "queue": np.zeros(queue_slots, np.int64),
+        "state": np.zeros(3, np.int64),  # head, tail, count
+        "sum": np.zeros(1, np.int64),
+    }
+    result = omp.parallel(body, shared=shared)
+    consumed_sum = int(result.memory["sum"][0])
+    expected = sum(range(1, total_items + 1))
+    return PipelineOutcome(
+        consumed_sum=consumed_sum,
+        expected_sum=expected,
+        correct=consumed_sum == expected,
+        elapsed=result.elapsed_ns,
+    )

@@ -1,0 +1,96 @@
+"""Block-level bitonic sort: the barrier-heavy kernel.
+
+Bitonic sort over shared memory runs O(log^2 n) compare-exchange phases,
+every one separated by ``__syncthreads()`` — the workload shape behind
+recommendation V-B5 (1) ("__syncthreads() performance decreases with
+increasing warp counts, so smaller block sizes might help in a
+barrier-heavy code").  :func:`barrier_cost_share` quantifies exactly how
+much of the kernel the barriers are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.cuda.interpreter import Cuda
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import LaunchConfig
+
+
+@dataclass(frozen=True)
+class SortOutcome:
+    """Result of one bitonic-sort run.
+
+    Attributes:
+        values: The sorted output.
+        correct: Matches ``numpy.sort``.
+        elapsed: Modeled kernel cycles.
+        barrier_share: Fraction of traced warp time spent in
+            ``__syncthreads()`` (None when tracing was off).
+    """
+
+    values: np.ndarray
+    correct: bool
+    elapsed: float
+    barrier_share: float | None
+
+
+def gpu_bitonic_sort(device: GpuDevice, data: np.ndarray,
+                     trace: bool = False) -> SortOutcome:
+    """Sort one block's worth of data (power-of-two length <= 1024).
+
+    Raises:
+        ConfigurationError: for non-power-of-two or oversized input.
+    """
+    n = int(data.size)
+    if n < 2 or n > 1024 or n & (n - 1):
+        raise ConfigurationError(
+            f"bitonic sort needs a power-of-two length in 2..1024, "
+            f"got {n}")
+
+    def kernel(t):
+        i = t.threadIdx
+        value = yield t.global_read("data", i)
+        yield t.shared_write("buf", i, value)
+        k = 2
+        while k <= n:
+            j = k // 2
+            while j >= 1:
+                yield t.syncthreads()
+                partner = i ^ j
+                if partner > i:
+                    mine = yield t.shared_read("buf", i)
+                    theirs = yield t.shared_read("buf", partner)
+                    ascending = (i & k) == 0
+                    if (mine > theirs) == ascending:
+                        yield t.shared_write("buf", i, theirs)
+                        yield t.shared_write("buf", partner, mine)
+                j //= 2
+            k *= 2
+        yield t.syncthreads()
+        value = yield t.shared_read("buf", i)
+        yield t.global_write("out", i, value)
+
+    out = np.zeros(n, np.int64)
+    cuda = Cuda(device)
+    result = cuda.launch(
+        kernel, LaunchConfig(1, n),
+        globals_={"data": data.astype(np.int64), "out": out},
+        shared_decls={"buf": (n, np.dtype(np.int64))},
+        trace=trace)
+    barrier_share = None
+    if result.trace is not None:
+        totals = result.trace.total_cycles_by_label()
+        full = sum(totals.values())
+        barrier_share = totals.get("Syncthreads", 0.0) / full if full \
+            else 0.0
+    expected = np.sort(data.astype(np.int64))
+    return SortOutcome(
+        values=out,
+        correct=bool((out == expected).all()),
+        elapsed=result.elapsed_cycles,
+        barrier_share=barrier_share,
+    )

@@ -1,0 +1,81 @@
+"""Jacobi stencil: barriers as phase separators.
+
+Each iteration averages every interior cell with its neighbours into a
+second buffer, then swaps — the barrier between compute and swap is what
+keeps iteration *k*'s reads from seeing iteration *k+1*'s writes.  The
+race detector verifies the point: remove the barrier (``unsafe=True``)
+and the program is flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.machine import CpuMachine
+from repro.openmp.interpreter import OpenMP
+
+
+@dataclass(frozen=True)
+class StencilOutcome:
+    """Result of a Jacobi run."""
+
+    values: np.ndarray
+    correct: bool
+    elapsed: float
+    iterations: int
+
+
+def _reference(data: np.ndarray, iterations: int) -> np.ndarray:
+    cur = data.astype(np.float64).copy()
+    for _ in range(iterations):
+        nxt = cur.copy()
+        nxt[1:-1] = (cur[:-2] + cur[1:-1] + cur[2:]) / 3.0
+        cur = nxt
+    return cur
+
+
+def cpu_jacobi(machine: CpuMachine, data: np.ndarray, iterations: int = 4,
+               n_threads: int = 4, unsafe: bool = False) -> StencilOutcome:
+    """Run ``iterations`` Jacobi sweeps over a 1-D array.
+
+    Args:
+        unsafe: Skip the barrier between compute and swap — a deliberate
+            bug the race detector catches
+            (:class:`repro.common.errors.DataRaceError`).
+    """
+    n = int(data.size)
+    per_thread = -(-max(n - 2, 0) // n_threads)
+
+    def body(tc):
+        src, dst = "a", "b"
+        for _ in range(iterations):
+            start = 1 + tc.tid * per_thread
+            stop = min(start + per_thread, n - 1)
+            for i in range(start, stop):
+                left = yield tc.read(src, i - 1)
+                mid = yield tc.read(src, i)
+                right = yield tc.read(src, i + 1)
+                yield tc.write(dst, i, (left + mid + right) / 3.0)
+            if tc.tid == 0:
+                first = yield tc.read(src, 0)
+                last = yield tc.read(src, n - 1)
+                yield tc.write(dst, 0, first)
+                yield tc.write(dst, n - 1, last)
+            if not unsafe:
+                yield tc.barrier()
+            src, dst = dst, src
+
+    omp = OpenMP(machine, n_threads=n_threads)
+    shared = {"a": data.astype(np.float64).copy(),
+              "b": np.zeros(n, np.float64)}
+    result = omp.parallel(body, shared=shared)
+    final = result.memory["a" if iterations % 2 == 0 else "b"]
+    expected = _reference(data, iterations)
+    return StencilOutcome(
+        values=final,
+        correct=bool(np.allclose(final, expected)),
+        elapsed=result.elapsed_ns,
+        iterations=iterations,
+    )

@@ -1,0 +1,94 @@
+"""Unit tests for the recommendation advisor."""
+
+from repro.advisor import Scenario, advise, all_recommendations
+from repro.advisor.rules import Api, Operation
+from repro.common.datatypes import DOUBLE, INT
+
+
+class TestOpenMpAdvice:
+    def test_same_location_atomic_is_avoid(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE,
+                               same_location=True))
+        assert any(r.severity == "avoid" and "same memory location"
+                   in r.advice for r in recs)
+
+    def test_false_sharing_stride_flagged(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE,
+                               stride_bytes=4))
+        assert any("cache lines" in r.advice for r in recs)
+
+    def test_line_separated_stride_is_fine(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.ATOMIC_UPDATE,
+                               stride_bytes=64))
+        assert any(r.severity == "fine" for r in recs)
+        assert not any(r.severity == "avoid" for r in recs)
+
+    def test_atomic_read_is_free(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.ATOMIC_READ))
+        assert any("no extra latency" in r.advice for r in recs)
+
+    def test_critical_section_discouraged(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.CRITICAL_SECTION))
+        assert any(r.severity == "avoid" for r in recs)
+        assert any(r.evidence == "fig5" for r in recs)
+
+    def test_hyperthreading_is_fine(self):
+        recs = advise(Scenario(Api.OPENMP, Operation.BARRIER,
+                               uses_hyperthreads=True))
+        assert any("hyperthread" in r.advice.lower() for r in recs)
+
+
+class TestCudaAdvice:
+    def test_barrier_suggests_smaller_blocks(self):
+        recs = advise(Scenario(Api.CUDA, Operation.BARRIER))
+        assert any("smaller blocks" in r.advice for r in recs)
+
+    def test_non_int_atomic_suggests_int(self):
+        recs = advise(Scenario(Api.CUDA, Operation.ATOMIC_UPDATE,
+                               dtype=DOUBLE))
+        assert any("32-bit int" in r.advice for r in recs)
+
+    def test_int_atomic_not_warned_about_dtype(self):
+        recs = advise(Scenario(Api.CUDA, Operation.ATOMIC_UPDATE,
+                               dtype=INT))
+        assert not any("32-bit int" in r.advice for r in recs)
+
+    def test_partial_warp_atomics(self):
+        recs = advise(Scenario(Api.CUDA, Operation.ATOMIC_UPDATE,
+                               partial_warp=True))
+        assert any("turning off" in r.advice for r in recs)
+
+    def test_fence_is_fine(self):
+        recs = advise(Scenario(Api.CUDA, Operation.MEMORY_FENCE))
+        assert all(r.severity == "fine" for r in recs)
+
+    def test_heavy_atomic_traffic_warned(self):
+        recs = advise(Scenario(Api.CUDA, Operation.ATOMIC_UPDATE,
+                               heavy_atomic_traffic=True))
+        assert any("simultaneous atomics" in r.advice for r in recs)
+
+
+class TestRuleBase:
+    def test_all_recommendations_cover_both_sections(self):
+        recs = all_recommendations()
+        sections = {r.paper_section.split(" ")[0] for r in recs}
+        assert sections == {"V-A5", "V-B5"}
+
+    def test_fifteen_paper_items_covered(self):
+        # 7 OpenMP + 8 CUDA recommendation items in the paper; the stride
+        # rule (V-A5 (3)) has two branches (avoid / fine), so rules >= 15.
+        recs = all_recommendations()
+        sections = {r.paper_section for r in recs}
+        assert len(sections) == 15
+        assert len(recs) >= 15
+
+    def test_every_rule_cites_an_experiment(self):
+        from repro.experiments import EXPERIMENTS
+        for rec in all_recommendations():
+            assert rec.evidence in EXPERIMENTS
+
+    def test_cross_api_scenarios_get_no_wrong_advice(self):
+        cpu_recs = advise(Scenario(Api.OPENMP, Operation.BARRIER))
+        assert all(r.paper_section.startswith("V-A") for r in cpu_recs)
+        gpu_recs = advise(Scenario(Api.CUDA, Operation.BARRIER))
+        assert all(r.paper_section.startswith("V-B") for r in gpu_recs)

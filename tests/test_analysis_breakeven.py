@@ -1,0 +1,48 @@
+"""Tests for the CLOMP-style break-even analysis."""
+
+import pytest
+
+from repro.analysis.breakeven import (
+    BreakevenPoint,
+    breakeven_sweep,
+    breakeven_work,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.spec import MeasurementSpec
+from repro.compiler.ops import op_barrier
+
+
+class TestBreakevenWork:
+    def test_ten_percent_overhead_needs_9x_work(self):
+        assert breakeven_work(100.0, 0.1) == pytest.approx(900.0)
+
+    def test_fifty_percent_overhead_needs_equal_work(self):
+        assert breakeven_work(40.0, 0.5) == pytest.approx(40.0)
+
+    def test_zero_cost_needs_no_work(self):
+        assert breakeven_work(0.0, 0.1) == 0.0
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_fraction_rejected(self, frac):
+        with pytest.raises(ConfigurationError):
+            breakeven_work(10.0, frac)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_work(-1.0, 0.1)
+
+    def test_smaller_acceptable_overhead_needs_more_work(self):
+        assert breakeven_work(100.0, 0.01) > breakeven_work(100.0, 0.1)
+
+
+class TestBreakevenSweep:
+    def test_barrier_breakeven_grows_with_threads(self, quiet_cpu):
+        spec = MeasurementSpec.single("b", op_barrier())
+        contexts = [(n, quiet_cpu.context(n)) for n in (2, 4, 8)]
+        points = breakeven_sweep(quiet_cpu, spec, contexts,
+                                 overhead_fraction=0.1)
+        assert [p.x for p in points] == [2, 4, 8]
+        assert points[0].work_needed < points[-1].work_needed
+        for p in points:
+            assert isinstance(p, BreakevenPoint)
+            assert p.work_needed == pytest.approx(9 * p.sync_cost)

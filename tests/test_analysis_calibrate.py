@@ -1,0 +1,170 @@
+"""Tests for cost-model calibration (round-trip against known params)."""
+
+import pytest
+
+from repro.analysis.calibrate import (
+    fit_false_sharing_cost,
+    fit_shared_atomic_params,
+)
+from repro.common.datatypes import INT, ULL
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import PrimitiveKind, op_atomic
+from repro.core.engine import MeasurementEngine
+from repro.core.results import MeasurementResult, Series
+from repro.core.spec import MeasurementSpec
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+
+def synthetic_series(alu, transfer, knee, xs):
+    s = Series(label="int")
+    for x in xs:
+        c = min(x - 1, knee)
+        cost = alu * (c + 1) + transfer * c
+        s.add(x, MeasurementResult(
+            spec_name="s", unit="ns", baseline_median=cost,
+            test_median=2 * cost, per_op_time=cost, throughput=1e9 / cost,
+            naive_per_op_time=cost, valid_fraction=1.0))
+    return s
+
+
+class TestSharedAtomicFit:
+    def test_roundtrip_exact(self):
+        fit = fit_shared_atomic_params(
+            synthetic_series(6.0, 14.0, 7, range(2, 33)))
+        assert fit.alu_ns == pytest.approx(6.0, abs=1e-6)
+        assert fit.transfer_ns == pytest.approx(14.0, abs=1e-6)
+        assert fit.knee == 7
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_roundtrip_through_real_measurement(self):
+        """Measure a quiet machine, fit, and recover its constants."""
+        machine = CpuMachine(
+            CpuTopology(name="cal", sockets=1, cores_per_socket=16,
+                        threads_per_core=2, numa_nodes=1,
+                        base_clock_ghz=3.0),
+            CpuCostParams(int_alu_ns=5.0, line_transfer_ns=11.0,
+                          contention_knee=6),
+            JitterModel(rel_sigma=0.0, abs_sigma_ns=0.0, ht_rel_sigma=0.0,
+                        spike_prob=0.0))
+        engine = MeasurementEngine(machine)
+        spec = MeasurementSpec.single(
+            "a", op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                           SharedScalar(INT)))
+        series = Series(label="int")
+        for n in range(2, 17):
+            series.add(n, engine.measure(spec, machine.context(n)))
+        fit = fit_shared_atomic_params(series)
+        assert fit.alu_ns == pytest.approx(5.0, rel=0.05)
+        assert fit.transfer_ns == pytest.approx(11.0, rel=0.05)
+        assert fit.knee == 6
+
+    def test_as_params_integer(self):
+        fit = fit_shared_atomic_params(
+            synthetic_series(6.0, 14.0, 7, range(2, 33)))
+        params = fit.as_params()
+        assert params.int_alu_ns == pytest.approx(6.0, abs=1e-6)
+        assert params.contention_knee == 7
+
+    def test_as_params_fp(self):
+        fit = fit_shared_atomic_params(
+            synthetic_series(12.0, 14.0, 7, range(2, 33)))
+        params = fit.as_params(integer=False)
+        assert params.fp_alu_ns == pytest.approx(12.0, abs=1e-6)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least 3"):
+            fit_shared_atomic_params(synthetic_series(6, 14, 7, [2, 3]))
+
+
+class TestFalseSharingFit:
+    def make_panels(self, fs_cost, alu=6.0, dtype=ULL, n=16):
+        panels = {}
+        for stride in (1, 2, 4, 8):
+            byte_stride = stride * dtype.size_bytes
+            epl = 1 if byte_stride >= 64 else -(-64 // byte_stride)
+            cost = alu + fs_cost * (min(epl, n) - 1)
+            s = Series(label=dtype.name)
+            s.add(n, MeasurementResult(
+                spec_name="s", unit="ns", baseline_median=cost,
+                test_median=2 * cost, per_op_time=cost,
+                throughput=1e9 / cost, naive_per_op_time=cost,
+                valid_fraction=1.0))
+            panels[stride] = s
+        return panels
+
+    def test_roundtrip(self):
+        panels = self.make_panels(fs_cost=13.0)
+        fitted = fit_false_sharing_cost(panels, dtype_size=8)
+        assert fitted == pytest.approx(13.0, rel=1e-6)
+
+    def test_needs_two_panels(self):
+        panels = self.make_panels(13.0)
+        with pytest.raises(ConfigurationError):
+            fit_false_sharing_cost({1: panels[1]}, dtype_size=8)
+
+    def test_real_model_fit_close(self):
+        """Fit the library's own cost model output."""
+        from repro.cpu.costs import CpuCostModel
+        model = CpuCostModel(CpuCostParams())
+        cores = {tid: tid for tid in range(16)}
+        panels = {}
+        for stride in (1, 2, 4, 8):
+            op = op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, ULL,
+                           PrivateArrayElement(ULL, stride))
+            cost = model.op_cost_ns(op, 16, cores)
+            s = Series(label="ull")
+            s.add(16, MeasurementResult(
+                spec_name="s", unit="ns", baseline_median=cost,
+                test_median=2 * cost, per_op_time=cost,
+                throughput=1e9 / cost, naive_per_op_time=cost,
+                valid_fraction=1.0))
+            panels[stride] = s
+        fitted = fit_false_sharing_cost(panels, dtype_size=8)
+        assert fitted == pytest.approx(CpuCostParams().false_share_ns,
+                                       rel=0.05)
+
+
+class TestGpuAtomicFit:
+    def _sweep(self, kind, dtype, blocks):
+        from repro.experiments.base import cuda_atomic_scalar_spec, \
+            sweep_cuda
+        from repro.gpu.presets import SYSTEM3_GPU
+        spec = cuda_atomic_scalar_spec(kind, dtype)
+        return sweep_cuda(SYSTEM3_GPU, {dtype.name: spec}, name="cal",
+                          block_count=blocks).series_by_label(dtype.name)
+
+    def test_recovers_cas_constants(self):
+        from repro.analysis.calibrate import fit_gpu_scalar_atomic
+        from repro.compiler.ops import PrimitiveKind
+        from repro.gpu.atomic_units import AtomicUnitModel
+        series = self._sweep(PrimitiveKind.ATOMIC_CAS, INT, blocks=1)
+        fit = fit_gpu_scalar_atomic(series, block_count=1,
+                                    aggregated=False)
+        units = AtomicUnitModel()
+        assert fit.latency_floor_cycles == pytest.approx(
+            units.latency_floor_cycles, rel=0.02)
+        assert fit.service_cycles == pytest.approx(
+            units.cas_service_cycles, rel=0.05)
+
+    def test_recovers_aggregated_add_constants(self):
+        from repro.analysis.calibrate import fit_gpu_scalar_atomic
+        from repro.compiler.ops import PrimitiveKind
+        from repro.gpu.atomic_units import AtomicUnitModel
+        series = self._sweep(PrimitiveKind.ATOMIC_ADD, INT, blocks=2)
+        fit = fit_gpu_scalar_atomic(series, block_count=2,
+                                    aggregated=True)
+        units = AtomicUnitModel()
+        assert fit.service_cycles == pytest.approx(
+            units.int_service_cycles, rel=0.05)
+
+    def test_fit_residual_small_on_model_data(self):
+        from repro.analysis.calibrate import fit_gpu_scalar_atomic
+        from repro.compiler.ops import PrimitiveKind
+        series = self._sweep(PrimitiveKind.ATOMIC_EXCH, INT, blocks=1)
+        fit = fit_gpu_scalar_atomic(series, block_count=1,
+                                    aggregated=False)
+        assert fit.residual < 1.0

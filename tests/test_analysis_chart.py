@@ -1,0 +1,53 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.core.results import MeasurementResult, Series, SweepResult
+
+
+def sweep_with(points, label="int", name="figX"):
+    sweep = SweepResult(name=name, x_label="threads", unit="ns")
+    s = Series(label=label)
+    for x, thr in points:
+        s.add(x, MeasurementResult(
+            spec_name=label, unit="ns", baseline_median=1.0,
+            test_median=2.0, per_op_time=1.0, throughput=thr,
+            naive_per_op_time=2.0, valid_fraction=1.0))
+    sweep.series.append(s)
+    return sweep
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self):
+        out = render_chart(sweep_with([(2, 100.0), (4, 50.0)]))
+        assert "figX" in out
+        assert "legend: o=int" in out
+
+    def test_axis_labels_show_extremes(self):
+        out = render_chart(sweep_with([(2, 100.0), (32, 50.0)]))
+        assert "2" in out and "32" in out
+
+    def test_empty_sweep_degrades_gracefully(self):
+        out = render_chart(sweep_with([]))
+        assert "no finite data" in out
+
+    def test_infinite_throughput_skipped(self):
+        out = render_chart(sweep_with([(2, float("inf")), (4, 10.0)]))
+        assert "no finite data" not in out
+
+    def test_log_x_mode(self):
+        out = render_chart(sweep_with([(1, 10.0), (1024, 20.0)]),
+                           log_x=True)
+        assert "log2" in out
+
+    def test_two_series_use_different_glyphs(self):
+        sweep = sweep_with([(2, 100.0)], label="a")
+        other = sweep_with([(2, 200.0)], label="b").series[0]
+        sweep.series.append(other)
+        out = render_chart(sweep)
+        assert "o=a" in out and "x=b" in out
+
+    def test_requested_dimensions_respected(self):
+        out = render_chart(sweep_with([(2, 100.0), (4, 50.0)]),
+                           width=30, height=5)
+        plot_lines = [line for line in out.splitlines() if "|" in line]
+        assert len(plot_lines) == 5

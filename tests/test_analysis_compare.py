@@ -1,0 +1,67 @@
+"""Tests for cross-machine sweep comparison."""
+
+import pytest
+
+from repro.analysis.compare import ComparisonRow, compare_sweeps, \
+    comparison_table
+from repro.common.errors import ConfigurationError
+from repro.core.results import MeasurementResult, Series, SweepResult
+
+
+def sweep(name, series_spec):
+    out = SweepResult(name=name, x_label="threads", unit="ns")
+    for label, points in series_spec.items():
+        s = Series(label=label)
+        for x, thr in points:
+            s.add(x, MeasurementResult(
+                spec_name=label, unit="ns", baseline_median=1.0,
+                test_median=2.0, per_op_time=1.0, throughput=thr,
+                naive_per_op_time=2.0, valid_fraction=1.0))
+        out.series.append(s)
+    return out
+
+
+class TestCompareSweeps:
+    def test_ratio_and_winner(self):
+        a = sweep("x", {"int": [(2, 200.0), (4, 200.0)]})
+        b = sweep("x", {"int": [(2, 100.0), (4, 100.0)]})
+        rows = compare_sweeps(a, b, "fast", "slow")
+        assert rows[0].ratio == pytest.approx(2.0)
+        assert rows[0].winner == "fast"
+
+    def test_tie_band(self):
+        a = sweep("x", {"int": [(2, 100.0)]})
+        b = sweep("x", {"int": [(2, 102.0)]})
+        assert compare_sweeps(a, b)[0].winner == "tie"
+
+    def test_only_common_series_compared(self):
+        a = sweep("x", {"int": [(2, 1.0)], "only_a": [(2, 1.0)]})
+        b = sweep("x", {"int": [(2, 1.0)], "only_b": [(2, 1.0)]})
+        rows = compare_sweeps(a, b)
+        assert [r.label for r in rows] == ["int"]
+
+    def test_disjoint_sweeps_rejected(self):
+        a = sweep("x", {"p": [(2, 1.0)]})
+        b = sweep("x", {"q": [(2, 1.0)]})
+        with pytest.raises(ConfigurationError):
+            compare_sweeps(a, b)
+
+    def test_table_renders(self):
+        rows = [ComparisonRow("int", 2.0, "4090", "2070S")]
+        table = comparison_table(rows)
+        assert "| int | 2.00x | 4090 |" in table
+
+    def test_on_real_gpu_sweeps(self):
+        """__syncthreads() per-cycle is identical; the 4090's higher
+        clock makes it the throughput winner at every block size."""
+        from repro.experiments.base import cuda_syncthreads_spec, \
+            sweep_cuda
+        from repro.gpu.presets import SYSTEM1_GPU, SYSTEM3_GPU
+        a = sweep_cuda(SYSTEM3_GPU, {"sync": cuda_syncthreads_spec()},
+                       name="a", block_count=1)
+        b = sweep_cuda(SYSTEM1_GPU, {"sync": cuda_syncthreads_spec()},
+                       name="b", block_count=1)
+        rows = compare_sweeps(a, b, "RTX 4090", "RTX 2070S")
+        assert rows[0].winner == "RTX 4090"
+        # clock ratio 2.625/1.80
+        assert rows[0].ratio == pytest.approx(2.625 / 1.80, rel=0.01)

@@ -1,0 +1,84 @@
+"""Tests for sweep summary statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    fastest_series,
+    summarize_series,
+    summarize_sweep,
+    summary_table,
+)
+from repro.core.results import MeasurementResult, Series, SweepResult
+
+
+def series(label, pairs):
+    s = Series(label=label)
+    for x, thr in pairs:
+        s.add(x, MeasurementResult(
+            spec_name=label, unit="ns", baseline_median=1.0,
+            test_median=2.0, per_op_time=1.0, throughput=thr,
+            naive_per_op_time=2.0, valid_fraction=1.0))
+    return s
+
+
+def sweep(series_list, name="figX"):
+    out = SweepResult(name=name, x_label="threads", unit="ns")
+    out.series.extend(series_list)
+    return out
+
+
+class TestSummarizeSeries:
+    def test_basic_stats(self):
+        s = summarize_series(series("int", [(2, 100.0), (4, 50.0),
+                                            (8, 25.0)]))
+        assert s.min_throughput == 25.0
+        assert s.max_throughput == 100.0
+        assert s.decline == 4.0
+        assert s.n_points == 3
+        assert s.gmean_throughput == pytest.approx(
+            (100 * 50 * 25) ** (1 / 3))
+
+    def test_knee_is_last_near_peak_x(self):
+        s = summarize_series(series("int", [(2, 100.0), (4, 99.5),
+                                            (8, 60.0)]))
+        assert s.knee_x == 4
+
+    def test_infinite_points_dropped(self):
+        s = summarize_series(series("int", [(2, math.inf), (4, 50.0)]))
+        assert s.n_points == 1
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            summarize_series(series("int", []))
+
+
+class TestSweepLevel:
+    def test_summarize_sweep_skips_empty(self):
+        sw = sweep([series("a", [(2, 10.0)]), series("b", [])])
+        assert set(summarize_sweep(sw)) == {"a"}
+
+    def test_fastest_series(self):
+        sw = sweep([series("slow", [(2, 10.0), (4, 10.0)]),
+                    series("fast", [(2, 100.0), (4, 100.0)])])
+        assert fastest_series(sw) == "fast"
+
+    def test_fastest_of_empty_sweep_raises(self):
+        with pytest.raises(ValueError):
+            fastest_series(sweep([series("a", [])]))
+
+    def test_summary_table_renders(self):
+        sw = sweep([series("int", [(2, 100.0), (4, 50.0)])], name="fig2")
+        table = summary_table(sw)
+        assert "#### fig2" in table
+        assert "| int |" in table
+        assert "2.00x" in table
+
+    def test_on_real_experiment_output(self):
+        from repro.experiments.omp_atomic_update import run_fig2
+        sw = run_fig2()
+        summaries = summarize_sweep(sw)
+        assert set(summaries) == {"int", "ull", "float", "double"}
+        # Fig. 2: int has the best geometric-mean throughput.
+        assert fastest_series(sw) in ("int", "ull")

@@ -1,0 +1,78 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis.svg_chart import ChartLayout, render_svg
+from repro.core.results import MeasurementResult, Series, SweepResult
+
+
+def sweep_with(series_points, name="figX"):
+    sweep = SweepResult(name=name, x_label="threads", unit="ns")
+    for label, points in series_points.items():
+        s = Series(label=label)
+        for x, thr in points:
+            s.add(x, MeasurementResult(
+                spec_name=label, unit="ns", baseline_median=1.0,
+                test_median=2.0, per_op_time=1.0, throughput=thr,
+                naive_per_op_time=2.0, valid_fraction=1.0))
+        sweep.series.append(s)
+    return sweep
+
+
+class TestRenderSvg:
+    def test_valid_xml(self):
+        svg = render_svg(sweep_with({"int": [(2, 1e8), (4, 5e7)]}))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = render_svg(sweep_with({
+            "int": [(2, 1e8), (4, 5e7)],
+            "double": [(2, 8e7), (4, 4e7)]}))
+        assert svg.count("<polyline") == 2
+
+    def test_legend_labels_present(self):
+        svg = render_svg(sweep_with({"int": [(2, 1e8)],
+                                     "double": [(2, 8e7)]}))
+        assert ">int<" in svg
+        assert ">double<" in svg
+
+    def test_title_defaults_to_sweep_name(self):
+        svg = render_svg(sweep_with({"a": [(2, 1.0)]}, name="fig9"))
+        assert ">fig9<" in svg
+
+    def test_title_override_and_escaping(self):
+        svg = render_svg(sweep_with({"a": [(2, 1.0)]}),
+                         title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_empty_sweep_degrades(self):
+        svg = render_svg(sweep_with({"a": []}))
+        assert "no finite data" in svg
+        ET.fromstring(svg)
+
+    def test_infinite_points_skipped(self):
+        svg = render_svg(sweep_with({"a": [(2, float("inf")), (4, 10.0)]}))
+        ET.fromstring(svg)
+        assert svg.count("<circle") == 1
+
+    def test_log_x_labels_are_powers_of_two(self):
+        svg = render_svg(sweep_with({"a": [(1, 10.0), (1024, 20.0)]}),
+                         log_x=True)
+        assert "(log2)" in svg
+
+    def test_layout_dimensions_respected(self):
+        layout = ChartLayout(width=320, height=200)
+        svg = render_svg(sweep_with({"a": [(2, 1.0), (4, 2.0)]}),
+                         layout=layout)
+        root = ET.fromstring(svg)
+        assert root.attrib["width"] == "320"
+        assert root.attrib["height"] == "200"
+
+    def test_save_sweep_emits_svg(self, tmp_path):
+        from repro.core.results_io import save_sweep
+        paths = save_sweep(sweep_with({"a": [(2, 1.0), (4, 2.0)]}),
+                           tmp_path)
+        svg_files = [p for p in paths if p.suffix == ".svg"]
+        assert len(svg_files) == 1
+        ET.fromstring(svg_files[0].read_text())

@@ -1,0 +1,153 @@
+"""Unit tests for repro.analysis.trends."""
+
+import math
+
+from repro.analysis.trends import (
+    check,
+    decreasing_then_stable,
+    drops_after,
+    flat_up_to,
+    geometric_mean_ratio,
+    is_roughly_constant,
+    is_roughly_nonincreasing,
+    jump_between,
+    noisiness,
+    series_above,
+)
+from repro.core.results import MeasurementResult, Series
+
+
+def series(label, pairs):
+    s = Series(label=label)
+    for x, thr in pairs:
+        per_op = 1e9 / thr if thr and math.isfinite(thr) else None
+        s.add(x, MeasurementResult(
+            spec_name=label, unit="ns", baseline_median=1.0,
+            test_median=2.0, per_op_time=per_op, throughput=thr,
+            naive_per_op_time=2.0, valid_fraction=1.0))
+    return s
+
+
+class TestCheck:
+    def test_check_builds_trendcheck(self):
+        c = check("claim", True, "detail")
+        assert c.passed and c.claim == "claim" and c.detail == "detail"
+
+    def test_check_coerces_truthy(self):
+        assert check("c", 1).passed is True
+
+
+class TestConstancy:
+    def test_constant_within_tolerance(self):
+        assert is_roughly_constant([100, 105, 95, 102], tol=0.1)
+
+    def test_not_constant_beyond_tolerance(self):
+        assert not is_roughly_constant([100, 160], tol=0.25)
+
+    def test_ignores_infinities(self):
+        assert is_roughly_constant([100, float("inf"), 101], tol=0.05)
+
+    def test_single_value_constant(self):
+        assert is_roughly_constant([7.0])
+
+    def test_all_zero_constant(self):
+        assert is_roughly_constant([0.0, 0.0])
+
+
+class TestMonotonicity:
+    def test_nonincreasing_with_noise(self):
+        assert is_roughly_nonincreasing([100, 95, 96, 80, 82], tol=0.1)
+
+    def test_rise_beyond_tolerance_fails(self):
+        assert not is_roughly_nonincreasing([100, 50, 90], tol=0.15)
+
+
+class TestShapes:
+    def test_decreasing_then_stable(self):
+        s = series("s", [(2, 100), (4, 70), (8, 50), (16, 52), (32, 49)])
+        assert decreasing_then_stable(s, knee_x=8)
+
+    def test_flat_curve_is_not_decreasing_then_stable(self):
+        s = series("s", [(2, 100), (4, 100), (8, 100), (16, 100)])
+        assert not decreasing_then_stable(s, knee_x=8)
+
+    def test_flat_up_to(self):
+        s = series("s", [(1, 100), (32, 100), (64, 60)])
+        assert flat_up_to(s, knee_x=32, tol=0.05)
+        assert not flat_up_to(s, knee_x=64, tol=0.05)
+
+    def test_drops_after(self):
+        s = series("s", [(1, 100), (32, 100), (64, 50), (128, 25)])
+        assert drops_after(s, knee_x=32, factor=1.5)
+        assert not drops_after(s, knee_x=32, factor=5.0)
+
+    def test_jump_between(self):
+        low = series("lo", [(2, 10), (4, 10)])
+        high = series("hi", [(2, 50), (4, 50)])
+        assert jump_between(low, high, 3.0)
+        assert not jump_between(high, low, 1.0)
+
+
+class TestComparisons:
+    def test_series_above(self):
+        upper = series("u", [(2, 100), (4, 100), (8, 100)])
+        lower = series("l", [(2, 50), (4, 60), (8, 70)])
+        assert series_above(upper, lower, min_ratio=1.3)
+        assert not series_above(lower, upper, min_ratio=1.0)
+
+    def test_series_above_requires_common_x(self):
+        upper = series("u", [(2, 100)])
+        lower = series("l", [(4, 50)])
+        assert not series_above(upper, lower)
+
+    def test_geometric_mean_ratio(self):
+        a = series("a", [(1, 200), (2, 200)])
+        b = series("b", [(1, 100), (2, 100)])
+        assert geometric_mean_ratio(a, b) == 2.0
+
+    def test_geometric_mean_ratio_no_overlap_is_nan(self):
+        a = series("a", [(1, 200)])
+        b = series("b", [(2, 100)])
+        assert math.isnan(geometric_mean_ratio(a, b))
+
+
+class TestNoisiness:
+    def test_flat_series_has_zero_noise(self):
+        assert noisiness(series("s", [(1, 100), (2, 100)])) == 0.0
+
+    def test_wobbly_series_noisier_than_smooth(self):
+        smooth = series("s", [(i, 100 - i) for i in range(10)])
+        wobbly = series("w", [(i, 100 + (30 if i % 2 else -30))
+                              for i in range(10)])
+        assert noisiness(wobbly) > noisiness(smooth)
+
+    def test_short_series(self):
+        assert noisiness(series("s", [(1, 5)])) == 0.0
+
+
+class TestAggregateThroughput:
+    def test_total_is_x_times_per_thread(self):
+        from repro.analysis.trends import aggregate_throughput
+        s = series("s", [(2, 100.0), (4, 100.0)])
+        assert aggregate_throughput(s) == [200.0, 400.0]
+
+    def test_multiplier_scales_block_counts(self):
+        from repro.analysis.trends import aggregate_throughput
+        s = series("s", [(2, 10.0)])
+        assert aggregate_throughput(s, multiplier=128) == [2560.0]
+
+    def test_saturation_detected(self):
+        from repro.analysis.trends import saturates
+        # Per-thread throughput halves as x doubles: total is flat.
+        s = series("s", [(x, 1000.0 / x) for x in (1, 2, 4, 8, 16, 32)])
+        assert saturates(s)
+
+    def test_linear_scaling_is_not_saturation(self):
+        from repro.analysis.trends import saturates
+        s = series("s", [(x, 100.0) for x in (1, 2, 4, 8, 16, 32)])
+        assert not saturates(s)
+
+    def test_short_series_not_saturating(self):
+        from repro.analysis.trends import saturates
+        s = series("s", [(1, 10.0), (2, 5.0)])
+        assert not saturates(s)

@@ -1,0 +1,70 @@
+"""Tests for the one-call characterization API."""
+
+import math
+
+from repro.characterize import (
+    characterize_all_dtypes,
+    characterize_cpu,
+    characterize_gpu,
+)
+from repro.core.protocol import MeasurementProtocol
+
+QUICK = MeasurementProtocol(n_runs=3, max_attempts=3)
+
+
+class TestCharacterizeCpu:
+    def test_covers_all_primitives(self, system3_cpu):
+        report = characterize_cpu(system3_cpu, QUICK)
+        names = set(report.profiles)
+        assert any("barrier" in n for n in names)
+        assert any("critical" in n for n in names)
+        assert any("flush" in n for n in names)
+
+    def test_profiles_have_all_configs(self, system3_cpu):
+        report = characterize_cpu(system3_cpu, QUICK)
+        for profile in report.profiles.values():
+            assert len(profile.per_op) >= 3
+            assert set(profile.per_op) == set(profile.throughput)
+
+    def test_best_and_worst_configs(self, system3_cpu):
+        report = characterize_cpu(system3_cpu, QUICK)
+        atomic = report.profiles["omp_atomicadd_scalar_int"]
+        # Contended atomics: fewest threads is fastest per thread.
+        assert atomic.best_config() == "threads=2"
+        assert atomic.throughput[atomic.best_config()] >= \
+            atomic.throughput[atomic.worst_config()]
+
+    def test_markdown_renders(self, system3_cpu):
+        md = characterize_cpu(system3_cpu, QUICK).to_markdown()
+        assert system3_cpu.name in md
+        assert "| primitive |" in md
+        assert "omp_barrier" in md
+
+
+class TestCharacterizeGpu:
+    def test_covers_primitives_and_launches(self, system3_gpu):
+        report = characterize_gpu(system3_gpu, QUICK)
+        sync = report.profiles["cuda_syncthreads"]
+        assert "1x32" in sync.per_op
+        assert any("1024" in k for k in sync.per_op)
+
+    def test_units_are_cycles(self, system3_gpu):
+        report = characterize_gpu(system3_gpu, QUICK)
+        assert all(p.unit == "cycles" for p in report.profiles.values())
+
+    def test_scalar_atomic_worst_at_biggest_launch(self, system3_gpu):
+        report = characterize_gpu(system3_gpu, QUICK)
+        add = report.profiles["cuda_atomic_add_scalar_int"]
+        assert add.worst_config().endswith("1024")
+
+
+class TestCharacterizeDtypes:
+    def test_one_profile_per_dtype(self, system3_cpu):
+        report = characterize_all_dtypes(system3_cpu, QUICK)
+        assert len(report.profiles) == 4
+
+    def test_values_finite(self, system3_cpu):
+        report = characterize_all_dtypes(system3_cpu, QUICK)
+        for profile in report.profiles.values():
+            assert all(math.isfinite(v)
+                       for v in profile.throughput.values())

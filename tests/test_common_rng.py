@@ -1,0 +1,25 @@
+"""Unit tests for repro.common.rng."""
+
+from repro.common.rng import make_rng
+
+
+class TestMakeRng:
+    def test_same_label_same_stream(self):
+        a = make_rng("jitter/x", seed=0)
+        b = make_rng("jitter/x", seed=0)
+        assert a.random() == b.random()
+
+    def test_different_labels_decorrelated(self):
+        a = make_rng("jitter/x", seed=0)
+        b = make_rng("jitter/y", seed=0)
+        assert [a.random() for _ in range(4)] != \
+            [b.random() for _ in range(4)]
+
+    def test_different_seeds_decorrelated(self):
+        a = make_rng("jitter/x", seed=0)
+        b = make_rng("jitter/x", seed=1)
+        assert [a.random() for _ in range(4)] != \
+            [b.random() for _ in range(4)]
+
+    def test_unicode_labels_accepted(self):
+        assert make_rng("barrier/t=8/§V-A1").random() is not None

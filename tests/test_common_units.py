@@ -1,0 +1,61 @@
+"""Unit tests for repro.common.units."""
+
+import math
+
+import pytest
+
+from repro.common.units import (
+    cycles_to_ns,
+    cycles_to_seconds,
+    ns_to_cycles,
+    ns_to_seconds,
+    seconds_to_ns,
+    throughput_from_cycles,
+    throughput_from_ns,
+)
+
+
+class TestConversions:
+    def test_ns_seconds_roundtrip(self):
+        assert seconds_to_ns(ns_to_seconds(123.0)) == pytest.approx(123.0)
+
+    def test_one_second_is_1e9_ns(self):
+        assert seconds_to_ns(1.0) == 1e9
+
+    def test_cycles_to_seconds_at_1ghz(self):
+        assert cycles_to_seconds(1e9, 1.0) == pytest.approx(1.0)
+
+    def test_cycles_to_ns_at_2ghz(self):
+        # 2 GHz: one cycle is half a nanosecond.
+        assert cycles_to_ns(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_ns_to_cycles_inverse(self):
+        assert ns_to_cycles(cycles_to_ns(100.0, 2.625), 2.625) == \
+            pytest.approx(100.0)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1.0, 0.0)
+
+
+class TestThroughput:
+    def test_throughput_from_ns_is_reciprocal(self):
+        # The paper: throughput = 1 / runtime for the OpenMP tests.
+        assert throughput_from_ns(10.0) == pytest.approx(1e8)
+
+    def test_throughput_from_cycles_uses_clock(self):
+        # 1 / num_cycles / clock_period = clock_hz / cycles.
+        assert throughput_from_cycles(30.0, 2.625) == \
+            pytest.approx(2.625e9 / 30.0)
+
+    def test_nonpositive_runtime_maps_to_inf(self):
+        assert math.isinf(throughput_from_ns(0.0))
+        assert math.isinf(throughput_from_ns(-1.0))
+        assert math.isinf(throughput_from_cycles(0.0, 1.0))
+
+    def test_throughput_from_cycles_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_from_cycles(10.0, 0.0)
+
+    def test_faster_op_has_higher_throughput(self):
+        assert throughput_from_ns(5.0) > throughput_from_ns(50.0)

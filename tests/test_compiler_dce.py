@@ -1,0 +1,53 @@
+"""Unit tests for repro.compiler.dce."""
+
+from repro.common.datatypes import INT
+from repro.compiler.dce import eliminate_dead_ops
+from repro.compiler.ops import Op, PrimitiveKind, op_atomic, op_barrier
+from repro.mem.layout import SharedScalar
+
+
+def _shfl(used: bool) -> Op:
+    return Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT, result_used=used)
+
+
+class TestEliminateDeadOps:
+    def test_empty_body(self):
+        result = eliminate_dead_ops([])
+        assert result.kept == ()
+        assert result.removed == ()
+        assert result.eliminated_everything_measured
+
+    def test_all_live_ops_kept_in_order(self):
+        body = [op_barrier(), _shfl(True),
+                op_atomic(PrimitiveKind.ATOMIC_ADD, INT, SharedScalar(INT))]
+        result = eliminate_dead_ops(body)
+        assert list(result.kept) == body
+        assert result.removed == ()
+
+    def test_unused_value_op_removed(self):
+        body = [op_barrier(), _shfl(False)]
+        result = eliminate_dead_ops(body)
+        assert list(result.kept) == [body[0]]
+        assert list(result.removed) == [body[1]]
+
+    def test_everything_removed_flags_unrecordable(self):
+        result = eliminate_dead_ops([_shfl(False), _shfl(False)])
+        assert result.eliminated_everything_measured
+
+    def test_mixed_keeps_side_effects(self):
+        atomic = op_atomic(PrimitiveKind.ATOMIC_ADD, INT,
+                           SharedScalar(INT)).with_unused_result()
+        result = eliminate_dead_ops([atomic, _shfl(False)])
+        assert list(result.kept) == [atomic]
+
+    def test_ballot_with_unused_result_removed(self):
+        ballot = Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=False)
+        result = eliminate_dead_ops([ballot])
+        assert result.eliminated_everything_measured
+
+    def test_order_preserved_around_removal(self):
+        a = op_barrier()
+        dead = _shfl(False)
+        b = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT))
+        result = eliminate_dead_ops([a, dead, b])
+        assert list(result.kept) == [a, b]

@@ -1,0 +1,97 @@
+"""Unit tests for repro.compiler.ops."""
+
+from repro.common.datatypes import INT
+from repro.compiler.ops import (
+    AGGREGATABLE_KINDS,
+    Op,
+    PrimitiveKind,
+    Scope,
+    op_atomic,
+    op_barrier,
+    op_fence,
+    op_plain_update,
+)
+from repro.mem.layout import SharedScalar
+
+
+class TestOpClassification:
+    def test_barrier_synchronizes(self):
+        assert op_barrier().synchronizes
+        assert not op_barrier().mutates_memory
+
+    def test_atomic_add_mutates(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_ADD, INT, SharedScalar(INT))
+        assert op.mutates_memory
+        assert not op.synchronizes
+
+    def test_fence_synchronizes(self):
+        assert op_fence(PrimitiveKind.THREADFENCE).synchronizes
+
+    def test_shuffle_produces_value(self):
+        op = Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT)
+        assert op.produces_value
+        assert not op.mutates_memory
+
+    def test_plain_update_mutates(self):
+        op = op_plain_update(INT, SharedScalar(INT))
+        assert op.mutates_memory
+
+    def test_omp_atomic_read_is_atomic(self):
+        op = Op(kind=PrimitiveKind.OMP_ATOMIC_READ, dtype=INT)
+        assert op.is_atomic
+
+
+class TestEliminability:
+    def test_unused_shuffle_is_eliminable(self):
+        op = Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT, result_used=False)
+        assert op.is_eliminable
+
+    def test_used_shuffle_survives(self):
+        op = Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT, result_used=True)
+        assert not op.is_eliminable
+
+    def test_unused_ballot_is_eliminable(self):
+        # The paper's unrecordable __ballot_sync() case.
+        op = Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=False)
+        assert op.is_eliminable
+
+    def test_unused_atomic_cas_survives(self):
+        # CAS mutates memory even when its return value is discarded.
+        op = op_atomic(PrimitiveKind.ATOMIC_CAS, INT,
+                       SharedScalar(INT)).with_unused_result()
+        assert not op.is_eliminable
+
+    def test_barrier_never_eliminable(self):
+        assert not op_barrier().with_unused_result().is_eliminable
+
+    def test_fence_never_eliminable(self):
+        op = op_fence(PrimitiveKind.THREADFENCE).with_unused_result()
+        assert not op.is_eliminable
+
+    def test_with_unused_result_is_a_copy(self):
+        op = Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT)
+        unused = op.with_unused_result()
+        assert op.result_used and not unused.result_used
+
+
+class TestAggregation:
+    def test_add_max_min_aggregate(self):
+        assert PrimitiveKind.ATOMIC_ADD in AGGREGATABLE_KINDS
+        assert PrimitiveKind.ATOMIC_MAX in AGGREGATABLE_KINDS
+        assert PrimitiveKind.ATOMIC_MIN in AGGREGATABLE_KINDS
+
+    def test_cas_exch_never_aggregate(self):
+        # The comparison/exchange outcome couples the lanes.
+        assert PrimitiveKind.ATOMIC_CAS not in AGGREGATABLE_KINDS
+        assert PrimitiveKind.ATOMIC_EXCH not in AGGREGATABLE_KINDS
+
+
+class TestScope:
+    def test_default_scope_is_device(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_ADD, INT, SharedScalar(INT))
+        assert op.scope is Scope.DEVICE
+
+    def test_block_scope(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT),
+                       scope=Scope.BLOCK)
+        assert op.scope is Scope.BLOCK

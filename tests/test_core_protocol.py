@@ -1,0 +1,43 @@
+"""Unit tests for repro.core.protocol."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.protocol import MeasurementProtocol
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        proto = MeasurementProtocol()
+        assert proto.n_runs == 9
+        assert proto.max_attempts == 7
+        assert proto.n_iter == 1000
+        assert proto.unroll == 100
+
+    def test_ops_per_loop(self):
+        assert MeasurementProtocol().ops_per_loop == 100_000
+        assert MeasurementProtocol(n_iter=10, unroll=4).ops_per_loop == 40
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_runs": 0},
+        {"max_attempts": 0},
+        {"n_iter": 0},
+        {"unroll": 0},
+    ])
+    def test_nonpositive_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MeasurementProtocol(**kwargs)
+
+
+class TestVariants:
+    def test_with_seed_changes_only_seed(self):
+        proto = MeasurementProtocol().with_seed(42)
+        assert proto.seed == 42
+        assert proto.n_runs == 9
+
+    def test_quick_reduces_runs(self):
+        quick = MeasurementProtocol().quick()
+        assert quick.n_runs < MeasurementProtocol().n_runs
+        assert quick.n_iter == MeasurementProtocol().n_iter

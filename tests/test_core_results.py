@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.results."""
+
+import math
+
+import pytest
+
+from repro.core.results import (
+    MeasurementResult,
+    Series,
+    SweepResult,
+    merge_sweeps,
+)
+
+
+def result(per_op=10.0, baseline=50.0, test=60.0, valid=1.0,
+           unrecordable=False):
+    throughput = float("nan") if unrecordable else 1e9 / per_op
+    return MeasurementResult(
+        spec_name="s", unit="ns", baseline_median=baseline,
+        test_median=test, per_op_time=None if unrecordable else per_op,
+        throughput=throughput, naive_per_op_time=test / 2,
+        valid_fraction=valid, unrecordable=unrecordable)
+
+
+class TestMeasurementResult:
+    def test_within_timer_accuracy_for_tiny_diff(self):
+        r = result(per_op=0.1, baseline=100.0, test=100.1)
+        assert r.within_timer_accuracy
+
+    def test_not_within_for_solid_diff(self):
+        r = result(per_op=50.0, baseline=100.0, test=150.0)
+        assert not r.within_timer_accuracy
+
+    def test_low_valid_fraction_counts_as_noise(self):
+        r = result(per_op=20.0, baseline=100.0, test=120.0, valid=0.4)
+        assert r.within_timer_accuracy
+
+    def test_unrecordable_is_not_within_accuracy(self):
+        assert not result(unrecordable=True).within_timer_accuracy
+
+
+class TestSeries:
+    def test_add_and_read_back(self):
+        s = Series(label="int")
+        s.add(2, result(per_op=10))
+        s.add(4, result(per_op=20))
+        assert s.xs == [2, 4]
+        assert s.throughput_at(2) == pytest.approx(1e8)
+
+    def test_missing_x_raises(self):
+        s = Series(label="int")
+        with pytest.raises(KeyError):
+            s.throughput_at(99)
+
+    def test_finite_throughputs_filters_nan(self):
+        s = Series(label="x")
+        s.add(1, result(per_op=10))
+        s.add(2, result(unrecordable=True))
+        assert len(s.finite_throughputs()) == 1
+
+
+class TestSweepResult:
+    def make(self):
+        sweep = SweepResult(name="figX", x_label="threads", unit="ns",
+                            metadata={"machine": "m"})
+        s = Series(label="int")
+        s.add(2, result())
+        sweep.series.append(s)
+        return sweep
+
+    def test_series_by_label(self):
+        sweep = self.make()
+        assert sweep.series_by_label("int").label == "int"
+        with pytest.raises(KeyError):
+            sweep.series_by_label("nope")
+
+    def test_labels(self):
+        assert self.make().labels() == ["int"]
+
+    def test_csv_has_header_metadata_and_rows(self):
+        csv = self.make().to_csv()
+        assert "# figX" in csv
+        assert "# machine=m" in csv
+        assert "threads,series,per_op_ns,throughput_ops_per_s" in csv
+        assert "2,int," in csv
+
+    def test_csv_blank_cell_for_unrecordable(self):
+        sweep = self.make()
+        sweep.series[0].add(4, result(unrecordable=True))
+        row = [line for line in sweep.to_csv().splitlines()
+               if line.startswith("4,")][0]
+        assert row.split(",")[2] == ""
+
+
+class TestMergeSweeps:
+    def test_labels_prefixed_by_sweep_name(self):
+        a = self.sub("a")
+        b = self.sub("b")
+        merged = merge_sweeps("all", [a, b])
+        assert merged.labels() == ["a/int", "b/int"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_sweeps("all", [])
+
+    @staticmethod
+    def sub(name):
+        sweep = SweepResult(name=name, x_label="threads", unit="ns")
+        s = Series(label="int")
+        s.add(2, result())
+        sweep.series.append(s)
+        return sweep

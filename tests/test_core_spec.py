@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.spec."""
+
+import pytest
+
+from repro.common.datatypes import INT
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import Op, PrimitiveKind, op_atomic, op_barrier, \
+    op_fence, op_plain_update
+from repro.core.spec import MeasurementSpec
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+
+def atomic():
+    return op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                     SharedScalar(INT))
+
+
+class TestSingle:
+    def test_test_body_has_one_extra_op(self):
+        spec = MeasurementSpec.single("s", op_barrier())
+        assert len(spec.test_body) == len(spec.baseline_body) + 1
+        assert spec.extra_op_count() == 1
+
+    def test_scaffold_shared_between_bodies(self):
+        scaffold = (op_plain_update(INT, PrivateArrayElement(INT, 1)),)
+        spec = MeasurementSpec.single("s", atomic(), scaffold=scaffold)
+        assert spec.baseline_body[0] is scaffold[0]
+        assert spec.test_body[0] is scaffold[0]
+
+    def test_recordable(self):
+        assert MeasurementSpec.single("s", op_barrier()).is_recordable
+
+
+class TestInserted:
+    def flush_spec(self):
+        target = PrivateArrayElement(INT, 1)
+        up1 = op_plain_update(INT, target)
+        up2 = op_plain_update(INT, target)
+        fence = op_fence(PrimitiveKind.OMP_FLUSH, target)
+        return MeasurementSpec.inserted("f", (up1,), fence, (up2,))
+
+    def test_baseline_lacks_only_the_fence(self):
+        spec = self.flush_spec()
+        assert len(spec.baseline_body) == 2
+        assert len(spec.test_body) == 3
+        assert spec.extra_op_count() == 1
+
+    def test_fence_in_the_middle(self):
+        spec = self.flush_spec()
+        assert spec.test_body[1].kind is PrimitiveKind.OMP_FLUSH
+
+
+class TestContrast:
+    def test_one_op_against_another(self):
+        plain = Op(kind=PrimitiveKind.PLAIN_READ, dtype=INT,
+                   target=SharedScalar(INT))
+        atomic_read = Op(kind=PrimitiveKind.OMP_ATOMIC_READ, dtype=INT,
+                         target=SharedScalar(INT))
+        spec = MeasurementSpec.contrast("r", plain, atomic_read)
+        assert spec.extra_op_count() == 1
+        assert spec.is_recordable
+
+
+class TestDceIntegration:
+    def test_unused_ballot_is_unrecordable(self):
+        ballot = Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=False)
+        spec = MeasurementSpec.single("b", ballot)
+        assert not spec.is_recordable
+        assert spec.extra_op_count() == 0
+        assert len(spec.eliminated_ops()) == 2  # both test-body copies
+
+    def test_used_ballot_is_recordable(self):
+        ballot = Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=True)
+        assert MeasurementSpec.single("b", ballot).is_recordable
+
+    def test_surviving_bodies_drop_dead_ops(self):
+        dead = Op(kind=PrimitiveKind.SHFL_SYNC, dtype=INT,
+                  result_used=False)
+        spec = MeasurementSpec.single("s", op_barrier(), scaffold=(dead,))
+        baseline, test = spec.surviving_bodies()
+        assert all(op.kind is not PrimitiveKind.SHFL_SYNC
+                   for op in baseline + test)
+
+
+class TestValidation:
+    def test_empty_test_body_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementSpec(name="x", baseline_body=(), test_body=())
+
+    def test_description_not_part_of_identity(self):
+        a = MeasurementSpec.single("s", op_barrier(), description="one")
+        b = MeasurementSpec.single("s", op_barrier(), description="two")
+        assert a == b

@@ -1,0 +1,90 @@
+"""Unit tests for repro.cpu.affinity."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.affinity import (
+    Affinity,
+    core_placement,
+    place_threads,
+    uses_hyperthreading,
+)
+from repro.cpu.topology import CpuTopology
+
+
+def topo(sockets=2, cores=4, smt=2):
+    return CpuTopology(name="t", sockets=sockets, cores_per_socket=cores,
+                       threads_per_core=smt, numa_nodes=sockets,
+                       base_clock_ghz=3.0)
+
+
+class TestPlacementShape:
+    def test_every_thread_placed(self):
+        placement = place_threads(topo(), 10, Affinity.SPREAD)
+        assert sorted(placement) == list(range(10))
+
+    def test_no_slot_reused(self):
+        placement = place_threads(topo(), 16, Affinity.CLOSE)
+        slots = list(placement.values())
+        assert len(set(slots)) == len(slots)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_threads(topo(), 17, Affinity.CLOSE)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_threads(topo(), 0)
+
+
+class TestCoresBeforeSmt:
+    """All policies use SMT slots only after every core holds a thread
+    (the paper's dashed hyperthreading line applies to all tests)."""
+
+    @pytest.mark.parametrize("affinity", list(Affinity))
+    def test_no_smt_until_cores_full(self, affinity):
+        t = topo(sockets=2, cores=4, smt=2)  # 8 cores
+        placement = place_threads(t, 8, affinity)
+        assert not uses_hyperthreading(placement)
+
+    @pytest.mark.parametrize("affinity", list(Affinity))
+    def test_smt_used_beyond_core_count(self, affinity):
+        t = topo(sockets=2, cores=4, smt=2)
+        placement = place_threads(t, 9, affinity)
+        assert uses_hyperthreading(placement)
+
+
+class TestSpreadVsClose:
+    def test_spread_alternates_sockets(self):
+        placement = place_threads(topo(), 4, Affinity.SPREAD)
+        sockets = [placement[tid].socket for tid in range(4)]
+        assert sockets == [0, 1, 0, 1]
+
+    def test_close_fills_socket_first(self):
+        placement = place_threads(topo(sockets=2, cores=4), 6,
+                                  Affinity.CLOSE)
+        sockets = [placement[tid].socket for tid in range(6)]
+        assert sockets == [0, 0, 0, 0, 1, 1]
+
+    def test_close_consecutive_threads_on_consecutive_cores(self):
+        placement = place_threads(topo(), 4, Affinity.CLOSE)
+        cores = [placement[tid].core for tid in range(4)]
+        assert cores == [0, 1, 2, 3]
+
+    def test_default_matches_close(self):
+        t = topo()
+        assert place_threads(t, 12, Affinity.DEFAULT) == \
+            place_threads(t, 12, Affinity.CLOSE)
+
+
+class TestHelpers:
+    def test_core_placement_projects_core_keys(self):
+        placement = place_threads(topo(sockets=1, cores=2, smt=2), 4,
+                                  Affinity.CLOSE)
+        keys = core_placement(placement)
+        # 4 threads on 2 cores: keys must collapse to 2 distinct cores.
+        assert len(set(keys.values())) == 2
+
+    def test_uses_hyperthreading_false_for_distinct_cores(self):
+        placement = place_threads(topo(), 8, Affinity.SPREAD)
+        assert not uses_hyperthreading(placement)

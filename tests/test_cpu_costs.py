@@ -1,0 +1,189 @@
+"""Unit tests for repro.cpu.costs — the mechanisms behind Figs. 1-6."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, FLOAT, INT, ULL
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import Op, PrimitiveKind, op_atomic, op_barrier, \
+    op_fence, op_plain_update
+from repro.cpu.costs import CpuCostModel, CpuCostParams
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+MODEL = CpuCostModel(CpuCostParams())
+
+
+def cores(n):
+    return {tid: ("s", tid) for tid in range(n)}
+
+
+def shared_update(dtype):
+    return op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                     SharedScalar(dtype))
+
+
+def array_update(dtype, stride):
+    return op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                     PrivateArrayElement(dtype, stride))
+
+
+class TestSharedAtomicContention:
+    def test_cost_grows_with_cores(self):
+        costs = [MODEL.op_cost_ns(shared_update(INT), n, cores(n))
+                 for n in (2, 4, 8)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_cost_plateaus_beyond_knee(self):
+        knee = CpuCostParams().contention_knee
+        at_knee = MODEL.op_cost_ns(shared_update(INT), knee + 1,
+                                   cores(knee + 1))
+        beyond = MODEL.op_cost_ns(shared_update(INT), knee + 9,
+                                  cores(knee + 9))
+        assert at_knee == beyond
+
+    def test_integer_faster_than_fp_under_contention(self):
+        # Fig. 2's persistent int/float gap.
+        for n in (2, 8, 16):
+            assert MODEL.op_cost_ns(shared_update(INT), n, cores(n)) < \
+                MODEL.op_cost_ns(shared_update(FLOAT), n, cores(n))
+
+    def test_word_size_free(self):
+        for n in (2, 16):
+            assert MODEL.op_cost_ns(shared_update(INT), n, cores(n)) == \
+                MODEL.op_cost_ns(shared_update(ULL), n, cores(n))
+            assert MODEL.op_cost_ns(shared_update(FLOAT), n, cores(n)) == \
+                MODEL.op_cost_ns(shared_update(DOUBLE), n, cores(n))
+
+
+class TestFalseSharing:
+    def test_stride1_much_slower_than_stride16_for_int(self):
+        n = 16
+        fs = MODEL.op_cost_ns(array_update(INT, 1), n, cores(n))
+        free = MODEL.op_cost_ns(array_update(INT, 16), n, cores(n))
+        assert fs > 5 * free
+
+    def test_64bit_escapes_at_stride8(self):
+        # The Fig. 3c cliff.
+        n = 16
+        ull_s8 = MODEL.op_cost_ns(array_update(ULL, 8), n, cores(n))
+        ull_s4 = MODEL.op_cost_ns(array_update(ULL, 4), n, cores(n))
+        assert ull_s8 == MODEL.params.alu_ns(ULL)  # no false sharing left
+        assert ull_s4 > ull_s8
+
+    def test_32bit_does_not_escape_at_stride8(self):
+        n = 16
+        int_s8 = MODEL.op_cost_ns(array_update(INT, 8), n, cores(n))
+        assert int_s8 > MODEL.params.alu_ns(INT)
+
+    def test_no_contention_term_without_sharing(self):
+        cost2 = MODEL.op_cost_ns(array_update(INT, 16), 2, cores(2))
+        cost16 = MODEL.op_cost_ns(array_update(INT, 16), 16, cores(16))
+        assert cost2 == cost16  # embarrassingly parallel
+
+
+class TestAtomicWrite:
+    def write(self, dtype):
+        return op_atomic(PrimitiveKind.OMP_ATOMIC_WRITE, dtype,
+                         SharedScalar(dtype))
+
+    def test_dtype_independent(self):
+        # Fig. 4: word size and type have no effect on the store.
+        n = 8
+        costs = {dt.name: MODEL.op_cost_ns(self.write(dt), n, cores(n))
+                 for dt in (INT, ULL, FLOAT, DOUBLE)}
+        assert len(set(costs.values())) == 1
+
+    def test_cheaper_than_update(self):
+        n = 8
+        assert MODEL.op_cost_ns(self.write(INT), n, cores(n)) < \
+            MODEL.op_cost_ns(shared_update(INT), n, cores(n))
+
+
+class TestAtomicRead:
+    def test_same_cost_as_plain_read(self):
+        # §V-A2: no penalty for reading atomically.
+        read = Op(kind=PrimitiveKind.OMP_ATOMIC_READ, dtype=INT,
+                  target=SharedScalar(INT))
+        plain = Op(kind=PrimitiveKind.PLAIN_READ, dtype=INT,
+                   target=SharedScalar(INT))
+        assert MODEL.op_cost_ns(read, 8, cores(8)) == \
+            MODEL.op_cost_ns(plain, 8, cores(8))
+
+
+class TestCritical:
+    def crit(self):
+        return op_atomic(PrimitiveKind.OMP_CRITICAL_UPDATE, INT,
+                         SharedScalar(INT))
+
+    def test_slower_than_atomic_everywhere(self):
+        for n in (2, 8, 16):
+            assert MODEL.op_cost_ns(self.crit(), n, cores(n)) > \
+                MODEL.op_cost_ns(shared_update(INT), n, cores(n))
+
+    def test_declines_longer_than_atomic(self):
+        # Fig. 5: the critical knee is higher than the atomic knee.
+        atomic_knee = CpuCostParams().contention_knee
+        n1, n2 = atomic_knee + 1, atomic_knee + 5
+        atomic_flat = (
+            MODEL.op_cost_ns(shared_update(INT), n1, cores(n1)) ==
+            MODEL.op_cost_ns(shared_update(INT), n2, cores(n2)))
+        critical_grows = (
+            MODEL.op_cost_ns(self.crit(), n1, cores(n1)) <
+            MODEL.op_cost_ns(self.crit(), n2, cores(n2)))
+        assert atomic_flat and critical_grows
+
+
+class TestFlush:
+    def flush(self, dtype, stride):
+        return op_fence(PrimitiveKind.OMP_FLUSH,
+                        PrivateArrayElement(dtype, stride))
+
+    def test_nearly_free_without_false_sharing(self):
+        cost = MODEL.op_cost_ns(self.flush(DOUBLE, 8), 8, cores(8))
+        assert cost == MODEL.params.flush_base_ns
+
+    def test_expensive_with_false_sharing(self):
+        cost = MODEL.op_cost_ns(self.flush(INT, 1), 16, cores(16))
+        assert cost > 10 * MODEL.params.flush_base_ns
+
+    def test_bare_flush_costs_base(self):
+        bare = op_fence(PrimitiveKind.OMP_FLUSH)
+        assert MODEL.op_cost_ns(bare, 8, cores(8)) == \
+            MODEL.params.flush_base_ns
+
+    def test_oscillation_alternates_with_parity(self):
+        # Fig. 6b/6c: partially padded strides oscillate.
+        odd = MODEL.op_cost_ns(self.flush(DOUBLE, 4), 5, cores(5))
+        even = MODEL.op_cost_ns(self.flush(DOUBLE, 4), 6, cores(6))
+        assert odd != even
+
+    def test_no_oscillation_at_stride1(self):
+        # Full-line sharing at stride 1 does not oscillate.
+        p = CpuCostParams()
+        n16 = MODEL.op_cost_ns(self.flush(INT, 1), 17, cores(17))
+        n17 = MODEL.op_cost_ns(self.flush(INT, 1), 18, cores(18))
+        assert n16 == n17 == p.flush_base_ns + 15 * p.flush_drain_ns
+
+
+class TestScaffoldOps:
+    def test_plain_update_pays_partial_false_sharing(self):
+        shared_line = op_plain_update(INT, PrivateArrayElement(INT, 1))
+        own_line = op_plain_update(INT, PrivateArrayElement(INT, 16))
+        assert MODEL.op_cost_ns(shared_line, 16, cores(16)) > \
+            MODEL.op_cost_ns(own_line, 16, cores(16))
+
+    def test_gpu_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.op_cost_ns(op_barrier(PrimitiveKind.SYNCTHREADS), 4,
+                             cores(4))
+
+    def test_atomic_without_dtype_rejected(self):
+        bad = Op(kind=PrimitiveKind.OMP_ATOMIC_UPDATE)
+        with pytest.raises(ConfigurationError):
+            MODEL.op_cost_ns(bad, 4, cores(4))
+
+
+class TestParamOverrides:
+    def test_with_overrides_replaces_only_named(self):
+        params = CpuCostParams().with_overrides(int_alu_ns=99.0)
+        assert params.int_alu_ns == 99.0
+        assert params.fp_alu_ns == CpuCostParams().fp_alu_ns

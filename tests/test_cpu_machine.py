@@ -1,0 +1,93 @@
+"""Unit tests for repro.cpu.machine and repro.cpu.jitter."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import op_barrier
+from repro.cpu.affinity import Affinity
+from repro.cpu.jitter import JitterModel
+
+
+class TestContext:
+    def test_context_resolves_placement(self, quiet_cpu):
+        ctx = quiet_cpu.context(4, Affinity.SPREAD)
+        assert ctx.n_threads == 4
+        assert not ctx.hyperthreaded
+        assert len(ctx.core_keys) == 4
+
+    def test_hyperthreaded_flag(self, quiet_cpu):
+        # quiet_cpu has 8 cores x 2 SMT.
+        assert not quiet_cpu.context(8).hyperthreaded
+        assert quiet_cpu.context(9).hyperthreaded
+
+    def test_single_thread_rejected(self, quiet_cpu):
+        # The paper omits thread count 1.
+        with pytest.raises(ConfigurationError):
+            quiet_cpu.context(1)
+
+    def test_max_threads(self, quiet_cpu):
+        assert quiet_cpu.max_threads == 16
+        quiet_cpu.context(16)
+        with pytest.raises(ConfigurationError):
+            quiet_cpu.context(17)
+
+
+class TestCosting:
+    def test_body_cost_sums_ops(self, quiet_cpu):
+        ctx = quiet_cpu.context(4)
+        one = quiet_cpu.body_cost((op_barrier(),), ctx)
+        two = quiet_cpu.body_cost((op_barrier(), op_barrier()), ctx)
+        assert two == pytest.approx(2 * one)
+
+    def test_throughput_inverts_time(self, quiet_cpu):
+        assert quiet_cpu.throughput(10.0) == pytest.approx(1e8)
+
+    def test_time_unit_is_ns(self, quiet_cpu):
+        assert quiet_cpu.time_unit == "ns"
+
+    def test_quiet_machine_has_zero_noise(self, quiet_cpu, rng):
+        ctx = quiet_cpu.context(4)
+        assert quiet_cpu.run_noise(rng, ctx, (), 100.0) == 0.0
+
+
+class TestJitterModel:
+    def test_noise_scales_with_cost(self, rng):
+        jitter = JitterModel(rel_sigma=0.1, abs_sigma_ns=0.0,
+                             spike_prob=0.0)
+        small = [abs(jitter.sample_run_noise(rng, False, 10.0))
+                 for _ in range(200)]
+        large = [abs(jitter.sample_run_noise(rng, False, 1000.0))
+                 for _ in range(200)]
+        assert np.mean(large) > 10 * np.mean(small)
+
+    def test_hyperthreading_adds_noise(self):
+        jitter = JitterModel(rel_sigma=0.01, ht_rel_sigma=0.2,
+                             abs_sigma_ns=0.0, spike_prob=0.0)
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        plain = [abs(jitter.sample_run_noise(rng1, False, 100.0))
+                 for _ in range(300)]
+        smt = [abs(jitter.sample_run_noise(rng2, True, 100.0))
+               for _ in range(300)]
+        assert np.mean(smt) > 2 * np.mean(plain)
+
+    def test_spikes_are_positive(self, rng):
+        jitter = JitterModel(rel_sigma=0.0, abs_sigma_ns=0.0,
+                             spike_prob=1.0, spike_rel=0.5,
+                             spike_abs_ns=1.0)
+        samples = [jitter.sample_run_noise(rng, False, 100.0)
+                   for _ in range(50)]
+        assert all(s > 0 for s in samples)
+
+    def test_scaled_multiplies_magnitudes(self):
+        base = JitterModel(rel_sigma=0.1, abs_sigma_ns=2.0)
+        doubled = base.scaled(2.0)
+        assert doubled.rel_sigma == pytest.approx(0.2)
+        assert doubled.abs_sigma_ns == pytest.approx(4.0)
+        assert doubled.spike_prob == base.spike_prob
+
+    def test_zero_model_is_silent(self, rng):
+        jitter = JitterModel(rel_sigma=0.0, abs_sigma_ns=0.0,
+                             ht_rel_sigma=0.0, spike_prob=0.0)
+        assert jitter.sample_run_noise(rng, True, 1e6) == 0.0

@@ -1,0 +1,56 @@
+"""Unit tests for repro.cpu.presets — Table I fidelity (CPU half)."""
+
+import pytest
+
+from repro.cpu.presets import (
+    CPU_PRESETS,
+    SYSTEM1_CPU,
+    SYSTEM2_CPU,
+    SYSTEM3_CPU,
+    cpu_preset,
+)
+
+
+class TestTable1Cpus:
+    def test_system1_xeon_e5(self):
+        topo = SYSTEM1_CPU.topology
+        assert "E5-2687" in topo.name
+        assert (topo.sockets, topo.cores_per_socket,
+                topo.threads_per_core) == (2, 10, 2)
+        assert topo.base_clock_ghz == 3.10
+        assert topo.hardware_threads == 40
+
+    def test_system2_xeon_gold(self):
+        topo = SYSTEM2_CPU.topology
+        assert "6226R" in topo.name
+        assert (topo.sockets, topo.cores_per_socket,
+                topo.threads_per_core) == (2, 16, 2)
+        assert topo.base_clock_ghz == 2.80
+        assert topo.hardware_threads == 64
+
+    def test_system3_threadripper(self):
+        topo = SYSTEM3_CPU.topology
+        assert "2950X" in topo.name
+        assert (topo.sockets, topo.cores_per_socket,
+                topo.threads_per_core) == (1, 16, 2)
+        assert topo.base_clock_ghz == 3.50
+        assert topo.numa_nodes == 2  # single socket, two NUMA nodes
+
+    def test_amd_is_noisiest(self):
+        # Fig. 4a: System 3 shows notable jitter.
+        amd = SYSTEM3_CPU.jitter
+        for intel in (SYSTEM1_CPU.jitter, SYSTEM2_CPU.jitter):
+            assert amd.rel_sigma > intel.rel_sigma
+            assert amd.spike_prob >= intel.spike_prob
+
+    def test_lookup_by_system_number(self):
+        assert cpu_preset(1) is SYSTEM1_CPU
+        assert cpu_preset(2) is SYSTEM2_CPU
+        assert cpu_preset(3) is SYSTEM3_CPU
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            cpu_preset(4)
+
+    def test_presets_dict_complete(self):
+        assert sorted(CPU_PRESETS) == [1, 2, 3]

@@ -1,0 +1,93 @@
+"""Unit tests for repro.cpu.topology."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.topology import CorePlace, CpuTopology
+
+
+def make(sockets=2, cores=8, smt=2, numa=2, clock=3.0):
+    return CpuTopology(name="test", sockets=sockets, cores_per_socket=cores,
+                       threads_per_core=smt, numa_nodes=numa,
+                       base_clock_ghz=clock)
+
+
+class TestCounts:
+    def test_physical_cores(self):
+        assert make(sockets=2, cores=10).physical_cores == 20
+
+    def test_hardware_threads(self):
+        assert make(sockets=2, cores=16, smt=2).hardware_threads == 64
+
+    def test_threadripper_shape(self):
+        # System 3: 1 socket x 16 cores x 2 SMT = 32 hardware threads.
+        topo = make(sockets=1, cores=16, smt=2)
+        assert topo.hardware_threads == 32
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("sockets", 0), ("cores_per_socket", 0), ("threads_per_core", 0),
+        ("numa_nodes", 0),
+    ])
+    def test_nonpositive_counts_rejected(self, field, value):
+        kwargs = dict(sockets=2, cores=8, smt=2, numa=2)
+        rename = {"sockets": "sockets", "cores_per_socket": "cores",
+                  "threads_per_core": "smt", "numa_nodes": "numa"}
+        kwargs[rename[field]] = value
+        with pytest.raises(ConfigurationError):
+            make(**kwargs)
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(clock=0.0)
+
+    def test_numa_must_tile_sockets(self):
+        with pytest.raises(ConfigurationError):
+            make(sockets=2, numa=3)
+
+
+class TestAllPlaces:
+    def test_count(self):
+        topo = make(sockets=2, cores=3, smt=2)
+        assert len(topo.all_places()) == 12
+
+    def test_order_is_socket_core_smt(self):
+        topo = make(sockets=1, cores=2, smt=2)
+        assert topo.all_places() == [
+            CorePlace(0, 0, 0), CorePlace(0, 0, 1),
+            CorePlace(0, 1, 0), CorePlace(0, 1, 1),
+        ]
+
+    def test_core_key_ignores_smt(self):
+        assert CorePlace(0, 3, 0).core_key == CorePlace(0, 3, 1).core_key
+        assert CorePlace(0, 3, 0).core_key != CorePlace(1, 3, 0).core_key
+
+
+class TestNumaMapping:
+    def test_one_node_per_socket(self):
+        topo = make(sockets=2, cores=4, numa=2)
+        assert topo.numa_node_of(CorePlace(0, 0, 0)) == 0
+        assert topo.numa_node_of(CorePlace(1, 0, 0)) == 1
+
+    def test_two_nodes_in_one_socket(self):
+        # The Threadripper 2950X: 1 socket, 2 NUMA nodes.
+        topo = make(sockets=1, cores=16, numa=2)
+        assert topo.numa_node_of(CorePlace(0, 0, 0)) == 0
+        assert topo.numa_node_of(CorePlace(0, 7, 0)) == 0
+        assert topo.numa_node_of(CorePlace(0, 8, 0)) == 1
+        assert topo.numa_node_of(CorePlace(0, 15, 0)) == 1
+
+    def test_out_of_range_place_rejected(self):
+        topo = make(sockets=1, cores=4)
+        with pytest.raises(ConfigurationError):
+            topo.numa_node_of(CorePlace(1, 0, 0))
+
+
+class TestDescribe:
+    def test_describe_contains_table1_fields(self):
+        desc = make().describe()
+        for key in ("name", "base_clock_ghz", "sockets", "cores_per_socket",
+                    "threads_per_core", "numa_nodes", "physical_cores",
+                    "hardware_threads"):
+            assert key in desc

@@ -1,0 +1,150 @@
+"""Tests for atomicInc/Dec, __activemask(), and the match functions."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+class TestAtomicIncDec:
+    def test_inc_wraps_at_limit(self, cuda):
+        def kernel(t):
+            yield t.atomic_inc("x", 0, 9)  # wrap to 0 after 9
+
+        x = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 25), globals_={"x": x})
+        # 25 increments with wrap at 10: 25 mod 10 = 5.
+        assert x[0] == 5
+
+    def test_inc_without_wrap_counts(self, cuda):
+        def kernel(t):
+            yield t.atomic_inc("x", 0, 1000)
+
+        x = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"x": x})
+        assert x[0] == 32
+
+    def test_dec_saturates_to_value(self, cuda):
+        def kernel(t):
+            if t.global_id == 0:
+                old = yield t.atomic_dec("x", 0, 7)
+                yield t.global_write("saw", 0, old)
+
+        x = np.zeros(1, np.int32)  # 0 decrements to the wrap value
+        saw = np.zeros(1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32),
+                    globals_={"x": x, "saw": saw})
+        assert saw[0] == 0
+        assert x[0] == 7
+
+    def test_dec_counts_down(self, cuda):
+        def kernel(t):
+            yield t.atomic_dec("x", 0, 1000)
+
+        x = np.full(1, 500, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"x": x})
+        assert x[0] == 500 - 32
+
+    def test_inc_returns_old(self, cuda):
+        def kernel(t):
+            old = yield t.atomic_inc("x", 0, 1000)
+            yield t.global_write("olds", t.global_id, old)
+
+        x = np.zeros(1, np.int32)
+        olds = np.zeros(32, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32),
+                    globals_={"x": x, "olds": olds})
+        assert sorted(olds.tolist()) == list(range(32))
+
+    def test_inc_ring_buffer_pattern(self, cuda):
+        """The classic atomicInc use: ring-buffer slot assignment."""
+        slots = 8
+
+        def kernel(t):
+            slot = yield t.atomic_inc("head", 0, slots - 1)
+            yield t.atomic_add("hits", slot, 1)
+
+        head = np.zeros(1, np.int32)
+        hits = np.zeros(slots, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 64),
+                    globals_={"head": head, "hits": hits})
+        assert hits.tolist() == [8] * slots
+
+
+class TestActivemask:
+    def test_full_warp_mask(self, cuda):
+        def kernel(t):
+            mask = yield t.activemask()
+            yield t.global_write("out", t.global_id, mask)
+
+        out = np.zeros(32, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+        assert out.tolist() == [(1 << 32) - 1] * 32
+
+    def test_partial_warp_mask(self, cuda):
+        def kernel(t):
+            mask = yield t.activemask()
+            yield t.global_write("out", t.global_id, mask)
+
+        out = np.zeros(20, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 20), globals_={"out": out})
+        assert out.tolist() == [(1 << 20) - 1] * 20
+
+    def test_exited_lanes_drop_out_of_mask(self, cuda):
+        def kernel(t):
+            if t.lane >= 16:
+                return
+            # Step once so the early-exit lanes are definitely done.
+            yield t.alu(1)
+            mask = yield t.activemask()
+            yield t.global_write("out", t.lane, mask)
+
+        out = np.zeros(16, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+        assert out.tolist() == [(1 << 16) - 1] * 16
+
+
+class TestMatchFunctions:
+    def test_match_any_groups_equal_values(self, cuda):
+        def kernel(t):
+            mask = yield t.match_any_sync(t.lane % 2)
+            yield t.global_write("out", t.global_id, mask)
+
+        out = np.zeros(32, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+        even_mask = sum(1 << l for l in range(0, 32, 2))
+        odd_mask = sum(1 << l for l in range(1, 32, 2))
+        for lane, mask in enumerate(out.tolist()):
+            assert mask == (even_mask if lane % 2 == 0 else odd_mask)
+
+    def test_match_all_uniform(self, cuda):
+        def kernel(t):
+            mask = yield t.match_all_sync(7)
+            yield t.global_write("out", t.global_id, mask)
+
+        out = np.zeros(32, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+        assert out.tolist() == [(1 << 32) - 1] * 32
+
+    def test_match_all_divergent_returns_zero(self, cuda):
+        def kernel(t):
+            mask = yield t.match_all_sync(t.lane)
+            yield t.global_write("out", t.global_id, mask)
+
+        out = np.full(32, -1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+        assert out.tolist() == [0] * 32
+
+    def test_match_costs_like_a_vote(self, cuda, mini_gpu):
+        from repro.compiler.ops import Op, PrimitiveKind
+        ctx = mini_gpu.context(LaunchConfig(1, 32))
+        vote = mini_gpu.op_cost(Op(kind=PrimitiveKind.VOTE_ANY), ctx)
+        match = mini_gpu.op_cost(
+            Op(kind=PrimitiveKind.MATCH_ANY_SYNC), ctx)
+        assert match == vote

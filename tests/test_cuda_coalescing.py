@@ -1,0 +1,90 @@
+"""Tests for the warp memory-coalescing model."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+def timed(cuda, kernel, data_len=4096, threads=32):
+    """Kernel cycles net of the fixed launch overheads."""
+    data = np.zeros(data_len, np.int32)
+    total = cuda.launch(kernel, LaunchConfig(1, threads),
+                        globals_={"data": data}).elapsed_cycles
+    return total - cuda.device.params.kernel_launch_cycles - \
+        cuda.device.params.block_launch_cycles
+
+
+class TestCoalescing:
+    def test_strided_reads_slower_than_coalesced(self, cuda):
+        def coalesced(t):
+            for r in range(8):
+                yield t.global_read("data", r * 32 + t.lane)
+
+        def strided(t):
+            for r in range(8):
+                yield t.global_read("data", (r * 32 + t.lane) * 16)
+
+        assert timed(cuda, strided) > 2 * timed(cuda, coalesced)
+
+    def test_same_sector_reads_are_free_of_penalty(self, cuda):
+        # int32: 8 elements per 32-byte sector; 32 lanes over 32
+        # consecutive ints touch 4 sectors.
+        def kernel(t):
+            yield t.global_read("data", t.lane)
+
+        base = cuda.device.params.global_load_cycles
+        penalty = cuda.device.params.uncoalesced_penalty_cycles
+        result = cuda.launch(kernel, LaunchConfig(1, 32),
+                             globals_={"data": np.zeros(32, np.int32)})
+        expected_pass = base + penalty * (4 - 1)
+        # kernel time = launch overheads + the one read pass
+        overhead = cuda.device.params.kernel_launch_cycles + \
+            cuda.device.params.block_launch_cycles
+        assert result.elapsed_cycles == pytest.approx(
+            overhead + expected_pass)
+
+    def test_broadcast_read_is_one_sector(self, cuda):
+        def broadcast(t):
+            yield t.global_read("data", 0)
+
+        def scattered(t):
+            yield t.global_read("data", t.lane * 16)
+
+        assert timed(cuda, broadcast) < timed(cuda, scattered)
+
+    def test_writes_also_coalesce(self, cuda):
+        def coalesced(t):
+            for r in range(8):
+                yield t.global_write("data", r * 32 + t.lane, 1)
+
+        def strided(t):
+            for r in range(8):
+                yield t.global_write("data", (r * 32 + t.lane) * 16, 1)
+
+        assert timed(cuda, strided) > 2 * timed(cuda, coalesced)
+
+    def test_element_size_matters(self, cuda):
+        # 32 doubles span 8 sectors; 32 int32s span 4.
+        def kernel(t):
+            yield t.global_read("data", t.lane)
+
+        t32 = cuda.launch(kernel, LaunchConfig(1, 32),
+                          globals_={"data": np.zeros(32, np.int32)}
+                          ).elapsed_cycles
+        t64 = cuda.launch(kernel, LaunchConfig(1, 32),
+                          globals_={"data": np.zeros(32, np.float64)}
+                          ).elapsed_cycles
+        assert t64 > t32
+
+    def test_reduction_correctness_unaffected(self, cuda, rng):
+        from repro.reductions import run_reduction
+        data = rng.integers(-1000, 1000, size=2048).astype(np.int32)
+        outcome = run_reduction("reduction3", cuda.device, data, 64)
+        assert outcome.correct

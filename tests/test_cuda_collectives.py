@@ -1,0 +1,175 @@
+"""Tests for warp collectives: shuffles, votes, reduce_max."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+def run(cuda, kernel, threads=32, blocks=1, out_size=None):
+    out = np.zeros(out_size or blocks * threads, np.int64)
+    cuda.launch(kernel, LaunchConfig(blocks, threads),
+                globals_={"out": out})
+    return out
+
+
+class TestShflSync:
+    def test_broadcast_from_lane(self, cuda):
+        def kernel(t):
+            got = yield t.shfl_sync(t.lane * 10, src_lane=5)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel)
+        assert out.tolist() == [50] * 32
+
+    def test_broadcast_across_two_warps_is_per_warp(self, cuda):
+        def kernel(t):
+            got = yield t.shfl_sync(t.threadIdx, src_lane=0)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel, threads=64)
+        assert out.tolist() == [0] * 32 + [32] * 32
+
+
+class TestShflUpDown:
+    def test_up_shifts_values(self, cuda):
+        def kernel(t):
+            got = yield t.shfl_up_sync(t.lane, delta=1)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel)
+        # Lane 0 keeps its own value; lane l gets l-1.
+        assert out.tolist() == [0] + list(range(31))
+
+    def test_down_shifts_values(self, cuda):
+        def kernel(t):
+            got = yield t.shfl_down_sync(t.lane, delta=2)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel)
+        assert out.tolist() == list(range(2, 32)) + [30, 31]
+
+
+class TestShflXor:
+    def test_butterfly_pairs(self, cuda):
+        def kernel(t):
+            got = yield t.shfl_xor_sync(t.lane, lane_mask=1)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel)
+        assert out.tolist() == [l ^ 1 for l in range(32)]
+
+    def test_xor_reduction_computes_warp_max(self, cuda):
+        # The Reduction-2 shuffle tree from Listing 1.
+        def kernel(t):
+            value = (t.lane * 7) % 32
+            j = 16
+            while j > 0:
+                other = yield t.shfl_xor_sync(value, j)
+                value = max(value, other)
+                j //= 2
+            yield t.global_write("out", t.global_id, value)
+
+        out = run(cuda, kernel)
+        assert out.tolist() == [31] * 32
+
+
+class TestVotes:
+    def test_any_sync(self, cuda):
+        def kernel(t):
+            got = yield t.any_sync(t.lane == 7)
+            yield t.global_write("out", t.global_id, int(got))
+
+        assert run(cuda, kernel).tolist() == [1] * 32
+
+    def test_any_sync_false(self, cuda):
+        def kernel(t):
+            got = yield t.any_sync(False)
+            yield t.global_write("out", t.global_id, int(got))
+
+        assert run(cuda, kernel).tolist() == [0] * 32
+
+    def test_all_sync(self, cuda):
+        def kernel(t):
+            got = yield t.all_sync(t.lane < 32)
+            yield t.global_write("out", t.global_id, int(got))
+
+        assert run(cuda, kernel).tolist() == [1] * 32
+
+    def test_all_sync_false_when_one_lane_fails(self, cuda):
+        def kernel(t):
+            got = yield t.all_sync(t.lane != 13)
+            yield t.global_write("out", t.global_id, int(got))
+
+        assert run(cuda, kernel).tolist() == [0] * 32
+
+    def test_ballot_mask(self, cuda):
+        def kernel(t):
+            got = yield t.ballot_sync(t.lane % 2 == 0)
+            yield t.global_write("out", t.global_id, got)
+
+        expected = sum(1 << l for l in range(0, 32, 2))
+        assert run(cuda, kernel).tolist() == [expected] * 32
+
+
+class TestReduceMax:
+    def test_reduce_max_sync(self, cuda):
+        def kernel(t):
+            got = yield t.reduce_max_sync((t.lane * 13) % 32)
+            yield t.global_write("out", t.global_id, got)
+
+        assert run(cuda, kernel).tolist() == [31] * 32
+
+    def test_partial_warp(self, cuda):
+        def kernel(t):
+            got = yield t.reduce_max_sync(t.lane)
+            yield t.global_write("out", t.global_id, got)
+
+        out = run(cuda, kernel, threads=20)
+        assert out.tolist() == [19] * 20
+
+
+class TestDivergence:
+    def test_mixed_collective_types_rejected(self, cuda):
+        def kernel(t):
+            if t.lane < 16:
+                yield t.any_sync(True)
+            else:
+                yield t.all_sync(True)
+
+        with pytest.raises(SimulationError, match="different collectives"):
+            cuda.launch(kernel, LaunchConfig(1, 32))
+
+    def test_collective_vs_barrier_divergence_rejected(self, cuda):
+        def kernel(t):
+            if t.lane == 0:
+                yield t.syncthreads()
+            else:
+                yield t.any_sync(True)
+
+        with pytest.raises(SimulationError):
+            cuda.launch(kernel, LaunchConfig(1, 32))
+
+    def test_collective_after_exit_divergence_rejected(self, cuda):
+        def kernel(t):
+            if t.lane < 16:
+                return
+            yield t.any_sync(True)
+
+        with pytest.raises(SimulationError, match="divergent"):
+            cuda.launch(kernel, LaunchConfig(1, 32))
+
+    def test_stats_count_collectives(self, cuda):
+        def kernel(t):
+            yield t.any_sync(True)
+            yield t.shfl_sync(t.lane, 0)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 64))
+        assert result.stats.collectives == 128

@@ -1,0 +1,175 @@
+"""Tests for the extended CUDA surface: bitwise/sub atomics, the
+__syncthreads_{count,and,or} variants, and divergence serialization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+class TestExtendedAtomics:
+    def test_atomic_sub(self, cuda):
+        def kernel(t):
+            yield t.atomic_sub("x", 0, 1)
+
+        x = np.full(1, 100, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"x": x})
+        assert x[0] == 36
+
+    def test_atomic_and_clears_foreign_bits(self, cuda):
+        def kernel(t):
+            yield t.atomic_and("x", 0, ~(1 << t.threadIdx))
+
+        x = np.full(1, (1 << 32) - 1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 8), globals_={"x": x})
+        assert x[0] == ((1 << 32) - 1) & ~0xFF
+
+    def test_atomic_or_sets_bits(self, cuda):
+        def kernel(t):
+            yield t.atomic_or("x", 0, 1 << t.threadIdx)
+
+        x = np.zeros(1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 16), globals_={"x": x})
+        assert x[0] == (1 << 16) - 1
+
+    def test_atomic_xor_twice_cancels(self, cuda):
+        def kernel(t):
+            yield t.atomic_xor("x", 0, 1 << t.lane)
+            yield t.atomic_xor("x", 0, 1 << t.lane)
+
+        x = np.zeros(1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"x": x})
+        assert x[0] == 0
+
+    def test_extended_atomics_return_old_value(self, cuda):
+        def kernel(t):
+            if t.global_id == 0:
+                old = yield t.atomic_or("x", 0, 0b10)
+                yield t.global_write("saw", 0, old)
+
+        x = np.full(1, 0b01, np.int64)
+        saw = np.zeros(1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32),
+                    globals_={"x": x, "saw": saw})
+        assert saw[0] == 0b01 and x[0] == 0b11
+
+
+class TestSyncthreadsVariants:
+    def test_count_reduces_over_whole_block(self, cuda):
+        def kernel(t):
+            got = yield t.syncthreads_count(t.threadIdx % 4 == 0)
+            yield t.global_write("out", t.global_id, got)
+
+        out = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"out": out})
+        assert out.tolist() == [16] * 64
+
+    def test_and_variant(self, cuda):
+        def kernel(t):
+            got = yield t.syncthreads_and(t.threadIdx < 64)
+            yield t.global_write("out", t.global_id, int(got))
+
+        out = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"out": out})
+        assert out.tolist() == [1] * 64
+
+    def test_or_variant_single_true(self, cuda):
+        def kernel(t):
+            got = yield t.syncthreads_or(t.threadIdx == 63)
+            yield t.global_write("out", t.global_id, int(got))
+
+        out = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"out": out})
+        assert out.tolist() == [1] * 64
+
+    def test_variant_crosses_warps(self, cuda):
+        # The predicate of a thread in warp 1 must reach warp 0.
+        def kernel(t):
+            got = yield t.syncthreads_or(t.threadIdx == 40)
+            yield t.global_write("out", t.global_id, int(got))
+
+        out = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"out": out})
+        assert all(out)
+
+    def test_mixed_variants_rejected(self, cuda):
+        def kernel(t):
+            if t.threadIdx < 32:
+                yield t.syncthreads_and(True)
+            else:
+                yield t.syncthreads_or(True)
+
+        with pytest.raises(SimulationError, match="different"):
+            cuda.launch(kernel, LaunchConfig(1, 64))
+
+    def test_variant_costs_more_than_plain_barrier(self, cuda):
+        def plain(t):
+            for _ in range(10):
+                yield t.syncthreads()
+
+        def counting(t):
+            for _ in range(10):
+                yield t.syncthreads_count(True)
+
+        t_plain = cuda.launch(plain, LaunchConfig(1, 128)).elapsed_cycles
+        t_count = cuda.launch(counting, LaunchConfig(1, 128)).elapsed_cycles
+        assert t_count > t_plain
+
+
+class TestDivergence:
+    def test_divergent_paths_serialize(self, cuda):
+        def uniform(t):
+            for _ in range(20):
+                yield t.alu(4)
+
+        def diverged(t):
+            for _ in range(20):
+                if t.lane < 16:
+                    yield t.alu(4)
+                else:
+                    v = yield t.shared_read("s", 0)
+                    del v
+
+        t_uniform = cuda.launch(uniform, LaunchConfig(1, 32)).elapsed_cycles
+        result = cuda.launch(
+            diverged, LaunchConfig(1, 32),
+            shared_decls={"s": (1, np.dtype(np.int64))})
+        assert result.elapsed_cycles > t_uniform
+        assert result.stats.divergent_passes >= 20
+
+    def test_uniform_warp_has_no_divergent_passes(self, cuda):
+        def kernel(t):
+            for _ in range(5):
+                yield t.alu(1)
+
+        result = cuda.launch(kernel, LaunchConfig(2, 64))
+        assert result.stats.divergent_passes == 0
+
+    def test_divergence_cost_roughly_constant_per_branch(self, cuda):
+        """Bialas & Strzelecki: the cost of a diverging branch is
+        essentially constant.  Doubling the branches doubles the added
+        cost."""
+        def make(n_branches):
+            def kernel(t):
+                for _ in range(n_branches):
+                    if t.lane % 2 == 0:
+                        yield t.alu(1)
+                    else:
+                        yield t.shared_read("s", 0)
+            return kernel
+
+        decls = {"s": (1, np.dtype(np.int64))}
+        base = cuda.launch(make(0), LaunchConfig(1, 32),
+                           shared_decls=decls).elapsed_cycles
+        one = cuda.launch(make(4), LaunchConfig(1, 32),
+                          shared_decls=decls).elapsed_cycles
+        two = cuda.launch(make(8), LaunchConfig(1, 32),
+                          shared_decls=decls).elapsed_cycles
+        assert (two - one) == pytest.approx(one - base, rel=0.05)

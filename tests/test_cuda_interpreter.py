@@ -1,0 +1,253 @@
+"""Integration tests for the warp-synchronous CUDA interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.compiler.ops import Scope
+from repro.cuda.interpreter import Cuda, KernelThread
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+class TestKernelThread:
+    def test_builtin_indices(self):
+        t = KernelThread(thread_idx=70, block_idx=3, block_dim=128,
+                         grid_dim=8)
+        assert t.global_id == 70 + 3 * 128
+        assert t.lane == 70 % 32
+        assert t.warp == 2
+        assert t.total_threads == 1024
+
+
+class TestGlobalMemory:
+    def test_each_thread_writes_its_slot(self, cuda):
+        def kernel(t):
+            yield t.global_write("out", t.global_id, t.global_id * 2)
+
+        out = np.zeros(128, np.int64)
+        cuda.launch(kernel, LaunchConfig(2, 64), globals_={"out": out})
+        assert out.tolist() == [i * 2 for i in range(128)]
+
+    def test_read_back(self, cuda):
+        def kernel(t):
+            v = yield t.global_read("a", t.global_id)
+            yield t.global_write("b", t.global_id, v + 1)
+
+        a = np.arange(64, dtype=np.int64)
+        b = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64),
+                    globals_={"a": a, "b": b})
+        assert (b == a + 1).all()
+
+
+class TestSharedMemory:
+    def test_shared_memory_is_per_block(self, cuda):
+        def kernel(t):
+            if t.threadIdx == 0:
+                yield t.shared_write("s", 0, t.blockIdx)
+            yield t.syncthreads()
+            v = yield t.shared_read("s", 0)
+            yield t.global_write("out", t.global_id, v)
+
+        out = np.zeros(4 * 32, np.int64)
+        cuda.launch(kernel, LaunchConfig(4, 32), globals_={"out": out},
+                    shared_decls={"s": (1, np.dtype(np.int64))})
+        # Each block saw its own shared value, not a neighbour's.
+        assert out.reshape(4, 32).tolist() == \
+            [[b] * 32 for b in range(4)]
+
+
+class TestAtomics:
+    def test_atomic_add_counts_all_threads(self, cuda):
+        def kernel(t):
+            yield t.atomic_add("counter", 0, 1)
+
+        counter = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(4, 128),
+                    globals_={"counter": counter})
+        assert counter[0] == 512
+
+    def test_atomic_add_returns_old(self, cuda):
+        def kernel(t):
+            old = yield t.atomic_add("x", 0, 1)
+            yield t.global_write("olds", t.global_id, old)
+
+        x = np.zeros(1, np.int32)
+        olds = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64),
+                    globals_={"x": x, "olds": olds})
+        assert sorted(olds.tolist()) == list(range(64))
+
+    def test_atomic_max_and_min(self, cuda):
+        def kernel(t):
+            yield t.atomic_max("hi", 0, t.global_id)
+            yield t.atomic_min("lo", 0, t.global_id)
+
+        hi = np.full(1, -1, np.int32)
+        lo = np.full(1, 10_000, np.int32)
+        cuda.launch(kernel, LaunchConfig(2, 64),
+                    globals_={"hi": hi, "lo": lo})
+        assert hi[0] == 127
+        assert lo[0] == 0
+
+    def test_atomic_cas_single_winner(self, cuda):
+        def kernel(t):
+            old = yield t.atomic_cas("lock", 0, 0, t.global_id + 1)
+            if old == 0:
+                yield t.atomic_add("winners", 0, 1)
+
+        lock = np.zeros(1, np.int32)
+        winners = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(2, 64),
+                    globals_={"lock": lock, "winners": winners})
+        assert winners[0] == 1
+        assert lock[0] != 0
+
+    def test_atomic_exch_returns_previous(self, cuda):
+        def kernel(t):
+            if t.global_id == 0:
+                old = yield t.atomic_exch("x", 0, 99)
+                yield t.global_write("saw", 0, old)
+
+        x = np.full(1, 7, np.int32)
+        saw = np.zeros(1, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32),
+                    globals_={"x": x, "saw": saw})
+        assert saw[0] == 7
+        assert x[0] == 99
+
+    def test_atomic_on_shared_memory_is_block_scoped(self, cuda):
+        def kernel(t):
+            yield t.atomic_add("s", 0, 1)
+            yield t.syncthreads()
+            if t.threadIdx == 0:
+                v = yield t.shared_read("s", 0)
+                yield t.global_write("out", t.blockIdx, v)
+
+        out = np.zeros(4, np.int64)
+        result = cuda.launch(kernel, LaunchConfig(4, 64),
+                             globals_={"out": out},
+                             shared_decls={"s": (1, np.dtype(np.int32))})
+        assert out.tolist() == [64] * 4
+        assert result.stats.block_atomics == 256
+        assert result.stats.global_atomics == 0
+
+
+class TestSyncthreads:
+    def test_orders_block_phases(self, cuda):
+        def kernel(t):
+            yield t.shared_write("buf", t.threadIdx, t.threadIdx)
+            yield t.syncthreads()
+            peer = (t.threadIdx + 1) % t.blockDim
+            v = yield t.shared_read("buf", peer)
+            yield t.global_write("out", t.global_id, v)
+
+        out = np.zeros(64, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 64), globals_={"out": out},
+                    shared_decls={"buf": (64, np.dtype(np.int64))})
+        assert out.tolist() == [(i + 1) % 64 for i in range(64)]
+
+    def test_exit_before_barrier_is_error(self, cuda):
+        def kernel(t):
+            if t.threadIdx < 16:
+                return
+            yield t.syncthreads()
+
+        with pytest.raises(SimulationError, match="syncthreads"):
+            cuda.launch(kernel, LaunchConfig(1, 64))
+
+    def test_counted_in_stats(self, cuda):
+        def kernel(t):
+            yield t.syncthreads()
+            yield t.syncthreads()
+
+        result = cuda.launch(kernel, LaunchConfig(2, 64))
+        assert result.stats.syncthreads == 4  # 2 per block
+
+
+class TestFencesAndAlu:
+    def test_fence_scopes_accepted(self, cuda):
+        def kernel(t):
+            yield t.threadfence(Scope.BLOCK)
+            yield t.threadfence(Scope.DEVICE)
+            yield t.threadfence(Scope.SYSTEM)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 32))
+        assert result.stats.fences == 96
+
+    def test_alu_charges_time(self, cuda):
+        def light(t):
+            yield t.alu(1)
+
+        def heavy(t):
+            yield t.alu(1000)
+
+        t1 = cuda.launch(light, LaunchConfig(1, 32)).elapsed_cycles
+        t2 = cuda.launch(heavy, LaunchConfig(1, 32)).elapsed_cycles
+        assert t2 > t1
+
+
+class TestScheduling:
+    def test_elapsed_ns_uses_clock(self, cuda, mini_gpu):
+        def kernel(t):
+            yield t.alu(10)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 32))
+        assert result.elapsed_ns == pytest.approx(
+            result.elapsed_cycles / mini_gpu.clock_ghz)
+
+    def test_more_blocks_than_sms_takes_longer(self, cuda):
+        def kernel(t):
+            yield t.alu(100)
+
+        few = cuda.launch(kernel, LaunchConfig(4, 256)).elapsed_cycles
+        # mini_gpu has 4 SMs; 24 blocks must queue in waves.
+        many = cuda.launch(kernel, LaunchConfig(24, 256)).elapsed_cycles
+        assert many > few
+
+    def test_block_cycles_reported_per_block(self, cuda):
+        def kernel(t):
+            yield t.alu(10)
+
+        result = cuda.launch(kernel, LaunchConfig(6, 32))
+        assert len(result.block_cycles) == 6
+        assert all(c > 0 for c in result.block_cycles)
+
+
+class TestErrors:
+    def test_undeclared_global(self, cuda):
+        def kernel(t):
+            yield t.global_read("ghost", 0)
+
+        with pytest.raises(SimulationError, match="undeclared"):
+            cuda.launch(kernel, LaunchConfig(1, 32))
+
+    def test_out_of_bounds_atomic(self, cuda):
+        def kernel(t):
+            yield t.atomic_add("x", 5, 1)
+
+        with pytest.raises(SimulationError, match="out of bounds"):
+            cuda.launch(kernel, LaunchConfig(1, 32),
+                        globals_={"x": np.zeros(1, np.int32)})
+
+    def test_non_request_yield(self, cuda):
+        def kernel(t):
+            yield 42
+
+        with pytest.raises(SimulationError, match="non-request"):
+            cuda.launch(kernel, LaunchConfig(1, 32))
+
+    def test_step_budget(self, mini_gpu):
+        cuda = Cuda(mini_gpu, max_steps=100)
+
+        def kernel(t):
+            while True:
+                yield t.alu(1)
+
+        with pytest.raises(SimulationError, match="step budget"):
+            cuda.launch(kernel, LaunchConfig(1, 32))

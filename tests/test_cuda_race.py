@@ -1,0 +1,165 @@
+"""Tests for the GPU race detector."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataRaceError
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+
+
+def racy_cuda(mini_gpu, collect=False):
+    return Cuda(mini_gpu, detect_races=True, collect_races=collect)
+
+
+class TestIntraBlock:
+    def test_plain_write_conflict_detected(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.global_write("x", 0, t.threadIdx)
+
+        with pytest.raises(DataRaceError, match="intra-block"):
+            cuda.launch(kernel, LaunchConfig(1, 32),
+                        globals_={"x": np.zeros(1, np.int64)})
+
+    def test_shared_memory_conflict_detected(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.shared_write("s", 0, t.threadIdx)
+
+        with pytest.raises(DataRaceError, match="intra-block"):
+            cuda.launch(kernel, LaunchConfig(1, 32),
+                        shared_decls={"s": (1, np.dtype(np.int64))})
+
+    def test_syncthreads_separates_epochs(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            if t.threadIdx == 0:
+                yield t.shared_write("s", 0, 1)
+            yield t.syncthreads()
+            value = yield t.shared_read("s", 0)
+            del value
+
+        result = cuda.launch(kernel, LaunchConfig(1, 64),
+                             shared_decls={"s": (1, np.dtype(np.int64))})
+        assert result.races == []
+
+    def test_atomics_never_race_with_atomics(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.atomic_add("x", 0, 1)
+
+        result = cuda.launch(kernel, LaunchConfig(2, 64),
+                             globals_={"x": np.zeros(1, np.int32)})
+        assert result.races == []
+
+    def test_atomic_vs_plain_write_races(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            if t.threadIdx == 0:
+                yield t.global_write("x", 0, 7)
+            else:
+                yield t.atomic_add("x", 0, 1)
+
+        with pytest.raises(DataRaceError):
+            cuda.launch(kernel, LaunchConfig(1, 32),
+                        globals_={"x": np.zeros(1, np.int64)})
+
+
+class TestCrossBlock:
+    def test_cross_block_write_conflict_detected(self, mini_gpu):
+        """Blocks cannot synchronize within a launch: even
+        barrier-separated writes from different blocks race."""
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            if t.threadIdx == 0:
+                yield t.global_write("x", 0, t.blockIdx)
+            yield t.syncthreads()
+
+        with pytest.raises(DataRaceError, match="cross-block"):
+            cuda.launch(kernel, LaunchConfig(2, 32),
+                        globals_={"x": np.zeros(1, np.int64)})
+
+    def test_disjoint_block_writes_are_fine(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.global_write("x", t.global_id, 1)
+
+        result = cuda.launch(kernel, LaunchConfig(4, 32),
+                             globals_={"x": np.zeros(128, np.int64)})
+        assert result.races == []
+
+    def test_cross_block_read_of_written_value_races(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu)
+
+        def kernel(t):
+            if t.blockIdx == 0 and t.threadIdx == 0:
+                yield t.global_write("flag", 0, 1)
+            elif t.blockIdx == 1 and t.threadIdx == 0:
+                value = yield t.global_read("flag", 0)
+                del value
+
+        with pytest.raises(DataRaceError, match="cross-block"):
+            cuda.launch(kernel, LaunchConfig(2, 32),
+                        globals_={"flag": np.zeros(1, np.int64)})
+
+
+class TestModes:
+    def test_disabled_by_default(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.global_write("x", 0, t.threadIdx)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 32),
+                             globals_={"x": np.zeros(1, np.int64)})
+        assert result.races == []
+
+    def test_collect_mode_reports(self, mini_gpu):
+        cuda = racy_cuda(mini_gpu, collect=True)
+
+        def kernel(t):
+            yield t.global_write("x", 0, t.threadIdx)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 32),
+                             globals_={"x": np.zeros(1, np.int64)})
+        assert result.races
+        assert result.races[0].kind == "intra-block"
+
+    def test_workloads_are_race_clean(self, mini_gpu, rng):
+        """The shipped GPU workloads pass under the detector."""
+        from repro.workloads.histogram import gpu_histogram
+        from repro.workloads.prefix_sum import gpu_block_prefix_sum
+        from repro.workloads.sort import gpu_bitonic_sort
+        import repro.workloads.histogram as hist_mod
+        import repro.workloads.prefix_sum as scan_mod
+        import repro.workloads.sort as sort_mod
+        from repro.cuda import interpreter as interp
+
+        class CheckedCuda(interp.Cuda):
+            def __init__(self, device, **kwargs):
+                super().__init__(device, detect_races=True)
+
+        for mod in (hist_mod, scan_mod, sort_mod):
+            orig = mod.Cuda
+            mod.Cuda = CheckedCuda
+            try:
+                if mod is hist_mod:
+                    data = rng.integers(0, 8, 256).astype(np.int64)
+                    assert gpu_histogram(mini_gpu, data, 8,
+                                         strategy="shared").correct
+                elif mod is scan_mod:
+                    assert gpu_block_prefix_sum(
+                        mini_gpu, rng.integers(0, 9, 64)).correct
+                else:
+                    assert gpu_bitonic_sort(
+                        mini_gpu, rng.integers(0, 99, 64)).correct
+            finally:
+                mod.Cuda = orig

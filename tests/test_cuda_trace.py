@@ -1,0 +1,99 @@
+"""Tests for CUDA execution tracing."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.interpreter import Cuda
+from repro.cuda.trace import Trace, TraceEvent
+from repro.gpu.spec import LaunchConfig
+
+
+@pytest.fixture
+def cuda(mini_gpu):
+    return Cuda(mini_gpu)
+
+
+def traced(cuda, kernel, blocks=1, threads=64, **kwargs):
+    return cuda.launch(kernel, LaunchConfig(blocks, threads), trace=True,
+                       **kwargs)
+
+
+class TestTracing:
+    def test_disabled_by_default(self, cuda):
+        def kernel(t):
+            yield t.alu(1)
+
+        result = cuda.launch(kernel, LaunchConfig(1, 32))
+        assert result.trace is None
+
+    def test_events_recorded_per_warp_pass(self, cuda):
+        def kernel(t):
+            yield t.alu(1)
+            yield t.atomic_add("x", 0, 1)
+
+        result = traced(cuda, kernel,
+                        globals_={"x": np.zeros(1, np.int32)})
+        labels = {e.label for e in result.trace.events}
+        assert "Alu" in labels
+        assert "AtomicAdd" in labels
+
+    def test_event_intervals_are_ordered(self, cuda):
+        def kernel(t):
+            for _ in range(4):
+                yield t.alu(2)
+
+        result = traced(cuda, kernel)
+        for warp in {e.warp for e in result.trace.events}:
+            warp_events = [e for e in result.trace.events
+                           if e.warp == warp and e.block == 0]
+            for a, b in zip(warp_events, warp_events[1:]):
+                assert a.end_cycles <= b.start_cycles
+            for e in warp_events:
+                assert e.duration > 0
+
+    def test_barrier_alignment_traced(self, cuda):
+        def kernel(t):
+            if t.warp == 0:
+                yield t.alu(50)
+            yield t.syncthreads()
+
+        result = traced(cuda, kernel, threads=96)
+        syncs = [e for e in result.trace.events
+                 if e.label == "Syncthreads"]
+        assert len(syncs) == 3  # one alignment event per warp
+        assert len({e.end_cycles for e in syncs}) == 1  # aligned
+
+    def test_cost_profile_by_label(self, cuda):
+        def kernel(t):
+            yield t.alu(10)
+            yield t.threadfence()
+
+        result = traced(cuda, kernel, threads=32)
+        totals = result.trace.total_cycles_by_label()
+        assert totals["Threadfence"] > totals["Alu"]
+
+    def test_trace_for_block_filters(self, cuda):
+        def kernel(t):
+            yield t.alu(1)
+
+        result = traced(cuda, kernel, blocks=3, threads=32)
+        assert result.trace.for_block(1)
+        assert all(e.block == 1 for e in result.trace.for_block(1))
+
+    def test_render_timeline(self, cuda):
+        def kernel(t):
+            yield t.alu(5)
+            yield t.syncthreads()
+
+        result = traced(cuda, kernel, threads=64)
+        out = result.trace.render(block=0)
+        assert "block 0 timeline" in out
+        assert "warp 0" in out and "warp 1" in out
+        assert "key:" in out
+
+    def test_render_empty_block(self):
+        assert "no events" in Trace().render(block=5)
+
+    def test_event_duration(self):
+        event = TraceEvent(0, 0, "Alu", 10.0, 25.0)
+        assert event.duration == 15.0

@@ -1,0 +1,59 @@
+"""End-to-end: every registered experiment reproduces its paper claims.
+
+This is the reproduction's acceptance suite — one test per experiment id,
+running the full default protocol and asserting every claim passes.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+_payload_cache: dict[str, object] = {}
+
+
+def _payload(exp_id):
+    if exp_id not in _payload_cache:
+        _payload_cache[exp_id] = EXPERIMENTS[exp_id].run(None)
+    return _payload_cache[exp_id]
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_experiment_reproduces_paper_claims(exp_id):
+    definition = EXPERIMENTS[exp_id]
+    checks = definition.claims(_payload(exp_id))
+    assert checks, f"{exp_id} defines no claims"
+    failed = [str(c) for c in checks if not c.passed]
+    assert not failed, f"{exp_id}: " + "; ".join(failed)
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_experiment_sweeps_are_extractable(exp_id):
+    definition = EXPERIMENTS[exp_id]
+    sweeps = definition.sweeps(_payload(exp_id))
+    for sweep in sweeps:
+        csv = sweep.to_csv()
+        assert sweep.name in csv
+        assert "throughput_ops_per_s" in csv
+
+
+def test_registry_ids_are_unique_and_complete():
+    # Every figure of the paper's evaluation appears.
+    for expected in ["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+                     "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                     "fig12", "fig13", "fig14", "fig15", "listing1"]:
+        assert expected in EXPERIMENTS
+
+
+def test_get_experiment_lookup():
+    from repro.experiments import get_experiment
+    assert get_experiment("fig1").figure == "Fig. 1"
+    with pytest.raises(KeyError, match="valid ids"):
+        get_experiment("fig99")
+
+
+def test_experiments_of_kind_partition():
+    from repro.experiments import EXPERIMENTS, experiments_of_kind
+    kinds = ("openmp", "cuda", "meta", "extension")
+    total = sum(len(experiments_of_kind(k)) for k in kinds)
+    assert total == len(EXPERIMENTS)
+    assert all(d.kind == "cuda" for d in experiments_of_kind("cuda"))

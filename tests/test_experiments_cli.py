@@ -1,0 +1,91 @@
+"""Tests for the syncperf CLI and the report generator."""
+
+import pytest
+
+from repro.experiments.launch import _select, main as launch_main
+from repro.experiments.report import render_report, run_all
+
+
+class TestSelect:
+    def test_all_expands_everything(self):
+        from repro.experiments import EXPERIMENTS
+        assert _select(["all"]) == list(EXPERIMENTS)
+
+    def test_kind_selection(self):
+        ids = _select(["openmp"])
+        assert "fig1" in ids and "fig7" not in ids
+
+    def test_explicit_ids_deduplicated(self):
+        assert _select(["fig1", "fig1", "fig2"]) == ["fig1", "fig2"]
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit, match="unknown target"):
+            _select(["fig99"])
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert launch_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "listing1" in out
+
+    def test_single_experiment_run(self, capsys):
+        assert launch_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "0 claim(s) not reproduced" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert launch_main(["fig1", "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert files
+        assert "throughput_ops_per_s" in files[0].read_text()
+
+    def test_chart_output(self, capsys):
+        assert launch_main(["fig1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+
+class TestReport:
+    def test_run_all_subset(self):
+        results = run_all(experiment_ids=["table1", "fig1"])
+        assert set(results) == {"table1", "fig1"}
+        for _definition, checks, wall in results.values():
+            assert checks
+            assert wall >= 0
+
+    def test_render_report_contains_summary_and_tables(self):
+        results = run_all(experiment_ids=["table1"])
+        report = render_report(results)
+        assert "# EXPERIMENTS" in report
+        assert "| paper claim | reproduced? |" in report
+        assert "Summary: 3/3" in report
+
+    def test_report_main_writes_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the registry down to a fast subset for this test.
+        import repro.experiments.report as report_mod
+        subset = {k: report_mod.EXPERIMENTS[k] for k in ["table1"]}
+        monkeypatch.setattr(report_mod, "EXPERIMENTS", subset)
+        out = tmp_path / "EXPERIMENTS.md"
+        assert report_mod.main([str(out)]) == 0
+        assert "table1" in out.read_text()
+
+
+class TestSummaryFlag:
+    def test_summary_prints_stats_table(self, capsys):
+        assert launch_main(["fig2", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "| series | gmean ops/s |" in out
+        assert "| int |" in out
+
+
+class TestMatrixFlag:
+    def test_matrix_single_system(self, tmp_path, capsys):
+        import json
+        config = tmp_path / "quick.json"
+        config.write_text(json.dumps({"n_runs": 2, "max_attempts": 2}))
+        assert launch_main(["--matrix", "--systems", "3",
+                            "--config", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "completed 64 sweeps" in out

@@ -1,0 +1,79 @@
+"""Tests for the experiment configuration files."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.protocol import MeasurementProtocol
+from repro.experiments.config import (
+    ALLOWED_KEYS,
+    load_config,
+    write_example_config,
+)
+
+
+class TestLoadConfig:
+    def test_overrides_protocol(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"n_runs": 5, "unroll": 50}))
+        proto = load_config(path)
+        assert proto.n_runs == 5
+        assert proto.unroll == 50
+        assert proto.n_iter == MeasurementProtocol().n_iter  # default kept
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_config(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_config(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_config(path)
+
+    def test_unknown_key_rejected_loudly(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"n_rusn": 5}))  # typo
+        with pytest.raises(ConfigurationError, match="unknown config keys"):
+            load_config(path)
+
+    def test_non_integer_value_rejected(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"n_runs": "nine"}))
+        with pytest.raises(ConfigurationError, match="integer"):
+            load_config(path)
+
+    def test_protocol_validation_still_applies(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"n_runs": 0}))
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+
+class TestExampleConfig:
+    def test_example_roundtrips(self, tmp_path):
+        path = write_example_config(tmp_path / "config.json.example")
+        proto = load_config(path)
+        assert proto == MeasurementProtocol()
+
+    def test_allowed_keys_match_protocol(self):
+        assert "n_runs" in ALLOWED_KEYS
+        assert "unroll" in ALLOWED_KEYS
+        assert "seed" in ALLOWED_KEYS
+
+
+class TestCliIntegration:
+    def test_config_flag(self, tmp_path, capsys):
+        from repro.experiments.launch import main
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"n_runs": 3, "max_attempts": 2}))
+        assert main(["fig1", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "using protocol from" in out

@@ -1,0 +1,81 @@
+"""Tests for the full-matrix workflow (the artifact's launch.py all)."""
+
+import pytest
+
+from repro.core.protocol import MeasurementProtocol
+from repro.experiments.matrix import (
+    MatrixResults,
+    run_full_matrix,
+    save_full_matrix,
+)
+
+QUICK = MeasurementProtocol(n_runs=2, max_attempts=2)
+
+
+@pytest.fixture(scope="module")
+def matrix_system3():
+    """System 3 only, quick protocol (module-scoped: it is the big one)."""
+    return run_full_matrix(systems=(3,), protocol=QUICK)
+
+
+class TestMatrixCoverage:
+    def test_omp_tests_present(self, matrix_system3):
+        keys = matrix_system3.keys_for_system(3)
+        for expected in ("system3/omp/barrier",
+                         "system3/omp/atomicadd_scalar",
+                         "system3/omp/atomicwrite",
+                         "system3/omp/critical",
+                         "system3/omp/atomicadd_array/stride=8",
+                         "system3/omp/flush/stride=16"):
+            assert expected in keys
+
+    def test_cuda_tests_present(self, matrix_system3):
+        keys = matrix_system3.keys_for_system(3)
+        for expected in ("system3/cuda/syncthreads/blocks=1",
+                         "system3/cuda/syncwarp/blocks=128",
+                         "system3/cuda/atomicadd_scalar/blocks=256",
+                         "system3/cuda/atomiccas_scalar/blocks=2",
+                         "system3/cuda/atomicexch/blocks=64",
+                         "system3/cuda/shfl/blocks=128",
+                         "system3/cuda/atomicadd_array/blocks=1/stride=32",
+                         "system3/cuda/threadfence/blocks=128/stride=1"):
+            assert expected in keys
+
+    def test_all_block_counts_swept(self, matrix_system3):
+        from repro.gpu.presets import SYSTEM3_GPU
+        from repro.gpu.spec import paper_block_counts
+        for blocks in paper_block_counts(SYSTEM3_GPU.spec):
+            assert f"system3/cuda/syncthreads/blocks={blocks}" in \
+                matrix_system3.sweeps
+
+    def test_cpu_only_matrix(self):
+        results = run_full_matrix(systems=(3,), protocol=QUICK,
+                                  include_gpu=False)
+        assert all("/omp/" in k for k in results.sweeps)
+
+    def test_sweeps_carry_data(self, matrix_system3):
+        sweep = matrix_system3.sweeps["system3/omp/barrier"]
+        assert sweep.series
+        assert sweep.series[0].points
+
+    def test_duplicate_key_rejected(self):
+        results = MatrixResults()
+        sweep = run_full_matrix(systems=(3,), protocol=QUICK,
+                                include_gpu=False).sweeps[
+                                    "system3/omp/barrier"]
+        results.add("k", sweep)
+        with pytest.raises(KeyError, match="duplicate"):
+            results.add("k", sweep)
+
+
+class TestMatrixSave:
+    def test_artifact_layout_written(self, matrix_system3, tmp_path):
+        n = save_full_matrix(matrix_system3, tmp_path)
+        # csv + chart + svg + json per sweep
+        assert n == 4 * len(matrix_system3)
+        assert (tmp_path / "system3" / "omp" / "barrier").exists() or \
+            any(tmp_path.rglob("*.csv"))
+        csvs = list(tmp_path.rglob("*.csv"))
+        svgs = list(tmp_path.rglob("*.svg"))
+        assert len(csvs) == len(matrix_system3)
+        assert len(svgs) == len(matrix_system3)

@@ -1,0 +1,141 @@
+"""Failure injection: the measurement protocol under hostile conditions.
+
+The retry-on-negative and median elements of the protocol exist because
+real measurements misbehave; these tests replace the machine's noise
+source with adversarial ones and check the protocol degrades the way the
+paper describes (flagging, not garbage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.ops import Op, op_barrier
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.core.spec import MeasurementSpec
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+
+
+def quiet_machine():
+    return CpuMachine(
+        CpuTopology(name="fi", sockets=1, cores_per_socket=8,
+                    threads_per_core=2, numa_nodes=1, base_clock_ghz=3.0),
+        CpuCostParams(),
+        JitterModel(rel_sigma=0.0, abs_sigma_ns=0.0, ht_rel_sigma=0.0,
+                    spike_prob=0.0))
+
+
+class _HostileMachine(CpuMachine):
+    """Noise engineered to make the test body look faster than the
+    baseline on every attempt (the 'faulty measurement' the paper
+    retries on)."""
+
+    def run_noise(self, rng, ctx, body=(), base_cost=0.0):
+        # The test body (more ops) gets large negative noise; the baseline
+        # gets none — every attempt is invalid.
+        return -base_cost * 0.5 if len(body) > 1 else 0.0
+
+
+class _SpikyMachine(CpuMachine):
+    """Every run is hit by a huge positive spike on exactly one side."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._flip = 0
+
+    def run_noise(self, rng, ctx, body=(), base_cost=0.0):
+        self._flip += 1
+        return 50_000.0 if self._flip % 5 == 0 else 0.0
+
+
+class TestInvalidAttempts:
+    def test_all_invalid_attempts_keep_last_and_flag(self):
+        machine = _HostileMachine(quiet_machine().topology,
+                                  CpuCostParams(),
+                                  JitterModel(spike_prob=0.0))
+        engine = MeasurementEngine(machine)
+        spec = MeasurementSpec.single("b", op_barrier())
+        result = engine.measure(spec, machine.context(4))
+        assert result.valid_fraction == 0.0
+        # The kept (invalid) attempts make the difference negative.
+        assert result.per_op_time < 0
+        assert result.within_timer_accuracy  # flagged as meaningless
+
+    def test_retry_recovers_from_transient_glitch(self):
+        """A machine that glitches on the first attempt of each run but
+        behaves afterwards: retries rescue every run."""
+
+        class GlitchFirst(CpuMachine):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._calls = 0
+
+            def run_noise(self, rng, ctx, body=(), base_cost=0.0):
+                self._calls += 1
+                # Attempt = (baseline call, test call); sabotage the first
+                # test call of each run (call index 2 mod 4 pattern).
+                if self._calls % 4 == 2:
+                    return -base_cost * 0.9
+                return 0.0
+
+        base = quiet_machine()
+        machine = GlitchFirst(base.topology, CpuCostParams(),
+                              JitterModel(spike_prob=0.0))
+        engine = MeasurementEngine(machine)
+        spec = MeasurementSpec.single("b", op_barrier())
+        result = engine.measure(spec, machine.context(4))
+        assert result.valid_fraction == 1.0
+        truth = machine.op_cost(op_barrier(), machine.context(4))
+        assert result.per_op_time == pytest.approx(truth, rel=0.05)
+
+
+class TestMedianRobustness:
+    def test_median_ignores_minority_spikes(self):
+        base = quiet_machine()
+        machine = _SpikyMachine(base.topology, CpuCostParams(),
+                                JitterModel(spike_prob=0.0))
+        engine = MeasurementEngine(machine)
+        spec = MeasurementSpec.single("b", op_barrier())
+        result = engine.measure(spec, machine.context(4))
+        truth = machine.op_cost(op_barrier(), machine.context(4))
+        # 1-in-5 spikes of 50 us cannot move the median of 9 runs.
+        assert result.per_op_time == pytest.approx(truth, rel=0.05)
+
+    def test_mean_would_not_have_survived(self):
+        """Sanity check on the scenario: the spikes are big enough that a
+        mean-based protocol would be ruined."""
+        spikes = [0.0, 0.0, 0.0, 0.0, 50_000.0] * 2
+        assert np.mean(spikes) > 1000
+        assert np.median(spikes) == 0.0
+
+
+class TestClampingAtZero:
+    def test_negative_total_time_clamped(self):
+        """Noise can never drive a measured runtime below zero."""
+
+        class VeryNegative(CpuMachine):
+            def run_noise(self, rng, ctx, body=(), base_cost=0.0):
+                return -1e12
+
+        base = quiet_machine()
+        machine = VeryNegative(base.topology, CpuCostParams(),
+                               JitterModel(spike_prob=0.0))
+        engine = MeasurementEngine(machine)
+        spec = MeasurementSpec.single("b", op_barrier())
+        result = engine.measure(spec, machine.context(4))
+        assert result.baseline_median == 0.0
+        assert result.test_median == 0.0
+
+    def test_reduced_run_count_still_works(self):
+        machine = quiet_machine()
+        engine = MeasurementEngine(machine,
+                                   MeasurementProtocol(n_runs=1,
+                                                       max_attempts=1))
+        spec = MeasurementSpec.single("b", op_barrier())
+        result = engine.measure(spec, machine.context(4))
+        assert result.per_op_time > 0

@@ -1,0 +1,53 @@
+"""Regression guard: the reference results corpus must match exactly.
+
+The corpus under ``results/reference`` plays the role of the artifact's
+shipped raw results.  Measurements are deterministic (seeded jitter), so
+any mismatch means the cost models or the protocol changed; recalibrate
+intentionally with ``python -m repro.experiments.golden --write``.
+"""
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_SWEEPS,
+    default_corpus_dir,
+    verify_golden,
+    write_golden,
+)
+
+
+def test_corpus_exists():
+    root = default_corpus_dir()
+    assert root.exists(), \
+        "run `python -m repro.experiments.golden --write` once"
+    for corpus_id in GOLDEN_SWEEPS:
+        assert (root / f"{corpus_id}.csv").exists(), corpus_id
+
+
+def test_corpus_matches_regenerated_results():
+    problems = verify_golden(default_corpus_dir())
+    assert not problems, "\n".join(problems)
+
+
+def test_corpus_covers_cpu_and_gpu():
+    ids = set(GOLDEN_SWEEPS)
+    assert any(i.startswith(("fig1", "fig2", "fig3", "fig5"))
+               for i in ids)  # OpenMP side
+    assert any(i.startswith(("fig7", "fig9", "fig11", "fig15"))
+               for i in ids)  # CUDA side
+
+
+def test_verify_reports_missing_files(tmp_path):
+    problems = verify_golden(tmp_path)
+    assert len(problems) == len(GOLDEN_SWEEPS)
+    assert all("missing" in p for p in problems)
+
+
+def test_verify_reports_drift(tmp_path):
+    write_golden(tmp_path)
+    target = tmp_path / "fig1_barrier.csv"
+    content = target.read_text().splitlines()
+    content[3] = content[3].replace(content[3].split(",")[-1], "123")
+    target.write_text("\n".join(content) + "\n")
+    problems = verify_golden(tmp_path)
+    assert any("fig1_barrier" in p and "drift" in p for p in problems)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.gpu.atomic_units."""
+
+from repro.common.datatypes import DOUBLE, FLOAT, INT, ULL
+from repro.compiler.ops import PrimitiveKind, op_atomic
+from repro.gpu.atomic_units import AtomicUnitModel
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+UNITS = AtomicUnitModel()
+
+
+def atomic(kind, dtype, target=None):
+    return op_atomic(kind, dtype, target or SharedScalar(dtype))
+
+
+class TestServiceRates:
+    def test_int_fastest(self):
+        add_int = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD, INT))
+        add_ull = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD, ULL))
+        add_fp = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD,
+                                             FLOAT))
+        assert add_int < add_ull < add_fp
+
+    def test_fp_width_does_not_matter(self):
+        f = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD, FLOAT))
+        d = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD, DOUBLE))
+        assert f == d
+
+    def test_cas_slower_than_add_for_int(self):
+        add = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_ADD, INT))
+        cas = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_CAS, INT))
+        assert cas > add
+
+    def test_cas64_slower_than_cas32(self):
+        c32 = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_CAS, INT))
+        c64 = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_CAS, ULL))
+        assert c64 > c32
+
+    def test_exch_priced_like_cas(self):
+        cas = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_CAS, INT))
+        exch = UNITS.service_cycles(atomic(PrimitiveKind.ATOMIC_EXCH, INT))
+        assert cas == exch
+
+
+class TestAggregation:
+    def test_int_add_aggregates(self):
+        assert UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_ADD, INT))
+
+    def test_int_max_aggregates(self):
+        assert UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_MAX, INT))
+
+    def test_cas_never_aggregates(self):
+        assert not UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_CAS, INT))
+
+    def test_exch_never_aggregates(self):
+        assert not UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_EXCH, INT))
+
+    def test_64bit_add_does_not_aggregate(self):
+        # The warp reduction-and-broadcast runs on the 32-bit datapath.
+        assert not UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_ADD, ULL))
+
+    def test_fp_add_does_not_aggregate(self):
+        assert not UNITS.aggregates(atomic(PrimitiveKind.ATOMIC_ADD, FLOAT))
+
+    def test_without_aggregation_disables(self):
+        off = UNITS.without_aggregation()
+        assert not off.aggregates(atomic(PrimitiveKind.ATOMIC_ADD, INT))
+        # Other rates unchanged.
+        assert off.int_service_cycles == UNITS.int_service_cycles
+
+
+class TestParallelUnits:
+    def test_more_int_units_than_fp(self):
+        int_op = atomic(PrimitiveKind.ATOMIC_ADD, INT,
+                        PrivateArrayElement(INT, 1))
+        fp_op = atomic(PrimitiveKind.ATOMIC_ADD, DOUBLE,
+                       PrivateArrayElement(DOUBLE, 1))
+        assert UNITS.parallel_units(int_op) > UNITS.parallel_units(fp_op)

@@ -1,0 +1,226 @@
+"""Unit tests for repro.gpu.costs — the mechanisms behind Figs. 7-15."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, FLOAT, INT, ULL
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import Op, PrimitiveKind, Scope, op_atomic, \
+    op_barrier, op_fence
+from repro.gpu.costs import GpuCostModel, GpuCostParams
+from repro.gpu.occupancy import occupancy
+from repro.gpu.presets import SYSTEM3_GPU
+from repro.gpu.spec import LaunchConfig
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+SPEC = SYSTEM3_GPU.spec
+MODEL = GpuCostModel(SPEC)
+
+
+def cost(op, blocks, threads):
+    launch = LaunchConfig(blocks, threads)
+    occ = occupancy(blocks, threads, SPEC.sm_count, SPEC.max_threads_per_sm,
+                    SPEC.max_blocks_per_sm)
+    return MODEL.op_cost_cycles(op, launch, occ)
+
+
+class TestSyncthreads:
+    OP = op_barrier(PrimitiveKind.SYNCTHREADS)
+
+    def test_flat_up_to_warp_size(self):
+        assert cost(self.OP, 1, 1) == cost(self.OP, 1, 32)
+
+    def test_grows_with_warps(self):
+        assert cost(self.OP, 1, 64) > cost(self.OP, 1, 32)
+        assert cost(self.OP, 1, 1024) > cost(self.OP, 1, 512)
+
+    def test_independent_of_block_count(self):
+        for threads in (32, 256, 1024):
+            assert cost(self.OP, 1, threads) == \
+                cost(self.OP, 256, threads)
+
+
+class TestSyncwarp:
+    OP = op_barrier(PrimitiveKind.SYNCWARP)
+
+    def test_flat_below_full_speed_width(self):
+        # RTX 4090: 256 threads/SM at full speed.
+        assert cost(self.OP, SPEC.sm_count, 32) == \
+            cost(self.OP, SPEC.sm_count, 256)
+
+    def test_slower_beyond_width(self):
+        assert cost(self.OP, SPEC.sm_count, 512) > \
+            cost(self.OP, SPEC.sm_count, 256)
+
+    def test_depends_on_resident_threads_not_block_shape(self):
+        # Double blocks drop one step earlier: 2 blocks x 128 threads on
+        # one SM equals 1 block x 256 threads.
+        assert cost(self.OP, 2 * SPEC.sm_count, 256) == \
+            cost(self.OP, SPEC.sm_count, 512)
+
+
+class TestScalarAtomics:
+    def add(self, dtype):
+        return op_atomic(PrimitiveKind.ATOMIC_ADD, dtype,
+                         SharedScalar(dtype))
+
+    def cas(self, dtype):
+        return op_atomic(PrimitiveKind.ATOMIC_CAS, dtype,
+                         SharedScalar(dtype))
+
+    def test_int_add_flat_past_warp_size(self):
+        # Fig. 9: warp aggregation.
+        assert cost(self.add(INT), 2, 32) == cost(self.add(INT), 2, 64)
+
+    def test_int_add_eventually_decays(self):
+        assert cost(self.add(INT), 2, 1024) > cost(self.add(INT), 2, 64)
+
+    def test_int_faster_than_others(self):
+        for dtype in (ULL, FLOAT, DOUBLE):
+            assert cost(self.add(INT), 2, 256) < \
+                cost(self.add(dtype), 2, 256)
+
+    def test_ull_beats_fp(self):
+        assert cost(self.add(ULL), 2, 256) < cost(self.add(FLOAT), 2, 256)
+
+    def test_cas_flat_region_ends_at_4_threads_one_block(self):
+        # Fig. 11.
+        assert cost(self.cas(INT), 1, 4) == cost(self.cas(INT), 1, 1)
+        assert cost(self.cas(INT), 1, 8) > cost(self.cas(INT), 1, 4)
+
+    def test_cas_flat_region_ends_at_2_threads_two_blocks(self):
+        assert cost(self.cas(INT), 2, 2) == cost(self.cas(INT), 2, 1)
+        assert cost(self.cas(INT), 2, 4) > cost(self.cas(INT), 2, 2)
+
+    def test_exch_behaves_like_cas(self):
+        exch = op_atomic(PrimitiveKind.ATOMIC_EXCH, INT, SharedScalar(INT))
+        assert cost(exch, 1, 64) == cost(self.cas(INT), 1, 64)
+
+
+class TestArrayAtomics:
+    def arr(self, dtype, stride):
+        return op_atomic(PrimitiveKind.ATOMIC_ADD, dtype,
+                         PrivateArrayElement(dtype, stride))
+
+    def test_one_block_stride_independent(self):
+        # Fig. 10a/10b.
+        for threads in (32, 256, 1024):
+            assert cost(self.arr(INT, 1), 1, threads) == \
+                cost(self.arr(INT, 32), 1, threads)
+
+    def test_many_blocks_stride_dependent(self):
+        # Fig. 10c/10d.
+        assert cost(self.arr(INT, 1), 128, 256) != \
+            cost(self.arr(INT, 32), 128, 256)
+
+    def test_more_blocks_cost_more(self):
+        assert cost(self.arr(INT, 32), 128, 256) > \
+            cost(self.arr(INT, 32), 1, 256)
+
+    def test_total_rate_is_bounded(self):
+        # Doubling resident threads doubles cost once saturated.
+        c1 = cost(self.arr(INT, 32), 128, 512)
+        c2 = cost(self.arr(INT, 32), 128, 1024)
+        assert c2 == pytest.approx(2 * c1, rel=0.01)
+
+
+class TestFences:
+    def test_device_fence_constant(self):
+        fence = op_fence(PrimitiveKind.THREADFENCE,
+                         PrivateArrayElement(INT, 1))
+        costs = {cost(fence, b, t) for b in (1, 128) for t in (1, 32, 1024)}
+        assert len(costs) == 1
+
+    def test_block_fence_free_when_no_reordering(self):
+        fence = op_fence(PrimitiveKind.THREADFENCE_BLOCK,
+                         PrivateArrayElement(INT, 8))
+        assert cost(fence, 1, 64) == 0.0
+
+    def test_block_fence_small_cost_within_warp(self):
+        fence = op_fence(PrimitiveKind.THREADFENCE_BLOCK,
+                         PrivateArrayElement(INT, 8))
+        assert cost(fence, 1, 32) > 0.0
+
+    def test_block_fence_small_cost_at_tiny_stride(self):
+        fence = op_fence(PrimitiveKind.THREADFENCE_BLOCK,
+                         PrivateArrayElement(INT, 2))
+        assert cost(fence, 1, 256) > 0.0
+
+    def test_system_fence_slower_than_device(self):
+        dev = op_fence(PrimitiveKind.THREADFENCE)
+        sys_ = op_fence(PrimitiveKind.THREADFENCE_SYSTEM)
+        assert cost(sys_, 1, 32) > cost(dev, 1, 32)
+
+
+class TestShuffles:
+    def shfl(self, dtype):
+        return Op(kind=PrimitiveKind.SHFL_SYNC, dtype=dtype)
+
+    def test_64bit_costs_double(self):
+        assert cost(self.shfl(ULL), 1, 32) == \
+            pytest.approx(2 * cost(self.shfl(INT), 1, 32))
+
+    def test_64bit_knee_at_half_thread_count(self):
+        # Fig. 15: issue pressure doubles for 64-bit types.
+        full = SPEC.sm_count
+        int_flat = cost(self.shfl(INT), full, 256) == \
+            cost(self.shfl(INT), full, 32)
+        double_dropped = cost(self.shfl(DOUBLE), full, 256) > \
+            cost(self.shfl(DOUBLE), full, 128)
+        assert int_flat and double_dropped
+
+    def test_variants_cost_the_same(self):
+        kinds = (PrimitiveKind.SHFL_SYNC, PrimitiveKind.SHFL_UP_SYNC,
+                 PrimitiveKind.SHFL_DOWN_SYNC, PrimitiveKind.SHFL_XOR_SYNC)
+        costs = {cost(Op(kind=k, dtype=INT), 1, 32) for k in kinds}
+        assert len(costs) == 1
+
+    def test_vote_slightly_slower_than_syncwarp(self):
+        sync = cost(op_barrier(PrimitiveKind.SYNCWARP), 1, 32)
+        vote = cost(Op(kind=PrimitiveKind.VOTE_ANY), 1, 32)
+        assert sync < vote < 2 * sync
+
+
+class TestBlockAtomics:
+    def test_block_scope_cheaper_than_device(self):
+        dev = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT))
+        blk = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT),
+                        scope=Scope.BLOCK)
+        assert cost(blk, 128, 256) < cost(dev, 128, 256)
+
+    def test_block_scope_ignores_grid_size(self):
+        blk = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT),
+                        scope=Scope.BLOCK)
+        assert cost(blk, 1, 256) == cost(blk, 256, 256)
+
+
+class TestDynamicAtomicCost:
+    def test_zero_lanes_is_free(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_ADD, INT, SharedScalar(INT))
+        assert MODEL.dynamic_atomic_cost(op, 1, 0, 1, 1) == 0.0
+
+    def test_aggregation_collapses_lanes(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_MAX, INT, SharedScalar(INT))
+        aggregated = MODEL.dynamic_atomic_cost(op, 1, 32, 8, 64)
+        no_agg = GpuCostModel(SPEC, atomics=MODEL.atomics
+                              .without_aggregation())
+        spread = no_agg.dynamic_atomic_cost(op, 1, 32, 8, 64)
+        assert aggregated < spread
+
+    def test_more_resident_blocks_cost_more(self):
+        op = op_atomic(PrimitiveKind.ATOMIC_ADD, INT, SharedScalar(INT))
+        assert MODEL.dynamic_atomic_cost(op, 1, 32, 8, 128) > \
+            MODEL.dynamic_atomic_cost(op, 1, 32, 8, 2)
+
+
+class TestValidation:
+    def test_cpu_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost(op_barrier(PrimitiveKind.OMP_BARRIER), 1, 32)
+
+    def test_shuffle_without_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost(Op(kind=PrimitiveKind.SHFL_SYNC), 1, 32)
+
+    def test_atomic_without_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost(Op(kind=PrimitiveKind.ATOMIC_ADD, dtype=INT), 1, 32)

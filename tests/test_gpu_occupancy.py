@@ -1,0 +1,68 @@
+"""Unit tests for repro.gpu.occupancy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.gpu.occupancy import occupancy
+
+
+class TestBasicResidency:
+    def test_one_block_one_sm(self):
+        occ = occupancy(1, 256, sm_count=128, max_threads_per_sm=1536)
+        assert occ.blocks_per_sm_resident == 1
+        assert occ.resident_threads_per_sm == 256
+        assert occ.waves == 1
+        assert occ.active_sms == 1
+
+    def test_grid_spread_over_sms(self):
+        occ = occupancy(64, 128, sm_count=128, max_threads_per_sm=1536)
+        assert occ.active_sms == 64
+        assert occ.blocks_per_sm_resident == 1
+
+    def test_double_sms_two_blocks_each(self):
+        occ = occupancy(256, 256, sm_count=128, max_threads_per_sm=1536)
+        assert occ.blocks_per_sm_resident == 2
+        assert occ.resident_threads_per_sm == 512
+        assert occ.waves == 1
+
+
+class TestThreadLimits:
+    def test_rtx4090_1024_threads_only_one_block(self):
+        # 1536 threads/SM: a second 1024-thread block cannot co-reside —
+        # Fig. 8: "both systems must run one block to completion and then
+        # the other".
+        occ = occupancy(256, 1024, sm_count=128, max_threads_per_sm=1536)
+        assert occ.blocks_per_sm_resident == 1
+        assert occ.waves == 2
+
+    def test_a100_can_hold_two_1024_blocks(self):
+        occ = occupancy(216, 1024, sm_count=108, max_threads_per_sm=2048)
+        assert occ.blocks_per_sm_resident == 2
+        assert occ.waves == 1
+
+    def test_block_slot_limit(self):
+        occ = occupancy(32 * 4, 16, sm_count=4, max_threads_per_sm=2048,
+                        max_blocks_per_sm=16)
+        assert occ.blocks_per_sm_resident == 16
+        assert occ.waves == 2
+
+    def test_warps_per_sm(self):
+        occ = occupancy(1, 100, sm_count=8, max_threads_per_sm=1536)
+        assert occ.resident_warps_per_sm == 4  # ceil(100/32)
+
+
+class TestValidation:
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(0, 32, 8, 1536)
+
+    @pytest.mark.parametrize("threads", [0, 1025, -1])
+    def test_bad_thread_count_rejected(self, threads):
+        with pytest.raises(ConfigurationError):
+            occupancy(1, threads, 8, 1536)
+
+    def test_implausible_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(1, 32, 0, 1536)
+        with pytest.raises(ConfigurationError):
+            occupancy(1, 32, 8, 512)

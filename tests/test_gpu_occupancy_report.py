@@ -1,0 +1,45 @@
+"""Tests for the theoretical-occupancy report."""
+
+import pytest
+
+from repro.gpu.occupancy import occupancy_report
+from repro.gpu.presets import SYSTEM1_GPU, SYSTEM2_GPU, SYSTEM3_GPU
+
+
+class TestOccupancyReport:
+    def test_rtx4090_table(self):
+        spec = SYSTEM3_GPU.spec  # 1536 threads/SM
+        rows = {r.block_threads: r
+                for r in occupancy_report(spec.sm_count,
+                                          spec.max_threads_per_sm)}
+        assert rows[1024].blocks_per_sm == 1
+        assert rows[1024].occupancy == pytest.approx(1024 / 1536)
+        assert rows[256].blocks_per_sm == 6
+        assert rows[256].occupancy == pytest.approx(1.0)
+
+    def test_a100_fits_two_1024_blocks(self):
+        spec = SYSTEM2_GPU.spec  # 2048 threads/SM
+        rows = {r.block_threads: r
+                for r in occupancy_report(spec.sm_count,
+                                          spec.max_threads_per_sm)}
+        assert rows[1024].blocks_per_sm == 2
+        assert rows[1024].occupancy == pytest.approx(1.0)
+
+    def test_small_blocks_limited_by_block_slots(self):
+        spec = SYSTEM1_GPU.spec  # 1024 threads/SM, 16 block slots
+        rows = {r.block_threads: r
+                for r in occupancy_report(spec.sm_count,
+                                          spec.max_threads_per_sm)}
+        # 32-thread blocks: 16 slots x 32 = 512 threads -> 50% occupancy.
+        assert rows[32].blocks_per_sm == 16
+        assert rows[32].occupancy == pytest.approx(0.5)
+
+    def test_occupancy_never_exceeds_one(self):
+        for device in (SYSTEM1_GPU, SYSTEM2_GPU, SYSTEM3_GPU):
+            for row in occupancy_report(device.spec.sm_count,
+                                        device.spec.max_threads_per_sm):
+                assert 0.0 < row.occupancy <= 1.0
+
+    def test_custom_block_sizes(self):
+        rows = occupancy_report(8, 1536, block_sizes=[96, 192])
+        assert [r.block_threads for r in rows] == [96, 192]

@@ -1,0 +1,59 @@
+"""Unit tests for repro.gpu.presets — Table I fidelity (GPU half)."""
+
+import pytest
+
+from repro.gpu.presets import (
+    GPU_PRESETS,
+    SYSTEM1_GPU,
+    SYSTEM2_GPU,
+    SYSTEM3_GPU,
+    gpu_preset,
+)
+
+
+class TestTable1Gpus:
+    def test_system1_rtx2070super(self):
+        spec = SYSTEM1_GPU.spec
+        assert "2070 SUPER" in spec.name
+        assert spec.compute_capability == 7.5
+        assert spec.clock_ghz == 1.80
+        assert spec.sm_count == 40
+        assert spec.max_threads_per_sm == 1024
+        assert spec.cuda_cores_per_sm == 64
+        assert spec.memory_gb == 8
+
+    def test_system2_a100(self):
+        spec = SYSTEM2_GPU.spec
+        assert "A100" in spec.name
+        assert spec.compute_capability == 8.0
+        assert spec.clock_ghz == 1.41
+        assert spec.sm_count == 108
+        assert spec.max_threads_per_sm == 2048
+        assert spec.memory_gb == 40
+
+    def test_system3_rtx4090(self):
+        spec = SYSTEM3_GPU.spec
+        assert "4090" in spec.name
+        assert spec.compute_capability == 8.9
+        assert spec.clock_ghz == 2.625
+        assert spec.sm_count == 128
+        assert spec.max_threads_per_sm == 1536
+        assert spec.cuda_cores_per_sm == 128
+        assert spec.memory_gb == 24
+
+    def test_fig8_full_speed_knees(self):
+        # "the RTX 4090 can handle up to 256 threads per SM, and the
+        # RTX 2070 SUPER can handle up to 512 threads per SM at full
+        # speed"; System 2 behaves like System 3.
+        assert SYSTEM3_GPU.spec.full_speed_threads_per_sm == 256
+        assert SYSTEM2_GPU.spec.full_speed_threads_per_sm == 256
+        assert SYSTEM1_GPU.spec.full_speed_threads_per_sm == 512
+
+    def test_lookup(self):
+        assert gpu_preset(1) is SYSTEM1_GPU
+        assert gpu_preset(3) is SYSTEM3_GPU
+        with pytest.raises(KeyError):
+            gpu_preset(0)
+
+    def test_presets_dict_complete(self):
+        assert sorted(GPU_PRESETS) == [1, 2, 3]

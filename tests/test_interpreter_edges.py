@@ -1,0 +1,142 @@
+"""Edge cases for both interpreters: boundary sizes, empty bodies,
+single threads, maximum blocks."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+from repro.openmp.interpreter import OpenMP
+
+
+class TestOpenMpEdges:
+    def test_single_thread_region(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=1)
+
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()  # a 1-thread barrier is trivially satisfied
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 1
+
+    def test_empty_body(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=4)
+
+        def body(tc):
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        result = omp.parallel(body)
+        assert result.requests == 4  # one StopIteration step per thread
+
+    def test_full_team(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=quiet_cpu.max_threads)
+
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == quiet_cpu.max_threads
+
+    def test_value_returning_generator(self, quiet_cpu):
+        """A body may `return value`; the interpreter ignores it."""
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+            return 123
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 2
+
+    def test_2d_array_flat_indexing(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            yield tc.atomic_write("grid", tc.tid * 3 + 1, 5)
+
+        result = omp.parallel(body,
+                              shared={"grid": np.zeros((2, 3), np.int64)})
+        assert result.memory["grid"][0, 1] == 5
+        assert result.memory["grid"][1, 1] == 5
+
+
+class TestCudaEdges:
+    def test_single_thread_kernel(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.atomic_add("x", 0, 1)
+            yield t.syncthreads()
+
+        x = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 1), globals_={"x": x})
+        assert x[0] == 1
+
+    def test_max_block_size(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.atomic_add("x", 0, 1)
+
+        x = np.zeros(1, np.int32)
+        cuda.launch(kernel, LaunchConfig(1, 1024), globals_={"x": x})
+        assert x[0] == 1024
+
+    def test_empty_kernel(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            return
+            yield  # pragma: no cover
+
+        result = cuda.launch(kernel, LaunchConfig(2, 64))
+        assert result.elapsed_cycles >= \
+            mini_gpu.params.kernel_launch_cycles
+
+    def test_odd_block_size_partial_warp(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            got = yield t.any_sync(t.lane == 0)
+            yield t.global_write("out", t.threadIdx, int(got))
+
+        out = np.zeros(50, np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 50), globals_={"out": out})
+        assert out.tolist() == [1] * 50
+
+    def test_many_waves(self, mini_gpu):
+        """A grid far larger than residency runs in waves and still
+        computes correctly."""
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.atomic_add("x", 0, 1)
+
+        x = np.zeros(1, np.int64)
+        result = cuda.launch(kernel, LaunchConfig(96, 32),
+                             globals_={"x": x})
+        assert x[0] == 96 * 32
+        assert len(result.block_cycles) == 96
+
+    def test_kernel_writing_to_2d_global(self, mini_gpu):
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.global_write("grid", t.threadIdx, 1)
+
+        grid = np.zeros((4, 8), np.int64)
+        cuda.launch(kernel, LaunchConfig(1, 32), globals_={"grid": grid})
+        assert grid.sum() == 32
+
+    def test_shared_decl_sizes_respected(self, mini_gpu):
+        from repro.common.errors import SimulationError
+        cuda = Cuda(mini_gpu)
+
+        def kernel(t):
+            yield t.shared_write("buf", 10, 1)  # out of the 4 declared
+
+        with pytest.raises(SimulationError, match="out of bounds"):
+            cuda.launch(kernel, LaunchConfig(1, 1),
+                        shared_decls={"buf": (4, np.dtype(np.int64))})

@@ -1,0 +1,98 @@
+"""Tests for machine JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.compiler.ops import op_barrier
+from repro.cpu.presets import SYSTEM3_CPU
+from repro.gpu.presets import SYSTEM3_GPU
+from repro.machines import load_machine, save_cpu_machine, save_gpu_device
+
+
+class TestCpuRoundtrip:
+    def test_roundtrip_preserves_costs(self, tmp_path):
+        path = save_cpu_machine(SYSTEM3_CPU, tmp_path / "m.json")
+        loaded = load_machine(path)
+        ctx_a = SYSTEM3_CPU.context(8)
+        ctx_b = loaded.context(8)
+        assert loaded.op_cost(op_barrier(), ctx_b) == \
+            SYSTEM3_CPU.op_cost(op_barrier(), ctx_a)
+
+    def test_roundtrip_preserves_topology(self, tmp_path):
+        path = save_cpu_machine(SYSTEM3_CPU, tmp_path / "m.json")
+        loaded = load_machine(path)
+        assert loaded.topology == SYSTEM3_CPU.topology
+        assert loaded.jitter == SYSTEM3_CPU.jitter
+
+    def test_calibrate_save_load_flow(self, tmp_path):
+        """Fit constants from a sweep, save the machine, reload it."""
+        from repro.analysis.calibrate import fit_shared_atomic_params
+        from repro.common.datatypes import INT
+        from repro.core.engine import MeasurementEngine
+        from repro.core.results import Series
+        from repro.core.spec import MeasurementSpec
+        from repro.compiler.ops import PrimitiveKind, op_atomic
+        from repro.cpu.machine import CpuMachine
+        from repro.mem.layout import SharedScalar
+
+        engine = MeasurementEngine(SYSTEM3_CPU)
+        spec = MeasurementSpec.single(
+            "a", op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, INT,
+                           SharedScalar(INT)))
+        series = Series(label="int")
+        for n in range(2, 17):
+            series.add(n, engine.measure(spec, SYSTEM3_CPU.context(n),
+                                         label=f"t={n}"))
+        fit = fit_shared_atomic_params(series)
+        calibrated = CpuMachine(SYSTEM3_CPU.topology, fit.as_params())
+        path = save_cpu_machine(calibrated, tmp_path / "fit.json")
+        loaded = load_machine(path)
+        assert loaded.params.int_alu_ns == \
+            pytest.approx(fit.alu_ns)
+
+
+class TestGpuRoundtrip:
+    def test_roundtrip_preserves_costs(self, tmp_path):
+        from repro.gpu.spec import LaunchConfig
+        from repro.compiler.ops import PrimitiveKind
+        path = save_gpu_device(SYSTEM3_GPU, tmp_path / "g.json")
+        loaded = load_machine(path)
+        ctx_a = SYSTEM3_GPU.context(LaunchConfig(2, 256))
+        ctx_b = loaded.context(LaunchConfig(2, 256))
+        op = op_barrier(PrimitiveKind.SYNCTHREADS)
+        assert loaded.op_cost(op, ctx_b) == SYSTEM3_GPU.op_cost(op, ctx_a)
+
+    def test_roundtrip_preserves_aggregation_flag(self, tmp_path):
+        no_agg = SYSTEM3_GPU.with_atomics(
+            SYSTEM3_GPU.atomics.without_aggregation())
+        path = save_gpu_device(no_agg, tmp_path / "g.json")
+        loaded = load_machine(path)
+        assert not loaded.atomics.aggregation
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_machine(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{oops")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_machine(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"kind": "tpu"}))
+        with pytest.raises(ConfigurationError, match="expected 'cpu'"):
+            load_machine(path)
+
+    def test_unknown_field_rejected_loudly(self, tmp_path):
+        path = save_cpu_machine(SYSTEM3_CPU, tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        payload["cost_params"]["int_alu_nsec"] = 5  # typo
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            load_machine(path)

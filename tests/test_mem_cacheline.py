@@ -1,0 +1,84 @@
+"""Unit tests for repro.mem.cacheline — the false-sharing geometry."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, FLOAT, INT, ULL
+from repro.common.errors import ConfigurationError
+from repro.mem.cacheline import (
+    CacheLineGeometry,
+    elements_per_line,
+    line_index_of_thread,
+    sharer_groups,
+)
+from repro.mem.layout import PrivateArrayElement
+
+GEO = CacheLineGeometry(64)
+
+
+class TestGeometry:
+    def test_default_is_64_bytes(self):
+        assert CacheLineGeometry().line_bytes == 64
+
+    @pytest.mark.parametrize("bad", [0, -64, 48, 100])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            CacheLineGeometry(bad)
+
+
+class TestElementsPerLine:
+    """The cliff positions of Fig. 3 come straight from this table."""
+
+    @pytest.mark.parametrize("dtype,stride,expected", [
+        (INT, 1, 16),      # 16 ints per 64 B line: max false sharing
+        (FLOAT, 1, 16),
+        (ULL, 1, 8),
+        (DOUBLE, 1, 8),
+        (INT, 4, 4),
+        (ULL, 4, 2),
+        (INT, 8, 2),       # 32-bit types still share pairwise at stride 8
+        (ULL, 8, 1),       # 64-bit types escape at stride 8 (the cliff)
+        (DOUBLE, 8, 1),
+        (INT, 16, 1),      # 32-bit types escape at stride 16
+        (FLOAT, 16, 1),
+        (INT, 32, 1),
+    ])
+    def test_paper_stride_table(self, dtype, stride, expected):
+        assert elements_per_line(
+            GEO, PrivateArrayElement(dtype, stride)) == expected
+
+
+class TestLineIndex:
+    def test_first_line_holds_low_threads(self):
+        target = PrivateArrayElement(INT, stride=1)
+        assert line_index_of_thread(GEO, target, 0) == 0
+        assert line_index_of_thread(GEO, target, 15) == 0
+        assert line_index_of_thread(GEO, target, 16) == 1
+
+    def test_large_stride_one_thread_per_line(self):
+        target = PrivateArrayElement(DOUBLE, stride=8)
+        for tid in range(8):
+            assert line_index_of_thread(GEO, target, tid) == tid
+
+
+class TestSharerGroups:
+    def test_stride1_int_groups_of_16(self):
+        groups = sharer_groups(GEO, PrivateArrayElement(INT, 1), 32)
+        assert [len(g) for g in groups] == [16, 16]
+        assert groups[0] == list(range(16))
+
+    def test_stride8_ull_singletons(self):
+        groups = sharer_groups(GEO, PrivateArrayElement(ULL, 8), 8)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_partial_last_group(self):
+        groups = sharer_groups(GEO, PrivateArrayElement(INT, 1), 20)
+        assert [len(g) for g in groups] == [16, 4]
+
+    def test_groups_cover_all_threads_exactly_once(self):
+        groups = sharer_groups(GEO, PrivateArrayElement(INT, 4), 13)
+        flat = sorted(tid for g in groups for tid in g)
+        assert flat == list(range(13))
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sharer_groups(GEO, PrivateArrayElement(INT, 1), 0)

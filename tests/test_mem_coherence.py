@@ -1,0 +1,77 @@
+"""Unit tests for repro.mem.coherence."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, INT
+from repro.common.errors import ConfigurationError
+from repro.mem.coherence import CoherenceModel
+from repro.mem.layout import PrivateArrayElement
+
+MODEL = CoherenceModel()
+
+
+def distinct_cores(n):
+    """Each thread on its own core."""
+    return {tid: ("s0", tid) for tid in range(n)}
+
+
+def paired_smt(n):
+    """Threads 2k and 2k+1 are SMT siblings on core k."""
+    return {tid: ("s0", tid // 2) for tid in range(n)}
+
+
+class TestContendingCores:
+    def test_distinct_cores_all_contend(self):
+        assert MODEL.contending_cores(8, distinct_cores(8)) == 8
+
+    def test_smt_siblings_count_once(self):
+        # Hyperthreads share an L1; contention is core-granular.
+        assert MODEL.contending_cores(8, paired_smt(8)) == 4
+
+    def test_single_thread(self):
+        assert MODEL.contending_cores(1, distinct_cores(1)) == 1
+
+    def test_missing_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.contending_cores(4, {0: "a", 1: "b"})
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.contending_cores(0, {})
+
+
+class TestFalseSharingPartners:
+    def test_stride1_int_distinct_cores(self):
+        # 16 ints per line: each of 16 threads has 15 partner cores.
+        target = PrivateArrayElement(INT, 1)
+        partners = MODEL.false_sharing_partners(target, 16,
+                                                distinct_cores(16))
+        assert partners == [15] * 16
+
+    def test_no_false_sharing_at_line_stride(self):
+        target = PrivateArrayElement(DOUBLE, 8)  # 64-byte stride
+        partners = MODEL.false_sharing_partners(target, 8,
+                                                distinct_cores(8))
+        assert partners == [0] * 8
+
+    def test_smt_siblings_never_false_share(self):
+        # The paper: "hyperthreads running on the same core cannot suffer
+        # from false sharing as they access the same cache."
+        target = PrivateArrayElement(DOUBLE, 4)  # 2 elements per line
+        partners = MODEL.false_sharing_partners(target, 8, paired_smt(8))
+        assert partners == [0] * 8
+
+    def test_mixed_line_partner_counts(self):
+        # 4 ints per line at stride 4; threads 0-3 on one line.
+        target = PrivateArrayElement(INT, 4)
+        partners = MODEL.false_sharing_partners(target, 6,
+                                                distinct_cores(6))
+        assert partners[:4] == [3, 3, 3, 3]
+        assert partners[4:] == [1, 1]
+
+    def test_max_partner_helper(self):
+        target = PrivateArrayElement(INT, 1)
+        assert MODEL.max_false_sharing_partners(
+            target, 16, distinct_cores(16)) == 15
+        assert MODEL.max_false_sharing_partners(
+            target, 2, distinct_cores(2)) == 1

@@ -1,0 +1,50 @@
+"""Unit tests for repro.mem.layout."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, INT
+from repro.common.errors import ConfigurationError
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+
+class TestSharedScalar:
+    def test_is_shared(self):
+        assert SharedScalar(INT).is_shared
+
+    def test_carries_dtype(self):
+        assert SharedScalar(DOUBLE).dtype is DOUBLE
+
+
+class TestPrivateArrayElement:
+    def test_not_shared(self):
+        assert not PrivateArrayElement(INT, stride=1).is_shared
+
+    def test_byte_stride_int(self):
+        assert PrivateArrayElement(INT, stride=4).byte_stride == 16
+
+    def test_byte_stride_double(self):
+        assert PrivateArrayElement(DOUBLE, stride=8).byte_stride == 64
+
+    def test_element_index_is_tid_times_stride(self):
+        target = PrivateArrayElement(INT, stride=4)
+        assert target.element_index(0) == 0
+        assert target.element_index(3) == 12
+
+    def test_byte_offset(self):
+        target = PrivateArrayElement(DOUBLE, stride=2)
+        assert target.byte_offset(5) == 5 * 2 * 8
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateArrayElement(INT, stride=0)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateArrayElement(INT, stride=-1)
+
+    def test_negative_thread_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivateArrayElement(INT, stride=1).element_index(-1)
+
+    def test_default_stride_is_one(self):
+        assert PrivateArrayElement(INT).stride == 1

@@ -1,0 +1,129 @@
+"""Tests for the relaxed-consistency store-buffer model.
+
+§II-A4's motivation: without a flush, a consumer may not see a
+producer's plain stores.  These tests construct exactly that publication
+pattern (race detection off — the point is visibility, not race
+freedom) and check that flush points publish buffered stores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.openmp.interpreter import OpenMP
+
+
+@pytest.fixture
+def omp(quiet_cpu):
+    return OpenMP(quiet_cpu, n_threads=2, detect_races=False)
+
+
+class TestStoreBuffering:
+    def test_unflushed_store_is_invisible(self, omp):
+        """Thread 0 writes but never flushes before thread 1 reads; the
+        polling read sees the stale value for the whole epoch."""
+        observed = []
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.write("data", 0, 42)
+                # Plenty of scheduling passes without any flush point.
+                for _ in range(10):
+                    yield tc.read("data", 0)
+            else:
+                for _ in range(10):
+                    value = yield tc.read("data", 0)
+                    observed.append(value)
+
+        omp.parallel(body, shared={"data": np.zeros(1, np.int64)})
+        assert all(v == 0 for v in observed)  # never saw the store
+
+    def test_flush_publishes_the_store(self, omp):
+        observed = []
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.write("data", 0, 42)
+                yield tc.flush()
+                for _ in range(10):
+                    yield tc.read("data", 0)
+            else:
+                for _ in range(12):
+                    value = yield tc.read("data", 0)
+                    observed.append(value)
+
+        omp.parallel(body, shared={"data": np.zeros(1, np.int64)})
+        assert observed[-1] == 42  # visible after the flush
+
+    def test_thread_sees_its_own_buffered_store(self, omp):
+        def body(tc):
+            yield tc.write("x", tc.tid, 7)
+            mine = yield tc.read("x", tc.tid)
+            assert mine == 7  # read-own-write without a flush
+
+        omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+
+    def test_atomic_is_a_flush_point(self, omp):
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.write("data", 0, 42)
+                # The atomic drains thread 0's buffer (release).
+                yield tc.atomic_write("flag", 0, 1)
+            else:
+                while (yield tc.atomic_read("flag", 0)) == 0:
+                    pass
+                value = yield tc.read("data", 0)
+                assert value == 42
+
+        omp.parallel(body, shared={"data": np.zeros(1, np.int64),
+                                   "flag": np.zeros(1, np.int64)})
+
+    def test_barrier_publishes_everything(self, omp):
+        def body(tc):
+            yield tc.write("x", tc.tid, tc.tid + 1)
+            yield tc.barrier()
+            other = (tc.tid + 1) % tc.n_threads
+            value = yield tc.read("x", other)
+            assert value == other + 1
+
+        omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+
+    def test_region_end_drains_buffers(self, omp):
+        def body(tc):
+            yield tc.write("x", tc.tid, 9)
+            # no flush, no barrier — the implicit region-end barrier
+            # must still publish
+
+        result = omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+        assert result.memory["x"].tolist() == [9, 9]
+
+    def test_lock_release_publishes(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            for _ in range(5):
+                yield tc.lock_acquire("l")
+                value = yield tc.read("x", 0)
+                yield tc.write("x", 0, value + 1)
+                yield tc.lock_release("l")
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 10
+
+    def test_sequential_consistency_opt_out(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2, detect_races=False,
+                     relaxed_consistency=False)
+        observed = []
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.write("data", 0, 42)
+                for _ in range(10):
+                    yield tc.read("data", 0)
+            else:
+                for _ in range(10):
+                    value = yield tc.read("data", 0)
+                    observed.append(value)
+
+        omp.parallel(body, shared={"data": np.zeros(1, np.int64)})
+        # Sequentially consistent memory: the store is visible at once.
+        assert 42 in observed

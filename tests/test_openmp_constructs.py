@@ -1,0 +1,126 @@
+"""Tests for single / master / sections constructs."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.openmp.interpreter import OpenMP
+from repro.openmp.worksharing import parallel_sections
+
+
+@pytest.fixture
+def omp(quiet_cpu):
+    return OpenMP(quiet_cpu, n_threads=4)
+
+
+class TestSingle:
+    def test_executes_exactly_once(self, omp):
+        def bump(mem):
+            mem["x"][0] += 1
+
+        def body(tc):
+            yield tc.single(bump, touches=(("x", 0, True),))
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 1
+
+    def test_implicit_barrier_after_single(self, omp):
+        """Threads must observe the single's write after the construct."""
+        def init(mem):
+            mem["x"][0] = 42
+
+        def body(tc):
+            yield tc.single(init, touches=(("x", 0, True),))
+            v = yield tc.atomic_read("x", 0)
+            assert v == 42
+
+        omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+    def test_executor_receives_return_value(self, omp):
+        def compute(mem):
+            return 7
+
+        def body(tc):
+            got = yield tc.single(compute)
+            yield tc.atomic_write("saw", tc.tid,
+                                  -1 if got is None else got)
+
+        result = omp.parallel(body, shared={"saw": np.zeros(4, np.int64)})
+        saw = result.memory["saw"].tolist()
+        assert saw.count(7) == 1
+        assert saw.count(-1) == 3
+
+    def test_consecutive_singles(self, omp):
+        def body(tc):
+            yield tc.single(lambda mem: mem["x"].__setitem__(0, 1),
+                            name="a", touches=(("x", 0, True),))
+            yield tc.single(lambda mem: mem["x"].__setitem__(1, 2),
+                            name="b", touches=(("x", 1, True),))
+
+        result = omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+        assert result.memory["x"].tolist() == [1, 2]
+
+    def test_mismatched_constructs_rejected(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.barrier()
+            else:
+                yield tc.single(lambda mem: None)
+
+        with pytest.raises(SimulationError, match="different"):
+            omp.parallel(body)
+
+    def test_mismatched_single_names_rejected(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            yield tc.single(lambda mem: None,
+                            name="a" if tc.tid == 0 else "b")
+
+        with pytest.raises(SimulationError, match="different"):
+            omp.parallel(body)
+
+
+class TestMaster:
+    def test_only_thread_zero_is_master(self, omp):
+        def body(tc):
+            if tc.is_master:
+                yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 1
+
+
+class TestSections:
+    def test_each_section_runs_once(self, omp):
+        def make_section(k):
+            def section(tc, index):
+                yield tc.atomic_update("ran", k, lambda v: v + 1)
+            return section
+
+        sections = [make_section(k) for k in range(6)]
+        result = parallel_sections(omp, sections,
+                                   shared={"ran": np.zeros(6, np.int64)})
+        assert result.memory["ran"].tolist() == [1] * 6
+
+    def test_sections_distributed_round_robin(self, omp):
+        def make_section(k):
+            def section(tc, index):
+                yield tc.atomic_write("owner", index, tc.tid)
+            return section
+
+        result = parallel_sections(
+            omp, [make_section(k) for k in range(8)],
+            shared={"owner": np.zeros(8, np.int64)})
+        assert result.memory["owner"].tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_more_threads_than_sections(self, omp):
+        def only(tc, index):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        result = parallel_sections(omp, [only],
+                                   shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 1

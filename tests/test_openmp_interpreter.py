@@ -1,0 +1,257 @@
+"""Integration tests for the OpenMP cooperative interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataRaceError, SimulationError
+from repro.openmp.interpreter import OpenMP
+
+
+@pytest.fixture
+def omp(quiet_cpu):
+    return OpenMP(quiet_cpu, n_threads=8)
+
+
+class TestAtomics:
+    def test_atomic_counter_sums_correctly(self, omp):
+        def body(tc):
+            for _ in range(50):
+                yield tc.atomic_update("counter", 0, lambda v: v + 1)
+
+        result = omp.parallel(body,
+                              shared={"counter": np.zeros(1, np.int64)})
+        assert result.memory["counter"][0] == 400
+
+    def test_atomic_capture_returns_old_value(self, omp):
+        def body(tc):
+            old = yield tc.atomic_capture("ticket", 0, lambda v: v + 1)
+            yield tc.atomic_write("got", tc.tid, old)
+
+        result = omp.parallel(body, shared={
+            "ticket": np.zeros(1, np.int64),
+            "got": np.full(8, -1, np.int64)})
+        # Every thread got a distinct ticket 0..7.
+        assert sorted(result.memory["got"].tolist()) == list(range(8))
+        assert result.memory["ticket"][0] == 8
+
+    def test_atomic_capture_new_value(self, omp):
+        def body(tc):
+            new = yield tc.atomic_capture("x", 0, lambda v: v + 1,
+                                          capture_old=False)
+            assert new >= 1
+            yield tc.barrier()
+
+        omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+    def test_atomic_read_write(self, omp):
+        def body(tc):
+            yield tc.atomic_write("arr", tc.tid, tc.tid * 10)
+            yield tc.barrier()
+            v = yield tc.atomic_read("arr", (tc.tid + 1) % tc.n_threads)
+            assert v == ((tc.tid + 1) % tc.n_threads) * 10
+
+        omp.parallel(body, shared={"arr": np.zeros(8, np.int64)})
+
+    def test_atomic_update_on_float_array(self, omp):
+        def body(tc):
+            yield tc.atomic_update("arr", tc.tid, lambda v: v + 0.5)
+
+        result = omp.parallel(body, shared={"arr": np.zeros(8, np.float64)})
+        assert result.memory["arr"].tolist() == [0.5] * 8
+
+
+class TestBarriers:
+    def test_barrier_orders_phases(self, omp):
+        def body(tc):
+            yield tc.write("a", tc.tid, 1)
+            yield tc.barrier()
+            # After the barrier every a[i] is visible.
+            total = 0
+            for i in range(tc.n_threads):
+                v = yield tc.read("a", i)
+                total += v
+            yield tc.atomic_write("sums", tc.tid, total)
+
+        result = omp.parallel(body, shared={
+            "a": np.zeros(8, np.int64), "sums": np.zeros(8, np.int64)})
+        assert result.memory["sums"].tolist() == [8] * 8
+
+    def test_barrier_counted(self, omp):
+        def body(tc):
+            yield tc.barrier()
+            yield tc.barrier()
+
+        result = omp.parallel(body)
+        assert result.barriers == 2
+
+    def test_barrier_after_thread_exit_is_an_error(self, omp):
+        def body(tc):
+            if tc.tid == 0:
+                return
+            yield tc.barrier()
+
+        with pytest.raises(SimulationError, match="barrier"):
+            omp.parallel(body)
+
+    def test_barrier_aligns_clocks(self, omp):
+        def body(tc):
+            if tc.tid == 0:
+                for _ in range(20):
+                    yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert len(set(result.thread_times_ns)) == 1
+
+
+class TestCritical:
+    def test_critical_executes_atomically(self, omp):
+        def add_two(mem):
+            mem["x"][0] += 1
+            mem["x"][1] += 1
+
+        def body(tc):
+            for _ in range(10):
+                yield tc.critical(add_two,
+                                  touches=(("x", 0, True), ("x", 1, True)))
+
+        result = omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+        assert result.memory["x"].tolist() == [80, 80]
+
+    def test_critical_returns_value(self, omp):
+        def read_x(mem):
+            return int(mem["x"][0])
+
+        def body(tc):
+            yield tc.critical(lambda mem: mem["x"].__setitem__(0, 42),
+                              touches=(("x", 0, True),))
+            yield tc.barrier()
+            v = yield tc.critical(read_x, touches=(("x", 0, False),))
+            assert v == 42
+
+        omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+    def test_critical_conflicts_with_plain_access(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.critical(lambda mem: None,
+                                  touches=(("x", 0, True),))
+            else:
+                yield tc.read("x", 0)
+
+        with pytest.raises(DataRaceError):
+            omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+
+class TestRaceDetection:
+    def racy_body(self):
+        def body(tc):
+            v = yield tc.read("x", 0)
+            yield tc.write("x", 0, v + 1)
+        return body
+
+    def test_racy_increment_detected(self, omp):
+        with pytest.raises(DataRaceError):
+            omp.parallel(self.racy_body(),
+                         shared={"x": np.zeros(1, np.int64)})
+
+    def test_collect_mode_reports_instead(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=4, collect_races=True)
+        result = omp.parallel(self.racy_body(),
+                              shared={"x": np.zeros(1, np.int64)})
+        assert result.races
+
+    def test_detection_can_be_disabled(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=4, detect_races=False)
+        result = omp.parallel(self.racy_body(),
+                              shared={"x": np.zeros(1, np.int64)})
+        assert result.races == []
+
+    def test_flush_does_not_hide_races(self, quiet_cpu):
+        # A flush orders one thread's accesses; it is not mutual exclusion.
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            yield tc.flush()
+            yield tc.write("x", 0, tc.tid)
+
+        with pytest.raises(DataRaceError):
+            omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+
+class TestTiming:
+    def test_elapsed_positive_and_max_of_threads(self, omp):
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.elapsed_ns >= max(result.thread_times_ns)
+
+    def test_more_work_takes_longer(self, omp):
+        def light(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        def heavy(tc):
+            for _ in range(20):
+                yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        t_light = omp.parallel(
+            light, shared={"x": np.zeros(1, np.int64)}).elapsed_ns
+        t_heavy = omp.parallel(
+            heavy, shared={"x": np.zeros(1, np.int64)}).elapsed_ns
+        assert t_heavy > t_light
+
+    def test_contended_atomics_cost_more_than_private(self, omp):
+        def contended(tc):
+            for _ in range(10):
+                yield tc.atomic_update("x", 0, lambda v: v + 1)
+
+        def private(tc):
+            for _ in range(10):
+                yield tc.atomic_update("x", tc.tid, lambda v: v + 1)
+
+        t_shared = omp.parallel(
+            contended, shared={"x": np.zeros(8, np.int64)}).elapsed_ns
+        t_private = omp.parallel(
+            private, shared={"x": np.zeros(8, np.int64)}).elapsed_ns
+        assert t_shared > t_private
+
+
+class TestErrors:
+    def test_undeclared_variable(self, omp):
+        def body(tc):
+            yield tc.read("ghost", 0)
+
+        with pytest.raises(SimulationError, match="undeclared"):
+            omp.parallel(body)
+
+    def test_out_of_bounds(self, omp):
+        def body(tc):
+            yield tc.read("x", 99)
+
+        with pytest.raises(SimulationError, match="out of bounds"):
+            omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+
+    def test_non_request_yield(self, omp):
+        def body(tc):
+            yield "not a request"
+
+        with pytest.raises(SimulationError, match="non-request"):
+            omp.parallel(body)
+
+    def test_step_budget(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2, max_steps=10)
+
+        def body(tc):
+            while True:
+                yield tc.atomic_update("x", 0, lambda v: v)
+
+        with pytest.raises(SimulationError, match="step budget"):
+            omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+
+    def test_zero_threads_rejected(self, quiet_cpu):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            OpenMP(quiet_cpu, n_threads=0)

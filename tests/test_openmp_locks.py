@@ -1,0 +1,142 @@
+"""Tests for OpenMP locks (omp_set_lock / omp_unset_lock)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataRaceError, SimulationError
+from repro.openmp.interpreter import OpenMP
+
+
+@pytest.fixture
+def omp(quiet_cpu):
+    return OpenMP(quiet_cpu, n_threads=4)
+
+
+class TestMutualExclusion:
+    def test_lock_protected_increment_is_correct(self, omp):
+        def body(tc):
+            for _ in range(25):
+                yield tc.lock_acquire("l")
+                v = yield tc.read("x", 0)
+                yield tc.write("x", 0, v + 1)
+                yield tc.lock_release("l")
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 100
+
+    def test_two_locks_protect_independent_data(self, omp):
+        def body(tc):
+            name = "a" if tc.tid % 2 == 0 else "b"
+            idx = 0 if tc.tid % 2 == 0 else 1
+            for _ in range(10):
+                yield tc.lock_acquire(name)
+                v = yield tc.read("x", idx)
+                yield tc.write("x", idx, v + 1)
+                yield tc.lock_release(name)
+
+        result = omp.parallel(body, shared={"x": np.zeros(2, np.int64)})
+        assert result.memory["x"].tolist() == [20, 20]
+
+    def test_lock_contention_costs_time(self, omp):
+        def locked(tc):
+            for _ in range(10):
+                yield tc.lock_acquire("l")
+                yield tc.lock_release("l")
+
+        def unlocked(tc):
+            for _ in range(10):
+                yield tc.write("y", tc.tid, 1)
+
+        t_locked = omp.parallel(
+            locked, shared={"y": np.zeros(4, np.int64)}).elapsed_ns
+        t_unlocked = omp.parallel(
+            unlocked, shared={"y": np.zeros(4, np.int64)}).elapsed_ns
+        assert t_locked > t_unlocked
+
+
+class TestLockErrors:
+    def test_release_without_hold_is_error(self, omp):
+        def body(tc):
+            yield tc.lock_release("l")
+
+        with pytest.raises(SimulationError, match="does not hold"):
+            omp.parallel(body)
+
+    def test_release_of_other_threads_lock_is_error(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.lock_acquire("l")
+                # Spin forever-ish so thread 1 definitely sees it held...
+                yield tc.write("flag", 0, 1)
+                yield tc.lock_release("l")
+            else:
+                yield tc.lock_release("l")
+
+        with pytest.raises(SimulationError, match="does not hold"):
+            omp.parallel(body, shared={"flag": np.zeros(1, np.int64)})
+
+    def test_finishing_while_holding_is_error(self, omp):
+        def body(tc):
+            yield tc.lock_acquire("l")
+            # never released
+
+        with pytest.raises(SimulationError, match="holding"):
+            omp.parallel(body)
+
+    def test_self_deadlock_detected(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            yield tc.lock_acquire("l")
+            yield tc.lock_acquire("l")  # non-reentrant: waits forever
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            omp.parallel(body)
+
+    def test_abba_deadlock_detected(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            first, second = ("a", "b") if tc.tid == 0 else ("b", "a")
+            yield tc.lock_acquire(first)
+            # Force both threads to hold their first lock before trying
+            # the second one.
+            yield tc.atomic_update("ready", 0, lambda v: v + 1)
+            while (yield tc.atomic_read("ready", 0)) < 2:
+                pass
+            yield tc.lock_acquire(second)
+            yield tc.lock_release(second)
+            yield tc.lock_release(first)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            omp.parallel(body, shared={"ready": np.zeros(1, np.int64)})
+
+
+class TestLocksAndRaces:
+    def test_lock_protected_accesses_not_racy(self, omp):
+        # Without the lockset awareness these plain writes would be
+        # flagged; holding the lock makes them safe.
+        def body(tc):
+            yield tc.lock_acquire("l")
+            v = yield tc.read("x", 0)
+            yield tc.write("x", 0, v + 1)
+            yield tc.lock_release("l")
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+        assert result.memory["x"][0] == 4
+
+    def test_locked_vs_unlocked_access_is_a_race(self, quiet_cpu):
+        omp = OpenMP(quiet_cpu, n_threads=2)
+
+        def body(tc):
+            if tc.tid == 0:
+                yield tc.lock_acquire("l")
+                yield tc.write("x", 0, 1)
+                yield tc.lock_release("l")
+            else:
+                yield tc.write("x", 0, 2)  # no lock!
+
+        with pytest.raises(DataRaceError):
+            omp.parallel(body, shared={"x": np.zeros(1, np.int64)})

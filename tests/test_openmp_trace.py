@@ -1,0 +1,96 @@
+"""Tests for OpenMP execution tracing."""
+
+import numpy as np
+import pytest
+
+from repro.openmp.interpreter import OpenMP
+from repro.openmp.trace import CpuTrace, CpuTraceEvent
+
+
+@pytest.fixture
+def omp(quiet_cpu):
+    return OpenMP(quiet_cpu, n_threads=4)
+
+
+class TestCpuTracing:
+    def test_disabled_by_default(self, omp):
+        def body(tc):
+            yield tc.barrier()
+
+        assert omp.parallel(body).trace is None
+
+    def test_events_recorded(self, omp):
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)},
+                              trace=True)
+        labels = {e.label for e in result.trace.events}
+        assert "atomic_update" in labels
+        assert "barrier" in labels
+
+    def test_imbalanced_work_shows_waits(self, omp):
+        def body(tc):
+            if tc.tid == 0:
+                for _ in range(20):
+                    yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)},
+                              trace=True)
+        # Threads 1-3 wait for thread 0's atomics; thread 0 never waits.
+        assert result.trace.wait_fraction(1) > 0.0
+        assert result.trace.wait_fraction(0) == 0.0
+        waits = [e for e in result.trace.for_thread(1)
+                 if e.label == "wait"]
+        work = [e for e in result.trace.for_thread(0)
+                if e.label == "atomic_update"]
+        # The wait interval covers exactly thread 0's working time.
+        assert sum(e.duration for e in waits) == pytest.approx(
+            sum(e.duration for e in work))
+
+    def test_intervals_ordered_per_thread(self, omp):
+        def body(tc):
+            for _ in range(3):
+                yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)},
+                              trace=True)
+        for tid in range(4):
+            events = result.trace.for_thread(tid)
+            for a, b in zip(events, events[1:]):
+                assert a.end_ns <= b.start_ns + 1e-9
+
+    def test_cost_profile(self, omp):
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)},
+                              trace=True)
+        totals = result.trace.total_ns_by_label()
+        # A barrier dwarfs one atomic on every machine preset.
+        assert totals["barrier"] > totals["atomic_update"]
+
+    def test_render(self, omp):
+        def body(tc):
+            yield tc.atomic_update("x", 0, lambda v: v + 1)
+            yield tc.barrier()
+
+        result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)},
+                              trace=True)
+        out = result.trace.render()
+        assert "region timeline" in out
+        assert "t0" in out and "t3" in out
+        assert "key:" in out
+
+    def test_render_empty(self):
+        assert "<no events>" in CpuTrace().render()
+
+    def test_event_duration(self):
+        assert CpuTraceEvent(0, "barrier", 5.0, 30.0).duration == 25.0
+
+    def test_wait_fraction_of_untraced_thread(self):
+        assert CpuTrace().wait_fraction(7) == 0.0

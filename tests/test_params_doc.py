@@ -1,0 +1,54 @@
+"""Tests for the auto-generated calibration documentation."""
+
+from repro.experiments.params_doc import (
+    default_doc_path,
+    render_params_doc,
+)
+
+
+class TestParamsDoc:
+    def test_renders_all_machines(self):
+        doc = render_params_doc()
+        for name in ("E5-2687", "6226R", "2950X",
+                     "2070 SUPER", "A100", "4090"):
+            assert name in doc
+
+    def test_contains_key_constants(self):
+        doc = render_params_doc()
+        for key in ("int_alu_ns", "line_transfer_ns", "numa_factor",
+                    "latency_floor_cycles", "block_launch_cycles",
+                    "rel_sigma"):
+            assert key in doc
+
+    def test_checked_in_doc_is_current(self):
+        """docs/calibration.md must match the presets; regenerate with
+        `python -m repro.experiments.params_doc` after recalibrating."""
+        path = default_doc_path()
+        assert path.exists()
+        assert path.read_text() == render_params_doc()
+
+    def test_cli_writes_to_given_path(self, tmp_path, capsys):
+        from repro.experiments.params_doc import main
+        out = tmp_path / "c.md"
+        assert main([str(out)]) == 0
+        assert out.exists()
+
+
+class TestCharacterizeCli:
+    def test_characterize_cpu(self, capsys):
+        from repro.experiments.launch import main
+        assert main(["--characterize", "cpu3"]) == 0
+        out = capsys.readouterr().out
+        assert "2950X" in out and "omp_barrier" in out
+
+    def test_characterize_gpu(self, capsys):
+        from repro.experiments.launch import main
+        assert main(["--characterize", "gpu1"]) == 0
+        out = capsys.readouterr().out
+        assert "2070" in out and "cuda_syncthreads" in out
+
+    def test_characterize_bad_target(self, capsys):
+        import pytest
+        from repro.experiments.launch import main
+        with pytest.raises(SystemExit, match="cpu1..cpu3"):
+            main(["--characterize", "tpu9"])

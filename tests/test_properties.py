@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.datatypes import DTYPES
+from repro.compiler.dce import eliminate_dead_ops
+from repro.compiler.ops import Op, PrimitiveKind, op_atomic, op_barrier
+from repro.core.spec import MeasurementSpec
+from repro.cpu.affinity import Affinity, core_placement, place_threads
+from repro.cpu.costs import CpuCostModel, CpuCostParams
+from repro.cpu.topology import CpuTopology
+from repro.gpu.occupancy import occupancy
+from repro.mem.cacheline import CacheLineGeometry, elements_per_line, \
+    sharer_groups
+from repro.mem.layout import PrivateArrayElement, SharedScalar
+
+dtypes = st.sampled_from(DTYPES)
+strides = st.integers(min_value=1, max_value=64)
+thread_counts = st.integers(min_value=1, max_value=64)
+
+
+# --------------------------- cache geometry ---------------------------- #
+
+
+@given(dtype=dtypes, stride=strides, n_threads=thread_counts)
+def test_sharer_groups_partition_threads(dtype, stride, n_threads):
+    """Every thread appears in exactly one line group."""
+    groups = sharer_groups(CacheLineGeometry(),
+                           PrivateArrayElement(dtype, stride), n_threads)
+    flat = sorted(tid for g in groups for tid in g)
+    assert flat == list(range(n_threads))
+
+
+@given(dtype=dtypes, stride=strides, n_threads=thread_counts)
+def test_group_sizes_bounded_by_elements_per_line(dtype, stride, n_threads):
+    target = PrivateArrayElement(dtype, stride)
+    epl = elements_per_line(CacheLineGeometry(), target)
+    groups = sharer_groups(CacheLineGeometry(), target, n_threads)
+    assert all(len(g) <= epl for g in groups)
+
+
+@given(dtype=dtypes, stride=strides)
+def test_elements_per_line_monotone_in_stride(dtype, stride):
+    """A larger stride never increases line sharing."""
+    geo = CacheLineGeometry()
+    current = elements_per_line(geo, PrivateArrayElement(dtype, stride))
+    wider = elements_per_line(geo, PrivateArrayElement(dtype, stride + 1))
+    assert wider <= current
+
+
+@given(dtype=dtypes)
+def test_line_stride_eliminates_sharing(dtype):
+    geo = CacheLineGeometry()
+    stride = geo.line_bytes // dtype.size_bytes
+    assert elements_per_line(geo, PrivateArrayElement(dtype, stride)) == 1
+
+
+# ----------------------------- placement ------------------------------- #
+
+topologies = st.builds(
+    lambda s, c, t: CpuTopology(name="h", sockets=s, cores_per_socket=c,
+                                threads_per_core=t, numa_nodes=s,
+                                base_clock_ghz=3.0),
+    st.integers(1, 2), st.integers(2, 16), st.integers(1, 2))
+
+
+@given(topology=topologies, affinity=st.sampled_from(list(Affinity)),
+       data=st.data())
+def test_placement_is_injective(topology, affinity, data):
+    n = data.draw(st.integers(1, topology.hardware_threads))
+    placement = place_threads(topology, n, affinity)
+    slots = list(placement.values())
+    assert len(set(slots)) == n
+
+
+@given(topology=topologies, affinity=st.sampled_from(list(Affinity)),
+       data=st.data())
+def test_no_smt_before_all_cores_used(topology, affinity, data):
+    """Every policy fills all physical cores before any SMT sibling."""
+    n = data.draw(st.integers(1, topology.physical_cores))
+    placement = place_threads(topology, n, affinity)
+    keys = list(core_placement(placement).values())
+    assert len(set(keys)) == n
+
+
+# ----------------------------- cost model ------------------------------ #
+
+MODEL = CpuCostModel(CpuCostParams())
+
+
+@given(dtype=dtypes, n=st.integers(2, 32))
+def test_shared_atomic_cost_nondecreasing_in_threads(dtype, n):
+    op = op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                   SharedScalar(dtype))
+    cores_small = {tid: tid for tid in range(n)}
+    cores_large = {tid: tid for tid in range(n + 1)}
+    assert MODEL.op_cost_ns(op, n + 1, cores_large) >= \
+        MODEL.op_cost_ns(op, n, cores_small)
+
+
+@given(dtype=dtypes, stride=strides, n=st.integers(2, 32))
+def test_costs_are_finite_and_positive(dtype, stride, n):
+    cores = {tid: tid for tid in range(n)}
+    ops = [
+        op_barrier(),
+        op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                  SharedScalar(dtype)),
+        op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                  PrivateArrayElement(dtype, stride)),
+        op_atomic(PrimitiveKind.OMP_CRITICAL_UPDATE, dtype,
+                  SharedScalar(dtype)),
+    ]
+    for op in ops:
+        cost = MODEL.op_cost_ns(op, n, cores)
+        assert math.isfinite(cost) and cost > 0
+
+
+@given(dtype=dtypes, n=st.integers(2, 32))
+def test_critical_always_slower_than_atomic(dtype, n):
+    cores = {tid: tid for tid in range(n)}
+    atomic = op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
+                       SharedScalar(dtype))
+    critical = op_atomic(PrimitiveKind.OMP_CRITICAL_UPDATE, dtype,
+                         SharedScalar(dtype))
+    assert MODEL.op_cost_ns(critical, n, cores) > \
+        MODEL.op_cost_ns(atomic, n, cores)
+
+
+# ------------------------------ occupancy ------------------------------ #
+
+
+@given(blocks=st.integers(1, 4096), threads=st.integers(1, 1024),
+       sms=st.integers(1, 256),
+       max_threads=st.sampled_from([1024, 1536, 2048]))
+def test_occupancy_invariants(blocks, threads, sms, max_threads):
+    occ = occupancy(blocks, threads, sms, max_threads)
+    assert 1 <= occ.blocks_per_sm_resident <= occ.blocks_per_sm_wanted
+    assert occ.resident_threads_per_sm <= max(max_threads, threads)
+    assert occ.waves >= 1
+    assert occ.waves * occ.blocks_per_sm_resident >= occ.blocks_per_sm_wanted
+    assert 1 <= occ.active_sms <= min(blocks, sms)
+
+
+@given(blocks=st.integers(1, 512), threads=st.integers(1, 1024),
+       sms=st.integers(1, 128))
+def test_residency_never_exceeds_thread_limit(blocks, threads, sms):
+    occ = occupancy(blocks, threads, sms, 1536)
+    if occ.blocks_per_sm_resident > 1:
+        assert occ.resident_threads_per_sm <= 1536
+
+
+# ------------------------- DCE / spec invariants ----------------------- #
+
+op_strategy = st.sampled_from([
+    op_barrier(),
+    op_barrier(PrimitiveKind.SYNCTHREADS),
+    Op(kind=PrimitiveKind.SHFL_SYNC, dtype=DTYPES[0], result_used=True),
+    Op(kind=PrimitiveKind.SHFL_SYNC, dtype=DTYPES[0], result_used=False),
+    Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=False),
+    op_atomic(PrimitiveKind.ATOMIC_ADD, DTYPES[0],
+              SharedScalar(DTYPES[0])),
+])
+
+
+@given(body=st.lists(op_strategy, max_size=8))
+def test_dce_partitions_body(body):
+    """kept + removed is exactly the original body (order preserved)."""
+    result = eliminate_dead_ops(body)
+    assert len(result.kept) + len(result.removed) == len(body)
+    assert [op for op in body if not op.is_eliminable] == list(result.kept)
+
+
+@given(body=st.lists(op_strategy, max_size=8))
+def test_dce_is_idempotent(body):
+    once = eliminate_dead_ops(body)
+    twice = eliminate_dead_ops(list(once.kept))
+    assert twice.kept == once.kept
+    assert twice.removed == ()
+
+
+@given(op=op_strategy)
+def test_single_spec_extra_op_is_zero_or_one(op):
+    spec = MeasurementSpec.single("s", op)
+    assert spec.extra_op_count() in (0, 1)
+    assert spec.is_recordable == (spec.extra_op_count() == 1)
+
+
+# ------------------------- measurement protocol ------------------------ #
+
+
+def _small_machine():
+    from repro.cpu.machine import CpuMachine
+    topology = CpuTopology(name="prop", sockets=1, cores_per_socket=8,
+                           threads_per_core=2, numa_nodes=1,
+                           base_clock_ghz=3.0)
+    return CpuMachine(topology)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 16), seed=st.integers(0, 5))
+def test_measurement_deterministic_in_seed(n, seed):
+    from repro.core.engine import MeasurementEngine
+    from repro.core.protocol import MeasurementProtocol
+    machine = _small_machine()
+    engine = MeasurementEngine(machine, MeasurementProtocol(seed=seed))
+    spec = MeasurementSpec.single("b", op_barrier())
+    a = engine.measure(spec, machine.context(n), label="x")
+    b = engine.measure(spec, machine.context(n), label="x")
+    assert a.per_op_time == b.per_op_time

@@ -1,0 +1,194 @@
+"""Property-based tests on the functional interpreters.
+
+Random programs, checked against sequential ground truth: whatever the
+scheduler interleaving, atomics must produce the same totals a serial
+execution would, and worksharing must cover every iteration exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.costs import CpuCostParams
+from repro.cpu.jitter import JitterModel
+from repro.cpu.machine import CpuMachine
+from repro.cpu.topology import CpuTopology
+from repro.cuda.interpreter import Cuda
+from repro.gpu.costs import GpuCostParams
+from repro.gpu.device import GpuDevice
+from repro.gpu.spec import GpuSpec, LaunchConfig
+from repro.openmp.interpreter import OpenMP
+from repro.openmp.worksharing import Schedule, parallel_for
+
+
+def _machine() -> CpuMachine:
+    return CpuMachine(
+        CpuTopology(name="prop", sockets=1, cores_per_socket=8,
+                    threads_per_core=2, numa_nodes=1, base_clock_ghz=3.0),
+        CpuCostParams(),
+        JitterModel(rel_sigma=0.0, abs_sigma_ns=0.0, ht_rel_sigma=0.0,
+                    spike_prob=0.0))
+
+
+def _device() -> GpuDevice:
+    return GpuDevice(GpuSpec(
+        name="prop", compute_capability=8.9, clock_ghz=2.0, sm_count=2,
+        max_threads_per_sm=1536, cuda_cores_per_sm=64, memory_gb=2,
+        full_speed_threads_per_sm=256), GpuCostParams())
+
+
+# ------------------------------ OpenMP --------------------------------- #
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_threads=st.integers(2, 8),
+       increments=st.lists(st.integers(1, 20), min_size=1, max_size=8))
+def test_atomic_increments_always_sum(n_threads, increments):
+    """Any mix of per-thread atomic increments sums exactly."""
+    omp = OpenMP(_machine(), n_threads=n_threads)
+
+    def body(tc):
+        for amount in increments:
+            yield tc.atomic_update("x", 0, lambda v, a=amount: v + a)
+
+    result = omp.parallel(body, shared={"x": np.zeros(1, np.int64)})
+    assert result.memory["x"][0] == n_threads * sum(increments)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_threads=st.integers(2, 8), n_phases=st.integers(1, 4))
+def test_barrier_phases_are_sequentially_consistent(n_threads, n_phases):
+    """Writes before a barrier are visible to all reads after it, for any
+    phase count and team size."""
+    omp = OpenMP(_machine(), n_threads=n_threads)
+
+    def body(tc):
+        for phase in range(n_phases):
+            yield tc.atomic_write("a", tc.tid, phase * 100 + tc.tid)
+            yield tc.barrier()
+            for t in range(tc.n_threads):
+                v = yield tc.atomic_read("a", t)
+                assert v == phase * 100 + t, (phase, t, v)
+            yield tc.barrier()
+
+    omp.parallel(body, shared={"a": np.zeros(n_threads, np.int64)})
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(0, 60), n_threads=st.integers(2, 8),
+       schedule=st.sampled_from(list(Schedule)),
+       chunk=st.integers(1, 7))
+def test_parallel_for_covers_iterations_exactly_once(n, n_threads,
+                                                     schedule, chunk):
+    omp = OpenMP(_machine(), n_threads=n_threads)
+
+    def body(tc, i):
+        yield tc.atomic_update("seen", i, lambda v: v + 1)
+
+    result = parallel_for(omp, n, body,
+                          shared={"seen": np.zeros(max(n, 1), np.int64)},
+                          schedule=schedule, chunk=chunk)
+    assert result.memory["seen"][:n].tolist() == [1] * n
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_threads=st.integers(2, 6),
+       ops=st.lists(st.sampled_from(["inc", "dec", "double_inc"]),
+                    min_size=1, max_size=6))
+def test_critical_sections_serialize_arbitrary_updates(n_threads, ops):
+    """Critical-section updates of two coupled variables preserve their
+    invariant (y == 2 * x) under any interleaving."""
+    omp = OpenMP(_machine(), n_threads=n_threads)
+
+    def apply(mem, op):
+        if op == "inc":
+            mem["x"][0] += 1
+            mem["y"][0] += 2
+        elif op == "dec":
+            mem["x"][0] -= 1
+            mem["y"][0] -= 2
+        else:
+            mem["x"][0] += 2
+            mem["y"][0] += 4
+
+    def body(tc):
+        for op in ops:
+            yield tc.critical(lambda mem, o=op: apply(mem, o),
+                              touches=(("x", 0, True), ("y", 0, True)))
+
+    result = omp.parallel(body, shared={"x": np.zeros(1, np.int64),
+                                        "y": np.zeros(1, np.int64)})
+    assert result.memory["y"][0] == 2 * result.memory["x"][0]
+
+
+# ------------------------------- CUDA ---------------------------------- #
+
+
+@settings(max_examples=15, deadline=None)
+@given(blocks=st.integers(1, 4), threads=st.integers(1, 96),
+       value=st.integers(1, 5))
+def test_gpu_atomic_add_counts_grid(blocks, threads, value):
+    cuda = Cuda(_device())
+
+    def kernel(t):
+        yield t.atomic_add("x", 0, value)
+
+    x = np.zeros(1, np.int64)
+    cuda.launch(kernel, LaunchConfig(blocks, threads), globals_={"x": x})
+    assert x[0] == blocks * threads * value
+
+
+@settings(max_examples=15, deadline=None)
+@given(threads=st.integers(1, 128), seed=st.integers(0, 100))
+def test_gpu_reduce_max_matches_numpy(threads, seed):
+    """Warp shuffles + block atomics reduce any random block correctly."""
+    cuda = Cuda(_device())
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-1000, 1000, size=threads).astype(np.int32)
+
+    def kernel(t):
+        v = yield t.global_read("data", t.threadIdx)
+        yield t.atomic_max("result", 0, v)
+
+    result = np.full(1, -(2 ** 31), np.int32)
+    cuda.launch(kernel, LaunchConfig(1, threads),
+                globals_={"data": data, "result": result})
+    assert result[0] == data.max()
+
+
+@settings(max_examples=10, deadline=None)
+@given(threads=st.integers(33, 256), seed=st.integers(0, 50))
+def test_gpu_syncthreads_count_matches_python(threads, seed):
+    cuda = Cuda(_device())
+    rng = np.random.default_rng(seed)
+    preds = rng.integers(0, 2, size=threads).astype(bool)
+
+    def kernel(t):
+        got = yield t.syncthreads_count(bool(preds[t.threadIdx]))
+        yield t.global_write("out", t.threadIdx, got)
+
+    out = np.zeros(threads, np.int64)
+    cuda.launch(kernel, LaunchConfig(1, threads), globals_={"out": out})
+    assert set(out.tolist()) == {int(preds.sum())}
+
+
+@settings(max_examples=10, deadline=None)
+@given(lane_values=st.lists(st.integers(-100, 100), min_size=32,
+                            max_size=32))
+def test_gpu_shfl_xor_tree_reduces_any_warp(lane_values):
+    cuda = Cuda(_device())
+
+    def kernel(t):
+        value = lane_values[t.lane]
+        j = 16
+        while j > 0:
+            other = yield t.shfl_xor_sync(value, j)
+            value = max(value, other)
+            j //= 2
+        yield t.global_write("out", t.lane, value)
+
+    out = np.zeros(32, np.int64)
+    cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
+    assert set(out.tolist()) == {max(lane_values)}

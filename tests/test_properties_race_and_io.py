@@ -1,0 +1,122 @@
+"""Property tests: the race detector against a pairwise oracle, and
+results IO round-trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import MeasurementResult, Series, SweepResult
+from repro.openmp.race import AccessKind, RaceDetector
+
+# ---------------------------- race oracle ------------------------------ #
+
+access_kinds = st.sampled_from(list(AccessKind))
+accesses = st.lists(
+    st.tuples(st.integers(0, 3),            # thread id
+              st.sampled_from(["x", "y"]),  # variable
+              st.integers(0, 2),            # index
+              access_kinds),
+    max_size=12)
+
+
+def oracle_has_race(log) -> bool:
+    """Ground truth: any conflicting pair from different threads on the
+    same location (no epochs — the detector sees one epoch here)."""
+    def conflicts(a: AccessKind, b: AccessKind) -> bool:
+        if not (a.is_write or b.is_write):
+            return False
+        if a.is_atomic and b.is_atomic:
+            return False
+        if a.is_locked and b.is_locked:
+            return False
+        return True
+
+    for i, (t1, v1, i1, k1) in enumerate(log):
+        for t2, v2, i2, k2 in log[i + 1:]:
+            if t1 != t2 and v1 == v2 and i1 == i2 and conflicts(k1, k2):
+                return True
+    return False
+
+
+@given(log=accesses)
+def test_race_detector_matches_pairwise_oracle(log):
+    detector = RaceDetector(raise_on_race=False)
+    for tid, var, idx, kind in log:
+        detector.record(tid, var, idx, kind)
+    assert bool(detector.races) == oracle_has_race(log)
+
+
+@given(log=accesses)
+def test_barrier_clears_all_pending_conflicts(log):
+    """Any access log becomes conflict-free against later accesses once a
+    barrier separates them."""
+    detector = RaceDetector(raise_on_race=False)
+    for tid, var, idx, kind in log:
+        detector.record(tid, var, idx, kind)
+    detector.barrier()
+    before = len(detector.races)
+    # Replaying the same single-thread access after the barrier can never
+    # add a race.
+    detector.record(0, "x", 0, AccessKind.PLAIN_WRITE)
+    assert len(detector.races) == before
+
+
+# --------------------------- results IO -------------------------------- #
+
+throughputs = st.floats(min_value=1.0, max_value=1e12,
+                        allow_nan=False, allow_infinity=False)
+series_points = st.lists(
+    st.tuples(st.integers(1, 1024), throughputs),
+    min_size=1, max_size=8,
+    unique_by=lambda p: p[0])
+
+
+def build_sweep(named_points) -> SweepResult:
+    sweep = SweepResult(name="prop", x_label="threads", unit="ns")
+    for label, points in named_points.items():
+        s = Series(label=label)
+        for x, thr in sorted(points):
+            s.add(x, MeasurementResult(
+                spec_name=label, unit="ns", baseline_median=1.0,
+                test_median=2.0, per_op_time=1e9 / thr, throughput=thr,
+                naive_per_op_time=2.0, valid_fraction=1.0))
+        sweep.series.append(s)
+    return sweep
+
+
+@settings(max_examples=30, deadline=None)
+@given(points_a=series_points, points_b=series_points)
+def test_csv_roundtrip_preserves_all_points(tmp_path_factory, points_a,
+                                            points_b):
+    from repro.core.results_io import load_sweep_csv, save_sweep
+    sweep = build_sweep({"a": points_a, "b": points_b})
+    directory = tmp_path_factory.mktemp("csv")
+    paths = save_sweep(sweep, directory)
+    csv_path = next(p for p in paths if p.suffix == ".csv")
+    loaded = load_sweep_csv(csv_path)
+    for label, points in (("a", points_a), ("b", points_b)):
+        expected = sorted((float(x), thr) for x, thr in points)
+        got = loaded[label]
+        assert len(got) == len(expected)
+        for (gx, gthr), (ex, ethr) in zip(got, expected):
+            assert gx == ex
+            assert gthr == float(f"{ethr:.6g}")  # CSV keeps 6 sig figs
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=series_points)
+def test_svg_always_well_formed(points):
+    import xml.etree.ElementTree as ET
+    from repro.analysis.svg_chart import render_svg
+    svg = render_svg(build_sweep({"s": points}))
+    ET.fromstring(svg)
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=series_points)
+def test_json_payload_is_strict_json(points):
+    import json
+    sweep = build_sweep({"s": points})
+    payload = json.dumps(sweep.to_json(), allow_nan=False)
+    assert json.loads(payload)["series"][0]["points"]

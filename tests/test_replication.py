@@ -1,0 +1,53 @@
+"""Replication stability: the headline claims hold across jitter seeds.
+
+The paper's conclusions cannot depend on one lucky noise draw; these
+tests re-run key experiments with different RNG seeds and require the
+claims to pass on every replication.
+"""
+
+import pytest
+
+from repro.core.protocol import MeasurementProtocol
+from repro.experiments.omp_atomic_update import claims_fig2, run_fig2
+from repro.experiments.omp_barrier import claims_fig1, run_fig1
+from repro.experiments.omp_critical import claims_fig5, run_fig5
+
+SEEDS = (1, 2, 3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fig1_claims_stable_across_seeds(seed):
+    sweep = run_fig1(protocol=MeasurementProtocol(seed=seed))
+    failed = [c.claim for c in claims_fig1(sweep) if not c.passed]
+    assert not failed, f"seed {seed}: {failed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fig2_claims_stable_across_seeds(seed):
+    sweep = run_fig2(protocol=MeasurementProtocol(seed=seed))
+    failed = [c.claim for c in claims_fig2(sweep) if not c.passed]
+    assert not failed, f"seed {seed}: {failed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fig5_claims_stable_across_seeds(seed):
+    sweep = run_fig5(protocol=MeasurementProtocol(seed=seed))
+    failed = [c.claim for c in claims_fig5(sweep) if not c.passed]
+    assert not failed, f"seed {seed}: {failed}"
+
+
+def test_seeds_actually_change_the_data():
+    a = run_fig1(protocol=MeasurementProtocol(seed=1))
+    b = run_fig1(protocol=MeasurementProtocol(seed=2))
+    assert a.series_by_label("barrier").throughputs != \
+        b.series_by_label("barrier").throughputs
+
+
+def test_gpu_results_seed_independent():
+    """GPU timing is deterministic — seeds must not change anything."""
+    from repro.experiments.cuda_syncthreads import run_fig7
+    a = run_fig7(protocol=MeasurementProtocol(seed=1))
+    b = run_fig7(protocol=MeasurementProtocol(seed=2))
+    for blocks in a:
+        assert a[blocks].series_by_label("syncthreads").throughputs == \
+            b[blocks].series_by_label("syncthreads").throughputs

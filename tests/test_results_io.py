@@ -1,0 +1,75 @@
+"""Tests for artifact-style results output."""
+
+import json
+
+from repro.analysis.trends import check
+from repro.core.results import MeasurementResult, Series, SweepResult
+from repro.core.results_io import load_sweep_csv, save_experiment, \
+    save_sweep
+
+
+def make_sweep(name="fig1", labels=("int",)):
+    sweep = SweepResult(name=name, x_label="threads", unit="ns",
+                        metadata={"machine": "m"})
+    for label in labels:
+        s = Series(label=label)
+        for x, thr in ((2, 1e8), (4, 5e7)):
+            s.add(x, MeasurementResult(
+                spec_name=label, unit="ns", baseline_median=1.0,
+                test_median=2.0, per_op_time=1e9 / thr, throughput=thr,
+                naive_per_op_time=2.0, valid_fraction=1.0))
+        sweep.series.append(s)
+    return sweep
+
+
+class TestSaveSweep:
+    def test_writes_csv_chart_svg_and_json(self, tmp_path):
+        paths = save_sweep(make_sweep(), tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"fig1.csv", "fig1.chart.txt", "fig1.svg",
+                         "fig1.json"}
+        assert all(p.exists() for p in paths)
+
+    def test_json_payload_roundtrips(self, tmp_path):
+        import json
+        paths = save_sweep(make_sweep(labels=("int",)), tmp_path)
+        json_path = next(p for p in paths if p.suffix == ".json")
+        payload = json.loads(json_path.read_text())
+        assert payload["name"] == "fig1"
+        points = payload["series"][0]["points"]
+        assert points[0]["x"] == 2
+        assert points[0]["valid_fraction"] == 1.0
+
+    def test_slashes_sanitized(self, tmp_path):
+        paths = save_sweep(make_sweep(name="fig3/stride=8"), tmp_path)
+        assert all("/" not in p.name for p in paths)
+
+    def test_csv_roundtrip(self, tmp_path):
+        sweep = make_sweep(labels=("int", "double"))
+        paths = save_sweep(sweep, tmp_path)
+        csv_path = next(p for p in paths if p.suffix == ".csv")
+        loaded = load_sweep_csv(csv_path)
+        assert set(loaded) == {"int", "double"}
+        assert loaded["int"] == [(2.0, 1e8), (4.0, 5e7)]
+
+
+class TestSaveExperiment:
+    def test_full_layout(self, tmp_path):
+        checks = [check("claim A", True, "d"), check("claim B", False)]
+        directory = save_experiment(
+            "fig1", "OpenMP barrier", "openmp", [make_sweep()], checks,
+            tmp_path, wall_seconds=1.25)
+        assert directory == tmp_path / "fig1"
+        assert (directory / "claims.txt").exists()
+        assert "[PASS] claim A" in (directory / "claims.txt").read_text()
+        assert "[FAIL] claim B" in (directory / "claims.txt").read_text()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["claims_passed"] == 1
+        assert meta["claims_total"] == 2
+        assert meta["wall_seconds"] == 1.25
+        assert "fig1.csv" in meta["files"]
+
+    def test_cli_results_flag(self, tmp_path, capsys):
+        from repro.experiments.launch import main
+        assert main(["table1", "--results", str(tmp_path)]) == 0
+        assert (tmp_path / "table1" / "meta.json").exists()

@@ -1,0 +1,81 @@
+"""Tests for the what-if speedup estimator."""
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, INT, ULL
+from repro.common.errors import ConfigurationError
+from repro.whatif import (
+    SpeedupEstimate,
+    pad_array_stride,
+    replace_critical_with_atomic,
+    shrink_block_for_barriers,
+    switch_atomic_dtype,
+)
+
+
+class TestPadArrayStride:
+    def test_escaping_false_sharing_is_a_big_win(self, quiet_cpu):
+        estimate = pad_array_stride(quiet_cpu, INT, 1, 16, n_threads=16)
+        assert estimate.speedup > 5.0
+        assert estimate.evidence == "fig3"
+
+    def test_padding_beyond_a_line_buys_nothing(self, quiet_cpu):
+        estimate = pad_array_stride(quiet_cpu, DOUBLE, 8, 16, n_threads=8)
+        assert estimate.speedup == pytest.approx(1.0)
+
+    def test_64bit_escapes_at_stride_8(self, quiet_cpu):
+        ull = pad_array_stride(quiet_cpu, ULL, 1, 8, n_threads=16)
+        int_ = pad_array_stride(quiet_cpu, INT, 1, 8, n_threads=16)
+        assert ull.speedup > int_.speedup
+
+
+class TestReplaceCritical:
+    def test_atomic_always_wins(self, quiet_cpu):
+        for threads in (2, 8, 16):
+            estimate = replace_critical_with_atomic(quiet_cpu, INT,
+                                                    threads)
+            assert estimate.speedup > 1.0
+
+    def test_win_grows_past_the_atomic_knee(self, system3_cpu):
+        # Fig. 5's "drops more quickly": the critical section keeps
+        # degrading after the atomic has plateaued, so on a 16-core part
+        # the swap buys more at 16 threads than at 2.
+        small = replace_critical_with_atomic(system3_cpu, INT, 2)
+        large = replace_critical_with_atomic(system3_cpu, INT, 16)
+        assert large.speedup > small.speedup
+
+
+class TestSwitchDtype:
+    def test_double_to_int_wins_under_contention(self, system3_gpu):
+        estimate = switch_atomic_dtype(system3_gpu, DOUBLE, blocks=2,
+                                       threads=256)
+        assert estimate.speedup > 2.0
+        assert estimate.evidence == "fig9"
+
+    def test_int_to_int_is_neutral(self, system3_gpu):
+        estimate = switch_atomic_dtype(system3_gpu, INT, blocks=2,
+                                       threads=256)
+        assert estimate.speedup == pytest.approx(1.0)
+
+
+class TestShrinkBlock:
+    def test_smaller_block_cheapens_barrier(self, system3_gpu):
+        estimate = shrink_block_for_barriers(system3_gpu, 1024, 128)
+        assert estimate.speedup > 1.5
+        assert estimate.evidence == "fig7"
+
+    def test_non_shrink_rejected(self, system3_gpu):
+        with pytest.raises(ConfigurationError):
+            shrink_block_for_barriers(system3_gpu, 128, 256)
+
+
+class TestEstimate:
+    def test_speedup_math(self):
+        estimate = SpeedupEstimate("x", before=100.0, after=25.0,
+                                   evidence="fig3")
+        assert estimate.speedup == 4.0
+
+    def test_zero_after_is_infinite(self):
+        estimate = SpeedupEstimate("x", before=1.0, after=0.0,
+                                   evidence="fig3")
+        assert estimate.speedup == float("inf")

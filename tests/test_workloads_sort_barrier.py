@@ -1,0 +1,71 @@
+"""Tests for the bitonic sort and the atomics-built barrier."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.custom_barrier import compare_barriers
+from repro.workloads.sort import gpu_bitonic_sort
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [2, 8, 64, 128, 256])
+    def test_sorts_random_input(self, mini_gpu, rng, n):
+        data = rng.integers(-1000, 1000, size=n)
+        outcome = gpu_bitonic_sort(mini_gpu, data)
+        assert outcome.correct
+
+    def test_sorts_already_sorted(self, mini_gpu):
+        outcome = gpu_bitonic_sort(mini_gpu, np.arange(64))
+        assert outcome.correct
+
+    def test_sorts_reverse_sorted(self, mini_gpu):
+        outcome = gpu_bitonic_sort(mini_gpu, np.arange(64)[::-1].copy())
+        assert outcome.correct
+
+    def test_sorts_duplicates(self, mini_gpu):
+        outcome = gpu_bitonic_sort(mini_gpu,
+                                   np.array([5, 5, 1, 1, 3, 3, 5, 1]))
+        assert outcome.correct
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 100, 2048])
+    def test_bad_sizes_rejected(self, mini_gpu, n):
+        with pytest.raises(ConfigurationError):
+            gpu_bitonic_sort(mini_gpu, np.zeros(n, np.int64))
+
+    def test_barriers_dominate_the_kernel(self, mini_gpu, rng):
+        """V-B5 (1)'s premise: this kernel's time is mostly barriers."""
+        outcome = gpu_bitonic_sort(mini_gpu, rng.integers(0, 100, 128),
+                                   trace=True)
+        assert outcome.barrier_share is not None
+        assert outcome.barrier_share > 0.5
+
+    def test_larger_blocks_pay_more_per_barrier(self, mini_gpu, rng):
+        """More warps per block -> costlier __syncthreads() and more
+        phases: the barrier-heavy kernel grows superlinearly."""
+        small = gpu_bitonic_sort(mini_gpu, rng.integers(0, 100, 64))
+        large = gpu_bitonic_sort(mini_gpu, rng.integers(0, 100, 512))
+        assert large.elapsed > 2 * small.elapsed
+
+
+class TestCustomBarrier:
+    def test_custom_barrier_synchronizes(self, system3_cpu):
+        outcome = compare_barriers(system3_cpu, n_threads=8, rounds=4)
+        assert outcome.correct
+
+    def test_costs_in_the_same_regime(self, system3_cpu):
+        """Fig. 2's inference: the library barrier behaves like a
+        construct built from shared-variable atomics — the hand-built one
+        lands within an order of magnitude."""
+        outcome = compare_barriers(system3_cpu, n_threads=8, rounds=4)
+        assert 0.1 <= outcome.ratio <= 10.0
+
+    def test_cost_grows_with_team_size(self, quiet_cpu):
+        small = compare_barriers(quiet_cpu, n_threads=2, rounds=4)
+        large = compare_barriers(quiet_cpu, n_threads=8, rounds=4)
+        assert large.custom_ns > small.custom_ns
+
+    def test_works_on_quiet_machine(self, quiet_cpu):
+        outcome = compare_barriers(quiet_cpu, n_threads=4, rounds=2)
+        assert outcome.correct
+        assert outcome.custom_ns > 0
