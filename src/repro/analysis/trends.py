@@ -123,7 +123,7 @@ def series_above(upper: Series, lower: Series, min_ratio: float = 1.0,
               and math.isfinite(lower_at[p.x])]
     if not common:
         return False
-    wins = sum(1 for u, l in common if l > 0 and u / l >= min_ratio)
+    wins = sum(1 for u, lo in common if lo > 0 and u / lo >= min_ratio)
     return wins >= frac * len(common)
 
 

@@ -29,6 +29,25 @@ class MeasurementError(ReproError):
     """
 
 
+class FaultInjectionError(ReproError):
+    """An injected machine fault made one timed attempt yield no data.
+
+    Raised by :class:`repro.faults.machine.FaultyMachine` when a
+    :class:`~repro.faults.models.DroppedRun` fault fires (modelling a hung
+    or killed measurement process).  The measurement engine treats it like
+    the paper treats a faulty measurement: the attempt is discarded and
+    retried within the protocol's attempt/time budgets.
+    """
+
+
+class CampaignError(ReproError):
+    """A campaign-level operation (checkpoint, resume) is inconsistent.
+
+    Examples: resuming from a checkpoint manifest written by a campaign
+    with a different fault scenario or seed, or a corrupt manifest file.
+    """
+
+
 class SimulationError(ReproError):
     """A functional simulation reached an impossible state.
 

@@ -17,17 +17,34 @@ The engine reproduces every methodological element of Section III/IV:
 * Each run retries up to ``max_attempts`` times while the test function
   measures faster than the baseline; per-run medians are subtracted and
   normalized by the number of extra measured ops.
+
+Robustness extensions (beyond the paper, for fault-injected campaigns):
+
+* Injected dropped/hung measurements
+  (:class:`~repro.common.errors.FaultInjectionError`) are discarded and
+  retried like the paper's faulty measurements, within optional per-spec
+  attempt and wall-clock budgets.
+* :meth:`MeasurementEngine.measure_robust` escalates — doubling
+  ``n_runs`` — when a result has no valid runs, before declaring
+  :class:`~repro.common.errors.MeasurementError`.
+* When a fault scenario is active (``syncperf --faults``, or
+  :func:`repro.faults.use_faults`), every engine transparently wraps its
+  machine in a :class:`repro.faults.FaultyMachine`.
 """
 
 from __future__ import annotations
 
 import statistics
+import time
+from dataclasses import replace
 
-from repro.common.errors import MeasurementError
+from repro.common.errors import FaultInjectionError, MeasurementError
 from repro.common.rng import make_rng
 from repro.core.protocol import MeasurementProtocol
 from repro.core.results import MeasurementResult
 from repro.core.spec import MeasurementSpec
+from repro.faults.machine import wrap_machine
+from repro.faults.scenario import active_scenario
 
 
 class MeasurementEngine:
@@ -35,7 +52,7 @@ class MeasurementEngine:
 
     def __init__(self, machine: object,
                  protocol: MeasurementProtocol | None = None) -> None:
-        self.machine = machine
+        self.machine = wrap_machine(machine, active_scenario())
         self.protocol = protocol or MeasurementProtocol()
 
     def measure(self, spec: MeasurementSpec, ctx: object,
@@ -52,9 +69,18 @@ class MeasurementEngine:
         Returns:
             The measurement result; ``unrecordable=True`` when the
             optimizer eliminated the measured primitive.
+
+        Raises:
+            MeasurementError: When every run was dropped by injected
+                faults or the attempt/time budgets ran out with no data
+                at all (unreachable without fault injection or budgets).
         """
+        return self._run_protocol(self.protocol, spec, ctx, label)
+
+    def _run_protocol(self, proto: MeasurementProtocol,
+                      spec: MeasurementSpec, ctx: object,
+                      label: str) -> MeasurementResult:
         machine = self.machine
-        proto = self.protocol
         baseline_kept, test_kept = spec.surviving_bodies()
         eliminated = tuple(op.kind.value for op in spec.eliminated_ops())
         extra_ops = spec.extra_op_count()
@@ -87,25 +113,60 @@ class MeasurementEngine:
             + loop_overhead + cold
         cost_test = machine.body_cost(test_kept, ctx) + loop_overhead + cold
 
+        deadline = None
+        if proto.time_budget_s is not None:
+            deadline = time.monotonic() + proto.time_budget_s
+        attempts_left = proto.attempt_budget  # None = unlimited
+
         baseline_times: list[float] = []
         test_times: list[float] = []
         valid_runs = 0
+        dropped_runs = 0
+        exhausted = False
         for run in range(proto.n_runs):
             rng = make_rng(
                 f"{machine.name}/{spec.name}/{label}/run{run}", proto.seed)
             chosen: tuple[float, float, bool] | None = None
             for _attempt in range(proto.max_attempts):
-                tb = max(cost_baseline + machine.run_noise(
-                    rng, ctx, baseline_kept, cost_baseline), 0.0)
-                tt = max(cost_test + machine.run_noise(
-                    rng, ctx, test_kept, cost_test), 0.0)
+                if attempts_left is not None and attempts_left <= 0:
+                    exhausted = True
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    exhausted = True
+                    break
+                if attempts_left is not None:
+                    attempts_left -= 1
+                try:
+                    tb = max(cost_baseline + machine.run_noise(
+                        rng, ctx, baseline_kept, cost_baseline), 0.0)
+                    tt = max(cost_test + machine.run_noise(
+                        rng, ctx, test_kept, cost_test), 0.0)
+                except FaultInjectionError:
+                    # An injected dropped/hung measurement: no data from
+                    # this attempt; retry within the remaining budget.
+                    continue
                 chosen = (tb, tt, tt >= tb)
                 if tt >= tb:
                     break
-            assert chosen is not None
+            if chosen is None:
+                dropped_runs += 1
+                if exhausted:
+                    break  # remaining runs count invalid via n_runs
+                continue
             baseline_times.append(chosen[0])
             test_times.append(chosen[1])
             valid_runs += chosen[2]
+
+        if not baseline_times:
+            budget = []
+            if proto.attempt_budget is not None:
+                budget.append(f"attempt_budget={proto.attempt_budget}")
+            if proto.time_budget_s is not None:
+                budget.append(f"time_budget_s={proto.time_budget_s:g}")
+            suffix = f" within {', '.join(budget)}" if budget else ""
+            raise MeasurementError(
+                f"spec {spec.name!r} ({label or 'no label'}): every run "
+                f"was dropped — no attempt produced data{suffix}")
 
         baseline_median = statistics.median(baseline_times)
         test_median = statistics.median(test_times)
@@ -122,7 +183,46 @@ class MeasurementEngine:
             valid_fraction=valid_runs / proto.n_runs,
             unrecordable=False,
             eliminated=eliminated,
+            dropped_runs=dropped_runs,
         )
+
+    def measure_robust(self, spec: MeasurementSpec, ctx: object,
+                       label: str = "") -> MeasurementResult:
+        """Like :meth:`measure`, with escalating retry before giving up.
+
+        The first round is byte-identical to :meth:`measure`.  If it
+        yields no valid runs (``valid_fraction`` at or below the
+        protocol's ``min_valid_fraction``) or no data at all, the engine
+        escalates: up to ``max_escalations`` extra rounds, each doubling
+        ``n_runs`` (the paper's remedy for jitter is more samples), under
+        decorrelated jitter streams.  Exhausting escalation raises.
+
+        Raises:
+            MeasurementError: No round produced a result above the valid
+                threshold.
+        """
+        proto = self.protocol
+        failures: list[str] = []
+        for escalation in range(proto.max_escalations + 1):
+            widened = proto if escalation == 0 else replace(
+                proto, n_runs=proto.n_runs * 2 ** escalation)
+            esc_label = label if escalation == 0 else \
+                f"{label}#esc{escalation}"
+            try:
+                result = self._run_protocol(widened, spec, ctx, esc_label)
+            except MeasurementError as exc:
+                failures.append(str(exc))
+                continue
+            if result.unrecordable or \
+                    result.valid_fraction > proto.min_valid_fraction:
+                return result
+            failures.append(
+                f"round {escalation} (n_runs={widened.n_runs}): "
+                f"valid_fraction={result.valid_fraction:.3f}")
+        raise MeasurementError(
+            f"spec {spec.name!r} ({label or 'no label'}): no valid "
+            f"measurement after {proto.max_escalations + 1} round(s) "
+            f"of escalating retry: " + "; ".join(failures))
 
     def measure_or_raise(self, spec: MeasurementSpec, ctx: object,
                          label: str = "") -> MeasurementResult:

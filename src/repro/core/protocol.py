@@ -38,6 +38,21 @@ class MeasurementProtocol:
             costs assume warmed caches, so this documents rather than
             changes the arithmetic).
         seed: Base seed for the jitter streams.
+        attempt_budget: Cap on *total* timed attempts per spec across all
+            runs (None = unlimited).  Guards against injected dropped or
+            hung measurements consuming a campaign; runs the budget never
+            reaches count as invalid.
+        time_budget_s: Wall-clock cap per spec (None = unlimited).
+            Checked between attempts; a spec that exhausts it with no
+            data raises :class:`~repro.common.errors.MeasurementError`.
+        max_escalations: Extra rounds :meth:`repro.core.engine.
+            MeasurementEngine.measure_robust` may run, doubling ``n_runs``
+            each time, before declaring the spec unmeasurable.
+        min_valid_fraction: Escalation trigger: a result whose
+            ``valid_fraction`` is at or below this is considered failed
+            (the default 0.0 escalates only when *every* run was invalid
+            or dropped, so legitimately noisy results — the paper's
+            atomic-read case — are untouched).
     """
 
     n_runs: int = 9
@@ -46,6 +61,10 @@ class MeasurementProtocol:
     unroll: int = 100
     n_warmup: int = 10
     seed: int = 0
+    attempt_budget: int | None = None
+    time_budget_s: float | None = None
+    max_escalations: int = 2
+    min_valid_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -56,6 +75,21 @@ class MeasurementProtocol:
         if self.n_iter < 1 or self.unroll < 1:
             raise ConfigurationError(
                 f"n_iter/unroll must be >= 1, got {self.n_iter}/{self.unroll}")
+        if self.attempt_budget is not None and self.attempt_budget < 1:
+            raise ConfigurationError(
+                f"attempt_budget must be >= 1 or null, got "
+                f"{self.attempt_budget}")
+        if self.time_budget_s is not None and self.time_budget_s <= 0:
+            raise ConfigurationError(
+                f"time_budget_s must be > 0 or null, got "
+                f"{self.time_budget_s}")
+        if self.max_escalations < 0:
+            raise ConfigurationError(
+                f"max_escalations must be >= 0, got {self.max_escalations}")
+        if not 0.0 <= self.min_valid_fraction < 1.0:
+            raise ConfigurationError(
+                f"min_valid_fraction must be in [0, 1), got "
+                f"{self.min_valid_fraction}")
 
     @property
     def ops_per_loop(self) -> int:

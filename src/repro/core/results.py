@@ -44,6 +44,9 @@ class MeasurementResult:
         unrecordable: True when the optimizer eliminated the measured
             primitive (the paper's ``__ballot_sync()`` case).
         eliminated: Names of ops removed by dead-code elimination.
+        dropped_runs: Runs that produced no data at all (every attempt
+            dropped by an injected fault or cut off by a budget); they
+            count as invalid in ``valid_fraction``.
     """
 
     spec_name: str
@@ -56,6 +59,7 @@ class MeasurementResult:
     valid_fraction: float
     unrecordable: bool = False
     eliminated: tuple[str, ...] = ()
+    dropped_runs: int = 0
 
     @property
     def within_timer_accuracy(self) -> bool:
@@ -118,6 +122,35 @@ class Series:
         raise KeyError(f"series {self.label!r} has no point at x={x}")
 
 
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point that could not be measured.
+
+    A resilient sweep records these instead of aborting the whole
+    experiment (the artifact's 72-hour campaign analogue: one bad
+    parameter combination must not kill the run).
+
+    Attributes:
+        series: Label of the series the point belonged to.
+        x: The x position (thread count / launch size / intensity).
+        error: Exception class name (e.g. ``"MeasurementError"``).
+        message: One-line diagnostic.
+    """
+
+    series: str
+    x: float
+    error: str
+    message: str
+
+    def to_json(self) -> dict:
+        """JSON-serializable record of this failure."""
+        return {"series": self.series, "x": self.x, "error": self.error,
+                "message": self.message}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.series}@x={self.x:g}: {self.error}: {self.message}"
+
+
 @dataclass
 class SweepResult:
     """A figure's worth of series.
@@ -128,6 +161,8 @@ class SweepResult:
         unit: Time unit of the underlying measurements.
         series: The labelled curves.
         metadata: Free-form context (machine name, affinity, stride...).
+        failures: Points that could not be measured (structured records
+            instead of aborted sweeps).
     """
 
     name: str
@@ -135,6 +170,7 @@ class SweepResult:
     unit: str
     series: list[Series] = field(default_factory=list)
     metadata: dict[str, object] = field(default_factory=dict)
+    failures: list[PointFailure] = field(default_factory=list)
 
     def series_by_label(self, label: str) -> Series:
         """Look up a series by label (KeyError with candidates if absent)."""
@@ -172,12 +208,14 @@ class SweepResult:
                                 p.result.test_median),
                             "valid_fraction": p.result.valid_fraction,
                             "unrecordable": p.result.unrecordable,
+                            "dropped_runs": p.result.dropped_runs,
                         }
                         for p in s.points
                     ],
                 }
                 for s in self.series
             ],
+            "failures": [f.to_json() for f in self.failures],
         }
 
     def to_csv(self) -> str:
@@ -190,6 +228,10 @@ class SweepResult:
         for key, value in sorted(self.metadata.items(),
                                  key=lambda kv: kv[0]):
             out.write(f"# {key}={value}\n")
+        for failure in self.failures:
+            out.write(f"# failure: series={failure.series} "
+                      f"x={failure.x:g} {failure.error}: "
+                      f"{failure.message}\n")
         out.write(f"{self.x_label},series,per_op_{self.unit},"
                   "throughput_ops_per_s\n")
         for s in self.series:
@@ -212,4 +254,8 @@ def merge_sweeps(name: str, sweeps: Iterable[SweepResult]) -> SweepResult:
         for s in sweep.series:
             merged.series.append(
                 Series(label=f"{sweep.name}/{s.label}", points=list(s.points)))
+        for failure in sweep.failures:
+            merged.failures.append(PointFailure(
+                series=f"{sweep.name}/{failure.series}", x=failure.x,
+                error=failure.error, message=failure.message))
     return merged

@@ -7,11 +7,18 @@ experiments: per sweep a ``<name>.csv``, an ASCII ``<name>.chart.txt``,
 and a real ``<name>.svg`` figure (rendered without matplotlib), plus per
 experiment a ``claims.txt`` (paper-vs-measured verdicts) and a
 ``meta.json``.
+
+Every write goes through :func:`atomic_write_text` — a temp file in the
+destination directory followed by ``os.replace`` — so an interrupted
+campaign (the resilient runner's whole reason to exist) never leaves a
+truncated ``runtimes.csv`` or ``meta.json`` behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -19,6 +26,34 @@ from repro.analysis.ascii_chart import render_chart
 from repro.analysis.svg_chart import render_svg
 from repro.analysis.trends import TrendCheck
 from repro.core.results import SweepResult
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically.
+
+    The text lands in a temporary file in the same directory and is
+    moved over the destination with ``os.replace`` (atomic on POSIX and
+    Windows for same-filesystem renames), so readers — and campaigns
+    resumed after a kill — only ever observe the old or the new content,
+    never a truncation.
+
+    Returns:
+        The destination path.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return path
 
 
 def _safe(name: str) -> str:
@@ -34,14 +69,15 @@ def save_sweep(sweep: SweepResult, directory: Path,
     """
     directory.mkdir(parents=True, exist_ok=True)
     stem = _safe(sweep.name)
-    csv_path = directory / f"{stem}.csv"
-    csv_path.write_text(sweep.to_csv())
-    chart_path = directory / f"{stem}.chart.txt"
-    chart_path.write_text(render_chart(sweep, log_x=log_x) + "\n")
-    svg_path = directory / f"{stem}.svg"
-    svg_path.write_text(render_svg(sweep, log_x=log_x) + "\n")
-    json_path = directory / f"{stem}.json"
-    json_path.write_text(json.dumps(sweep.to_json(), indent=1) + "\n")
+    csv_path = atomic_write_text(directory / f"{stem}.csv", sweep.to_csv())
+    chart_path = atomic_write_text(
+        directory / f"{stem}.chart.txt",
+        render_chart(sweep, log_x=log_x) + "\n")
+    svg_path = atomic_write_text(
+        directory / f"{stem}.svg", render_svg(sweep, log_x=log_x) + "\n")
+    json_path = atomic_write_text(
+        directory / f"{stem}.json",
+        json.dumps(sweep.to_json(), indent=1) + "\n")
     return [csv_path, chart_path, svg_path, json_path]
 
 
@@ -68,7 +104,9 @@ def save_experiment(exp_id: str, title: str, kind: str,
         written.extend(p.name for p in
                        save_sweep(sweep, directory, log_x=kind == "cuda"))
     claims_lines = [str(c) for c in checks]
-    (directory / "claims.txt").write_text("\n".join(claims_lines) + "\n")
+    atomic_write_text(directory / "claims.txt",
+                      "\n".join(claims_lines) + "\n")
+    failures = [f.to_json() for sweep in sweeps for f in sweep.failures]
     meta = {
         "experiment": exp_id,
         "title": title,
@@ -77,9 +115,11 @@ def save_experiment(exp_id: str, title: str, kind: str,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "claims_passed": sum(c.passed for c in checks),
         "claims_total": len(checks),
+        "point_failures": failures,
         "files": sorted(written),
     }
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+    atomic_write_text(directory / "meta.json",
+                      json.dumps(meta, indent=2) + "\n")
     return directory
 
 

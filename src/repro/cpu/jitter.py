@@ -61,6 +61,22 @@ class JitterModel:
                 self.spike_abs_ns + self.spike_rel * max(base_cost_ns, 0.0)))
         return noise
 
+    def storm(self, factor: float) -> "JitterModel":
+        """A copy amplified for a daemon-wakeup storm.
+
+        Used by the fault-injection layer (``jitter_storm`` on a
+        :class:`repro.faults.scenario.FaultScenario`): spikes become both
+        more frequent and larger, modelling sustained OS activity beyond
+        the healthy machine's independent per-run spike term.  The
+        Gaussian terms are left alone — a storm is bursty, not white.
+        """
+        return replace(
+            self,
+            spike_prob=min(self.spike_prob * factor, 0.9),
+            spike_rel=self.spike_rel * factor,
+            spike_abs_ns=self.spike_abs_ns * factor,
+        )
+
     def scaled(self, factor: float) -> "JitterModel":
         """A copy with all magnitudes scaled (used by ablation benches)."""
         return replace(

@@ -8,11 +8,12 @@ spec across thread counts (OpenMP) or launch configurations (CUDA).
 from __future__ import annotations
 
 from repro.common.datatypes import DataType
+from repro.common.errors import MeasurementError
 from repro.compiler.ops import Op, PrimitiveKind, Scope, op_atomic, \
     op_barrier, op_fence, op_plain_update
 from repro.core.engine import MeasurementEngine
 from repro.core.protocol import MeasurementProtocol
-from repro.core.results import Series, SweepResult
+from repro.core.results import PointFailure, Series, SweepResult
 from repro.core.spec import MeasurementSpec
 from repro.cpu.affinity import Affinity
 from repro.cpu.machine import CpuMachine
@@ -159,6 +160,25 @@ def cuda_vote_spec(kind: PrimitiveKind,
 # ---------------------------- sweep drivers ---------------------------- #
 
 
+def _measure_point(engine: MeasurementEngine, sweep: SweepResult,
+                   series: Series, spec: MeasurementSpec, ctx: object,
+                   x: float, label: str) -> None:
+    """Measure one sweep point, recording failure instead of aborting.
+
+    The robust path escalates (wider ``n_runs``) before giving up; a
+    point that still cannot be measured — fault-injected campaigns only —
+    lands in ``sweep.failures`` so the rest of the sweep survives.
+    """
+    try:
+        result = engine.measure_robust(spec, ctx, label=label)
+    except MeasurementError as exc:
+        sweep.failures.append(PointFailure(
+            series=series.label, x=x, error=type(exc).__name__,
+            message=str(exc)))
+        return
+    series.add(x, result)
+
+
 def omp_thread_counts(machine: CpuMachine) -> list[int]:
     """2 .. max hyperthreads (the paper omits 1: no sync needed serially)."""
     return list(range(2, machine.max_threads + 1))
@@ -182,7 +202,8 @@ def sweep_omp(machine: CpuMachine, specs: dict[str, MeasurementSpec], *,
         series = Series(label=label)
         for n in counts:
             ctx = machine.context(n, affinity)
-            series.add(n, engine.measure(spec, ctx, label=f"{label}/t={n}"))
+            _measure_point(engine, sweep, series, spec, ctx, n,
+                           label=f"{label}/t={n}")
         sweep.series.append(series)
     return sweep
 
@@ -206,7 +227,7 @@ def sweep_cuda(device: GpuDevice, specs: dict[str, MeasurementSpec], *,
         series = Series(label=label)
         for n in counts:
             ctx = device.context(LaunchConfig(block_count, n))
-            series.add(n, engine.measure(
-                spec, ctx, label=f"{label}/b={block_count}/t={n}"))
+            _measure_point(engine, sweep, series, spec, ctx, n,
+                           label=f"{label}/b={block_count}/t={n}")
         sweep.series.append(series)
     return sweep

@@ -1,0 +1,298 @@
+"""The resilient campaign runner: keep-going, checkpoint, resume.
+
+The artifact's full ``launch.py all`` campaign runs for ~72 hours; ours
+is faster but faces the same failure surface once faults are injected:
+one bad experiment must not kill the campaign, a kill signal must not
+corrupt what was already written, and a rerun must not repeat finished
+work.  Hunold & Carpen-Amarie's "MPI Benchmarking Revisited" makes the
+case that benchmark campaigns must be reproducible *and* resumable; this
+module is that layer.
+
+* :func:`run_campaign` executes a list of experiment ids, optionally
+  under a fault scenario, recording a structured
+  :class:`ExperimentOutcome` per id.  With ``keep_going`` a failing
+  experiment is logged and skipped instead of aborting.
+* :class:`CampaignCheckpoint` is an atomic JSON manifest
+  (:func:`repro.core.results_io.atomic_write_text`) updated after every
+  experiment; resuming a campaign skips ids the manifest marks done.
+  The manifest carries a fingerprint (fault scenario + protocol seed) so
+  a checkpoint cannot silently resume a *different* campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.common.errors import (
+    CampaignError,
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.core.results_io import atomic_write_text
+from repro.experiments.registry import EXPERIMENTS, ExperimentDef
+from repro.faults.scenario import FaultScenario, use_faults
+
+#: Exit codes of the ``syncperf`` CLI, by failure category.
+EXIT_OK = 0
+EXIT_CLAIMS = 1
+EXIT_CONFIG = 2
+EXIT_MEASUREMENT = 3
+EXIT_SIMULATION = 4
+EXIT_OTHER = 5
+
+
+def error_exit_code(exc: BaseException) -> int:
+    """Map an exception to the CLI's per-category exit code."""
+    if isinstance(exc, ConfigurationError):
+        return EXIT_CONFIG
+    if isinstance(exc, MeasurementError):
+        return EXIT_MEASUREMENT
+    if isinstance(exc, SimulationError):
+        return EXIT_SIMULATION
+    return EXIT_OTHER
+
+
+def error_name_exit_code(error_name: str) -> int:
+    """Exit code for a recorded failure's exception class name."""
+    return {
+        "ConfigurationError": EXIT_CONFIG,
+        "MeasurementError": EXIT_MEASUREMENT,
+        "SimulationError": EXIT_SIMULATION,
+        "DataRaceError": EXIT_SIMULATION,
+    }.get(error_name, EXIT_OTHER)
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """What happened to one experiment of a campaign.
+
+    Attributes:
+        exp_id: The experiment id.
+        status: ``"done"``, ``"failed"``, or ``"skipped"`` (resume hit).
+        wall_seconds: Execution time (0 for skipped).
+        claims_passed: Trend checks that passed (done only).
+        claims_total: Trend checks evaluated (done only).
+        error: Exception class name (failed only).
+        message: One-line diagnostic (failed only).
+    """
+
+    exp_id: str
+    status: str
+    wall_seconds: float = 0.0
+    claims_passed: int = 0
+    claims_total: int = 0
+    error: str = ""
+    message: str = ""
+
+    def to_json(self) -> dict:
+        """JSON-serializable record of this outcome."""
+        record = {"experiment": self.exp_id, "status": self.status,
+                  "wall_seconds": round(self.wall_seconds, 3)}
+        if self.status == "done":
+            record["claims_passed"] = self.claims_passed
+            record["claims_total"] = self.claims_total
+        if self.status == "failed":
+            record["error"] = self.error
+            record["message"] = self.message
+        return record
+
+
+class CampaignCheckpoint:
+    """Atomic JSON manifest of a campaign's progress.
+
+    Args:
+        path: Manifest location (written with ``os.replace``, so a kill
+            at any instant leaves either the previous or the next
+            manifest, never a torn one).
+        fingerprint: Identity of the campaign configuration (fault
+            scenario, seed).  A resumed campaign must match it.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path,
+                 fingerprint: dict[str, object] | None = None) -> None:
+        self.path = Path(path)
+        self.state: dict = {
+            "version": self.VERSION,
+            "fingerprint": fingerprint or {},
+            "experiments": {},
+        }
+
+    @classmethod
+    def open(cls, path: str | Path,
+             fingerprint: dict[str, object] | None = None,
+             resume: bool = False) -> "CampaignCheckpoint":
+        """Create a checkpoint, loading the manifest when resuming.
+
+        Raises:
+            CampaignError: Corrupt manifest, wrong version, or a
+                fingerprint mismatch (resuming a different campaign).
+        """
+        checkpoint = cls(path, fingerprint)
+        if not resume:
+            return checkpoint
+        if not checkpoint.path.exists():
+            return checkpoint  # nothing to resume yet: fresh campaign
+        try:
+            loaded = json.loads(checkpoint.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"checkpoint manifest {checkpoint.path} is unreadable: "
+                f"{exc}") from exc
+        if not isinstance(loaded, dict) or \
+                loaded.get("version") != cls.VERSION:
+            raise CampaignError(
+                f"checkpoint manifest {checkpoint.path} has unsupported "
+                f"version {loaded.get('version')!r} "
+                f"(expected {cls.VERSION})")
+        recorded = loaded.get("fingerprint", {})
+        if fingerprint is not None and recorded != fingerprint:
+            raise CampaignError(
+                f"checkpoint manifest {checkpoint.path} belongs to a "
+                f"different campaign (recorded {recorded!r}, requested "
+                f"{fingerprint!r}); delete it or rerun with the same "
+                f"--faults/--config")
+        checkpoint.state = loaded
+        checkpoint.state.setdefault("experiments", {})
+        return checkpoint
+
+    def is_done(self, exp_id: str) -> bool:
+        """Whether the manifest records a completed run of ``exp_id``."""
+        record = self.state["experiments"].get(exp_id)
+        return bool(record) and record.get("status") == "done"
+
+    def record(self, outcome: ExperimentOutcome) -> None:
+        """Record one outcome and persist the manifest atomically."""
+        self.state["experiments"][outcome.exp_id] = outcome.to_json()
+        self.state["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self.save()
+
+    def save(self) -> None:
+        """Persist the manifest (atomic replace)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path,
+                          json.dumps(self.state, indent=2) + "\n")
+
+
+def campaign_fingerprint(scenario: FaultScenario | None,
+                         protocol: MeasurementProtocol | None
+                         ) -> dict[str, object]:
+    """Identity of a campaign configuration for checkpoint validation.
+
+    Targets are deliberately excluded: resuming ``syncperf all`` after
+    narrowing to the remaining ids must still match.
+    """
+    return {
+        "faults": scenario.describe() if scenario else None,
+        "seed": (protocol or MeasurementProtocol()).seed,
+    }
+
+
+#: Presentation callback: (exp_id, definition, sweeps, checks, wall_s).
+ResultHook = Callable[
+    [str, ExperimentDef, list[SweepResult], list, float], None]
+
+
+def run_campaign(ids: list[str], *,
+                 protocol: MeasurementProtocol | None = None,
+                 keep_going: bool = False,
+                 scenario: FaultScenario | None = None,
+                 checkpoint: CampaignCheckpoint | None = None,
+                 experiments: dict[str, ExperimentDef] | None = None,
+                 on_result: ResultHook | None = None,
+                 log: Callable[[str], None] = print
+                 ) -> list[ExperimentOutcome]:
+    """Run a sequence of experiments resiliently.
+
+    Args:
+        ids: Experiment ids, in execution order.
+        protocol: Measurement protocol override (None = paper default).
+        keep_going: Record failures and continue instead of aborting.
+            Library errors (:class:`ReproError`) are always recorded;
+            unexpected exceptions are swallowed only in this mode.
+        scenario: Fault scenario to activate for the whole campaign.
+        checkpoint: Manifest to consult (skip completed ids) and update
+            after every experiment.
+        experiments: Registry override for tests (default: the global
+            :data:`~repro.experiments.registry.EXPERIMENTS`).
+        on_result: Presentation hook called for each completed
+            experiment with (exp_id, definition, sweeps, checks, wall).
+        log: Sink for one-line progress/diagnostic messages.
+
+    Returns:
+        One :class:`ExperimentOutcome` per id, in order.
+
+    Raises:
+        ReproError: The first experiment failure, when ``keep_going`` is
+            off (after recording it in the checkpoint).
+    """
+    registry = experiments if experiments is not None else EXPERIMENTS
+    outcomes: list[ExperimentOutcome] = []
+    with use_faults(scenario):
+        for exp_id in ids:
+            if checkpoint is not None and checkpoint.is_done(exp_id):
+                log(f"skipping {exp_id}: already completed "
+                    f"(checkpoint {checkpoint.path})")
+                outcomes.append(
+                    ExperimentOutcome(exp_id=exp_id, status="skipped"))
+                continue
+            definition = registry[exp_id]
+            start = time.time()
+            try:
+                payload = definition.run(protocol)
+                checks = definition.claims(payload)
+                sweeps = definition.sweeps(payload)
+            except Exception as exc:
+                wall = time.time() - start
+                outcome = ExperimentOutcome(
+                    exp_id=exp_id, status="failed", wall_seconds=wall,
+                    error=type(exc).__name__, message=str(exc))
+                outcomes.append(outcome)
+                if checkpoint is not None:
+                    checkpoint.record(outcome)
+                if not keep_going:
+                    raise
+                if not isinstance(exc, (ReproError, KeyError, ValueError,
+                                        ZeroDivisionError)):
+                    raise  # keep-going shields benchmark errors only
+                log(f"FAILED {exp_id}: {type(exc).__name__}: {exc}")
+                continue
+            wall = time.time() - start
+            outcome = ExperimentOutcome(
+                exp_id=exp_id, status="done", wall_seconds=wall,
+                claims_passed=sum(c.passed for c in checks),
+                claims_total=len(checks))
+            if on_result is not None:
+                on_result(exp_id, definition, sweeps, checks, wall)
+            outcomes.append(outcome)
+            if checkpoint is not None:
+                checkpoint.record(outcome)
+    return outcomes
+
+
+def write_failure_summary(outcomes: list[ExperimentOutcome],
+                          path: str | Path) -> Path:
+    """Write a campaign's failure summary as JSON (atomic).
+
+    Returns:
+        The path written.
+    """
+    failed = [o.to_json() for o in outcomes if o.status == "failed"]
+    summary = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "total": len(outcomes),
+        "done": sum(o.status == "done" for o in outcomes),
+        "skipped": sum(o.status == "skipped" for o in outcomes),
+        "failed": failed,
+    }
+    return atomic_write_text(Path(path),
+                             json.dumps(summary, indent=2) + "\n")

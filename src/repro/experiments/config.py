@@ -29,16 +29,59 @@ from repro.core.protocol import MeasurementProtocol
 #: Keys a config file may set (exactly the protocol's fields).
 ALLOWED_KEYS = frozenset(f.name for f in fields(MeasurementProtocol))
 
+#: Annotation string of each protocol field, the schema each config
+#: value is validated against ("int", "float", "int | None", ...).
+_FIELD_TYPES = {f.name: str(f.type) for f in fields(MeasurementProtocol)}
+
+
+def _validate_value(key: str, value: object, path: Path) -> object:
+    """Check one config value against the protocol field's schema.
+
+    Returns the (possibly coerced) value.
+
+    Raises:
+        ConfigurationError: Naming the offending key, the expected type,
+            and the value found — never a raw ``KeyError``/``TypeError``.
+    """
+    ftype = _FIELD_TYPES[key]
+    optional = "None" in ftype
+    base = ftype.replace(" | None", "")
+    if value is None:
+        if optional:
+            return None
+        raise ConfigurationError(
+            f"config key {key!r} in {path} must not be null "
+            f"(expected {base})")
+    if isinstance(value, bool):
+        raise ConfigurationError(
+            f"config key {key!r} in {path} must be a number, got a "
+            f"boolean ({value!r})")
+    if base == "int":
+        if not isinstance(value, int):
+            raise ConfigurationError(
+                f"config key {key!r} in {path} must be an integer, "
+                f"got {value!r}")
+        return value
+    if not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"config key {key!r} in {path} must be a number, "
+            f"got {value!r}")
+    return float(value)
+
 
 def load_config(path: str | Path) -> MeasurementProtocol:
     """Load a protocol from a JSON config file.
 
     Unknown keys are rejected loudly (a typo silently reverting to the
-    default would invalidate a run without anyone noticing).
+    default would invalidate a run without anyone noticing), and every
+    value is validated against the protocol field's schema so that bad
+    configs fail with a :class:`ConfigurationError` naming the offending
+    key instead of a raw ``KeyError``/``TypeError`` deep in a campaign.
 
     Raises:
         ConfigurationError: for unreadable files, non-object JSON,
-            unknown keys, or values the protocol rejects.
+            unknown keys, mistyped values, or values the protocol
+            rejects.
     """
     path = Path(path)
     try:
@@ -57,11 +100,12 @@ def load_config(path: str | Path) -> MeasurementProtocol:
         raise ConfigurationError(
             f"unknown config keys {sorted(unknown)}; allowed: "
             f"{sorted(ALLOWED_KEYS)}")
-    for key, value in raw.items():
-        if not isinstance(value, int):
-            raise ConfigurationError(
-                f"config key {key!r} must be an integer, got {value!r}")
-    return MeasurementProtocol(**raw)
+    clean = {key: _validate_value(key, value, path)
+             for key, value in raw.items()}
+    try:
+        return MeasurementProtocol(**clean)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"config file {path}: {exc}") from exc
 
 
 def write_example_config(path: str | Path) -> Path:

@@ -1,0 +1,128 @@
+"""Extension: the measurement protocol under injected faults.
+
+The paper's protocol (Section IV) is built to survive a noisy machine:
+repeated runs, attempt retries when the test measures faster than the
+baseline, medians instead of means.  This experiment quantifies that
+robustness by sweeping the *intensity* of a composite fault scenario
+(preemption bursts + dropped runs + thermal throttle + timer
+quantization — the ``stress-lab`` preset) on System 3's CPU and watching
+two things:
+
+* at low intensity the protocol still recovers the barrier's true cost
+  within tolerance — the retry/median machinery absorbs the faults;
+* as intensity grows, ``valid_fraction`` degrades monotonically and the
+  harshest point is visibly flagged (low validity, dropped runs, or a
+  recorded :class:`~repro.core.results.PointFailure`), i.e. the
+  protocol *reports* that it is drowning rather than emitting silently
+  wrong numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check
+from repro.compiler.ops import op_barrier
+from repro.core.engine import MeasurementEngine
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import Series, SweepResult
+from repro.cpu.affinity import Affinity
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import _measure_point, omp_barrier_spec
+from repro.faults.machine import FaultyMachine
+from repro.faults.presets import preset_scenario
+
+#: Scale factors applied to the ``stress-lab`` scenario (0 = clean).
+INTENSITIES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: Thread count held fixed while intensity sweeps.
+N_THREADS = 8
+
+#: Intensities the protocol must still recover the truth at.
+LOW_INTENSITY = 0.5
+
+#: Relative error allowed on the recovered barrier cost at low intensity.
+RECOVERY_TOL = 0.35
+
+
+def run_fault_tolerance(protocol: MeasurementProtocol | None = None
+                        ) -> SweepResult:
+    """Measure the barrier at N_THREADS across fault intensities.
+
+    Each intensity gets its own :class:`FaultyMachine` wrap (same seed,
+    scaled scenario) and a fresh engine, so the sweep is deterministic
+    and each point sees the scenario from its start (thermal ramps
+    restart at zero).
+
+    Returns:
+        One sweep, x = fault intensity, with the clean per-op truth in
+        ``metadata["true_per_op"]``.
+    """
+    machine = cpu_preset(3)
+    ctx = machine.context(N_THREADS, Affinity.SPREAD)
+    truth = machine.op_cost(op_barrier(), ctx)
+    sweep = SweepResult(
+        name="ext/fault_tolerance", x_label="fault_intensity",
+        unit=machine.time_unit,
+        metadata={"machine": machine.name, "threads": N_THREADS,
+                  "scenario": "stress-lab", "true_per_op": truth})
+    spec = omp_barrier_spec()
+    series = Series(label="barrier")
+    base = preset_scenario("stress-lab")
+    for intensity in INTENSITIES:
+        faulty = FaultyMachine(machine, base.scaled(intensity))
+        engine = MeasurementEngine(faulty, protocol)
+        fctx = faulty.context(N_THREADS, Affinity.SPREAD)
+        _measure_point(engine, sweep, series, spec, fctx, intensity,
+                       label=f"barrier/i={intensity:g}")
+    sweep.series.append(series)
+    return sweep
+
+
+def _point_at(series: Series, x: float):
+    """The series point at ``x``, or None if it was lost to faults."""
+    for point in series.points:
+        if point.x == x:
+            return point
+    return None
+
+
+def claims_fault_tolerance(payload: SweepResult) -> list[TrendCheck]:
+    """Verify recovery at low intensity and flagged degradation at high.
+
+    The sweep may legitimately *lose* its harshest points (recorded as
+    :class:`~repro.core.results.PointFailure`); a lost point counts as
+    flagged degradation, never as recovery.
+    """
+    series = payload.series_by_label("barrier")
+    truth = float(payload.metadata["true_per_op"])
+    checks: list[TrendCheck] = []
+
+    low = [i for i in INTENSITIES if i <= LOW_INTENSITY]
+    recovered = []
+    for intensity in low:
+        point = _point_at(series, intensity)
+        recovered.append(
+            point is not None and point.per_op_time is not None
+            and abs(point.per_op_time - truth) <= RECOVERY_TOL * truth)
+    checks.append(check(
+        f"protocol recovers the barrier cost within {RECOVERY_TOL:.0%} "
+        f"at intensity <= {LOW_INTENSITY:g}", all(recovered)))
+
+    fractions = []
+    for intensity in INTENSITIES:
+        point = _point_at(series, intensity)
+        fractions.append(0.0 if point is None
+                         else point.result.valid_fraction)
+    monotone = all(later <= earlier + 0.12
+                   for earlier, later in zip(fractions, fractions[1:]))
+    checks.append(check(
+        "valid_fraction degrades monotonically with fault intensity "
+        f"(observed {[round(f, 2) for f in fractions]})", monotone))
+
+    harsh = _point_at(series, INTENSITIES[-1])
+    flagged = (harsh is None
+               or harsh.result.valid_fraction < 0.75
+               or harsh.result.dropped_runs > 0)
+    checks.append(check(
+        f"harshest intensity ({INTENSITIES[-1]:g}) is visibly flagged "
+        "(lost point, low validity, or dropped runs)", flagged))
+    return checks

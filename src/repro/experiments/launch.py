@@ -9,19 +9,41 @@ Usage::
     syncperf --list              # show the experiment index
     syncperf fig1 --csv out/     # also write runtimes.csv per sweep
     syncperf fig1 --chart        # render ASCII charts
+    syncperf all --faults storm --keep-going --results out/
+                                 # fault-injected resilient campaign
+    syncperf all --results out/ --resume
+                                 # restart where a killed campaign left off
 
 Like the artifact, results land in per-experiment files when ``--csv`` is
 given (the artifact writes ``./results/<hostname>/.../runtimes.csv``).
+
+Robustness: library errors are caught at this boundary and reported as a
+one-line diagnostic with a per-category exit code (config=2,
+measurement=3, simulation=4, other=5; claim mismatches keep exit 1).
+``--keep-going`` records failing experiments in a failure summary and
+continues; ``--resume`` consults the atomic checkpoint manifest
+(``--checkpoint``, default ``<results>/campaign.json``) to skip finished
+experiments.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis.ascii_chart import render_chart
+from repro.common.errors import ReproError
+from repro.experiments.campaign import (
+    EXIT_CLAIMS,
+    EXIT_OK,
+    CampaignCheckpoint,
+    campaign_fingerprint,
+    error_exit_code,
+    error_name_exit_code,
+    run_campaign,
+    write_failure_summary,
+)
 from repro.experiments.registry import EXPERIMENTS, experiments_of_kind
 
 
@@ -47,8 +69,7 @@ def _select(targets: list[str]) -> list[str]:
     return ordered
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry for the ``syncperf`` command."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="syncperf",
         description="Run the SyncPerformance reproduction experiments.")
@@ -71,6 +92,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--config", metavar="FILE",
                         help="JSON file overriding the measurement "
                              "protocol (n_runs, n_iter, unroll, seed, ...)")
+    parser.add_argument("--faults", metavar="SCENARIO",
+                        help="inject machine faults: a preset name "
+                             "('list' to enumerate), optionally scaled "
+                             "('storm@0.5'), or a DSL expression like "
+                             "'preempt(prob=0.05)+drop(drop_prob=0.01)'")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record failing experiments in a failure "
+                             "summary and continue the campaign")
+    parser.add_argument("--checkpoint", metavar="FILE",
+                        help="campaign checkpoint manifest (default: "
+                             "<results>/campaign.json when --results is "
+                             "given)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments the checkpoint manifest "
+                             "already records as completed")
     parser.add_argument("--matrix", action="store_true",
                         help="run the whole-experiment parameter matrix "
                              "(the artifact's 72-hour launch.py all) "
@@ -84,8 +120,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="profile every primitive on one machine "
                              "(cpu1..cpu3, gpu1..gpu3) and print the "
                              "markdown table")
-    args = parser.parse_args(argv)
+    return parser
 
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry for the ``syncperf`` command.
+
+    Library errors never escape as tracebacks: they are reported on
+    stderr as one line and mapped to a per-category exit code.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"syncperf: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return error_exit_code(exc)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     protocol = None
     if args.config:
         from repro.experiments.config import load_config
@@ -95,61 +147,65 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         for exp_id, d in EXPERIMENTS.items():
             print(f"{exp_id:15s} {d.figure:10s} [{d.kind}] {d.title}")
-        return 0
+        return EXIT_OK
+
+    scenario = None
+    if args.faults:
+        from repro.faults import PRESETS, resolve_faults
+        if args.faults == "list":
+            for name in sorted(PRESETS):
+                print(PRESETS[name].describe())
+            return EXIT_OK
+        seed = protocol.seed if protocol else 0
+        scenario = resolve_faults(args.faults, seed=seed)
+        print(f"injecting faults — {scenario.describe()}")
 
     if args.characterize:
-        from repro.characterize import characterize_cpu, characterize_gpu
-        from repro.cpu.presets import cpu_preset
-        from repro.gpu.presets import gpu_preset
-        target = args.characterize.lower()
-        if len(target) != 4 or target[:3] not in ("cpu", "gpu") or \
-                not target[3].isdigit():
-            raise SystemExit(
-                f"--characterize expects cpu1..cpu3 or gpu1..gpu3, "
-                f"got {args.characterize!r}")
-        system = int(target[3])
-        if target.startswith("cpu"):
-            report = characterize_cpu(cpu_preset(system), protocol)
-        else:
-            report = characterize_gpu(gpu_preset(system), protocol)
-        print(report.to_markdown())
-        return 0
+        return _characterize(args, protocol, scenario)
 
     if args.matrix:
-        from repro.experiments.matrix import run_full_matrix, \
-            save_full_matrix
-        systems = tuple(int(s) for s in args.systems.split(","))
-        print(f"running the full matrix on systems {systems} "
-              "(the artifact's whole-experiment workflow)...")
-        results = run_full_matrix(systems=systems, protocol=protocol)
-        print(f"completed {len(results)} sweeps")
-        if args.results:
-            written = save_full_matrix(results, Path(args.results))
-            print(f"wrote {written} files under {args.results}")
-        return 0
+        return _matrix(args, protocol, scenario)
 
     ids = _select(args.targets or ["all"])
+
+    checkpoint = None
+    checkpoint_path = args.checkpoint or (
+        str(Path(args.results) / "campaign.json") if args.results else None)
+    if args.resume and checkpoint_path is None:
+        from repro.common.errors import ConfigurationError
+        raise ConfigurationError(
+            "--resume needs a manifest: pass --checkpoint FILE or "
+            "--results DIR")
+    if checkpoint_path is not None:
+        checkpoint = CampaignCheckpoint.open(
+            checkpoint_path,
+            fingerprint=campaign_fingerprint(scenario, protocol),
+            resume=args.resume)
+        checkpoint.save()
+
     print(f"running {len(ids)} experiment(s): {', '.join(ids)}")
-    failures = 0
-    for exp_id in ids:
-        definition = EXPERIMENTS[exp_id]
-        start = time.time()
-        payload = definition.run(protocol)
-        checks = definition.claims(payload)
-        wall = time.time() - start
+    claim_failures = 0
+    point_failures = 0
+
+    def on_result(exp_id, definition, sweeps, checks, wall):
+        nonlocal claim_failures, point_failures
         n_pass = sum(c.passed for c in checks)
         print(f"\n=== {exp_id} ({definition.figure}) — {definition.title} "
               f"[{wall:.1f}s] ===")
         for c in checks:
             print(f"  {c}")
-        failures += len(checks) - n_pass
-        sweeps = definition.sweeps(payload)
+        claim_failures += len(checks) - n_pass
+        for sweep in sweeps:
+            for failure in sweep.failures:
+                point_failures += 1
+                print(f"  [LOST] {failure}")
         if args.csv:
             out_dir = Path(args.csv)
             out_dir.mkdir(parents=True, exist_ok=True)
+            from repro.core.results_io import atomic_write_text
             for sweep in sweeps:
                 safe = sweep.name.replace("/", "_")
-                (out_dir / f"{safe}.csv").write_text(sweep.to_csv())
+                atomic_write_text(out_dir / f"{safe}.csv", sweep.to_csv())
             if sweeps:
                 print(f"  wrote {len(sweeps)} csv file(s) to {out_dir}")
         if args.results:
@@ -167,9 +223,74 @@ def main(argv: list[str] | None = None) -> int:
             for sweep in sweeps:
                 print()
                 print(render_chart(sweep, log_x=definition.kind == "cuda"))
-    print(f"\n{'OK' if failures == 0 else 'FAILURES'}: "
-          f"{failures} claim(s) not reproduced")
-    return 0 if failures == 0 else 1
+
+    outcomes = run_campaign(
+        ids, protocol=protocol, keep_going=args.keep_going,
+        scenario=scenario, checkpoint=checkpoint, on_result=on_result)
+
+    failed = [o for o in outcomes if o.status == "failed"]
+    skipped = sum(o.status == "skipped" for o in outcomes)
+    if skipped:
+        print(f"\nresumed: skipped {skipped} completed experiment(s)")
+    if failed:
+        print(f"\n{len(failed)} experiment(s) failed:")
+        for o in failed:
+            print(f"  {o.exp_id}: {o.error}: {o.message}")
+        summary_path = None
+        if args.results:
+            summary_path = Path(args.results) / "failures.json"
+        elif checkpoint_path is not None:
+            summary_path = Path(checkpoint_path).with_suffix(
+                ".failures.json")
+        if summary_path is not None:
+            write_failure_summary(outcomes, summary_path)
+            print(f"  failure summary: {summary_path}")
+    if point_failures:
+        print(f"\n{point_failures} sweep point(s) lost to faults "
+              "(recorded in the sweeps' failure lists)")
+    print(f"\n{'OK' if claim_failures == 0 else 'FAILURES'}: "
+          f"{claim_failures} claim(s) not reproduced")
+    if failed:
+        return max(error_name_exit_code(o.error) for o in failed)
+    return EXIT_OK if claim_failures == 0 else EXIT_CLAIMS
+
+
+def _characterize(args: argparse.Namespace, protocol: object,
+                  scenario: object) -> int:
+    from repro.characterize import characterize_cpu, characterize_gpu
+    from repro.cpu.presets import cpu_preset
+    from repro.faults.scenario import use_faults
+    from repro.gpu.presets import gpu_preset
+    target = args.characterize.lower()
+    if len(target) != 4 or target[:3] not in ("cpu", "gpu") or \
+            not target[3].isdigit():
+        raise SystemExit(
+            f"--characterize expects cpu1..cpu3 or gpu1..gpu3, "
+            f"got {args.characterize!r}")
+    system = int(target[3])
+    with use_faults(scenario):
+        if target.startswith("cpu"):
+            report = characterize_cpu(cpu_preset(system), protocol)
+        else:
+            report = characterize_gpu(gpu_preset(system), protocol)
+    print(report.to_markdown())
+    return EXIT_OK
+
+
+def _matrix(args: argparse.Namespace, protocol: object,
+            scenario: object) -> int:
+    from repro.experiments.matrix import run_full_matrix, save_full_matrix
+    from repro.faults.scenario import use_faults
+    systems = tuple(int(s) for s in args.systems.split(","))
+    print(f"running the full matrix on systems {systems} "
+          "(the artifact's whole-experiment workflow)...")
+    with use_faults(scenario):
+        results = run_full_matrix(systems=systems, protocol=protocol)
+    print(f"completed {len(results)} sweeps")
+    if args.results:
+        written = save_full_matrix(results, Path(args.results))
+        print(f"wrote {written} files under {args.results}")
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

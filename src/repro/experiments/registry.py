@@ -24,6 +24,7 @@ from repro.experiments import (
     cuda_threadfence,
     ext_cross_system,
     ext_divergence,
+    ext_fault_tolerance,
     ext_reduction_strategies,
     listing1,
     omp_atomic_array,
@@ -234,6 +235,14 @@ def _build() -> dict[str, ExperimentDef]:
             lambda proto=None: ext_cross_system.run_cross_system(proto),
             ext_cross_system.claims_cross_system,
             _dict_sweeps),
+        ExperimentDef(
+            "ext-faults", "§IV (robustness)",
+            "Protocol recovers under injected faults; degradation is "
+            "flagged", "extension",
+            lambda proto=None: ext_fault_tolerance.run_fault_tolerance(
+                proto),
+            ext_fault_tolerance.claims_fault_tolerance,
+            _single_sweep),
         ExperimentDef(
             "ext-reduce", "§V-A5",
             "Reduction strategies: privatized > atomic > critical",

@@ -1,0 +1,60 @@
+"""Deterministic fault injection for the measurement substrate.
+
+This package stresses the paper's measurement protocol (§III/IV): it
+wraps any machine — CPU or GPU — and perturbs its measured-time surface
+with composable, seeded fault models (thermal throttling, preemption
+storms, timer quantization, clock drift, memory-stall episodes, dropped
+runs).  The engine's retry/subtraction protocol then either recovers the
+true primitive costs or flags the degradation; the ``ext-faults``
+experiment sweeps fault intensity to map exactly where recovery stops.
+
+Entry points:
+
+* :func:`resolve_faults` — turn a ``--faults`` argument (preset name or
+  DSL string) into a :class:`FaultScenario`;
+* :func:`use_faults` / :func:`active_scenario` — campaign-wide scenario
+  activation consumed by :class:`repro.core.engine.MeasurementEngine`;
+* :func:`wrap_machine` / :class:`FaultyMachine` — explicit wrapping for
+  targeted experiments.
+"""
+
+from repro.faults.machine import FaultyMachine, wrap_machine
+from repro.faults.models import (
+    MODEL_KINDS,
+    ClockDrift,
+    DroppedRun,
+    FaultModel,
+    MemoryStall,
+    PreemptionBurst,
+    ThermalThrottle,
+    TimerQuantize,
+    build_model,
+)
+from repro.faults.presets import PRESETS, preset_scenario, resolve_faults
+from repro.faults.scenario import (
+    FaultScenario,
+    active_scenario,
+    parse_scenario,
+    use_faults,
+)
+
+__all__ = [
+    "MODEL_KINDS",
+    "PRESETS",
+    "ClockDrift",
+    "DroppedRun",
+    "FaultModel",
+    "FaultScenario",
+    "FaultyMachine",
+    "MemoryStall",
+    "PreemptionBurst",
+    "ThermalThrottle",
+    "TimerQuantize",
+    "active_scenario",
+    "build_model",
+    "parse_scenario",
+    "preset_scenario",
+    "resolve_faults",
+    "use_faults",
+    "wrap_machine",
+]

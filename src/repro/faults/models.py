@@ -1,0 +1,317 @@
+"""Composable, seeded fault models for the measurement-time surface.
+
+Each model perturbs the *total sampled time* of one timed measurement
+(one ``run_noise`` call made by the engine — two per protocol attempt:
+baseline then test).  Models are frozen dataclasses; any per-campaign
+state (burst countdowns, tick counters) lives in an external ``state``
+dict owned by the :class:`~repro.faults.machine.FaultyMachine`, so the
+same model instance can drive many independent, deterministic campaigns.
+
+The catalogue mirrors real machine pathologies the paper's protocol must
+survive (§IV cites Vicente & Matias' Linux OS-jitter study):
+
+* :class:`ThermalThrottle` — sustained load drops the clock; costs ramp
+  up over the campaign and hold at a peak slowdown.
+* :class:`PreemptionBurst` — daemon-wakeup storms beyond the jitter
+  model's spike term: several consecutive timed sections lose the core.
+* :class:`TimerQuantize` — a coarse clock source truncates every reading
+  to its granularity (the paper's "timer accuracy" caveat).
+* :class:`ClockDrift` — an uncalibrated time source drifts slowly over
+  the campaign, skewing late measurements against early ones.
+* :class:`MemoryStall` — transient episodes (DRAM refresh storms, page
+  migration) inflate memory-bound sections proportionally to their cost.
+* :class:`DroppedRun` — a measurement process hangs or is killed: the
+  attempt yields no data at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, FaultInjectionError
+
+
+def _capped_prob(p: float) -> float:
+    """Clamp a scaled probability into [0, 0.97] (never certain)."""
+    return min(max(p, 0.0), 0.97)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base class: one deterministic perturbation of sampled times.
+
+    Subclasses override :meth:`apply` (and :meth:`scaled` when linear
+    scaling of every field is not the right intensity notion).
+    """
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Perturb one timed measurement.
+
+        Args:
+            total: The sampled time so far (cost + jitter, clamped >= 0),
+                possibly already perturbed by earlier models in the
+                scenario.
+            base_cost: The deterministic per-op cost being measured
+                (for proportional faults).
+            rng: The scenario's dedicated fault stream (never the
+                machine's jitter stream, so enabling faults does not
+                reshuffle the underlying jitter).
+            state: Mutable per-campaign scratch space for this model.
+
+        Returns:
+            The perturbed time.
+
+        Raises:
+            FaultInjectionError: When the fault makes the attempt yield
+                no data at all (see :class:`DroppedRun`).
+        """
+        raise NotImplementedError
+
+    def scaled(self, intensity: float) -> "FaultModel":
+        """A copy with magnitudes/probabilities scaled by ``intensity``.
+
+        Intensity 0 must always yield a no-op model; intensity 1 is the
+        model as configured.  The default implementation scales every
+        float field (probabilities are additionally capped below 1) and
+        leaves int fields alone.
+        """
+        updates: dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, bool) or not isinstance(value, float):
+                continue
+            scaled_value = value * intensity
+            if f.name.endswith("prob"):
+                scaled_value = _capped_prob(scaled_value)
+            updates[f.name] = scaled_value
+        return replace(self, **updates)
+
+    def _tick(self, state: dict) -> int:
+        """Advance and return this model's measurement counter."""
+        tick = state.get("tick", 0)
+        state["tick"] = tick + 1
+        return tick
+
+
+@dataclass(frozen=True)
+class ThermalThrottle(FaultModel):
+    """Clock throttling under sustained load.
+
+    Hardware analogue: a laptop or passively-cooled part whose sustained
+    benchmark load trips thermal limits; every measured section slows
+    down by a ramping multiplicative factor.
+
+    Attributes:
+        onset: Timed measurement index at which throttling begins.
+        ramp: Measurements over which the slowdown ramps to its peak.
+        peak: Multiplicative slowdown at full throttle (1.0 = none).
+    """
+
+    onset: int = 60
+    ramp: int = 240
+    peak: float = 1.25
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Multiply the sample by the current ramp position's slowdown."""
+        tick = self._tick(state)
+        if self.ramp <= 0:
+            progress = 1.0 if tick >= self.onset else 0.0
+        else:
+            progress = min(max((tick - self.onset) / self.ramp, 0.0), 1.0)
+        return total * (1.0 + (self.peak - 1.0) * progress)
+
+    def scaled(self, intensity: float) -> "ThermalThrottle":
+        """Scale the *excess* slowdown, keeping onset/ramp geometry."""
+        return replace(self, peak=1.0 + (self.peak - 1.0) * intensity)
+
+
+@dataclass(frozen=True)
+class PreemptionBurst(FaultModel):
+    """Daemon-wakeup storms stealing consecutive timed sections.
+
+    Hardware analogue: cron jobs, page-cache writeback, or an interrupt
+    storm preempting the benchmark thread for several timer periods in a
+    row — bigger and burstier than the jitter model's independent
+    per-run spike term.
+
+    Attributes:
+        prob: Probability that a storm starts at any timed measurement.
+        length: Consecutive measurements hit once a storm starts.
+        magnitude_ns: Additive theft per affected measurement.
+        rel: Additional theft as a fraction of the measured cost.
+    """
+
+    prob: float = 0.02
+    length: int = 1
+    magnitude_ns: float = 4000.0
+    rel: float = 0.25
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Add the storm penalty while a burst is active."""
+        remaining = state.get("remaining", 0)
+        if remaining > 0:
+            state["remaining"] = remaining - 1
+            return total + self.magnitude_ns + self.rel * base_cost
+        if self.prob > 0.0 and rng.random() < self.prob:
+            state["remaining"] = self.length - 1
+            return total + self.magnitude_ns + self.rel * base_cost
+        return total
+
+
+@dataclass(frozen=True)
+class TimerQuantize(FaultModel):
+    """A coarse clock source truncating every reading.
+
+    Hardware analogue: a platform timer with tens-of-nanoseconds
+    granularity (the paper leans on ``clock64()``/``omp_get_wtime()``
+    precisely because coarse timers bury small primitives).
+
+    Attributes:
+        granularity_ns: Reading resolution; 0 disables the fault.
+    """
+
+    granularity_ns: float = 8.0
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Truncate the sample to the timer granularity."""
+        if self.granularity_ns <= 0.0:
+            return total
+        return math.floor(total / self.granularity_ns) * self.granularity_ns
+
+
+@dataclass(frozen=True)
+class ClockDrift(FaultModel):
+    """A slowly drifting time source.
+
+    Hardware analogue: an uncalibrated TSC or a VM clock losing time
+    against wall time, so measurements late in a campaign read
+    systematically longer than early ones.
+
+    Attributes:
+        per_tick: Fractional drift added per timed measurement.
+        cap: Maximum total drift fraction.
+    """
+
+    per_tick: float = 2e-5
+    cap: float = 0.02
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Stretch the sample by the accumulated drift."""
+        tick = self._tick(state)
+        return total * (1.0 + min(self.cap, self.per_tick * tick))
+
+
+@dataclass(frozen=True)
+class MemoryStall(FaultModel):
+    """Transient memory-subsystem stall episodes.
+
+    Hardware analogue: DRAM refresh storms, NUMA page migration, or a
+    co-tenant saturating the memory bus for a stretch; memory-bound
+    sections inflate proportionally while the episode lasts.
+
+    Attributes:
+        prob: Probability an episode starts at any timed measurement.
+        length: Consecutive measurements covered by one episode.
+        stall_rel: Inflation as a fraction of the measured cost.
+        stall_abs_ns: Additive inflation floor.
+    """
+
+    prob: float = 0.01
+    length: int = 3
+    stall_rel: float = 0.5
+    stall_abs_ns: float = 30.0
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Inflate the sample while an episode is active."""
+        remaining = state.get("remaining", 0)
+        if remaining > 0:
+            state["remaining"] = remaining - 1
+            return total * (1.0 + self.stall_rel) + self.stall_abs_ns
+        if self.prob > 0.0 and rng.random() < self.prob:
+            state["remaining"] = self.length - 1
+            return total * (1.0 + self.stall_rel) + self.stall_abs_ns
+        return total
+
+
+@dataclass(frozen=True)
+class DroppedRun(FaultModel):
+    """A measurement that hangs or dies, producing no data.
+
+    Hardware analogue: the benchmark process OOM-killed, wedged on a
+    driver call, or preempted past its watchdog.  The engine treats the
+    attempt like the paper treats a faulty measurement — discard and
+    retry — until its attempt/time budgets run out.
+
+    Attributes:
+        drop_prob: Probability one timed measurement is killed outright.
+        hang_prob: Probability it hangs until the watchdog fires
+            (same observable effect, distinct diagnostic).
+    """
+
+    drop_prob: float = 0.01
+    hang_prob: float = 0.0
+
+    def apply(self, total: float, base_cost: float,
+              rng: np.random.Generator, state: dict) -> float:
+        """Raise :class:`FaultInjectionError` when the fault fires."""
+        if self.drop_prob <= 0.0 and self.hang_prob <= 0.0:
+            return total
+        draw = rng.random()
+        if draw < self.drop_prob:
+            raise FaultInjectionError(
+                f"injected fault: measurement process killed "
+                f"(drop_prob={self.drop_prob:g})")
+        if draw < self.drop_prob + self.hang_prob:
+            raise FaultInjectionError(
+                f"injected fault: measurement hung past the watchdog "
+                f"(hang_prob={self.hang_prob:g})")
+        return total
+
+
+#: DSL/registry names for each model (see ``repro.faults.scenario``).
+MODEL_KINDS: dict[str, type[FaultModel]] = {
+    "thermal": ThermalThrottle,
+    "preempt": PreemptionBurst,
+    "quantize": TimerQuantize,
+    "drift": ClockDrift,
+    "memstall": MemoryStall,
+    "drop": DroppedRun,
+}
+
+
+def build_model(kind: str, **params: object) -> FaultModel:
+    """Construct a fault model by DSL name with validated parameters.
+
+    Raises:
+        ConfigurationError: For an unknown model name or parameter, or a
+            parameter value of the wrong type.
+    """
+    if kind not in MODEL_KINDS:
+        raise ConfigurationError(
+            f"unknown fault model {kind!r}; available: "
+            f"{sorted(MODEL_KINDS)}")
+    cls = MODEL_KINDS[kind]
+    valid = {f.name: f for f in fields(cls)}
+    coerced: dict[str, object] = {}
+    for name, value in params.items():
+        if name not in valid:
+            raise ConfigurationError(
+                f"fault model {kind!r} has no parameter {name!r}; "
+                f"valid: {sorted(valid)}")
+        want_int = valid[name].type == "int"
+        try:
+            coerced[name] = int(value) if want_int else float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"fault parameter {kind}.{name} must be a number, got "
+                f"{value!r}") from exc
+    return cls(**coerced)  # type: ignore[arg-type]

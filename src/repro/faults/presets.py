@@ -1,0 +1,115 @@
+"""Named fault-scenario presets and the ``--faults`` resolver.
+
+Each preset is a plausible machine pathology profile, usable directly
+(``syncperf all --faults noisy-amd``) or as the base of an intensity
+sweep (:meth:`~repro.faults.scenario.FaultScenario.scaled`).  Arbitrary
+compositions remain available through the DSL
+(:func:`~repro.faults.scenario.parse_scenario`).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.faults.models import (
+    ClockDrift,
+    DroppedRun,
+    MemoryStall,
+    PreemptionBurst,
+    ThermalThrottle,
+    TimerQuantize,
+)
+from repro.faults.scenario import FaultScenario, parse_scenario
+
+#: The built-in scenario catalogue (name -> scenario at intensity 1).
+PRESETS: dict[str, FaultScenario] = {
+    # A mostly-healthy machine: rare short preemptions, fine timer.
+    "calm": FaultScenario(
+        "calm",
+        (PreemptionBurst(prob=0.004, length=1, magnitude_ns=1500.0),
+         TimerQuantize(granularity_ns=2.0))),
+    # Fig. 4a's visibly noisier AMD part, exaggerated: stormier OS
+    # jitter plus occasional memory-bus contention.
+    "noisy-amd": FaultScenario(
+        "noisy-amd",
+        (PreemptionBurst(prob=0.02, length=2, magnitude_ns=3000.0),
+         MemoryStall(prob=0.01, length=3, stall_rel=0.4)),
+        jitter_storm=2.5),
+    # A thermally limited part: costs ramp up as the campaign heats it.
+    "thermal-laptop": FaultScenario(
+        "thermal-laptop",
+        (ThermalThrottle(onset=40, ramp=160, peak=1.35),
+         PreemptionBurst(prob=0.01, length=1, magnitude_ns=2000.0))),
+    # A coarse, drifting clock source.
+    "flaky-timer": FaultScenario(
+        "flaky-timer",
+        (TimerQuantize(granularity_ns=25.0),
+         ClockDrift(per_tick=5e-5, cap=0.03))),
+    # A daemon-wakeup storm with casualties.
+    "storm": FaultScenario(
+        "storm",
+        (PreemptionBurst(prob=0.08, length=3, magnitude_ns=8000.0,
+                         rel=0.5),
+         MemoryStall(prob=0.03, length=4, stall_rel=0.6),
+         DroppedRun(drop_prob=0.02))),
+    # Measurements that simply vanish (OOM kills, wedged driver calls).
+    "lossy": FaultScenario(
+        "lossy", (DroppedRun(drop_prob=0.12, hang_prob=0.04),)),
+    # The validation profile swept by the ext-faults experiment: every
+    # failure mode at once, at magnitudes where intensity 1 is survivable
+    # and intensity >= 4 visibly degrades the protocol.
+    "stress-lab": FaultScenario(
+        "stress-lab",
+        (PreemptionBurst(prob=0.05, length=1, magnitude_ns=6000.0),
+         DroppedRun(drop_prob=0.16),
+         ThermalThrottle(onset=20, ramp=120, peak=1.08),
+         TimerQuantize(granularity_ns=2.0))),
+}
+
+
+def preset_scenario(name: str) -> FaultScenario:
+    """Look up a preset by name.
+
+    Raises:
+        ConfigurationError: Unknown preset (message lists the catalogue).
+    """
+    try:
+        return PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; available presets: "
+            f"{sorted(PRESETS)} (or compose one, e.g. "
+            f"'preempt(prob=0.05)+drop(drop_prob=0.01)')") from exc
+
+
+def resolve_faults(text: str, seed: int = 0) -> FaultScenario:
+    """Resolve a ``--faults`` argument: preset name, or DSL expression.
+
+    An optional ``@intensity`` suffix scales the scenario, e.g.
+    ``stress-lab@2`` or ``preempt(prob=0.1)@0.5``.
+
+    Raises:
+        ConfigurationError: Unknown preset / malformed DSL or intensity.
+    """
+    intensity = None
+    if "@" in text:
+        text, _, suffix = text.rpartition("@")
+        try:
+            intensity = float(suffix)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad fault intensity {suffix!r}; expected a number"
+            ) from exc
+    if text in PRESETS:
+        scenario = PRESETS[text].with_seed(seed)
+    elif "(" in text or "+" in text or text in _model_names():
+        scenario = parse_scenario(text, seed=seed)
+    else:
+        scenario = preset_scenario(text)  # raises with the catalogue
+    if intensity is not None:
+        scenario = scenario.scaled(intensity)
+    return scenario
+
+
+def _model_names() -> frozenset[str]:
+    from repro.faults.models import MODEL_KINDS
+    return frozenset(MODEL_KINDS)

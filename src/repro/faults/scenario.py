@@ -1,0 +1,142 @@
+"""Fault scenarios: named, seeded compositions of fault models.
+
+A :class:`FaultScenario` is the unit the CLI and experiments work with:
+an ordered tuple of :class:`~repro.faults.models.FaultModel` instances
+plus a seed and an optional amplification of the machine's own OS-jitter
+model.  Scenarios are declared either as presets
+(:mod:`repro.faults.presets`) or through a tiny DSL::
+
+    thermal(peak=1.4)+preempt(prob=0.05,magnitude_ns=8000)+drop(drop_prob=0.02)
+
+Determinism contract: given (scenario name, seed, machine) the injected
+fault sequence is a pure function of the order of timed measurements, so
+two identical campaigns produce byte-identical result files.
+
+The module also holds the *active scenario* used by
+:class:`repro.core.engine.MeasurementEngine` to transparently wrap any
+machine it is handed — this is how ``syncperf --faults`` reaches every
+experiment without each experiment knowing about fault injection.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import re
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.common.errors import ConfigurationError
+from repro.faults.models import FaultModel, build_model
+
+_MODEL_RE = re.compile(r"^\s*([a-z_]+)\s*(?:\(([^)]*)\))?\s*$")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One named composition of fault models.
+
+    Attributes:
+        name: Scenario identifier (appears in fault RNG labels, so it is
+            part of the determinism key).
+        faults: Models applied in order to every timed measurement.
+        seed: Seed of the scenario's dedicated fault stream.
+        jitter_storm: Amplification of the wrapped machine's own
+            OS-jitter spike term (CPU machines only; 1.0 = unchanged).
+            This is the "beyond the spike model" knob: the machine's
+            modelled jitter gets stormier *and* the fault models fire on
+            top of it.
+    """
+
+    name: str
+    faults: tuple[FaultModel, ...] = ()
+    seed: int = 0
+    jitter_storm: float = 1.0
+
+    def with_seed(self, seed: int) -> "FaultScenario":
+        """Copy with a different fault-stream seed."""
+        return replace(self, seed=seed)
+
+    def scaled(self, intensity: float) -> "FaultScenario":
+        """Copy with every model's intensity scaled.
+
+        Intensity 0 yields a fault-free scenario (the clean control of a
+        fault-tolerance sweep); intensity 1 is the scenario as declared.
+        """
+        if intensity < 0:
+            raise ConfigurationError(
+                f"fault intensity must be >= 0, got {intensity}")
+        name = f"{self.name}@{intensity:g}"
+        if intensity == 0:
+            return replace(self, name=name, faults=(), jitter_storm=1.0)
+        return replace(
+            self, name=name,
+            faults=tuple(f.scaled(intensity) for f in self.faults),
+            jitter_storm=1.0 + (self.jitter_storm - 1.0) * intensity)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the composition."""
+        parts = [type(f).__name__ for f in self.faults]
+        if self.jitter_storm != 1.0:
+            parts.append(f"jitter_storm x{self.jitter_storm:g}")
+        inner = ", ".join(parts) if parts else "no faults"
+        return f"{self.name}: {inner} (seed {self.seed})"
+
+
+def parse_scenario(text: str, seed: int = 0,
+                   name: str | None = None) -> FaultScenario:
+    """Parse a scenario DSL string into a :class:`FaultScenario`.
+
+    Grammar: ``model[(k=v,...)] + model[(k=v,...)] + ...`` where model
+    names come from :data:`repro.faults.models.MODEL_KINDS`.
+
+    Raises:
+        ConfigurationError: On syntax errors, unknown models, or
+            unknown/badly-typed parameters.
+    """
+    if not text.strip():
+        raise ConfigurationError("empty fault scenario")
+    models: list[FaultModel] = []
+    for token in text.split("+"):
+        match = _MODEL_RE.match(token)
+        if not match:
+            raise ConfigurationError(
+                f"bad fault term {token!r}; expected "
+                f"'model' or 'model(key=value,...)'")
+        kind, arg_text = match.group(1), match.group(2) or ""
+        params: dict[str, str] = {}
+        for pair in filter(None, (p.strip() for p in arg_text.split(","))):
+            if "=" not in pair:
+                raise ConfigurationError(
+                    f"bad fault parameter {pair!r} in {token!r}; "
+                    f"expected key=value")
+            key, value = pair.split("=", 1)
+            params[key.strip()] = value.strip()
+        models.append(build_model(kind, **params))
+    return FaultScenario(name=name or text.strip(), faults=tuple(models),
+                         seed=seed)
+
+
+_ACTIVE: FaultScenario | None = None
+
+
+def active_scenario() -> FaultScenario | None:
+    """The scenario engines should wrap machines with, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_faults(scenario: FaultScenario | None
+               ) -> Iterator[FaultScenario | None]:
+    """Activate a fault scenario for every engine built in the block.
+
+    The CLI wraps a whole campaign in this so that experiments — which
+    construct their machines and engines internally — are perturbed
+    without any per-experiment plumbing.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = scenario
+    try:
+        yield scenario
+    finally:
+        _ACTIVE = previous

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.results."""
 
-import math
 
 import pytest
 

@@ -118,8 +118,8 @@ class TestMatchFunctions:
 
         out = np.zeros(32, np.int64)
         cuda.launch(kernel, LaunchConfig(1, 32), globals_={"out": out})
-        even_mask = sum(1 << l for l in range(0, 32, 2))
-        odd_mask = sum(1 << l for l in range(1, 32, 2))
+        even_mask = sum(1 << lane for lane in range(0, 32, 2))
+        odd_mask = sum(1 << lane for lane in range(1, 32, 2))
         for lane, mask in enumerate(out.tolist()):
             assert mask == (even_mask if lane % 2 == 0 else odd_mask)
 

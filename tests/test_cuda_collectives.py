@@ -64,7 +64,7 @@ class TestShflXor:
             yield t.global_write("out", t.global_id, got)
 
         out = run(cuda, kernel)
-        assert out.tolist() == [l ^ 1 for l in range(32)]
+        assert out.tolist() == [lane ^ 1 for lane in range(32)]
 
     def test_xor_reduction_computes_warp_max(self, cuda):
         # The Reduction-2 shuffle tree from Listing 1.
@@ -115,7 +115,7 @@ class TestVotes:
             got = yield t.ballot_sync(t.lane % 2 == 0)
             yield t.global_write("out", t.global_id, got)
 
-        expected = sum(1 << l for l in range(0, 32, 2))
+        expected = sum(1 << lane for lane in range(0, 32, 2))
         assert run(cuda, kernel).tolist() == [expected] * 32
 
 

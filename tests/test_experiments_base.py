@@ -1,6 +1,5 @@
 """Unit tests for the experiment plumbing (spec builders, sweep drivers)."""
 
-import pytest
 
 from repro.common.datatypes import DOUBLE, INT
 from repro.compiler.ops import PrimitiveKind, Scope

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compiler.ops import Op, op_barrier
+from repro.compiler.ops import op_barrier
 from repro.core.engine import MeasurementEngine
 from repro.core.protocol import MeasurementProtocol
 from repro.core.spec import MeasurementSpec

@@ -6,7 +6,6 @@ any mismatch means the cost models or the protocol changed; recalibrate
 intentionally with ``python -m repro.experiments.golden --write``.
 """
 
-import pytest
 
 from repro.experiments.golden import (
     GOLDEN_SWEEPS,

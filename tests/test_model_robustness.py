@@ -14,7 +14,6 @@ from dataclasses import asdict
 import pytest
 
 from repro.cpu.costs import CpuCostParams
-from repro.cpu.jitter import JitterModel
 from repro.cpu.machine import CpuMachine
 from repro.cpu.presets import SYSTEM3_CPU
 from repro.gpu.atomic_units import AtomicUnitModel
