@@ -1,0 +1,247 @@
+"""The engine benchmark suite: ``python -m repro.bench``.
+
+Times the measurement fast path against the retained scalar reference
+path (:func:`repro.core.engine.reference_engine`) at three granularities
+— the raw protocol kernel, a representative sweep, and a full campaign
+(serial vs ``jobs=N``) — and writes ``BENCH_engine.json`` at the repo
+root in a stable schema so the performance trajectory is tracked across
+PRs:
+
+.. code-block:: json
+
+    {
+      "schema": "syncperf-bench/v1",
+      "mode": "full",
+      "benchmarks": [
+        {"id": "engine_kernel_cpu", "reference_s": ..., "fast_s": ...,
+         "speedup": ...},
+        {"id": "campaign", "reference_s": <serial>, "fast_s": <jobs=N>,
+         "speedup": ..., "jobs": N}
+      ]
+    }
+
+``reference_s`` is always the slow configuration (scalar path, or the
+serial campaign) and ``fast_s`` the fast one, so ``speedup`` reads the
+same way for every row.  The speedup numbers are regression-guarded by
+the CI smoke job (``python -m repro.bench --smoke``), which also fails
+when the campaign smoke exceeds a generous wall-clock ceiling.
+
+Determinism: every benchmark run re-verifies that fast and reference
+paths produce identical sweep CSV bytes before timing them — a speedup
+measured against a divergent baseline would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.common.errors import SimulationError
+from repro.core.engine import MeasurementEngine, reference_engine
+from repro.experiments.campaign import run_campaign
+from repro.faults.scenario import use_faults
+
+SCHEMA = "syncperf-bench/v1"
+
+#: Experiment ids of the campaign benchmark (big enough that process
+#: fan-out amortizes worker startup).
+CAMPAIGN_IDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15", "ext-cross-system"]
+CAMPAIGN_IDS_SMOKE = ["fig1", "fig2", "fig5", "fig7", "fig9"]
+
+
+def default_output_path() -> Path:
+    """``BENCH_engine.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_engine.json"
+
+
+def _best_of(func: Callable[[], object], repeats: int) -> float:
+    """Wall-clock seconds of ``func``, best of ``repeats`` (min is the
+    standard noise-robust statistic for benchmark timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _row(bench_id: str, reference_s: float, fast_s: float,
+         **extra: object) -> dict:
+    row = {
+        "id": bench_id,
+        "reference_s": round(reference_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(reference_s / fast_s, 2) if fast_s > 0
+        else float("inf"),
+    }
+    row.update(extra)
+    return row
+
+
+# ------------------------------ kernels -------------------------------- #
+
+
+def _cpu_kernel_case():
+    from repro.cpu.presets import cpu_preset
+    from repro.experiments.base import omp_atomic_update_scalar_spec
+    from repro.common.datatypes import INT
+    machine = cpu_preset(1)
+    spec = omp_atomic_update_scalar_spec(INT)
+    counts = list(range(2, machine.max_threads + 1))
+    return machine, spec, [(machine.context(n), f"t={n}") for n in counts]
+
+
+def _gpu_kernel_case():
+    from repro.gpu.presets import gpu_preset
+    from repro.experiments.base import cuda_atomic_scalar_spec
+    from repro.common.datatypes import INT
+    from repro.compiler.ops import PrimitiveKind
+    from repro.gpu.spec import LaunchConfig, paper_thread_counts
+    device = gpu_preset(1)
+    spec = cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_ADD, INT)
+    return device, spec, [(device.context(LaunchConfig(2, n)),
+                           f"b=2/t={n}") for n in paper_thread_counts()]
+
+
+def _bench_kernel(bench_id: str, case, repeats: int) -> dict:
+    """Time the protocol kernel over one series, fast vs reference."""
+    machine, spec, points = case()
+    labels = [label for _, label in points]
+
+    def run_fast():
+        engine = MeasurementEngine(machine, fast=True)
+        engine.prime(spec, labels)
+        return [engine.measure(spec, ctx, label=label)
+                for ctx, label in points]
+
+    def run_reference():
+        engine = MeasurementEngine(machine, fast=False)
+        return [engine.measure(spec, ctx, label=label)
+                for ctx, label in points]
+
+    if run_fast() != run_reference():
+        raise SimulationError(
+            f"{bench_id}: fast path diverged from the reference path; "
+            f"refusing to benchmark a broken fast path")
+    return _row(bench_id,
+                _best_of(run_reference, repeats),
+                _best_of(run_fast, repeats),
+                points=len(points))
+
+
+# ------------------------------- sweeps -------------------------------- #
+
+
+def _bench_sweep(bench_id: str, producer: Callable[[], object],
+                 repeats: int) -> dict:
+    """Time a representative experiment sweep, fast vs reference."""
+    with reference_engine():
+        ref_result = producer()
+    fast_result = producer()
+    if fast_result.to_csv() != ref_result.to_csv():
+        raise SimulationError(
+            f"{bench_id}: fast path diverged from the reference path; "
+            f"refusing to benchmark a broken fast path")
+
+    def run_reference():
+        with reference_engine():
+            producer()
+
+    return _row(bench_id, _best_of(run_reference, repeats),
+                _best_of(producer, repeats))
+
+
+# ------------------------------ campaign ------------------------------- #
+
+
+def _bench_campaign(ids: list[str], jobs: int) -> dict:
+    """Time a full campaign, serial vs ``jobs=N`` (one shot each: the
+    campaign is the macro-benchmark and repeats would double runtime)."""
+
+    def run(n_jobs: int) -> None:
+        run_campaign(ids, jobs=n_jobs, log=lambda _msg: None)
+
+    serial_s = _best_of(lambda: run(1), 1)
+    parallel_s = _best_of(lambda: run(jobs), 1)
+    return _row("campaign", serial_s, parallel_s,
+                jobs=jobs, experiments=len(ids))
+
+
+# -------------------------------- main --------------------------------- #
+
+
+def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
+    """Run the suite; returns the ``BENCH_engine.json`` payload."""
+    # Smoke mode shrinks only the campaign macro-benchmark; the micro
+    # rows cost milliseconds each, and best-of-1 timings wobble enough
+    # to mask real regressions, so they keep best-of-3 in both modes.
+    repeats = 3
+    from repro.experiments.omp_atomic_update import run_fig2
+    from repro.experiments.cuda_atomicadd import run_fig9
+
+    benchmarks = [
+        _bench_kernel("engine_kernel_cpu", _cpu_kernel_case, repeats),
+        _bench_kernel("engine_kernel_gpu", _gpu_kernel_case, repeats),
+        _bench_sweep("sweep_fig2_omp_atomic", run_fig2, repeats),
+        _bench_sweep("sweep_fig9_cuda_atomicadd",
+                     lambda: run_fig9()[2], repeats),
+        _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
+                        jobs),
+    ]
+    return {
+        "schema": SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "host": {"python": platform.python_version(),
+                 "platform": platform.platform()},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry for ``python -m repro.bench``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the measurement engine fast path.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI (short "
+                             "campaign)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the campaign benchmark "
+                             "(default 2)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="where to write the JSON report (default: "
+                             "BENCH_engine.json at the repo root)")
+    parser.add_argument("--max-seconds", type=float, metavar="S",
+                        help="fail (exit 1) when the campaign smoke "
+                             "benchmark's serial run exceeds this "
+                             "wall-clock ceiling")
+    args = parser.parse_args(argv)
+
+    with use_faults(None):  # benchmarks are always fault-free
+        payload = run_benchmarks(smoke=args.smoke, jobs=args.jobs)
+
+    output = Path(args.output) if args.output else default_output_path()
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'benchmark':<28s} {'reference':>10s} {'fast':>10s} "
+          f"{'speedup':>8s}")
+    for row in payload["benchmarks"]:
+        print(f"{row['id']:<28s} {row['reference_s']:>9.3f}s "
+              f"{row['fast_s']:>9.3f}s {row['speedup']:>7.2f}x")
+    print(f"wrote {output}")
+
+    if args.max_seconds is not None:
+        campaign = next(r for r in payload["benchmarks"]
+                        if r["id"] == "campaign")
+        if campaign["reference_s"] > args.max_seconds:
+            print(f"FAIL: campaign benchmark took "
+                  f"{campaign['reference_s']:.1f}s serially, over the "
+                  f"{args.max_seconds:g}s ceiling")
+            return 1
+    return 0

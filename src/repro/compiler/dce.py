@@ -11,6 +11,7 @@ describes and fell into with ``__ballot_sync()``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.compiler.ops import Op
 
@@ -42,6 +43,13 @@ def eliminate_dead_ops(body: list[Op] | tuple[Op, ...]) -> DceResult:
     Returns:
         The surviving and removed ops.  Order of surviving ops is preserved.
     """
+    return _eliminate_cached(tuple(body))
+
+
+@lru_cache(maxsize=4096)
+def _eliminate_cached(body: tuple[Op, ...]) -> DceResult:
+    # Ops are frozen/hashable and the pass is pure, so identical bodies
+    # (specs rebuild the same tuples across sweeps) share one result.
     kept: list[Op] = []
     removed: list[Op] = []
     for op in body:

@@ -190,6 +190,18 @@ class Op:
     result_used: bool = True
     label: str = ""
 
+    def __hash__(self) -> int:
+        # Ops key the hot per-context cost caches, and the generated
+        # frozen-dataclass hash re-hashes every nested field (dtype,
+        # target) on each lookup.  All fields are immutable, so compute
+        # once and pin the value on the instance.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.kind, self.dtype, self.target, self.scope,
+                      self.result_used, self.label))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def mutates_memory(self) -> bool:
         return self.kind in _MUTATING

@@ -30,30 +30,128 @@ Robustness extensions (beyond the paper, for fault-injected campaigns):
 * When a fault scenario is active (``syncperf --faults``, or
   :func:`repro.faults.use_faults`), every engine transparently wraps its
   machine in a :class:`repro.faults.FaultyMachine`.
+
+Fast path
+---------
+
+Two implementations of the protocol kernel coexist:
+
+* :meth:`MeasurementEngine._run_protocol_reference` — the original
+  scalar kernel, retained verbatim as the authoritative semantics (one
+  ``make_rng`` per run, one ``run_noise`` per sample).
+* :meth:`MeasurementEngine._run_protocol_fast` — the default: per-run
+  streams come from a primed :class:`~repro.common.rng.RngStreamPool`
+  (sweep drivers call :meth:`MeasurementEngine.prime` once per series),
+  each attempt draws its baseline/test noise pair through the machine's
+  ``run_noise_batch``, and machines that declare a body ``noise_free``
+  (zero-jitter CPUs, on-device GPU primitives) skip sampling entirely.
+
+The fast path is bit-identical to the reference path by construction:
+pool streams replicate ``default_rng`` exactly (self-checked at runtime)
+and batch draws consume the stream in the same order as scalar draws.
+``tests/test_engine_fastpath.py`` asserts equality result-by-result, and
+the golden corpus at ``results/reference/`` is the end-to-end oracle.
+Select the path per engine with ``MeasurementEngine(..., fast=...)``, per
+process with ``SYNCPERF_ENGINE=reference``, or per block with
+:func:`reference_engine` (used by ``python -m repro.bench`` to time one
+against the other).
 """
 
 from __future__ import annotations
 
-import statistics
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import replace
 
 from repro.common.errors import FaultInjectionError, MeasurementError
-from repro.common.rng import make_rng
+from repro.common.rng import RngStreamPool, make_rng
 from repro.core.protocol import MeasurementProtocol
 from repro.core.results import MeasurementResult
 from repro.core.spec import MeasurementSpec
 from repro.faults.machine import wrap_machine
 from repro.faults.scenario import active_scenario
 
+_ZERO8 = b"\x00" * 8
+
+#: Process-wide default for the engine path; flipped by the
+#: ``SYNCPERF_ENGINE=reference`` environment variable or, temporarily, by
+#: :func:`reference_engine`.
+_FAST_DEFAULT = os.environ.get("SYNCPERF_ENGINE", "").lower() != "reference"
+
+
+def fast_path_default() -> bool:
+    """Whether engines default to the vectorized fast path."""
+    return _FAST_DEFAULT
+
+
+def _median(values: list[float]) -> float:
+    """``statistics.median`` bit-for-bit, without its dispatch overhead
+    (the engine computes two medians per sweep point)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n & 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+@contextmanager
+def reference_engine():
+    """Force engines created inside the block onto the scalar reference
+    path (used by the benchmark suite for fast-vs-reference timings)."""
+    global _FAST_DEFAULT
+    previous = _FAST_DEFAULT
+    _FAST_DEFAULT = False
+    try:
+        yield
+    finally:
+        _FAST_DEFAULT = previous
+
 
 class MeasurementEngine:
-    """Runs measurement specs on one machine under one protocol."""
+    """Runs measurement specs on one machine under one protocol.
+
+    Args:
+        machine: CPU machine or GPU device (duck-typed).
+        protocol: Measurement protocol (None = paper default).
+        fast: Force the vectorized fast path on/off; ``None`` follows
+            the process default (fast unless ``SYNCPERF_ENGINE=reference``
+            or inside :func:`reference_engine`).
+    """
 
     def __init__(self, machine: object,
-                 protocol: MeasurementProtocol | None = None) -> None:
+                 protocol: MeasurementProtocol | None = None,
+                 fast: bool | None = None) -> None:
         self.machine = wrap_machine(machine, active_scenario())
         self.protocol = protocol or MeasurementProtocol()
+        self.fast = _FAST_DEFAULT if fast is None else fast
+        self._pool = RngStreamPool() if self.fast else None
+
+    def prime(self, spec: MeasurementSpec, labels: list[str],
+              protocol: MeasurementProtocol | None = None) -> None:
+        """Precompute the per-run RNG streams for a series of points.
+
+        Sweep drivers call this once per (spec, point labels) series so
+        the expensive part of stream seeding runs vectorized over the
+        whole series (~1 µs per stream instead of ~8 µs).  Optional:
+        unprimed labels (direct :meth:`measure` calls, escalation
+        rounds) transparently fall back to
+        :func:`~repro.common.rng.make_rng`.
+        """
+        if not self.fast:
+            return
+        machine = self.machine
+        noise_free = getattr(machine, "noise_free", None)
+        if noise_free is not None:
+            baseline_kept, test_kept = spec.surviving_bodies()
+            if noise_free(baseline_kept) and noise_free(test_kept):
+                return  # no draws will happen: nothing to prime
+        proto = protocol or self.protocol
+        prefix = f"{machine.name}/{spec.name}/"
+        self._pool.prime_points(
+            [(f"{prefix}{label}/run", proto.seed, proto.n_runs)
+             for label in labels])
 
     def measure(self, spec: MeasurementSpec, ctx: object,
                 label: str = "") -> MeasurementResult:
@@ -80,25 +178,45 @@ class MeasurementEngine:
     def _run_protocol(self, proto: MeasurementProtocol,
                       spec: MeasurementSpec, ctx: object,
                       label: str) -> MeasurementResult:
+        if self.fast:
+            return self._run_protocol_fast(proto, spec, ctx, label)
+        return self._run_protocol_reference(proto, spec, ctx, label)
+
+    # --------------------------- shared pieces ------------------------- #
+
+    def _unrecordable(self, spec: MeasurementSpec,
+                      eliminated: tuple[str, ...]) -> MeasurementResult:
+        return MeasurementResult(
+            spec_name=spec.name,
+            unit=self.machine.time_unit,
+            baseline_median=float("nan"),
+            test_median=float("nan"),
+            per_op_time=None,
+            throughput=float("nan"),
+            naive_per_op_time=float("nan"),
+            valid_fraction=0.0,
+            unrecordable=True,
+            eliminated=eliminated,
+        )
+
+    @staticmethod
+    def _all_dropped_error(proto: MeasurementProtocol,
+                           spec: MeasurementSpec,
+                           label: str) -> MeasurementError:
+        budget = []
+        if proto.attempt_budget is not None:
+            budget.append(f"attempt_budget={proto.attempt_budget}")
+        if proto.time_budget_s is not None:
+            budget.append(f"time_budget_s={proto.time_budget_s:g}")
+        suffix = f" within {', '.join(budget)}" if budget else ""
+        return MeasurementError(
+            f"spec {spec.name!r} ({label or 'no label'}): every run "
+            f"was dropped — no attempt produced data{suffix}")
+
+    def _point_costs(self, proto: MeasurementProtocol,
+                     baseline_kept: tuple, test_kept: tuple,
+                     ctx: object) -> tuple[float, float]:
         machine = self.machine
-        baseline_kept, test_kept = spec.surviving_bodies()
-        eliminated = tuple(op.kind.value for op in spec.eliminated_ops())
-        extra_ops = spec.extra_op_count()
-
-        if extra_ops == 0:
-            return MeasurementResult(
-                spec_name=spec.name,
-                unit=machine.time_unit,
-                baseline_median=float("nan"),
-                test_median=float("nan"),
-                per_op_time=None,
-                throughput=float("nan"),
-                naive_per_op_time=float("nan"),
-                valid_fraction=0.0,
-                unrecordable=True,
-                eliminated=eliminated,
-            )
-
         loop_overhead = machine.loop_overhead / proto.unroll
         # Without a warm-up loop, the timed section pays the one-time
         # cold-start cost (first-touch faults / cold caches), smeared over
@@ -112,11 +230,32 @@ class MeasurementEngine:
         cost_baseline = machine.body_cost(baseline_kept, ctx) \
             + loop_overhead + cold
         cost_test = machine.body_cost(test_kept, ctx) + loop_overhead + cold
+        return cost_baseline, cost_test
+
+    # ------------------------- reference kernel ------------------------ #
+
+    def _run_protocol_reference(self, proto: MeasurementProtocol,
+                                spec: MeasurementSpec, ctx: object,
+                                label: str) -> MeasurementResult:
+        """The original scalar protocol kernel (authoritative semantics)."""
+        machine = self.machine
+        baseline_kept, test_kept = spec.surviving_bodies()
+        eliminated = tuple(op.kind.value for op in spec.eliminated_ops())
+        extra_ops = spec.extra_op_count()
+
+        if extra_ops == 0:
+            return self._unrecordable(spec, eliminated)
+
+        cost_baseline, cost_test = self._point_costs(
+            proto, baseline_kept, test_kept, ctx)
 
         deadline = None
         if proto.time_budget_s is not None:
             deadline = time.monotonic() + proto.time_budget_s
         attempts_left = proto.attempt_budget  # None = unlimited
+        # Budget checks hoisted out of the attempt loop when no budget is
+        # set: the common case must not poll time.monotonic() per attempt.
+        budgeted = attempts_left is not None or deadline is not None
 
         baseline_times: list[float] = []
         test_times: list[float] = []
@@ -128,14 +267,16 @@ class MeasurementEngine:
                 f"{machine.name}/{spec.name}/{label}/run{run}", proto.seed)
             chosen: tuple[float, float, bool] | None = None
             for _attempt in range(proto.max_attempts):
-                if attempts_left is not None and attempts_left <= 0:
-                    exhausted = True
-                    break
-                if deadline is not None and time.monotonic() > deadline:
-                    exhausted = True
-                    break
-                if attempts_left is not None:
-                    attempts_left -= 1
+                if budgeted:
+                    if attempts_left is not None and attempts_left <= 0:
+                        exhausted = True
+                        break
+                    if deadline is not None and \
+                            time.monotonic() > deadline:
+                        exhausted = True
+                        break
+                    if attempts_left is not None:
+                        attempts_left -= 1
                 try:
                     tb = max(cost_baseline + machine.run_noise(
                         rng, ctx, baseline_kept, cost_baseline), 0.0)
@@ -158,20 +299,238 @@ class MeasurementEngine:
             valid_runs += chosen[2]
 
         if not baseline_times:
-            budget = []
-            if proto.attempt_budget is not None:
-                budget.append(f"attempt_budget={proto.attempt_budget}")
-            if proto.time_budget_s is not None:
-                budget.append(f"time_budget_s={proto.time_budget_s:g}")
-            suffix = f" within {', '.join(budget)}" if budget else ""
-            raise MeasurementError(
-                f"spec {spec.name!r} ({label or 'no label'}): every run "
-                f"was dropped — no attempt produced data{suffix}")
+            raise self._all_dropped_error(proto, spec, label)
 
-        baseline_median = statistics.median(baseline_times)
-        test_median = statistics.median(test_times)
+        return self._finalize(proto, spec, eliminated, baseline_times,
+                              test_times, valid_runs, dropped_runs,
+                              len(test_kept))
+
+    # ---------------------------- fast kernel -------------------------- #
+
+    def _point_plan(self, proto: MeasurementProtocol,
+                    spec: MeasurementSpec, ctx: object) -> tuple:
+        """The per-point constants of the fast kernel, memoized on the
+        context: kept bodies, eliminated ops, costs, the compiled noise
+        sampler, and whether the point is provably noise-free.  Every
+        entry is a pure function of (machine, spec, ctx) and the two
+        protocol fields that affect costs (unroll, n_warmup)."""
+        machine = self.machine
+        cache = getattr(ctx, "_cost_cache", None)
+        key = None
+        if cache is not None:
+            key = ("plan", machine, spec, proto.unroll, proto.n_warmup)
+            plan = cache.get(key)
+            if plan is not None:
+                return plan
+        baseline_kept, test_kept, removed, extra_ops = spec._analysis()
+        eliminated = tuple(op.kind.value for op in removed)
+        cost_baseline = cost_test = 0.0
+        silent = False
+        sampler = bind = None
+        if extra_ops:
+            cost_baseline, cost_test = self._point_costs(
+                proto, baseline_kept, test_kept, ctx)
+            noise_free = getattr(machine, "noise_free", None)
+            silent = noise_free is not None and \
+                noise_free(baseline_kept) and noise_free(test_kept)
+            if not silent:
+                make_sampler = getattr(machine, "noise_sampler", None)
+                if make_sampler is not None:
+                    sampler = make_sampler(
+                        ctx, (baseline_kept, test_kept),
+                        (cost_baseline, cost_test))
+                if sampler is not None:
+                    bind = getattr(sampler, "bind", None)
+        plan = (baseline_kept, test_kept, eliminated, extra_ops,
+                cost_baseline, cost_test, silent, sampler, bind)
+        if key is not None:
+            cache[key] = plan
+        return plan
+
+    def _run_protocol_fast(self, proto: MeasurementProtocol,
+                           spec: MeasurementSpec, ctx: object,
+                           label: str) -> MeasurementResult:
+        """Vectorized protocol kernel; bit-identical to the reference."""
+        machine = self.machine
+        (baseline_kept, test_kept, eliminated, extra_ops, cost_baseline,
+         cost_test, silent, sampler, bind) = \
+            self._point_plan(proto, spec, ctx)
+
+        if extra_ops == 0:
+            return self._unrecordable(spec, eliminated)
+
+        budgeted = proto.attempt_budget is not None or \
+            proto.time_budget_s is not None
+
+        if silent and not budgeted and proto.n_runs >= 1:
+            # Closed form: with zero noise every run draws nothing and
+            # every attempt reproduces the same (tb, tt) pair, so the
+            # medians are the costs themselves.
+            tb = max(cost_baseline, 0.0)
+            tt = max(cost_test, 0.0)
+            valid_runs = proto.n_runs if tt >= tb else 0
+            return self._finalize(proto, spec, eliminated,
+                                  [tb] * proto.n_runs, [tt] * proto.n_runs,
+                                  valid_runs, 0, len(test_kept))
+
+        deadline = None
+        if proto.time_budget_s is not None:
+            deadline = time.monotonic() + proto.time_budget_s
+        attempts_left = proto.attempt_budget
+
+        batch = None if sampler is not None \
+            else getattr(machine, "run_noise_batch", None)
+        pool = self._pool
+        seed = proto.seed
+        prefix = f"{machine.name}/{spec.name}/{label}/run"
+        # Primed points hand over one precomputed PCG64 state per run;
+        # a point primed under a different n_runs (escalation widened the
+        # protocol after priming) is discarded rather than half-used.
+        point = pool.take_point(prefix, seed) if pool is not None else None
+        if point is not None and len(point) != proto.n_runs:
+            point = None
+
+        if point and bind is not None and not budgeted:
+            # Specialized hot loop: primed streams + compiled sampler +
+            # no budget polling.  No faults can fire here (a compiled
+            # sampler exists only for unwrapped, non-overridden
+            # machines), so every run keeps its last attempt, exactly as
+            # the reference kernel does.
+            sample = bind(pool.generator)
+            views = pool.raw_views()
+            attempt_range = range(proto.max_attempts)
+            baseline_times = []
+            test_times = []
+            append_b = baseline_times.append
+            append_t = test_times.append
+            valid_runs = 0
+            tb = tt = 0.0
+            if views is not None and type(point[0]) is bytes:
+                # Raw-state tokens: reseeding is two byte-view writes.
+                state_mv, wrap_mv = views
+                zero8 = _ZERO8
+                for token in point:
+                    state_mv[:] = token
+                    wrap_mv[:] = zero8
+                    ok = False
+                    for _attempt in attempt_range:
+                        noise_b, noise_t = sample()
+                        tb = cost_baseline + noise_b
+                        if tb < 0.0:
+                            tb = 0.0
+                        tt = cost_test + noise_t
+                        if tt < 0.0:
+                            tt = 0.0
+                        if tt >= tb:
+                            ok = True
+                            break
+                    append_b(tb)
+                    append_t(tt)
+                    if ok:
+                        valid_runs += 1
+            else:
+                reseed = pool.reseed
+                for token in point:
+                    reseed(token)
+                    ok = False
+                    for _attempt in attempt_range:
+                        noise_b, noise_t = sample()
+                        tb = cost_baseline + noise_b
+                        if tb < 0.0:
+                            tb = 0.0
+                        tt = cost_test + noise_t
+                        if tt < 0.0:
+                            tt = 0.0
+                        if tt >= tb:
+                            ok = True
+                            break
+                    append_b(tb)
+                    append_t(tt)
+                    if ok:
+                        valid_runs += 1
+            return self._finalize(proto, spec, eliminated, baseline_times,
+                                  test_times, valid_runs, 0,
+                                  len(test_kept))
+
+        baseline_times: list[float] = []
+        test_times: list[float] = []
+        valid_runs = 0
+        dropped_runs = 0
+        exhausted = False
+        for run in range(proto.n_runs):
+            if point is not None:
+                rng = pool.reseed(point[run])
+            else:
+                rng = make_rng(f"{prefix}{run}", seed)
+            chosen: tuple[float, float, bool] | None = None
+            for _attempt in range(proto.max_attempts):
+                if budgeted:
+                    if attempts_left is not None and attempts_left <= 0:
+                        exhausted = True
+                        break
+                    if deadline is not None and \
+                            time.monotonic() > deadline:
+                        exhausted = True
+                        break
+                    if attempts_left is not None:
+                        attempts_left -= 1
+                if sampler is not None:
+                    # Compiled per-point sampler: one call per attempt
+                    # pair, stream-order identical to the two scalar
+                    # draws of the reference kernel.
+                    noise_b, noise_t = sampler(rng)
+                    tb = max(cost_baseline + noise_b, 0.0)
+                    tt = max(cost_test + noise_t, 0.0)
+                elif batch is not None:
+                    try:
+                        noise_b, noise_t = batch(
+                            rng, ctx, (baseline_kept, test_kept),
+                            (cost_baseline, cost_test))
+                    except FaultInjectionError:
+                        continue
+                    tb = max(cost_baseline + noise_b, 0.0)
+                    tt = max(cost_test + noise_t, 0.0)
+                else:
+                    # Fault-wrapped machines keep per-sample calls: an
+                    # injected fault may abort between the two draws.
+                    try:
+                        tb = max(cost_baseline + machine.run_noise(
+                            rng, ctx, baseline_kept, cost_baseline), 0.0)
+                        tt = max(cost_test + machine.run_noise(
+                            rng, ctx, test_kept, cost_test), 0.0)
+                    except FaultInjectionError:
+                        continue
+                ok = tt >= tb
+                chosen = (tb, tt, ok)
+                if ok:
+                    break
+            if chosen is None:
+                dropped_runs += 1
+                if exhausted:
+                    break
+                continue
+            baseline_times.append(chosen[0])
+            test_times.append(chosen[1])
+            valid_runs += chosen[2]
+
+        if not baseline_times:
+            raise self._all_dropped_error(proto, spec, label)
+
+        return self._finalize(proto, spec, eliminated, baseline_times,
+                              test_times, valid_runs, dropped_runs,
+                              len(test_kept))
+
+    def _finalize(self, proto: MeasurementProtocol, spec: MeasurementSpec,
+                  eliminated: tuple[str, ...], baseline_times: list[float],
+                  test_times: list[float], valid_runs: int,
+                  dropped_runs: int, test_kept_len: int
+                  ) -> MeasurementResult:
+        machine = self.machine
+        extra_ops = spec.extra_op_count()
+        baseline_median = _median(baseline_times)
+        test_median = _median(test_times)
         per_op = (test_median - baseline_median) / extra_ops
-        naive = test_median / max(len(test_kept), 1)
+        naive = test_median / max(test_kept_len, 1)
         return MeasurementResult(
             spec_name=spec.name,
             unit=machine.time_unit,

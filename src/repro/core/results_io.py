@@ -56,6 +56,28 @@ def atomic_write_text(path: Path, text: str) -> Path:
     return path
 
 
+def clean_stale_tmp(directory: Path) -> int:
+    """Remove stranded atomic-write temp files (``.*.tmp``) in place.
+
+    A ``kill -9`` between :func:`atomic_write_text`'s ``mkstemp`` and
+    ``os.replace`` leaves a randomly-named temp file no later write
+    would replace.  Writers call this when (re)populating a directory
+    they own — e.g. a resumed campaign re-entering an experiment's
+    results directory — so killed runs leave no debris behind.
+
+    Returns:
+        Number of files removed.
+    """
+    removed = 0
+    for tmp in Path(directory).glob(".*.tmp"):
+        try:
+            tmp.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - already gone / racing
+            pass
+    return removed
+
+
 def _safe(name: str) -> str:
     return name.replace("/", "_").replace(" ", "_")
 
@@ -99,6 +121,7 @@ def save_experiment(exp_id: str, title: str, kind: str,
     """
     directory = root / _safe(exp_id)
     directory.mkdir(parents=True, exist_ok=True)
+    clean_stale_tmp(directory)
     written = []
     for sweep in sweeps:
         written.extend(p.name for p in

@@ -44,6 +44,16 @@ class MeasurementSpec:
         if not self.test_body:
             raise ConfigurationError(f"spec {self.name!r}: empty test body")
 
+    def __hash__(self) -> int:
+        # Specs key the engine's per-context point-plan cache; the
+        # generated hash re-hashes both op tuples every lookup.  All
+        # fields are immutable, so compute once (same idiom as Op).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.baseline_body, self.test_body))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # ------------------------------ constructors ----------------------- #
 
     @classmethod
@@ -80,15 +90,39 @@ class MeasurementSpec:
                    description=description)
 
     # ------------------------------ analysis --------------------------- #
+    #
+    # Specs are frozen, so the dead-code analysis is a pure function of
+    # the instance; it is memoized on first use (via object.__setattr__,
+    # the frozen-dataclass escape hatch) because sweeps re-ask at every
+    # point (620 eliminate_dead_ops calls per sweep before hoisting).
+
+    def _analysis(self) -> tuple[tuple[Op, ...], tuple[Op, ...],
+                                 tuple[Op, ...], int]:
+        """(baseline kept, test kept, test removed, extra op count)."""
+        cached = getattr(self, "_analysis_cache", None)
+        if cached is not None:
+            return cached
+        baseline_kept = eliminate_dead_ops(self.baseline_body).kept
+        test_dce = eliminate_dead_ops(self.test_body)
+        test_kept = test_dce.kept
+        if Counter(self.baseline_body) != Counter(self.test_body) and \
+                len(self.baseline_body) == len(self.test_body):
+            # contrast shape: same op count, different ops
+            extra = 1 if test_kept else 0
+        else:
+            extra = max(len(test_kept) - len(baseline_kept), 0)
+        cached = (baseline_kept, test_kept, test_dce.removed, extra)
+        object.__setattr__(self, "_analysis_cache", cached)
+        return cached
 
     def surviving_bodies(self) -> tuple[tuple[Op, ...], tuple[Op, ...]]:
         """Baseline and test bodies after dead-code elimination."""
-        return (eliminate_dead_ops(self.baseline_body).kept,
-                eliminate_dead_ops(self.test_body).kept)
+        baseline_kept, test_kept, _, _ = self._analysis()
+        return (baseline_kept, test_kept)
 
     def eliminated_ops(self) -> tuple[Op, ...]:
         """Ops the optimizer removed from the test body."""
-        return eliminate_dead_ops(self.test_body).removed
+        return self._analysis()[2]
 
     def extra_op_count(self) -> int:
         """How many surviving ops the test runs beyond the baseline.
@@ -98,13 +132,7 @@ class MeasurementSpec:
         unrecordable: the optimizer deleted the measured primitive, as
         happened to the paper's ``__ballot_sync()`` test.
         """
-        baseline_kept, test_kept = self.surviving_bodies()
-        if Counter(self.baseline_body) != Counter(self.test_body) and \
-                len(self.baseline_body) == len(self.test_body):
-            # contrast shape: same op count, different ops
-            return 1 if test_kept else 0
-        extra = len(test_kept) - len(baseline_kept)
-        return max(extra, 0)
+        return self._analysis()[3]
 
     @property
     def is_recordable(self) -> bool:

@@ -10,6 +10,7 @@ granularity.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 
 from repro.common.errors import ConfigurationError
 from repro.cpu.topology import CorePlace, CpuTopology
@@ -65,9 +66,11 @@ def place_threads(topology: CpuTopology, n_threads: int,
     return {tid: order[tid] for tid in range(n_threads)}
 
 
+@lru_cache(maxsize=64)
 def _close_order(topology: CpuTopology) -> list[CorePlace]:
     """Consecutive cores of socket 0, then socket 1, ...; SMT slots only
-    once every core holds one thread."""
+    once every core holds one thread.  Cached per (frozen) topology:
+    sweeps re-derive the same order at every point."""
     order: list[CorePlace] = []
     for smt in range(topology.threads_per_core):
         for socket in range(topology.sockets):
@@ -76,9 +79,10 @@ def _close_order(topology: CpuTopology) -> list[CorePlace]:
     return order
 
 
+@lru_cache(maxsize=64)
 def _spread_order(topology: CpuTopology) -> list[CorePlace]:
     """Round-robin over sockets, then cores; SMT slots only once all cores
-    hold one thread."""
+    hold one thread.  Cached per (frozen) topology."""
     order: list[CorePlace] = []
     for smt in range(topology.threads_per_core):
         for core in range(topology.cores_per_socket):

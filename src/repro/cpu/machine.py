@@ -39,6 +39,11 @@ class CpuRunContext:
     core_keys: dict[int, tuple[int, int]] = field(repr=False,
                                                   default_factory=dict)
     numa_keys: dict[int, int] = field(repr=False, default_factory=dict)
+    #: Per-context op/body price memo (coherence and NUMA geometry are
+    #: pure functions of the placement, so each op needs pricing once per
+    #: context, not once per sweep point).  Excluded from eq/repr.
+    _cost_cache: dict = field(repr=False, compare=False,
+                              default_factory=dict)
 
 
 class CpuMachine:
@@ -69,6 +74,7 @@ class CpuMachine:
         self.params = params or CpuCostParams()
         self.jitter = jitter or JitterModel()
         self.cost_model = CpuCostModel(self.params)
+        self._context_cache: dict[tuple[int, Affinity], CpuRunContext] = {}
 
     @property
     def name(self) -> str:
@@ -81,13 +87,21 @@ class CpuMachine:
 
     def context(self, n_threads: int,
                 affinity: Affinity = Affinity.DEFAULT) -> CpuRunContext:
-        """Resolve a thread count + affinity into a placement context."""
+        """Resolve a thread count + affinity into a placement context.
+
+        Contexts are pure functions of (thread count, affinity) on a
+        given topology, so they are built once and cached: sweeps resolve
+        the same placements at every series.
+        """
         if n_threads < 2:
             raise ConfigurationError(
                 "the paper omits single-thread runs: synchronization serves "
                 f"no purpose in serial execution (got {n_threads})")
+        cached = self._context_cache.get((n_threads, affinity))
+        if cached is not None:
+            return cached
         placement = place_threads(self.topology, n_threads, affinity)
-        return CpuRunContext(
+        ctx = CpuRunContext(
             n_threads=n_threads,
             affinity=affinity,
             hyperthreaded=uses_hyperthreading(placement),
@@ -95,15 +109,32 @@ class CpuMachine:
             numa_keys={tid: self.topology.numa_node_of(place)
                        for tid, place in placement.items()},
         )
+        self._context_cache[(n_threads, affinity)] = ctx
+        return ctx
 
     def op_cost(self, op: Op, ctx: CpuRunContext) -> float:
         """Deterministic steady-state cost of one op (ns)."""
-        return self.cost_model.op_cost_ns(op, ctx.n_threads, ctx.core_keys,
-                                          ctx.numa_keys)
+        # Keyed by (machine, op): a context may be priced by more than
+        # one machine (ablations pair machines over shared placements).
+        cached = ctx._cost_cache.get((self, op))
+        if cached is None:
+            cached = self.cost_model.op_cost_ns(op, ctx.n_threads,
+                                                ctx.core_keys, ctx.numa_keys)
+            ctx._cost_cache[(self, op)] = cached
+        return cached
 
     def body_cost(self, body: tuple[Op, ...] | list[Op],
                   ctx: CpuRunContext) -> float:
         """Cost of one unrolled loop-body iteration (ns)."""
+        # Whole-body memo: the engine prices the same two kept bodies at
+        # every sweep point, so one lookup replaces the per-op sum.
+        # Tuples only — list bodies are unhashable (and rare).
+        if type(body) is tuple:
+            cached = ctx._cost_cache.get((self, body))
+            if cached is None:
+                cached = sum(self.op_cost(op, ctx) for op in body)
+                ctx._cost_cache[(self, body)] = cached
+            return cached
         return sum(self.op_cost(op, ctx) for op in body)
 
     def run_noise(self, rng: np.random.Generator, ctx: CpuRunContext,
@@ -119,6 +150,51 @@ class CpuMachine:
         del body
         return self.jitter.sample_run_noise(rng, ctx.hyperthreaded,
                                             base_cost)
+
+    def run_noise_batch(self, rng: np.random.Generator, ctx: CpuRunContext,
+                        bodies: tuple[tuple[Op, ...], ...],
+                        base_costs: tuple[float, ...]) -> list[float]:
+        """Batched :meth:`run_noise`, stream-identical to scalar calls.
+
+        The engine's fast path draws the baseline/test pair of one
+        attempt in a single call; the fault wrapper deliberately does not
+        implement this method (faults can abort mid-pair, so its stream
+        consumption must stay per-sample).
+
+        Subclasses overriding :meth:`run_noise` (adversarial test
+        machines) are routed through their override, sample by sample,
+        so the fast path preserves their semantics.
+        """
+        if type(self).run_noise is not CpuMachine.run_noise:
+            return [self.run_noise(rng, ctx, body, cost)
+                    for body, cost in zip(bodies, base_costs)]
+        del bodies
+        return self.jitter.sample_run_noise_batch(rng, ctx.hyperthreaded,
+                                                  base_costs)
+
+    def noise_sampler(self, ctx: CpuRunContext,
+                      bodies: tuple[tuple[Op, ...], ...],
+                      base_costs: tuple[float, ...]):
+        """A compiled per-attempt sampler for one sweep point, or
+        ``None`` when the engine must fall back to per-sample calls
+        (subclasses overriding :meth:`run_noise`)."""
+        if type(self).run_noise is not CpuMachine.run_noise:
+            return None
+        del bodies
+        return self.jitter.make_sampler(ctx.hyperthreaded, base_costs)
+
+    def noise_free(self, body: tuple[Op, ...] = ()) -> bool:
+        """True when every run-noise sample for ``body`` is exactly 0.0.
+
+        Lets the engine skip sampling entirely for zero-jitter machines
+        (deterministic-cost test fixtures).  A subclass with its own
+        :meth:`run_noise` is never assumed silent, whatever its jitter
+        model says.
+        """
+        del body
+        if type(self).run_noise is not CpuMachine.run_noise:
+            return False
+        return self.jitter.is_silent
 
     def throughput(self, per_op_time: float) -> float:
         """Per-thread ops/s from a per-op runtime in this machine's unit."""

@@ -7,6 +7,8 @@ spec across thread counts (OpenMP) or launch configurations (CUDA).
 
 from __future__ import annotations
 
+from functools import cache
+
 from repro.common.datatypes import DataType
 from repro.common.errors import MeasurementError
 from repro.compiler.ops import Op, PrimitiveKind, Scope, op_atomic, \
@@ -22,8 +24,15 @@ from repro.gpu.spec import LaunchConfig, paper_thread_counts
 from repro.mem.layout import PrivateArrayElement, SharedScalar
 
 # --------------------------- OpenMP specs ------------------------------ #
+#
+# Every spec builder is memoized: specs are frozen value objects built
+# from module-constant arguments, and a stable identity lets the
+# engine's per-context plan cache and the machines' cost caches hit the
+# tuple-compare identity shortcut instead of re-comparing op tuples
+# field by field on every sweep point.
 
 
+@cache
 def omp_barrier_spec() -> MeasurementSpec:
     """``#pragma omp barrier`` (Fig. 1)."""
     return MeasurementSpec.single(
@@ -31,6 +40,7 @@ def omp_barrier_spec() -> MeasurementSpec:
         description="explicit OpenMP barrier")
 
 
+@cache
 def omp_atomic_update_scalar_spec(dtype: DataType) -> MeasurementSpec:
     """``#pragma omp atomic update`` on one shared variable (Fig. 2)."""
     op = op_atomic(PrimitiveKind.OMP_ATOMIC_UPDATE, dtype,
@@ -38,6 +48,7 @@ def omp_atomic_update_scalar_spec(dtype: DataType) -> MeasurementSpec:
     return MeasurementSpec.single(f"omp_atomicadd_scalar_{dtype.name}", op)
 
 
+@cache
 def omp_atomic_capture_scalar_spec(dtype: DataType) -> MeasurementSpec:
     """``#pragma omp atomic capture`` on one shared variable (§V-A2)."""
     op = op_atomic(PrimitiveKind.OMP_ATOMIC_CAPTURE, dtype,
@@ -46,6 +57,7 @@ def omp_atomic_capture_scalar_spec(dtype: DataType) -> MeasurementSpec:
                                   op)
 
 
+@cache
 def omp_atomic_update_array_spec(dtype: DataType,
                                  stride: int) -> MeasurementSpec:
     """``atomic update`` on each thread's private array element (Fig. 3)."""
@@ -55,6 +67,7 @@ def omp_atomic_update_array_spec(dtype: DataType,
         f"omp_atomicadd_array_{dtype.name}_s{stride}", op)
 
 
+@cache
 def omp_atomic_write_spec(dtype: DataType) -> MeasurementSpec:
     """``atomic write`` to shared locations (Fig. 4).
 
@@ -65,6 +78,7 @@ def omp_atomic_write_spec(dtype: DataType) -> MeasurementSpec:
     return MeasurementSpec.single(f"omp_atomicwrite_{dtype.name}", op)
 
 
+@cache
 def omp_atomic_read_spec(dtype: DataType) -> MeasurementSpec:
     """Atomic read vs plain read (§V-A2): the overhead of atomicity."""
     plain = Op(kind=PrimitiveKind.PLAIN_READ, dtype=dtype,
@@ -75,6 +89,7 @@ def omp_atomic_read_spec(dtype: DataType) -> MeasurementSpec:
                                     plain, atomic)
 
 
+@cache
 def omp_critical_spec(dtype: DataType) -> MeasurementSpec:
     """Addition under ``#pragma omp critical`` (Fig. 5)."""
     op = op_atomic(PrimitiveKind.OMP_CRITICAL_UPDATE, dtype,
@@ -82,6 +97,7 @@ def omp_critical_spec(dtype: DataType) -> MeasurementSpec:
     return MeasurementSpec.single(f"omp_critical_{dtype.name}", op)
 
 
+@cache
 def omp_flush_spec(dtype: DataType, stride: int) -> MeasurementSpec:
     """``#pragma omp flush`` between two private-element updates (Fig. 6)."""
     target = PrivateArrayElement(dtype, stride)
@@ -95,18 +111,21 @@ def omp_flush_spec(dtype: DataType, stride: int) -> MeasurementSpec:
 # ---------------------------- CUDA specs ------------------------------- #
 
 
+@cache
 def cuda_syncthreads_spec() -> MeasurementSpec:
     """``__syncthreads()`` (Fig. 7)."""
     return MeasurementSpec.single(
         "cuda_syncthreads", op_barrier(PrimitiveKind.SYNCTHREADS))
 
 
+@cache
 def cuda_syncwarp_spec() -> MeasurementSpec:
     """``__syncwarp()`` (Fig. 8)."""
     return MeasurementSpec.single(
         "cuda_syncwarp", op_barrier(PrimitiveKind.SYNCWARP))
 
 
+@cache
 def cuda_atomic_scalar_spec(kind: PrimitiveKind,
                             dtype: DataType) -> MeasurementSpec:
     """A CUDA atomic on one shared variable (Figs. 9, 11, 13)."""
@@ -115,6 +134,7 @@ def cuda_atomic_scalar_spec(kind: PrimitiveKind,
         f"cuda_{kind.value}_scalar_{dtype.name}", op)
 
 
+@cache
 def cuda_atomic_array_spec(kind: PrimitiveKind, dtype: DataType,
                            stride: int) -> MeasurementSpec:
     """A CUDA atomic on private array elements (Figs. 10, 12)."""
@@ -123,6 +143,7 @@ def cuda_atomic_array_spec(kind: PrimitiveKind, dtype: DataType,
         f"cuda_{kind.value}_array_{dtype.name}_s{stride}", op)
 
 
+@cache
 def cuda_fence_spec(scope: Scope, dtype: DataType,
                     stride: int) -> MeasurementSpec:
     """``__threadfence*()`` between two private-element updates (Fig. 14)."""
@@ -138,12 +159,14 @@ def cuda_fence_spec(scope: Scope, dtype: DataType,
         (update2,))
 
 
+@cache
 def cuda_shfl_spec(kind: PrimitiveKind, dtype: DataType) -> MeasurementSpec:
     """A warp shuffle (Fig. 15); the result feeds the next iteration."""
     op = Op(kind=kind, dtype=dtype, result_used=True)
     return MeasurementSpec.single(f"cuda_{kind.value}_{dtype.name}", op)
 
 
+@cache
 def cuda_vote_spec(kind: PrimitiveKind,
                    result_used: bool = True) -> MeasurementSpec:
     """A warp vote (§V-B4).
@@ -200,6 +223,7 @@ def sweep_omp(machine: CpuMachine, specs: dict[str, MeasurementSpec], *,
                                   "affinity": affinity.value})
     for label, spec in specs.items():
         series = Series(label=label)
+        engine.prime(spec, [f"{label}/t={n}" for n in counts])
         for n in counts:
             ctx = machine.context(n, affinity)
             _measure_point(engine, sweep, series, spec, ctx, n,
@@ -225,6 +249,7 @@ def sweep_cuda(device: GpuDevice, specs: dict[str, MeasurementSpec], *,
                                   "blocks": block_count})
     for label, spec in specs.items():
         series = Series(label=label)
+        engine.prime(spec, [f"{label}/b={block_count}/t={n}" for n in counts])
         for n in counts:
             ctx = device.context(LaunchConfig(block_count, n))
             _measure_point(engine, sweep, series, spec, ctx, n,

@@ -21,7 +21,10 @@ module is that layer.
 
 from __future__ import annotations
 
+import builtins
+import concurrent.futures
 import json
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -201,6 +204,51 @@ def campaign_fingerprint(scenario: FaultScenario | None,
 ResultHook = Callable[
     [str, ExperimentDef, list[SweepResult], list, float], None]
 
+#: Exception types ``keep_going`` shields (benchmark-level errors); any
+#: other exception aborts the campaign even in keep-going mode.
+_BENIGN_EXCEPTIONS = (ReproError, KeyError, ValueError, ZeroDivisionError)
+
+
+def _campaign_worker(exp_id: str,
+                     protocol: MeasurementProtocol | None,
+                     scenario: FaultScenario | None) -> dict:
+    """Run one experiment in a worker process (top-level: picklable).
+
+    Looks the experiment up in the process-global registry (the registry
+    is built at import, so every start method sees the same table) and
+    returns a picklable record — sweeps and checks ride back to the
+    parent for presentation; exceptions come back as (name, message)
+    so the parent can re-raise deterministically.
+    """
+    definition = EXPERIMENTS[exp_id]
+    start = time.time()
+    try:
+        with use_faults(scenario):
+            payload = definition.run(protocol)
+            checks = definition.claims(payload)
+            sweeps = definition.sweeps(payload)
+    except Exception as exc:
+        return {"exp_id": exp_id, "status": "failed",
+                "wall": time.time() - start,
+                "error": type(exc).__name__, "message": str(exc),
+                "benign": isinstance(exc, _BENIGN_EXCEPTIONS)}
+    return {"exp_id": exp_id, "status": "done",
+            "wall": time.time() - start,
+            "sweeps": sweeps, "checks": checks}
+
+
+def _rebuild_exception(error_name: str, message: str) -> BaseException:
+    """Best-effort reconstruction of a worker-side exception by name,
+    so a ``jobs > 1`` campaign aborts with the same exception type a
+    serial one would raise."""
+    import repro.common.errors as errors_mod
+    exc_cls = getattr(errors_mod, error_name, None)
+    if exc_cls is None:
+        exc_cls = getattr(builtins, error_name, None)
+    if isinstance(exc_cls, type) and issubclass(exc_cls, BaseException):
+        return exc_cls(message)
+    return CampaignError(f"{error_name}: {message}")
+
 
 def run_campaign(ids: list[str], *,
                  protocol: MeasurementProtocol | None = None,
@@ -209,7 +257,8 @@ def run_campaign(ids: list[str], *,
                  checkpoint: CampaignCheckpoint | None = None,
                  experiments: dict[str, ExperimentDef] | None = None,
                  on_result: ResultHook | None = None,
-                 log: Callable[[str], None] = print
+                 log: Callable[[str], None] = print,
+                 jobs: int = 1
                  ) -> list[ExperimentOutcome]:
     """Run a sequence of experiments resiliently.
 
@@ -227,6 +276,12 @@ def run_campaign(ids: list[str], *,
         on_result: Presentation hook called for each completed
             experiment with (exp_id, definition, sweeps, checks, wall).
         log: Sink for one-line progress/diagnostic messages.
+        jobs: Worker processes.  ``1`` (default) runs in-process;
+            ``N > 1`` fans experiments out over a process pool.  Every
+            RNG stream is label-derived with no global state, so results
+            (and ``runtimes.csv`` bytes) are identical to a serial run;
+            outcomes, checkpoint records, and ``on_result`` calls are
+            emitted in the deterministic id order.
 
     Returns:
         One :class:`ExperimentOutcome` per id, in order.
@@ -234,7 +289,22 @@ def run_campaign(ids: list[str], *,
     Raises:
         ReproError: The first experiment failure, when ``keep_going`` is
             off (after recording it in the checkpoint).
+        ConfigurationError: ``jobs < 1``, or a custom ``experiments``
+            registry combined with ``jobs > 1`` (worker processes can
+            only see the global registry).
     """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        if experiments is not None:
+            raise ConfigurationError(
+                "jobs > 1 cannot run a custom experiment registry: "
+                "worker processes resolve ids against the global "
+                "registry only")
+        return _run_campaign_parallel(
+            ids, protocol=protocol, keep_going=keep_going,
+            scenario=scenario, checkpoint=checkpoint,
+            on_result=on_result, log=log, jobs=jobs)
     registry = experiments if experiments is not None else EXPERIMENTS
     outcomes: list[ExperimentOutcome] = []
     with use_faults(scenario):
@@ -261,8 +331,7 @@ def run_campaign(ids: list[str], *,
                     checkpoint.record(outcome)
                 if not keep_going:
                     raise
-                if not isinstance(exc, (ReproError, KeyError, ValueError,
-                                        ZeroDivisionError)):
+                if not isinstance(exc, _BENIGN_EXCEPTIONS):
                     raise  # keep-going shields benchmark errors only
                 log(f"FAILED {exp_id}: {type(exc).__name__}: {exc}")
                 continue
@@ -277,6 +346,104 @@ def run_campaign(ids: list[str], *,
             if checkpoint is not None:
                 checkpoint.record(outcome)
     return outcomes
+
+
+def _run_campaign_parallel(ids: list[str], *,
+                           protocol: MeasurementProtocol | None,
+                           keep_going: bool,
+                           scenario: FaultScenario | None,
+                           checkpoint: CampaignCheckpoint | None,
+                           on_result: ResultHook | None,
+                           log: Callable[[str], None],
+                           jobs: int) -> list[ExperimentOutcome]:
+    """Fan a campaign out over a process pool (``run_campaign(jobs>1)``).
+
+    Determinism contract: outcomes and ``on_result`` presentation are
+    emitted strictly in id order — a finished experiment is held back
+    until every earlier id has been emitted, so logs and result files
+    are byte-identical to a serial run's.  A ``done`` checkpoint record
+    is written only *after* its presentation has been emitted (exactly
+    like the serial path): a kill can therefore never mark an
+    experiment done whose result files were still pending, and a
+    resumed campaign completes the artifact set byte-for-byte.
+    Failures are recorded as they occur — they have no artifacts.
+    """
+    outcomes_by_id: dict[str, ExperimentOutcome] = {}
+    presentations: dict[str, tuple[list[SweepResult], list, float]] = {}
+    to_run: list[str] = []
+    for exp_id in ids:
+        if checkpoint is not None and checkpoint.is_done(exp_id):
+            log(f"skipping {exp_id}: already completed "
+                f"(checkpoint {checkpoint.path})")
+            outcomes_by_id[exp_id] = ExperimentOutcome(
+                exp_id=exp_id, status="skipped")
+        else:
+            EXPERIMENTS[exp_id]  # fail fast on unknown ids, like serial
+            to_run.append(exp_id)
+
+    emit_order = list(ids)
+    emitted = 0
+
+    def emit_ready() -> None:
+        """Emit every consecutive leading id that has an outcome."""
+        nonlocal emitted
+        while emitted < len(emit_order):
+            exp_id = emit_order[emitted]
+            outcome = outcomes_by_id.get(exp_id)
+            if outcome is None:
+                return
+            if outcome.status == "done":
+                sweeps, checks, wall = presentations.pop(exp_id)
+                if on_result is not None:
+                    on_result(exp_id, EXPERIMENTS[exp_id], sweeps,
+                              checks, wall)
+                if checkpoint is not None:
+                    checkpoint.record(outcome)
+            emitted += 1
+
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-forking platforms
+        mp_context = None
+    abort: BaseException | None = None
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=mp_context) as pool:
+        futures = {pool.submit(_campaign_worker, exp_id, protocol,
+                               scenario): exp_id for exp_id in to_run}
+        for future in concurrent.futures.as_completed(futures):
+            record = future.result()
+            exp_id = record["exp_id"]
+            if record["status"] == "failed":
+                outcome = ExperimentOutcome(
+                    exp_id=exp_id, status="failed",
+                    wall_seconds=record["wall"],
+                    error=record["error"], message=record["message"])
+                if checkpoint is not None:
+                    checkpoint.record(outcome)
+                if not keep_going or not record["benign"]:
+                    abort = _rebuild_exception(record["error"],
+                                               record["message"])
+                    for pending in futures:
+                        pending.cancel()
+                    break
+                log(f"FAILED {exp_id}: {record['error']}: "
+                    f"{record['message']}")
+            else:
+                outcome = ExperimentOutcome(
+                    exp_id=exp_id, status="done",
+                    wall_seconds=record["wall"],
+                    claims_passed=sum(c.passed
+                                      for c in record["checks"]),
+                    claims_total=len(record["checks"]))
+                presentations[exp_id] = (record["sweeps"],
+                                         record["checks"],
+                                         record["wall"])
+            outcomes_by_id[exp_id] = outcome
+            emit_ready()
+    if abort is not None:
+        raise abort
+    emit_ready()
+    return [outcomes_by_id[exp_id] for exp_id in ids]
 
 
 def write_failure_summary(outcomes: list[ExperimentOutcome],

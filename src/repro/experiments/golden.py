@@ -17,10 +17,12 @@ Usage::
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 from typing import Callable
 
 from repro.core.results import SweepResult
+from repro.faults.scenario import use_faults
 
 #: Headline sweeps in the corpus: corpus id -> producer of one sweep.
 GOLDEN_SWEEPS: dict[str, Callable[[], SweepResult]] = {}
@@ -87,18 +89,33 @@ def default_corpus_dir() -> Path:
 
 
 def write_golden(root: Path) -> list[Path]:
-    """(Re)generate the corpus under ``root``."""
+    """(Re)generate the corpus under ``root``.
+
+    The corpus is pinned fault-free: an active fault scenario (e.g. a
+    campaign running under ``--faults`` in the same process) is masked
+    for the duration of the regeneration.
+    """
     root.mkdir(parents=True, exist_ok=True)
     written = []
-    for corpus_id, producer in GOLDEN_SWEEPS.items():
-        path = root / f"{corpus_id}.csv"
-        path.write_text(producer().to_csv())
-        written.append(path)
+    with use_faults(None):
+        for corpus_id, producer in GOLDEN_SWEEPS.items():
+            path = root / f"{corpus_id}.csv"
+            path.write_text(producer().to_csv())
+            written.append(path)
     return written
 
 
-def verify_golden(root: Path) -> list[str]:
+def verify_golden(root: Path,
+                  timings: dict[str, float] | None = None) -> list[str]:
     """Regenerate every corpus sweep and diff against disk.
+
+    Runs fault-free regardless of any active fault scenario (the corpus
+    is the fault-free oracle).
+
+    Args:
+        root: Corpus directory.
+        timings: If given, filled with per-corpus regeneration seconds
+            (so corpus drift and perf drift diagnose from one run).
 
     Returns:
         Mismatch descriptions (empty when the corpus is clean).
@@ -110,7 +127,11 @@ def verify_golden(root: Path) -> list[str]:
             problems.append(f"{corpus_id}: missing {path}")
             continue
         expected = path.read_text()
-        actual = producer().to_csv()
+        start = time.perf_counter()
+        with use_faults(None):
+            actual = producer().to_csv()
+        if timings is not None:
+            timings[corpus_id] = time.perf_counter() - start
         if actual != expected:
             exp_lines = expected.splitlines()
             act_lines = actual.splitlines()
@@ -132,7 +153,12 @@ def main(argv: list[str] | None = None) -> int:
         written = write_golden(root)
         print(f"wrote {len(written)} reference files under {root}")
         return 0
-    problems = verify_golden(root)
+    timings: dict[str, float] = {}
+    problems = verify_golden(root, timings=timings)
+    for corpus_id, seconds in timings.items():
+        print(f"  {corpus_id:<24s} {seconds * 1e3:8.1f} ms")
+    if timings:
+        print(f"  {'total':<24s} {sum(timings.values()) * 1e3:8.1f} ms")
     if problems:
         for problem in problems:
             print(f"MISMATCH {problem}")

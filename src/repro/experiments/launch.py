@@ -13,6 +13,9 @@ Usage::
                                  # fault-injected resilient campaign
     syncperf all --results out/ --resume
                                  # restart where a killed campaign left off
+    syncperf all --jobs 4        # fan out over worker processes
+                                 # (byte-identical results; see
+                                 # docs/performance.md)
 
 Like the artifact, results land in per-experiment files when ``--csv`` is
 given (the artifact writes ``./results/<hostname>/.../runtimes.csv``).
@@ -100,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-going", action="store_true",
                         help="record failing experiments in a failure "
                              "summary and continue the campaign")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments over N worker processes "
+                             "(results are byte-identical to a serial "
+                             "run; composes with --keep-going/--resume)")
     parser.add_argument("--checkpoint", metavar="FILE",
                         help="campaign checkpoint manifest (default: "
                              "<results>/campaign.json when --results is "
@@ -202,7 +209,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.csv:
             out_dir = Path(args.csv)
             out_dir.mkdir(parents=True, exist_ok=True)
-            from repro.core.results_io import atomic_write_text
+            from repro.core.results_io import atomic_write_text, \
+                clean_stale_tmp
+            clean_stale_tmp(out_dir)
             for sweep in sweeps:
                 safe = sweep.name.replace("/", "_")
                 atomic_write_text(out_dir / f"{safe}.csv", sweep.to_csv())
@@ -226,7 +235,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     outcomes = run_campaign(
         ids, protocol=protocol, keep_going=args.keep_going,
-        scenario=scenario, checkpoint=checkpoint, on_result=on_result)
+        scenario=scenario, checkpoint=checkpoint, on_result=on_result,
+        jobs=args.jobs)
 
     failed = [o for o in outcomes if o.status == "failed"]
     skipped = sum(o.status == "skipped" for o in outcomes)

@@ -11,7 +11,7 @@ CPU round trip crosses the PCIe bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,6 +34,10 @@ class GpuRunContext:
 
     launch: LaunchConfig
     occ: OccupancyResult
+    #: Per-context op price memo (occupancy pricing is deterministic per
+    #: launch, so each op needs pricing once per context).
+    _cost_cache: dict = field(repr=False, compare=False,
+                              default_factory=dict)
 
 
 class GpuDevice:
@@ -59,6 +63,7 @@ class GpuDevice:
         self.params = params or GpuCostParams()
         self.atomics = atomics or AtomicUnitModel()
         self.cost_model = GpuCostModel(spec, self.params, self.atomics)
+        self._context_cache: dict[LaunchConfig, GpuRunContext] = {}
 
     @property
     def name(self) -> str:
@@ -69,19 +74,39 @@ class GpuDevice:
         return self.spec.clock_ghz
 
     def context(self, launch: LaunchConfig) -> GpuRunContext:
-        """Resolve a launch into its occupancy context."""
+        """Resolve a launch into its occupancy context (cached: contexts
+        are pure functions of the launch on a given device)."""
+        cached = self._context_cache.get(launch)
+        if cached is not None:
+            return cached
         occ = occupancy(launch.grid_blocks, launch.block_threads,
                         self.spec.sm_count, self.spec.max_threads_per_sm,
                         self.spec.max_blocks_per_sm)
-        return GpuRunContext(launch=launch, occ=occ)
+        ctx = GpuRunContext(launch=launch, occ=occ)
+        self._context_cache[launch] = ctx
+        return ctx
 
     def op_cost(self, op: Op, ctx: GpuRunContext) -> float:
         """Deterministic steady-state cost of one op (cycles)."""
-        return self.cost_model.op_cost_cycles(op, ctx.launch, ctx.occ)
+        # Keyed by (device, op): a context may be priced by several
+        # devices (e.g. the aggregation ablation's paired devices).
+        cached = ctx._cost_cache.get((self, op))
+        if cached is None:
+            cached = self.cost_model.op_cost_cycles(op, ctx.launch, ctx.occ)
+            ctx._cost_cache[(self, op)] = cached
+        return cached
 
     def body_cost(self, body: tuple[Op, ...] | list[Op],
                   ctx: GpuRunContext) -> float:
         """Cost of one unrolled loop-body iteration (cycles)."""
+        # Whole-body memo, mirroring the CPU machine: one lookup per
+        # sweep point instead of a per-op sum (tuples only).
+        if type(body) is tuple:
+            cached = ctx._cost_cache.get((self, body))
+            if cached is None:
+                cached = sum(self.op_cost(op, ctx) for op in body)
+                ctx._cost_cache[(self, body)] = cached
+            return cached
         return sum(self.op_cost(op, ctx) for op in body)
 
     def run_noise(self, rng: np.random.Generator, ctx: GpuRunContext,
@@ -98,6 +123,70 @@ class GpuDevice:
         if any(op.kind is PrimitiveKind.THREADFENCE_SYSTEM for op in body):
             return float(rng.exponential(self._PCIE_NOISE_CYCLES))
         return 0.0
+
+    def run_noise_batch(self, rng: np.random.Generator, ctx: GpuRunContext,
+                        bodies: tuple[tuple[Op, ...], ...],
+                        base_costs: tuple[float, ...]) -> list[float]:
+        """Batched :meth:`run_noise`, stream-identical to scalar calls
+        (draws only for system-fence bodies, in body order).  Subclasses
+        overriding :meth:`run_noise` are routed through their override."""
+        if type(self).run_noise is not GpuDevice.run_noise:
+            return [self.run_noise(rng, ctx, body, cost)
+                    for body, cost in zip(bodies, base_costs)]
+        del ctx, base_costs
+        exponential = rng.exponential
+        return [float(exponential(self._PCIE_NOISE_CYCLES))
+                if any(op.kind is PrimitiveKind.THREADFENCE_SYSTEM
+                       for op in body) else 0.0
+                for body in bodies]
+
+    def noise_sampler(self, ctx: GpuRunContext,
+                      bodies: tuple[tuple[Op, ...], ...],
+                      base_costs: tuple[float, ...]):
+        """A compiled per-attempt sampler for one sweep point, or
+        ``None`` when the engine must fall back to per-sample calls
+        (subclasses overriding :meth:`run_noise`)."""
+        if type(self).run_noise is not GpuDevice.run_noise:
+            return None
+        del ctx, base_costs
+        noisy = tuple(any(op.kind is PrimitiveKind.THREADFENCE_SYSTEM
+                          for op in body) for body in bodies)
+        scale = self._PCIE_NOISE_CYCLES
+        if len(noisy) == 2:  # the engine's baseline/test pair
+            noisy_b, noisy_t = noisy
+
+            def sample_pair(rng: np.random.Generator
+                            ) -> tuple[float, float]:
+                return (float(rng.exponential(scale)) if noisy_b else 0.0,
+                        float(rng.exponential(scale)) if noisy_t else 0.0)
+
+            def bind_pair(rng: np.random.Generator):
+                exponential = rng.exponential
+
+                def sample() -> tuple[float, float]:
+                    return (float(exponential(scale)) if noisy_b else 0.0,
+                            float(exponential(scale)) if noisy_t else 0.0)
+
+                return sample
+
+            sample_pair.bind = bind_pair  # type: ignore[attr-defined]
+            return sample_pair
+
+        def sample(rng: np.random.Generator) -> tuple[float, ...]:
+            return tuple(float(rng.exponential(scale)) if flag else 0.0
+                         for flag in noisy)
+
+        return sample
+
+    def noise_free(self, body: tuple[Op, ...] = ()) -> bool:
+        """True when runs of ``body`` are exactly deterministic (every
+        on-device primitive; only system-scope fences draw noise).  A
+        subclass with its own :meth:`run_noise` is never assumed
+        deterministic."""
+        if type(self).run_noise is not GpuDevice.run_noise:
+            return False
+        return not any(op.kind is PrimitiveKind.THREADFENCE_SYSTEM
+                       for op in body)
 
     def throughput(self, per_op_time: float) -> float:
         """Per-thread ops/s from per-op cycles (1 / cycles / clock period)."""

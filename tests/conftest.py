@@ -80,3 +80,30 @@ def quick_protocol() -> MeasurementProtocol:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def cached_experiment():
+    """Session-scoped experiment payload cache keyed (id, seed, scenario).
+
+    Several suites re-run the same full experiment — the claims
+    acceptance suite, the reduction-ordering tests, golden-corpus
+    checks.  Payloads are pure functions of (experiment id, protocol
+    seed, fault scenario), so one run per key serves every consumer.
+    Callers must treat payloads as read-only.
+    """
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.faults.scenario import use_faults
+
+    cache: dict = {}
+
+    def run(exp_id: str, seed: int = 0, scenario=None):
+        key = (exp_id, seed, scenario)
+        if key not in cache:
+            protocol = None if seed == 0 else MeasurementProtocol(
+                seed=seed)
+            with use_faults(scenario):
+                cache[key] = EXPERIMENTS[exp_id].run(protocol)
+        return cache[key]
+
+    return run

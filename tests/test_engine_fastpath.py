@@ -1,0 +1,228 @@
+"""The fast protocol kernel must be bit-identical to the reference.
+
+The engine keeps two implementations of the measurement kernel (see the
+"Fast path" section of :mod:`repro.core.engine`): the retained scalar
+reference is the authoritative semantics, and the vectorized default
+must reproduce it result-by-result — same medians, same valid-run
+counts, same dropped counts — across machines, seeds, spec shapes, RNG
+pool backends, and fault injection.  Any divergence here is a
+correctness bug, never an acceptable approximation.
+"""
+
+import math
+
+import pytest
+
+from repro.common.datatypes import DOUBLE, INT
+from repro.common.errors import MeasurementError
+from repro.common.rng import RngStreamPool
+from repro.compiler.ops import Op, PrimitiveKind, Scope
+from repro.core.engine import (
+    MeasurementEngine,
+    fast_path_default,
+    reference_engine,
+)
+from repro.core.protocol import MeasurementProtocol
+from repro.core.spec import MeasurementSpec
+from repro.cpu.machine import CpuMachine
+from repro.cpu.presets import cpu_preset
+from repro.experiments.base import (
+    cuda_atomic_scalar_spec,
+    cuda_fence_spec,
+    omp_atomic_read_spec,
+    omp_atomic_update_scalar_spec,
+    omp_flush_spec,
+)
+from repro.faults.machine import FaultyMachine, wrap_machine
+from repro.faults.presets import preset_scenario
+from repro.faults.scenario import use_faults
+from repro.gpu.presets import gpu_preset
+from repro.gpu.spec import LaunchConfig
+
+
+def _outcome(engine, spec, ctx, label):
+    """A measurement, or the raised error's text (faults can make a
+    point legitimately unmeasurable — both paths must agree on that
+    too)."""
+    try:
+        return engine.measure(spec, ctx, label=label)
+    except MeasurementError as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def _series(machine, spec, points, *, fast, protocol=None, prime=True):
+    """Measure a list of ``(ctx, label)`` points on one engine."""
+    engine = MeasurementEngine(machine, protocol, fast=fast)
+    if prime and fast:
+        engine.prime(spec, [label for _, label in points])
+    return [_outcome(engine, spec, ctx, label) for ctx, label in points]
+
+
+def _assert_equivalent(machine, spec, points, protocol=None, prime=True):
+    fast = _series(machine, spec, points, fast=True, protocol=protocol,
+                   prime=prime)
+    ref = _series(machine, spec, points, fast=False, protocol=protocol)
+    assert fast == ref
+
+
+def _cpu_points(machine, label_prefix=""):
+    return [(machine.context(n), f"{label_prefix}t={n}")
+            for n in range(2, machine.max_threads + 1, 3)]
+
+
+def _gpu_points(device, blocks=2):
+    return [(device.context(LaunchConfig(blocks, n)), f"b={blocks}/t={n}")
+            for n in (1, 32, 256, 1024)]
+
+
+class TestCpuEquivalence:
+    @pytest.mark.parametrize("system", [1, 2, 3])
+    def test_atomic_update_sweep(self, system):
+        machine = cpu_preset(system)
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(machine))
+
+    @pytest.mark.parametrize("seed", [0, 7, 123456])
+    def test_seeds(self, seed):
+        machine = cpu_preset(3)
+        protocol = MeasurementProtocol(seed=seed)
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(DOUBLE),
+                           _cpu_points(machine), protocol=protocol)
+
+    def test_unprimed_points_fall_back_identically(self):
+        machine = cpu_preset(3)
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(machine), prime=False)
+
+    def test_contrast_and_inserted_shapes(self):
+        machine = cpu_preset(2)
+        for spec in (omp_atomic_read_spec(INT), omp_flush_spec(INT, 1)):
+            _assert_equivalent(machine, spec, _cpu_points(machine))
+
+    def test_attempt_budget_path(self):
+        machine = cpu_preset(3)
+        protocol = MeasurementProtocol(attempt_budget=20)
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(machine), protocol=protocol)
+
+    def test_quiet_machine_closed_form(self, quiet_cpu):
+        # Zero jitter exercises the fast path's no-sampling shortcut.
+        _assert_equivalent(quiet_cpu, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(quiet_cpu))
+
+
+class TestGpuEquivalence:
+    @pytest.mark.parametrize("system", [1, 2, 3])
+    def test_atomic_add_sweep(self, system):
+        device = gpu_preset(system)
+        spec = cuda_atomic_scalar_spec(PrimitiveKind.ATOMIC_ADD, INT)
+        _assert_equivalent(device, spec, _gpu_points(device))
+
+    def test_noisy_system_fence(self):
+        # __threadfence_system() is the one GPU primitive that draws
+        # noise (PCIe round trips), so it exercises real sampling.
+        device = gpu_preset(3)
+        spec = cuda_fence_spec(Scope.SYSTEM, INT, 1)
+        _assert_equivalent(device, spec, _gpu_points(device))
+
+    def test_unrecordable_spec(self):
+        device = gpu_preset(3)
+        ballot = Op(kind=PrimitiveKind.VOTE_BALLOT, result_used=False)
+        spec = MeasurementSpec.single("ballot", ballot)
+        fast = _series(device, spec, _gpu_points(device), fast=True)
+        ref = _series(device, spec, _gpu_points(device), fast=False)
+        # repr comparison: unrecordable results carry NaN fields, and
+        # NaN != NaN would fail a plain dataclass equality.
+        assert [repr(r) for r in fast] == [repr(r) for r in ref]
+        assert all(r.unrecordable for r in fast)
+
+
+class TestFaultEquivalence:
+    @pytest.mark.parametrize("preset", ["calm", "storm", "lossy",
+                                        "stress-lab"])
+    def test_active_scenario_cpu(self, preset):
+        # The engine wraps its machine in a FaultyMachine when a
+        # scenario is active; the wrapper routes the fast path back to
+        # per-sample scalar draws so mid-pair fault injection fires at
+        # the same stream position as the reference.
+        machine = cpu_preset(3)
+        spec = omp_atomic_update_scalar_spec(INT)
+        with use_faults(preset_scenario(preset)):
+            _assert_equivalent(machine, spec, _cpu_points(machine))
+
+    def test_explicit_faulty_machine_wrap(self):
+        # One wrapper per engine: a FaultyMachine's fault stream is
+        # stateful (consumed in call order), so sharing a single
+        # wrapper across two engines would compare different stream
+        # positions, not different kernels.
+        spec = omp_atomic_update_scalar_spec(INT)
+        base = cpu_preset(3)
+        points = [(base.context(n), f"t={n}") for n in (2, 8, 16)]
+
+        def wrapped():
+            machine = wrap_machine(base, preset_scenario("storm"))
+            assert isinstance(machine, FaultyMachine)
+            return machine
+
+        fast = _series(wrapped(), spec, points, fast=True)
+        ref = _series(wrapped(), spec, points, fast=False)
+        assert fast == ref
+
+    def test_golden_corpus_verifies_under_active_faults(self):
+        # The golden corpus is the end-to-end byte-identity oracle; it
+        # must stay clean with the fast path enabled even while a fault
+        # scenario is active in the process (verify pins faults off).
+        from repro.experiments.golden import default_corpus_dir, \
+            verify_golden
+        assert fast_path_default()
+        with use_faults(preset_scenario("stress-lab")):
+            problems = verify_golden(default_corpus_dir())
+        assert not problems, "\n".join(problems)
+
+
+class TestBackendsAndRouting:
+    def test_dict_setter_fallback_backend(self, monkeypatch):
+        # Force the pool off the raw-state (ctypes) backend: tokens
+        # become (state, inc) int pairs through the public state
+        # property, and results must not change.
+        monkeypatch.setattr(RngStreamPool, "_CTYPES_OK", False)
+        monkeypatch.setattr(RngStreamPool, "_TOKEN_CACHE", {})
+        machine = cpu_preset(3)
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(machine))
+
+    def test_run_noise_override_routed_through_subclass(self):
+        class TweakedMachine(CpuMachine):
+            # A subclass with its own noise model must not be silently
+            # replaced by the base class's batch/sampler fast paths.
+            def run_noise(self, rng, ctx, body=(), base_cost=0.0):
+                return super().run_noise(rng, ctx, body, base_cost) + 0.5
+
+        base = cpu_preset(3)
+        machine = TweakedMachine(base.topology, base.params, base.jitter)
+        assert machine.noise_sampler(machine.context(4), ((), ()),
+                                     (0.0, 0.0)) is None
+        _assert_equivalent(machine, omp_atomic_update_scalar_spec(INT),
+                           _cpu_points(machine))
+
+    def test_reference_engine_scopes_the_default(self):
+        default = fast_path_default()
+        with reference_engine():
+            assert not fast_path_default()
+            assert not MeasurementEngine(cpu_preset(1)).fast
+        assert fast_path_default() == default
+
+    def test_pool_self_check_replica(self):
+        # The pool refuses the fast seeding path unless its pure-python
+        # SeedSequence/PCG64 replica matches the installed numpy.
+        pool = RngStreamPool()
+        assert pool._self_check()
+
+
+def test_median_matches_statistics():
+    import statistics
+    from repro.core.engine import _median
+    for values in ([1.0], [3.0, 1.0], [5.0, 2.0, 9.0],
+                   [0.1, 0.2, 0.3, 0.4], [2.0, 2.0, 2.0]):
+        assert _median(list(values)) == statistics.median(values)
+    assert math.isfinite(_median([1e308, -1e308, 0.0]))

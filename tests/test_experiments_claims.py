@@ -8,28 +8,19 @@ import pytest
 
 from repro.experiments import EXPERIMENTS
 
-_payload_cache: dict[str, object] = {}
-
-
-def _payload(exp_id):
-    if exp_id not in _payload_cache:
-        _payload_cache[exp_id] = EXPERIMENTS[exp_id].run(None)
-    return _payload_cache[exp_id]
-
-
 @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
-def test_experiment_reproduces_paper_claims(exp_id):
+def test_experiment_reproduces_paper_claims(exp_id, cached_experiment):
     definition = EXPERIMENTS[exp_id]
-    checks = definition.claims(_payload(exp_id))
+    checks = definition.claims(cached_experiment(exp_id))
     assert checks, f"{exp_id} defines no claims"
     failed = [str(c) for c in checks if not c.passed]
     assert not failed, f"{exp_id}: " + "; ".join(failed)
 
 
 @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
-def test_experiment_sweeps_are_extractable(exp_id):
+def test_experiment_sweeps_are_extractable(exp_id, cached_experiment):
     definition = EXPERIMENTS[exp_id]
-    sweeps = definition.sweeps(_payload(exp_id))
+    sweeps = definition.sweeps(cached_experiment(exp_id))
     for sweep in sweeps:
         csv = sweep.to_csv()
         assert sweep.name in csv

@@ -111,7 +111,10 @@ class TestGpuClaimsUnderPerturbation:
             GpuCostParams(**{
                 k: (v * factor if isinstance(v, float) else v)
                 for k, v in asdict(base.params).items()}))
-        outcomes = run_listing1(device)
+        # 4K elements instead of the experiment's 16K: the orderings
+        # asserted below are scale-free (one quarter the simulation
+        # time), only the excluded R2/R5 ratio band is scale-tuned.
+        outcomes = run_listing1(device, size=4096)
         checks = claims_listing1(outcomes)
         # The R2/R5 absolute ratio band is calibration-sensitive by
         # design; the *orderings* must survive any uniform scaling.

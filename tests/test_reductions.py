@@ -103,9 +103,13 @@ class TestOperationCounts:
 
 
 class TestPaperOrdering:
-    def test_listing1_performance_ordering(self, mini_gpu, rng):
-        data = rng.integers(-10 ** 6, 10 ** 6, size=16384).astype(np.int32)
-        outcomes = compare_reductions(mini_gpu, data, block_threads=64)
+    # Both tests read the canonical listing1 run (the listing-scale
+    # device over 16K elements) from the session-scoped experiment
+    # cache instead of re-simulating all five reductions per test —
+    # the claims suite runs the identical configuration anyway.
+
+    def test_listing1_performance_ordering(self, cached_experiment):
+        outcomes = cached_experiment("listing1")
         cycles = {k: v.elapsed_cycles for k, v in outcomes.items()}
         # §II-C: "Reduction 3 is the fastest, followed by Reduction 4,
         # then Reduction 1, and Reduction 2 is the slowest."
@@ -114,14 +118,10 @@ class TestPaperOrdering:
         # "Reduction 5 ... outperforms all four shown versions."
         assert cycles["reduction5"] == min(cycles.values())
 
-    def test_r5_roughly_2_5x_faster_than_r2(self, rng):
+    def test_r5_roughly_2_5x_faster_than_r2(self, cached_experiment):
         # The paper's "about 2.5x" holds at the input/device scale the
         # listing1 experiment uses (8 mini SMs, 16K elements).
-        from repro.experiments.listing1 import mini_gpu as listing_gpu
-        data = rng.integers(-10 ** 6, 10 ** 6, size=16384).astype(np.int32)
-        outcomes = compare_reductions(
-            listing_gpu(), data, block_threads=64,
-            names=("reduction2", "reduction5"))
+        outcomes = cached_experiment("listing1")
         ratio = outcomes["reduction2"].elapsed_cycles / \
             outcomes["reduction5"].elapsed_cycles
         assert 1.8 <= ratio <= 3.5

@@ -4,8 +4,8 @@ import json
 
 from repro.analysis.trends import check
 from repro.core.results import MeasurementResult, Series, SweepResult
-from repro.core.results_io import load_sweep_csv, save_experiment, \
-    save_sweep
+from repro.core.results_io import clean_stale_tmp, load_sweep_csv, \
+    save_experiment, save_sweep
 
 
 def make_sweep(name="fig1", labels=("int",)):
@@ -51,6 +51,29 @@ class TestSaveSweep:
         loaded = load_sweep_csv(csv_path)
         assert set(loaded) == {"int", "double"}
         assert loaded["int"] == [(2.0, 1e8), (4.0, 5e7)]
+
+
+class TestCleanStaleTmp:
+    def test_removes_only_stranded_atomic_tmps(self, tmp_path):
+        # A kill -9 between mkstemp and os.replace strands a
+        # randomly-named temp file; re-entering writers sweep them.
+        (tmp_path / ".fig1.csv.x7abc2.tmp").write_text("junk")
+        (tmp_path / ".meta.json.q9def0.tmp").write_text("junk")
+        (tmp_path / "fig1.csv").write_text("keep")
+        (tmp_path / "notes.tmp.txt").write_text("keep")
+        assert clean_stale_tmp(tmp_path) == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["fig1.csv", "notes.tmp.txt"]
+        assert clean_stale_tmp(tmp_path) == 0
+
+    def test_save_experiment_sweeps_its_directory(self, tmp_path):
+        directory = tmp_path / "fig1"
+        directory.mkdir()
+        stale = directory / ".fig1.chart.txt.k2xyz9.tmp"
+        stale.write_text("junk")
+        save_experiment("fig1", "OpenMP barrier", "openmp",
+                        [make_sweep()], [], tmp_path)
+        assert not stale.exists()
 
 
 class TestSaveExperiment:
