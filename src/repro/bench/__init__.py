@@ -1,11 +1,13 @@
 """The engine benchmark suite: ``python -m repro.bench``.
 
 Times the measurement fast path against the retained scalar reference
-path (:func:`repro.core.engine.reference_engine`) at three granularities
-— the raw protocol kernel, a representative sweep, and a full campaign
-(serial vs ``jobs=N``) — and writes ``BENCH_engine.json`` at the repo
-root in a stable schema so the performance trajectory is tracked across
-PRs:
+path (:func:`repro.core.engine.reference_engine`) at four granularities
+— the raw protocol kernel, a representative sweep, the kernel
+interpreters (``interp_*`` rows: CUDA/OpenMP workloads under batched
+uniform-pass dispatch vs the scalar schedulers, plus the
+``parallel_blocks`` serial-vs-forked row), and a full campaign (serial
+vs ``jobs=N``) — and writes ``BENCH_engine.json`` at the repo root in a
+stable schema so the performance trajectory is tracked across PRs:
 
 .. code-block:: json
 
@@ -156,6 +158,149 @@ def _bench_sweep(bench_id: str, producer: Callable[[], object],
                 _best_of(producer, repeats))
 
 
+# ---------------------------- interpreters ----------------------------- #
+
+
+def _bench_interp(bench_id: str, producer: Callable[[], object],
+                  counter: Callable[[], int], repeats: int) -> dict:
+    """Time a kernel-interpreter workload, fast vs reference.
+
+    ``counter`` samples the interpreter's uniform-pass counter
+    (:data:`repro.cuda.fastpath.UNIFORM_PASSES` or
+    :data:`repro.openmp.fastpath.UNIFORM_ROUNDS`); the row is refused
+    when the batched dispatcher did not actually run on the fast side,
+    or ran during the reference timing — either way the speedup would
+    be meaningless.
+    """
+    before = counter()
+    fast_result = producer()
+    if counter() == before:
+        raise SimulationError(
+            f"{bench_id}: batched dispatch never ran on the fast path; "
+            f"refusing to benchmark")
+    before = counter()
+    with reference_engine():
+        ref_result = producer()
+    if counter() != before:
+        raise SimulationError(
+            f"{bench_id}: reference timing accidentally used the fast "
+            f"path; refusing to benchmark")
+    if fast_result != ref_result:
+        raise SimulationError(
+            f"{bench_id}: fast path diverged from the reference path; "
+            f"refusing to benchmark a broken fast path")
+
+    def run_reference():
+        with reference_engine():
+            producer()
+
+    return _row(bench_id, _best_of(run_reference, repeats),
+                _best_of(producer, repeats))
+
+
+def _interp_cuda_stream():
+    """Coalesced load/compute/store sweeps (uniform warp passes)."""
+    import numpy as np
+    from repro.cuda.interpreter import Cuda
+    from repro.gpu.presets import gpu_preset
+    from repro.gpu.spec import LaunchConfig
+
+    def kernel(t):
+        tid = t.global_id
+        for _ in range(8):
+            value = yield t.global_read("a", tid)
+            yield t.global_write("b", tid, value * 2.0)
+            yield t.alu(2)
+
+    device = gpu_preset(1)
+    n = 24 * 64
+    a = np.arange(n, dtype=np.float64)
+    b = np.zeros(n)
+    result = Cuda(device).launch(kernel, LaunchConfig(24, 64),
+                                 globals_={"a": a, "b": b})
+    return (result.elapsed_cycles, b.tobytes())
+
+
+def _interp_cuda_sync():
+    """Fence/syncwarp-heavy kernel — the paper's sync-primitive shape."""
+    from repro.cuda.interpreter import Cuda
+    from repro.gpu.presets import gpu_preset
+    from repro.gpu.spec import LaunchConfig
+
+    def kernel(t):
+        for _ in range(16):
+            yield t.threadfence()
+            yield t.syncwarp()
+
+    device = gpu_preset(1)
+    result = Cuda(device).launch(kernel, LaunchConfig(16, 64))
+    return (result.elapsed_cycles,)
+
+
+def _interp_cuda_histogram():
+    import numpy as np
+    from repro.gpu.presets import gpu_preset
+    from repro.workloads.histogram import gpu_histogram
+    data = (np.arange(2048, dtype=np.int64) * 7919) % 64
+    out = gpu_histogram(gpu_preset(1), data, 64, strategy="shared")
+    return (out.elapsed, out.correct, out.bins.tobytes())
+
+
+def _interp_cuda_bfs():
+    from repro.gpu.presets import gpu_preset
+    from repro.workloads.bfs import gpu_bfs, random_graph
+    row_ptr, cols = random_graph(96, avg_degree=4, seed=1)
+    out = gpu_bfs(gpu_preset(1), row_ptr, cols)
+    return (out.elapsed, out.correct, out.levels, out.distances.tobytes())
+
+
+def _interp_omp_histogram():
+    import numpy as np
+    from repro.cpu.presets import cpu_preset
+    from repro.workloads.histogram import cpu_histogram
+    data = (np.arange(1600, dtype=np.int64) * 271) % 32
+    out = cpu_histogram(cpu_preset(1), data, 32, strategy="atomic",
+                        detect_races=False)
+    return (out.elapsed, out.correct, out.bins.tobytes())
+
+
+def _interp_omp_prefix_sum():
+    import numpy as np
+    from repro.cpu.presets import cpu_preset
+    from repro.workloads.prefix_sum import cpu_prefix_sum
+    data = (np.arange(1600, dtype=np.int64) * 31) % 100
+    out = cpu_prefix_sum(cpu_preset(1), data, detect_races=False)
+    return (out.elapsed, out.correct, out.values.tobytes())
+
+
+def _bench_parallel_blocks(repeats: int) -> dict:
+    """Serial vs ``block_jobs=2`` on a disjoint multi-block workload.
+
+    ``reference_s`` is the serial schedule, ``fast_s`` the forked
+    fan-out; both run the batched dispatcher, and the results must be
+    byte-identical (the parallel executor's contract).  The speedup
+    depends on available cores, so — like the campaign row — it is not
+    gated in CI.
+    """
+    import numpy as np
+    from repro.gpu.presets import gpu_preset
+    from repro.workloads.prefix_sum import gpu_segmented_prefix_sum
+    device = gpu_preset(1)
+    data = (np.arange(32 * 64, dtype=np.int64) * 7919) % 1000
+
+    def run(jobs: int):
+        out = gpu_segmented_prefix_sum(device, data, block_threads=64,
+                                       block_jobs=jobs)
+        return (out.elapsed, out.correct, out.values.tobytes())
+
+    if run(1) != run(2):
+        raise SimulationError(
+            "parallel_blocks: block_jobs=2 diverged from the serial "
+            "schedule; refusing to benchmark")
+    return _row("parallel_blocks", _best_of(lambda: run(1), repeats),
+                _best_of(lambda: run(2), repeats), jobs=2)
+
+
 # ------------------------------ campaign ------------------------------- #
 
 
@@ -183,6 +328,14 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
     repeats = 3
     from repro.experiments.omp_atomic_update import run_fig2
     from repro.experiments.cuda_atomicadd import run_fig9
+    from repro.cuda import fastpath as cuda_fastpath
+    from repro.openmp import fastpath as omp_fastpath
+
+    def cuda_passes() -> int:
+        return cuda_fastpath.UNIFORM_PASSES
+
+    def omp_rounds() -> int:
+        return omp_fastpath.UNIFORM_ROUNDS
 
     benchmarks = [
         _bench_kernel("engine_kernel_cpu", _cpu_kernel_case, repeats),
@@ -190,6 +343,19 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
         _bench_sweep("sweep_fig2_omp_atomic", run_fig2, repeats),
         _bench_sweep("sweep_fig9_cuda_atomicadd",
                      lambda: run_fig9()[2], repeats),
+        _bench_interp("interp_cuda_stream", _interp_cuda_stream,
+                      cuda_passes, repeats),
+        _bench_interp("interp_cuda_sync", _interp_cuda_sync,
+                      cuda_passes, repeats),
+        _bench_interp("interp_cuda_histogram", _interp_cuda_histogram,
+                      cuda_passes, repeats),
+        _bench_interp("interp_cuda_bfs", _interp_cuda_bfs,
+                      cuda_passes, repeats),
+        _bench_interp("interp_omp_histogram", _interp_omp_histogram,
+                      omp_rounds, repeats),
+        _bench_interp("interp_omp_prefix_sum", _interp_omp_prefix_sum,
+                      omp_rounds, repeats),
+        _bench_parallel_blocks(repeats),
         _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
                         jobs),
     ]

@@ -1,0 +1,54 @@
+"""Step budgets for the functional interpreters.
+
+Both interpreters guard against runaway kernels/thread bodies with a
+per-launch step budget.  :class:`StepBudget` replaces the ad-hoc mutable
+counters (``steps_used = [0]`` in the CUDA interpreter, a local ``steps``
+integer in the OpenMP one) with one shared object that
+
+* can be charged one step at a time (the scalar reference paths) or a
+  whole scheduling pass at once (the batched fast paths), and
+* reports *steps consumed* and the *per-launch limit* when it trips, so
+  a budget exhaustion is diagnosable from the exception alone.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+
+class StepBudget:
+    """A per-launch interpreter step allowance.
+
+    Args:
+        limit: Maximum interpreter steps for the launch/region.
+        hint: Appended to the exhaustion message ("runaway kernel?" for
+            CUDA launches, "runaway thread body?" for OpenMP regions).
+    """
+
+    __slots__ = ("limit", "used", "hint")
+
+    def __init__(self, limit: int, hint: str = "runaway kernel?") -> None:
+        self.limit = limit
+        self.used = 0
+        self.hint = hint
+
+    def charge(self, steps: int = 1) -> None:
+        """Consume ``steps`` steps; raise when the budget is exhausted.
+
+        Raises:
+            SimulationError: naming both the steps consumed and the
+                per-launch limit.
+        """
+        self.used += steps
+        if self.used > self.limit:
+            raise SimulationError(
+                f"step budget exhausted: {self.used} steps consumed of "
+                f"the {self.limit} allowed per launch; {self.hint}")
+
+    @property
+    def remaining(self) -> int:
+        """Steps left before :meth:`charge` raises."""
+        return max(0, self.limit - self.used)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StepBudget(used={self.used}, limit={self.limit})"

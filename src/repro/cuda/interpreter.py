@@ -32,6 +32,7 @@ from typing import Callable, Generator, Mapping
 
 import numpy as np
 
+from repro.common.budget import StepBudget
 from repro.common.errors import SimulationError
 from repro.compiler.ops import Op, PrimitiveKind, Scope
 from repro.gpu.device import GpuDevice, GpuRunContext
@@ -91,6 +92,8 @@ class KernelThread:
     Mirrors the CUDA built-ins (``threadIdx.x`` etc., flattened to 1-D)
     plus sugar constructors for every request type.
     """
+
+    __slots__ = ("threadIdx", "blockIdx", "blockDim", "gridDim")
 
     def __init__(self, thread_idx: int, block_idx: int, block_dim: int,
                  grid_dim: int) -> None:
@@ -272,7 +275,7 @@ class _LaneState(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Lane:
     gen: Generator
     lane_id: int
@@ -324,7 +327,23 @@ class LaunchResult:
     block_cycles: list[float] = field(default_factory=list)
     stats: LaunchStats = field(default_factory=LaunchStats)
     trace: Trace | None = None
-    races: list = field(default_factory=list)
+    #: The detector that watched the launch (None when race detection
+    #: was off).  Race reports are materialized lazily through
+    #: :attr:`races` instead of being copied eagerly at construction.
+    detector: GpuRaceDetector | None = field(default=None, repr=False)
+
+    @property
+    def races(self) -> list:
+        """Race reports collected during the launch (lazy: built from
+        the detector on access, empty when detection was off)."""
+        if self.detector is None:
+            return []
+        return list(self.detector.races)
+
+    @property
+    def raced(self) -> bool:
+        """True when the launch produced at least one race report."""
+        return self.detector is not None and bool(self.detector.races)
 
 
 class Cuda:
@@ -333,20 +352,27 @@ class Cuda:
     Args:
         device: The GPU to launch on.
         max_steps: Interpreter step budget per launch.
+        fast: Force the batched fast dispatch on/off; ``None`` follows
+            the process default (fast unless ``SYNCPERF_ENGINE=reference``
+            or inside :func:`repro.core.engine.reference_engine`), the
+            same switch that governs the measurement engine.
     """
 
     def __init__(self, device: GpuDevice, max_steps: int = 50_000_000,
                  detect_races: bool = False,
-                 collect_races: bool = False) -> None:
+                 collect_races: bool = False,
+                 fast: bool | None = None) -> None:
+        from repro.core.engine import fast_path_default
         self.device = device
         self.max_steps = max_steps
         self.detect_races = detect_races or collect_races
         self.collect_races = collect_races
+        self.fast = fast_path_default() if fast is None else fast
 
     def launch(self, kernel: Kernel, launch: LaunchConfig,
                globals_: Mapping[str, np.ndarray] | None = None,
                shared_decls: Mapping[str, tuple[int, np.dtype]] | None = None,
-               trace: bool = False) -> LaunchResult:
+               trace: bool = False, block_jobs: int = 1) -> LaunchResult:
         """Run ``kernel`` over the whole grid to completion.
 
         Args:
@@ -357,6 +383,13 @@ class Cuda:
                 ``name -> (n_elements, numpy dtype)``.
             trace: Record a per-warp-pass execution timeline in
                 ``result.trace``.
+            block_jobs: Fan independent blocks out over this many worker
+                processes.  Safe only when blocks touch disjoint global
+                locations; the interpreter records every block's global
+                footprint, verifies pairwise disjointness with the race
+                machinery, and transparently re-executes serially when
+                the verification fails — the ``LaunchResult`` is
+                byte-identical to a serial launch either way.
 
         Raises:
             SimulationError: on deadlock, divergent collectives, barrier
@@ -365,17 +398,30 @@ class Cuda:
         memory: dict[str, np.ndarray] = dict(globals_ or {})
         ctx = self.device.context(launch)
         stats = LaunchStats()
-        steps_used = [0]
+        budget = StepBudget(self.max_steps, hint="runaway kernel?")
         trace_obj = Trace() if trace else None
         detector = GpuRaceDetector(raise_on_race=not self.collect_races) \
             if self.detect_races else None
 
-        block_cycles: list[float] = []
-        for block_idx in range(launch.grid_blocks):
-            block_cycles.append(self._run_block(
-                kernel, launch, ctx, block_idx, memory,
-                dict(shared_decls or {}), stats, steps_used, trace_obj,
-                detector))
+        block_cycles: list[float] | None = None
+        # Block fan-out rides on the fast runner (the reference path is
+        # the authoritative *serial* semantics) and is incompatible with
+        # a launch-wide race detector, whose history must observe every
+        # block's accesses in one process.
+        if self.fast and block_jobs > 1 and launch.grid_blocks > 1 \
+                and detector is None:
+            from repro.cuda.parallel import try_parallel_blocks
+            block_cycles = try_parallel_blocks(
+                self, kernel, launch, ctx, memory,
+                dict(shared_decls or {}), stats, budget, trace_obj,
+                block_jobs)
+
+        if block_cycles is None:
+            block_cycles = [
+                self._run_block(kernel, launch, ctx, block_idx, memory,
+                                dict(shared_decls or {}), stats, budget,
+                                trace_obj, detector)
+                for block_idx in range(launch.grid_blocks)]
 
         elapsed = self._schedule(launch, ctx, block_cycles)
         return LaunchResult(
@@ -385,7 +431,7 @@ class Cuda:
             block_cycles=block_cycles,
             stats=stats,
             trace=trace_obj,
-            races=list(detector.races) if detector is not None else [],
+            detector=detector,
         )
 
     # ------------------------------------------------------------------ #
@@ -416,9 +462,36 @@ class Cuda:
                    ctx: GpuRunContext, block_idx: int,
                    memory: dict[str, np.ndarray],
                    shared_decls: dict[str, tuple[int, np.dtype]],
-                   stats: LaunchStats, steps_used: list[int],
+                   stats: LaunchStats, budget: StepBudget,
                    trace: Trace | None = None,
-                   detector: GpuRaceDetector | None = None) -> float:
+                   detector: GpuRaceDetector | None = None,
+                   footprint=None) -> float:
+        """Execute one block to completion and return its modeled cycles.
+
+        Dispatches to the batched fast runner
+        (:func:`repro.cuda.fastpath.run_block_fast`) unless this runtime
+        was put on the reference path; the scalar loop below is the
+        authoritative semantics either way.
+        """
+        if self.fast:
+            from repro.cuda.fastpath import run_block_fast
+            return run_block_fast(self, kernel, launch, ctx, block_idx,
+                                  memory, shared_decls, stats, budget,
+                                  trace, detector, footprint)
+        return self._run_block_reference(kernel, launch, ctx, block_idx,
+                                         memory, shared_decls, stats,
+                                         budget, trace, detector,
+                                         footprint)
+
+    def _run_block_reference(self, kernel: Kernel, launch: LaunchConfig,
+                             ctx: GpuRunContext, block_idx: int,
+                             memory: dict[str, np.ndarray],
+                             shared_decls: dict[str, tuple[int, np.dtype]],
+                             stats: LaunchStats, budget: StepBudget,
+                             trace: Trace | None = None,
+                             detector: GpuRaceDetector | None = None,
+                             footprint=None) -> float:
+        del footprint  # footprints are recorded by the fast runner only
         shared = {name: np.zeros(size, dtype=dt)
                   for name, (size, dt) in shared_decls.items()}
         n = launch.block_threads
@@ -447,7 +520,7 @@ class Cuda:
             for warp_id, lanes in enumerate(warps):
                 stepped, cost, label = self._step_warp(
                     warp_id, lanes, ctx, memory, shared, issuing_warps,
-                    resident_blocks, stats, steps_used, env)
+                    resident_blocks, stats, budget, env)
                 if trace is not None and cost > 0:
                     trace.add(block_idx, warp_id, label,
                               warp_clocks[warp_id],
@@ -467,7 +540,7 @@ class Cuda:
                    shared: dict[str, np.ndarray],
                    issuing_warps: dict[tuple[PrimitiveKind, str], set[int]],
                    resident_blocks: int, stats: LaunchStats,
-                   steps_used: list[int],
+                   budget: StepBudget,
                    env: "_BlockEnv | None" = None
                    ) -> tuple[bool, float, str]:
         """Advance every runnable lane of one warp by one request.
@@ -481,11 +554,7 @@ class Cuda:
             if lane.state is not _LaneState.RUNNING:
                 continue
             stepped = True
-            steps_used[0] += 1
-            if steps_used[0] > self.max_steps:
-                raise SimulationError(
-                    f"step budget ({self.max_steps}) exhausted; "
-                    "runaway kernel?")
+            budget.charge()
             try:
                 request = lane.gen.send(lane.pending)
             except StopIteration:
@@ -501,6 +570,35 @@ class Cuda:
                 return True, collective[0], collective[1]
             return stepped, 0.0, ""
 
+        cost, labels = self._process_gathered(
+            warp_id, lanes, gathered, ctx, memory, shared, issuing_warps,
+            resident_blocks, stats, env)
+
+        collective = self._maybe_run_collective(warp_id, lanes, ctx, stats)
+        if collective is not None:
+            cost += collective[0]
+            labels.append(collective[1])
+        return True, cost, "+".join(labels)
+
+    def _process_gathered(self, warp_id: int, lanes: list[_Lane],
+                          gathered: list[tuple[_Lane, rq.Request]],
+                          ctx: GpuRunContext,
+                          memory: dict[str, np.ndarray],
+                          shared: dict[str, np.ndarray],
+                          issuing_warps: dict[tuple[PrimitiveKind, str],
+                                              set[int]],
+                          resident_blocks: int, stats: LaunchStats,
+                          env: "_BlockEnv | None" = None
+                          ) -> tuple[float, list[str]]:
+        """Execute one pass's gathered (lane, request) pairs.
+
+        This is the authoritative mixed-pass semantics, shared by the
+        scalar reference loop and the fast runner's fallback for
+        divergent passes.
+
+        Returns:
+            (cycle cost of the pass, sorted trace labels).
+        """
         # SIMT: lanes that took the same path issue one instruction group
         # together; distinct groups within a pass serialize, plus a fixed
         # re-convergence overhead per extra group (branch divergence).
@@ -562,12 +660,7 @@ class Cuda:
             stats.divergent_passes += 1
             cost += self.device.params.divergence_cycles \
                 * (len(group_costs) - 1)
-
-        collective = self._maybe_run_collective(warp_id, lanes, ctx, stats)
-        if collective is not None:
-            cost += collective[0]
-            labels.append(collective[1])
-        return True, cost, "+".join(labels)
+        return cost, labels
 
     def _execute_simple(self, lane: _Lane, request: rq.Request,
                         ctx: GpuRunContext, memory: dict[str, np.ndarray],
@@ -701,8 +794,8 @@ class Cuda:
         op = Op(kind=kind, dtype=dtype, target=SharedScalar(dtype),
                 scope=effective_scope)
         n_addresses = len({request.idx for _l, request in group})
-        return self.device.cost_model.dynamic_atomic_cost(
-            op, n_addresses=n_addresses, n_lanes=len(group),
+        return self.device.atomic_issue_cost(
+            op, ctx, n_addresses=n_addresses, n_lanes=len(group),
             issuing_warps=len(seen), resident_blocks=resident_blocks)
 
     # ------------------------------------------------------------------ #
@@ -716,14 +809,19 @@ class Cuda:
             (cost, label) when a collective executed; None otherwise.
         """
         del warp_id
-        participants = [lane for lane in lanes
-                        if lane.state is _LaneState.COLLECTIVE]
+        participants = []
+        still_running = False
+        blocked_elsewhere = False
+        for lane in lanes:
+            state = lane.state
+            if state is _LaneState.COLLECTIVE:
+                participants.append(lane)
+            elif state is _LaneState.RUNNING:
+                still_running = True
+            else:  # BARRIER or DONE
+                blocked_elsewhere = True
         if not participants:
             return None
-        blocked_elsewhere = [lane for lane in lanes if lane.state in
-                             (_LaneState.BARRIER, _LaneState.DONE)]
-        still_running = [lane for lane in lanes
-                         if lane.state is _LaneState.RUNNING]
         if still_running:
             return None  # stragglers will arrive in a later pass
         if blocked_elsewhere:
@@ -839,15 +937,23 @@ class Cuda:
                                trace: Trace | None = None,
                                block_idx: int = 0,
                                env: "_BlockEnv | None" = None) -> bool:
-        all_lanes = [lane for lanes in warps for lane in lanes]
-        waiting = [lane for lane in all_lanes
-                   if lane.state is _LaneState.BARRIER]
+        waiting = []
+        n_live = 0
+        n_total = 0
+        for lanes in warps:
+            for lane in lanes:
+                n_total += 1
+                state = lane.state
+                if state is _LaneState.BARRIER:
+                    waiting.append(lane)
+                    n_live += 1
+                elif state is not _LaneState.DONE:
+                    n_live += 1
         if not waiting:
             return False
-        live = [lane for lane in all_lanes if lane.state is not _LaneState.DONE]
-        if len(waiting) < len(live):
+        if len(waiting) < n_live:
             return False
-        if len(live) < len(all_lanes):
+        if n_live < n_total:
             raise SimulationError(
                 "__syncthreads() reached while some threads of the block "
                 "already returned; every thread must hit the barrier")

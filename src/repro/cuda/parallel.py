@@ -1,0 +1,167 @@
+"""Parallel execution of independent blocks over forked workers.
+
+CUDA blocks of one launch cannot synchronize with each other, so a
+kernel whose blocks touch global memory only through disjoint index
+ranges is embarrassingly parallel.  :func:`try_parallel_blocks` exploits
+that: it partitions the grid into contiguous chunks, forks one worker
+per chunk (``os.fork`` — generator kernels are closures and do not
+pickle, but a forked child inherits them for free), runs each chunk
+against a copy-on-write snapshot of pre-launch memory while recording
+its global footprint, and then — only if the footprints are pairwise
+disjoint (:func:`repro.cuda.race.footprints_disjoint`) — merges the
+written ranges, stats, trace events, and step counts back in block
+order.
+
+Any overlap, worker failure, platform without ``fork``, or step-budget
+hazard returns ``None`` instead, and the caller re-executes serially on
+the untouched parent memory — the resulting :class:`LaunchResult` is
+byte-identical to a serial launch either way, which is the contract the
+equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import numpy as np
+
+from repro.common.budget import StepBudget
+from repro.cuda.race import BlockFootprint, footprints_disjoint
+from repro.cuda.trace import Trace
+
+
+def _chunk_blocks(grid_blocks: int, jobs: int) -> list[list[int]]:
+    """Split ``range(grid_blocks)`` into ``jobs`` contiguous chunks."""
+    jobs = max(1, min(jobs, grid_blocks))
+    base, extra = divmod(grid_blocks, jobs)
+    chunks, start = [], 0
+    for j in range(jobs):
+        size = base + (1 if j < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def _run_chunk(cuda, kernel, launch, ctx, memory, shared_decls,
+               block_ids, do_trace, budget_limit):
+    """Child-side: run one chunk of blocks against snapshot memory."""
+    from repro.cuda.interpreter import LaunchStats
+    stats = LaunchStats()
+    budget = StepBudget(budget_limit, hint="runaway kernel?")
+    trace = Trace() if do_trace else None
+    footprint = BlockFootprint()
+    cycles = [cuda._run_block(kernel, launch, ctx, block_idx, memory,
+                              shared_decls, stats, budget, trace, None,
+                              footprint)
+              for block_idx in block_ids]
+    writes = {}
+    for var, idxs in footprint.writes.items():
+        flat = memory[var].reshape(-1)
+        idx_arr = np.array(sorted(idxs), dtype=np.intp)
+        writes[var] = (idx_arr, flat[idx_arr].copy())
+    return {
+        "cycles": cycles,
+        "stats": dataclasses.asdict(stats),
+        "footprint": footprint,
+        "writes": writes,
+        "trace": trace,
+        "steps": budget.used,
+    }
+
+
+def try_parallel_blocks(cuda, kernel, launch, ctx,
+                        memory: dict[str, np.ndarray],
+                        shared_decls, stats, budget: StepBudget,
+                        trace: Trace | None, block_jobs: int
+                        ) -> list[float] | None:
+    """Fan the launch's blocks out over forked workers.
+
+    Returns:
+        Per-block cycle list (with ``memory``/``stats``/``trace``/
+        ``budget`` merged in block order), or ``None`` when the parallel
+        attempt cannot guarantee a byte-identical result — the caller
+        then runs the ordinary serial loop on the untouched parent
+        state.
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only feature
+        return None
+
+    chunks = _chunk_blocks(launch.grid_blocks, block_jobs)
+    if len(chunks) < 2:
+        return None
+
+    children: list[tuple[int, int]] = []
+    for chunk in chunks:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Child: run the chunk, ship the outcome, exit without
+            # touching parent-inherited buffers/atexit hooks.
+            os.close(read_fd)
+            try:
+                payload = ("ok", _run_chunk(
+                    cuda, kernel, launch, ctx, memory, shared_decls,
+                    chunk, trace is not None, budget.remaining))
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                try:
+                    payload = ("err", exc)
+                    data = pickle.dumps(payload,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    payload = ("err", RuntimeError(repr(exc)))
+                    data = pickle.dumps(payload,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+            else:
+                data = pickle.dumps(payload,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            with os.fdopen(write_fd, "wb") as pipe:
+                pipe.write(data)
+            os._exit(0)
+        os.close(write_fd)
+        children.append((pid, read_fd))
+
+    results = []
+    failed = False
+    for pid, read_fd in children:
+        with os.fdopen(read_fd, "rb") as pipe:
+            data = pipe.read()
+        os.waitpid(pid, 0)
+        if not data:
+            failed = True  # child died before reporting
+            continue
+        status, payload = pickle.loads(data)
+        if status != "ok":
+            failed = True
+            continue
+        results.append(payload)
+
+    if failed or len(results) != len(chunks):
+        # A worker error (kernel bug, budget blowout, ...) must surface
+        # with the exact serial message and partial state — re-run
+        # serially on the parent's untouched memory.
+        return None
+
+    if not footprints_disjoint([r["footprint"] for r in results]):
+        return None
+    total_steps = sum(r["steps"] for r in results)
+    if total_steps > budget.remaining:
+        # The combined launch would exhaust the budget; only the serial
+        # schedule knows the exact step count at which it trips.
+        return None
+
+    # Safe: merge in block order so every artifact matches serial runs.
+    block_cycles: list[float] = []
+    for result in results:
+        block_cycles.extend(result["cycles"])
+        for var, (idx_arr, values) in result["writes"].items():
+            memory[var].reshape(-1)[idx_arr] = values
+        for field in dataclasses.fields(stats):
+            setattr(stats, field.name,
+                    getattr(stats, field.name)
+                    + result["stats"][field.name])
+        if trace is not None and result["trace"] is not None:
+            trace.extend(result["trace"])
+    budget.charge(total_steps)
+    return block_cycles

@@ -25,11 +25,20 @@ _SHARED = {"s": (1, np.dtype(np.int64))}
 
 @dataclass(frozen=True)
 class DivergencePoint:
-    """Measured cost of a kernel with ``n_branches`` divergent branches."""
+    """Measured cost of a kernel with ``n_branches`` divergent branches.
+
+    Attributes:
+        n_branches: Divergent two-way branches in the kernel.
+        elapsed_cycles: Runtime on the default (batched) dispatcher.
+        divergent_passes: Diverged warp passes the interpreter observed.
+        reference_cycles: Runtime of the same launch on the scalar
+            reference dispatcher — must equal ``elapsed_cycles``.
+    """
 
     n_branches: int
     elapsed_cycles: float
     divergent_passes: int
+    reference_cycles: float = 0.0
 
 
 def _kernel_with_branches(n_branches: int):
@@ -53,13 +62,17 @@ def run_divergence(device: GpuDevice | None = None,
         from repro.experiments.listing1 import mini_gpu
         device = mini_gpu(sm_count=2)
     cuda = Cuda(device)
+    reference = Cuda(device, fast=False)
     points = []
     for n in branch_counts:
         result = cuda.launch(_kernel_with_branches(n), LaunchConfig(1, 32),
                              shared_decls=_SHARED)
+        ref = reference.launch(_kernel_with_branches(n),
+                               LaunchConfig(1, 32), shared_decls=_SHARED)
         points.append(DivergencePoint(
             n_branches=n, elapsed_cycles=result.elapsed_cycles,
-            divergent_passes=result.stats.divergent_passes))
+            divergent_passes=result.stats.divergent_passes,
+            reference_cycles=ref.elapsed_cycles))
     return points
 
 
@@ -83,4 +96,7 @@ def claims_divergence(points: list[DivergencePoint]) -> list[TrendCheck]:
                      f"{[round(c, 1) for c in per_branch]}"),
         check("every divergent branch is observed by the interpreter",
               all(by_n[n].divergent_passes == n for n in ns)),
+        check("batched and scalar dispatch agree cycle-for-cycle",
+              all(p.elapsed_cycles == p.reference_cycles
+                  for p in points)),
     ]

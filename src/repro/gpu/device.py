@@ -96,6 +96,29 @@ class GpuDevice:
             ctx._cost_cache[(self, op)] = cached
         return cached
 
+    def atomic_issue_cost(self, op: Op, ctx: GpuRunContext,
+                          n_addresses: int, n_lanes: int,
+                          issuing_warps: int,
+                          resident_blocks: int) -> float:
+        """Memoized :meth:`GpuCostModel.dynamic_atomic_cost`.
+
+        The kernel interpreter prices every atomic warp pass from its
+        observed issue shape; the shape space is tiny (a handful of
+        address/lane/warp combinations per kernel) while the pass count
+        is huge, so the price is memoized per context like
+        :meth:`op_cost`.
+        """
+        key = (self, op, n_addresses, n_lanes, issuing_warps,
+               resident_blocks)
+        cached = ctx._cost_cache.get(key)
+        if cached is None:
+            cached = self.cost_model.dynamic_atomic_cost(
+                op, n_addresses=n_addresses, n_lanes=n_lanes,
+                issuing_warps=issuing_warps,
+                resident_blocks=resident_blocks)
+            ctx._cost_cache[key] = cached
+        return cached
+
     def body_cost(self, body: tuple[Op, ...] | list[Op],
                   ctx: GpuRunContext) -> float:
         """Cost of one unrolled loop-body iteration (cycles)."""

@@ -28,8 +28,10 @@ from typing import Callable, Generator, Mapping
 
 import numpy as np
 
+from repro.common.budget import StepBudget
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.compiler.ops import Op, PrimitiveKind
+from repro.core.engine import fast_path_default
 from repro.cpu.affinity import Affinity
 from repro.cpu.machine import CpuMachine, CpuRunContext
 from repro.mem.layout import PrivateArrayElement, SharedScalar
@@ -158,6 +160,10 @@ class OpenMP:
             :class:`repro.common.errors.DataRaceError` on the first race).
         collect_races: Collect races into the result instead of raising.
         max_steps: Interpreter step budget (guards against runaway bodies).
+        fast: Force the batched fast scheduler on/off; ``None`` follows
+            the process default (fast unless ``SYNCPERF_ENGINE=reference``
+            or inside :func:`repro.core.engine.reference_engine`).  Race
+            detection always runs on the reference scheduler.
     """
 
     def __init__(self, machine: CpuMachine, n_threads: int,
@@ -165,7 +171,8 @@ class OpenMP:
                  detect_races: bool = True,
                  collect_races: bool = False,
                  relaxed_consistency: bool = True,
-                 max_steps: int = 10_000_000) -> None:
+                 max_steps: int = 10_000_000,
+                 fast: bool | None = None) -> None:
         if n_threads < 1:
             raise ConfigurationError(
                 f"need at least 1 thread, got {n_threads}")
@@ -176,6 +183,7 @@ class OpenMP:
         self.collect_races = collect_races
         self.relaxed_consistency = relaxed_consistency
         self.max_steps = max_steps
+        self.fast = fast_path_default() if fast is None else fast
         # A 1-thread region is legal in the interpreter (unlike the
         # measurement sweeps, which start at 2): fall back to a 2-thread
         # placement context for costing, since costs are placement-based.
@@ -189,12 +197,26 @@ class OpenMP:
                  trace: bool = False) -> ParallelResult:
         """Run ``body`` on every thread of the team to completion.
 
+        Dispatches to the batched fast scheduler
+        (:func:`repro.openmp.fastpath.parallel_fast`) when ``fast`` is
+        enabled and no race detector is active; the scalar reference
+        scheduler below is authoritative and produces identical results.
+
         Args:
             body: Generator function over a :class:`ThreadContext`.
             shared: Shared arrays by name (mutated in place).
             trace: Record a per-request execution timeline in
                 ``result.trace``.
         """
+        if self.fast and not self.detect_races:
+            from repro.openmp.fastpath import parallel_fast
+            return parallel_fast(self, body, shared, trace)
+        return self._parallel_reference(body, shared, trace)
+
+    def _parallel_reference(self, body: ThreadBody,
+                            shared: Mapping[str, np.ndarray] | None = None,
+                            trace: bool = False) -> ParallelResult:
+        """The scalar reference scheduler (authoritative semantics)."""
         memory: dict[str, np.ndarray] = dict(shared or {})
         trace_obj = CpuTrace() if trace else None
         detector = RaceDetector(raise_on_race=not self.collect_races) \
@@ -210,7 +232,7 @@ class OpenMP:
         single_requests: list[rq.Single | None] = [None] * self.n_threads
         done = [False] * self.n_threads
         barriers = 0
-        steps = 0
+        budget = StepBudget(self.max_steps, hint="runaway thread body?")
         # Which threads touched each location (for contention costing).
         location_threads: dict[tuple[str, int], set[int]] = {}
         # Lock runtime state.
@@ -290,11 +312,7 @@ class OpenMP:
                     charge(tid, Op(kind=PrimitiveKind.OMP_LOCK_ACQUIRE))
                     progressed = True
                     continue
-                steps += 1
-                if steps > self.max_steps:
-                    raise SimulationError(
-                        f"step budget ({self.max_steps}) exhausted; "
-                        "runaway thread body?")
+                budget.charge()
                 try:
                     request = gens[tid].send(pending_value[tid])
                 except StopIteration:
@@ -378,7 +396,7 @@ class OpenMP:
             elapsed_ns=elapsed,
             races=list(detector.races) if detector is not None else [],
             barriers=barriers,
-            requests=steps,
+            requests=budget.used,
             trace=trace_obj,
         )
 
