@@ -43,6 +43,7 @@ from typing import Callable
 
 from repro.common.errors import SimulationError
 from repro.core.engine import MeasurementEngine, reference_engine
+from repro.obs import counter_value
 from repro.experiments.campaign import run_campaign
 from repro.faults.scenario import use_faults
 
@@ -162,29 +163,29 @@ def _bench_sweep(bench_id: str, producer: Callable[[], object],
 
 
 def _bench_interp(bench_id: str, producer: Callable[[], object],
-                  counter: Callable[[], int], repeats: int) -> dict:
+                  counter_name: str, repeats: int) -> dict:
     """Time a kernel-interpreter workload, fast vs reference.
 
-    ``counter`` samples the interpreter's uniform-pass counter
-    (:data:`repro.cuda.fastpath.UNIFORM_PASSES` or
-    :data:`repro.openmp.fastpath.UNIFORM_ROUNDS`); the row is refused
-    when the batched dispatcher did not actually run on the fast side,
-    or ran during the reference timing — either way the speedup would
-    be meaningless.
+    ``counter_name`` names the public :mod:`repro.obs` engagement
+    counter of the batched dispatcher (``interp.cuda.uniform_passes``
+    or ``interp.omp.uniform_rounds``); the row is refused when the
+    batched dispatcher did not actually run on the fast side, or ran
+    during the reference timing — either way the speedup would be
+    meaningless.
     """
-    before = counter()
+    engaged = counter_value(counter_name)
     fast_result = producer()
-    if counter() == before:
+    if counter_value(counter_name) == engaged:
         raise SimulationError(
-            f"{bench_id}: batched dispatch never ran on the fast path; "
-            f"refusing to benchmark")
-    before = counter()
+            f"{bench_id}: batched dispatch never ran on the fast path "
+            f"({counter_name} unchanged); refusing to benchmark")
+    engaged = counter_value(counter_name)
     with reference_engine():
         ref_result = producer()
-    if counter() != before:
+    if counter_value(counter_name) != engaged:
         raise SimulationError(
             f"{bench_id}: reference timing accidentally used the fast "
-            f"path; refusing to benchmark")
+            f"path ({counter_name} moved); refusing to benchmark")
     if fast_result != ref_result:
         raise SimulationError(
             f"{bench_id}: fast path diverged from the reference path; "
@@ -328,14 +329,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
     repeats = 3
     from repro.experiments.omp_atomic_update import run_fig2
     from repro.experiments.cuda_atomicadd import run_fig9
-    from repro.cuda import fastpath as cuda_fastpath
-    from repro.openmp import fastpath as omp_fastpath
 
-    def cuda_passes() -> int:
-        return cuda_fastpath.UNIFORM_PASSES
-
-    def omp_rounds() -> int:
-        return omp_fastpath.UNIFORM_ROUNDS
+    cuda_passes = "interp.cuda.uniform_passes"
+    omp_rounds = "interp.omp.uniform_rounds"
 
     benchmarks = [
         _bench_kernel("engine_kernel_cpu", _cpu_kernel_case, repeats),

@@ -34,6 +34,14 @@ import zlib
 
 import numpy as np
 
+from repro.obs.metrics import _SUBSCRIBER as _metric_subscriber
+from repro.obs.metrics import counter as _counter
+
+# Observability counters (docs/observability.md): pooled-stream lookups
+# that found primed tokens vs. fell back to make_rng-style seeding.
+_C_POOL_HITS = _counter("rng.pool.hits")
+_C_POOL_MISSES = _counter("rng.pool.misses")
+
 
 def make_rng(label: str, seed: int = 0) -> np.random.Generator:
     """Create a deterministic generator for a labelled noise source.
@@ -390,7 +398,15 @@ class RngStreamPool:
 
         Feed each token to :meth:`reseed` to obtain that run's stream.
         """
-        return self._points.pop((prefix, seed), None)
+        tokens = self._points.pop((prefix, seed), None)
+        # Inlined Counter.add: take_point sits on the engine's
+        # per-point path, inside the bench regression gate.
+        metric = _C_POOL_HITS if tokens is not None else _C_POOL_MISSES
+        metric.value += 1
+        subscriber = _metric_subscriber[0]
+        if subscriber is not None:
+            subscriber("count", metric.name, 1)
+        return tokens
 
     def reseed(self, token) -> np.random.Generator:
         """The pooled generator, reseeded onto one primed stream state."""

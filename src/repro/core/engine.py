@@ -71,8 +71,68 @@ from repro.core.results import MeasurementResult
 from repro.core.spec import MeasurementSpec
 from repro.faults.machine import wrap_machine
 from repro.faults.scenario import active_scenario
+from repro.obs import event as obs_event
+from repro.obs import get_recorder
+from repro.obs import recorder as _obs_recorder
+from repro.obs import span as obs_span
+from repro.obs.metrics import _SUBSCRIBER as _metric_subscriber
+from repro.obs.metrics import counter as _counter
 
 _ZERO8 = b"\x00" * 8
+
+# Observability counters (see docs/observability.md).  Process-wide and
+# always on; the protocol kernels accumulate locally and flush once per
+# protocol execution through _flush_protocol_counters so the hot loops
+# never pay per-attempt metric calls.
+_C_MEASUREMENTS = _counter("engine.measurements")
+_C_PATH_FAST = _counter("engine.path.fast")
+_C_PATH_REFERENCE = _counter("engine.path.reference")
+_C_ATTEMPTS = _counter("engine.attempts")
+_C_RETRIES = _counter("engine.retries")
+_C_DROPPED_RUNS = _counter("engine.dropped_runs")
+_C_FAULT_DROPS = _counter("engine.fault_dropped_attempts")
+_C_UNRECORDABLE = _counter("engine.unrecordable")
+_C_ESCALATIONS = _counter("engine.escalations")
+
+
+def _flush_protocol_counters(fast: bool, attempts: int = 0,
+                             retries: int = 0, dropped: int = 0,
+                             fault_drops: int = 0,
+                             unrecordable: bool = False) -> None:
+    """One protocol execution's worth of counter updates.
+
+    The subscriber-less case (no recorder installed — the default)
+    takes direct attribute increments: per-protocol cost is what the
+    bench regression gate times, and ``Counter.add``'s notify check
+    is measurable against the primed closed-form kernel.
+    """
+    if _metric_subscriber[0] is None:
+        _C_MEASUREMENTS.value += 1
+        (_C_PATH_FAST if fast else _C_PATH_REFERENCE).value += 1
+        if attempts:
+            _C_ATTEMPTS.value += attempts
+        if retries:
+            _C_RETRIES.value += retries
+        if dropped:
+            _C_DROPPED_RUNS.value += dropped
+        if fault_drops:
+            _C_FAULT_DROPS.value += fault_drops
+        if unrecordable:
+            _C_UNRECORDABLE.value += 1
+        return
+    _C_MEASUREMENTS.add(1)
+    (_C_PATH_FAST if fast else _C_PATH_REFERENCE).add(1)
+    if attempts:
+        _C_ATTEMPTS.add(attempts)
+    if retries:
+        _C_RETRIES.add(retries)
+    if dropped:
+        _C_DROPPED_RUNS.add(dropped)
+    if fault_drops:
+        _C_FAULT_DROPS.add(fault_drops)
+    if unrecordable:
+        _C_UNRECORDABLE.add(1)
+
 
 #: Process-wide default for the engine path; flipped by the
 #: ``SYNCPERF_ENGINE=reference`` environment variable or, temporarily, by
@@ -173,7 +233,13 @@ class MeasurementEngine:
                 faults or the attempt/time budgets ran out with no data
                 at all (unreachable without fault injection or budgets).
         """
-        return self._run_protocol(self.protocol, spec, ctx, label)
+        # Hot path: one module-global read when observability is off.
+        if _obs_recorder._RECORDER is None:
+            return self._run_protocol(self.protocol, spec, ctx, label)
+        with obs_span("engine.measure", spec=spec.name, label=label,
+                      machine=self.machine.name,
+                      path="fast" if self.fast else "reference"):
+            return self._run_protocol(self.protocol, spec, ctx, label)
 
     def _run_protocol(self, proto: MeasurementProtocol,
                       spec: MeasurementSpec, ctx: object,
@@ -244,6 +310,7 @@ class MeasurementEngine:
         extra_ops = spec.extra_op_count()
 
         if extra_ops == 0:
+            _flush_protocol_counters(False, unrecordable=True)
             return self._unrecordable(spec, eliminated)
 
         cost_baseline, cost_test = self._point_costs(
@@ -261,6 +328,9 @@ class MeasurementEngine:
         test_times: list[float] = []
         valid_runs = 0
         dropped_runs = 0
+        n_attempts = 0
+        n_retries = 0
+        fault_drops = 0
         exhausted = False
         for run in range(proto.n_runs):
             rng = make_rng(
@@ -277,6 +347,9 @@ class MeasurementEngine:
                         break
                     if attempts_left is not None:
                         attempts_left -= 1
+                n_attempts += 1
+                if _attempt:
+                    n_retries += 1
                 try:
                     tb = max(cost_baseline + machine.run_noise(
                         rng, ctx, baseline_kept, cost_baseline), 0.0)
@@ -285,6 +358,7 @@ class MeasurementEngine:
                 except FaultInjectionError:
                     # An injected dropped/hung measurement: no data from
                     # this attempt; retry within the remaining budget.
+                    fault_drops += 1
                     continue
                 chosen = (tb, tt, tt >= tb)
                 if tt >= tb:
@@ -298,6 +372,9 @@ class MeasurementEngine:
             test_times.append(chosen[1])
             valid_runs += chosen[2]
 
+        _flush_protocol_counters(False, attempts=n_attempts,
+                                 retries=n_retries, dropped=dropped_runs,
+                                 fault_drops=fault_drops)
         if not baseline_times:
             raise self._all_dropped_error(proto, spec, label)
 
@@ -357,6 +434,7 @@ class MeasurementEngine:
             self._point_plan(proto, spec, ctx)
 
         if extra_ops == 0:
+            _flush_protocol_counters(True, unrecordable=True)
             return self._unrecordable(spec, eliminated)
 
         budgeted = proto.attempt_budget is not None or \
@@ -369,6 +447,12 @@ class MeasurementEngine:
             tb = max(cost_baseline, 0.0)
             tt = max(cost_test, 0.0)
             valid_runs = proto.n_runs if tt >= tb else 0
+            if _metric_subscriber[0] is None:  # inlined counter flush
+                _C_MEASUREMENTS.value += 1
+                _C_PATH_FAST.value += 1
+                _C_ATTEMPTS.value += proto.n_runs
+            else:
+                _flush_protocol_counters(True, attempts=proto.n_runs)
             return self._finalize(proto, spec, eliminated,
                                   [tb] * proto.n_runs, [tt] * proto.n_runs,
                                   valid_runs, 0, len(test_kept))
@@ -404,7 +488,12 @@ class MeasurementEngine:
             append_b = baseline_times.append
             append_t = test_times.append
             valid_runs = 0
+            n_retries = 0
             tb = tt = 0.0
+            # Attempt accounting stays out of the innermost loop: every
+            # run keeps its last attempt here, so total attempts is
+            # n_runs + retries and retries only accrue when the first
+            # attempt came back invalid (rare on quiet machines).
             if views is not None and type(point[0]) is bytes:
                 # Raw-state tokens: reseeding is two byte-view writes.
                 state_mv, wrap_mv = views
@@ -424,6 +513,8 @@ class MeasurementEngine:
                         if tt >= tb:
                             ok = True
                             break
+                    if _attempt:
+                        n_retries += _attempt
                     append_b(tb)
                     append_t(tt)
                     if ok:
@@ -444,10 +535,22 @@ class MeasurementEngine:
                         if tt >= tb:
                             ok = True
                             break
+                    if _attempt:
+                        n_retries += _attempt
                     append_b(tb)
                     append_t(tt)
                     if ok:
                         valid_runs += 1
+            if _metric_subscriber[0] is None:  # inlined counter flush
+                _C_MEASUREMENTS.value += 1
+                _C_PATH_FAST.value += 1
+                _C_ATTEMPTS.value += len(point) + n_retries
+                if n_retries:
+                    _C_RETRIES.value += n_retries
+            else:
+                _flush_protocol_counters(
+                    True, attempts=len(point) + n_retries,
+                    retries=n_retries)
             return self._finalize(proto, spec, eliminated, baseline_times,
                                   test_times, valid_runs, 0,
                                   len(test_kept))
@@ -456,6 +559,9 @@ class MeasurementEngine:
         test_times: list[float] = []
         valid_runs = 0
         dropped_runs = 0
+        n_attempts = 0
+        n_retries = 0
+        fault_drops = 0
         exhausted = False
         for run in range(proto.n_runs):
             if point is not None:
@@ -474,6 +580,9 @@ class MeasurementEngine:
                         break
                     if attempts_left is not None:
                         attempts_left -= 1
+                n_attempts += 1
+                if _attempt:
+                    n_retries += 1
                 if sampler is not None:
                     # Compiled per-point sampler: one call per attempt
                     # pair, stream-order identical to the two scalar
@@ -487,6 +596,7 @@ class MeasurementEngine:
                             rng, ctx, (baseline_kept, test_kept),
                             (cost_baseline, cost_test))
                     except FaultInjectionError:
+                        fault_drops += 1
                         continue
                     tb = max(cost_baseline + noise_b, 0.0)
                     tt = max(cost_test + noise_t, 0.0)
@@ -499,6 +609,7 @@ class MeasurementEngine:
                         tt = max(cost_test + machine.run_noise(
                             rng, ctx, test_kept, cost_test), 0.0)
                     except FaultInjectionError:
+                        fault_drops += 1
                         continue
                 ok = tt >= tb
                 chosen = (tb, tt, ok)
@@ -513,6 +624,9 @@ class MeasurementEngine:
             test_times.append(chosen[1])
             valid_runs += chosen[2]
 
+        _flush_protocol_counters(True, attempts=n_attempts,
+                                 retries=n_retries, dropped=dropped_runs,
+                                 fault_drops=fault_drops)
         if not baseline_times:
             raise self._all_dropped_error(proto, spec, label)
 
@@ -556,6 +670,13 @@ class MeasurementEngine:
         ``n_runs`` (the paper's remedy for jitter is more samples), under
         decorrelated jitter streams.  Exhausting escalation raises.
 
+        Escalations are not silent: every retried round bumps the
+        ``engine.escalations`` counter and emits an
+        ``engine.measure_robust.retry`` event (attempt index plus
+        reason) on the installed :mod:`repro.obs` recorder, and the
+        accepted result carries the total in
+        :attr:`~repro.core.results.MeasurementResult.escalations`.
+
         Raises:
             MeasurementError: No round produced a result above the valid
                 threshold.
@@ -568,16 +689,41 @@ class MeasurementEngine:
             esc_label = label if escalation == 0 else \
                 f"{label}#esc{escalation}"
             try:
-                result = self._run_protocol(widened, spec, ctx, esc_label)
+                if get_recorder() is None:
+                    result = self._run_protocol(widened, spec, ctx,
+                                                esc_label)
+                else:
+                    with obs_span("engine.measure", spec=spec.name,
+                                  label=esc_label,
+                                  machine=self.machine.name,
+                                  path="fast" if self.fast
+                                  else "reference"):
+                        result = self._run_protocol(widened, spec, ctx,
+                                                    esc_label)
             except MeasurementError as exc:
                 failures.append(str(exc))
+                if escalation < proto.max_escalations:
+                    _C_ESCALATIONS.add(1)
+                    obs_event("engine.measure_robust.retry",
+                              spec=spec.name, label=label,
+                              attempt=escalation + 1,
+                              reason=f"error: {exc}")
                 continue
             if result.unrecordable or \
                     result.valid_fraction > proto.min_valid_fraction:
+                if escalation:
+                    result = replace(result, escalations=escalation)
                 return result
             failures.append(
                 f"round {escalation} (n_runs={widened.n_runs}): "
                 f"valid_fraction={result.valid_fraction:.3f}")
+            if escalation < proto.max_escalations:
+                _C_ESCALATIONS.add(1)
+                obs_event("engine.measure_robust.retry", spec=spec.name,
+                          label=label, attempt=escalation + 1,
+                          reason="valid_fraction="
+                                 f"{result.valid_fraction:.3f} <= "
+                                 f"{proto.min_valid_fraction:.3f}")
         raise MeasurementError(
             f"spec {spec.name!r} ({label or 'no label'}): no valid "
             f"measurement after {proto.max_escalations + 1} round(s) "

@@ -47,6 +47,14 @@ class MeasurementResult:
         dropped_runs: Runs that produced no data at all (every attempt
             dropped by an injected fault or cut off by a budget); they
             count as invalid in ``valid_fraction``.
+        escalations: Escalation rounds
+            :meth:`~repro.core.engine.MeasurementEngine.measure_robust`
+            retried (each doubling ``n_runs``) before this result was
+            accepted; 0 for first-round results and plain
+            :meth:`~repro.core.engine.MeasurementEngine.measure` calls.
+            Each retry is also recorded as an ``engine.escalations``
+            counter bump and an ``engine.measure_robust.retry`` event
+            on the :mod:`repro.obs` recorder.
     """
 
     spec_name: str
@@ -60,6 +68,7 @@ class MeasurementResult:
     unrecordable: bool = False
     eliminated: tuple[str, ...] = ()
     dropped_runs: int = 0
+    escalations: int = 0
 
     @property
     def within_timer_accuracy(self) -> bool:

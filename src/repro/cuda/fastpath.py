@@ -22,9 +22,11 @@ stat, cost, and trace label is byte-identical to the scalar loop.  Race
 detection needs to observe every access in program order, so a launch
 with a detector delegates to the reference block runner outright.
 
-The module-level :data:`UNIFORM_PASSES` counter lets callers (the bench
-suite, CI smoke checks) assert that the batched dispatcher actually ran
-— and that it did *not* run while timing the reference path.
+The public ``interp.cuda.uniform_passes`` counter (:mod:`repro.obs`)
+lets callers (the bench suite, CI smoke checks) assert that the batched
+dispatcher actually ran — and that it did *not* run while timing the
+reference path.  The module-level :data:`UNIFORM_PASSES` global is its
+backward-compatible twin.
 """
 
 from __future__ import annotations
@@ -51,10 +53,23 @@ from repro.cuda.interpreter import (
 )
 from repro.cuda.race import GpuRaceDetector
 from repro.cuda.trace import Trace
+from repro.obs.metrics import _SUBSCRIBER as _metric_subscriber
+from repro.obs.metrics import counter as _counter
 
 #: Uniform warp passes executed by the batched dispatcher since import.
 #: Monotonic; sample before/after a run to see whether it was used.
+#: Kept for backward compatibility — new code should read the
+#: ``interp.cuda.uniform_passes`` counter from :mod:`repro.obs` instead.
 UNIFORM_PASSES = 0
+
+# Observability counters (docs/observability.md).  Dispatch passes are
+# accumulated locally per block and flushed once at block end; the
+# invariant ``uniform_passes + fallback_passes == passes`` holds by
+# construction.
+_C_UNIFORM = _counter("interp.cuda.uniform_passes")
+_C_FALLBACK = _counter("interp.cuda.fallback_passes")
+_C_PASSES = _counter("interp.cuda.passes")
+_C_BLOCKS_FAST = _counter("interp.cuda.blocks_fast")
 
 
 def run_block_fast(cuda, kernel, launch: LaunchConfig, ctx: GpuRunContext,
@@ -474,7 +489,7 @@ def run_block_fast(cuda, kernel, launch: LaunchConfig, ctx: GpuRunContext,
     handlers_get = handlers.get
 
     def step_warp(warp_id, lanes):
-        nonlocal done_lanes, barrier_waiting
+        nonlocal done_lanes, barrier_waiting, n_fallback
         global UNIFORM_PASSES
         glanes = []
         reqs = []
@@ -539,6 +554,7 @@ def run_block_fast(cuda, kernel, launch: LaunchConfig, ctx: GpuRunContext,
 
         # Divergent pass (or an error/odd case): the reference
         # semantics are authoritative.
+        n_fallback += 1
         cost, labels = cuda._process_gathered(
             warp_id, lanes, list(zip(glanes, reqs)), ctx, memory, shared,
             issuing_warps, resident_blocks, stats, env)
@@ -555,6 +571,8 @@ def run_block_fast(cuda, kernel, launch: LaunchConfig, ctx: GpuRunContext,
     # ----------------------------- pass loop --------------------------- #
 
     barrier_waiting = False
+    uniform_start = UNIFORM_PASSES
+    n_fallback = 0
 
     while done_lanes < total_lanes:
         progressed = False
@@ -578,4 +596,20 @@ def run_block_fast(cuda, kernel, launch: LaunchConfig, ctx: GpuRunContext,
                 progressed = True
         if not progressed:
             cuda._raise_deadlock(warps)
+    n_uniform = UNIFORM_PASSES - uniform_start
+    if _metric_subscriber[0] is None:
+        # No recorder: direct increments keep the per-block flush
+        # within the bench regression gate's noise floor.
+        _C_BLOCKS_FAST.value += 1
+        _C_UNIFORM.value += n_uniform
+        _C_FALLBACK.value += n_fallback
+        _C_PASSES.value += n_uniform + n_fallback
+    else:
+        _C_BLOCKS_FAST.add(1)
+        if n_uniform:
+            _C_UNIFORM.add(n_uniform)
+        if n_fallback:
+            _C_FALLBACK.add(n_fallback)
+        if n_uniform or n_fallback:
+            _C_PASSES.add(n_uniform + n_fallback)
     return max(warp_clocks) if warp_clocks else 0.0

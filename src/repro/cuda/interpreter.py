@@ -41,6 +41,13 @@ from repro.mem.layout import SharedScalar
 from repro.cuda import requests as rq
 from repro.cuda.race import GpuAccess, GpuRaceDetector
 from repro.cuda.trace import Trace
+from repro.obs import attach_timeline
+from repro.obs import span as obs_span
+from repro.obs.metrics import counter as _counter
+
+#: Blocks executed by the scalar reference loop (observability; the fast
+#: runner's counterpart is ``interp.cuda.blocks_fast``).
+_C_BLOCKS_REFERENCE = _counter("interp.cuda.blocks_reference")
 
 #: A kernel: generator function yielding requests.
 Kernel = Callable[["KernelThread"], Generator]
@@ -403,27 +410,33 @@ class Cuda:
         detector = GpuRaceDetector(raise_on_race=not self.collect_races) \
             if self.detect_races else None
 
-        block_cycles: list[float] | None = None
-        # Block fan-out rides on the fast runner (the reference path is
-        # the authoritative *serial* semantics) and is incompatible with
-        # a launch-wide race detector, whose history must observe every
-        # block's accesses in one process.
-        if self.fast and block_jobs > 1 and launch.grid_blocks > 1 \
-                and detector is None:
-            from repro.cuda.parallel import try_parallel_blocks
-            block_cycles = try_parallel_blocks(
-                self, kernel, launch, ctx, memory,
-                dict(shared_decls or {}), stats, budget, trace_obj,
-                block_jobs)
+        with obs_span("cuda.launch", grid_blocks=launch.grid_blocks,
+                      block_threads=launch.block_threads,
+                      path="fast" if self.fast else "reference"):
+            block_cycles: list[float] | None = None
+            # Block fan-out rides on the fast runner (the reference path
+            # is the authoritative *serial* semantics) and is
+            # incompatible with a launch-wide race detector, whose
+            # history must observe every block's accesses in one
+            # process.
+            if self.fast and block_jobs > 1 and launch.grid_blocks > 1 \
+                    and detector is None:
+                from repro.cuda.parallel import try_parallel_blocks
+                block_cycles = try_parallel_blocks(
+                    self, kernel, launch, ctx, memory,
+                    dict(shared_decls or {}), stats, budget, trace_obj,
+                    block_jobs)
 
-        if block_cycles is None:
-            block_cycles = [
-                self._run_block(kernel, launch, ctx, block_idx, memory,
-                                dict(shared_decls or {}), stats, budget,
-                                trace_obj, detector)
-                for block_idx in range(launch.grid_blocks)]
+            if block_cycles is None:
+                block_cycles = [
+                    self._run_block(kernel, launch, ctx, block_idx,
+                                    memory, dict(shared_decls or {}),
+                                    stats, budget, trace_obj, detector)
+                    for block_idx in range(launch.grid_blocks)]
 
-        elapsed = self._schedule(launch, ctx, block_cycles)
+            elapsed = self._schedule(launch, ctx, block_cycles)
+        if trace_obj is not None:
+            attach_timeline("cuda", trace_obj, "cycles")
         return LaunchResult(
             memory=memory,
             elapsed_cycles=elapsed,
@@ -492,6 +505,7 @@ class Cuda:
                              detector: GpuRaceDetector | None = None,
                              footprint=None) -> float:
         del footprint  # footprints are recorded by the fast runner only
+        _C_BLOCKS_REFERENCE.add(1)
         shared = {name: np.zeros(size, dtype=dt)
                   for name, (size, dt) in shared_decls.items()}
         n = launch.block_threads

@@ -30,6 +30,22 @@ import numpy as np
 from repro.common.budget import StepBudget
 from repro.cuda.race import BlockFootprint, footprints_disjoint
 from repro.cuda.trace import Trace
+from repro.obs import event as obs_event
+from repro.obs.metrics import counter as _counter
+
+# Observability counters (docs/observability.md): attempted fan-outs,
+# merged (successful) fan-outs, and serial fallbacks.  Counter bumps
+# inside forked children die with the child; everything here runs in
+# the parent.
+_C_FORK_ATTEMPTS = _counter("interp.cuda.fork.attempts")
+_C_FORK_FORKED = _counter("interp.cuda.fork.forked")
+_C_FORK_FALLBACKS = _counter("interp.cuda.fork.fallbacks")
+
+
+def _fork_fallback(reason: str) -> None:
+    """Record one serial re-execution decision (counter + event)."""
+    _C_FORK_FALLBACKS.add(1)
+    obs_event("cuda.fork.fallback", reason=reason)
 
 
 def _chunk_blocks(grid_blocks: int, jobs: int) -> list[list[int]]:
@@ -85,11 +101,14 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         then runs the ordinary serial loop on the untouched parent
         state.
     """
+    _C_FORK_ATTEMPTS.add(1)
     if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only feature
+        _fork_fallback("platform without os.fork")
         return None
 
     chunks = _chunk_blocks(launch.grid_blocks, block_jobs)
     if len(chunks) < 2:
+        _fork_fallback("fewer than 2 chunks")
         return None
 
     children: list[tuple[int, int]] = []
@@ -141,14 +160,17 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         # A worker error (kernel bug, budget blowout, ...) must surface
         # with the exact serial message and partial state — re-run
         # serially on the parent's untouched memory.
+        _fork_fallback("worker failure")
         return None
 
     if not footprints_disjoint([r["footprint"] for r in results]):
+        _fork_fallback("overlapping block footprints")
         return None
     total_steps = sum(r["steps"] for r in results)
     if total_steps > budget.remaining:
         # The combined launch would exhaust the budget; only the serial
         # schedule knows the exact step count at which it trips.
+        _fork_fallback("step budget hazard")
         return None
 
     # Safe: merge in block order so every artifact matches serial runs.
@@ -164,4 +186,5 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         if trace is not None and result["trace"] is not None:
             trace.extend(result["trace"])
     budget.charge(total_steps)
+    _C_FORK_FORKED.add(1)
     return block_cycles

@@ -67,6 +67,25 @@ class Trace:
                 event.duration
         return totals
 
+    def timeline_rows(self) -> list[tuple[str, str, float, float]]:
+        """Normalized ``(track, label, start, end)`` rows for the
+        shared export helpers (one track per block/warp pair)."""
+        return [(f"block {e.block} / warp {e.warp}", e.label,
+                 e.start_cycles, e.end_cycles) for e in self.events]
+
+    def to_chrome_trace(self, pid: int = 0) -> list[dict]:
+        """Serialize as Chrome ``trace_events`` records.
+
+        One complete event per warp pass, one tid row per warp, in the
+        modeled cycle clock (1 trace-µs = 1 cycle).  Wrap the list with
+        :func:`repro.obs.chrome.chrome_payload` to write a standalone
+        file, or merge it with other timelines under distinct ``pid``
+        values — the unification :mod:`repro.obs.export` performs.
+        """
+        from repro.obs.chrome import rows_to_chrome
+        return rows_to_chrome(self.timeline_rows(), pid=pid,
+                              unit="cycles", source="cuda")
+
     def render(self, block: int = 0, width: int = 64) -> str:
         """Render one block's warps as an ASCII timeline.
 

@@ -42,6 +42,16 @@ from repro.core.results import SweepResult
 from repro.core.results_io import atomic_write_text
 from repro.experiments.registry import EXPERIMENTS, ExperimentDef
 from repro.faults.scenario import FaultScenario, use_faults
+from repro.obs import event as obs_event
+from repro.obs import span as obs_span
+from repro.obs.metrics import counter as _counter
+
+# Observability counters (docs/observability.md): per-outcome campaign
+# tallies and checkpoint manifest writes.
+_C_EXP_DONE = _counter("campaign.experiments_done")
+_C_EXP_FAILED = _counter("campaign.experiments_failed")
+_C_EXP_SKIPPED = _counter("campaign.experiments_skipped")
+_C_CHECKPOINT_WRITES = _counter("campaign.checkpoint_writes")
 
 #: Exit codes of the ``syncperf`` CLI, by failure category.
 EXIT_OK = 0
@@ -184,6 +194,8 @@ class CampaignCheckpoint:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(self.path,
                           json.dumps(self.state, indent=2) + "\n")
+        _C_CHECKPOINT_WRITES.add(1)
+        obs_event("campaign.checkpoint_write", path=str(self.path))
 
 
 def campaign_fingerprint(scenario: FaultScenario | None,
@@ -312,17 +324,23 @@ def run_campaign(ids: list[str], *,
             if checkpoint is not None and checkpoint.is_done(exp_id):
                 log(f"skipping {exp_id}: already completed "
                     f"(checkpoint {checkpoint.path})")
+                _C_EXP_SKIPPED.add(1)
+                obs_event("campaign.resume_skip", experiment=exp_id)
                 outcomes.append(
                     ExperimentOutcome(exp_id=exp_id, status="skipped"))
                 continue
             definition = registry[exp_id]
             start = time.time()
             try:
-                payload = definition.run(protocol)
-                checks = definition.claims(payload)
-                sweeps = definition.sweeps(payload)
+                with obs_span("campaign.experiment", experiment=exp_id):
+                    payload = definition.run(protocol)
+                    checks = definition.claims(payload)
+                    sweeps = definition.sweeps(payload)
             except Exception as exc:
                 wall = time.time() - start
+                _C_EXP_FAILED.add(1)
+                obs_event("campaign.experiment_failed", experiment=exp_id,
+                          error=type(exc).__name__)
                 outcome = ExperimentOutcome(
                     exp_id=exp_id, status="failed", wall_seconds=wall,
                     error=type(exc).__name__, message=str(exc))
@@ -336,6 +354,7 @@ def run_campaign(ids: list[str], *,
                 log(f"FAILED {exp_id}: {type(exc).__name__}: {exc}")
                 continue
             wall = time.time() - start
+            _C_EXP_DONE.add(1)
             outcome = ExperimentOutcome(
                 exp_id=exp_id, status="done", wall_seconds=wall,
                 claims_passed=sum(c.passed for c in checks),
@@ -375,6 +394,8 @@ def _run_campaign_parallel(ids: list[str], *,
         if checkpoint is not None and checkpoint.is_done(exp_id):
             log(f"skipping {exp_id}: already completed "
                 f"(checkpoint {checkpoint.path})")
+            _C_EXP_SKIPPED.add(1)
+            obs_event("campaign.resume_skip", experiment=exp_id)
             outcomes_by_id[exp_id] = ExperimentOutcome(
                 exp_id=exp_id, status="skipped")
         else:
@@ -414,6 +435,9 @@ def _run_campaign_parallel(ids: list[str], *,
             record = future.result()
             exp_id = record["exp_id"]
             if record["status"] == "failed":
+                _C_EXP_FAILED.add(1)
+                obs_event("campaign.experiment_failed",
+                          experiment=exp_id, error=record["error"])
                 outcome = ExperimentOutcome(
                     exp_id=exp_id, status="failed",
                     wall_seconds=record["wall"],
@@ -429,6 +453,7 @@ def _run_campaign_parallel(ids: list[str], *,
                 log(f"FAILED {exp_id}: {record['error']}: "
                     f"{record['message']}")
             else:
+                _C_EXP_DONE.add(1)
                 outcome = ExperimentOutcome(
                     exp_id=exp_id, status="done",
                     wall_seconds=record["wall"],

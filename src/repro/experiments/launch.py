@@ -127,6 +127,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="profile every primitive on one machine "
                              "(cpu1..cpu3, gpu1..gpu3) and print the "
                              "markdown table")
+    parser.add_argument("--obs", metavar="FILE",
+                        help="record spans/counters and write the JSONL "
+                             "event log to FILE (summarize with "
+                             "'python -m repro.obs.report FILE')")
+    parser.add_argument("--obs-trace", metavar="FILE",
+                        help="write a Chrome/Perfetto trace_events JSON "
+                             "of the run (wall-clock spans plus modeled "
+                             "interpreter timelines) to FILE")
+    parser.add_argument("--obs-metrics", metavar="FILE",
+                        help="write a Prometheus-style text snapshot of "
+                             "the run's counters/gauges to FILE")
     return parser
 
 
@@ -135,13 +146,48 @@ def main(argv: list[str] | None = None) -> int:
 
     Library errors never escape as tracebacks: they are reported on
     stderr as one line and mapped to a per-category exit code.
+
+    With ``--obs``/``--obs-trace``/``--obs-metrics`` an observability
+    recorder is installed for the whole run and the requested exports
+    are written on the way out — including when the run fails, so a
+    crashed campaign still leaves its event log behind.
     """
     args = _build_parser().parse_args(argv)
+    recorder = None
+    if args.obs or args.obs_trace or args.obs_metrics:
+        from repro.obs import Recorder, set_recorder
+        recorder = Recorder()
+        set_recorder(recorder)
     try:
         return _dispatch(args)
     except ReproError as exc:
         print(f"syncperf: {type(exc).__name__}: {exc}", file=sys.stderr)
         return error_exit_code(exc)
+    finally:
+        if recorder is not None:
+            from repro.obs import set_recorder
+            set_recorder(None)
+            _export_obs(recorder, args)
+
+
+def _export_obs(recorder: object, args: argparse.Namespace) -> None:
+    """Write the requested observability exports (best effort: an
+    export failure must not mask the run's own exit path)."""
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_jsonl,
+        write_metrics,
+    )
+    for flag, writer in ((args.obs, write_jsonl),
+                         (args.obs_trace, write_chrome_trace),
+                         (args.obs_metrics, write_metrics)):
+        if not flag:
+            continue
+        try:
+            print(f"obs: wrote {writer(recorder, flag)}")
+        except OSError as exc:
+            print(f"syncperf: obs export to {flag} failed: {exc}",
+                  file=sys.stderr)
 
 
 def _dispatch(args: argparse.Namespace) -> int:

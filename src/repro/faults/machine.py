@@ -21,6 +21,15 @@ import numpy as np
 
 from repro.common.rng import make_rng
 from repro.faults.scenario import FaultScenario
+from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import counter as _counter
+
+# Observability counters (docs/observability.md): how often any fault
+# actually perturbed a sample, and how many attempts a DroppedRun-style
+# fault killed outright.  Per-fault-class breakdowns live under
+# ``faults.activations.<ClassName>``.
+_C_ACTIVATIONS = _counter("faults.activations")
+_C_DROPPED = _counter("faults.dropped_attempts")
 
 
 class FaultyMachine:
@@ -91,7 +100,22 @@ class FaultyMachine:
         noise = self.inner.run_noise(rng, ctx, body, base_cost)
         total = max(base_cost + noise, 0.0)
         for fault, state in zip(self.scenario.faults, self._states):
-            total = fault.apply(total, base_cost, self._fault_rng, state)
+            try:
+                perturbed = fault.apply(total, base_cost,
+                                        self._fault_rng, state)
+            except Exception:
+                # A fault killed the attempt (DroppedRun raises
+                # FaultInjectionError): that is an activation too.
+                _C_ACTIVATIONS.add(1)
+                _C_DROPPED.add(1)
+                REGISTRY.counter(
+                    f"faults.activations.{type(fault).__name__}").add(1)
+                raise
+            if perturbed != total:
+                _C_ACTIVATIONS.add(1)
+                REGISTRY.counter(
+                    f"faults.activations.{type(fault).__name__}").add(1)
+            total = perturbed
         return total - base_cost
 
     def throughput(self, per_op_time: float) -> float:

@@ -1,0 +1,92 @@
+"""Chrome/Perfetto ``trace_events`` serialization helpers.
+
+The Trace Event Format (the JSON consumed by Perfetto and
+``chrome://tracing``) models a trace as a flat list of events with
+integer ``pid``/``tid`` tracks.  This module is the one place that
+format is spelled out; both interpreter trace classes
+(:meth:`repro.cuda.trace.Trace.to_chrome_trace`,
+:meth:`repro.openmp.trace.CpuTrace.to_chrome_trace`) and the recorder
+exporter (:mod:`repro.obs.export`) delegate here, so GPU warp passes,
+OpenMP requests, and wall-clock spans all land in one file and render
+on one timeline.
+
+Timestamps: ``ts``/``dur`` are microseconds by convention.  Wall-clock
+spans are converted from seconds; modeled timelines keep their native
+unit (1 trace-µs = 1 modeled cycle/ns — the absolute scale of a modeled
+clock is arbitrary, only the shape matters) and say so in their track
+names.
+"""
+
+from __future__ import annotations
+
+
+def complete_event(name: str, pid: int, tid: int, ts: float,
+                   dur: float, cat: str = "",
+                   args: dict | None = None) -> dict:
+    """One ``ph: "X"`` (complete) trace event."""
+    record = {"name": name, "ph": "X", "pid": pid, "tid": tid,
+              "ts": ts, "dur": dur}
+    if cat:
+        record["cat"] = cat
+    if args:
+        record["args"] = args
+    return record
+
+
+def instant_event(name: str, pid: int, tid: int, ts: float,
+                  args: dict | None = None) -> dict:
+    """One ``ph: "i"`` (instant) trace event."""
+    record = {"name": name, "ph": "i", "s": "t", "pid": pid, "tid": tid,
+              "ts": ts}
+    if args:
+        record["args"] = args
+    return record
+
+
+def metadata_events(pid: int, process_name: str,
+                    thread_names: dict[int, str] | None = None
+                    ) -> list[dict]:
+    """``ph: "M"`` records naming one pid track and its tid rows."""
+    events = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+               "args": {"name": process_name}}]
+    for tid, name in (thread_names or {}).items():
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": name}})
+    return events
+
+
+def rows_to_chrome(rows: list[tuple], pid: int, unit: str,
+                   source: str = "") -> list[dict]:
+    """Convert normalized timeline rows into trace events.
+
+    Args:
+        rows: ``(track, label, start, end)`` tuples — ``track`` is a
+            human-readable row name (``"block 0 / warp 1"``,
+            ``"thread 3"``) in the modeled clock's units.
+        pid: The pid track these rows render under.
+        unit: The modeled clock unit, shown in the process name.
+        source: Optional track-group label prefixed to the process
+            name (``"cuda"``, ``"openmp"``).
+
+    Returns:
+        Metadata events (process/thread names) followed by one complete
+        event per row, in row order.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for track, label, start, end in rows:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids)
+            tids[track] = tid
+        events.append(complete_event(label, pid, tid, start,
+                                     end - start, cat=source or "model"))
+    title = f"{source} timeline ({unit})" if source \
+        else f"timeline ({unit})"
+    return metadata_events(
+        pid, title, {tid: track for track, tid in tids.items()}) + events
+
+
+def chrome_payload(events: list[dict]) -> dict:
+    """Wrap trace events in the standard top-level JSON object."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

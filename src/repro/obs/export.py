@@ -1,0 +1,185 @@
+"""Exporters: JSONL event log, Chrome trace, Prometheus snapshot.
+
+Three serializations of one :class:`~repro.obs.recorder.Recorder`:
+
+* :func:`write_jsonl` — the full-fidelity event log, one JSON object
+  per line (schema ``syncperf-obs/v1``): a header, every span/event/
+  counter-delta/timeline record in completion order, and a trailing
+  run-scoped totals record.  :func:`replay_jsonl` reads one back and
+  re-derives the totals from the deltas — the round-trip identity the
+  exporter tests pin down.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — wall-clock spans
+  and instants plus every attached interpreter timeline as Chrome
+  ``trace_events`` JSON (open in https://ui.perfetto.dev).
+* :func:`prometheus_text` / :func:`write_metrics` — a Prometheus-style
+  plain-text counter/gauge snapshot (``syncperf_`` prefix, dots
+  mapped to underscores).
+
+All writes go through a write-to-temp + ``os.replace`` so a kill mid
+export never leaves a torn file next to campaign artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.chrome import (
+    chrome_payload,
+    complete_event,
+    instant_event,
+    metadata_events,
+    rows_to_chrome,
+)
+from repro.obs.recorder import Recorder
+
+#: Schema tag of the JSONL event log.
+JSONL_SCHEMA = "syncperf-obs/v1"
+
+#: pid of the wall-clock span track in Chrome exports; attached
+#: modeled timelines take consecutive pids above it.
+SPAN_PID = 1
+
+
+def _atomic_write(path: Path, text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+# ------------------------------- JSONL --------------------------------- #
+
+
+def jsonl_records(recorder: Recorder) -> list[dict]:
+    """The event log as a list of records (header, events, totals)."""
+    return [
+        {"type": "header", "schema": JSONL_SCHEMA},
+        *recorder.events,
+        {"type": "totals", "counters": dict(sorted(
+            recorder.counters.items())),
+         "gauges": dict(sorted(recorder.gauges.items()))},
+    ]
+
+
+def write_jsonl(recorder: Recorder, path: str | Path) -> Path:
+    """Write the JSONL event log; returns the path written."""
+    lines = [json.dumps(record, sort_keys=True)
+             for record in jsonl_records(recorder)]
+    return _atomic_write(Path(path), "\n".join(lines) + "\n")
+
+
+def replay_jsonl(path: str | Path) -> dict:
+    """Re-derive a run's totals by replaying its JSONL event log.
+
+    Returns:
+        ``{"counters": {...}, "gauges": {...}, "spans": [...],
+        "events": [...], "totals": {...}}`` where ``counters`` are
+        summed from the delta stream and ``totals`` is the trailing
+        snapshot record (so callers can assert the two reconcile).
+
+    Raises:
+        ValueError: Missing/foreign header, or unparsable lines.
+    """
+    records = []
+    with open(path) as handle:
+        for n, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{n}: not a JSON record: {exc}") from exc
+    if not records or records[0].get("type") != "header" or \
+            records[0].get("schema") != JSONL_SCHEMA:
+        raise ValueError(
+            f"{path}: missing {JSONL_SCHEMA!r} header record")
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    spans, events, totals = [], [], {}
+    for record in records[1:]:
+        kind = record.get("type")
+        if kind == "count":
+            name = record["name"]
+            counters[name] = counters.get(name, 0) + record["delta"]
+        elif kind == "gauge":
+            gauges[record["name"]] = record["value"]
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "event":
+            events.append(record)
+        elif kind == "totals":
+            totals = record
+    return {"counters": counters, "gauges": gauges, "spans": spans,
+            "events": events, "totals": totals}
+
+
+# ---------------------------- Chrome trace ------------------------------ #
+
+
+def chrome_trace(recorder: Recorder) -> dict:
+    """The recorder as a Chrome ``trace_events`` payload.
+
+    Wall-clock spans render on pid :data:`SPAN_PID` (nested spans rely
+    on the viewer's stacking of overlapping complete events on one
+    tid); each attached interpreter timeline gets its own pid track so
+    modeled clocks never mix with wall time.
+    """
+    events = metadata_events(SPAN_PID, "syncperf spans (wall clock)",
+                             {0: "spans"})
+    for record in recorder.events:
+        kind = record["type"]
+        if kind == "span" and record["t1"] is not None:
+            events.append(complete_event(
+                record["name"], SPAN_PID, 0, record["t0"] * 1e6,
+                (record["t1"] - record["t0"]) * 1e6, cat="span",
+                args=record.get("attrs")))
+        elif kind == "event":
+            events.append(instant_event(
+                record["name"], SPAN_PID, 0, record["t"] * 1e6,
+                args=record.get("attrs")))
+    for offset, (source, rows, unit) in enumerate(recorder.timelines):
+        events.extend(rows_to_chrome(rows, SPAN_PID + 1 + offset,
+                                     unit, source))
+    return chrome_payload(events)
+
+
+def write_chrome_trace(recorder: Recorder, path: str | Path) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    return _atomic_write(Path(path),
+                         json.dumps(chrome_trace(recorder)) + "\n")
+
+
+# ----------------------------- Prometheus ------------------------------- #
+
+
+def _metric_name(name: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"syncperf_{safe}"
+
+
+def prometheus_text(counters: dict[str, int],
+                    gauges: dict[str, float] | None = None) -> str:
+    """Render counter/gauge snapshots in Prometheus text format."""
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    for name in sorted(gauges or {}):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]:g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(recorder: Recorder, path: str | Path) -> Path:
+    """Write the recorder's run-scoped metrics snapshot; returns the
+    path written."""
+    return _atomic_write(
+        Path(path), prometheus_text(recorder.counters, recorder.gauges))

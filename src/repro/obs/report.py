@@ -1,0 +1,116 @@
+"""Profile summaries of JSONL observability logs.
+
+``python -m repro.obs.report out.jsonl`` prints, for a log written by
+``syncperf --obs out.jsonl`` (or :func:`repro.obs.export.write_jsonl`):
+
+* the top spans by **inclusive** wall time (time between enter and
+  exit) and **exclusive** wall time (inclusive minus time spent in
+  direct child spans), aggregated by span name;
+* the run's counter table and gauge levels;
+* the recorded instant events, grouped by name.
+
+The summary is computed from the replayed event stream — the same
+records the exporter round-trip tests validate — so it works on any
+log regardless of which process wrote it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.export import replay_jsonl
+
+
+def span_profile(spans: list[dict]) -> list[dict]:
+    """Aggregate span records by name.
+
+    Returns:
+        One row per span name, sorted by inclusive seconds descending:
+        ``{"name", "count", "inclusive_s", "exclusive_s"}``.
+    """
+    child_time: dict[int, float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None and record["t1"] is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + \
+                (record["t1"] - record["t0"])
+    rows: dict[str, dict] = {}
+    for record in spans:
+        if record["t1"] is None:
+            continue
+        inclusive = record["t1"] - record["t0"]
+        exclusive = inclusive - child_time.get(record["sid"], 0.0)
+        row = rows.setdefault(record["name"],
+                              {"name": record["name"], "count": 0,
+                               "inclusive_s": 0.0, "exclusive_s": 0.0})
+        row["count"] += 1
+        row["inclusive_s"] += inclusive
+        row["exclusive_s"] += max(exclusive, 0.0)
+    return sorted(rows.values(), key=lambda r: -r["inclusive_s"])
+
+
+def summarize(path: str, top: int = 15) -> str:
+    """Render the profile summary of one JSONL log as text."""
+    replay = replay_jsonl(path)
+    lines = [f"observability report — {path}", ""]
+
+    profile = span_profile(replay["spans"])
+    if profile:
+        lines.append(f"{'span':<32s} {'count':>7s} {'incl':>10s} "
+                     f"{'excl':>10s}")
+        for row in profile[:top]:
+            lines.append(
+                f"{row['name']:<32s} {row['count']:>7d} "
+                f"{row['inclusive_s']:>9.4f}s "
+                f"{row['exclusive_s']:>9.4f}s")
+    else:
+        lines.append("no spans recorded")
+    lines.append("")
+
+    counters = replay["counters"]
+    if counters:
+        lines.append(f"{'counter':<44s} {'total':>12s}")
+        for name in sorted(counters):
+            lines.append(f"{name:<44s} {counters[name]:>12d}")
+    else:
+        lines.append("no counters recorded")
+    for name in sorted(replay["gauges"]):
+        lines.append(f"{name:<44s} {replay['gauges'][name]:>12g} (gauge)")
+
+    by_name: dict[str, int] = {}
+    for record in replay["events"]:
+        by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+    if by_name:
+        lines.append("")
+        lines.append(f"{'event':<44s} {'occurrences':>12s}")
+        for name in sorted(by_name):
+            lines.append(f"{name:<44s} {by_name[name]:>12d}")
+
+    totals = replay["totals"].get("counters", {})
+    if totals and totals != counters:
+        lines.append("")
+        lines.append("WARNING: replayed counter sums do not match the "
+                     "log's totals record")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: ``python -m repro.obs.report <log.jsonl> [--top N]``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a syncperf --obs JSONL event log.")
+    parser.add_argument("log", help="JSONL log written by syncperf --obs")
+    parser.add_argument("--top", type=int, default=15,
+                        help="span rows to show (default 15)")
+    args = parser.parse_args(argv)
+    try:
+        print(summarize(args.log, top=args.top))
+    except (OSError, ValueError) as exc:
+        print(f"repro.obs.report: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

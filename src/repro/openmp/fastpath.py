@@ -32,8 +32,10 @@ calling :meth:`OpenMP._execute` itself), so results — memory, clocks,
 elapsed time, barrier/request counts, trace events, and error messages —
 are identical.  ``tests/test_interpreter_fastpath.py`` pins that down.
 
-The module-level :data:`UNIFORM_ROUNDS` counter lets the bench suite and
-CI smoke checks assert the batched dispatcher actually ran.
+The public ``interp.omp.uniform_rounds`` counter (:mod:`repro.obs`)
+lets the bench suite and CI smoke checks assert the batched dispatcher
+actually ran.  The module-level :data:`UNIFORM_ROUNDS` global is its
+backward-compatible twin.
 """
 
 from __future__ import annotations
@@ -50,10 +52,23 @@ from repro.mem.layout import PrivateArrayElement, SharedScalar
 from repro.openmp import requests as rq
 from repro.openmp.interpreter import ParallelResult, ThreadContext
 from repro.openmp.trace import CpuTrace
+from repro.obs.metrics import _SUBSCRIBER as _metric_subscriber
+from repro.obs.metrics import counter as _counter
 
 #: Uniform rounds executed by the batched scheduler since import.
 #: Monotonic; sample before/after a run to see whether it was used.
+#: Kept for backward compatibility — new code should read the
+#: ``interp.omp.uniform_rounds`` counter from :mod:`repro.obs` instead.
 UNIFORM_ROUNDS = 0
+
+# Observability counters (docs/observability.md).  Scheduler rounds are
+# accumulated locally per region and flushed once at region end; the
+# invariant ``uniform_rounds + fallback_rounds == rounds`` holds by
+# construction.
+_C_UNIFORM = _counter("interp.omp.uniform_rounds")
+_C_FALLBACK = _counter("interp.omp.fallback_rounds")
+_C_ROUNDS = _counter("interp.omp.rounds")
+_C_REGIONS_FAST = _counter("interp.omp.regions_fast")
 
 #: Sentinel: the thread's generator finished this round (recorded during
 #: the gather, acted upon at the thread's position in the walk).
@@ -390,6 +405,8 @@ def parallel_fast(omp, body, shared: Mapping[str, np.ndarray] | None = None,
                 f"lock(s) {sorted(held_locks[tid])}")
         done[tid] = True
 
+    uniform_start = UNIFORM_ROUNDS
+    n_fallback = 0
     while not all(done):
         # Gather: one send per runnable thread.  Bodies cannot observe
         # interpreter state between yields, so hoisting the sends out of
@@ -435,6 +452,7 @@ def parallel_fast(omp, body, shared: Mapping[str, np.ndarray] | None = None,
         # reference sweep (lock-wait turns, completion sentinels, and —
         # after a mid-walk barrier release — sends for threads that were
         # still blocked during the gather).
+        n_fallback += 1
         progressed = False
         for tid in range(n):
             item = items[tid]
@@ -482,6 +500,22 @@ def parallel_fast(omp, body, shared: Mapping[str, np.ndarray] | None = None,
                 "deadlock: no thread can make progress")
 
     # Implicit barrier at region end: publish everything.
+    n_uniform = UNIFORM_ROUNDS - uniform_start
+    if _metric_subscriber[0] is None:
+        # No recorder: direct increments keep the per-region flush
+        # within the bench regression gate's noise floor.
+        _C_REGIONS_FAST.value += 1
+        _C_UNIFORM.value += n_uniform
+        _C_FALLBACK.value += n_fallback
+        _C_ROUNDS.value += n_uniform + n_fallback
+    else:
+        _C_REGIONS_FAST.add(1)
+        if n_uniform:
+            _C_UNIFORM.add(n_uniform)
+        if n_fallback:
+            _C_FALLBACK.add(n_fallback)
+        if n_uniform or n_fallback:
+            _C_ROUNDS.add(n_uniform + n_fallback)
     for t in range(n):
         drain(t)
     elapsed = max(clocks) if clocks else 0.0

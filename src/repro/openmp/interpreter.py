@@ -38,6 +38,13 @@ from repro.mem.layout import PrivateArrayElement, SharedScalar
 from repro.openmp import requests as rq
 from repro.openmp.race import AccessKind, RaceDetector, RaceReport
 from repro.openmp.trace import CpuTrace
+from repro.obs import attach_timeline
+from repro.obs import span as obs_span
+from repro.obs.metrics import counter as _counter
+
+#: Regions executed by the scalar reference scheduler (observability;
+#: the fast scheduler's counterpart is ``interp.omp.regions_fast``).
+_C_REGIONS_REFERENCE = _counter("interp.omp.regions_reference")
 
 #: A thread body: generator function yielding requests.
 ThreadBody = Callable[["ThreadContext"], Generator]
@@ -208,15 +215,23 @@ class OpenMP:
             trace: Record a per-request execution timeline in
                 ``result.trace``.
         """
-        if self.fast and not self.detect_races:
-            from repro.openmp.fastpath import parallel_fast
-            return parallel_fast(self, body, shared, trace)
-        return self._parallel_reference(body, shared, trace)
+        with obs_span("omp.parallel", n_threads=self.n_threads,
+                      path="fast" if self.fast and not self.detect_races
+                      else "reference"):
+            if self.fast and not self.detect_races:
+                from repro.openmp.fastpath import parallel_fast
+                result = parallel_fast(self, body, shared, trace)
+            else:
+                result = self._parallel_reference(body, shared, trace)
+        if result.trace is not None:
+            attach_timeline("openmp", result.trace, "ns")
+        return result
 
     def _parallel_reference(self, body: ThreadBody,
                             shared: Mapping[str, np.ndarray] | None = None,
                             trace: bool = False) -> ParallelResult:
         """The scalar reference scheduler (authoritative semantics)."""
+        _C_REGIONS_REFERENCE.add(1)
         memory: dict[str, np.ndarray] = dict(shared or {})
         trace_obj = CpuTrace() if trace else None
         detector = RaceDetector(raise_on_race=not self.collect_races) \

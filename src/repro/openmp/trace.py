@@ -54,6 +54,26 @@ class CpuTrace:
                 event.duration
         return totals
 
+    def timeline_rows(self) -> list[tuple[str, str, float, float]]:
+        """Normalized ``(track, label, start, end)`` rows for the
+        shared export helpers (one track per thread)."""
+        return [(f"thread {e.tid}", e.label, e.start_ns, e.end_ns)
+                for e in self.events]
+
+    def to_chrome_trace(self, pid: int = 0) -> list[dict]:
+        """Serialize as Chrome ``trace_events`` records.
+
+        One complete event per executed request, one tid row per
+        thread, in the modeled nanosecond clock (1 trace-µs = 1 ns).
+        Shares its serializer with :class:`repro.cuda.trace.Trace`
+        (:func:`repro.obs.chrome.rows_to_chrome`), so a CPU region and
+        a GPU launch export into one file under distinct ``pid``
+        tracks.
+        """
+        from repro.obs.chrome import rows_to_chrome
+        return rows_to_chrome(self.timeline_rows(), pid=pid,
+                              unit="ns", source="openmp")
+
     def wait_fraction(self, tid: int) -> float:
         """Fraction of a thread's time spent waiting at barriers."""
         events = self.for_thread(tid)

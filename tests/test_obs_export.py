@@ -1,0 +1,218 @@
+"""Exporter round-trips: JSONL replay, Chrome trace, metrics, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import MeasurementEngine
+from repro.cuda.interpreter import Cuda
+from repro.experiments.base import omp_barrier_spec, sweep_omp
+from repro.experiments.launch import main as launch_main
+from repro.gpu.spec import LaunchConfig
+from repro.obs import Recorder, count, gauge, recording
+from repro.obs.export import (
+    JSONL_SCHEMA,
+    SPAN_PID,
+    chrome_trace,
+    prometheus_text,
+    replay_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.report import span_profile, summarize
+
+
+def _recorded_run(quiet_cpu, mini_gpu) -> Recorder:
+    """One measurement plus one traced launch, on a fresh recorder."""
+
+    def kernel(t):
+        yield t.alu(1)
+        yield t.syncthreads()
+
+    rec = Recorder()
+    with recording(rec):
+        engine = MeasurementEngine(quiet_cpu)
+        engine.measure(omp_barrier_spec(), quiet_cpu.context(4), "x")
+        Cuda(mini_gpu).launch(kernel, LaunchConfig(1, 64), trace=True)
+        gauge("test.export.level").set(3.5)
+    return rec
+
+
+class TestJsonlRoundTrip:
+    def test_replay_reconciles_with_totals(self, quiet_cpu, mini_gpu,
+                                           tmp_path):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        path = write_jsonl(rec, tmp_path / "run.jsonl")
+        replayed = replay_jsonl(path)
+        # Replayed deltas must sum to the recorded totals exactly.
+        assert replayed["counters"] == rec.counters
+        assert replayed["counters"] == \
+            replayed["totals"]["counters"]
+        assert replayed["gauges"]["test.export.level"] == 3.5
+        assert len(replayed["spans"]) == len(rec.spans())
+        names = {s["name"] for s in replayed["spans"]}
+        assert {"engine.measure", "cuda.launch"} <= names
+
+    def test_header_is_first_record(self, quiet_cpu, mini_gpu,
+                                    tmp_path):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        path = write_jsonl(rec, tmp_path / "run.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"type": "header", "schema": JSONL_SCHEMA}
+
+    def test_replay_rejects_headerless_log(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "count", "name": "x", "delta": 1}\n')
+        with pytest.raises(ValueError, match="header"):
+            replay_jsonl(bad)
+
+    def test_replay_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError, match="not a JSON record"):
+            replay_jsonl(bad)
+
+
+class TestChromeTrace:
+    def test_payload_schema(self, quiet_cpu, mini_gpu, tmp_path):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        payload = chrome_trace(rec)
+        assert set(payload) >= {"traceEvents"}
+        events = payload["traceEvents"]
+        assert events
+        for ev in events:
+            assert ev["ph"] in {"M", "X", "i"}
+            assert isinstance(ev["pid"], int)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert "ts" in ev
+        # File round-trip parses back to the same payload.
+        path = write_chrome_trace(rec, tmp_path / "run.trace.json")
+        assert json.loads(path.read_text()) == payload
+
+    def test_spans_and_timelines_on_distinct_pids(self, quiet_cpu,
+                                                  mini_gpu):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        events = chrome_trace(rec)["traceEvents"]
+        span_names = {ev["name"] for ev in events
+                      if ev["ph"] == "X" and ev["pid"] == SPAN_PID}
+        assert "engine.measure" in span_names
+        timeline_pids = {ev["pid"] for ev in events
+                         if ev["pid"] > SPAN_PID}
+        assert timeline_pids  # the attached cuda timeline
+        process_names = [ev for ev in events
+                         if ev["ph"] == "M" and
+                         ev["name"] == "process_name"]
+        assert any("cuda" in ev["args"]["name"]
+                   for ev in process_names)
+
+
+class TestMetricsSnapshot:
+    def test_prometheus_text_format(self):
+        text = prometheus_text({"engine.measurements": 7},
+                               {"test.level": 2.5})
+        lines = text.splitlines()
+        assert "# TYPE syncperf_engine_measurements counter" in lines
+        assert "syncperf_engine_measurements 7" in lines
+        assert "# TYPE syncperf_test_level gauge" in lines
+        assert "syncperf_test_level 2.5" in lines
+
+    def test_write_metrics_snapshots_run_counters(self, quiet_cpu,
+                                                  mini_gpu, tmp_path):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        path = write_metrics(rec, tmp_path / "run.prom")
+        text = path.read_text()
+        assert "syncperf_engine_measurements 1" in text
+        for name, value in rec.counters.items():
+            safe = "".join(c if c.isalnum() or c == "_" else "_"
+                           for c in name)
+            assert f"syncperf_{safe} {value}" in text
+
+
+class TestRecorderOffIsByteIdentical:
+    def test_sweep_csv_unchanged_by_recording(self, quiet_cpu):
+        specs = {"barrier": omp_barrier_spec()}
+        plain = sweep_omp(quiet_cpu, specs, name="s",
+                          thread_counts=[2, 4]).to_csv()
+        with recording(Recorder()):
+            observed = sweep_omp(quiet_cpu, specs, name="s",
+                                 thread_counts=[2, 4]).to_csv()
+        again = sweep_omp(quiet_cpu, specs, name="s",
+                          thread_counts=[2, 4]).to_csv()
+        assert plain == observed == again
+
+    def test_measure_result_unchanged_by_recording(self, quiet_cpu):
+        engine = MeasurementEngine(quiet_cpu)
+        ctx = quiet_cpu.context(4)
+        plain = engine.measure(omp_barrier_spec(), ctx, "x")
+        with recording(Recorder()):
+            observed = engine.measure(omp_barrier_spec(), ctx, "x")
+        assert plain == observed
+
+
+class TestReport:
+    def test_span_profile_exclusive_time(self):
+        clock = iter([0.0,   # recorder epoch
+                      0.0,   # outer t0
+                      2.0,   # inner t0
+                      5.0,   # inner t1
+                      10.0,  # outer t1
+                      ]).__next__
+        rec = Recorder(clock=clock)
+        with recording(rec):
+            sid = rec.begin_span("outer")
+            inner = rec.begin_span("inner")
+            rec.end_span(inner)
+            rec.end_span(sid)
+        rows = {r["name"]: r for r in span_profile(rec.spans())}
+        assert rows["outer"]["inclusive_s"] == 10.0
+        assert rows["outer"]["exclusive_s"] == 7.0
+        assert rows["inner"]["inclusive_s"] == 3.0
+        assert rows["inner"]["exclusive_s"] == 3.0
+        assert rows["outer"]["count"] == 1
+
+    def test_summarize_renders_log(self, quiet_cpu, mini_gpu,
+                                   tmp_path):
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        with recording(rec):
+            count("test.report.bump", 2)
+        path = write_jsonl(rec, tmp_path / "run.jsonl")
+        text = summarize(str(path))
+        assert "engine.measure" in text
+        assert "test.report.bump" in text
+
+    def test_report_cli_exit_codes(self, quiet_cpu, mini_gpu,
+                                   tmp_path, capsys):
+        from repro.obs.report import main as report_main
+        rec = _recorded_run(quiet_cpu, mini_gpu)
+        path = write_jsonl(rec, tmp_path / "run.jsonl")
+        assert report_main([str(path)]) == 0
+        assert "engine.measure" in capsys.readouterr().out
+        assert report_main([str(tmp_path / "missing.jsonl")]) == 2
+
+
+class TestCliFlags:
+    def test_launch_writes_all_three_exports(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        trace = tmp_path / "run.trace.json"
+        prom = tmp_path / "run.prom"
+        assert launch_main(["fig1", "--obs", str(log),
+                            "--obs-trace", str(trace),
+                            "--obs-metrics", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert f"obs: wrote {log}" in out
+        replayed = replay_jsonl(log)
+        assert replayed["counters"] == \
+            replayed["totals"]["counters"]
+        assert replayed["counters"].get("engine.measurements", 0) > 0
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert "syncperf_engine_measurements" in prom.read_text()
+
+    def test_launch_without_flags_installs_no_recorder(self, capsys):
+        from repro.obs import get_recorder
+        assert launch_main(["table1"]) == 0
+        assert get_recorder() is None
