@@ -59,3 +59,13 @@ class SimulationError(ReproError):
 
 class DataRaceError(SimulationError):
     """The OpenMP race detector observed conflicting unsynchronized accesses."""
+
+
+class SanitizerError(ReproError):
+    """The static sync sanitizer found a defect in a kernel.
+
+    Raised by the pre-launch lint check (``Cuda(lint=True)`` /
+    ``OpenMP(lint=True)``) when :mod:`repro.sanitize` reports an ERROR or
+    WARNING finding before a single simulated cycle runs.  The rendered
+    findings are in the message.
+    """

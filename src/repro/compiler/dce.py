@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.compiler.ops import Op
+from repro.compiler.ops import Op, PrimitiveKind
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,54 @@ def eliminate_dead_ops(body: list[Op] | tuple[Op, ...]) -> DceResult:
         The surviving and removed ops.  Order of surviving ops is preserved.
     """
     return _eliminate_cached(tuple(body))
+
+
+#: Barrier kinds for the redundancy pass: two adjacent barriers of the
+#: same kind with nothing observable between them are one barrier.
+_BARRIER_KINDS = frozenset({
+    PrimitiveKind.OMP_BARRIER,
+    PrimitiveKind.SYNCTHREADS,
+    PrimitiveKind.SYNCTHREADS_COUNT,
+    PrimitiveKind.SYNCTHREADS_AND,
+    PrimitiveKind.SYNCTHREADS_OR,
+})
+
+#: Fence kinds ordered by the scope they cover (wider covers narrower).
+_FENCE_RANK = {
+    PrimitiveKind.THREADFENCE_BLOCK: 0,
+    PrimitiveKind.OMP_FLUSH: 1,
+    PrimitiveKind.THREADFENCE: 1,
+    PrimitiveKind.THREADFENCE_SYSTEM: 2,
+}
+
+
+def redundant_sync_ops(
+        body: list[Op] | tuple[Op, ...]) -> tuple[tuple[int, Op], ...]:
+    """Find synchronization ops a peephole pass proves unobservable.
+
+    Two patterns, mirroring what ``nvcc``/``g++`` peepholes delete:
+    a barrier immediately following an identical barrier (no memory op
+    between them, and barriers whose result feeds the program — the
+    ``_count``/``_and``/``_or`` flavors with ``result_used`` — are
+    exempt), and a fence immediately following a fence of equal or
+    wider scope.
+
+    Args:
+        body: Ops executed in program order.
+
+    Returns:
+        ``(index, op)`` pairs of the redundant ops, in order.
+    """
+    out: list[tuple[int, Op]] = []
+    for i in range(1, len(body)):
+        prev, op = body[i - 1], body[i]
+        if op.kind in _BARRIER_KINDS and prev.kind is op.kind \
+                and not (op.produces_value and op.result_used):
+            out.append((i, op))
+        elif op.kind in _FENCE_RANK and prev.kind in _FENCE_RANK \
+                and _FENCE_RANK[op.kind] <= _FENCE_RANK[prev.kind]:
+            out.append((i, op))
+    return tuple(out)
 
 
 @lru_cache(maxsize=4096)

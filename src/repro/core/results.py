@@ -208,6 +208,7 @@ class SweepResult:
                     "points": [
                         {
                             "x": p.x,
+                            "spec_name": p.result.spec_name,
                             "per_op_time": _finite_or_none(
                                 p.result.per_op_time),
                             "throughput": _finite_or_none(p.throughput),
@@ -215,9 +216,13 @@ class SweepResult:
                                 p.result.baseline_median),
                             "test_median": _finite_or_none(
                                 p.result.test_median),
+                            "naive_per_op_time": _finite_or_none(
+                                p.result.naive_per_op_time),
                             "valid_fraction": p.result.valid_fraction,
                             "unrecordable": p.result.unrecordable,
+                            "eliminated": list(p.result.eliminated),
                             "dropped_runs": p.result.dropped_runs,
+                            "escalations": p.result.escalations,
                         }
                         for p in s.points
                     ],

@@ -17,6 +17,7 @@ truncated ``runtimes.csv`` or ``meta.json`` behind.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import time
@@ -25,7 +26,8 @@ from pathlib import Path
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.svg_chart import render_svg
 from repro.analysis.trends import TrendCheck
-from repro.core.results import SweepResult
+from repro.core.results import MeasurementResult, PointFailure, Series, \
+    SweepResult
 
 
 def atomic_write_text(path: Path, text: str) -> Path:
@@ -144,6 +146,59 @@ def save_experiment(exp_id: str, title: str, kind: str,
     atomic_write_text(directory / "meta.json",
                       json.dumps(meta, indent=2) + "\n")
     return directory
+
+
+def sweep_from_json(data: dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from :meth:`SweepResult.to_json`.
+
+    The inverse of the ``<name>.json`` artifact that
+    :func:`save_sweep` writes, fidelity-complete for every
+    :class:`MeasurementResult` field (including ``eliminated`` and
+    the ``escalations`` count ``measure_robust`` records).  The one
+    JSON-forced coercion: ``to_json`` nulls non-finite floats, so a
+    null ``throughput`` parses back as ``inf`` (its only non-finite
+    producer — unrecordable/non-positive differences) while a null
+    ``per_op_time`` parses back as None (its documented unrecordable
+    value).
+
+    Args:
+        data: A dict as produced by :meth:`SweepResult.to_json` (e.g.
+            ``json.loads`` of a saved ``<name>.json``).
+
+    Returns:
+        The reconstructed sweep.
+    """
+    sweep = SweepResult(
+        name=data["name"], x_label=data["x_label"], unit=data["unit"],
+        metadata=dict(data.get("metadata", {})))
+    for raw_series in data.get("series", []):
+        series = Series(label=raw_series["label"])
+        for p in raw_series.get("points", []):
+            throughput = p["throughput"]
+            series.add(p["x"], MeasurementResult(
+                spec_name=p.get("spec_name", raw_series["label"]),
+                unit=data["unit"],
+                baseline_median=p["baseline_median"],
+                test_median=p["test_median"],
+                per_op_time=p["per_op_time"],
+                throughput=math.inf if throughput is None else throughput,
+                naive_per_op_time=p.get("naive_per_op_time", 0.0),
+                valid_fraction=p["valid_fraction"],
+                unrecordable=p["unrecordable"],
+                eliminated=tuple(p.get("eliminated", ())),
+                dropped_runs=p.get("dropped_runs", 0),
+                escalations=p.get("escalations", 0)))
+        sweep.series.append(series)
+    sweep.failures = [
+        PointFailure(series=f["series"], x=f["x"], error=f["error"],
+                     message=f["message"])
+        for f in data.get("failures", [])]
+    return sweep
+
+
+def load_sweep_json(path: Path) -> SweepResult:
+    """Load a saved ``<name>.json`` sweep artifact from disk."""
+    return sweep_from_json(json.loads(Path(path).read_text()))
 
 
 def load_sweep_csv(path: Path) -> dict[str, list[tuple[float, float]]]:

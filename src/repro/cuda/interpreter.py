@@ -363,18 +363,27 @@ class Cuda:
             the process default (fast unless ``SYNCPERF_ENGINE=reference``
             or inside :func:`repro.core.engine.reference_engine`), the
             same switch that governs the measurement engine.
+        lint: Opt-in static sanitizer check before each launch.
+            ``True`` or ``"error"`` raises
+            :class:`~repro.common.errors.SanitizerError` when
+            :mod:`repro.sanitize` reports an ERROR or WARNING for the
+            kernel; ``"warn"`` emits a Python warning instead.  The
+            check is purely static (source-level) and memoized per
+            kernel code object, so repeated launches pay nothing.
     """
 
     def __init__(self, device: GpuDevice, max_steps: int = 50_000_000,
                  detect_races: bool = False,
                  collect_races: bool = False,
-                 fast: bool | None = None) -> None:
+                 fast: bool | None = None,
+                 lint: bool | str = False) -> None:
         from repro.core.engine import fast_path_default
         self.device = device
         self.max_steps = max_steps
         self.detect_races = detect_races or collect_races
         self.collect_races = collect_races
         self.fast = fast_path_default() if fast is None else fast
+        self.lint = lint
 
     def launch(self, kernel: Kernel, launch: LaunchConfig,
                globals_: Mapping[str, np.ndarray] | None = None,
@@ -401,7 +410,13 @@ class Cuda:
         Raises:
             SimulationError: on deadlock, divergent collectives, barrier
                 misuse, or step-budget exhaustion.
+            SanitizerError: when the runtime was built with
+                ``lint=True``/``"error"`` and the static sanitizer
+                reports a defect in ``kernel``.
         """
+        if self.lint:
+            from repro.sanitize import lint_kernel
+            lint_kernel(kernel, "cuda", self.lint)
         memory: dict[str, np.ndarray] = dict(globals_ or {})
         ctx = self.device.context(launch)
         stats = LaunchStats()

@@ -1,0 +1,141 @@
+"""Extension: validate the static sync sanitizer against seeded defects.
+
+The dynamic detectors (``cuda/race.py``, ``openmp/race.py``) are
+validated by injecting faults and checking they fire; this experiment
+does the same for the *static* pass.  Every rule in
+:mod:`repro.sanitize` is run against its seeded-defect corpus entry
+(:mod:`repro.sanitize.corpus`): the bad kernel must produce exactly the
+expected rule at the expected severity and nothing else, and the clean
+twin must be silent.  On top of the corpus, the whole shipped kernel
+surface (workloads, reductions, experiments, examples) is scanned and
+must report zero errors and warnings — the zero-false-positive
+guarantee the pre-launch ``lint=`` check depends on — and the op-IR
+layer is validated with a deadlocking and an unbalanced lock stream.
+
+The deterministic :func:`summary_text` rendering of the payload is part
+of the golden reference corpus (``results/reference``), so any rule
+drift — a rule that stops firing, fires at a different severity, or
+starts flagging shipped kernels — shows up in ``golden --verify``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check
+from repro.common.datatypes import INT
+from repro.compiler.ops import Op, PrimitiveKind
+from repro.sanitize import sanitize_ops, sanitize_paths
+from repro.sanitize.__main__ import default_paths
+from repro.sanitize.corpus import CORPUS, corpus_reports
+
+
+def _lock_op(kind: PrimitiveKind, name: str) -> Op:
+    return Op(kind=kind, dtype=INT, label=name)
+
+
+def _ops_payload() -> dict:
+    """Exercise the op-IR checks: an ABBA cycle, an unbalanced stream,
+    and a well-formed lock pair."""
+    acq = lambda n: _lock_op(PrimitiveKind.OMP_LOCK_ACQUIRE, n)  # noqa: E731
+    rel = lambda n: _lock_op(PrimitiveKind.OMP_LOCK_RELEASE, n)  # noqa: E731
+    abba = sanitize_ops((acq("a"), acq("b"), rel("b"), rel("a"),
+                         acq("b"), acq("a"), rel("a"), rel("b")),
+                        source="ops:abba")
+    unbalanced = sanitize_ops((acq("a"),), source="ops:unbalanced")
+    balanced = sanitize_ops((acq("a"), rel("a")), source="ops:balanced")
+    return {
+        "abba_errors": len(abba.errors),
+        "unbalanced_warnings": len(unbalanced.warnings),
+        "balanced_clean": balanced.clean and not balanced.advice,
+    }
+
+
+def run_sanitizer() -> dict:
+    """Run every rule over its corpus pair plus the shipped surface.
+
+    Returns:
+        A payload dict: per-rule corpus outcomes, surface scan counts,
+        and op-IR check outcomes.  Everything in it is deterministic.
+    """
+    rules: dict[str, dict] = {}
+    for rule in sorted(CORPUS):
+        case = CORPUS[rule]
+        bad, clean = corpus_reports(rule)
+        fired = [f for f in bad.findings if f.rule == rule]
+        rules[rule] = {
+            "expected_severity": case.severity.value,
+            "fired": len(fired),
+            "severities": sorted({f.severity.value for f in fired}),
+            "cross_rule": len(bad.findings) - len(fired),
+            "clean_findings": len(clean.findings),
+        }
+    surface = sanitize_paths(default_paths())
+    return {
+        "rules": rules,
+        "surface": {
+            "errors": len(surface.errors),
+            "warnings": len(surface.warnings),
+            "clean": surface.clean,
+        },
+        "ops": _ops_payload(),
+    }
+
+
+def claims_sanitizer(payload: dict) -> list[TrendCheck]:
+    """The detection and zero-false-positive claims."""
+    checks: list[TrendCheck] = []
+    for rule, row in sorted(payload["rules"].items()):
+        checks.append(check(
+            f"rule {rule} fires on its seeded defect "
+            f"({row['fired']} finding(s))", row["fired"] >= 1))
+        checks.append(check(
+            f"rule {rule} reports severity {row['expected_severity']}",
+            row["severities"] == [row["expected_severity"]]))
+        checks.append(check(
+            f"rule {rule} stays silent on the clean twin",
+            row["clean_findings"] == 0))
+        checks.append(check(
+            f"rule {rule}'s seeded defect trips no other rule",
+            row["cross_rule"] == 0))
+    checks.append(check(
+        "shipped workloads/reductions/experiments/examples are "
+        "sanitizer-clean (zero errors, zero warnings)",
+        payload["surface"]["clean"]
+        and payload["surface"]["errors"] == 0
+        and payload["surface"]["warnings"] == 0))
+    checks.append(check(
+        "op-IR pass flags the ABBA lock cycle",
+        payload["ops"]["abba_errors"] >= 1))
+    checks.append(check(
+        "op-IR pass flags the unbalanced lock stream",
+        payload["ops"]["unbalanced_warnings"] >= 1))
+    checks.append(check(
+        "op-IR pass accepts the balanced lock stream",
+        payload["ops"]["balanced_clean"]))
+    return checks
+
+
+def summary_text(payload: dict) -> str:
+    """Deterministic rule-drift summary for the golden corpus.
+
+    Deliberately excludes the surface *kernel count* (adding a workload
+    is not rule drift) but includes the surface clean verdict (a new
+    false positive is).
+    """
+    lines = ["ext-sanitizer rule validation",
+             "rule,expected_severity,fired,severities,cross_rule,"
+             "clean_findings"]
+    for rule, row in sorted(payload["rules"].items()):
+        lines.append(
+            f"{rule},{row['expected_severity']},{row['fired']},"
+            f"{'+'.join(row['severities'])},{row['cross_rule']},"
+            f"{row['clean_findings']}")
+    lines.append(
+        "surface_clean,"
+        + ("yes" if payload["surface"]["clean"] else "no"))
+    lines.append(
+        "ops,abba_errors={a},unbalanced_warnings={u},"
+        "balanced_clean={b}".format(
+            a=payload["ops"]["abba_errors"],
+            u=payload["ops"]["unbalanced_warnings"],
+            b="yes" if payload["ops"]["balanced_clean"] else "no"))
+    return "\n".join(lines) + "\n"

@@ -27,10 +27,22 @@ from repro.faults.scenario import use_faults
 #: Headline sweeps in the corpus: corpus id -> producer of one sweep.
 GOLDEN_SWEEPS: dict[str, Callable[[], SweepResult]] = {}
 
+#: Text artifacts in the corpus: corpus id -> producer of the exact
+#: file contents (stored as ``<id>.txt``).  Same drift discipline as
+#: the CSV sweeps, for deterministic non-sweep payloads.
+GOLDEN_TEXTS: dict[str, Callable[[], str]] = {}
+
 
 def _register(corpus_id: str):
     def wrap(func: Callable[[], SweepResult]):
         GOLDEN_SWEEPS[corpus_id] = func
+        return func
+    return wrap
+
+
+def _register_text(corpus_id: str):
+    def wrap(func: Callable[[], str]):
+        GOLDEN_TEXTS[corpus_id] = func
         return func
     return wrap
 
@@ -83,6 +95,12 @@ def _fig15() -> SweepResult:
     return run_fig15()["full"]
 
 
+@_register_text("ext_sanitizer_summary")
+def _ext_sanitizer() -> str:
+    from repro.experiments.ext_sanitizer import run_sanitizer, summary_text
+    return summary_text(run_sanitizer())
+
+
 def default_corpus_dir() -> Path:
     """``results/reference`` next to the repository's source tree."""
     return Path(__file__).resolve().parents[3] / "results" / "reference"
@@ -101,6 +119,10 @@ def write_golden(root: Path) -> list[Path]:
         for corpus_id, producer in GOLDEN_SWEEPS.items():
             path = root / f"{corpus_id}.csv"
             path.write_text(producer().to_csv())
+            written.append(path)
+        for corpus_id, text_producer in GOLDEN_TEXTS.items():
+            path = root / f"{corpus_id}.txt"
+            path.write_text(text_producer())
             written.append(path)
     return written
 
@@ -121,15 +143,22 @@ def verify_golden(root: Path,
         Mismatch descriptions (empty when the corpus is clean).
     """
     problems = []
-    for corpus_id, producer in GOLDEN_SWEEPS.items():
-        path = root / f"{corpus_id}.csv"
+    entries: list[tuple[str, str, Callable[[], str]]] = [
+        (corpus_id, f"{corpus_id}.csv",
+         (lambda p=producer: p().to_csv()))
+        for corpus_id, producer in GOLDEN_SWEEPS.items()]
+    entries.extend(
+        (corpus_id, f"{corpus_id}.txt", text_producer)
+        for corpus_id, text_producer in GOLDEN_TEXTS.items())
+    for corpus_id, filename, produce in entries:
+        path = root / filename
         if not path.exists():
             problems.append(f"{corpus_id}: missing {path}")
             continue
         expected = path.read_text()
         start = time.perf_counter()
         with use_faults(None):
-            actual = producer().to_csv()
+            actual = produce()
         if timings is not None:
             timings[corpus_id] = time.perf_counter() - start
         if actual != expected:
@@ -163,7 +192,8 @@ def main(argv: list[str] | None = None) -> int:
         for problem in problems:
             print(f"MISMATCH {problem}")
         return 1
-    print(f"corpus clean: {len(GOLDEN_SWEEPS)} sweeps match {root}")
+    print(f"corpus clean: {len(GOLDEN_SWEEPS)} sweeps + "
+          f"{len(GOLDEN_TEXTS)} text artifacts match {root}")
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.experiments import (
     ext_divergence,
     ext_fault_tolerance,
     ext_reduction_strategies,
+    ext_sanitizer,
     listing1,
     omp_atomic_array,
     omp_atomic_update,
@@ -243,6 +244,13 @@ def _build() -> dict[str, ExperimentDef]:
                 proto),
             ext_fault_tolerance.claims_fault_tolerance,
             _single_sweep),
+        ExperimentDef(
+            "ext-sanitizer", "§III (well-formedness)",
+            "Static sync sanitizer detects every seeded defect class",
+            "extension",
+            lambda proto=None: ext_sanitizer.run_sanitizer(),
+            ext_sanitizer.claims_sanitizer,
+            lambda payload: []),
         ExperimentDef(
             "ext-reduce", "§V-A5",
             "Reduction strategies: privatized > atomic > critical",

@@ -171,6 +171,11 @@ class OpenMP:
             the process default (fast unless ``SYNCPERF_ENGINE=reference``
             or inside :func:`repro.core.engine.reference_engine`).  Race
             detection always runs on the reference scheduler.
+        lint: Opt-in static sanitizer check before each region.
+            ``True`` or ``"error"`` raises
+            :class:`~repro.common.errors.SanitizerError` when
+            :mod:`repro.sanitize` reports an ERROR or WARNING for the
+            thread body; ``"warn"`` emits a Python warning instead.
     """
 
     def __init__(self, machine: CpuMachine, n_threads: int,
@@ -179,7 +184,8 @@ class OpenMP:
                  collect_races: bool = False,
                  relaxed_consistency: bool = True,
                  max_steps: int = 10_000_000,
-                 fast: bool | None = None) -> None:
+                 fast: bool | None = None,
+                 lint: bool | str = False) -> None:
         if n_threads < 1:
             raise ConfigurationError(
                 f"need at least 1 thread, got {n_threads}")
@@ -191,6 +197,7 @@ class OpenMP:
         self.relaxed_consistency = relaxed_consistency
         self.max_steps = max_steps
         self.fast = fast_path_default() if fast is None else fast
+        self.lint = lint
         # A 1-thread region is legal in the interpreter (unlike the
         # measurement sweeps, which start at 2): fall back to a 2-thread
         # placement context for costing, since costs are placement-based.
@@ -214,7 +221,15 @@ class OpenMP:
             shared: Shared arrays by name (mutated in place).
             trace: Record a per-request execution timeline in
                 ``result.trace``.
+
+        Raises:
+            SanitizerError: when the runtime was built with
+                ``lint=True``/``"error"`` and the static sanitizer
+                reports a defect in ``body``.
         """
+        if self.lint:
+            from repro.sanitize import lint_kernel
+            lint_kernel(body, "openmp", self.lint)
         with obs_span("omp.parallel", n_threads=self.n_threads,
                       path="fast" if self.fast and not self.detect_races
                       else "reference"):

@@ -1,0 +1,82 @@
+"""CLI for the static sync sanitizer.
+
+``python -m repro.sanitize [paths...]`` lifts every kernel found in the
+given files/directories and prints the findings.  With no paths it scans
+the shipped surface: the ``workloads``, ``reductions`` and
+``experiments`` packages plus the repository's ``examples/`` directory
+when present.  Exit status is 0 when no ERROR or WARNING fired (ADVICE
+never fails the run unless ``--strict``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import repro
+from repro.sanitize import ALL_RULES, sanitize_paths
+
+
+def default_paths() -> list[Path]:
+    """The shipped kernel surface scanned when no paths are given."""
+    pkg = Path(repro.__file__).parent
+    paths = [pkg / "workloads", pkg / "reductions", pkg / "experiments"]
+    examples = pkg.parents[1] / "examples"
+    if examples.is_dir():
+        paths.append(examples)
+    return [p for p in paths if p.exists()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Static sanitizer for synchronization primitives.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: shipped "
+        "workloads, reductions, experiments and examples)")
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated subset of rules to run "
+        f"(available: {', '.join(ALL_RULES)})")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on ADVICE findings too")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    args = parser.parse_args(argv)
+
+    rules: tuple[str, ...] | None = None
+    if args.rules:
+        rules = tuple(r.strip() for r in args.rules.split(",")
+                      if r.strip())
+        unknown = [r for r in rules if r not in ALL_RULES]
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+
+    paths = [Path(p) for p in args.paths] or default_paths()
+    report = sanitize_paths(paths, rules)
+
+    if args.format == "json":
+        print(json.dumps({
+            "kernels": report.kernels,
+            "counts": report.by_rule(),
+            "findings": [
+                {"rule": f.rule, "severity": f.severity.value,
+                 "kernel": f.kernel, "message": f.message,
+                 "line": f.line, "source": f.source}
+                for f in report.findings],
+        }, indent=2))
+    else:
+        print(report.render())
+
+    failed = not report.clean or (args.strict and report.advice)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

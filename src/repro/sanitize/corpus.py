@@ -1,0 +1,157 @@
+"""Seeded-defect corpus: one known-bad kernel per sanitizer rule.
+
+The ``ext-sanitizer`` validation experiment (and the corpus test suite)
+runs every rule against a matched pair of kernels: a *bad* kernel seeded
+with exactly one instance of the rule's defect class, and a *clean* twin
+that performs the same work correctly.  A healthy rule fires on the bad
+kernel at the expected severity and stays silent on the twin — the same
+shape as the fault-injection validation in :mod:`repro.faults`, but for
+static defects.
+
+Kernels are stored as source text (not live functions) so the corpus is
+self-contained and line numbers in findings are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sanitize import Report, sanitize_source
+from repro.sanitize.rules import Severity
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One rule's seeded defect and its clean twin.
+
+    Attributes:
+        rule: Rule id the bad kernel must trip.
+        severity: Severity the rule must report.
+        bad: Source of the defective kernel(s).
+        clean: Source of the corrected twin.
+    """
+
+    rule: str
+    severity: Severity
+    bad: str
+    clean: str
+
+
+#: The corpus, keyed by rule id.  Every sanitizer rule has an entry.
+CORPUS: dict[str, CorpusCase] = {
+    "barrier-divergence": CorpusCase(
+        rule="barrier-divergence",
+        severity=Severity.ERROR,
+        bad='''\
+def divergent_reduce(t):
+    """Tree reduction with the barrier inside the active-lane branch."""
+    yield t.shared_write("partial", t.threadIdx, 1)
+    if t.threadIdx < 16:
+        v = yield t.shared_read("partial", t.threadIdx)
+        yield t.shared_write("partial", t.threadIdx, v + 1)
+        yield t.syncthreads()
+''',
+        clean='''\
+def converged_reduce(t):
+    """Same reduction with the barrier hoisted out of the branch."""
+    yield t.shared_write("partial", t.threadIdx, 1)
+    if t.threadIdx < 16:
+        v = yield t.shared_read("partial", t.threadIdx)
+        yield t.shared_write("partial", t.threadIdx, v + 1)
+    yield t.syncthreads()
+''',
+    ),
+    "sync-scope": CorpusCase(
+        rule="sync-scope",
+        severity=Severity.ERROR,
+        bad='''\
+def unfenced_spin(t):
+    """Cross-block spin on a plain global flag with no fence at all."""
+    if t.global_id == 0:
+        yield t.global_write("flag", 0, 1)
+    while (yield t.global_read("flag", 0)) != 1:
+        yield t.alu(1)
+''',
+        clean='''\
+def fenced_spin(t):
+    """The producer fences the store; spinning is now well-scoped."""
+    if t.global_id == 0:
+        yield t.global_write("flag", 0, 1)
+        yield t.threadfence()
+    while (yield t.global_read("flag", 0)) != 1:
+        yield t.alu(1)
+''',
+    ),
+    "lock-order": CorpusCase(
+        rule="lock-order",
+        severity=Severity.ERROR,
+        bad='''\
+def transfer_deadlock(tc):
+    """Half the team takes a->b, the other half b->a: ABBA deadlock."""
+    if tc.tid % 2 == 0:
+        yield tc.lock_acquire("a")
+        yield tc.lock_acquire("b")
+        yield tc.lock_release("b")
+        yield tc.lock_release("a")
+    else:
+        yield tc.lock_acquire("b")
+        yield tc.lock_acquire("a")
+        yield tc.lock_release("a")
+        yield tc.lock_release("b")
+''',
+        clean='''\
+def transfer_ordered(tc):
+    """Both halves acquire in the same global order: no cycle."""
+    if tc.tid % 2 == 0:
+        yield tc.lock_acquire("a")
+        yield tc.lock_acquire("b")
+        yield tc.lock_release("b")
+        yield tc.lock_release("a")
+    else:
+        yield tc.lock_acquire("a")
+        yield tc.lock_acquire("b")
+        yield tc.lock_release("b")
+        yield tc.lock_release("a")
+''',
+    ),
+    "static-race": CorpusCase(
+        rule="static-race",
+        severity=Severity.WARNING,
+        bad='''\
+def racy_total(tc):
+    """Every thread plainly stores its id to the same cell."""
+    yield tc.write("total", 0, tc.tid)
+''',
+        clean='''\
+def atomic_total(tc):
+    """The same accumulation through the atomic construct."""
+    yield tc.atomic_update("total", 0, tc.tid)
+''',
+    ),
+    "redundant-sync": CorpusCase(
+        rule="redundant-sync",
+        severity=Severity.ADVICE,
+        bad='''\
+def double_barrier(t):
+    """Two barriers with nothing observed in between."""
+    yield t.shared_write("buf", t.threadIdx, 1)
+    yield t.syncthreads()
+    yield t.syncthreads()
+    v = yield t.shared_read("buf", 0)
+''',
+        clean='''\
+def single_barrier(t):
+    """One barrier is enough to order the write before the read."""
+    yield t.shared_write("buf", t.threadIdx, 1)
+    yield t.syncthreads()
+    v = yield t.shared_read("buf", 0)
+''',
+    ),
+}
+
+
+def corpus_reports(rule: str) -> tuple[Report, Report]:
+    """Sanitize a corpus case; returns ``(bad_report, clean_report)``."""
+    case = CORPUS[rule]
+    return (sanitize_source(case.bad, f"corpus:{rule}:bad"),
+            sanitize_source(case.clean, f"corpus:{rule}:clean"))

@@ -1,0 +1,530 @@
+"""Lift kernel generator functions into the sanitizer's statement IR.
+
+Kernels in this repo are Python generator functions that ``yield``
+request objects built through the sugar methods of
+:class:`repro.cuda.interpreter.KernelThread` /
+:class:`repro.openmp.interpreter.ThreadContext`.  Executing one requires
+an interpreter and real memory; *lifting* one requires only its source.
+This module parses that source (``ast``) and produces
+:class:`repro.sanitize.ir.KernelIR` trees.
+
+The lifter runs a light taint analysis to classify every branch and loop
+condition (see :class:`repro.sanitize.ir.Dep`):
+
+* thread-identity reads (``threadIdx``, ``global_id``, ``lane``,
+  ``warp``, ``tid``, ``is_master``) taint as THREAD;
+* team-uniform built-ins (``blockIdx``, ``blockDim``, ``gridDim``,
+  ``total_threads``, ``n_threads``) and closure/global names taint as
+  UNIFORM (``blockIdx`` is uniform *within* the convergence domain of a
+  block barrier, which is what the divergence rule cares about);
+* ``yield``ed values (memory loads, collectives) taint as DATA;
+* calls and operators join their operands' taints.
+
+The lifter is deliberately conservative: anything it cannot see through
+(``yield from``, critical-section callables) becomes an
+:class:`~repro.sanitize.ir.OpaqueStmt` that no rule fires on.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Iterable
+
+from repro.compiler.ops import PrimitiveKind, Scope
+from repro.sanitize.ir import (
+    DYNAMIC_VAR,
+    AccessStmt,
+    BranchStmt,
+    Dep,
+    FenceStmt,
+    KernelIR,
+    LockStmt,
+    LoopStmt,
+    OpaqueStmt,
+    ReturnStmt,
+    Space,
+    Stmt,
+    SyncStmt,
+)
+
+#: Thread-identity attributes of the per-thread handle (taint: THREAD).
+_THREAD_ATTRS = frozenset({
+    "threadIdx", "global_id", "lane", "warp", "tid", "is_master"})
+
+#: Identity attributes usable in a single-thread pin (``tid == 0``).
+_PIN_ATTRS = frozenset({"threadIdx", "global_id", "lane", "tid"})
+
+_CUDA_BARRIERS = {
+    "syncthreads": PrimitiveKind.SYNCTHREADS,
+    "syncthreads_count": PrimitiveKind.SYNCTHREADS_COUNT,
+    "syncthreads_and": PrimitiveKind.SYNCTHREADS_AND,
+    "syncthreads_or": PrimitiveKind.SYNCTHREADS_OR,
+}
+
+_CUDA_COLLECTIVES = {
+    "syncwarp": PrimitiveKind.SYNCWARP,
+    "shfl_sync": PrimitiveKind.SHFL_SYNC,
+    "shfl_up_sync": PrimitiveKind.SHFL_UP_SYNC,
+    "shfl_down_sync": PrimitiveKind.SHFL_DOWN_SYNC,
+    "shfl_xor_sync": PrimitiveKind.SHFL_XOR_SYNC,
+    "all_sync": PrimitiveKind.VOTE_ALL,
+    "any_sync": PrimitiveKind.VOTE_ANY,
+    "ballot_sync": PrimitiveKind.VOTE_BALLOT,
+    "match_any_sync": PrimitiveKind.MATCH_ANY_SYNC,
+    "match_all_sync": PrimitiveKind.MATCH_ALL_SYNC,
+    "reduce_max_sync": PrimitiveKind.REDUCE_MAX_SYNC,
+}
+
+_CUDA_ATOMICS = frozenset({
+    "atomic_add", "atomic_sub", "atomic_and", "atomic_or", "atomic_xor",
+    "atomic_max", "atomic_min", "atomic_inc", "atomic_dec", "atomic_cas",
+    "atomic_exch"})
+
+#: Every sugar-method name that marks a function as a CUDA kernel.
+_CUDA_METHODS = (frozenset(_CUDA_BARRIERS) | frozenset(_CUDA_COLLECTIVES)
+                 | _CUDA_ATOMICS
+                 | frozenset({"threadfence", "global_read", "global_write",
+                              "shared_read", "shared_write", "alu",
+                              "activemask"}))
+
+#: Every sugar-method name that marks a function as an OpenMP body.
+_OMP_METHODS = frozenset({
+    "barrier", "flush", "read", "write", "atomic_read", "atomic_write",
+    "atomic_update", "atomic_capture", "critical", "lock_acquire",
+    "lock_release", "single"})
+
+
+def _const_str(node: ast.expr | None, default: str = DYNAMIC_VAR) -> str:
+    if node is None:
+        return default
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return DYNAMIC_VAR
+
+
+def _const_int(node: ast.expr | None) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _arg(call: ast.Call, pos: int, name: str) -> ast.expr | None:
+    """Positional-or-keyword argument lookup on a call node."""
+    if len(call.args) > pos:
+        return call.args[pos]
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _scope_of(call: ast.Call) -> Scope:
+    """Extract a ``Scope.X``-style argument from a sugar call."""
+    candidates: list[ast.expr] = list(call.args)
+    candidates.extend(kw.value for kw in call.keywords
+                      if kw.arg in (None, "scope"))
+    for node in candidates:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "Scope" \
+                and node.attr in Scope.__members__:
+            return Scope[node.attr]
+    return Scope.DEVICE
+
+
+class _Lifter:
+    """Lifts one kernel ``FunctionDef`` into a :class:`KernelIR` body."""
+
+    def __init__(self, param: str, dialect: str) -> None:
+        self.param = param
+        self.dialect = dialect
+        #: Taint environment: local name -> dependence.
+        self.env: dict[str, Dep] = {}
+        #: Variables acquired through the CAS-spinlock idiom; a later
+        #: ``atomic_exch`` on one of them lowers to a lock release.
+        self.cas_locks: set[str] = set()
+
+    # ------------------------------- taint ------------------------------ #
+
+    def dep_of(self, node: ast.expr | None) -> Dep:
+        """Dependence of an expression under the current environment."""
+        if node is None:
+            return Dep.UNIFORM
+        if isinstance(node, ast.Constant):
+            return Dep.UNIFORM
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, Dep.UNIFORM)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) \
+                    and node.value.id == self.param:
+                if node.attr in _THREAD_ATTRS:
+                    return Dep.THREAD
+                return Dep.UNIFORM
+            return self.dep_of(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return Dep.DATA
+        dep = Dep.UNIFORM
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                dep = dep.join(self.dep_of(child))
+            elif isinstance(child, (ast.keyword, ast.comprehension)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.expr):
+                        dep = dep.join(self.dep_of(sub))
+        return dep
+
+    def _is_pin(self, test: ast.expr) -> bool:
+        """``if tid == c`` / ``if is_master``: exactly one thread runs."""
+        if isinstance(test, ast.Attribute) \
+                and isinstance(test.value, ast.Name) \
+                and test.value.id == self.param \
+                and test.attr == "is_master":
+            return True
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+                and isinstance(test.ops[0], ast.Eq):
+            sides = (test.left, test.comparators[0])
+            for a, b in (sides, sides[::-1]):
+                if isinstance(a, ast.Attribute) \
+                        and isinstance(a.value, ast.Name) \
+                        and a.value.id == self.param \
+                        and a.attr in _PIN_ATTRS \
+                        and self.dep_of(b) is Dep.UNIFORM:
+                    return True
+        return False
+
+    # ---------------------------- statements ---------------------------- #
+
+    def lift_block(self, stmts: Iterable[ast.stmt],
+                   pinned: bool = False) -> tuple[Stmt, ...]:
+        """Lift a statement list (one lexical block)."""
+        out: list[Stmt] = []
+        for node in stmts:
+            out.extend(self.lift_stmt(node, pinned))
+        return tuple(out)
+
+    def lift_stmt(self, node: ast.stmt, pinned: bool) -> list[Stmt]:
+        """Lift one AST statement into zero or more IR statements."""
+        if isinstance(node, ast.If):
+            out = self._yields_in(node.test, pinned)
+            dep = self.dep_of(node.test)
+            pin = self._is_pin(node.test)
+            body = self.lift_block(node.body, pinned or pin)
+            orelse = self.lift_block(node.orelse, pinned)
+            out.append(BranchStmt(dep=dep, pin=pin, body=body,
+                                  orelse=orelse, line=node.lineno))
+            return out
+        if isinstance(node, ast.While):
+            return self._lift_while(node, pinned)
+        if isinstance(node, ast.For):
+            out = self._yields_in(node.iter, pinned)
+            dep = self.dep_of(node.iter)
+            self._assign_target(node.target, None, dep)
+            body = self.lift_block(node.body, pinned)
+            body += self.lift_block(node.orelse, pinned)
+            out.append(LoopStmt(dep=dep, body=body, line=node.lineno))
+            return out
+        if isinstance(node, ast.Return):
+            out = self._yields_in(node.value, pinned) if node.value else []
+            out.append(ReturnStmt(line=node.lineno))
+            return out
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return self._lift_assign(node, pinned)
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.YieldFrom):
+                return [OpaqueStmt(line=node.lineno)]
+            return self._yields_in(node.value, pinned)
+        if isinstance(node, ast.With):
+            return list(self.lift_block(node.body, pinned))
+        if isinstance(node, ast.Try):
+            out = list(self.lift_block(node.body, pinned))
+            for handler in node.handlers:
+                out.extend(self.lift_block(handler.body, pinned))
+            out.extend(self.lift_block(node.orelse, pinned))
+            out.extend(self.lift_block(node.finalbody, pinned))
+            return out
+        # Nested defs are lifted as kernels of their own by the module
+        # scan; pass/break/continue/del/assert carry no sync semantics.
+        return []
+
+    def _lift_while(self, node: ast.While, pinned: bool) -> list[Stmt]:
+        """Lift a while loop, detecting the spin-wait and CAS-spinlock
+        idioms in its test expression."""
+        pre: list[Stmt] = []
+        test_stmts: list[Stmt] = []
+        spin: AccessStmt | None = None
+        for y in self._collect_yields(node.test):
+            for stmt in self.lift_yield(y, pinned):
+                if isinstance(stmt, AccessStmt):
+                    if not stmt.is_write:
+                        spin = stmt
+                    elif stmt.atomic \
+                            and self._method_name(y) == "atomic_cas":
+                        # ``while atomicCAS(lock, 0, 1) != 0`` — the
+                        # classic GPU spinlock acquire.  Surface it to
+                        # the lock-order rule as an acquisition.
+                        spin = stmt
+                        pre.append(LockStmt(acquire=True, name=stmt.var,
+                                            line=stmt.line))
+                        self.cas_locks.add(stmt.var)
+                test_stmts.append(stmt)
+        dep = self.dep_of(node.test)
+        body = test_stmts + list(self.lift_block(node.body, pinned))
+        body += self.lift_block(node.orelse, pinned)
+        pre.append(LoopStmt(dep=dep, spin=spin, body=tuple(body),
+                            line=node.lineno))
+        return pre
+
+    def _lift_assign(self, node: ast.stmt, pinned: bool) -> list[Stmt]:
+        value = getattr(node, "value", None)
+        out = self._yields_in(value, pinned) if value is not None else []
+        dep = self.dep_of(value) if value is not None else Dep.UNIFORM
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._assign_target(target, value, dep)
+        elif isinstance(node, ast.AnnAssign):
+            self._assign_target(node.target, value, dep)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                old = self.env.get(node.target.id, Dep.UNIFORM)
+                self.env[node.target.id] = old.join(dep)
+        if isinstance(value, ast.YieldFrom):
+            out.append(OpaqueStmt(line=node.lineno))
+        return out
+
+    def _assign_target(self, target: ast.expr, value: ast.expr | None,
+                       dep: Dep) -> None:
+        """Record taint for an assignment target (handles tuple swaps)."""
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dep
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            src = value.elts if isinstance(value, (ast.Tuple, ast.List)) \
+                and len(value.elts) == len(elts) else None
+            for i, elt in enumerate(elts):
+                self._assign_target(
+                    elt, None,
+                    self.dep_of(src[i]) if src is not None else dep)
+
+    # ------------------------------ yields ------------------------------ #
+
+    def _collect_yields(self, node: ast.expr | None) -> list[ast.Yield]:
+        """Every ``yield`` in an expression, innermost first (matching
+        execution order), without entering nested function bodies."""
+        found: list[ast.Yield] = []
+
+        def visit(n: ast.AST) -> None:
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+                return
+            for child in ast.iter_child_nodes(n):
+                visit(child)
+            if isinstance(n, ast.Yield):
+                found.append(n)
+
+        if node is not None:
+            visit(node)
+        return found
+
+    def _yields_in(self, node: ast.expr | None,
+                   pinned: bool) -> list[Stmt]:
+        out: list[Stmt] = []
+        for y in self._collect_yields(node):
+            out.extend(self.lift_yield(y, pinned))
+        return out
+
+    def _method_name(self, y: ast.Yield) -> str | None:
+        call = y.value
+        if isinstance(call, ast.Call) \
+                and isinstance(call.func, ast.Attribute) \
+                and isinstance(call.func.value, ast.Name) \
+                and call.func.value.id == self.param:
+            return call.func.attr
+        return None
+
+    def lift_yield(self, y: ast.Yield, pinned: bool) -> list[Stmt]:
+        """Lift one ``yield p.method(...)`` into IR statements."""
+        method = self._method_name(y)
+        if method is None:
+            return [OpaqueStmt(line=getattr(y, "lineno", 0))]
+        call = y.value
+        assert isinstance(call, ast.Call)
+        line = call.lineno
+        if self.dialect == "cuda":
+            return self._lift_cuda(method, call, line, pinned)
+        return self._lift_omp(method, call, line, pinned)
+
+    def _lift_cuda(self, method: str, call: ast.Call, line: int,
+                   pinned: bool) -> list[Stmt]:
+        if method in _CUDA_BARRIERS:
+            return [SyncStmt(kind=_CUDA_BARRIERS[method], line=line)]
+        if method in _CUDA_COLLECTIVES:
+            return [SyncStmt(kind=_CUDA_COLLECTIVES[method],
+                             collective=True, line=line)]
+        if method == "threadfence":
+            scope = _scope_of(call)
+            kind = {Scope.BLOCK: PrimitiveKind.THREADFENCE_BLOCK,
+                    Scope.SYSTEM: PrimitiveKind.THREADFENCE_SYSTEM,
+                    }.get(scope, PrimitiveKind.THREADFENCE)
+            return [FenceStmt(kind=kind, line=line)]
+        if method in ("global_read", "global_write",
+                      "shared_read", "shared_write"):
+            idx = _arg(call, 1, "idx")
+            return [AccessStmt(
+                var=_const_str(_arg(call, 0, "var")),
+                space=Space.GLOBAL if method.startswith("global")
+                else Space.SHARED,
+                is_write=method.endswith("write"),
+                index_dep=self.dep_of(idx),
+                index_const=_const_int(idx) if idx is not None else 0,
+                pinned=pinned, line=line)]
+        if method in _CUDA_ATOMICS:
+            var = _const_str(_arg(call, 0, "var"))
+            idx = _arg(call, 1, "idx")
+            stmt = AccessStmt(
+                var=var, space=Space.GLOBAL, is_write=True, atomic=True,
+                scope=_scope_of(call), index_dep=self.dep_of(idx),
+                index_const=_const_int(idx), pinned=pinned, line=line)
+            if method == "atomic_exch" and var in self.cas_locks:
+                # Storing through the CAS-acquired flag releases it.
+                return [LockStmt(acquire=False, name=var, line=line),
+                        stmt]
+            return [stmt]
+        return []  # alu / activemask: no sync or memory semantics
+
+    def _lift_omp(self, method: str, call: ast.Call, line: int,
+                  pinned: bool) -> list[Stmt]:
+        if method in ("barrier", "single"):
+            return [SyncStmt(kind=PrimitiveKind.OMP_BARRIER, line=line)]
+        if method == "flush":
+            return [FenceStmt(kind=PrimitiveKind.OMP_FLUSH, line=line)]
+        if method in ("read", "write", "atomic_read", "atomic_write",
+                      "atomic_update", "atomic_capture"):
+            idx = _arg(call, 1, "idx")
+            return [AccessStmt(
+                var=_const_str(_arg(call, 0, "var")),
+                space=Space.GLOBAL,
+                is_write=method.endswith(("write", "update", "capture")),
+                atomic=method.startswith("atomic"),
+                index_dep=self.dep_of(idx),
+                index_const=_const_int(idx), pinned=pinned, line=line)]
+        if method in ("lock_acquire", "lock_release"):
+            return [LockStmt(
+                acquire=method == "lock_acquire",
+                name=_const_str(_arg(call, 0, "name"), default="lock"),
+                line=line)]
+        if method == "critical":
+            return [OpaqueStmt(line=line)]
+        return []
+
+
+def _own_nodes(func: ast.FunctionDef):
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _classify(func: ast.FunctionDef) -> str | None:
+    """Kernel dialect of a function, or None when it is not a kernel."""
+    if not func.args.args:
+        return None
+    param = func.args.args[0].arg
+    if param in ("self", "cls"):
+        return None
+    cuda_hits = omp_hits = 0
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+            call = node.value
+            if isinstance(call.func, ast.Attribute) \
+                    and isinstance(call.func.value, ast.Name) \
+                    and call.func.value.id == param:
+                if call.func.attr in _CUDA_METHODS:
+                    cuda_hits += 1
+                if call.func.attr in _OMP_METHODS:
+                    omp_hits += 1
+    if cuda_hits == omp_hits == 0:
+        return None
+    return "cuda" if cuda_hits >= omp_hits else "openmp"
+
+
+def _lift_function(func: ast.FunctionDef, dialect: str,
+                   source: str) -> KernelIR:
+    lifter = _Lifter(param=func.args.args[0].arg, dialect=dialect)
+    body = lifter.lift_block(func.body)
+    return KernelIR(name=func.name, dialect=dialect, source=source,
+                    line=func.lineno, body=body)
+
+
+def kernel_irs_from_source(text: str,
+                           source: str = "<string>") -> list[KernelIR]:
+    """Lift every kernel-shaped function found in a module's source.
+
+    A function qualifies when its body yields at least one request built
+    through the sugar methods of its first parameter.  Nested functions
+    (the dominant kernel idiom in this repo: ``def kernel(t)`` inside a
+    workload driver) are found too.
+
+    Raises:
+        SyntaxError: when ``text`` is not valid Python.
+    """
+    tree = ast.parse(text)
+    kernels = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            dialect = _classify(node)
+            if dialect is not None:
+                kernels.append(_lift_function(node, dialect, source))
+    kernels.sort(key=lambda k: k.line)
+    return kernels
+
+
+def kernel_ir_from_function(fn: Callable,
+                            dialect: str | None = None) -> KernelIR:
+    """Lift a live kernel function object.
+
+    Closure variables taint as uniform, which matches how the repo's
+    drivers parameterize kernels (sizes and bin counts are launch-wide
+    constants).
+
+    Args:
+        fn: The generator function to lift.
+        dialect: Force ``"cuda"``/``"openmp"``; inferred when None.
+
+    Raises:
+        ValueError: when the source is unavailable (REPL definitions) or
+            the function does not yield any interpreter requests.
+    """
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise ValueError(
+            f"cannot lift {fn!r}: source unavailable ({exc})") from exc
+    tree = ast.parse(src)
+    # Shift the snippet-relative line numbers to file positions so every
+    # statement's finding points into the real file, not the snippet.
+    offset = getattr(getattr(fn, "__code__", None), "co_firstlineno", 1) - 1
+    if offset:
+        ast.increment_lineno(tree, offset)
+    func = next((n for n in ast.walk(tree)
+                 if isinstance(n, ast.FunctionDef)), None)
+    if func is None:
+        raise ValueError(f"no function definition found for {fn!r}")
+    use = dialect or _classify(func)
+    if use is None:
+        raise ValueError(
+            f"{getattr(fn, '__name__', fn)!r} does not yield any "
+            "interpreter requests; not a kernel")
+    source = getattr(getattr(fn, "__code__", None), "co_filename",
+                     "<function>")
+    return _lift_function(func, use, source)

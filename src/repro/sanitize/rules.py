@@ -1,0 +1,482 @@
+"""The five syncsan rules, run over lifted :class:`KernelIR` trees.
+
+Rule catalog (see ``docs/sanitizer.md`` for worked examples):
+
+==================  ========  ==============================================
+rule id             severity  fires when
+==================  ========  ==============================================
+barrier-divergence  ERROR     a block barrier is reachable under
+                              thread-dependent control flow (or after a
+                              thread-dependent early return); warp
+                              collectives under divergence are WARNING
+sync-scope          ERROR     a spin-wait on a plain global flag has no
+                              device-scope fence anywhere in the kernel;
+                              system-scope atomics paired with a
+                              device-scope fence are WARNING
+lock-order          ERROR     the lock-acquisition graph (OMP locks and
+                              CAS spinlocks) has a cycle
+static-race         WARNING   two plain accesses (at least one write) can
+                              touch the same location in the same barrier
+                              epoch with no ordering primitive
+redundant-sync      ADVICE    back-to-back barriers, or a fence
+                              immediately followed by one of equal or
+                              narrower scope
+==================  ========  ==============================================
+
+Severities express confidence, mirroring the dynamic detectors: ERROR is
+a defect on every schedule, WARNING is a defect on some schedule or
+input, ADVICE costs cycles but not correctness.  ``Report.clean`` counts
+ERROR and WARNING only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.compiler.ops import PrimitiveKind, Scope
+from repro.sanitize.ir import (
+    DYNAMIC_VAR,
+    AccessStmt,
+    BranchStmt,
+    Dep,
+    FenceStmt,
+    KernelIR,
+    LockStmt,
+    LoopStmt,
+    ReturnStmt,
+    Stmt,
+    SyncStmt,
+)
+
+
+class Severity(enum.Enum):
+    """How bad a finding is (ordered: ADVICE < WARNING < ERROR)."""
+
+    ADVICE = "advice"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer diagnostic.
+
+    Attributes:
+        rule: Rule identifier (``barrier-divergence``...).
+        severity: Confidence class of the diagnostic.
+        kernel: Name of the kernel the finding is in.
+        message: Human-readable description.
+        line: 1-based source line of the offending statement.
+        source: Path (or ``<function>``) the kernel was lifted from.
+    """
+
+    rule: str
+    severity: Severity
+    kernel: str
+    message: str
+    line: int = 0
+    source: str = "<function>"
+
+    def render(self) -> str:
+        """One-line ``path:line: severity: [rule] message`` rendering."""
+        return (f"{self.source}:{self.line}: {self.severity.value}: "
+                f"[{self.rule}] {self.kernel}: {self.message}")
+
+
+@dataclass
+class Report:
+    """Aggregated findings from one or more sanitized artifacts."""
+
+    findings: list[Finding] = field(default_factory=list)
+    kernels: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Findings at ERROR severity."""
+        return [f for f in self.findings
+                if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        """Findings at WARNING severity."""
+        return [f for f in self.findings
+                if f.severity is Severity.WARNING]
+
+    @property
+    def advice(self) -> list[Finding]:
+        """Findings at ADVICE severity."""
+        return [f for f in self.findings
+                if f.severity is Severity.ADVICE]
+
+    @property
+    def clean(self) -> bool:
+        """True when no ERROR or WARNING finding exists (ADVICE ok)."""
+        return not self.errors and not self.warnings
+
+    def merge(self, other: "Report") -> "Report":
+        """Fold another report's findings into this one (in place)."""
+        self.findings.extend(other.findings)
+        self.kernels += other.kernels
+        return self
+
+    def by_rule(self) -> dict[str, int]:
+        """Finding counts keyed by rule id."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        """Multi-line rendering of every finding plus a summary line."""
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{self.kernels} kernel(s): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.advice)} advice")
+        return "\n".join(lines)
+
+
+#: Ordering of fence scopes: a fence covers every narrower scope.
+_SCOPE_RANK = {Scope.BLOCK: 0, Scope.DEVICE: 1, Scope.SYSTEM: 2}
+
+_BLOCK_BARRIERS = frozenset({
+    PrimitiveKind.SYNCTHREADS, PrimitiveKind.SYNCTHREADS_COUNT,
+    PrimitiveKind.SYNCTHREADS_AND, PrimitiveKind.SYNCTHREADS_OR,
+    PrimitiveKind.OMP_BARRIER})
+
+
+def _finding(kernel: KernelIR, rule: str, severity: Severity,
+             message: str, line: int) -> Finding:
+    return Finding(rule=rule, severity=severity, kernel=kernel.name,
+                   message=message, line=line, source=kernel.source)
+
+
+# ------------------------- rule 1: divergence -------------------------- #
+
+def _contains_return(stmts: tuple[Stmt, ...]) -> bool:
+    for s in stmts:
+        if isinstance(s, ReturnStmt):
+            return True
+        if isinstance(s, BranchStmt):
+            if _contains_return(s.body) or _contains_return(s.orelse):
+                return True
+        elif isinstance(s, LoopStmt):
+            if _contains_return(s.body):
+                return True
+    return False
+
+
+def rule_barrier_divergence(kernel: KernelIR) -> list[Finding]:
+    """Block barriers that not all threads of the block/team reach."""
+    findings: list[Finding] = []
+
+    def scan(stmts: tuple[Stmt, ...], ctx: Dep,
+             after_exit: bool) -> bool:
+        for s in stmts:
+            if isinstance(s, SyncStmt):
+                if s.collective:
+                    if ctx is Dep.THREAD:
+                        findings.append(_finding(
+                            kernel, "barrier-divergence",
+                            Severity.WARNING,
+                            f"warp collective {s.kind.name} under "
+                            "thread-dependent control flow; lanes that "
+                            "skip it change the convergence mask",
+                            s.line))
+                elif ctx is Dep.THREAD:
+                    findings.append(_finding(
+                        kernel, "barrier-divergence", Severity.ERROR,
+                        f"block barrier {s.kind.name} under "
+                        "thread-dependent control flow; threads that "
+                        "skip it deadlock the block", s.line))
+                elif after_exit:
+                    findings.append(_finding(
+                        kernel, "barrier-divergence", Severity.ERROR,
+                        f"block barrier {s.kind.name} after a "
+                        "thread-dependent early return; exited threads "
+                        "never arrive", s.line))
+            elif isinstance(s, BranchStmt):
+                # Pins are NOT exempt here: ``if tid == 0: barrier()``
+                # deadlocks just the same.  The pin exemption belongs to
+                # the race rule only (AccessStmt.pinned).
+                inner = ctx.join(s.dep)
+                exit_body = scan(s.body, inner, after_exit)
+                exit_else = scan(s.orelse, inner, after_exit)
+                after_exit = exit_body or exit_else
+                if s.dep is Dep.THREAD and (
+                        _contains_return(s.body)
+                        or _contains_return(s.orelse)):
+                    after_exit = True
+            elif isinstance(s, LoopStmt):
+                after_exit = scan(s.body, ctx.join(s.dep), after_exit)
+        return after_exit
+
+    scan(kernel.body, Dep.UNIFORM, False)
+    return findings
+
+
+# ------------------------- rule 2: sync scope --------------------------- #
+
+def _all_stmts(kernel: KernelIR):
+    for stmt, _ctx in kernel.walk():
+        yield stmt
+
+
+def rule_sync_scope(kernel: KernelIR) -> list[Finding]:
+    """Cross-thread signalling whose fences are missing or too narrow."""
+    findings: list[Finding] = []
+    fences = [s for s in _all_stmts(kernel) if isinstance(s, FenceStmt)]
+    spins = [s for s in _all_stmts(kernel)
+             if isinstance(s, LoopStmt) and s.spin is not None]
+    if kernel.dialect == "cuda":
+        wide = [f for f in fences
+                if _SCOPE_RANK[f.scope] >= _SCOPE_RANK[Scope.DEVICE]]
+        for loop in spins:
+            spin = loop.spin
+            assert spin is not None
+            if spin.atomic or spin.space.value != "global":
+                continue  # atomics carry their own coherence scope
+            if not wide:
+                detail = ("only __threadfence_block() present, which "
+                          "does not reach other blocks"
+                          if fences else "no __threadfence() present")
+                findings.append(_finding(
+                    kernel, "sync-scope", Severity.ERROR,
+                    "spin-wait on plain global flag "
+                    f"'{spin.var}' with {detail}; the store may never "
+                    "become visible to the spinning block", spin.line))
+        system_atomics = [
+            s for s in _all_stmts(kernel)
+            if isinstance(s, AccessStmt) and s.atomic
+            and s.scope is Scope.SYSTEM]
+        if system_atomics and fences and not any(
+                f.scope is Scope.SYSTEM for f in fences):
+            findings.append(_finding(
+                kernel, "sync-scope", Severity.WARNING,
+                "system-scope atomics paired with a device-scope "
+                "fence; host/peer visibility requires "
+                "__threadfence_system()", system_atomics[0].line))
+    else:
+        for loop in spins:
+            spin = loop.spin
+            assert spin is not None
+            if spin.atomic:
+                continue
+            if not fences:
+                findings.append(_finding(
+                    kernel, "sync-scope", Severity.ERROR,
+                    f"spin-wait on shared variable '{spin.var}' with "
+                    "plain reads and no flush; the compiler may hoist "
+                    "the load out of the loop", spin.line))
+    return findings
+
+
+# ------------------------- rule 3: lock order --------------------------- #
+
+def _lock_edges(stmts: tuple[Stmt, ...], held: list[str],
+                edges: dict[str, set[str]]) -> None:
+    for s in stmts:
+        if isinstance(s, LockStmt):
+            if s.acquire:
+                for h in held:
+                    if h != s.name:
+                        edges.setdefault(h, set()).add(s.name)
+                held.append(s.name)
+            elif s.name in held:
+                held.remove(s.name)
+        elif isinstance(s, BranchStmt):
+            # Arms are alternatives: give each a copy of the held set
+            # so acquisitions in one arm do not order against the other.
+            _lock_edges(s.body, list(held), edges)
+            _lock_edges(s.orelse, list(held), edges)
+        elif isinstance(s, LoopStmt):
+            _lock_edges(s.body, held, edges)
+
+
+def _find_cycle(edges: dict[str, set[str]]) -> list[str] | None:
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    def dfs(node: str, path: list[str]) -> list[str] | None:
+        state[node] = 0
+        path.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            if state.get(nxt) == 0:
+                return path[path.index(nxt):] + [nxt]
+            if nxt not in state:
+                cycle = dfs(nxt, path)
+                if cycle:
+                    return cycle
+        path.pop()
+        state[node] = 1
+        return None
+
+    for start in sorted(edges):
+        if start not in state:
+            cycle = dfs(start, [])
+            if cycle:
+                return cycle
+    return None
+
+
+def rule_lock_order(kernel: KernelIR) -> list[Finding]:
+    """Cycles in the lock-acquisition graph (potential deadlock)."""
+    edges: dict[str, set[str]] = {}
+    _lock_edges(kernel.body, [], edges)
+    cycle = _find_cycle(edges)
+    if cycle is None:
+        return []
+    line = next((s.line for s in _all_stmts(kernel)
+                 if isinstance(s, LockStmt) and s.acquire
+                 and s.name in cycle), kernel.line)
+    return [_finding(
+        kernel, "lock-order", Severity.ERROR,
+        "lock-acquisition cycle " + " -> ".join(cycle)
+        + "; two threads taking opposite orders deadlock", line)]
+
+
+# ------------------------- rule 4: static races ------------------------- #
+
+def _collect_epoch_accesses(
+        stmts: tuple[Stmt, ...], epoch: int, held: int,
+        out: list[tuple[AccessStmt, int, bool]]) -> int:
+    """Walk statements tracking the barrier-epoch counter and the
+    held-lock depth; returns the epoch after the block."""
+    for s in stmts:
+        if isinstance(s, SyncStmt) and s.kind in _BLOCK_BARRIERS:
+            epoch += 1
+        elif isinstance(s, LockStmt):
+            held += 1 if s.acquire else (-1 if held else 0)
+        elif isinstance(s, AccessStmt):
+            out.append((s, epoch, held > 0))
+        elif isinstance(s, BranchStmt):
+            e1 = _collect_epoch_accesses(s.body, epoch, held, out)
+            e2 = _collect_epoch_accesses(s.orelse, epoch, held, out)
+            epoch = max(e1, e2)
+        elif isinstance(s, LoopStmt):
+            epoch = _collect_epoch_accesses(s.body, epoch, held, out)
+    return epoch
+
+
+def rule_static_race(kernel: KernelIR) -> list[Finding]:
+    """Plain conflicting accesses inside one barrier epoch.
+
+    Two heuristics, both deliberately conservative to stay
+    false-positive-free on the shipped workloads:
+
+    * a plain, unpinned, unlocked write whose index is uniform or a
+      literal constant — every participating thread stores to the same
+      cell, so the kernel self-races whenever more than one thread runs;
+    * a plain thread-indexed write plus a plain uniform/constant-indexed
+      access to the same variable in the same epoch — the uniform access
+      overlaps some thread's slot with no ordering primitive between.
+
+    Thread-indexed vs. thread-indexed pairs are *not* reported (the
+    repo-wide idiom is disjoint per-thread slices), and accesses whose
+    index is data-dependent or whose array name is dynamic are skipped —
+    aliasing cannot be decided statically.
+    """
+    accesses: list[tuple[AccessStmt, int, bool]] = []
+    _collect_epoch_accesses(kernel.body, 0, 0, accesses)
+    findings: list[Finding] = []
+    seen: set[tuple[str, int]] = set()
+    by_key: dict[tuple[str, int], list[tuple[AccessStmt, bool]]] = {}
+    for acc, epoch, locked in accesses:
+        if acc.var == DYNAMIC_VAR:
+            continue
+        by_key.setdefault((acc.var, epoch), []).append((acc, locked))
+    for (var, epoch), group in by_key.items():
+        plain = [(a, locked) for a, locked in group if not a.atomic]
+        fixed_writes = [
+            a for a, locked in plain
+            if a.is_write and not a.pinned and not locked
+            and (a.index_dep is Dep.UNIFORM
+                 or a.index_const is not None)]
+        thread_writes = [
+            a for a, locked in plain
+            if a.is_write and not a.pinned and not locked
+            and a.index_dep is Dep.THREAD]
+        fixed_reads = [
+            a for a, locked in plain
+            if not a.is_write and not a.pinned and not locked
+            and a.index_dep is Dep.UNIFORM]
+        if (var, epoch) in seen:
+            continue
+        if fixed_writes:
+            seen.add((var, epoch))
+            findings.append(_finding(
+                kernel, "static-race", Severity.WARNING,
+                f"plain write to '{var}' at a uniform index in barrier "
+                f"epoch {epoch}: every thread stores to the same cell "
+                "with no atomic, pin, or lock", fixed_writes[0].line))
+        elif thread_writes and fixed_reads:
+            seen.add((var, epoch))
+            findings.append(_finding(
+                kernel, "static-race", Severity.WARNING,
+                f"plain thread-indexed write to '{var}' and a plain "
+                f"uniform-indexed read in barrier epoch {epoch} with "
+                "no ordering primitive between them",
+                thread_writes[0].line))
+    findings.sort(key=lambda f: f.line)
+    return findings
+
+
+# ----------------------- rule 5: redundant sync ------------------------- #
+
+def _adjacent_pairs(stmts: tuple[Stmt, ...]):
+    for a, b in zip(stmts, stmts[1:]):
+        yield a, b
+    for s in stmts:
+        if isinstance(s, BranchStmt):
+            yield from _adjacent_pairs(s.body)
+            yield from _adjacent_pairs(s.orelse)
+        elif isinstance(s, LoopStmt):
+            yield from _adjacent_pairs(s.body)
+
+
+def rule_redundant_sync(kernel: KernelIR) -> list[Finding]:
+    """Back-to-back synchronization with no observable effect between."""
+    findings: list[Finding] = []
+    for a, b in _adjacent_pairs(kernel.body):
+        if isinstance(a, SyncStmt) and isinstance(b, SyncStmt) \
+                and not a.collective and not b.collective \
+                and a.kind is b.kind:
+            findings.append(_finding(
+                kernel, "redundant-sync", Severity.ADVICE,
+                f"back-to-back {b.kind.name}: nothing is observed "
+                "between the two, the second is dead", b.line))
+        elif isinstance(a, FenceStmt) and isinstance(b, FenceStmt) \
+                and _SCOPE_RANK[b.scope] <= _SCOPE_RANK[a.scope]:
+            findings.append(_finding(
+                kernel, "redundant-sync", Severity.ADVICE,
+                f"{b.kind.name} immediately after {a.kind.name}: the "
+                "first fence already orders a scope at least as wide",
+                b.line))
+        elif isinstance(a, SyncStmt) and not a.collective \
+                and isinstance(b, FenceStmt) \
+                and b.kind is PrimitiveKind.OMP_FLUSH:
+            findings.append(_finding(
+                kernel, "redundant-sync", Severity.ADVICE,
+                "flush immediately after a barrier: the barrier "
+                "already implies a flush of the shared view", b.line))
+    return findings
+
+
+#: Rule registry: id -> rule function.
+ALL_RULES = {
+    "barrier-divergence": rule_barrier_divergence,
+    "sync-scope": rule_sync_scope,
+    "lock-order": rule_lock_order,
+    "static-race": rule_static_race,
+    "redundant-sync": rule_redundant_sync,
+}
+
+
+def run_rules(kernel: KernelIR,
+              rules: tuple[str, ...] | None = None) -> Report:
+    """Run (a subset of) the rule catalog over one lifted kernel."""
+    names = rules if rules is not None else tuple(ALL_RULES)
+    findings: list[Finding] = []
+    for name in names:
+        findings.extend(ALL_RULES[name](kernel))
+    return Report(findings=findings, kernels=1)

@@ -1,0 +1,15 @@
+"""Seeded defect: block barrier under thread-dependent control flow.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``barrier-divergence`` ERROR from this file.
+"""
+
+
+def tail_sum(t):
+    """Only the first half of the block reaches the barrier."""
+    yield t.shared_write("buf", t.threadIdx, t.threadIdx)
+    if t.threadIdx < t.blockDim // 2:
+        v = yield t.shared_read("buf", t.threadIdx + 1)
+        yield t.shared_write("buf", t.threadIdx, v)
+        yield t.syncthreads()
+    yield t.global_write("out", t.global_id, 1)

@@ -1,0 +1,19 @@
+"""Seeded defect: ABBA lock-acquisition cycle across thread groups.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``lock-order`` ERROR from this file.
+"""
+
+
+def move_funds(tc):
+    """Even threads take accounts->audit, odd threads audit->accounts."""
+    if tc.tid % 2 == 0:
+        yield tc.lock_acquire("accounts")
+        yield tc.lock_acquire("audit")
+        yield tc.lock_release("audit")
+        yield tc.lock_release("accounts")
+    else:
+        yield tc.lock_acquire("audit")
+        yield tc.lock_acquire("accounts")
+        yield tc.lock_release("accounts")
+        yield tc.lock_release("audit")

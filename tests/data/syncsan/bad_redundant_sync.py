@@ -1,0 +1,13 @@
+"""Seeded defect: back-to-back block barriers.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``redundant-sync`` ADVICE from this file.
+"""
+
+
+def over_synchronized(t):
+    """The second barrier orders nothing the first did not already."""
+    yield t.shared_write("buf", t.threadIdx, 1)
+    yield t.syncthreads()
+    yield t.syncthreads()
+    yield t.shared_read("buf", 0)

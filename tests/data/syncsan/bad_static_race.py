@@ -1,0 +1,10 @@
+"""Seeded defect: plain conflicting writes in one barrier epoch.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``static-race`` WARNING from this file.
+"""
+
+
+def last_writer_wins(tc):
+    """Every thread plainly stores to the same cell, no ordering."""
+    yield tc.write("winner", 0, tc.tid)

@@ -1,0 +1,14 @@
+"""Seeded defect: cross-block spin with no device-scope fence.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``sync-scope`` ERROR from this file.
+"""
+
+
+def wait_for_producer(t):
+    """Consumer blocks spin on a plain global flag; no fence exists."""
+    if t.global_id == 0:
+        yield t.global_write("ready", 0, 1)
+    while (yield t.global_read("ready", 0)) == 0:
+        yield t.alu(1)
+    yield t.global_write("out", t.global_id, 1)

@@ -1,0 +1,46 @@
+"""Clean twins of every seeded defect in this directory.
+
+Never executed — parsed by the sanitizer test suite, which requires
+zero findings of any severity from this file.  Each kernel performs
+the same work as its ``bad_*.py`` sibling, correctly.
+"""
+
+
+def tail_sum(t):
+    """Barrier hoisted out of the thread-dependent branch."""
+    yield t.shared_write("buf", t.threadIdx, t.threadIdx)
+    if t.threadIdx < t.blockDim // 2:
+        v = yield t.shared_read("buf", t.threadIdx + 1)
+        yield t.shared_write("buf", t.threadIdx, v)
+    yield t.syncthreads()
+    yield t.global_write("out", t.global_id, 1)
+
+
+def wait_for_producer(t):
+    """The producer fences its store before consumers spin."""
+    if t.global_id == 0:
+        yield t.global_write("ready", 0, 1)
+        yield t.threadfence()
+    while (yield t.global_read("ready", 0)) == 0:
+        yield t.alu(1)
+    yield t.global_write("out", t.global_id, 1)
+
+
+def move_funds(tc):
+    """Both groups acquire in one global order: accounts, then audit."""
+    yield tc.lock_acquire("accounts")
+    yield tc.lock_acquire("audit")
+    yield tc.lock_release("audit")
+    yield tc.lock_release("accounts")
+
+
+def last_writer_wins(tc):
+    """The contended store goes through the atomic construct."""
+    yield tc.atomic_write("winner", 0, tc.tid)
+
+
+def over_synchronized(t):
+    """One barrier orders the write before the read."""
+    yield t.shared_write("buf", t.threadIdx, 1)
+    yield t.syncthreads()
+    yield t.shared_read("buf", 0)

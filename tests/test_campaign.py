@@ -160,6 +160,45 @@ class TestRunCampaign:
         assert [o.status for o in outcomes] == ["skipped", "done"]
         assert any("skipping one" in line for line in logs)
 
+    def test_resume_obs_counters_reconcile(self, tmp_path):
+        """The campaign.* counters must reconcile with the outcome list
+        of a resumed campaign: done/skipped/failed deltas equal the
+        statuses reported, and every checkpoint record bumped a write."""
+        from repro.common.errors import MeasurementError
+        from repro.obs.metrics import REGISTRY
+
+        def fail(proto=None):
+            raise MeasurementError("injected")
+
+        registry = _registry(one=lambda proto=None: {},
+                             two=lambda proto=None: {}, bad=fail)
+        path = tmp_path / "c.json"
+        fingerprint = campaign_fingerprint(None, None)
+        first = CampaignCheckpoint.open(path, fingerprint)
+        run_campaign(["one"], experiments=registry, checkpoint=first,
+                     log=lambda line: None)
+
+        before = dict(REGISTRY.counters())
+        resumed = CampaignCheckpoint.open(path, fingerprint, resume=True)
+        outcomes = run_campaign(["one", "two", "bad"], keep_going=True,
+                                experiments=registry, checkpoint=resumed,
+                                log=lambda line: None)
+        after = REGISTRY.counters()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        by_status = {status: sum(o.status == status for o in outcomes)
+                     for status in ("done", "skipped", "failed")}
+        assert by_status == {"done": 1, "skipped": 1, "failed": 1}
+        assert delta("campaign.experiments_done") == by_status["done"]
+        assert delta("campaign.experiments_skipped") == \
+            by_status["skipped"]
+        assert delta("campaign.experiments_failed") == by_status["failed"]
+        # One checkpoint write per non-skipped outcome recorded.
+        assert delta("campaign.checkpoint_writes") == \
+            by_status["done"] + by_status["failed"]
+
     def test_failure_summary_written(self, tmp_path):
         outcomes = [
             ExperimentOutcome("a", "done", 1.0, 2, 2),

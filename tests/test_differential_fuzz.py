@@ -1,0 +1,281 @@
+"""Generative differential testing: fast paths vs reference schedulers.
+
+The hand-written equivalence suite (``test_interpreter_fastpath.py``)
+covers the kernels we thought of; this harness covers the ones we did
+not.  For each of ``N_PROGRAMS`` fixed seeds it generates a random —
+but deterministic and well-formed — kernel program from a small
+instruction vocabulary, runs it on the batched fast path and on the
+scalar reference scheduler, and requires byte-identical results:
+same memory contents, same modeled times, same stats.
+
+Well-formedness by construction (the static sanitizer's defect
+classes are deliberately *not* generated): barriers and collectives
+are emitted only at top level, thread-dependent branches only wrap
+non-collective ops, loops have uniform trip counts, and lock
+acquisitions are emitted as properly nested pairs in a fixed global
+order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+from repro.openmp.interpreter import OpenMP
+
+#: Programs per interpreter.  Seeds are fixed: every CI run fuzzes the
+#: exact same corpus, so a failure is reproducible by seed.
+N_PROGRAMS = 50
+
+
+# --------------------------- CUDA programs --------------------------- #
+
+_CUDA_OPS = ("alu", "gread", "gwrite", "swrite", "sread", "atomic",
+             "sync", "syncwarp", "collective")
+#: Ops safe under thread-dependent control flow (no block barriers, no
+#: warp collectives — exactly the sanitizer's divergence rule).
+_CUDA_BRANCH_SAFE = ("alu", "gread", "gwrite", "swrite", "sread",
+                     "atomic")
+_ATOMIC_KINDS = ("atomic_add", "atomic_max", "atomic_min", "atomic_or",
+                 "atomic_xor", "atomic_exch")
+
+
+def _gen_cuda_ops(rng, depth=0):
+    """One random instruction list (descriptors, not code)."""
+    ops = []
+    vocab = _CUDA_BRANCH_SAFE if depth else _CUDA_OPS
+    for _ in range(rng.randint(3, 8)):
+        kind = rng.choice(vocab)
+        if kind == "alu":
+            ops.append(("alu", rng.randint(1, 4)))
+        elif kind in ("gread", "gwrite"):
+            ops.append((kind, rng.choice(("g0", "g1")),
+                        rng.choice(("tid", "rev", "const")),
+                        rng.randint(0, 7)))
+        elif kind in ("swrite", "sread"):
+            ops.append((kind, rng.choice(("tid", "rot")),
+                        rng.randint(1, 5)))
+        elif kind == "atomic":
+            ops.append(("atomic", rng.choice(_ATOMIC_KINDS),
+                        rng.randint(0, 7), rng.randint(1, 3)))
+        elif kind == "sync":
+            ops.append(("sync",))
+        elif kind == "syncwarp":
+            ops.append(("syncwarp",))
+        elif kind == "collective":
+            ops.append(("collective",
+                        rng.choice(("ballot", "all", "shfl"))))
+        if depth == 0 and rng.random() < 0.3:
+            body = _gen_cuda_ops(rng, depth + 1)
+            if rng.random() < 0.5:
+                ops.append(("branch", rng.randint(2, 4), body))
+            else:
+                ops.append(("loop", rng.randint(2, 3), body))
+    return ops
+
+
+def _make_cuda_kernel(program):
+    """Build a closure kernel replaying one descriptor list."""
+
+    def run_op(t, op, acc):
+        kind = op[0]
+        if kind == "alu":
+            yield t.alu(op[1])
+        elif kind == "gread":
+            idx = _gindex(t, op[2], op[3])
+            v = yield t.global_read(op[1], idx)
+            acc[0] = (acc[0] + int(v)) % 1009
+        elif kind == "gwrite":
+            idx = _gindex(t, op[2], op[3])
+            yield t.global_write(op[1], idx, acc[0] + op[3])
+        elif kind == "swrite":
+            idx = _sindex(t, op[1])
+            yield t.shared_write("buf", idx, acc[0] + op[2])
+        elif kind == "sread":
+            idx = _sindex(t, op[1])
+            v = yield t.shared_read("buf", idx)
+            acc[0] = (acc[0] + int(v)) % 1009
+        elif kind == "atomic":
+            _, name, slot, val = op
+            v = yield getattr(t, name)("acc", slot, acc[0] % 5 + val)
+            acc[0] = (acc[0] + int(v)) % 1009
+        elif kind == "sync":
+            yield t.syncthreads()
+        elif kind == "syncwarp":
+            yield t.syncwarp()
+        elif kind == "collective":
+            if op[1] == "ballot":
+                v = yield t.ballot_sync(acc[0] % 2 == 0)
+            elif op[1] == "all":
+                v = yield t.all_sync(acc[0] % 3 != 0)
+            else:
+                v = yield t.shfl_down_sync(acc[0], 1)
+            acc[0] = (acc[0] + int(v)) % 1009
+
+    def kernel(t):
+        acc = [t.global_id % 7]
+        for op in program:
+            if op[0] == "branch":
+                if t.global_id % op[1] == 0:
+                    for sub in op[2]:
+                        yield from run_op(t, sub, acc)
+            elif op[0] == "loop":
+                for _ in range(op[1]):
+                    for sub in op[2]:
+                        yield from run_op(t, sub, acc)
+            else:
+                yield from run_op(t, op, acc)
+        yield t.global_write("out", t.global_id, acc[0])
+
+    return kernel
+
+
+def _gindex(t, mode, k):
+    if mode == "tid":
+        return t.global_id
+    if mode == "rev":
+        return t.total_threads - 1 - t.global_id
+    return k
+
+
+def _sindex(t, mode):
+    if mode == "tid":
+        return t.threadIdx
+    return (t.threadIdx + 1) % t.blockDim
+
+
+def _run_cuda(device, program, grid, block, fast):
+    n = grid * block
+    kernel = _make_cuda_kernel(program)
+    cuda = Cuda(device, fast=fast)
+    return cuda.launch(
+        kernel, LaunchConfig(grid, block),
+        globals_={"g0": np.arange(n, dtype=np.int64),
+                  "g1": (np.arange(n, dtype=np.int64) * 13) % 97,
+                  "acc": np.zeros(8, np.int64),
+                  "out": np.zeros(n, np.int64)},
+        shared_decls={"buf": (block, np.dtype(np.int64))})
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_cuda_fast_path_matches_reference(mini_gpu, seed):
+    rng = random.Random(1000 + seed)
+    program = _gen_cuda_ops(rng)
+    grid = rng.choice((1, 2))
+    block = rng.choice((32, 64))
+    fast = _run_cuda(mini_gpu, program, grid, block, fast=True)
+    ref = _run_cuda(mini_gpu, program, grid, block, fast=False)
+    assert fast.elapsed_cycles == ref.elapsed_cycles, f"seed {seed}"
+    assert fast.block_cycles == ref.block_cycles, f"seed {seed}"
+    assert fast.stats == ref.stats, f"seed {seed}"
+    assert set(fast.memory) == set(ref.memory)
+    for name in ref.memory:
+        assert fast.memory[name].tobytes() == \
+            ref.memory[name].tobytes(), f"seed {seed}: {name}"
+
+
+# -------------------------- OpenMP programs -------------------------- #
+
+_OMP_OPS = ("read", "write", "atomic_update", "atomic_write",
+            "atomic_capture", "flush", "barrier", "critical", "lock")
+
+
+def _gen_omp_ops(rng):
+    ops = []
+    for _ in range(rng.randint(3, 8)):
+        kind = rng.choice(_OMP_OPS)
+        if kind in ("read", "write"):
+            ops.append((kind, rng.choice(("a", "b")),
+                        rng.choice(("tid", "const")), rng.randint(0, 7)))
+        elif kind in ("atomic_update", "atomic_write", "atomic_capture"):
+            ops.append((kind, rng.randint(0, 3), rng.randint(1, 4)))
+        elif kind in ("flush", "barrier", "critical"):
+            ops.append((kind,))
+        elif kind == "lock":
+            # Properly nested pair around a few plain accesses, always
+            # the same lock name: imbalance- and cycle-free.
+            inner = [("read", "a", "tid", 0),
+                     ("write", "a", "tid", rng.randint(1, 4))]
+            ops.append(("lock", inner[:rng.randint(1, 2)]))
+    return ops
+
+
+def _make_omp_body(program):
+    def run_op(tc, op, acc):
+        kind = op[0]
+        if kind == "read":
+            idx = tc.tid if op[2] == "tid" else op[3]
+            v = yield tc.read(op[1], idx)
+            acc[0] = (acc[0] + int(v)) % 1009
+        elif kind == "write":
+            idx = tc.tid if op[2] == "tid" else op[3]
+            # Constant-index plain writes from all threads are the
+            # sanitizer's static-race class; keep them thread-private.
+            idx = tc.tid if op[2] == "const" else idx
+            yield tc.write(op[1], idx, acc[0] + op[3])
+        elif kind == "atomic_update":
+            _, slot, val = op
+            yield tc.atomic_update("acc", slot, lambda v: v + val)
+        elif kind == "atomic_write":
+            _, slot, val = op
+            yield tc.atomic_write("acc", slot, acc[0] % 7 + val)
+        elif kind == "atomic_capture":
+            _, slot, val = op
+            old = yield tc.atomic_capture("acc", slot,
+                                          lambda v: v + val)
+            acc[0] = (acc[0] + int(old)) % 1009
+        elif kind == "flush":
+            yield tc.flush()
+        elif kind == "barrier":
+            yield tc.barrier()
+        elif kind == "critical":
+            yield tc.critical(
+                lambda mem: mem["c"].__setitem__(0, mem["c"][0] + 1),
+                touches=(("c", 0, True),))
+        elif kind == "lock":
+            yield tc.lock_acquire("l")
+            for sub in op[1]:
+                yield from run_op(tc, sub, acc)
+            yield tc.lock_release("l")
+
+    def body(tc):
+        acc = [tc.tid + 1]
+        for op in program:
+            yield from run_op(tc, op, acc)
+        yield tc.atomic_write("out", tc.tid, acc[0])
+
+    return body
+
+
+def _run_omp(machine, program, n_threads, fast):
+    body = _make_omp_body(program)
+    omp = OpenMP(machine, n_threads=n_threads, detect_races=False,
+                 fast=fast)
+    return omp.parallel(
+        body,
+        shared={"a": np.arange(16, dtype=np.int64),
+                "b": (np.arange(16, dtype=np.int64) * 7) % 31,
+                "acc": np.zeros(4, np.int64),
+                "c": np.zeros(1, np.int64),
+                "out": np.zeros(n_threads, np.int64)})
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_openmp_fast_path_matches_reference(quiet_cpu, seed):
+    rng = random.Random(2000 + seed)
+    program = _gen_omp_ops(rng)
+    n_threads = rng.choice((2, 4))
+    fast = _run_omp(quiet_cpu, program, n_threads, fast=True)
+    ref = _run_omp(quiet_cpu, program, n_threads, fast=False)
+    assert fast.elapsed_ns == ref.elapsed_ns, f"seed {seed}"
+    assert fast.thread_times_ns == ref.thread_times_ns, f"seed {seed}"
+    assert fast.barriers == ref.barriers, f"seed {seed}"
+    assert fast.requests == ref.requests, f"seed {seed}"
+    assert set(fast.memory) == set(ref.memory)
+    for name in ref.memory:
+        assert fast.memory[name].tobytes() == \
+            ref.memory[name].tobytes(), f"seed {seed}: {name}"

@@ -9,6 +9,7 @@ intentionally with ``python -m repro.experiments.golden --write``.
 
 from repro.experiments.golden import (
     GOLDEN_SWEEPS,
+    GOLDEN_TEXTS,
     default_corpus_dir,
     verify_golden,
     write_golden,
@@ -21,6 +22,8 @@ def test_corpus_exists():
         "run `python -m repro.experiments.golden --write` once"
     for corpus_id in GOLDEN_SWEEPS:
         assert (root / f"{corpus_id}.csv").exists(), corpus_id
+    for corpus_id in GOLDEN_TEXTS:
+        assert (root / f"{corpus_id}.txt").exists(), corpus_id
 
 
 def test_corpus_matches_regenerated_results():
@@ -38,7 +41,7 @@ def test_corpus_covers_cpu_and_gpu():
 
 def test_verify_reports_missing_files(tmp_path):
     problems = verify_golden(tmp_path)
-    assert len(problems) == len(GOLDEN_SWEEPS)
+    assert len(problems) == len(GOLDEN_SWEEPS) + len(GOLDEN_TEXTS)
     assert all("missing" in p for p in problems)
 
 
@@ -50,3 +53,25 @@ def test_verify_reports_drift(tmp_path):
     target.write_text("\n".join(content) + "\n")
     problems = verify_golden(tmp_path)
     assert any("fig1_barrier" in p and "drift" in p for p in problems)
+
+
+def test_corpus_includes_sanitizer_summary():
+    """Rule drift in the static sanitizer must be corpus-guarded."""
+    assert "ext_sanitizer_summary" in GOLDEN_TEXTS
+    saved = default_corpus_dir() / "ext_sanitizer_summary.txt"
+    content = saved.read_text()
+    for rule in ("barrier-divergence", "sync-scope", "lock-order",
+                 "static-race", "redundant-sync"):
+        assert rule in content
+    assert "surface_clean,yes" in content
+
+
+def test_verify_reports_text_drift(tmp_path):
+    write_golden(tmp_path)
+    target = tmp_path / "ext_sanitizer_summary.txt"
+    target.write_text(
+        target.read_text().replace("surface_clean,yes",
+                                   "surface_clean,no"))
+    problems = verify_golden(tmp_path)
+    assert any("ext_sanitizer_summary" in p and "drift" in p
+               for p in problems)

@@ -1,14 +1,16 @@
 """Tests for artifact-style results output."""
 
 import json
+import math
 
 from repro.analysis.trends import check
-from repro.core.results import MeasurementResult, Series, SweepResult
+from repro.core.results import MeasurementResult, PointFailure, Series, \
+    SweepResult
 from repro.core.results_io import clean_stale_tmp, load_sweep_csv, \
-    save_experiment, save_sweep
+    load_sweep_json, save_experiment, save_sweep, sweep_from_json
 
 
-def make_sweep(name="fig1", labels=("int",)):
+def make_sweep(name="fig1", labels=("int",), escalations=0):
     sweep = SweepResult(name=name, x_label="threads", unit="ns",
                         metadata={"machine": "m"})
     for label in labels:
@@ -17,7 +19,8 @@ def make_sweep(name="fig1", labels=("int",)):
             s.add(x, MeasurementResult(
                 spec_name=label, unit="ns", baseline_median=1.0,
                 test_median=2.0, per_op_time=1e9 / thr, throughput=thr,
-                naive_per_op_time=2.0, valid_fraction=1.0))
+                naive_per_op_time=2.0, valid_fraction=1.0,
+                escalations=escalations))
         sweep.series.append(s)
     return sweep
 
@@ -51,6 +54,47 @@ class TestSaveSweep:
         loaded = load_sweep_csv(csv_path)
         assert set(loaded) == {"int", "double"}
         assert loaded["int"] == [(2.0, 1e8), (4.0, 5e7)]
+
+
+class TestSweepJsonRoundTrip:
+    def test_serialize_parse_equal(self):
+        sweep = make_sweep(labels=("int", "double"), escalations=3)
+        assert sweep_from_json(sweep.to_json()) == sweep
+
+    def test_escalations_field_round_trips(self):
+        # The escalation count measure_robust records must survive the
+        # JSON artifact (serialize -> parse -> equal), not just the
+        # in-memory result.
+        sweep = make_sweep(escalations=2)
+        parsed = sweep_from_json(json.loads(json.dumps(sweep.to_json())))
+        result = parsed.series[0].points[0].result
+        assert result.escalations == 2
+        assert parsed == sweep
+
+    def test_eliminated_and_flags_round_trip(self):
+        sweep = SweepResult(name="f", x_label="threads", unit="cycles")
+        s = Series(label="vote")
+        s.add(32, MeasurementResult(
+            spec_name="ballot", unit="cycles", baseline_median=4.0,
+            test_median=4.0, per_op_time=None, throughput=math.inf,
+            naive_per_op_time=0.125, valid_fraction=0.5,
+            unrecordable=True, eliminated=("BALLOT_SYNC",),
+            dropped_runs=1, escalations=1))
+        sweep.series.append(s)
+        sweep.failures.append(PointFailure(
+            series="vote", x=64, error="MeasurementError", message="m"))
+        parsed = sweep_from_json(json.loads(json.dumps(sweep.to_json())))
+        assert parsed == sweep
+        result = parsed.series[0].points[0].result
+        assert result.eliminated == ("BALLOT_SYNC",)
+        assert result.per_op_time is None
+        assert result.throughput == math.inf
+
+    def test_saved_json_artifact_loads(self, tmp_path):
+        sweep = make_sweep(escalations=1)
+        paths = save_sweep(sweep, tmp_path)
+        json_path = next(p for p in paths if p.suffix == ".json")
+        assert load_sweep_json(json_path) == sweep
 
 
 class TestCleanStaleTmp:

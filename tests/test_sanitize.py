@@ -1,0 +1,252 @@
+"""The static sync sanitizer: lifting, rules, CLI, and lint wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SanitizerError
+from repro.compiler.ops import (
+    PrimitiveKind,
+    op_atomic,
+    op_barrier,
+    op_fence,
+)
+from repro.core.spec import MeasurementSpec
+from repro.cuda.interpreter import Cuda
+from repro.gpu.spec import LaunchConfig
+from repro.obs.metrics import REGISTRY
+from repro.sanitize import (
+    ALL_RULES,
+    Severity,
+    lint_kernel,
+    sanitize_kernel,
+    sanitize_ops,
+    sanitize_paths,
+    sanitize_source,
+    sanitize_spec,
+)
+from repro.sanitize.__main__ import main as sanitize_main
+from repro.sanitize.extract import kernel_ir_from_function
+
+DATA = Path(__file__).parent / "data" / "syncsan"
+
+
+# File-backed kernels (inspect.getsource needs a real file) used by the
+# lint-wiring tests below.  ``racy_mark`` carries a static-race WARNING
+# but executes fine with the dynamic detector off; ``clean_mark`` is
+# silent on every rule.
+
+def racy_mark(t):
+    """Plain conflicting store: static-race WARNING, runs dynamically."""
+    yield t.global_write("x", 0, t.global_id)
+
+
+def clean_mark(t):
+    """Sanitizer-silent twin of :func:`racy_mark`."""
+    yield t.atomic_exch("x", 0, t.global_id)
+
+
+class TestLifting:
+    def test_dialect_inferred_from_sugar(self):
+        cuda_ir = kernel_ir_from_function(racy_mark)
+        assert cuda_ir.dialect == "cuda"
+
+        def body(tc):
+            yield tc.barrier()
+
+        assert kernel_ir_from_function(body).dialect == "openmp"
+
+    def test_finding_lines_point_into_the_file(self):
+        report = sanitize_paths([DATA / "bad_barrier_divergence.py"])
+        (finding,) = report.findings
+        text = (DATA / "bad_barrier_divergence.py").read_text()
+        line = text.splitlines()[finding.line - 1]
+        assert "syncthreads" in line
+
+    def test_unparseable_file_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = sanitize_paths([bad])
+        assert [f.rule for f in report.findings] == ["parse"]
+        assert not report.clean
+
+    def test_non_kernel_functions_are_ignored(self):
+        report = sanitize_source(
+            "def helper(a, b):\n    return a + b\n")
+        assert report.kernels == 0
+        assert report.findings == []
+
+
+class TestRuleCatalog:
+    def test_all_five_rules_registered(self):
+        assert set(ALL_RULES) == {
+            "barrier-divergence", "sync-scope", "lock-order",
+            "static-race", "redundant-sync"}
+
+    def test_rules_subset_restricts_findings(self):
+        report = sanitize_paths([DATA], rules=("lock-order",))
+        assert {f.rule for f in report.findings} == {"lock-order"}
+
+    def test_report_render_mentions_rule_and_severity(self):
+        report = sanitize_paths([DATA / "bad_sync_scope.py"])
+        rendered = report.render()
+        assert "[sync-scope]" in rendered
+        assert "error" in rendered
+
+
+class TestObsCounters:
+    def test_finding_counts_flow_to_metrics(self):
+        before = dict(REGISTRY.counters())
+        report = sanitize_paths([DATA / "bad_lock_order.py"])
+        after = REGISTRY.counters()
+        assert len(report.findings) == 1
+        assert after.get("sanitize.kernels", 0) > \
+            before.get("sanitize.kernels", 0)
+        assert after.get("sanitize.findings.lock-order", 0) - \
+            before.get("sanitize.findings.lock-order", 0) == 1
+
+
+class TestCli:
+    def test_defect_file_fails(self, capsys):
+        assert sanitize_main([str(DATA / "bad_lock_order.py")]) == 1
+        assert "[lock-order]" in capsys.readouterr().out
+
+    def test_clean_file_passes(self, capsys):
+        assert sanitize_main([str(DATA / "clean_kernels.py")]) == 0
+
+    def test_advice_passes_unless_strict(self, capsys):
+        advice_file = str(DATA / "bad_redundant_sync.py")
+        assert sanitize_main([advice_file]) == 0
+        assert sanitize_main([advice_file, "--strict"]) == 1
+
+    def test_json_format(self, capsys):
+        assert sanitize_main(
+            [str(DATA / "bad_static_race.py"), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"static-race": 1}
+        (finding,) = payload["findings"]
+        assert finding["severity"] == "warning"
+        assert finding["kernel"] == "last_writer_wins"
+
+    def test_unknown_rule_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            sanitize_main([str(DATA), "--rules", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_shipped_surface_is_clean(self, capsys):
+        """The no-argument scan (workloads, reductions, experiments,
+        examples) must exit 0: zero false positives on shipped code."""
+        assert sanitize_main([]) == 0
+
+
+class TestLintWiring:
+    def test_lint_error_mode_blocks_launch(self, mini_gpu):
+        cuda = Cuda(mini_gpu, lint=True)
+        with pytest.raises(SanitizerError, match="static-race"):
+            cuda.launch(racy_mark, LaunchConfig(1, 32),
+                        globals_={"x": np.zeros(1, np.int64)})
+
+    def test_lint_warn_mode_launches_anyway(self, mini_gpu):
+        cuda = Cuda(mini_gpu, lint="warn")
+        x = np.zeros(1, np.int64)
+        with pytest.warns(UserWarning, match="syncsan"):
+            result = cuda.launch(racy_mark, LaunchConfig(1, 32),
+                                 globals_={"x": x})
+        assert result.elapsed_cycles > 0
+
+    def test_lint_clean_kernel_launches_silently(self, mini_gpu):
+        cuda = Cuda(mini_gpu, lint=True)
+        result = cuda.launch(clean_mark, LaunchConfig(1, 32),
+                             globals_={"x": np.zeros(1, np.int64)})
+        assert result.elapsed_cycles > 0
+
+    def test_lint_off_by_default(self, mini_gpu):
+        result = Cuda(mini_gpu).launch(
+            racy_mark, LaunchConfig(1, 32),
+            globals_={"x": np.zeros(1, np.int64)})
+        assert result.elapsed_cycles > 0
+
+    def test_openmp_lint_blocks_defective_body(self, quiet_cpu):
+        from repro.openmp.interpreter import OpenMP
+
+        omp = OpenMP(quiet_cpu, n_threads=4, lint=True)
+        with pytest.raises(SanitizerError, match="static-race"):
+            omp.parallel(_racy_body,
+                         shared={"total": np.zeros(1, np.int64)})
+
+    def test_sourceless_kernel_is_skipped(self):
+        fn = eval("lambda t: None")  # no retrievable source
+        assert lint_kernel(fn, "cuda") is None
+
+    def test_reports_memoized_by_code_object(self):
+        first = sanitize_kernel(racy_mark, "cuda")
+        assert sanitize_kernel(racy_mark, "cuda") is first
+
+    def test_function_findings_use_file_line_numbers(self):
+        """Lifting a live function must report file positions, not
+        positions relative to the extracted source snippet."""
+        import inspect
+
+        report = sanitize_kernel(racy_mark, "cuda")
+        start = inspect.getsourcelines(racy_mark)[1]
+        (finding,) = report.findings
+        assert finding.line == start + 2  # the yield inside racy_mark
+        assert finding.source.endswith("test_sanitize.py")
+
+
+def _racy_body(tc):
+    """OpenMP body with a plain conflicting store (static race)."""
+    yield tc.write("total", 0, tc.tid)
+
+
+class TestOpStreams:
+    def test_duplicate_barrier_is_advice(self):
+        body = (op_barrier(), op_barrier())
+        report = sanitize_ops(body)
+        assert [f.severity for f in report.findings] == [Severity.ADVICE]
+        assert report.clean
+
+    def test_allow_duplicates_suppresses_advice(self):
+        report = sanitize_ops((op_barrier(), op_barrier()),
+                              allow_duplicates=True)
+        assert report.findings == []
+
+    def test_covered_fence_is_advice(self):
+        body = (op_fence(PrimitiveKind.THREADFENCE_SYSTEM),
+                op_fence(PrimitiveKind.THREADFENCE_BLOCK))
+        report = sanitize_ops(body)
+        assert [f.rule for f in report.findings] == ["redundant-sync"]
+
+    def test_unbalanced_lock_stream_warns(self):
+        from repro.common.datatypes import INT
+        from repro.compiler.ops import Op
+
+        acquire = Op(kind=PrimitiveKind.OMP_LOCK_ACQUIRE, dtype=INT,
+                     label="l")
+        report = sanitize_ops((acquire,))
+        assert [f.rule for f in report.findings] == ["lock-order"]
+        assert not report.clean
+
+    def test_release_of_unheld_lock_is_error(self):
+        from repro.common.datatypes import INT
+        from repro.compiler.ops import Op
+
+        release = Op(kind=PrimitiveKind.OMP_LOCK_RELEASE, dtype=INT,
+                     label="l")
+        report = sanitize_ops((release,))
+        assert [f.severity for f in report.findings] == [Severity.ERROR]
+
+    def test_measurement_specs_are_clean(self):
+        from repro.common.datatypes import INT
+        from repro.mem.layout import SharedScalar
+
+        spec = MeasurementSpec.single(
+            "add", op_atomic(PrimitiveKind.ATOMIC_ADD, INT,
+                             SharedScalar(INT)))
+        report = sanitize_spec(spec)
+        assert report.clean
+        assert report.advice == []

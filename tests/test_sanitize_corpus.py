@@ -1,0 +1,98 @@
+"""Seeded-defect corpus: every rule fires, every clean twin is silent.
+
+Two corpora are exercised: the in-package pairs in
+:mod:`repro.sanitize.corpus` (also driven by the ``ext-sanitizer``
+validation experiment and the golden reference corpus), and the
+standalone defect files under ``tests/data/syncsan/``.  Together they
+pin both halves of the sanitizer's contract — detection (the bad
+kernel trips exactly its rule, at the documented severity) and
+zero false positives (clean twins and all shipped kernels are silent).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.ext_sanitizer import (
+    claims_sanitizer,
+    run_sanitizer,
+    summary_text,
+)
+from repro.sanitize import ALL_RULES, Severity, sanitize_paths
+from repro.sanitize.corpus import CORPUS, corpus_reports
+
+DATA = Path(__file__).parent / "data" / "syncsan"
+
+#: tests/data defect files, keyed by the rule each must trip.
+DATA_FILES = {
+    "barrier-divergence": ("bad_barrier_divergence.py", Severity.ERROR),
+    "sync-scope": ("bad_sync_scope.py", Severity.ERROR),
+    "lock-order": ("bad_lock_order.py", Severity.ERROR),
+    "static-race": ("bad_static_race.py", Severity.WARNING),
+    "redundant-sync": ("bad_redundant_sync.py", Severity.ADVICE),
+}
+
+
+class TestPackagedCorpus:
+    def test_every_rule_has_a_corpus_entry(self):
+        assert set(CORPUS) == set(ALL_RULES)
+
+    @pytest.mark.parametrize("rule", sorted(CORPUS))
+    def test_bad_kernel_trips_exactly_its_rule(self, rule):
+        bad, _ = corpus_reports(rule)
+        assert [f.rule for f in bad.findings] == [rule]
+        assert bad.findings[0].severity is CORPUS[rule].severity
+
+    @pytest.mark.parametrize("rule", sorted(CORPUS))
+    def test_clean_twin_is_silent(self, rule):
+        _, clean = corpus_reports(rule)
+        assert clean.findings == []
+        assert clean.kernels == 1
+
+
+class TestDataFileCorpus:
+    def test_every_rule_has_a_data_file(self):
+        assert set(DATA_FILES) == set(ALL_RULES)
+        for filename, _ in DATA_FILES.values():
+            assert (DATA / filename).exists(), filename
+
+    @pytest.mark.parametrize("rule", sorted(DATA_FILES))
+    def test_defect_file_trips_exactly_its_rule(self, rule):
+        filename, severity = DATA_FILES[rule]
+        report = sanitize_paths([DATA / filename])
+        assert [f.rule for f in report.findings] == [rule]
+        assert report.findings[0].severity is severity
+
+    def test_clean_kernels_file_is_silent(self):
+        report = sanitize_paths([DATA / "clean_kernels.py"])
+        assert report.findings == []
+        assert report.kernels == 5
+
+
+class TestExtSanitizerExperiment:
+    def test_all_claims_pass(self):
+        payload = run_sanitizer()
+        checks = claims_sanitizer(payload)
+        failed = [c.claim for c in checks if not c.passed]
+        assert not failed, failed
+        # 4 per rule + surface + 3 op-IR checks.
+        assert len(checks) == 4 * len(ALL_RULES) + 4
+
+    def test_surface_scan_is_clean(self):
+        payload = run_sanitizer()
+        assert payload["surface"]["errors"] == 0
+        assert payload["surface"]["warnings"] == 0
+
+    def test_summary_text_is_deterministic(self):
+        payload = run_sanitizer()
+        assert summary_text(payload) == summary_text(run_sanitizer())
+
+    def test_registered_in_experiment_registry(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        definition = EXPERIMENTS["ext-sanitizer"]
+        assert definition.kind == "extension"
+        checks = definition.claims(definition.run())
+        assert all(c.passed for c in checks)
