@@ -302,6 +302,67 @@ def _bench_parallel_blocks(repeats: int) -> dict:
                 _best_of(lambda: run(2), repeats), jobs=2)
 
 
+# ------------------------------- service ------------------------------- #
+
+
+def _bench_service(repeats: int) -> list[dict]:
+    """Service dispatch overhead: cache hit vs cold miss vs bare engine.
+
+    Inline-mode service (no worker processes, no faults), so the rows
+    time the orchestration layers themselves:
+
+    * ``service_cached_hit`` — a cold miss (full measurement through
+      the service) vs a warm content-addressed cache hit;
+    * ``service_cold_miss`` — the same cold miss vs calling the engine
+      directly, i.e. what validation + policy + cache accounting cost
+      on top of the measurement.
+
+    All three paths must produce the identical result payload before
+    timing — a cache that answered differently from measuring would
+    make the speedup (and the cache) meaningless.
+    """
+    import tempfile
+    from repro.service.catalog import MeasureRequest, execute_request
+    from repro.service.core import MeasurementService, ServiceConfig
+
+    payload = {"primitive": "omp_atomic", "threads": 8}
+    request = MeasureRequest.from_json(dict(payload))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_service = MeasurementService(ServiceConfig(workers=0))
+        warm_service = MeasurementService(
+            ServiceConfig(workers=0, cache_dir=tmp, cache_ttl_s=1e9))
+
+        def run_cold() -> dict:
+            return cold_service.submit(dict(payload))
+
+        def run_hit() -> dict:
+            return warm_service.submit(dict(payload))
+
+        def run_direct() -> dict:
+            return execute_request(request)
+
+        prime = run_hit()  # populate the cache
+        hit = run_hit()
+        cold = run_cold()
+        direct = run_direct()
+        if hit.get("cache") != "hit" or prime.get("cache") != "miss":
+            raise SimulationError(
+                "service bench: warm submit did not hit the cache; "
+                "refusing to benchmark")
+        if not (hit["result"] == cold["result"] == direct):
+            raise SimulationError(
+                "service bench: cache hit diverged from measuring; "
+                "refusing to benchmark")
+        cold_s = _best_of(run_cold, repeats)
+        return [
+            _row("service_cached_hit", cold_s,
+                 _best_of(run_hit, repeats)),
+            _row("service_cold_miss", cold_s,
+                 _best_of(run_direct, repeats)),
+        ]
+
+
 # ------------------------------ campaign ------------------------------- #
 
 
@@ -352,6 +413,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
         _bench_interp("interp_omp_prefix_sum", _interp_omp_prefix_sum,
                       omp_rounds, repeats),
         _bench_parallel_blocks(repeats),
+        *_bench_service(repeats),
         _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
                         jobs),
     ]

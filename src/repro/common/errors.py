@@ -61,6 +61,44 @@ class DataRaceError(SimulationError):
     """The OpenMP race detector observed conflicting unsynchronized accesses."""
 
 
+class ServiceUnavailable(ReproError):
+    """The measurement service could not complete a live measurement.
+
+    Base of the service-side transient failures: the request may
+    succeed if re-dispatched (a fresh worker, a calmer machine), so the
+    retry policy classifies these as retryable and the circuit breaker
+    counts them toward tripping.
+    """
+
+
+class DeadlineExceeded(ServiceUnavailable):
+    """A request's per-dispatch deadline elapsed before a result arrived.
+
+    The supervisor kills and restarts the worker that held the request
+    (a worker mid-measurement cannot be reused) and the retry policy
+    decides whether to re-dispatch.
+    """
+
+
+class WorkerLost(ServiceUnavailable):
+    """A worker process crashed, or hung past its heartbeat timeout.
+
+    Raised (or recorded by name) by :class:`repro.service.workers.
+    WorkerPool` after the supervisor restarts the lost worker.  The
+    in-flight request is re-queued by the retry policy, never silently
+    dropped.
+    """
+
+
+class CircuitOpenError(ServiceUnavailable):
+    """A request was refused because its circuit breaker is open.
+
+    The service degrades to the content-addressed result cache when it
+    can (with an explicit staleness marker); this error reaches the
+    caller only when no cached result exists either.
+    """
+
+
 class SanitizerError(ReproError):
     """The static sync sanitizer found a defect in a kernel.
 

@@ -30,7 +30,8 @@ from repro.core.results import MeasurementResult, PointFailure, Series, \
     SweepResult
 
 
-def atomic_write_text(path: Path, text: str) -> Path:
+def atomic_write_text(path: Path, text: str,
+                      durable: bool = False) -> Path:
     """Write ``text`` to ``path`` atomically.
 
     The text lands in a temporary file in the same directory and is
@@ -38,6 +39,15 @@ def atomic_write_text(path: Path, text: str) -> Path:
     Windows for same-filesystem renames), so readers — and campaigns
     resumed after a kill — only ever observe the old or the new content,
     never a truncation.
+
+    Args:
+        path: Destination.
+        durable: Also ``fsync`` the temp file before the rename (and
+            best-effort the directory after), so the new content
+            survives a power loss, not just a process kill.  Off by
+            default — result files are cheap to regenerate; checkpoint
+            manifests (:class:`repro.experiments.campaign.
+            CampaignCheckpoint`) turn it on.
 
     Returns:
         The destination path.
@@ -48,7 +58,12 @@ def atomic_write_text(path: Path, text: str) -> Path:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        if durable:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -56,6 +71,20 @@ def atomic_write_text(path: Path, text: str) -> Path:
             pass
         raise
     return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (after a durable rename)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not supported on this fs
+        pass
+    finally:
+        os.close(fd)
 
 
 def clean_stale_tmp(directory: Path) -> int:

@@ -21,22 +21,16 @@ module is that layer.
 
 from __future__ import annotations
 
-import builtins
 import concurrent.futures
 import json
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.common.errors import (
-    CampaignError,
-    ConfigurationError,
-    MeasurementError,
-    ReproError,
-    SimulationError,
-)
+from repro.common.errors import CampaignError, ConfigurationError
 from repro.core.protocol import MeasurementProtocol
 from repro.core.results import SweepResult
 from repro.core.results_io import atomic_write_text
@@ -46,41 +40,31 @@ from repro.obs import event as obs_event
 from repro.obs import span as obs_span
 from repro.obs.metrics import counter as _counter
 
+# The failure-classification layer is shared with the measurement
+# daemon (docs/service.md); re-exported here because this module is
+# where the CLI historically found it.
+from repro.service.policy import (  # noqa: F401  (re-exports)
+    BENIGN_EXCEPTIONS,
+    EXIT_CLAIMS,
+    EXIT_CONFIG,
+    EXIT_MEASUREMENT,
+    EXIT_OK,
+    EXIT_OTHER,
+    EXIT_SIMULATION,
+    EXIT_UNAVAILABLE,
+    error_exit_code,
+    error_name_exit_code,
+    rebuild_exception,
+)
+
 # Observability counters (docs/observability.md): per-outcome campaign
 # tallies and checkpoint manifest writes.
 _C_EXP_DONE = _counter("campaign.experiments_done")
 _C_EXP_FAILED = _counter("campaign.experiments_failed")
 _C_EXP_SKIPPED = _counter("campaign.experiments_skipped")
 _C_CHECKPOINT_WRITES = _counter("campaign.checkpoint_writes")
-
-#: Exit codes of the ``syncperf`` CLI, by failure category.
-EXIT_OK = 0
-EXIT_CLAIMS = 1
-EXIT_CONFIG = 2
-EXIT_MEASUREMENT = 3
-EXIT_SIMULATION = 4
-EXIT_OTHER = 5
-
-
-def error_exit_code(exc: BaseException) -> int:
-    """Map an exception to the CLI's per-category exit code."""
-    if isinstance(exc, ConfigurationError):
-        return EXIT_CONFIG
-    if isinstance(exc, MeasurementError):
-        return EXIT_MEASUREMENT
-    if isinstance(exc, SimulationError):
-        return EXIT_SIMULATION
-    return EXIT_OTHER
-
-
-def error_name_exit_code(error_name: str) -> int:
-    """Exit code for a recorded failure's exception class name."""
-    return {
-        "ConfigurationError": EXIT_CONFIG,
-        "MeasurementError": EXIT_MEASUREMENT,
-        "SimulationError": EXIT_SIMULATION,
-        "DataRaceError": EXIT_SIMULATION,
-    }.get(error_name, EXIT_OTHER)
+_C_JOURNAL_RECOVERED = _counter("campaign.journal_recovered")
+_C_JOURNAL_CORRUPT = _counter("campaign.journal_corrupt_lines")
 
 
 @dataclass(frozen=True)
@@ -121,6 +105,17 @@ class ExperimentOutcome:
 class CampaignCheckpoint:
     """Atomic JSON manifest of a campaign's progress.
 
+    Persistence is belt and braces.  Every :meth:`record` first appends
+    the outcome to a write-ahead journal (``<path>.journal``, one JSON
+    line, flushed and fsynced) and then rewrites the manifest with a
+    durable atomic replace (fsync before rename).  A kill at any
+    instant therefore leaves one of three recoverable states: journal
+    and manifest agree; the journal is one record ahead (kill between
+    journal append and manifest write — :meth:`open` replays it); or
+    the journal's trailing line is torn (kill mid-append — the line is
+    skipped and its experiment simply re-queues on resume).  Corruption
+    never aborts a resume.
+
     Args:
         path: Manifest location (written with ``os.replace``, so a kill
             at any instant leaves either the previous or the next
@@ -134,6 +129,12 @@ class CampaignCheckpoint:
     def __init__(self, path: str | Path,
                  fingerprint: dict[str, object] | None = None) -> None:
         self.path = Path(path)
+        self.journal_path = Path(str(self.path) + ".journal")
+        #: Journal lines skipped on the last resume (torn/corrupt).
+        self.corrupt_journal_lines = 0
+        #: Journal records merged on the last resume (manifest was
+        #: behind the journal when the previous run was killed).
+        self.recovered_records = 0
         self.state: dict = {
             "version": self.VERSION,
             "fingerprint": fingerprint or {},
@@ -176,7 +177,47 @@ class CampaignCheckpoint:
                 f"--faults/--config")
         checkpoint.state = loaded
         checkpoint.state.setdefault("experiments", {})
+        checkpoint._replay_journal()
         return checkpoint
+
+    def _replay_journal(self) -> None:
+        """Merge journal records the manifest missed (kill recovery).
+
+        A truncated or otherwise corrupt line — the signature of a kill
+        mid-append — is *skipped*, not fatal: the experiment it would
+        have recorded stays absent from the manifest and therefore
+        re-queues on resume.  Records carrying a different fingerprint
+        (a stale journal from an earlier campaign at the same path) are
+        ignored the same way.
+        """
+        try:
+            text = self.journal_path.read_text()
+        except OSError:
+            return
+        fingerprint = self.state.get("fingerprint", {})
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                exp_id = record["experiment"]
+                status = record["status"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                self.corrupt_journal_lines += 1
+                _C_JOURNAL_CORRUPT.add(1)
+                obs_event("campaign.journal_corrupt_line",
+                          path=str(self.journal_path))
+                continue
+            if record.get("fingerprint", fingerprint) != fingerprint:
+                continue
+            record.pop("fingerprint", None)
+            known = self.state["experiments"].get(exp_id)
+            if known != record:
+                self.state["experiments"][exp_id] = record
+                self.recovered_records += 1
+                _C_JOURNAL_RECOVERED.add(1)
+                obs_event("campaign.journal_recovered",
+                          experiment=exp_id, status=status)
 
     def is_done(self, exp_id: str) -> bool:
         """Whether the manifest records a completed run of ``exp_id``."""
@@ -184,16 +225,38 @@ class CampaignCheckpoint:
         return bool(record) and record.get("status") == "done"
 
     def record(self, outcome: ExperimentOutcome) -> None:
-        """Record one outcome and persist the manifest atomically."""
+        """Record one outcome and persist it (journal, then manifest)."""
         self.state["experiments"][outcome.exp_id] = outcome.to_json()
         self.state["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self._journal_append(outcome)
         self.save()
 
+    def _journal_append(self, outcome: ExperimentOutcome) -> None:
+        """Append one fsynced write-ahead record for ``outcome``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(outcome.to_json(),
+                      fingerprint=self.state.get("fingerprint", {}))
+        with open(self.journal_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def save(self) -> None:
-        """Persist the manifest (atomic replace)."""
+        """Persist the manifest (durable atomic replace).
+
+        Once the manifest is safely on disk it supersedes the journal,
+        which is truncated — the journal only ever holds the records of
+        the kill window, not a full history.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(self.path,
-                          json.dumps(self.state, indent=2) + "\n")
+                          json.dumps(self.state, indent=2) + "\n",
+                          durable=True)
+        try:
+            if self.journal_path.exists():
+                self.journal_path.write_text("")
+        except OSError:  # pragma: no cover - journal is advisory
+            pass
         _C_CHECKPOINT_WRITES.add(1)
         obs_event("campaign.checkpoint_write", path=str(self.path))
 
@@ -217,8 +280,9 @@ ResultHook = Callable[
     [str, ExperimentDef, list[SweepResult], list, float], None]
 
 #: Exception types ``keep_going`` shields (benchmark-level errors); any
-#: other exception aborts the campaign even in keep-going mode.
-_BENIGN_EXCEPTIONS = (ReproError, KeyError, ValueError, ZeroDivisionError)
+#: other exception aborts the campaign even in keep-going mode.  Now
+#: defined by the shared policy layer; kept under the historical name.
+_BENIGN_EXCEPTIONS = BENIGN_EXCEPTIONS
 
 
 def _campaign_worker(exp_id: str,
@@ -249,17 +313,13 @@ def _campaign_worker(exp_id: str,
             "sweeps": sweeps, "checks": checks}
 
 
-def _rebuild_exception(error_name: str, message: str) -> BaseException:
-    """Best-effort reconstruction of a worker-side exception by name,
-    so a ``jobs > 1`` campaign aborts with the same exception type a
-    serial one would raise."""
-    import repro.common.errors as errors_mod
-    exc_cls = getattr(errors_mod, error_name, None)
-    if exc_cls is None:
-        exc_cls = getattr(builtins, error_name, None)
-    if isinstance(exc_cls, type) and issubclass(exc_cls, BaseException):
-        return exc_cls(message)
-    return CampaignError(f"{error_name}: {message}")
+#: Reconstruction of a worker-side exception by name, so a ``jobs > 1``
+#: campaign aborts with the same exception type (and exit code) a
+#: serial one would raise.  The implementation lives in the shared
+#: policy layer and round-trips the *whole* taxonomy — unknown names
+#: become synthesized :class:`CampaignError` subclasses that keep the
+#: original class name instead of collapsing lossily.
+_rebuild_exception = rebuild_exception
 
 
 def run_campaign(ids: list[str], *,

@@ -31,6 +31,7 @@ from repro.faults.models import (
     build_model,
 )
 from repro.faults.presets import PRESETS, preset_scenario, resolve_faults
+from repro.faults.process import ProcessFaultPlan
 from repro.faults.scenario import (
     FaultScenario,
     active_scenario,
@@ -48,6 +49,7 @@ __all__ = [
     "FaultyMachine",
     "MemoryStall",
     "PreemptionBurst",
+    "ProcessFaultPlan",
     "ThermalThrottle",
     "TimerQuantize",
     "active_scenario",

@@ -1,0 +1,96 @@
+"""Process-level fault models: worker crash, hang, and slowdown.
+
+The measurement-time models (:mod:`repro.faults.models`) perturb what a
+*timer* sees; this module perturbs what a *supervisor* sees.  A
+:class:`ProcessFaultPlan` decides, deterministically per dispatch, the
+fate of the worker process executing a measurement request:
+
+* ``crash`` — the worker exits abruptly (``os._exit``), modelling an
+  OOM kill or a segfaulting driver call;
+* ``hang`` — the worker wedges: its heartbeat stops and it never
+  returns, modelling a deadlocked or D-state process (the supervisor
+  must detect the stale heartbeat and kill it);
+* ``slow`` — the worker stalls for a bounded time before answering,
+  modelling a page-cache storm or CPU contention (it keeps
+  heartbeating; only the per-request deadline can catch it).
+
+Determinism contract: the fate of dispatch ``seq`` is a pure function
+of ``(plan, seq)``, so a chaos run with a fixed seed injects the same
+fault sequence every time regardless of thread scheduling — the chaos
+harness (:mod:`repro.service.chaos`) relies on this to be replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: The fates a plan can assign to one dispatch.
+FATES = ("crash", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """Seeded per-dispatch fate assignment for worker processes.
+
+    Attributes:
+        crash_prob: Probability a dispatch's worker crashes outright.
+        hang_prob: Probability it hangs (heartbeat stops, no answer).
+        slow_prob: Probability it stalls ``slow_seconds`` first.
+        slow_seconds: Stall length of a ``slow`` fate.
+        seed: Seed of the fate stream.
+    """
+
+    crash_prob: float = 0.0
+    hang_prob: float = 0.0
+    slow_prob: float = 0.0
+    slow_seconds: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "hang_prob", "slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"process fault {name} must be in [0, 1], "
+                    f"got {value}")
+        total = self.crash_prob + self.hang_prob + self.slow_prob
+        if total > 1.0:
+            raise ConfigurationError(
+                f"process fault probabilities sum to {total:g} > 1")
+        if self.slow_seconds < 0:
+            raise ConfigurationError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire."""
+        return (self.crash_prob + self.hang_prob + self.slow_prob) > 0.0
+
+    def decide(self, seq: int) -> str | None:
+        """The fate of dispatch ``seq``: a :data:`FATES` entry or None.
+
+        Pure in ``(plan, seq)``: the draw comes from a stream keyed by
+        the plan seed and the dispatch sequence number, never from
+        shared mutable state.
+        """
+        if not self.active:
+            return None
+        draw = random.Random(f"procfault/{self.seed}/{seq}").random()
+        if draw < self.crash_prob:
+            return "crash"
+        if draw < self.crash_prob + self.hang_prob:
+            return "hang"
+        if draw < self.crash_prob + self.hang_prob + self.slow_prob:
+            return "slow"
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for fingerprints/logs)."""
+        parts = [f"{name}={getattr(self, f'{name}_prob'):g}"
+                 for name in FATES
+                 if getattr(self, f"{name}_prob") > 0.0]
+        inner = ", ".join(parts) if parts else "no process faults"
+        return f"{inner} (seed {self.seed})"

@@ -1,0 +1,50 @@
+"""The resilient measurement service.
+
+Turns the campaign runner into a long-running daemon: an asyncio
+HTTP/JSON front-end (:mod:`repro.service.daemon`) accepts measurement
+requests ("cost of ``omp_atomic`` at 16 threads on the AMD preset"),
+answers repeats from a content-addressed result cache
+(:mod:`repro.service.cache`), and shards cache misses across a
+*supervised* multi-process worker pool (:mod:`repro.service.workers`)
+with heartbeat monitoring and automatic restart of hung or crashed
+workers.
+
+Failure behavior is the point (MPI Benchmarking Revisited, PAPERS.md:
+repeated measurements must stay statistically honest when answered from
+cache):
+
+* :mod:`repro.service.policy` — the shared retry/deadline/circuit-
+  breaker policy layer, including the exit-code taxonomy both the CLI
+  campaign runner and the daemon classify failures with;
+* :mod:`repro.service.core` — request orchestration: retry with
+  exponential backoff + seeded jitter for transient failures, a
+  per-(primitive, system) circuit breaker, and **graceful degradation**
+  to the cache with an explicit staleness marker when live measurement
+  is unavailable;
+* :mod:`repro.service.chaos` — a seeded chaos harness driving the
+  service under process-level faults (worker crash/hang/slowdown,
+  :mod:`repro.faults.process`) and asserting that no request is lost,
+  no cache entry is torn, and every degraded response is labeled;
+* :mod:`repro.service.loadgen` — a load-generator client replaying
+  mixed traffic and reporting p50/p99 latency from the service's
+  Prometheus-style snapshot.
+
+Run it: ``python -m repro.service serve`` / ``loadgen`` / ``chaos`` /
+``smoke``.  See ``docs/service.md`` for the API and the
+degraded-response contract.
+
+Submodules are imported lazily by the consumers that need them (the
+campaign runner imports only :mod:`repro.service.policy`), so this
+``__init__`` deliberately imports nothing.
+"""
+
+__all__ = [
+    "cache",
+    "catalog",
+    "chaos",
+    "core",
+    "daemon",
+    "loadgen",
+    "policy",
+    "workers",
+]

@@ -1,0 +1,197 @@
+"""CLI for the resilient measurement service.
+
+Subcommands::
+
+    python -m repro.service serve    # run the HTTP daemon
+    python -m repro.service loadgen  # drive a running daemon
+    python -m repro.service chaos    # seeded chaos audit (in-process)
+    python -m repro.service smoke    # boot + load + reconcile (CI gate)
+
+``smoke`` is the CI entry: it boots a daemon in-process with worker
+crash/hang injection enabled, replays a seeded mix over real HTTP, and
+exits non-zero unless zero requests were lost and the server-side
+counters reconcile exactly (``requests == served + degraded +
+failed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.process import ProcessFaultPlan
+from repro.service.chaos import run_chaos
+from repro.service.core import MeasurementService, ServiceConfig
+from repro.service.daemon import ServiceDaemon
+from repro.service.loadgen import LoadGenerator, request_mix
+from repro.service.policy import RetryPolicy
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--crash-prob", type=float, default=0.0,
+                        help="per-dispatch worker crash probability")
+    parser.add_argument("--hang-prob", type=float, default=0.0,
+                        help="per-dispatch worker hang probability")
+    parser.add_argument("--slow-prob", type=float, default=0.0,
+                        help="per-dispatch worker slowdown probability")
+    parser.add_argument("--faults", default=None,
+                        help="measurement fault preset/DSL active in "
+                        "workers (e.g. noisy-amd)")
+
+
+def _service(args, cache_dir: Path | None,
+             checkpoint: Path | None = None) -> MeasurementService:
+    from repro.faults import resolve_faults
+    plan = None
+    if args.crash_prob or args.hang_prob or args.slow_prob:
+        plan = ProcessFaultPlan(
+            crash_prob=args.crash_prob, hang_prob=args.hang_prob,
+            slow_prob=args.slow_prob, seed=args.seed)
+    scenario = resolve_faults(args.faults) if args.faults else None
+    return MeasurementService(ServiceConfig(
+        workers=args.workers,
+        deadline_s=args.deadline,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                          max_delay_s=0.5, seed=args.seed),
+        heartbeat_timeout_s=0.5,
+        cache_dir=cache_dir,
+        checkpoint_path=checkpoint,
+        scenario=scenario,
+        fault_plan=plan))
+
+
+def _cmd_serve(args) -> int:
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    service = _service(args, cache_dir,
+                       Path(args.checkpoint) if args.checkpoint
+                       else None)
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await daemon.start()
+        print(f"measurement service on "
+              f"http://{daemon.host}:{daemon.port} "
+              f"({args.workers} workers)", flush=True)
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    generator = LoadGenerator(args.host, args.port,
+                              concurrency=args.concurrency)
+    report = generator.run(request_mix(args.requests, seed=args.seed))
+    print(json.dumps(report, indent=1))
+    return 0 if report["reconciled"] else 1
+
+
+def _cmd_chaos(args) -> int:
+    base = args.dir or tempfile.mkdtemp(prefix="service-chaos-")
+    report = run_chaos(
+        base, seed=args.seed, n_requests=args.requests,
+        workers=args.workers, crash_prob=args.crash_prob,
+        hang_prob=args.hang_prob, slow_prob=args.slow_prob,
+        faults=args.faults)
+    print(json.dumps(report, indent=1))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_smoke(args) -> int:
+    base = Path(args.dir or tempfile.mkdtemp(prefix="service-smoke-"))
+    service = _service(args, base / "cache", base / "requests.ckpt.json")
+    daemon = ServiceDaemon(service, host="127.0.0.1", port=0)
+    daemon.run_in_thread()
+    print(f"smoke daemon on 127.0.0.1:{daemon.port}", flush=True)
+    try:
+        generator = LoadGenerator("127.0.0.1", daemon.port,
+                                  concurrency=args.concurrency)
+        report = generator.run(
+            request_mix(args.requests, seed=args.seed))
+    finally:
+        service.close()
+    report["worker_restarts"] = service.pool.restarts \
+        if service.pool else 0
+    print(json.dumps(report, indent=1))
+    if report["lost"]:
+        print(f"SMOKE FAIL: {report['lost']} requests lost",
+              file=sys.stderr)
+        return 1
+    if not report["reconciled"]:
+        print("SMOKE FAIL: counters do not reconcile "
+              "(requests != served + degraded + failed)",
+              file=sys.stderr)
+        return 1
+    print(f"SMOKE OK: {report['sent']} requests, none lost, "
+          f"counters reconcile, "
+          f"{report['worker_restarts']} worker restart(s), "
+          f"p50={report['p50_ms']}ms p99={report['p99_ms']}ms")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Resilient measurement service (daemon, load "
+        "generator, chaos audit).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--deadline", type=float, default=30.0)
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--checkpoint", default=None)
+    serve.add_argument("--seed", type=int, default=0)
+    _add_fault_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser("loadgen",
+                          help="drive a running daemon and reconcile")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=8377)
+    load.add_argument("--requests", type=int, default=50)
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument("--seed", type=int, default=0)
+    load.set_defaults(func=_cmd_loadgen)
+
+    chaos = sub.add_parser("chaos", help="seeded chaos audit")
+    chaos.add_argument("--dir", default=None,
+                       help="scratch directory (default: a tempdir)")
+    chaos.add_argument("--requests", type=int, default=40)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--crash-prob", type=float, default=0.15)
+    chaos.add_argument("--hang-prob", type=float, default=0.1)
+    chaos.add_argument("--slow-prob", type=float, default=0.1)
+    chaos.add_argument("--faults", default=None)
+    chaos.set_defaults(func=_cmd_chaos)
+
+    smoke = sub.add_parser("smoke",
+                           help="boot + HTTP load + reconcile (CI)")
+    smoke.add_argument("--dir", default=None)
+    smoke.add_argument("--requests", type=int, default=40)
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.add_argument("--deadline", type=float, default=10.0)
+    smoke.add_argument("--concurrency", type=int, default=4)
+    smoke.add_argument("--seed", type=int, default=0)
+    _add_fault_args(smoke)
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

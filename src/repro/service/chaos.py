@@ -1,0 +1,220 @@
+"""Seeded chaos harness: prove the service loses nothing under faults.
+
+The harness boots a real service — real worker pool, real process
+faults, optionally a measurement-time fault scenario — drives a seeded
+request mix at it from concurrent client threads, and audits the
+resilience contract:
+
+1. **No request lost.** Every submission reaches a terminal status
+   (``served`` / ``degraded`` / ``failed``); the response count equals
+   the submission count.
+2. **Exact reconciliation.** The counter deltas satisfy
+   ``service.requests == served + degraded + failed`` with no slack.
+3. **Degradation is labeled.** Every degraded response carries
+   ``cache == "stale"``, a non-negative ``stale_seconds``, and the
+   error that forced the fallback.
+4. **Failures carry the taxonomy.** Every failed response names an
+   error class and an exit code from the campaign taxonomy.
+5. **No torn state.** Every cache entry on disk parses completely, and
+   the request ledger (checkpoint manifest) parses and accounts for
+   every request.
+
+Two phases share one cache directory: a quiet phase primes the cache
+with the popular mix, then the chaos phase reopens the service with a
+zero TTL (so every entry is stale by definition) and faults enabled —
+forcing the degradation path to do real work rather than idling
+because the live path happens to succeed.
+
+Everything is keyed by one seed: the request mix, the fault fates, and
+the backoff jitter all derive from it, so a failing run is replayable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.faults import resolve_faults
+from repro.faults.process import ProcessFaultPlan
+from repro.obs.metrics import REGISTRY
+from repro.service.cache import ResultCache
+from repro.service.core import MeasurementService, ServiceConfig
+from repro.service.loadgen import request_mix
+from repro.service.policy import (
+    EXIT_CLAIMS,
+    EXIT_UNAVAILABLE,
+    RetryPolicy,
+    error_name_exit_code,
+)
+
+#: Terminal statuses the contract allows.
+TERMINAL = ("served", "degraded", "failed")
+
+
+def run_chaos(base_dir: str | Path, seed: int = 0,
+              n_requests: int = 40, workers: int = 2,
+              crash_prob: float = 0.15, hang_prob: float = 0.1,
+              slow_prob: float = 0.1, faults: str | None = None,
+              concurrency: int = 4, prime: int = 8) -> dict:
+    """Run one seeded chaos campaign; returns the audit report.
+
+    Args:
+        base_dir: Scratch directory (cache + checkpoint live here).
+        seed: Master seed for mix, fates, and backoff jitter.
+        n_requests: Chaos-phase submissions.
+        workers: Worker processes under fault injection.
+        crash_prob: Per-dispatch worker crash probability.
+        hang_prob: Per-dispatch worker hang probability.
+        slow_prob: Per-dispatch worker slowdown probability.
+        faults: Optional measurement-fault preset/DSL (``--faults``
+            syntax) active inside workers.
+        concurrency: Concurrent client threads.
+        prime: Quiet-phase submissions that warm the cache.
+
+    Returns:
+        Report dict; ``report["ok"]`` is True iff ``violations`` is
+        empty.  Keys include per-status counts, counter deltas, worker
+        restarts, and the violations list (empty on a clean run).
+    """
+    base = Path(base_dir)
+    cache_dir = base / "cache"
+    checkpoint_path = base / "requests.ckpt.json"
+    scenario = resolve_faults(faults) if faults else None
+
+    mix = request_mix(n_requests, seed=seed)
+    violations: list[str] = []
+
+    # Quiet phase: populate the cache so degradation has substance.
+    quiet = ServiceConfig(workers=0, cache_dir=cache_dir,
+                          cache_ttl_s=1e9,
+                          retry=RetryPolicy(max_attempts=1, seed=seed))
+    with MeasurementService(quiet) as service:
+        for payload in request_mix(prime, seed=seed):
+            outcome = service.submit(payload)
+            if outcome["status"] != "served":
+                violations.append(
+                    f"quiet-phase request failed: {outcome}")
+
+    plan = ProcessFaultPlan(crash_prob=crash_prob, hang_prob=hang_prob,
+                            slow_prob=slow_prob, slow_seconds=0.05,
+                            seed=seed)
+    config = ServiceConfig(
+        workers=workers,
+        deadline_s=5.0,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                          max_delay_s=0.05, seed=seed),
+        breaker_failures=4,
+        breaker_reset_s=0.2,
+        heartbeat_timeout_s=0.25,
+        cache_dir=cache_dir,
+        cache_ttl_s=0.0,  # everything is stale: degradation must label
+        checkpoint_path=checkpoint_path,
+        scenario=scenario,
+        fault_plan=plan)
+
+    before = {name: value
+              for name, value in REGISTRY.counters().items()
+              if name.startswith("service.")}
+
+    responses: list[dict] = []
+    response_lock = threading.Lock()
+    with MeasurementService(config) as service:
+        lanes: list[list[dict]] = [[] for _ in range(max(1, concurrency))]
+        for index, payload in enumerate(mix):
+            lanes[index % len(lanes)].append(payload)
+
+        def lane(work: list[dict]) -> None:
+            for payload in work:
+                outcome = service.submit(payload)
+                with response_lock:
+                    responses.append(outcome)
+
+        threads = [threading.Thread(target=lane, args=(work,),
+                                    daemon=True)
+                   for work in lanes if work]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        restarts = service.pool.restarts if service.pool else 0
+
+    after = {name: value
+             for name, value in REGISTRY.counters().items()
+             if name.startswith("service.")}
+    delta = {name: after.get(name, 0) - before.get(name, 0)
+             for name in after}
+
+    # 1. No request lost.
+    if len(responses) != n_requests:
+        violations.append(
+            f"lost requests: sent {n_requests}, "
+            f"got {len(responses)} responses")
+    # 2. Exact reconciliation.
+    terminal_sum = (delta.get("service.served", 0)
+                    + delta.get("service.degraded", 0)
+                    + delta.get("service.failed", 0))
+    if delta.get("service.requests", 0) != n_requests:
+        violations.append(
+            f"requests counter {delta.get('service.requests')} != "
+            f"submissions {n_requests}")
+    if delta.get("service.requests", 0) != terminal_sum:
+        violations.append(
+            f"requests {delta.get('service.requests')} != served + "
+            f"degraded + failed = {terminal_sum}")
+    # 3 + 4. Response contracts.
+    statuses: dict[str, int] = {}
+    for outcome in responses:
+        status = outcome.get("status")
+        statuses[status] = statuses.get(status, 0) + 1
+        if status not in TERMINAL:
+            violations.append(f"non-terminal status: {outcome}")
+        elif status == "degraded":
+            if outcome.get("cache") != "stale":
+                violations.append(
+                    f"degraded response not labeled stale: {outcome}")
+            if not isinstance(outcome.get("stale_seconds"),
+                              (int, float)) or \
+                    outcome["stale_seconds"] < 0:
+                violations.append(
+                    f"degraded response without stale age: {outcome}")
+            if not outcome.get("error"):
+                violations.append(
+                    f"degraded response hides its cause: {outcome}")
+        elif status == "failed":
+            name = outcome.get("error", "")
+            code = outcome.get("exit_code")
+            if not name or code != error_name_exit_code(name) or \
+                    not EXIT_CLAIMS <= code <= EXIT_UNAVAILABLE:
+                violations.append(
+                    f"failed response outside taxonomy: {outcome}")
+    # 5a. No torn cache entries.
+    try:
+        entries = ResultCache(cache_dir).entries()
+    except ValueError as exc:
+        entries = {}
+        violations.append(str(exc))
+    # 5b. Ledger parses and accounts for everything (the quiet phase
+    # runs without a ledger; only chaos-phase requests are recorded).
+    try:
+        ledger = json.loads(checkpoint_path.read_text())
+        recorded = len(ledger.get("experiments", {}))
+        if recorded != n_requests:
+            violations.append(
+                f"ledger records {recorded} requests, expected "
+                f"{n_requests}")
+    except (OSError, ValueError) as exc:
+        violations.append(f"request ledger unreadable: {exc}")
+
+    return {
+        "ok": not violations,
+        "seed": seed,
+        "requests": n_requests,
+        "statuses": dict(sorted(statuses.items())),
+        "counters": {name: delta[name] for name in sorted(delta)
+                     if delta[name]},
+        "worker_restarts": restarts,
+        "cache_entries": len(entries),
+        "fault_plan": plan.describe(),
+        "violations": violations,
+    }

@@ -1,0 +1,405 @@
+"""The measurement service: request orchestration and degradation.
+
+:class:`MeasurementService` turns a wire-format request into exactly one
+of three terminal responses — the invariant the chaos harness audits:
+
+* ``served`` — a fresh measurement (or a fresh-enough cache hit);
+* ``degraded`` — the live path is unhealthy (circuit open, retries
+  exhausted) and a *stale* cache entry answered instead, explicitly
+  labeled with its age and the failure that forced the fallback;
+* ``failed`` — no measurement and no fallback; carries the taxonomy
+  error name and exit code.
+
+Every submission increments ``service.requests`` and exactly one of
+``service.served`` / ``service.degraded`` / ``service.failed``, so
+``requests == served + degraded + failed`` holds at every quiescent
+point — that reconciliation is checked in CI.
+
+The failure policy is the shared layer (:mod:`repro.service.policy`):
+transient faults (measurement exhaustion, worker loss, deadlines) are
+retried with seeded exponential backoff; permanent ones (configuration
+errors) fail immediately; repeated failures of one (primitive, system)
+stream trip that stream's circuit breaker so a known-bad configuration
+stops burning workers and falls back to the cache at the door.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.common.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    WorkerLost,
+)
+from repro.core.protocol import MeasurementProtocol
+from repro.experiments.campaign import (
+    CampaignCheckpoint,
+    ExperimentOutcome,
+    campaign_fingerprint,
+)
+from repro.faults.process import ProcessFaultPlan
+from repro.faults.scenario import FaultScenario, use_faults
+from repro.obs import event as obs_event
+from repro.obs import span as obs_span
+from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import gauge as _gauge
+from repro.service.cache import ResultCache, cache_key
+from repro.service.catalog import MeasureRequest, execute_request
+from repro.service.policy import (
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    error_exit_code,
+    error_name_exit_code,
+    rebuild_exception,
+    retryable_error_name,
+)
+from repro.service.workers import WorkerPool
+
+_C_REQUESTS = _counter("service.requests")
+_C_SERVED = _counter("service.served")
+_C_DEGRADED = _counter("service.degraded")
+_C_FAILED = _counter("service.failed")
+_C_RETRIES = _counter("service.retries")
+_C_BREAKER_OPEN = _counter("service.breaker_open")
+_C_CACHE_HIT = _counter("service.cache_hit")
+_C_CACHE_STALE = _counter("service.cache_stale_served")
+_G_LAT_P50 = _gauge("service.latency_p50_ms")
+_G_LAT_P99 = _gauge("service.latency_p99_ms")
+
+#: Worker-pool verdicts that mean the *infrastructure* failed, not the
+#: measurement: each maps to its taxonomy exception class.
+_INFRA_ERRORS = {
+    "worker_crash": WorkerLost,
+    "worker_hang": WorkerLost,
+    "deadline": DeadlineExceeded,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Attributes:
+        workers: Worker processes.  ``0`` executes inline in the
+            calling thread — no isolation, no process faults, no
+            deadline enforcement — for benchmarks and fast unit tests.
+        deadline_s: Per-dispatch wall-clock budget.
+        retry: Backoff policy for transient failures.
+        breaker_failures: Consecutive failures that open a stream's
+            circuit breaker.
+        breaker_reset_s: Open-state cooldown before a half-open probe.
+        heartbeat_timeout_s: Worker heartbeat staleness = hang.
+        cache_dir: Result-cache root (None disables caching *and*
+            graceful degradation).
+        cache_ttl_s: Entry age at which a hit stops being fresh; stale
+            entries only answer degraded requests.
+        checkpoint_path: Optional request-ledger manifest
+            (:class:`CampaignCheckpoint`), durable across kills.
+        scenario: Measurement-time fault scenario active in workers.
+        fault_plan: Process-level fault plan (crash/hang/slow).
+    """
+
+    workers: int = 2
+    deadline_s: float = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failures: int = 5
+    breaker_reset_s: float = 30.0
+    heartbeat_timeout_s: float = 1.0
+    cache_dir: str | Path | None = None
+    cache_ttl_s: float = 3600.0
+    checkpoint_path: str | Path | None = None
+    scenario: FaultScenario | None = None
+    fault_plan: ProcessFaultPlan | None = None
+
+
+class MeasurementService:
+    """Supervised, cached, circuit-broken measurement front-end.
+
+    Thread-safe: the daemon calls :meth:`submit` from a thread pool.
+
+    Args:
+        config: Service tunables.
+        sleep: Backoff sleep (injectable so tests run instantly).
+        clock: Monotonic clock for breakers and latency (injectable).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 sleep=time.sleep, clock=time.monotonic) -> None:
+        self.config = config or ServiceConfig()
+        self._sleep = sleep
+        self._clock = clock
+        self.fingerprint = dict(
+            campaign_fingerprint(self.config.scenario,
+                                 MeasurementProtocol()),
+            service=repro.__version__)
+        self.cache: ResultCache | None = None
+        if self.config.cache_dir is not None:
+            self.cache = ResultCache(self.config.cache_dir)
+        self.pool: WorkerPool | None = None
+        if self.config.workers > 0:
+            self.pool = WorkerPool(
+                self.config.workers,
+                heartbeat_timeout_s=self.config.heartbeat_timeout_s,
+                scenario=self.config.scenario,
+                fault_plan=self.config.fault_plan)
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._checkpoint: CampaignCheckpoint | None = None
+        self._checkpoint_lock = threading.Lock()
+        if self.config.checkpoint_path is not None:
+            self._checkpoint = CampaignCheckpoint.open(
+                self.config.checkpoint_path,
+                fingerprint=self.fingerprint, resume=True)
+        self._latency_lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=512)
+        self._request_index = len(
+            self._checkpoint.state["experiments"]) \
+            if self._checkpoint else 0
+        self._inline_seq = 0
+        self._inline_lock = threading.Lock()
+
+    # ------------------------------------------------------------ API
+
+    def submit(self, payload: object) -> dict:
+        """Process one wire-format request to a terminal response.
+
+        Never raises: every exception, including unforeseen internal
+        ones, terminates as a counted ``failed`` response.
+        """
+        _C_REQUESTS.add()
+        start = self._clock()
+        try:
+            with obs_span("service.request"):
+                response = self._handle(payload)
+        except BaseException as exc:  # noqa: BLE001 - terminal catch-all
+            response = {
+                "status": "failed",
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": error_exit_code(exc),
+            }
+        latency_ms = (self._clock() - start) * 1e3
+        response["latency_ms"] = round(latency_ms, 3)
+        self._count(response)
+        self._observe_latency(latency_ms)
+        self._ledger(payload, response)
+        return response
+
+    def health(self) -> dict:
+        """Liveness snapshot for ``/healthz``."""
+        with self._breaker_lock:
+            breakers = {f"{prim}/s{system}": breaker.state
+                        for (prim, system), breaker
+                        in sorted(self._breakers.items())}
+        p50, p99 = self._latency_percentiles()
+        return {
+            "status": "ok",
+            "version": repro.__version__,
+            "workers": self.config.workers,
+            "worker_restarts": self.pool.restarts if self.pool else 0,
+            "breakers": breakers,
+            "latency_p50_ms": p50,
+            "latency_p99_ms": p99,
+        }
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "MeasurementService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------- orchestration
+
+    def _handle(self, payload: object) -> dict:
+        request = MeasureRequest.from_json(payload)
+        key = None
+        if self.cache is not None:
+            key = cache_key(request.canonical(),
+                            json.dumps(self.fingerprint, sort_keys=True),
+                            repro.__version__)
+            entry = self.cache.get(key)
+            if entry is not None and \
+                    entry.age_seconds <= self.config.cache_ttl_s:
+                _C_CACHE_HIT.add()
+                return {"status": "served", "cache": "hit",
+                        "request": request.canonical(),
+                        "result": entry.result,
+                        "age_seconds": round(entry.age_seconds, 3)}
+
+        breaker = self._breaker(request)
+        if not breaker.allow():
+            exc = CircuitOpenError(
+                f"circuit open for {request.primitive}/s{request.system}"
+                f" after repeated failures")
+            return self._degrade_or_fail(request, key, exc)
+
+        failure = None
+        delays = self.config.retry.delays(key=request.describe())
+        for attempt in range(self.config.retry.max_attempts):
+            outcome = self._execute(request)
+            if outcome["status"] == "ok":
+                breaker.record_success()
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, outcome["result"],
+                                   request.canonical())
+                return {"status": "served", "cache": "miss",
+                        "request": request.canonical(),
+                        "result": outcome["result"],
+                        "attempts": attempt + 1}
+            failure = outcome
+            breaker.record_failure()
+            error_name = outcome.get("error", "")
+            retryable = retryable_error_name(error_name) \
+                if error_name else True
+            obs_event("service.attempt_failed",
+                      request=request.describe(),
+                      status=outcome["status"], error=error_name,
+                      retryable=retryable)
+            if not retryable or attempt >= len(delays):
+                break
+            _C_RETRIES.add()
+            self._sleep(delays[attempt])
+
+        exc = self._failure_exception(failure)
+        return self._degrade_or_fail(request, key, exc)
+
+    def _execute(self, request: MeasureRequest) -> dict:
+        """One measurement attempt: pooled dispatch or inline call."""
+        if self.pool is not None:
+            return self.pool.execute(request, self.config.deadline_s)
+        # Inline mode: same fate stream as a pool would draw, but
+        # crash/hang collapse to WorkerLost without killing anything —
+        # there is no process to kill.
+        fate = None
+        if self.config.fault_plan is not None:
+            with self._inline_lock:
+                seq = self._inline_seq
+                self._inline_seq += 1
+            fate = self.config.fault_plan.decide(seq)
+        if fate in ("crash", "hang"):
+            return {"status": f"worker_{fate}",
+                    "message": f"injected {fate} (inline mode)"}
+        try:
+            with use_faults(self.config.scenario):
+                result = execute_request(request)
+        except Exception as exc:  # noqa: BLE001 - mirrors worker reply
+            return {"status": "error", "error": type(exc).__name__,
+                    "message": str(exc)}
+        return {"status": "ok", "result": result}
+
+    def _failure_exception(self, outcome: dict | None) -> ReproError:
+        """The taxonomy exception a final failed outcome maps to."""
+        if outcome is None:  # pragma: no cover - defensive
+            return WorkerLost("no attempt completed")
+        status = outcome["status"]
+        if status in _INFRA_ERRORS:
+            return _INFRA_ERRORS[status](outcome.get("message", status))
+        return rebuild_exception(outcome.get("error", "CampaignError"),
+                                 outcome.get("message", ""))
+
+    def _degrade_or_fail(self, request: MeasureRequest,
+                         key: str | None, exc: Exception) -> dict:
+        """Answer from stale cache if possible, else fail with taxonomy."""
+        if self.cache is not None and key is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                _C_CACHE_STALE.add()
+                obs_event("service.degraded",
+                          request=request.describe(),
+                          error=type(exc).__name__,
+                          stale_seconds=round(entry.age_seconds, 3))
+                return {"status": "degraded", "cache": "stale",
+                        "request": request.canonical(),
+                        "result": entry.result,
+                        "stale_seconds": round(entry.age_seconds, 3),
+                        "error": type(exc).__name__,
+                        "message": str(exc)}
+        return {"status": "failed",
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": error_exit_code(exc)}
+
+    # ------------------------------------------------------- accounting
+
+    def _breaker(self, request: MeasureRequest) -> CircuitBreaker:
+        stream = (request.primitive, request.system)
+        with self._breaker_lock:
+            breaker = self._breakers.get(stream)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_timeout_s=self.config.breaker_reset_s,
+                    clock=self._clock,
+                    on_transition=lambda old, new, s=stream:
+                        self._breaker_moved(s, old, new))
+                self._breakers[stream] = breaker
+            return breaker
+
+    def _breaker_moved(self, stream: tuple[str, int],
+                       old: str, new: str) -> None:
+        obs_event("service.breaker_transition",
+                  stream=f"{stream[0]}/s{stream[1]}",
+                  from_state=old, to_state=new)
+        if new == OPEN:
+            _C_BREAKER_OPEN.add()
+
+    def _count(self, response: dict) -> None:
+        status = response.get("status")
+        if status == "served":
+            _C_SERVED.add()
+        elif status == "degraded":
+            _C_DEGRADED.add()
+        else:
+            _C_FAILED.add()
+
+    def _observe_latency(self, latency_ms: float) -> None:
+        with self._latency_lock:
+            self._latencies.append(latency_ms)
+        p50, p99 = self._latency_percentiles()
+        _G_LAT_P50.set(p50)
+        _G_LAT_P99.set(p99)
+
+    def _latency_percentiles(self) -> tuple[float, float]:
+        with self._latency_lock:
+            sample = sorted(self._latencies)
+        if not sample:
+            return 0.0, 0.0
+        def pct(q: float) -> float:
+            index = min(len(sample) - 1, int(q * (len(sample) - 1)))
+            return round(sample[index], 3)
+        return pct(0.50), pct(0.99)
+
+    def _ledger(self, payload: object, response: dict) -> None:
+        """Durably record one terminal response in the checkpoint."""
+        if self._checkpoint is None:
+            return
+        status = response.get("status")
+        described = payload.get("primitive", "?") \
+            if isinstance(payload, dict) else "?"
+        outcome_status = {"served": "done",
+                          "degraded": "skipped"}.get(status, "failed")
+        with self._checkpoint_lock:
+            index = self._request_index
+            self._request_index += 1
+            outcome = ExperimentOutcome(
+                exp_id=f"req-{index:06d}",
+                status=outcome_status,
+                error=response.get("error", ""),
+                message=f"{described}: {status}"
+                        + (f" ({response.get('message', '')})"
+                           if status != "served" else ""))
+            self._checkpoint.record(outcome)

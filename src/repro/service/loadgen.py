@@ -1,0 +1,198 @@
+"""Seeded load generator for the measurement service.
+
+Drives a running daemon over real HTTP (``http.client``, one-shot
+connections, a thread per lane) with a deterministic request mix, then
+reconciles three views of the run:
+
+* the client's own ledger — every request it sent and the terminal
+  status it got back (anything unanswerable is counted ``lost``, which
+  the smoke gate requires to be zero);
+* client-side latency percentiles (p50/p99) over all requests;
+* the daemon's ``/metrics`` counters, as deltas across the run — the
+  counter identity ``requests == served + degraded + failed`` must
+  hold exactly, and the server must have counted exactly as many new
+  requests as the client sent.  Deltas, not absolutes, so a daemon
+  that already served other traffic still reconciles — but the
+  generator must be the only active client while it runs.
+
+The mix is Zipf-flavoured on purpose: a small set of popular requests
+recurs (exercising the cache-hit path) over a long tail of distinct
+ones (exercising cold dispatch), all drawn from a seeded stream so two
+runs with the same seed replay the same traffic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+
+from repro.service.catalog import CATALOG, MeasureRequest
+
+#: Thread counts the CPU mix draws from (valid on every paper system).
+_CPU_THREADS = (2, 4, 8, 16)
+_GPU_THREADS = (32, 64, 128, 256)
+_GPU_BLOCKS = (1, 2, 4)
+
+
+def request_mix(n: int, seed: int = 0,
+                popular_fraction: float = 0.6) -> list[dict]:
+    """A deterministic traffic mix of ``n`` request payloads.
+
+    ``popular_fraction`` of requests repeat one of four fixed popular
+    requests (cache-hot); the rest are drawn across the catalogue
+    (cache-cold at first sight).
+    """
+    rng = random.Random(f"loadgen/{seed}")
+    popular = [
+        {"primitive": "omp_atomic", "threads": 16},
+        {"primitive": "omp_barrier", "threads": 8},
+        {"primitive": "cuda_syncthreads", "threads": 128, "blocks": 2},
+        {"primitive": "cuda_atomicadd", "threads": 64, "blocks": 2},
+    ]
+    names = sorted(CATALOG)
+    payloads: list[dict] = []
+    for _ in range(n):
+        if rng.random() < popular_fraction:
+            payloads.append(dict(rng.choice(popular)))
+            continue
+        name = rng.choice(names)
+        if CATALOG[name].substrate == "cpu":
+            payloads.append({"primitive": name,
+                             "threads": rng.choice(_CPU_THREADS)})
+        else:
+            payloads.append({"primitive": name,
+                             "threads": rng.choice(_GPU_THREADS),
+                             "blocks": rng.choice(_GPU_BLOCKS)})
+    for payload in payloads:
+        MeasureRequest.from_json(dict(payload))  # the mix is always valid
+    return payloads
+
+
+def parse_metrics(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition into ``{metric: value}``."""
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:  # pragma: no cover - malformed exposition
+            continue
+    return values
+
+
+def _percentile(sample: list[float], q: float) -> float:
+    if not sample:
+        return 0.0
+    ordered = sorted(sample)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1)))
+    return round(ordered[index], 3)
+
+
+class LoadGenerator:
+    """Threaded HTTP replay of a request mix against one daemon.
+
+    Args:
+        host: Daemon host.
+        port: Daemon port.
+        concurrency: Client lanes (threads).
+        timeout_s: Per-request socket timeout; a timeout counts the
+            request as ``lost`` (the one thing the smoke gate forbids).
+    """
+
+    def __init__(self, host: str, port: int, concurrency: int = 4,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.concurrency = max(1, concurrency)
+        self.timeout_s = timeout_s
+
+    def _post(self, payload: dict) -> dict | None:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request("POST", "/measure", body=json.dumps(payload),
+                         headers={"Content-Type": "application/json"})
+            raw = conn.getresponse().read()
+            return json.loads(raw.decode())
+        except (OSError, ValueError):
+            return None
+        finally:
+            conn.close()
+
+    def _get(self, path: str) -> str:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request("GET", path)
+            return conn.getresponse().read().decode()
+        finally:
+            conn.close()
+
+    def run(self, payloads: list[dict]) -> dict:
+        """Replay the mix and reconcile client and server accounting.
+
+        Returns:
+            A report dict: ``sent``, per-status counts, ``lost``,
+            client p50/p99 latencies, the ``/metrics`` counter deltas
+            across the run, and ``reconciled`` — whether the
+            server-side counter identity holds and matches ``sent``.
+        """
+        before = parse_metrics(self._get("/metrics"))
+        lanes: list[list[dict]] = [[] for _ in range(self.concurrency)]
+        for index, payload in enumerate(payloads):
+            lanes[index % self.concurrency].append(payload)
+        statuses: dict[str, int] = {}
+        latencies: list[float] = []
+        lost = 0
+        lock = threading.Lock()
+
+        def lane(work: list[dict]) -> None:
+            nonlocal lost
+            for payload in work:
+                start = time.monotonic()
+                response = self._post(payload)
+                elapsed_ms = (time.monotonic() - start) * 1e3
+                with lock:
+                    if response is None or "status" not in response:
+                        lost += 1
+                        continue
+                    latencies.append(elapsed_ms)
+                    status = response["status"]
+                    statuses[status] = statuses.get(status, 0) + 1
+
+        threads = [threading.Thread(target=lane, args=(work,),
+                                    daemon=True)
+                   for work in lanes if work]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        after = parse_metrics(self._get("/metrics"))
+
+        def delta(name: str) -> float:
+            return after.get(name, 0.0) - before.get(name, 0.0)
+
+        requests = delta("syncperf_service_requests")
+        served = delta("syncperf_service_served")
+        degraded = delta("syncperf_service_degraded")
+        failed = delta("syncperf_service_failed")
+        reconciled = (lost == 0
+                      and requests == served + degraded + failed
+                      and requests == float(len(payloads)))
+        return {
+            "sent": len(payloads),
+            "statuses": dict(sorted(statuses.items())),
+            "lost": lost,
+            "p50_ms": _percentile(latencies, 0.50),
+            "p99_ms": _percentile(latencies, 0.99),
+            "server": {"requests": requests, "served": served,
+                       "degraded": degraded, "failed": failed},
+            "reconciled": reconciled,
+        }

@@ -1,0 +1,318 @@
+"""Shared failure policy: exit-code taxonomy, retries, circuit breaker.
+
+One implementation serves both front-ends: the CLI campaign runner
+(:mod:`repro.experiments.campaign`) and the measurement daemon
+(:mod:`repro.service.core`).  Three pieces:
+
+* **Exit-code taxonomy** — every failure is classified by exception
+  class into the ``syncperf`` CLI's per-category exit codes, and
+  :func:`rebuild_exception` round-trips a ``(class name, message)``
+  record from a worker process back into an exception of the *same
+  name* (unknown names get a synthesized :class:`~repro.common.errors.
+  CampaignError` subclass rather than collapsing lossily), so exit
+  codes computed before and after a process boundary always agree.
+* **Retry policy** — :class:`RetryPolicy` produces a deterministic
+  exponential-backoff schedule with seeded, symmetric jitter: the same
+  (policy, request key) always yields the same delays, so chaos runs
+  and tests replay exactly.  :func:`retryable_error` separates
+  transient faults (worth re-dispatching) from permanent errors
+  (misconfiguration, simulation bugs) using the same taxonomy.
+* **Circuit breaker** — :class:`CircuitBreaker` is the classic
+  closed -> open -> half-open state machine with an injectable clock,
+  used per (primitive, system preset) by the service to stop hammering
+  a failing configuration and degrade to cached results instead.
+"""
+
+from __future__ import annotations
+
+import builtins
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import (
+    CampaignError,
+    ConfigurationError,
+    FaultInjectionError,
+    MeasurementError,
+    ReproError,
+    ServiceUnavailable,
+    SimulationError,
+)
+
+# ---------------------------- exit codes -------------------------------- #
+
+#: Exit codes of the ``syncperf`` CLI, by failure category
+#: (``docs/faults.md`` has the full table).
+EXIT_OK = 0
+EXIT_CLAIMS = 1
+EXIT_CONFIG = 2
+EXIT_MEASUREMENT = 3
+EXIT_SIMULATION = 4
+EXIT_OTHER = 5
+EXIT_UNAVAILABLE = 6
+
+#: Exception types ``keep_going`` campaigns shield (benchmark-level
+#: errors); any other exception aborts even in keep-going mode.
+BENIGN_EXCEPTIONS = (ReproError, KeyError, ValueError, ZeroDivisionError)
+
+#: Transient failures worth re-dispatching: injected measurement faults,
+#: protocol exhaustion under noise, and service-side infrastructure
+#: losses (a crashed/hung worker, a missed deadline).  Everything else —
+#: misconfiguration, simulation bugs, sanitizer findings — is permanent:
+#: retrying cannot change the outcome.
+RETRYABLE_EXCEPTIONS = (MeasurementError, FaultInjectionError,
+                        ServiceUnavailable)
+
+
+def error_exit_code(exc: BaseException) -> int:
+    """Map an exception to the CLI's per-category exit code."""
+    if isinstance(exc, ConfigurationError):
+        return EXIT_CONFIG
+    if isinstance(exc, MeasurementError):
+        return EXIT_MEASUREMENT
+    if isinstance(exc, SimulationError):
+        return EXIT_SIMULATION
+    if isinstance(exc, ServiceUnavailable):
+        return EXIT_UNAVAILABLE
+    return EXIT_OTHER
+
+
+def error_name_exit_code(error_name: str) -> int:
+    """Exit code for a recorded failure's exception class name.
+
+    Resolves the name against the library's exception hierarchy first,
+    so a name-based classification (a failure record that crossed a
+    process boundary) always agrees with the instance-based
+    :func:`error_exit_code` — including for subclasses like
+    :class:`~repro.common.errors.DataRaceError`.
+    """
+    cls = _resolve_error_class(error_name)
+    if cls is not None and issubclass(cls, ReproError):
+        return error_exit_code(cls.__new__(cls))
+    return EXIT_OTHER
+
+
+def retryable_error(exc: BaseException) -> bool:
+    """Whether a failure is transient (worth re-dispatching)."""
+    return isinstance(exc, RETRYABLE_EXCEPTIONS)
+
+
+def retryable_error_name(error_name: str) -> bool:
+    """Name-based :func:`retryable_error`, for cross-process records."""
+    cls = _resolve_error_class(error_name)
+    return cls is not None and issubclass(cls, RETRYABLE_EXCEPTIONS)
+
+
+def _resolve_error_class(error_name: str) -> type | None:
+    """The exception class called ``error_name``, if the library (or
+    builtins) defines one."""
+    import repro.common.errors as errors_mod
+    cls = getattr(errors_mod, error_name, None)
+    if cls is None:
+        cls = getattr(builtins, error_name, None)
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        return cls
+    return None
+
+
+#: Synthesized classes for exception names the library does not define,
+#: memoized so repeated rebuilds of the same name share one type.
+_SYNTHESIZED: dict[str, type] = {}
+
+
+def rebuild_exception(error_name: str, message: str) -> BaseException:
+    """Reconstruct a worker-side exception from its ``(name, message)``.
+
+    Every class of the exit-code taxonomy round-trips exactly: the
+    rebuilt exception has the same class name and message, so
+    :func:`error_exit_code` on the rebuilt instance equals
+    :func:`error_name_exit_code` on the record.  Unknown names — a
+    third-party exception raised inside a worker — get a synthesized
+    :class:`~repro.common.errors.CampaignError` subclass *named after
+    the original*, preserving the name through ``type(exc).__name__``
+    instead of collapsing it into the message.
+    """
+    cls = _resolve_error_class(error_name)
+    if cls is not None:
+        try:
+            return cls(message)
+        except Exception:  # exotic constructor signature: synthesize
+            pass
+    if not error_name.isidentifier():
+        return CampaignError(f"{error_name}: {message}")
+    synthesized = _SYNTHESIZED.get(error_name)
+    if synthesized is None:
+        synthesized = type(error_name, (CampaignError,), {
+            "__doc__": "Synthesized stand-in for a worker-side "
+                       f"{error_name} (see rebuild_exception)."})
+        _SYNTHESIZED[error_name] = synthesized
+    return synthesized(message)
+
+
+# ---------------------------- retry policy ------------------------------ #
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    Attributes:
+        max_attempts: Total dispatch attempts per request (>= 1).
+        base_delay_s: Delay before the first retry.
+        multiplier: Exponential growth factor per retry.
+        max_delay_s: Cap on any single delay (before jitter).
+        jitter: Symmetric jitter fraction in [0, 1]: each delay is
+            scaled by a factor drawn uniformly from
+            ``[1 - jitter, 1 + jitter]``.
+        seed: Seed of the jitter stream.  The schedule is a pure
+            function of (policy, request key): two services configured
+            identically back off identically, which is what makes chaos
+            runs replayable.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry jitter must be in [0, 1], got {self.jitter}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"retry multiplier must be >= 1, got {self.multiplier}")
+
+    def delays(self, key: str = "") -> list[float]:
+        """The backoff schedule for one request.
+
+        Returns:
+            ``max_attempts - 1`` delays (seconds): the wait before each
+            retry.  Deterministic in (policy fields, ``key``).
+        """
+        rng = random.Random(f"{self.seed}/{key}")
+        out: list[float] = []
+        for attempt in range(self.max_attempts - 1):
+            base = min(self.base_delay_s * self.multiplier ** attempt,
+                       self.max_delay_s)
+            factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            out.append(base * factor)
+        return out
+
+
+# --------------------------- circuit breaker ---------------------------- #
+
+#: Breaker states (:attr:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open breaker over one failure domain.
+
+    The service keeps one per (primitive, system preset): repeated
+    transient failures trip it open, dispatch short-circuits to the
+    degraded path while it is open, and after ``reset_timeout_s`` one
+    half-open probe is allowed through — success closes the breaker,
+    failure re-opens it (with the reset timer restarted).
+
+    Args:
+        failure_threshold: Consecutive failures that trip the breaker.
+        reset_timeout_s: Open time before a half-open probe is allowed.
+        clock: Monotonic time source (injectable for tests).
+        on_transition: Optional callback ``(old_state, new_state)`` —
+            the service uses it to bump ``service.breaker_open``.
+
+    Thread-safe: the daemon's executor threads share breakers.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str, str], None] | None = None
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"breaker failure_threshold must be >= 1, "
+                f"got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ConfigurationError(
+                f"breaker reset_timeout_s must be >= 0, "
+                f"got {reset_timeout_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open -> half-open timer applied."""
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a dispatch may proceed right now.
+
+        Closed always allows; open allows nothing until the reset
+        timeout elapses; half-open allows exactly one in-flight probe
+        (concurrent callers are refused until the probe resolves).
+        """
+        with self._lock:
+            self._tick()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A dispatch succeeded: close (and reset the failure count)."""
+        with self._lock:
+            self._probing = False
+            self._failures = 0
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A transient dispatch failure: count it, trip when over the
+        threshold; a failed half-open probe re-opens immediately."""
+        with self._lock:
+            self._tick()
+            self._probing = False
+            self._failures += 1
+            if self._state == HALF_OPEN or \
+                    self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    _probing = False
+
+    def _tick(self) -> None:
+        """Apply the open -> half-open timer (lock held)."""
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout_s:
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)

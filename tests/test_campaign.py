@@ -100,6 +100,96 @@ class TestCheckpoint:
         assert set(fp) == {"faults", "seed"}
 
 
+class TestCheckpointJournal:
+    """Kill-window recovery: the write-ahead journal behind ``record``."""
+
+    FP = {"faults": None, "seed": 0}
+
+    def _outcome(self, exp_id="fig1"):
+        return ExperimentOutcome(exp_id, "done", 1.0, 2, 2)
+
+    def test_journal_truncated_after_successful_save(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        checkpoint = CampaignCheckpoint(path, dict(self.FP))
+        checkpoint.record(self._outcome())
+        # Manifest superseded the journal; nothing left to replay.
+        assert checkpoint.journal_path.read_text() == ""
+        resumed = CampaignCheckpoint.open(path, dict(self.FP),
+                                          resume=True)
+        assert resumed.is_done("fig1")
+        assert resumed.recovered_records == 0
+
+    def test_kill_between_journal_and_manifest_replays(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        checkpoint = CampaignCheckpoint(path, dict(self.FP))
+        checkpoint.record(self._outcome("fig1"))
+        # Simulate the kill window: the journal holds fig2 but the
+        # process died before the manifest rewrite.
+        checkpoint.state["experiments"]["fig2"] = \
+            self._outcome("fig2").to_json()
+        checkpoint._journal_append(self._outcome("fig2"))
+        resumed = CampaignCheckpoint.open(path, dict(self.FP),
+                                          resume=True)
+        assert resumed.is_done("fig1")
+        assert resumed.is_done("fig2")
+        assert resumed.recovered_records == 1
+        assert resumed.corrupt_journal_lines == 0
+
+    def test_kill_mid_append_skips_torn_line_and_requeues(
+            self, tmp_path):
+        path = tmp_path / "campaign.json"
+        checkpoint = CampaignCheckpoint(path, dict(self.FP))
+        checkpoint.record(self._outcome("fig1"))
+        checkpoint._journal_append(self._outcome("fig2"))
+        # Tear the trailing record mid-byte, as a kill during the
+        # fsynced append would.
+        text = checkpoint.journal_path.read_text()
+        checkpoint.journal_path.write_text(text[:len(text) - 25])
+        resumed = CampaignCheckpoint.open(path, dict(self.FP),
+                                          resume=True)
+        # fig1 survives via the manifest; the torn fig2 record is
+        # skipped — not fatal — so fig2 simply re-queues.
+        assert resumed.is_done("fig1")
+        assert not resumed.is_done("fig2")
+        assert resumed.corrupt_journal_lines == 1
+
+    def test_resume_after_torn_line_reruns_and_completes(
+            self, tmp_path):
+        path = tmp_path / "campaign.json"
+        checkpoint = CampaignCheckpoint(path, dict(self.FP))
+        checkpoint._journal_append(self._outcome("fig1"))
+        checkpoint.journal_path.write_text(
+            checkpoint.journal_path.read_text()[:-10])
+        resumed = CampaignCheckpoint.open(path, dict(self.FP),
+                                          resume=True)
+        assert not resumed.is_done("fig1")
+        resumed.record(self._outcome("fig1"))  # the re-run lands
+        final = CampaignCheckpoint.open(path, dict(self.FP),
+                                        resume=True)
+        assert final.is_done("fig1")
+
+    def test_journal_with_foreign_fingerprint_is_ignored(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        stale = CampaignCheckpoint(path, {"faults": "storm", "seed": 9})
+        stale._journal_append(self._outcome("fig1"))
+        checkpoint = CampaignCheckpoint.open(path, dict(self.FP),
+                                             resume=True)
+        assert not checkpoint.is_done("fig1")
+        assert checkpoint.recovered_records == 0
+
+    def test_garbage_journal_never_aborts_resume(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        CampaignCheckpoint(path, dict(self.FP)).save()
+        journal = tmp_path / "campaign.json.journal"
+        journal.write_text('{"no": "keys"}\nutter garbage\n'
+                           '{"experiment": "fig3", "status": "done", '
+                           '"wall_seconds": 1.0}\n')
+        resumed = CampaignCheckpoint.open(path, dict(self.FP),
+                                          resume=True)
+        assert resumed.corrupt_journal_lines == 2
+        assert resumed.is_done("fig3")
+
+
 class TestRunCampaign:
     def test_keep_going_records_failure_and_continues(self, tmp_path):
         def fail(proto=None):

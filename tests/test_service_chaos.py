@@ -1,0 +1,44 @@
+"""The chaos harness: the resilience contract holds under injection."""
+
+from __future__ import annotations
+
+from repro.service.chaos import run_chaos
+from repro.service.loadgen import request_mix
+
+
+class TestRequestMix:
+    def test_mix_is_deterministic_in_the_seed(self):
+        assert request_mix(25, seed=3) == request_mix(25, seed=3)
+        assert request_mix(25, seed=3) != request_mix(25, seed=4)
+
+    def test_mix_repeats_popular_requests(self):
+        mix = request_mix(40, seed=0)
+        keys = [tuple(sorted(p.items())) for p in mix]
+        assert len(set(keys)) < len(keys)  # repeats → cache hits
+
+
+class TestChaos:
+    def test_clean_run_without_faults(self, tmp_path):
+        report = run_chaos(tmp_path, seed=1, n_requests=10,
+                           crash_prob=0.0, hang_prob=0.0,
+                           slow_prob=0.0, prime=4)
+        assert report["ok"], report["violations"]
+        assert report["statuses"] == {"served": 10}
+        assert report["worker_restarts"] == 0
+
+    def test_contract_holds_under_crash_and_hang_faults(self, tmp_path):
+        report = run_chaos(tmp_path, seed=42, n_requests=24,
+                           crash_prob=0.25, hang_prob=0.15,
+                           slow_prob=0.1, prime=6)
+        assert report["ok"], report["violations"]
+        # The injection actually did damage — a chaos run that never
+        # kills a worker proves nothing.
+        assert report["worker_restarts"] > 0
+        assert sum(report["statuses"].values()) == 24
+
+    def test_contract_holds_with_measurement_faults_too(self, tmp_path):
+        report = run_chaos(tmp_path, seed=7, n_requests=16,
+                           crash_prob=0.2, hang_prob=0.1,
+                           slow_prob=0.0, faults="noisy-amd", prime=4)
+        assert report["ok"], report["violations"]
+        assert sum(report["statuses"].values()) == 16

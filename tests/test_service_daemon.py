@@ -1,0 +1,104 @@
+"""The HTTP daemon and load generator over a real loopback socket."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.core import MeasurementService, ServiceConfig
+from repro.service.daemon import ServiceDaemon
+from repro.service.loadgen import (
+    LoadGenerator,
+    parse_metrics,
+    request_mix,
+)
+from repro.service.policy import RetryPolicy
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A running daemon on an ephemeral loopback port (inline mode:
+    these tests exercise the HTTP boundary, not process supervision)."""
+    service = MeasurementService(ServiceConfig(
+        workers=0, cache_dir=tmp_path / "cache",
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.001)))
+    daemon = ServiceDaemon(service)
+    daemon.run_in_thread()
+    yield daemon
+    service.close()
+
+
+def _request(daemon, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", daemon.port,
+                                      timeout=30.0)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None
+                     else None)
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_measure_round_trip(self, daemon):
+        status, raw = _request(daemon, "POST", "/measure",
+                               {"primitive": "omp_atomic",
+                                "threads": 16})
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["status"] == "served"
+        assert payload["result"]["per_op_time"] is not None
+        assert payload["latency_ms"] >= 0
+
+    def test_bad_request_is_400_with_taxonomy(self, daemon):
+        status, raw = _request(daemon, "POST", "/measure",
+                               {"primitive": "nope"})
+        assert status == 400
+        payload = json.loads(raw)
+        assert payload["error"] == "ConfigurationError"
+
+    def test_non_json_body_is_400(self, daemon):
+        conn = http.client.HTTPConnection("127.0.0.1", daemon.port,
+                                          timeout=30.0)
+        try:
+            conn.request("POST", "/measure", body="{not json")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_route_404_and_wrong_method_405(self, daemon):
+        assert _request(daemon, "GET", "/nothere")[0] == 404
+        assert _request(daemon, "GET", "/measure")[0] == 405
+        assert _request(daemon, "POST", "/metrics")[0] == 405
+
+    def test_healthz_lists_catalog_and_breakers(self, daemon):
+        status, raw = _request(daemon, "GET", "/healthz")
+        assert status == 200
+        health = json.loads(raw)
+        assert health["status"] == "ok"
+        assert "omp_atomic" in health["catalog"]
+        assert "breakers" in health
+
+    def test_metrics_are_deltas_since_daemon_start(self, daemon):
+        _request(daemon, "POST", "/measure",
+                 {"primitive": "omp_barrier"})
+        _, text = _request(daemon, "GET", "/metrics")
+        values = parse_metrics(text)
+        assert values["syncperf_service_requests"] == 1.0
+        assert values["syncperf_service_served"] == 1.0
+
+
+class TestLoadGenerator:
+    def test_load_reconciles_and_reports_latency(self, daemon):
+        generator = LoadGenerator("127.0.0.1", daemon.port,
+                                  concurrency=3)
+        report = generator.run(request_mix(18, seed=5))
+        assert report["reconciled"], report
+        assert report["lost"] == 0
+        assert report["sent"] == 18
+        assert report["p99_ms"] >= report["p50_ms"] > 0
+        assert report["server"]["requests"] == 18.0

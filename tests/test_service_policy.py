@@ -1,0 +1,259 @@
+"""The shared failure policy: taxonomy, backoff, and circuit breakers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    CampaignError,
+    CircuitOpenError,
+    ConfigurationError,
+    DataRaceError,
+    DeadlineExceeded,
+    FaultInjectionError,
+    MeasurementError,
+    ReproError,
+    SanitizerError,
+    ServiceUnavailable,
+    SimulationError,
+    WorkerLost,
+)
+from repro.service.policy import (
+    CLOSED,
+    EXIT_CONFIG,
+    EXIT_MEASUREMENT,
+    EXIT_OK,
+    EXIT_OTHER,
+    EXIT_SIMULATION,
+    EXIT_UNAVAILABLE,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    error_exit_code,
+    error_name_exit_code,
+    rebuild_exception,
+    retryable_error,
+    retryable_error_name,
+)
+
+#: Every class of the exit-code taxonomy with its expected code — the
+#: round-trip below must hold for ALL of them, not just the common few.
+TAXONOMY = [
+    (ConfigurationError, EXIT_CONFIG),
+    (MeasurementError, EXIT_MEASUREMENT),
+    (FaultInjectionError, EXIT_OTHER),
+    (SimulationError, EXIT_SIMULATION),
+    (DataRaceError, EXIT_SIMULATION),
+    (SanitizerError, EXIT_OTHER),
+    (CampaignError, EXIT_OTHER),
+    (ReproError, EXIT_OTHER),
+    (ServiceUnavailable, EXIT_UNAVAILABLE),
+    (DeadlineExceeded, EXIT_UNAVAILABLE),
+    (WorkerLost, EXIT_UNAVAILABLE),
+    (CircuitOpenError, EXIT_UNAVAILABLE),
+    (KeyError, EXIT_OTHER),
+    (ValueError, EXIT_OTHER),
+    (ZeroDivisionError, EXIT_OTHER),
+]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("cls,code", TAXONOMY)
+    def test_exit_code_by_instance_and_by_name(self, cls, code):
+        exc = cls("boom")
+        assert error_exit_code(exc) == code
+        assert error_name_exit_code(cls.__name__) == code
+
+    def test_ok_is_zero_and_distinct(self):
+        codes = {EXIT_OK, EXIT_CONFIG, EXIT_MEASUREMENT,
+                 EXIT_SIMULATION, EXIT_OTHER, EXIT_UNAVAILABLE}
+        assert EXIT_OK == 0
+        assert len(codes) == 6
+
+    def test_unknown_name_falls_to_other(self):
+        assert error_name_exit_code("SomeVendorError") == EXIT_OTHER
+        assert error_name_exit_code("") == EXIT_OTHER
+        assert error_name_exit_code("not an identifier!") == EXIT_OTHER
+
+
+class TestRebuildExceptionRoundTrip:
+    @pytest.mark.parametrize("cls,code", TAXONOMY)
+    def test_full_taxonomy_round_trips(self, cls, code):
+        original = cls("the message")
+        rebuilt = rebuild_exception(type(original).__name__,
+                                    str(original))
+        # Identity is preserved at every level the campaign relies on:
+        # the class name, the exit code, and retryability.
+        assert type(rebuilt).__name__ == cls.__name__
+        assert error_exit_code(rebuilt) == code
+        assert retryable_error(rebuilt) == retryable_error(original)
+        assert str(original) in str(rebuilt) or \
+            str(rebuilt) == str(original)
+
+    def test_known_classes_rebuild_as_themselves(self):
+        rebuilt = rebuild_exception("MeasurementError", "exhausted")
+        assert type(rebuilt) is MeasurementError
+        assert str(rebuilt) == "exhausted"
+
+    def test_unknown_name_keeps_its_name(self):
+        rebuilt = rebuild_exception("CudaDriverError", "XID 79")
+        assert type(rebuilt).__name__ == "CudaDriverError"
+        assert isinstance(rebuilt, CampaignError)
+        assert "XID 79" in str(rebuilt)
+
+    def test_unknown_name_is_memoized(self):
+        first = rebuild_exception("OneOffError", "a")
+        second = rebuild_exception("OneOffError", "b")
+        assert type(first) is type(second)
+
+    def test_non_identifier_collapses_gracefully(self):
+        rebuilt = rebuild_exception("weird name!", "payload")
+        assert isinstance(rebuilt, CampaignError)
+        assert "payload" in str(rebuilt)
+
+
+class TestRetryClassification:
+    def test_transients_are_retryable(self):
+        for exc in (MeasurementError("x"), FaultInjectionError("x"),
+                    WorkerLost("x"), DeadlineExceeded("x"),
+                    ServiceUnavailable("x")):
+            assert retryable_error(exc), exc
+            assert retryable_error_name(type(exc).__name__)
+
+    def test_permanents_are_not(self):
+        for exc in (ConfigurationError("x"), SimulationError("x"),
+                    ValueError("x"), CampaignError("x")):
+            assert not retryable_error(exc), exc
+            assert not retryable_error_name(type(exc).__name__)
+
+    def test_unknown_names_default_to_not_retryable(self):
+        assert not retryable_error_name("MysteryError")
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_key_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        assert policy.delays(key="omp_atomic") == \
+            policy.delays(key="omp_atomic")
+
+    def test_different_keys_decorrelate(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        assert policy.delays(key="a") != policy.delays(key="b")
+
+    def test_different_seeds_decorrelate(self):
+        assert RetryPolicy(max_attempts=5, seed=1).delays(key="k") != \
+            RetryPolicy(max_attempts=5, seed=2).delays(key="k")
+
+    def test_exponential_envelope_with_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.1,
+                             multiplier=2.0, max_delay_s=0.4,
+                             jitter=0.5, seed=0)
+        delays = policy.delays(key="k")
+        assert len(delays) == 5
+        expected_bases = [0.1, 0.2, 0.4, 0.4, 0.4]
+        for delay, base in zip(delays, expected_bases):
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_no_jitter_is_exact(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                             multiplier=2.0, max_delay_s=10.0,
+                             jitter=0.0)
+        assert policy.delays() == pytest.approx([0.1, 0.2, 0.4])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -1.0},
+        {"multiplier": 0.5},
+        {"max_delay_s": -1.0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            reset_timeout_s=kwargs.pop("reset_timeout_s", 10.0),
+            clock=clock,
+            on_transition=lambda old, new: transitions.append(
+                (old, new)))
+        return breaker, clock, transitions
+
+    def test_starts_closed_and_allows(self):
+        breaker, _, _ = self._breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _, transitions = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert (CLOSED, OPEN) in transitions
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _, _ = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # run broken: 2 + 2 never trips
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock, transitions = self._breaker(
+            failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now += 9.9
+        assert not breaker.allow()
+        clock.now += 0.2
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()      # the single probe
+        assert not breaker.allow()  # concurrent requests stay blocked
+        assert (OPEN, HALF_OPEN) in transitions
+
+    def test_probe_success_closes(self):
+        breaker, clock, transitions = self._breaker(
+            failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure()
+        clock.now += 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert (HALF_OPEN, CLOSED) in transitions
+
+    def test_probe_failure_reopens(self):
+        breaker, clock, transitions = self._breaker(
+            failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure()
+        clock.now += 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert (HALF_OPEN, OPEN) in transitions
+        # ... and the cooldown starts over.
+        clock.now += 11.0
+        assert breaker.allow()
