@@ -4,10 +4,12 @@ Times the measurement fast path against the retained scalar reference
 path (:func:`repro.core.engine.reference_engine`) at four granularities
 — the raw protocol kernel, a representative sweep, the kernel
 interpreters (``interp_*`` rows: CUDA/OpenMP workloads under batched
-uniform-pass dispatch vs the scalar schedulers, plus the
-``parallel_blocks`` serial-vs-forked row), and a full campaign (serial
-vs ``jobs=N``) — and writes ``BENCH_engine.json`` at the repo root in a
-stable schema so the performance trajectory is tracked across PRs:
+uniform-pass dispatch and the JIT-style dispatch tiers vs the scalar
+schedulers, the ``parallel_blocks`` persistent-pool-vs-fork-per-launch
+row, and the ``dispatch_replay``/``dispatch_lifted`` warm-vs-cold
+dispatcher rows), and a full campaign (serial vs ``jobs=N``) — and
+writes ``BENCH_engine.json`` at the repo root in a stable schema so the
+performance trajectory is tracked across PRs:
 
 .. code-block:: json
 
@@ -162,30 +164,40 @@ def _bench_sweep(bench_id: str, producer: Callable[[], object],
 # ---------------------------- interpreters ----------------------------- #
 
 
+#: Counters witnessing that the fast side actually ran fast machinery:
+#: the batched uniform-pass dispatchers plus the JIT-style dispatch
+#: tiers (replay hits and lifted block plans bypass the pass counters).
+_DISPATCH_COUNTERS = ("dispatch.hit", "dispatch.lifted_blocks")
+
+
 def _bench_interp(bench_id: str, producer: Callable[[], object],
                   counter_name: str, repeats: int) -> dict:
     """Time a kernel-interpreter workload, fast vs reference.
 
     ``counter_name`` names the public :mod:`repro.obs` engagement
     counter of the batched dispatcher (``interp.cuda.uniform_passes``
-    or ``interp.omp.uniform_rounds``); the row is refused when the
-    batched dispatcher did not actually run on the fast side, or ran
-    during the reference timing — either way the speedup would be
-    meaningless.
+    or ``interp.omp.uniform_rounds``); together with the ``dispatch.*``
+    tier counters it witnesses the fast side.  The row is refused when
+    neither the batched dispatcher nor a dispatch tier ran on the fast
+    side, or when any of them ran during the reference timing — either
+    way the speedup would be meaningless.
     """
-    engaged = counter_value(counter_name)
+    witnesses = (counter_name,) + _DISPATCH_COUNTERS
+    engaged = {name: counter_value(name) for name in witnesses}
     fast_result = producer()
-    if counter_value(counter_name) == engaged:
+    if all(counter_value(n) == engaged[n] for n in witnesses):
         raise SimulationError(
-            f"{bench_id}: batched dispatch never ran on the fast path "
-            f"({counter_name} unchanged); refusing to benchmark")
-    engaged = counter_value(counter_name)
+            f"{bench_id}: no fast machinery ran on the fast path "
+            f"({counter_name} and dispatch tiers unchanged); refusing "
+            f"to benchmark")
+    engaged = {name: counter_value(name) for name in witnesses}
     with reference_engine():
         ref_result = producer()
-    if counter_value(counter_name) != engaged:
+    if any(counter_value(n) != engaged[n] for n in witnesses):
         raise SimulationError(
             f"{bench_id}: reference timing accidentally used the fast "
-            f"path ({counter_name} moved); refusing to benchmark")
+            f"path ({counter_name} or a dispatch tier moved); refusing "
+            f"to benchmark")
     if fast_result != ref_result:
         raise SimulationError(
             f"{bench_id}: fast path diverged from the reference path; "
@@ -247,12 +259,20 @@ def _interp_cuda_histogram():
     return (out.elapsed, out.correct, out.bins.tobytes())
 
 
-def _interp_cuda_bfs():
+def _make_interp_cuda_bfs() -> Callable[[], object]:
+    """BFS producer with the graph hoisted out of the timed body (the
+    generator costs the same on both sides and would dilute the row)."""
     from repro.gpu.presets import gpu_preset
     from repro.workloads.bfs import gpu_bfs, random_graph
     row_ptr, cols = random_graph(96, avg_degree=4, seed=1)
-    out = gpu_bfs(gpu_preset(1), row_ptr, cols)
-    return (out.elapsed, out.correct, out.levels, out.distances.tobytes())
+    device = gpu_preset(1)
+
+    def producer():
+        out = gpu_bfs(device, row_ptr, cols)
+        return (out.elapsed, out.correct, out.levels,
+                out.distances.tobytes())
+
+    return producer
 
 
 def _interp_omp_histogram():
@@ -275,31 +295,164 @@ def _interp_omp_prefix_sum():
 
 
 def _bench_parallel_blocks(repeats: int) -> dict:
-    """Serial vs ``block_jobs=2`` on a disjoint multi-block workload.
+    """Persistent worker pool vs fork-per-launch at ``block_jobs=2``.
 
-    ``reference_s`` is the serial schedule, ``fast_s`` the forked
-    fan-out; both run the batched dispatcher, and the results must be
-    byte-identical (the parallel executor's contract).  The speedup
-    depends on available cores, so — like the campaign row — it is not
-    gated in CI.
+    ``reference_s`` fans the same disjoint multi-block workload out
+    through a throwaway worker pool spawned for every launch (the
+    regime the persistent pool replaced); ``fast_s`` reuses the shared
+    pool, so the row isolates exactly the overhead the pool eliminates
+    and is stable regardless of available cores.  The serial schedule
+    must stay byte-identical to the fan-out (the parallel executor's
+    contract), and the pool must actually merge — a silent serial
+    fallback would benchmark nothing.  The JIT dispatcher is disabled
+    throughout: replay hits would short-circuit the fan-out entirely.
     """
     import numpy as np
+    from repro.compiler.dispatcher import dispatch_disabled
+    from repro.cuda.parallel import fork_per_launch
     from repro.gpu.presets import gpu_preset
     from repro.workloads.prefix_sum import gpu_segmented_prefix_sum
     device = gpu_preset(1)
-    data = (np.arange(32 * 64, dtype=np.int64) * 7919) % 1000
+    data = (np.arange(8 * 64, dtype=np.int64) * 7919) % 1000
 
     def run(jobs: int):
         out = gpu_segmented_prefix_sum(device, data, block_threads=64,
                                        block_jobs=jobs)
         return (out.elapsed, out.correct, out.values.tobytes())
 
-    if run(1) != run(2):
+    with dispatch_disabled():
+        if run(1) != run(2):
+            raise SimulationError(
+                "parallel_blocks: block_jobs=2 diverged from the serial "
+                "schedule; refusing to benchmark")
+        merged = counter_value("interp.cuda.fork.forked")
+        run(2)
+        if counter_value("interp.cuda.fork.forked") == merged:
+            raise SimulationError(
+                "parallel_blocks: the worker pool never merged a "
+                "fan-out (serial fallback); refusing to benchmark")
+
+        def run_fork_per_launch():
+            with fork_per_launch():
+                run(2)
+
+        return _row("parallel_blocks",
+                    _best_of(run_fork_per_launch, repeats),
+                    _best_of(lambda: run(2), repeats), jobs=2)
+
+
+# ------------------------------ dispatcher ----------------------------- #
+
+
+def _dispatch_case():
+    """A steady (data-independent control flow) multi-block kernel the
+    dispatcher can both replay and lift."""
+    import numpy as np
+    from repro.cuda.interpreter import Cuda
+    from repro.gpu.presets import gpu_preset
+    from repro.gpu.spec import LaunchConfig
+
+    def kernel(t):
+        tid = t.global_id
+        acc = 0
+        for i in range(6):
+            value = yield t.global_read("a", tid)
+            yield t.alu(2)
+            acc = acc + value * (i + 1)
+        yield t.global_write("b", tid, acc)
+        yield t.syncthreads()
+        total = yield t.global_read("b", tid)
+        yield t.atomic_add("c", t.blockIdx, total)
+
+    device = gpu_preset(1)
+    launch = LaunchConfig(16, 64)
+    n = 16 * 64
+
+    def run(a: "np.ndarray"):
+        memory = {"a": a, "b": np.zeros(n, dtype=np.int64),
+                  "c": np.zeros(16, dtype=np.int64)}
+        result = Cuda(device).launch(kernel, launch, memory)
+        return (result.elapsed_cycles, memory["b"].tobytes(),
+                memory["c"].tobytes())
+
+    return run, n
+
+
+def _bench_dispatch_replay(repeats: int) -> dict:
+    """Cold dispatch (cache cleared every run) vs warm replay hits.
+
+    Identical launches hit the dispatcher's replay cache and skip
+    execution entirely; the row prices that steady-state win against
+    the cold cost of keying + compiling + recording the same launch.
+    Both sides must produce identical results and the warm side must
+    actually hit (``dispatch.hit`` moving is the engagement witness).
+    """
+    import numpy as np
+    from repro.compiler.dispatcher import DISPATCHER
+    run, n = _dispatch_case()
+    a = (np.arange(n, dtype=np.int64) * 13) % 97
+
+    def run_cold():
+        DISPATCHER.clear()
+        return run(a.copy())
+
+    def run_warm():
+        return run(a.copy())
+
+    cold_result = run_cold()
+    prime = run_warm()  # record once, then every warm run replays
+    hits = counter_value("dispatch.hit")
+    warm_result = run_warm()
+    if counter_value("dispatch.hit") == hits:
         raise SimulationError(
-            "parallel_blocks: block_jobs=2 diverged from the serial "
-            "schedule; refusing to benchmark")
-    return _row("parallel_blocks", _best_of(lambda: run(1), repeats),
-                _best_of(lambda: run(2), repeats), jobs=2)
+            "dispatch_replay: warm launch missed the replay cache; "
+            "refusing to benchmark")
+    if not (cold_result == prime == warm_result):
+        raise SimulationError(
+            "dispatch_replay: replay diverged from cold execution; "
+            "refusing to benchmark a broken cache")
+    return _row("dispatch_replay", _best_of(run_cold, repeats),
+                _best_of(run_warm, repeats))
+
+
+def _bench_dispatch_lifted(repeats: int) -> dict:
+    """Compiled block plans vs the scalar reference on fresh data.
+
+    Every call runs the same steady kernel on content it has never
+    seen, so the replay cache always misses and the dispatcher executes
+    its compiled (lifted) block plans; ``reference_s`` is the scalar
+    reference interpreter on the same data stream.  Byte-identity is
+    checked on a held-out input before timing.
+    """
+    import numpy as np
+    from repro.compiler.dispatcher import dispatch_disabled
+    run, n = _dispatch_case()
+    base = np.arange(n, dtype=np.int64)
+    fresh = iter(range(10 ** 9))
+
+    def run_fast():
+        return run((base * 31 + next(fresh)) % 1009)
+
+    def run_reference():
+        with reference_engine():
+            return run((base * 31 + next(fresh)) % 1009)
+
+    probe = (base * 7) % 1009
+    fast_result = run(probe.copy())
+    with reference_engine():
+        ref_result = run(probe.copy())
+    if fast_result != ref_result:
+        raise SimulationError(
+            "dispatch_lifted: lifted plans diverged from the reference "
+            "interpreter; refusing to benchmark")
+    lifted = counter_value("dispatch.lifted_blocks")
+    run_fast()
+    if counter_value("dispatch.lifted_blocks") == lifted:
+        raise SimulationError(
+            "dispatch_lifted: block plans never executed on the fast "
+            "side; refusing to benchmark")
+    return _row("dispatch_lifted", _best_of(run_reference, repeats),
+                _best_of(run_fast, repeats))
 
 
 # ------------------------------- service ------------------------------- #
@@ -379,6 +532,69 @@ def _bench_campaign(ids: list[str], jobs: int) -> dict:
                 jobs=jobs, experiments=len(ids))
 
 
+# ------------------------------- compare ------------------------------- #
+
+
+def compare_payloads(new: dict, old: dict, tolerance: float) -> list[dict]:
+    """Diff two bench payloads row-by-row; returns the regressions.
+
+    A row regresses when its fresh speedup falls more than ``tolerance``
+    (a fraction, e.g. ``0.2`` = 20%) below the prior speedup.  Rows
+    present on only one side are reported informationally but never
+    fail the comparison — new rows appear as the suite grows, and
+    renamed rows should not brick history.  The ``campaign`` row is
+    skipped when the two payloads ran in different modes: the smoke
+    campaign is a shorter experiment set than the full one, so their
+    speedups are not comparable.
+    """
+    cross_mode = new.get("mode") != old.get("mode")
+    old_rows = {row["id"]: row for row in old.get("benchmarks", [])}
+    regressions = []
+    for row in new.get("benchmarks", []):
+        prior = old_rows.get(row["id"])
+        if prior is None:
+            continue
+        if cross_mode and row["id"] == "campaign":
+            continue
+        floor = prior["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            regressions.append({
+                "id": row["id"],
+                "old_speedup": prior["speedup"],
+                "new_speedup": row["speedup"],
+                "floor": round(floor, 2),
+            })
+    return regressions
+
+
+def print_comparison(new: dict, old: dict, tolerance: float,
+                     regressions: list[dict]) -> None:
+    """Human-readable row-by-row delta table for ``--compare``."""
+    cross_mode = new.get("mode") != old.get("mode")
+    old_rows = {row["id"]: row for row in old.get("benchmarks", [])}
+    failing = {r["id"] for r in regressions}
+    print(f"\ncomparison (tolerance {tolerance:.0%}):")
+    print(f"{'benchmark':<28s} {'old':>8s} {'new':>8s} {'delta':>8s}")
+    for row in new.get("benchmarks", []):
+        prior = old_rows.get(row["id"])
+        if prior is None:
+            print(f"{row['id']:<28s} {'-':>8s} "
+                  f"{row['speedup']:>7.2f}x      new")
+            continue
+        delta = (row["speedup"] / prior["speedup"] - 1.0) * 100 \
+            if prior["speedup"] else float("inf")
+        if cross_mode and row["id"] == "campaign":
+            marker = "  skipped (mode differs)"
+        else:
+            marker = "  REGRESSED" if row["id"] in failing else ""
+        print(f"{row['id']:<28s} {prior['speedup']:>7.2f}x "
+              f"{row['speedup']:>7.2f}x {delta:>+7.1f}%{marker}")
+    for row_id in sorted(set(old_rows) -
+                         {r["id"] for r in new.get("benchmarks", [])}):
+        print(f"{row_id:<28s} {old_rows[row_id]['speedup']:>7.2f}x "
+              f"{'-':>8s}  removed")
+
+
 # -------------------------------- main --------------------------------- #
 
 
@@ -406,13 +622,15 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
                       cuda_passes, repeats),
         _bench_interp("interp_cuda_histogram", _interp_cuda_histogram,
                       cuda_passes, repeats),
-        _bench_interp("interp_cuda_bfs", _interp_cuda_bfs,
+        _bench_interp("interp_cuda_bfs", _make_interp_cuda_bfs(),
                       cuda_passes, repeats),
         _bench_interp("interp_omp_histogram", _interp_omp_histogram,
                       omp_rounds, repeats),
         _bench_interp("interp_omp_prefix_sum", _interp_omp_prefix_sum,
                       omp_rounds, repeats),
         _bench_parallel_blocks(repeats),
+        _bench_dispatch_replay(repeats),
+        _bench_dispatch_lifted(repeats),
         *_bench_service(repeats),
         _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
                         jobs),
@@ -445,7 +663,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail (exit 1) when the campaign smoke "
                              "benchmark's serial run exceeds this "
                              "wall-clock ceiling")
+    parser.add_argument("--compare", metavar="OLD.json",
+                        help="diff this run against a prior "
+                             "BENCH_engine.json and exit 2 when any "
+                             "shared row regresses past --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="allowed fractional speedup drop per row "
+                             "for --compare (default 0.2 = 20%%)")
     args = parser.parse_args(argv)
+
+    old_payload = None
+    if args.compare:
+        # Load before running (and before --output possibly overwrites
+        # the very file we are comparing against).
+        old_payload = json.loads(Path(args.compare).read_text())
 
     with use_faults(None):  # benchmarks are always fault-free
         payload = run_benchmarks(smoke=args.smoke, jobs=args.jobs)
@@ -468,4 +700,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"{campaign['reference_s']:.1f}s serially, over the "
                   f"{args.max_seconds:g}s ceiling")
             return 1
+    if old_payload is not None:
+        regressions = compare_payloads(payload, old_payload,
+                                       args.tolerance)
+        print_comparison(payload, old_payload, args.tolerance,
+                         regressions)
+        if regressions:
+            print(f"FAIL: {len(regressions)} row(s) regressed past the "
+                  f"{args.tolerance:.0%} tolerance")
+            return 2
     return 0

@@ -418,6 +418,7 @@ class Cuda:
             from repro.sanitize import lint_kernel
             lint_kernel(kernel, "cuda", self.lint)
         memory: dict[str, np.ndarray] = dict(globals_ or {})
+        shared = dict(shared_decls or {})
         ctx = self.device.context(launch)
         stats = LaunchStats()
         budget = StepBudget(self.max_steps, hint="runaway kernel?")
@@ -429,25 +430,40 @@ class Cuda:
                       block_threads=launch.block_threads,
                       path="fast" if self.fast else "reference"):
             block_cycles: list[float] | None = None
+            ticket = None
+            # The dispatcher memoizes whole launches per (kernel,
+            # machine, config, memory-contents) signature and compiles
+            # per-block plans for steady kernels; it only engages on the
+            # fast tier (byte-identical by contract) and never when a
+            # trace or race detector needs to observe every access.
+            if self.fast and detector is None and trace_obj is None:
+                from repro.compiler.dispatcher import DISPATCHER
+                ticket = DISPATCHER.begin_cuda(self, kernel, launch,
+                                               memory, shared)
+            if ticket is not None:
+                block_cycles = ticket.replay(stats, budget)
+                if block_cycles is None:
+                    block_cycles = ticket.run_lifted(ctx, stats, budget)
             # Block fan-out rides on the fast runner (the reference path
             # is the authoritative *serial* semantics) and is
             # incompatible with a launch-wide race detector, whose
             # history must observe every block's accesses in one
             # process.
-            if self.fast and block_jobs > 1 and launch.grid_blocks > 1 \
-                    and detector is None:
+            if block_cycles is None and self.fast and block_jobs > 1 \
+                    and launch.grid_blocks > 1 and detector is None:
                 from repro.cuda.parallel import try_parallel_blocks
                 block_cycles = try_parallel_blocks(
-                    self, kernel, launch, ctx, memory,
-                    dict(shared_decls or {}), stats, budget, trace_obj,
-                    block_jobs)
+                    self, kernel, launch, ctx, memory, shared, stats,
+                    budget, trace_obj, block_jobs)
 
             if block_cycles is None:
                 block_cycles = [
                     self._run_block(kernel, launch, ctx, block_idx,
-                                    memory, dict(shared_decls or {}),
-                                    stats, budget, trace_obj, detector)
+                                    memory, dict(shared), stats, budget,
+                                    trace_obj, detector)
                     for block_idx in range(launch.grid_blocks)]
+            if ticket is not None:
+                ticket.record(block_cycles, stats, budget)
 
             elapsed = self._schedule(launch, ctx, block_cycles)
         if trace_obj is not None:

@@ -1,29 +1,46 @@
-"""Parallel execution of independent blocks over forked workers.
+"""Parallel execution of independent blocks over a persistent pool.
 
 CUDA blocks of one launch cannot synchronize with each other, so a
 kernel whose blocks touch global memory only through disjoint index
 ranges is embarrassingly parallel.  :func:`try_parallel_blocks` exploits
-that: it partitions the grid into contiguous chunks, forks one worker
-per chunk (``os.fork`` — generator kernels are closures and do not
-pickle, but a forked child inherits them for free), runs each chunk
-against a copy-on-write snapshot of pre-launch memory while recording
-its global footprint, and then — only if the footprints are pairwise
-disjoint (:func:`repro.cuda.race.footprints_disjoint`) — merges the
-written ranges, stats, trace events, and step counts back in block
-order.
+that: it partitions the grid into contiguous chunks and fans them out
+over a process-wide pool of **persistent** workers — forked once on
+first use and reused across launches, so the fan-out engages even at
+small job counts where the old fork-per-launch approach lost to fork
+overhead.  Each worker runs its chunk against a shipped snapshot of
+pre-launch memory while recording its global footprint; the parent —
+only if the footprints are pairwise disjoint
+(:func:`repro.cuda.race.footprints_disjoint`) — merges the written
+ranges, stats, trace events, and step counts back in block order.
 
-Any overlap, worker failure, platform without ``fork``, or step-budget
-hazard returns ``None`` instead, and the caller re-executes serially on
-the untouched parent memory — the resulting :class:`LaunchResult` is
+Because workers outlive any single launch, launch state is shipped
+explicitly instead of being inherited: generator kernels are closures
+and do not pickle, so they travel as marshalled code objects plus their
+closure cells, defaults, and the referenced globals (recursively for
+function-valued cells).  The worker rebuilds the function against
+exactly those values — never against its own (potentially stale) module
+state — so results cannot drift from the parent's.
+
+Any overlap, unshippable state, worker failure, or step-budget hazard
+returns ``None`` instead, and the caller re-executes serially on the
+untouched parent memory — the resulting :class:`LaunchResult` is
 byte-identical to a serial launch either way, which is the contract the
 equivalence tests pin down.
 """
 
 from __future__ import annotations
 
+import atexit
+import builtins
 import dataclasses
+import importlib
+import marshal
 import os
 import pickle
+import struct
+import threading
+import types
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -34,12 +51,17 @@ from repro.obs import event as obs_event
 from repro.obs.metrics import counter as _counter
 
 # Observability counters (docs/observability.md): attempted fan-outs,
-# merged (successful) fan-outs, and serial fallbacks.  Counter bumps
-# inside forked children die with the child; everything here runs in
-# the parent.
+# merged (successful) fan-outs, serial fallbacks, workers ever forked,
+# and jobs dispatched to the pool.  Counter bumps inside workers die
+# with the worker; everything here runs in the parent.
 _C_FORK_ATTEMPTS = _counter("interp.cuda.fork.attempts")
 _C_FORK_FORKED = _counter("interp.cuda.fork.forked")
 _C_FORK_FALLBACKS = _counter("interp.cuda.fork.fallbacks")
+_C_POOL_SPAWNED = _counter("interp.cuda.pool.spawned")
+_C_POOL_JOBS = _counter("interp.cuda.pool.jobs")
+
+#: Hard ceiling on resident pool workers.
+_MAX_WORKERS = 32
 
 
 def _fork_fallback(reason: str) -> None:
@@ -60,18 +82,151 @@ def _chunk_blocks(grid_blocks: int, jobs: int) -> list[list[int]]:
     return chunks
 
 
-def _run_chunk(cuda, kernel, launch, ctx, memory, shared_decls,
-               block_ids, do_trace, budget_limit):
-    """Child-side: run one chunk of blocks against snapshot memory."""
+# --------------------------------------------------------------------- #
+# Function shipping (closures do not pickle)
+# --------------------------------------------------------------------- #
+
+class _Unshippable(Exception):
+    pass
+
+
+def _global_refs(code, out: set) -> None:
+    for name in code.co_names:
+        out.add(name)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            _global_refs(const, out)
+
+
+def _ship_value(v, depth: int):
+    if isinstance(v, types.FunctionType):
+        return ("fn", _ship_function(v, depth + 1))
+    if isinstance(v, types.ModuleType):
+        return ("mod", v.__name__)
+    return ("v", v)
+
+
+def _ship_function(fn, depth: int = 0) -> dict:
+    """Portable spec of a (possibly closure) function: marshalled code
+    plus its cells, defaults, and referenced global values."""
+    if depth > 4:
+        raise _Unshippable("function nesting too deep")
+    names: set = set()
+    _global_refs(fn.__code__, names)
+    refs = [(n, _ship_value(fn.__globals__[n], depth))
+            for n in sorted(names) if n in fn.__globals__]
+    return {
+        "code": marshal.dumps(fn.__code__),
+        "name": fn.__name__,
+        "globals": refs,
+        "cells": [_ship_value(c.cell_contents, depth)
+                  for c in (fn.__closure__ or ())],
+        "defaults": [_ship_value(v, depth)
+                     for v in (fn.__defaults__ or ())],
+        "kwdefaults": None if fn.__kwdefaults__ is None else
+                      [(k, _ship_value(v, depth))
+                       for k, v in fn.__kwdefaults__.items()],
+    }
+
+
+def _build_value(tag):
+    kind = tag[0]
+    if kind == "v":
+        return tag[1]
+    if kind == "mod":
+        return importlib.import_module(tag[1])
+    return _build_function(tag[1])
+
+
+def _build_function(spec: dict):
+    code = marshal.loads(spec["code"])
+    g = {"__builtins__": builtins}
+    for name, tag in spec["globals"]:
+        g[name] = _build_value(tag)
+    defaults = tuple(_build_value(t) for t in spec["defaults"]) or None
+    cells = tuple(types.CellType(_build_value(t))
+                  for t in spec["cells"]) or None
+    fn = types.FunctionType(code, g, spec["name"], defaults, cells)
+    if spec["kwdefaults"] is not None:
+        fn.__kwdefaults__ = {k: _build_value(t)
+                             for k, t in spec["kwdefaults"]}
+    return fn
+
+
+# --------------------------------------------------------------------- #
+# Frame protocol (length-prefixed pickles over pipes)
+# --------------------------------------------------------------------- #
+
+def _write_frame(fd: int, data: bytes) -> None:
+    buf = struct.pack(">Q", len(data)) + data
+    view = memoryview(buf)
+    while view:
+        n = os.write(fd, view)
+        view = view[n:]
+
+
+def _read_exact(fd: int, n: int) -> bytes | None:
+    parts = []
+    while n:
+        chunk = os.read(fd, n)
+        if not chunk:
+            return None
+        parts.append(chunk)
+        n -= len(chunk)
+    return b"".join(parts)
+
+
+def _read_frame(fd: int) -> bytes | None:
+    header = _read_exact(fd, 8)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">Q", header)
+    return _read_exact(fd, length)
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+#: Worker-side interpreter cache: rebuilding a device discards its
+#: memoized cost tables and contexts, so keep one per parameter set.
+_worker_cudas: dict = {}
+
+
+def _worker_cuda(device_key, fast: bool):
+    from repro.cuda.interpreter import Cuda
+    try:
+        key = (device_key, fast)
+        cuda = _worker_cudas.get(key)
+    except TypeError:  # unhashable parameter set: rebuild every job
+        key = cuda = None
+    if cuda is None:
+        cls, spec, params, atomics = device_key
+        cuda = Cuda(cls(spec, params, atomics), detect_races=False,
+                    fast=fast)
+        if key is not None:
+            _worker_cudas[key] = cuda
+    return cuda
+
+
+def _run_job(job: dict) -> dict:
+    """Worker-side: rebuild the launch state and run one block chunk."""
     from repro.cuda.interpreter import LaunchStats
+    cuda = _worker_cuda(job["device"], job["fast"])
+    device = cuda.device
+    kernel = _build_function(job["kernel"])
+    launch = job["launch"]
+    ctx = device.context(launch)
+    memory = job["memory"]
+    shared_decls = job["shared_decls"]
     stats = LaunchStats()
-    budget = StepBudget(budget_limit, hint="runaway kernel?")
-    trace = Trace() if do_trace else None
+    budget = StepBudget(job["budget_limit"], hint="runaway kernel?")
+    trace = Trace() if job["do_trace"] else None
     footprint = BlockFootprint()
     cycles = [cuda._run_block(kernel, launch, ctx, block_idx, memory,
                               shared_decls, stats, budget, trace, None,
                               footprint)
-              for block_idx in block_ids]
+              for block_idx in job["chunk"]]
     writes = {}
     for var, idxs in footprint.writes.items():
         flat = memory[var].reshape(-1)
@@ -87,12 +242,194 @@ def _run_chunk(cuda, kernel, launch, ctx, memory, shared_decls,
     }
 
 
+def _worker_main(read_fd: int, write_fd: int) -> None:
+    """Worker loop: frames in, frames out, until EOF/quit."""
+    while True:
+        frame = _read_frame(read_fd)
+        if frame is None:
+            os._exit(0)
+        try:
+            request = pickle.loads(frame)
+            if request[0] == "quit":
+                os._exit(0)
+            payload = ("ok", _run_job(request[1]))
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            try:
+                data = pickle.dumps(("err", repr(exc)),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                data = pickle.dumps(("err", "unreportable worker error"),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            _write_frame(write_fd, data)
+        except OSError:
+            os._exit(0)
+
+
+# --------------------------------------------------------------------- #
+# Parent side: the persistent pool
+# --------------------------------------------------------------------- #
+
+class _PoolError(Exception):
+    pass
+
+
+class _Worker:
+    __slots__ = ("pid", "to_child", "from_child", "alive")
+
+    def __init__(self, pid: int, to_child: int, from_child: int) -> None:
+        self.pid = pid
+        self.to_child = to_child
+        self.from_child = from_child
+        self.alive = True
+
+
+class _WorkerPool:
+    """Process-wide pool of forked block-execution workers.
+
+    Workers are forked lazily on first use and reused across launches.
+    A generation guard on :func:`os.getpid` resets the pool in forked
+    children (e.g. the measurement service's workers), which inherit
+    the parent's pipe fds but must never share its workers.
+    """
+
+    def __init__(self) -> None:
+        self._workers: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    def _spawn(self) -> _Worker:
+        job_r, job_w = os.pipe()
+        res_r, res_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(job_w)
+            os.close(res_r)
+            try:
+                _worker_main(job_r, res_w)
+            finally:
+                os._exit(0)
+        os.close(job_r)
+        os.close(res_w)
+        _C_POOL_SPAWNED.add(1)
+        return _Worker(pid, job_w, res_r)
+
+    def _reap(self, worker: _Worker) -> None:
+        worker.alive = False
+        for fd in (worker.to_child, worker.from_child):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        try:
+            os.waitpid(worker.pid, os.WNOHANG)
+        except ChildProcessError:
+            pass
+
+    def _ensure(self, n: int) -> list[_Worker]:
+        if os.getpid() != self._pid:
+            # Forked child: the inherited workers belong to the parent.
+            self._workers = []
+            self._pid = os.getpid()
+        self._workers = [w for w in self._workers if w.alive]
+        while len(self._workers) < min(n, _MAX_WORKERS):
+            self._workers.append(self._spawn())
+        return self._workers
+
+    def run_jobs(self, frames: list[bytes]) -> list[dict]:
+        """Dispatch one pre-pickled job per worker (in waves when jobs
+        outnumber the worker ceiling); raises :class:`_PoolError` on any
+        worker failure.
+
+        Any failure discards the whole pool: a dead sibling usually
+        means the machine state that killed one worker (OOM, signal)
+        hit its peers too, and probing them one launch at a time would
+        cost a serial fallback per corpse."""
+        with self._lock:
+            try:
+                return self._run_jobs_locked(frames)
+            except _PoolError:
+                for worker in self._workers:
+                    self._reap(worker)
+                self._workers = []
+                raise
+
+    def _run_jobs_locked(self, frames: list[bytes]) -> list[dict]:
+        workers = self._ensure(len(frames))
+        if not workers:
+            raise _PoolError("no workers")
+        results: list[dict] = []
+        for start in range(0, len(frames), len(workers)):
+            wave = frames[start:start + len(workers)]
+            active = workers[:len(wave)]
+            for worker, frame in zip(active, wave):
+                try:
+                    _write_frame(worker.to_child, frame)
+                except OSError as exc:
+                    raise _PoolError(f"worker write: {exc}") from exc
+            for worker in active:
+                data = _read_frame(worker.from_child)
+                if data is None:
+                    raise _PoolError("worker died")
+                status, payload = pickle.loads(data)
+                if status != "ok":
+                    raise _PoolError(f"worker error: {payload}")
+                results.append(payload)
+            _C_POOL_JOBS.add(len(wave))
+        return results
+
+    def shutdown(self) -> None:
+        """Close every worker (atexit; also usable from tests)."""
+        with self._lock:
+            if os.getpid() != self._pid:
+                self._workers = []
+                return
+            for worker in self._workers:
+                if not worker.alive:
+                    continue
+                try:
+                    _write_frame(worker.to_child,
+                                 pickle.dumps(("quit", None)))
+                except OSError:
+                    pass
+                self._reap(worker)
+                try:
+                    os.waitpid(worker.pid, 0)
+                except ChildProcessError:
+                    pass
+            self._workers = []
+
+
+#: The process-wide pool every launch shares.
+POOL = _WorkerPool()
+atexit.register(POOL.shutdown)
+
+_FORK_PER_LAUNCH: list[bool] = []
+
+
+@contextmanager
+def fork_per_launch():
+    """Context: spawn a throwaway worker pool for every fan-out instead
+    of reusing :data:`POOL` — the pre-pool fork-per-launch regime, kept
+    as the benchmark baseline for the ``parallel_blocks`` row."""
+    _FORK_PER_LAUNCH.append(True)
+    try:
+        yield
+    finally:
+        _FORK_PER_LAUNCH.pop()
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
 def try_parallel_blocks(cuda, kernel, launch, ctx,
                         memory: dict[str, np.ndarray],
                         shared_decls, stats, budget: StepBudget,
                         trace: Trace | None, block_jobs: int
                         ) -> list[float] | None:
-    """Fan the launch's blocks out over forked workers.
+    """Fan the launch's blocks out over the persistent worker pool.
 
     Returns:
         Per-block cycle list (with ``memory``/``stats``/``trace``/
@@ -111,56 +448,40 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         _fork_fallback("fewer than 2 chunks")
         return None
 
-    children: list[tuple[int, int]] = []
-    for chunk in chunks:
-        read_fd, write_fd = os.pipe()
-        pid = os.fork()
-        if pid == 0:
-            # Child: run the chunk, ship the outcome, exit without
-            # touching parent-inherited buffers/atexit hooks.
-            os.close(read_fd)
+    device = cuda.device
+    try:
+        base = {
+            "device": (type(device), device.spec, device.params,
+                       device.atomics),
+            "fast": cuda.fast,
+            "kernel": _ship_function(kernel),
+            "launch": launch,
+            "memory": memory,
+            "shared_decls": shared_decls,
+            "do_trace": trace is not None,
+            "budget_limit": budget.remaining,
+        }
+        frames = [pickle.dumps(("job", dict(base, chunk=chunk)),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+                  for chunk in chunks]
+    except Exception as exc:  # unpicklable/unshippable launch state
+        _fork_fallback(f"unshippable launch state: {type(exc).__name__}")
+        return None
+
+    try:
+        if _FORK_PER_LAUNCH:
+            pool = _WorkerPool()
             try:
-                payload = ("ok", _run_chunk(
-                    cuda, kernel, launch, ctx, memory, shared_decls,
-                    chunk, trace is not None, budget.remaining))
-            except BaseException as exc:  # noqa: BLE001 - shipped to parent
-                try:
-                    payload = ("err", exc)
-                    data = pickle.dumps(payload,
-                                        protocol=pickle.HIGHEST_PROTOCOL)
-                except Exception:
-                    payload = ("err", RuntimeError(repr(exc)))
-                    data = pickle.dumps(payload,
-                                        protocol=pickle.HIGHEST_PROTOCOL)
-            else:
-                data = pickle.dumps(payload,
-                                    protocol=pickle.HIGHEST_PROTOCOL)
-            with os.fdopen(write_fd, "wb") as pipe:
-                pipe.write(data)
-            os._exit(0)
-        os.close(write_fd)
-        children.append((pid, read_fd))
-
-    results = []
-    failed = False
-    for pid, read_fd in children:
-        with os.fdopen(read_fd, "rb") as pipe:
-            data = pipe.read()
-        os.waitpid(pid, 0)
-        if not data:
-            failed = True  # child died before reporting
-            continue
-        status, payload = pickle.loads(data)
-        if status != "ok":
-            failed = True
-            continue
-        results.append(payload)
-
-    if failed or len(results) != len(chunks):
+                results = pool.run_jobs(frames)
+            finally:
+                pool.shutdown()
+        else:
+            results = POOL.run_jobs(frames)
+    except _PoolError as exc:
         # A worker error (kernel bug, budget blowout, ...) must surface
         # with the exact serial message and partial state — re-run
         # serially on the parent's untouched memory.
-        _fork_fallback("worker failure")
+        _fork_fallback(f"worker failure: {exc}")
         return None
 
     if not footprints_disjoint([r["footprint"] for r in results]):

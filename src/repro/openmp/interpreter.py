@@ -234,8 +234,21 @@ class OpenMP:
                       path="fast" if self.fast and not self.detect_races
                       else "reference"):
             if self.fast and not self.detect_races:
-                from repro.openmp.fastpath import parallel_fast
-                result = parallel_fast(self, body, shared, trace)
+                # The dispatcher memoizes whole regions per (body,
+                # machine, config, memory-contents) signature; replay
+                # hits skip the scheduler entirely.  Identical replay
+                # requires identical inputs, so a trace request opts
+                # out (the timeline object cannot be replayed).
+                ticket = None
+                if not trace:
+                    from repro.compiler.dispatcher import DISPATCHER
+                    ticket = DISPATCHER.begin_omp(self, body, shared)
+                result = ticket.replay() if ticket is not None else None
+                if result is None:
+                    from repro.openmp.fastpath import parallel_fast
+                    result = parallel_fast(self, body, shared, trace)
+                    if ticket is not None:
+                        ticket.record(result)
             else:
                 result = self._parallel_reference(body, shared, trace)
         if result.trace is not None:

@@ -23,8 +23,10 @@ import random
 import numpy as np
 import pytest
 
+from repro.compiler.dispatcher import dispatch_forced
 from repro.cuda.interpreter import Cuda
 from repro.gpu.spec import LaunchConfig
+from repro.obs.metrics import counter_value
 from repro.openmp.interpreter import OpenMP
 
 #: Programs per interpreter.  Seeds are fixed: every CI run fuzzes the
@@ -178,6 +180,36 @@ def test_cuda_fast_path_matches_reference(mini_gpu, seed):
             ref.memory[name].tobytes(), f"seed {seed}: {name}"
 
 
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_cuda_dispatcher_forced_matches_reference(mini_gpu, seed):
+    """The JIT dispatch tiers (keyed in ``force`` mode, so even these
+    closure-heavy generated kernels are eligible) must stay
+    byte-identical to the reference — both on the cold launch that
+    records/compiles and on the warm launch that replays."""
+    rng = random.Random(1000 + seed)
+    program = _gen_cuda_ops(rng)
+    grid = rng.choice((1, 2))
+    block = rng.choice((32, 64))
+    ref = _run_cuda(mini_gpu, program, grid, block, fast=False)
+    with dispatch_forced():
+        cold = _run_cuda(mini_gpu, program, grid, block, fast=True)
+        hits = counter_value("dispatch.hit")
+        warm = _run_cuda(mini_gpu, program, grid, block, fast=True)
+    assert counter_value("dispatch.hit") > hits, \
+        f"seed {seed}: identical relaunch did not replay"
+    for label, result in (("cold", cold), ("warm", warm)):
+        assert result.elapsed_cycles == ref.elapsed_cycles, \
+            f"seed {seed} ({label})"
+        assert result.block_cycles == ref.block_cycles, \
+            f"seed {seed} ({label})"
+        assert result.stats == ref.stats, f"seed {seed} ({label})"
+        assert set(result.memory) == set(ref.memory)
+        for name in ref.memory:
+            assert result.memory[name].tobytes() == \
+                ref.memory[name].tobytes(), \
+                f"seed {seed} ({label}): {name}"
+
+
 # -------------------------- OpenMP programs -------------------------- #
 
 _OMP_OPS = ("read", "write", "atomic_update", "atomic_write",
@@ -279,3 +311,31 @@ def test_openmp_fast_path_matches_reference(quiet_cpu, seed):
     for name in ref.memory:
         assert fast.memory[name].tobytes() == \
             ref.memory[name].tobytes(), f"seed {seed}: {name}"
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_openmp_dispatcher_forced_matches_reference(quiet_cpu, seed):
+    """Region replay (forced keying) must be byte-identical to the
+    reference scheduler, cold and warm."""
+    rng = random.Random(2000 + seed)
+    program = _gen_omp_ops(rng)
+    n_threads = rng.choice((2, 4))
+    ref = _run_omp(quiet_cpu, program, n_threads, fast=False)
+    with dispatch_forced():
+        cold = _run_omp(quiet_cpu, program, n_threads, fast=True)
+        hits = counter_value("dispatch.hit")
+        warm = _run_omp(quiet_cpu, program, n_threads, fast=True)
+    assert counter_value("dispatch.hit") > hits, \
+        f"seed {seed}: identical region rerun did not replay"
+    for label, result in (("cold", cold), ("warm", warm)):
+        assert result.elapsed_ns == ref.elapsed_ns, \
+            f"seed {seed} ({label})"
+        assert result.thread_times_ns == ref.thread_times_ns, \
+            f"seed {seed} ({label})"
+        assert result.barriers == ref.barriers, f"seed {seed} ({label})"
+        assert result.requests == ref.requests, f"seed {seed} ({label})"
+        assert set(result.memory) == set(ref.memory)
+        for name in ref.memory:
+            assert result.memory[name].tobytes() == \
+                ref.memory[name].tobytes(), \
+                f"seed {seed} ({label}): {name}"

@@ -228,6 +228,11 @@ class TestEngineInstrumentation:
 
 class TestInterpreterCounters:
     def test_cuda_pass_counters_reconcile(self, mini_gpu):
+        # Pins the batched fast path's own counters, so the JIT
+        # dispatcher (which would lift this steady kernel and bypass
+        # the pass loop entirely) stays out of the way.
+        from repro.compiler.dispatcher import dispatch_disabled
+
         def kernel(t):
             yield t.alu(1)
             yield t.syncthreads()
@@ -237,7 +242,8 @@ class TestInterpreterCounters:
                 ("interp.cuda.uniform_passes",
                  "interp.cuda.fallback_passes", "interp.cuda.passes",
                  "interp.cuda.blocks_fast")}
-        Cuda(mini_gpu).launch(kernel, LaunchConfig(2, 64))
+        with dispatch_disabled():
+            Cuda(mini_gpu).launch(kernel, LaunchConfig(2, 64))
         deltas = {name: counter_value(name) - base[name]
                   for name in base}
         assert deltas["interp.cuda.blocks_fast"] == 2
