@@ -6,8 +6,12 @@ path (:func:`repro.core.engine.reference_engine`) at four granularities
 interpreters (``interp_*`` rows: CUDA/OpenMP workloads under batched
 uniform-pass dispatch and the JIT-style dispatch tiers vs the scalar
 schedulers, the ``parallel_blocks`` persistent-pool-vs-fork-per-launch
-row, and the ``dispatch_replay``/``dispatch_lifted`` warm-vs-cold
-dispatcher rows), and a full campaign (serial vs ``jobs=N``) — and
+row, and the ``dispatch_*`` dispatcher-tier rows: warm replay
+(``dispatch_replay``), lifted plans on fresh data
+(``dispatch_lifted``/``dispatch_omp_lifted``), shape-keyed plan reuse
+(``dispatch_shape_sweep``), and on-disk plan warm-up
+(``dispatch_disk_warm``)), and a full campaign (serial vs ``jobs=N``)
+— and
 writes ``BENCH_engine.json`` at the repo root in a stable schema so the
 performance trajectory is tracked across PRs:
 
@@ -455,6 +459,162 @@ def _bench_dispatch_lifted(repeats: int) -> dict:
                 _best_of(run_fast, repeats))
 
 
+def _bench_dispatch_shape_sweep(repeats: int) -> dict:
+    """Shape-keyed plan reuse across a fresh-content sweep vs reference.
+
+    Every call feeds the steady kernel content it has never seen — the
+    paper's core sweep shape (identical structure, fresh RNG inputs) —
+    so the content-keyed replay tier always misses and the fast side
+    must find its compiled plans under the *shape* digest
+    (``dispatch.shape_hit`` is the engagement witness after one warm-up
+    capture).  ``reference_s`` is the scalar reference interpreter on
+    the same data stream.
+    """
+    import numpy as np
+    run, n = _dispatch_case()
+    base = np.arange(n, dtype=np.int64)
+    fresh = iter(range(10 ** 9))
+
+    def run_fast():
+        return run((base * 131 + next(fresh)) % 1013)
+
+    def run_reference():
+        with reference_engine():
+            return run((base * 131 + next(fresh)) % 1013)
+
+    probe = (base * 17) % 1013
+    fast_result = run(probe.copy())
+    with reference_engine():
+        ref_result = run(probe.copy())
+    if fast_result != ref_result:
+        raise SimulationError(
+            "dispatch_shape_sweep: shape-keyed plans diverged from the "
+            "reference interpreter; refusing to benchmark")
+    hits = counter_value("dispatch.shape_hit")
+    run_fast()
+    if counter_value("dispatch.shape_hit") == hits:
+        raise SimulationError(
+            "dispatch_shape_sweep: fresh content never hit the shape-"
+            "keyed plan cache; refusing to benchmark")
+    return _row("dispatch_shape_sweep", _best_of(run_reference, repeats),
+                _best_of(run_fast, repeats))
+
+
+def _bench_dispatch_omp_lifted(repeats: int) -> dict:
+    """OpenMP lifted region plans vs the scalar reference on fresh data.
+
+    The steady parallel region runs on shared contents it has never
+    seen, so the content-keyed region replay always misses and the
+    dispatcher replays its lifted region plan
+    (``dispatch.lifted_regions`` is the engagement witness);
+    ``reference_s`` is the scalar reference scheduler on the same data
+    stream.
+    """
+    import numpy as np
+    from repro.cpu.presets import cpu_preset
+    from repro.openmp.interpreter import OpenMP
+
+    machine = cpu_preset(1)
+    n_threads = 8
+    n = 256
+
+    def body(tc):
+        acc = 0
+        for i in range(8):
+            value = yield tc.read("a", (tc.tid * 8 + i) % n)
+            acc = acc + value * (i + 1)
+        yield tc.atomic_update("total", 0, lambda cur: cur + acc)
+        yield tc.write("out", tc.tid, acc % 100003)
+
+    def run(a: "np.ndarray"):
+        shared = {"a": a, "total": np.zeros(1, np.int64),
+                  "out": np.zeros(n_threads, np.int64)}
+        result = OpenMP(machine, n_threads=n_threads,
+                        detect_races=False).parallel(body, shared=shared)
+        return (result.elapsed_ns, shared["total"].tobytes(),
+                shared["out"].tobytes())
+
+    base = np.arange(n, dtype=np.int64)
+    fresh = iter(range(10 ** 9))
+
+    def run_fast():
+        return run((base * 37 + next(fresh)) % 911)
+
+    def run_reference():
+        with reference_engine():
+            return run((base * 37 + next(fresh)) % 911)
+
+    probe = (base * 11) % 911
+    fast_result = run(probe.copy())
+    with reference_engine():
+        ref_result = run(probe.copy())
+    if fast_result != ref_result:
+        raise SimulationError(
+            "dispatch_omp_lifted: lifted region plan diverged from the "
+            "reference scheduler; refusing to benchmark")
+    lifted = counter_value("dispatch.lifted_regions")
+    run_fast()
+    if counter_value("dispatch.lifted_regions") == lifted:
+        raise SimulationError(
+            "dispatch_omp_lifted: the region plan never executed on "
+            "the fast side; refusing to benchmark")
+    return _row("dispatch_omp_lifted", _best_of(run_reference, repeats),
+                _best_of(run_fast, repeats))
+
+
+def _bench_dispatch_disk_warm(repeats: int) -> dict:
+    """Cold-process warm-up from the on-disk plan store vs recapture.
+
+    Both sides start every run from an emptied in-memory dispatcher
+    (the cold-process regime).  The fast side loads its compiled plans
+    from a warm :class:`repro.compiler.store.PlanStore`
+    (``dispatch.disk_hit`` is the engagement witness); the reference
+    side has no store and must recapture the plans by interpreting the
+    launch symbolically.
+    """
+    import tempfile
+    import numpy as np
+    from repro.compiler.dispatcher import DISPATCHER
+    from repro.compiler.store import PlanStore
+    run, n = _dispatch_case()
+    a = (np.arange(n, dtype=np.int64) * 29) % 193
+    saved = DISPATCHER.plan_store
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = PlanStore(tmp)
+
+            def run_disk():
+                DISPATCHER.clear()
+                DISPATCHER.plan_store = store
+                return run(a.copy())
+
+            def run_recapture():
+                DISPATCHER.clear()
+                DISPATCHER.plan_store = None
+                return run(a.copy())
+
+            warm_result = run_disk()  # capture once, warm the store
+            hits = counter_value("dispatch.disk_hit")
+            disk_result = run_disk()
+            if counter_value("dispatch.disk_hit") == hits:
+                raise SimulationError(
+                    "dispatch_disk_warm: the cold dispatcher never "
+                    "loaded plans from the warm store; refusing to "
+                    "benchmark")
+            cold_result = run_recapture()
+            if not (warm_result == disk_result == cold_result):
+                raise SimulationError(
+                    "dispatch_disk_warm: disk-loaded plans diverged "
+                    "from recapture; refusing to benchmark a broken "
+                    "store")
+            return _row("dispatch_disk_warm",
+                        _best_of(run_recapture, repeats),
+                        _best_of(run_disk, repeats))
+    finally:
+        DISPATCHER.plan_store = saved
+        DISPATCHER.clear()
+
+
 # ------------------------------- service ------------------------------- #
 
 
@@ -535,64 +695,92 @@ def _bench_campaign(ids: list[str], jobs: int) -> dict:
 # ------------------------------- compare ------------------------------- #
 
 
-def compare_payloads(new: dict, old: dict, tolerance: float) -> list[dict]:
-    """Diff two bench payloads row-by-row; returns the regressions.
+def diff_payloads(new: dict, old: dict, tolerance: float) -> list[dict]:
+    """Row-by-row delta report between two bench payloads.
 
-    A row regresses when its fresh speedup falls more than ``tolerance``
-    (a fraction, e.g. ``0.2`` = 20%) below the prior speedup.  Rows
-    present on only one side are reported informationally but never
-    fail the comparison — new rows appear as the suite grows, and
-    renamed rows should not brick history.  The ``campaign`` row is
-    skipped when the two payloads ran in different modes: the smoke
-    campaign is a shorter experiment set than the full one, so their
-    speedups are not comparable.
+    Every row present in *either* payload yields one entry —
+    ``{"id", "old_speedup", "new_speedup", "delta_pct", "status"}`` —
+    so one-sided rows are reported (status ``added`` / ``removed``)
+    rather than silently dropped when the suite grows or a row is
+    renamed.  Shared rows get status ``ok``, or ``regressed`` (with a
+    ``floor`` key) when the fresh speedup falls more than ``tolerance``
+    (a fraction, e.g. ``0.2`` = 20%) below the prior one.  The
+    ``campaign`` row is ``skipped`` when the two payloads ran in
+    different modes: the smoke campaign is a shorter experiment set
+    than the full one, so their speedups are not comparable.
     """
     cross_mode = new.get("mode") != old.get("mode")
     old_rows = {row["id"]: row for row in old.get("benchmarks", [])}
-    regressions = []
+    new_ids: set[str] = set()
+    report = []
     for row in new.get("benchmarks", []):
+        new_ids.add(row["id"])
         prior = old_rows.get(row["id"])
         if prior is None:
+            report.append({"id": row["id"], "old_speedup": None,
+                           "new_speedup": row["speedup"],
+                           "delta_pct": None, "status": "added"})
             continue
-        if cross_mode and row["id"] == "campaign":
-            continue
+        delta = (row["speedup"] / prior["speedup"] - 1.0) * 100 \
+            if prior["speedup"] else float("inf")
+        entry = {"id": row["id"], "old_speedup": prior["speedup"],
+                 "new_speedup": row["speedup"],
+                 "delta_pct": round(delta, 1)}
         floor = prior["speedup"] * (1.0 - tolerance)
-        if row["speedup"] < floor:
-            regressions.append({
-                "id": row["id"],
-                "old_speedup": prior["speedup"],
-                "new_speedup": row["speedup"],
-                "floor": round(floor, 2),
-            })
-    return regressions
+        if cross_mode and row["id"] == "campaign":
+            entry["status"] = "skipped"
+        elif row["speedup"] < floor:
+            entry["status"] = "regressed"
+            entry["floor"] = round(floor, 2)
+        else:
+            entry["status"] = "ok"
+        report.append(entry)
+    for row_id in sorted(set(old_rows) - new_ids):
+        report.append({"id": row_id,
+                       "old_speedup": old_rows[row_id]["speedup"],
+                       "new_speedup": None, "delta_pct": None,
+                       "status": "removed"})
+    return report
+
+
+def compare_payloads(new: dict, old: dict, tolerance: float) -> list[dict]:
+    """Diff two bench payloads row-by-row; returns the regressions.
+
+    Only shared rows whose speedup fell past ``tolerance`` fail a
+    comparison — ``added`` / ``removed`` rows are informational (new
+    rows appear as the suite grows, and renamed rows should not brick
+    history); :func:`diff_payloads` carries the full per-row report.
+    """
+    return [{"id": e["id"], "old_speedup": e["old_speedup"],
+             "new_speedup": e["new_speedup"], "floor": e["floor"]}
+            for e in diff_payloads(new, old, tolerance)
+            if e["status"] == "regressed"]
 
 
 def print_comparison(new: dict, old: dict, tolerance: float,
                      regressions: list[dict]) -> None:
-    """Human-readable row-by-row delta table for ``--compare``."""
-    cross_mode = new.get("mode") != old.get("mode")
-    old_rows = {row["id"]: row for row in old.get("benchmarks", [])}
-    failing = {r["id"] for r in regressions}
+    """Human-readable row-by-row delta table for ``--compare``.
+
+    ``regressions`` (the :func:`compare_payloads` result the caller
+    already holds) is accepted for interface stability; the table is
+    derived from the full :func:`diff_payloads` report so one-sided
+    rows show up labeled instead of vanishing.
+    """
+    del regressions  # the diff below carries the regression verdicts
+    markers = {"regressed": "  REGRESSED", "added": "  added",
+               "removed": "  removed",
+               "skipped": "  skipped (mode differs)"}
     print(f"\ncomparison (tolerance {tolerance:.0%}):")
     print(f"{'benchmark':<28s} {'old':>8s} {'new':>8s} {'delta':>8s}")
-    for row in new.get("benchmarks", []):
-        prior = old_rows.get(row["id"])
-        if prior is None:
-            print(f"{row['id']:<28s} {'-':>8s} "
-                  f"{row['speedup']:>7.2f}x      new")
-            continue
-        delta = (row["speedup"] / prior["speedup"] - 1.0) * 100 \
-            if prior["speedup"] else float("inf")
-        if cross_mode and row["id"] == "campaign":
-            marker = "  skipped (mode differs)"
-        else:
-            marker = "  REGRESSED" if row["id"] in failing else ""
-        print(f"{row['id']:<28s} {prior['speedup']:>7.2f}x "
-              f"{row['speedup']:>7.2f}x {delta:>+7.1f}%{marker}")
-    for row_id in sorted(set(old_rows) -
-                         {r["id"] for r in new.get("benchmarks", [])}):
-        print(f"{row_id:<28s} {old_rows[row_id]['speedup']:>7.2f}x "
-              f"{'-':>8s}  removed")
+    for entry in diff_payloads(new, old, tolerance):
+        old_s = f"{entry['old_speedup']:>7.2f}x" \
+            if entry["old_speedup"] is not None else f"{'-':>8s}"
+        new_s = f"{entry['new_speedup']:>7.2f}x" \
+            if entry["new_speedup"] is not None else f"{'-':>8s}"
+        delta_s = f"{entry['delta_pct']:>+7.1f}%" \
+            if entry["delta_pct"] is not None else f"{'-':>8s}"
+        print(f"{entry['id']:<28s} {old_s} {new_s} {delta_s}"
+              f"{markers.get(entry['status'], '')}")
 
 
 # -------------------------------- main --------------------------------- #
@@ -631,6 +819,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
         _bench_parallel_blocks(repeats),
         _bench_dispatch_replay(repeats),
         _bench_dispatch_lifted(repeats),
+        _bench_dispatch_shape_sweep(repeats),
+        _bench_dispatch_omp_lifted(repeats),
+        _bench_dispatch_disk_warm(repeats),
         *_bench_service(repeats),
         _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
                         jobs),

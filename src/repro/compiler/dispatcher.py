@@ -15,8 +15,21 @@ specialized callable per type signature:
   immutable closure cells, and the key covers every remaining input.
 * **Lifted tier**: for *steady* pure kernels (control flow independent
   of data — proven dynamically by symbolic capture), a
-  :class:`~repro.compiler.lift.BlockPlan` compiled at first miss
-  executes fresh data with precompiled NumPy effects, no generators.
+  :class:`~repro.compiler.lift.BlockPlan` list (CUDA) or
+  :class:`~repro.compiler.lift.RegionPlan` (OpenMP) compiled at first
+  miss executes fresh data with precompiled effects, no generators.
+  Plans are keyed by a **shape digest** — kernel code + closure, launch
+  config, machine fingerprint, array dtypes/shapes, but *not* element
+  content — so a sweep re-launching the same structure over fresh RNG
+  inputs hits this tier on every launch after the first
+  (``dispatch.shape_hit``).  A :class:`~repro.compiler.lift.PlanGuard`
+  captured at lift time re-validates module globals and array structure
+  before every reuse, because the shape digest deliberately excludes
+  them-at-runtime; a guard failure recaptures instead of replaying.
+  When a :class:`~repro.compiler.store.PlanStore` is configured
+  (``SYNCPERF_PLAN_CACHE``), plans persist on disk across processes —
+  a cold process warms from disk (``dispatch.disk_hit``) before paying
+  a capture.
 * **Fast/reference tiers**: everything else falls through to the
   existing batched fast path and scalar reference untouched.
 
@@ -30,9 +43,13 @@ entries immediately (stale entries age out of the LRU).
 
 Counters (docs/observability.md): ``dispatch.hit`` / ``dispatch.miss``
 (keyed launches served / not served from the replay cache),
-``dispatch.compile`` (plan compilations), ``dispatch.fallback``
-(launches the dispatcher examined but left to the fast/scalar tiers),
-``dispatch.lifted_blocks``, ``dispatch.evictions``.
+``dispatch.shape_hit`` (launches/regions served from cached plans
+without recapture), ``dispatch.compile`` (plan compilations),
+``dispatch.fallback`` (launches the dispatcher examined but left to
+the fast/scalar tiers), ``dispatch.lifted_blocks``,
+``dispatch.lifted_regions``, ``dispatch.evictions``, and the disk
+tier's ``dispatch.disk_hit`` / ``disk_miss`` / ``disk_write`` /
+``disk_corrupt`` (see :mod:`repro.compiler.store`).
 
 The ``SYNCPERF_DISPATCH`` environment variable (``on`` default,
 ``off``, ``force``) and the :func:`dispatch_disabled` /
@@ -57,13 +74,16 @@ from dataclasses import is_dataclass
 import numpy as np
 
 from repro.compiler import lift
+from repro.compiler.store import store_from_env
 from repro.obs.metrics import counter as _counter
 
 _C_HIT = _counter("dispatch.hit")
 _C_MISS = _counter("dispatch.miss")
+_C_SHAPE_HIT = _counter("dispatch.shape_hit")
 _C_COMPILE = _counter("dispatch.compile")
 _C_FALLBACK = _counter("dispatch.fallback")
 _C_LIFTED = _counter("dispatch.lifted_blocks")
+_C_LIFTED_REGIONS = _counter("dispatch.lifted_regions")
 _C_EVICT = _counter("dispatch.evictions")
 
 #: Sentinel marking a signature proven unliftable (capture escaped).
@@ -252,6 +272,37 @@ def function_signature(fn, permissive: bool, depth: int = 0,
     return (_code_digest(fn.__code__), cells, defaults)
 
 
+def _shape_digest(sig: tuple) -> bytes:
+    """Collapse a structural plan signature into 16 stable bytes.
+
+    The signature holds only primitives, bytes digests, enums, and
+    (frozen) dataclasses, all with deterministic ``repr``, so the digest
+    is stable across processes — which is what lets it double as the
+    on-disk plan-store filename and the pool's plan-shipping key.
+    """
+    return hashlib.blake2b(repr(sig).encode(), digest_size=16).digest()
+
+
+class _PlanSet:
+    """Cached lifted plans plus their reuse guard and shipping blob.
+
+    ``plans`` is a ``BlockPlan`` list (CUDA) or a single ``RegionPlan``
+    (OpenMP); ``guard`` the :class:`~repro.compiler.lift.PlanGuard`
+    revalidated before every reuse.  ``blob``/``ship_key`` lazily cache
+    the pickled form and its content key for pool shipping — keyed by
+    content, not shape digest, so a guard-failure recapture under the
+    same shape digest can never collide with a worker's stale copy.
+    """
+
+    __slots__ = ("plans", "guard", "blob", "ship_key")
+
+    def __init__(self, plans, guard) -> None:
+        self.plans = plans
+        self.guard = guard
+        self.blob = None
+        self.ship_key = None
+
+
 # --------------------------------------------------------------------- #
 # Cache entries
 # --------------------------------------------------------------------- #
@@ -322,6 +373,10 @@ class Dispatcher:
         self.max_bytes = max_bytes
         self.max_plans = max_plans
         self.memory_cap = memory_cap
+        #: Optional on-disk PlanStore (None = memory only).  The
+        #: process-wide DISPATCHER picks it up from SYNCPERF_PLAN_CACHE;
+        #: the measurement service sets it explicitly for its workers.
+        self.plan_store = store_from_env()
         self._lock = threading.RLock()
         self._entries: OrderedDict = OrderedDict()
         self._bytes = 0
@@ -382,6 +437,51 @@ class Dispatcher:
                 self._plans.popitem(last=False)
                 _C_EVICT.add(1)
 
+    def _lookup_plans(self, digest: bytes, fn, memory, capture):
+        """Plans for one shape digest: memory -> disk -> capture.
+
+        Returns ``(plan_set, source)`` where ``plan_set`` is a
+        :class:`_PlanSet` or :data:`_UNLIFTABLE` and ``source`` is
+        ``"mem"``, ``"disk"``, ``"fresh"``, or ``None`` (unliftable).
+        A cached set whose guard fails — same shape, but a module
+        global the kernel reads changed — is recaptured, never
+        replayed.
+        """
+        pset = self._get_plans(digest)
+        if pset is _UNLIFTABLE:
+            return _UNLIFTABLE, None
+        if pset is not None:
+            if pset.guard is None or pset.guard.validate(fn, memory):
+                return pset, "mem"
+            pset = None  # guard falsified: environment changed
+        store = self.plan_store
+        if store is not None:
+            loaded = store.load(digest)
+            if loaded is not None:
+                plans, guard = loaded
+                if guard is None or guard.validate(fn, memory):
+                    pset = _PlanSet(plans, guard)
+                    self._put_plans(digest, pset)
+                    return pset, "disk"
+        code = fn.__code__
+        if self._capture_aborts.get(code, 0) >= _MAX_CAPTURE_ABORTS:
+            self._put_plans(digest, _UNLIFTABLE)
+            return _UNLIFTABLE, None
+        try:
+            plans = capture()
+            guard = lift.build_plan_guard(fn, memory)
+            _C_COMPILE.add(1)
+        except Exception:
+            self._capture_aborts[code] = \
+                self._capture_aborts.get(code, 0) + 1
+            self._put_plans(digest, _UNLIFTABLE)
+            return _UNLIFTABLE, None
+        pset = _PlanSet(plans, guard)
+        self._put_plans(digest, pset)
+        if store is not None:
+            store.save(digest, plans, guard)
+        return pset, "fresh"
+
     def _digest_memory(self, memory) -> tuple | None:
         """(static signature, content digest, pre-bytes snapshot), or
         None when memory is ineligible (non-arrays, too large)."""
@@ -438,7 +538,8 @@ class Dispatcher:
         shared_sig = tuple(sorted(
             (name, size, np.dtype(dt).str)
             for name, (size, dt) in shared_decls.items()))
-        plan_key = ("cuda-plan", ksig, launch, shared_sig, fp, static)
+        plan_key = _shape_digest(
+            ("cuda-plan", ksig, launch, shared_sig, fp, static))
         key = ("cuda", ksig, launch, shared_sig, fp, static, content)
         return _CudaTicket(self, cuda, kernel, launch, memory,
                            shared_decls, key, plan_key, pre)
@@ -469,9 +570,12 @@ class Dispatcher:
             _C_FALLBACK.add(1)
             return None
         static, content, pre = digested
+        plan_key = _shape_digest(
+            ("omp-plan", bsig, omp.n_threads, omp.affinity,
+             omp.relaxed_consistency, fp, static))
         key = ("omp", bsig, omp.n_threads, omp.affinity,
                omp.relaxed_consistency, fp, static, content)
-        return _OmpTicket(self, omp, shared_map, key, pre)
+        return _OmpTicket(self, omp, body, shared_map, key, plan_key, pre)
 
 
 class _CudaTicket:
@@ -507,31 +611,41 @@ class _CudaTicket:
         _C_HIT.add(1)
         return list(entry.block_cycles)
 
-    def run_lifted(self, ctx, stats, budget) -> list[float] | None:
-        """Execute via compiled block plans; None when unliftable."""
+    def run_lifted(self, ctx, stats, budget,
+                   block_jobs: int = 1) -> list[float] | None:
+        """Execute via compiled block plans; None when unliftable.
+
+        With ``block_jobs > 1`` the plans are marshalled to the
+        persistent worker pool (cached worker-side by content key) and
+        replayed there instead of re-interpreted; any hazard falls back
+        to the serial plan loop below, byte-identically.
+        """
         disp = self.disp
-        plans = disp._get_plans(self.plan_key)
-        if plans is None:
-            code = self.kernel.__code__
-            if disp._capture_aborts.get(code, 0) >= _MAX_CAPTURE_ABORTS:
-                plans = _UNLIFTABLE
-            else:
-                mem_info = {name: (arr.size, arr.dtype)
-                            for name, arr in self.memory.items()}
-                try:
-                    plans = [lift.capture_block_plan(
-                        self.cuda, self.kernel, self.launch, ctx, b,
-                        mem_info, self.shared_decls, self.cuda.max_steps)
-                        for b in range(self.launch.grid_blocks)]
-                    _C_COMPILE.add(1)
-                except Exception:
-                    disp._capture_aborts[code] = \
-                        disp._capture_aborts.get(code, 0) + 1
-                    plans = _UNLIFTABLE
-            disp._put_plans(self.plan_key, plans)
-        if plans is _UNLIFTABLE:
+
+        def capture():
+            mem_info = {name: (arr.size, arr.dtype)
+                        for name, arr in self.memory.items()}
+            return [lift.capture_block_plan(
+                self.cuda, self.kernel, self.launch, ctx, b,
+                mem_info, self.shared_decls, self.cuda.max_steps)
+                for b in range(self.launch.grid_blocks)]
+
+        pset, source = disp._lookup_plans(self.plan_key, self.kernel,
+                                          self.memory, capture)
+        if pset is _UNLIFTABLE:
             _C_FALLBACK.add(1)
             return None
+        if source == "mem":
+            _C_SHAPE_HIT.add(1)
+        plans = pset.plans
+        if block_jobs > 1 and self.launch.grid_blocks > 1:
+            from repro.cuda.parallel import try_parallel_plans
+            cycles = try_parallel_plans(pset, self.memory,
+                                        self.shared_decls, stats, budget,
+                                        block_jobs)
+            if cycles is not None:
+                _C_LIFTED.add(len(plans))
+                return cycles
         from repro.cuda.fastpath import run_block_fast
         cycles: list[float] = []
         n_lifted = 0
@@ -569,15 +683,18 @@ class _CudaTicket:
 
 
 class _OmpTicket:
-    """One keyed OpenMP region: replay or record."""
+    """One keyed OpenMP region: replay -> lifted -> record."""
 
-    __slots__ = ("disp", "omp", "shared_map", "key", "pre", "hit")
+    __slots__ = ("disp", "omp", "body", "shared_map", "key", "plan_key",
+                 "pre", "hit")
 
-    def __init__(self, disp, omp, shared_map, key, pre):
+    def __init__(self, disp, omp, body, shared_map, key, plan_key, pre):
         self.disp = disp
         self.omp = omp
+        self.body = body
         self.shared_map = shared_map
         self.key = key
+        self.plan_key = plan_key
         self.pre = pre
         self.hit = False
 
@@ -599,6 +716,50 @@ class _OmpTicket:
             races=[],
             barriers=entry.barriers,
             requests=entry.requests,
+            trace=None,
+        )
+
+    def run_lifted(self):
+        """Execute via a compiled region plan; None when unliftable.
+
+        Returns a ParallelResult byte-identical to the fast/reference
+        tiers: the plan mutates the shared arrays in place with the
+        exact scalar operation sequence, and times/counters were proven
+        content-independent at capture.  The caller still ``record``\\ s
+        the result, so tier 0 stacks on top.
+        """
+        omp = self.omp
+        disp = self.disp
+
+        def capture():
+            shared_info = {name: (arr.size, arr.dtype)
+                           for name, arr in self.shared_map.items()}
+            return lift.capture_region_plan(omp, self.body, shared_info,
+                                            omp.max_steps)
+
+        pset, source = disp._lookup_plans(self.plan_key, self.body,
+                                          self.shared_map, capture)
+        if pset is _UNLIFTABLE:
+            _C_FALLBACK.add(1)
+            return None
+        plan = pset.plans
+        if plan.steps > omp.max_steps:
+            # Captured under a larger budget; only a stepped execution
+            # knows where the current budget trips.
+            return None
+        if source == "mem":
+            _C_SHAPE_HIT.add(1)
+        from repro.openmp.interpreter import ParallelResult
+        memory = dict(self.shared_map)
+        plan.execute(memory)
+        _C_LIFTED_REGIONS.add(1)
+        return ParallelResult(
+            memory=memory,
+            thread_times_ns=list(plan.thread_times),
+            elapsed_ns=plan.elapsed,
+            races=[],
+            barriers=plan.barriers,
+            requests=plan.requests,
             trace=None,
         )
 

@@ -34,10 +34,14 @@ differential-fuzz harness.
 from __future__ import annotations
 
 import ast
+import dis
 import enum
+import hashlib
 import inspect
+import marshal
 import operator
 import textwrap
+import types
 from dataclasses import fields as _dc_fields
 
 import numpy as np
@@ -300,6 +304,159 @@ def immutable_value(v, depth: int = 0) -> bool:
 
 
 # --------------------------------------------------------------------- #
+# Plan guards
+# --------------------------------------------------------------------- #
+
+_global_loads_cache: dict = {}
+
+
+def _global_load_names(code) -> frozenset[str]:
+    """Names the code object (and nested codes) loads as globals."""
+    names = _global_loads_cache.get(code)
+    if names is None:
+        out: set[str] = set()
+        stack = [code]
+        while stack:
+            c = stack.pop()
+            for ins in dis.get_instructions(c):
+                if ins.opname == "LOAD_GLOBAL":
+                    out.add(ins.argval)
+            for const in c.co_consts:
+                if isinstance(const, types.CodeType):
+                    stack.append(const)
+        names = frozenset(out)
+        _global_loads_cache[code] = names
+    return names
+
+
+def _freeze_guard_value(v, depth: int = 0, seen=None):
+    """Stable value tree of one global a captured plan may have baked in.
+
+    Raises:
+        CaptureEscape: the value cannot be compared across launches
+            (exotic/mutable-opaque type) — the plan must not be cached.
+    """
+    if depth > 4:
+        raise CaptureEscape("global value nesting too deep")
+    if v is None or isinstance(v, (bool, int, float, complex, str, bytes)):
+        return ("k", v)
+    if isinstance(v, enum.Enum):
+        return ("enum", type(v).__qualname__, v.name)
+    if isinstance(v, (np.integer, np.floating, np.bool_)):
+        return ("np", v.dtype.str, v.item())
+    if isinstance(v, np.dtype):
+        return ("dtype", v.str)
+    if isinstance(v, (tuple, list)):
+        return ("seq", tuple(_freeze_guard_value(x, depth + 1, seen)
+                             for x in v))
+    if isinstance(v, (set, frozenset)):
+        return ("set", tuple(sorted(
+            (_freeze_guard_value(x, depth + 1, seen) for x in v),
+            key=repr)))
+    if isinstance(v, dict):
+        return ("map", tuple(sorted(
+            ((k, _freeze_guard_value(x, depth + 1, seen))
+             for k, x in v.items()), key=repr)))
+    if isinstance(v, np.ndarray):
+        return ("nd", v.dtype.str, v.shape,
+                hashlib.blake2b(v.tobytes(), digest_size=16).digest())
+    if isinstance(v, types.FunctionType):
+        if seen is None:
+            seen = set()
+        if id(v) in seen:
+            return ("fn-cycle",)
+        seen.add(id(v))
+        try:
+            code_digest = hashlib.blake2b(
+                marshal.dumps(v.__code__), digest_size=16).digest()
+            cells = tuple(
+                _freeze_guard_value(c.cell_contents, depth + 1, seen)
+                for c in (v.__closure__ or ()))
+            defaults = tuple(_freeze_guard_value(x, depth + 1, seen)
+                             for x in (v.__defaults__ or ()))
+        finally:
+            seen.discard(id(v))
+        return ("fn", code_digest, cells, defaults)
+    raise CaptureEscape(f"unguardable global {type(v).__name__}")
+
+
+def freeze_function_globals(fn) -> tuple:
+    """Frozen (name, value) pairs for every module global ``fn`` loads.
+
+    The shape key covers the kernel's code, closure, and defaults, but a
+    kernel admitted under ``force`` mode (no static purity proof) may
+    also read module globals whose *values* get baked into a captured
+    plan as constants.  This signature is captured at lift time and
+    re-frozen before every replay, so a changed global — same shapes,
+    semantically different behavior — falsifies the candidate plan.
+
+    Raises:
+        CaptureEscape: a referenced global cannot be frozen.
+    """
+    g = fn.__globals__
+    pairs = []
+    for name in sorted(_global_load_names(fn.__code__)):
+        if name in g:
+            pairs.append((name, _freeze_guard_value(g[name])))
+    return tuple(pairs)
+
+
+class PlanGuard:
+    """Lift-time predicate validating a candidate plan against inputs.
+
+    Captured together with the plan (and persisted beside it in the
+    on-disk store); :meth:`validate` must pass before any shape-keyed
+    replay.  It re-checks the two channels the structural digest cannot
+    watch by itself:
+
+    * the **array set** — names, element counts, dtypes — the capture
+      assumed (every recorded index was bounds-checked against these);
+    * the kernel's **module globals** (see
+      :func:`freeze_function_globals`) — same shape, semantically
+      different control flow must not replay.
+    """
+
+    __slots__ = ("globals_sig", "arrays")
+
+    def __init__(self, globals_sig: tuple, arrays: tuple) -> None:
+        self.globals_sig = globals_sig
+        self.arrays = arrays
+
+    def __getstate__(self):
+        return (self.globals_sig, self.arrays)
+
+    def __setstate__(self, state):
+        self.globals_sig, self.arrays = state
+
+    def validate(self, fn, memory) -> bool:
+        """True when the plan is sound for ``fn`` over ``memory`` now."""
+        if len(memory) != len(self.arrays):
+            return False
+        for name, size, dt in self.arrays:
+            arr = memory.get(name)
+            if not isinstance(arr, np.ndarray) or arr.size != size \
+                    or arr.dtype.str != dt:
+                return False
+        try:
+            return freeze_function_globals(fn) == self.globals_sig
+        except CaptureEscape:
+            return False
+
+
+def build_plan_guard(fn, memory) -> PlanGuard:
+    """Capture a :class:`PlanGuard` for ``fn`` over ``memory``.
+
+    Raises:
+        CaptureEscape: when a referenced global defies freezing — the
+            plan would not be falsifiable, so it must not be cached.
+    """
+    arrays = tuple(sorted(
+        (name, int(arr.size), arr.dtype.str)
+        for name, arr in memory.items()))
+    return PlanGuard(freeze_function_globals(fn), arrays)
+
+
+# --------------------------------------------------------------------- #
 # Compiled block plans
 # --------------------------------------------------------------------- #
 
@@ -314,7 +471,7 @@ class BlockPlan:
         stats: Nonzero ``LaunchStats`` field deltas as (name, delta).
     """
 
-    __slots__ = ("cycles", "steps", "n_slots", "effects", "stats")
+    __slots__ = ("cycles", "steps", "n_slots", "effects", "stats", "fp")
 
     def __init__(self, cycles: float, steps: int, n_slots: int,
                  effects: list, stats: tuple) -> None:
@@ -323,6 +480,47 @@ class BlockPlan:
         self.n_slots = n_slots
         self.effects = effects
         self.stats = stats
+        self.fp = None
+
+    def __getstate__(self):
+        return (self.cycles, self.steps, self.n_slots, self.effects,
+                self.stats)
+
+    def __setstate__(self, state):
+        (self.cycles, self.steps, self.n_slots, self.effects,
+         self.stats) = state
+        self.fp = None
+
+    def footprint(self):
+        """The plan's global-memory footprint (memoized).
+
+        Effect index lists are static, so the
+        :class:`~repro.cuda.race.BlockFootprint` the fast tier would
+        record per block is derivable without executing anything — that
+        is what lets the pool verify chunk disjointness *before*
+        dispatching plans to workers.  Atomics count as writes (their
+        returned old value makes overlap order-visible), matching
+        :meth:`BlockFootprint.record_pass`.
+        """
+        fp = self.fp
+        if fp is None:
+            from repro.cuda.race import BlockFootprint
+            fp = BlockFootprint()
+            for eff in self.effects:
+                tag = eff[0]
+                if tag == "r":
+                    _, in_shared, var, idx_np, _ = eff
+                    if not in_shared:
+                        fp.reads.setdefault(var, set()).update(
+                            idx_np.tolist())
+                elif tag == "w":
+                    if not eff[1]:
+                        fp.writes.setdefault(eff[2], set()).update(eff[4])
+                else:  # "a"
+                    if not eff[2]:
+                        fp.writes.setdefault(eff[3], set()).update(eff[5])
+            self.fp = fp
+        return fp
 
     def execute(self, memory: dict[str, np.ndarray],
                 shared_decls: dict[str, tuple[int, np.dtype]],
@@ -787,4 +985,376 @@ def capture_block_plan(cuda, kernel, launch, ctx, block_idx: int,
         n_slots=n_slots,
         effects=effects,
         stats=stat_deltas,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Compiled OpenMP region plans
+# --------------------------------------------------------------------- #
+
+#: Values a captured OpenMP effect may materialize as a constant.
+_PLAN_SCALARS = (bool, int, float, np.integer, np.floating, np.bool_)
+
+
+def _plan_value_node(v) -> tuple:
+    if type(v) is Sym:
+        return v.node
+    if isinstance(v, _PLAN_SCALARS):
+        return ("k", v)
+    raise CaptureEscape(
+        f"unsupported value type {type(v).__name__} in region capture")
+
+
+class RegionPlan:
+    """One OpenMP parallel region's precompiled schedule.
+
+    The capture proves the region *steady* — request order, indices,
+    lock/barrier structure, and costs independent of shared-memory
+    content — so everything but the data values is static: per-thread
+    clocks, the elapsed time, barrier/request counts, and the ordered
+    effect list.  :meth:`execute` replays the effects against fresh
+    arrays with the exact scalar operation sequence of the reference
+    scheduler (``.item()`` loads, Python-semantics arithmetic via the
+    ``Sym`` expression trees, element stores), so results are
+    byte-identical to a generator-stepped region.
+
+    Effects (store-buffer drains are already serialized into plain
+    writes at their flush points, in buffer insertion order):
+
+    * ``("r", var, idx, slot)`` — load ``var[idx]`` into ``slot``
+      (plain reads that hit the thread's own store buffer at capture
+      time never become effects: their value is forwarded
+      symbolically);
+    * ``("w", var, idx, node)`` — store an expression to ``var[idx]``;
+    * ``("au", var, idx, slot, node)`` — atomic read-modify-write:
+      load the old value into ``slot``, store the update expression.
+    """
+
+    __slots__ = ("thread_times", "elapsed", "barriers", "requests",
+                 "steps", "n_slots", "effects")
+
+    def __init__(self, thread_times: tuple, elapsed: float,
+                 barriers: int, requests: int, steps: int,
+                 n_slots: int, effects: list) -> None:
+        self.thread_times = thread_times
+        self.elapsed = elapsed
+        self.barriers = barriers
+        self.requests = requests
+        self.steps = steps
+        self.n_slots = n_slots
+        self.effects = effects
+
+    def __getstate__(self):
+        return (self.thread_times, self.elapsed, self.barriers,
+                self.requests, self.steps, self.n_slots, self.effects)
+
+    def __setstate__(self, state):
+        (self.thread_times, self.elapsed, self.barriers, self.requests,
+         self.steps, self.n_slots, self.effects) = state
+
+    def execute(self, memory: dict[str, np.ndarray]) -> None:
+        """Replay the recorded effects against live shared arrays."""
+        flats: dict[str, np.ndarray] = {}
+        env: list = [None] * self.n_slots
+
+        def flat_of(var: str) -> np.ndarray:
+            flat = flats.get(var)
+            if flat is None:
+                flat = memory[var].reshape(-1)
+                flats[var] = flat
+            return flat
+
+        for eff in self.effects:
+            tag = eff[0]
+            if tag == "r":
+                _, var, idx, slot = eff
+                env[slot] = (flat_of(var)[idx].item(),)
+            elif tag == "w":
+                _, var, idx, node = eff
+                flat_of(var)[idx] = _eval_node(node, env)
+            else:  # "au"
+                _, var, idx, slot, node = eff
+                flat = flat_of(var)
+                env[slot] = (flat[idx].item(),)
+                flat[idx] = _eval_node(node, env)
+
+
+def capture_region_plan(omp, body,
+                        shared_info: dict[str, tuple[int, np.dtype]],
+                        step_cap: int) -> RegionPlan:
+    """Dry-run one parallel region with symbolic values and record it.
+
+    Mirrors the reference scheduler's interleaved sweep (which the
+    batched rounds of :func:`repro.openmp.fastpath.parallel_fast` are
+    equivalent to) with :class:`Sym` placeholders fed back for every
+    read/atomic result: store-buffer forwarding, lock
+    acquisition/waiting order, and barrier releases all resolve
+    concretely for a steady region, while atomic-update functions are
+    applied to symbols so their expression trees replay with exact
+    Python semantics.
+
+    Raises:
+        CaptureEscape: when the region is not steady (data steers
+            control flow, indices, or lock names), uses a construct that
+            runs arbitrary code against memory (``single``,
+            ``critical``), raises, goes out of bounds, or exceeds
+            ``step_cap``/:data:`EFFECT_CAP` — the caller falls back to
+            the batched fast tier.
+    """
+    from repro.compiler.ops import PrimitiveKind
+    from repro.common.datatypes import DTYPES, INT
+    from repro.openmp import requests as rq
+    from repro.openmp.fastpath import make_cost_model
+    from repro.openmp.interpreter import ThreadContext
+
+    machine = omp.machine
+    ctx = omp._ctx
+    n = omp.n_threads
+    relaxed = omp.relaxed_consistency
+    mem_cost, plain_cost = make_cost_model(machine, ctx)
+
+    PLAIN_READ = PrimitiveKind.PLAIN_READ
+    PLAIN_UPDATE = PrimitiveKind.PLAIN_UPDATE
+    ATOMIC_READ = PrimitiveKind.OMP_ATOMIC_READ
+    ATOMIC_WRITE = PrimitiveKind.OMP_ATOMIC_WRITE
+    ATOMIC_UPDATE = PrimitiveKind.OMP_ATOMIC_UPDATE
+    ATOMIC_CAPTURE = PrimitiveKind.OMP_ATOMIC_CAPTURE
+
+    dtype_by_var: dict[str, object] = {}
+
+    def var_dtype(var: str):
+        dt = dtype_by_var.get(var)
+        if dt is None:
+            dt = INT
+            np_dt = shared_info[var][1]
+            for d in DTYPES:
+                if d.np_dtype == np_dt:
+                    dt = d
+                    break
+            dtype_by_var[var] = dt
+        return dt
+
+    effects: list = []
+    n_slots = 0
+
+    def new_slot() -> int:
+        nonlocal n_slots
+        slot = n_slots
+        n_slots += 1
+        return slot
+
+    gens = [body(ThreadContext(tid, n)) for tid in range(n)]
+    clocks = [0.0] * n
+    pending: list[object] = [None] * n
+    arrival: list[tuple[str, str] | None] = [None] * n
+    done = [False] * n
+    barriers = 0
+    steps = 0
+    location_threads: dict[tuple[str, int], set[int]] = {}
+    lock_holder: dict[str, int] = {}
+    held_locks: list[set[str]] = [set() for _ in range(n)]
+    lock_wait: dict[int, str] = {}
+    buffers: list[dict[tuple[str, int], object]] = [{} for _ in range(n)]
+
+    def drain(tid: int) -> None:
+        buf = buffers[tid]
+        if buf:
+            for (var, idx), v in buf.items():
+                effects.append(("w", var, idx, _plan_value_node(v)))
+            buf.clear()
+
+    def charge_mem(tid: int, kind, var: str, idx: int, dtype) -> None:
+        touched = location_threads.setdefault((var, idx), set())
+        touched.add(tid)
+        clocks[tid] += mem_cost(kind, dtype, len(touched) > 1)
+
+    def validate(tid: int, var, idx) -> int:
+        if type(var) is Sym or not isinstance(var, str):
+            raise CaptureEscape("data-dependent variable name")
+        entry = shared_info.get(var)
+        if entry is None:
+            raise CaptureEscape(f"undeclared shared variable {var!r}")
+        i = _concrete_index(idx)
+        if not 0 <= i < entry[0]:
+            raise CaptureEscape("out-of-bounds access")
+        return i
+
+    def lock_name_of(request) -> str:
+        name = request.name
+        if type(name) is Sym or not isinstance(name, str):
+            raise CaptureEscape("data-dependent lock name")
+        return name
+
+    def release_arrivals() -> None:
+        nonlocal barriers
+        barriers += 1
+        for t in range(n):
+            drain(t)
+        sync_time = max(clocks) + plain_cost(PrimitiveKind.OMP_BARRIER)
+        for t in range(n):
+            clocks[t] = sync_time
+            arrival[t] = None
+        location_threads.clear()
+
+    while not all(done):
+        progressed = False
+        if len(effects) > EFFECT_CAP:
+            raise CaptureEscape("plan too large")
+        for tid in range(n):
+            if done[tid] or arrival[tid] is not None:
+                continue
+            if tid in lock_wait:
+                name = lock_wait[tid]
+                if name in lock_holder:
+                    continue
+                del lock_wait[tid]
+                lock_holder[name] = tid
+                held_locks[tid].add(name)
+                clocks[tid] += plain_cost(PrimitiveKind.OMP_LOCK_ACQUIRE)
+                progressed = True
+                continue
+            steps += 1
+            if steps > step_cap:
+                raise CaptureEscape("step budget reached in capture")
+            try:
+                request = gens[tid].send(pending[tid])
+            except StopIteration:
+                if held_locks[tid]:
+                    raise CaptureEscape("thread finished holding a lock")
+                done[tid] = True
+                progressed = True
+                continue
+            except CaptureEscape:
+                raise
+            except Exception as exc:
+                # The body raised — possibly only because a Sym reached
+                # code that needed a concrete value.  The fast tier
+                # re-runs with real values and reproduces any genuine
+                # error exactly.
+                raise CaptureEscape(
+                    f"body raised {type(exc).__name__} during capture"
+                ) from exc
+            pending[tid] = None
+            progressed = True
+            cls = request.__class__
+            if cls is rq.Barrier:
+                arrival[tid] = ("barrier", "")
+                if any(done):
+                    raise CaptureEscape("barrier with finished threads")
+                if all(arrival[t] is not None for t in range(n)):
+                    release_arrivals()
+                continue
+            if cls is rq.Single or cls is rq.Critical:
+                raise CaptureEscape(
+                    f"{cls.__name__} executes arbitrary code on memory")
+            if cls is rq.LockAcquire:
+                name = lock_name_of(request)
+                drain(tid)
+                if name in lock_holder:
+                    lock_wait[tid] = name
+                else:
+                    lock_holder[name] = tid
+                    held_locks[tid].add(name)
+                    clocks[tid] += plain_cost(
+                        PrimitiveKind.OMP_LOCK_ACQUIRE)
+                continue
+            if cls is rq.LockRelease:
+                name = lock_name_of(request)
+                if lock_holder.get(name) != tid:
+                    raise CaptureEscape("release of a lock not held")
+                drain(tid)
+                del lock_holder[name]
+                held_locks[tid].discard(name)
+                clocks[tid] += plain_cost(PrimitiveKind.OMP_LOCK_RELEASE)
+                continue
+            if cls is rq.Read:
+                var = request.var
+                i = validate(tid, var, request.idx)
+                charge_mem(tid, PLAIN_READ, var, i, var_dtype(var))
+                buf = buffers[tid]
+                if relaxed and (var, i) in buf:
+                    pending[tid] = buf[(var, i)]
+                else:
+                    slot = new_slot()
+                    effects.append(("r", var, i, slot))
+                    pending[tid] = Sym(("s", slot, 0))
+                continue
+            if cls is rq.Write:
+                var = request.var
+                i = validate(tid, var, request.idx)
+                charge_mem(tid, PLAIN_UPDATE, var, i, var_dtype(var))
+                node = _plan_value_node(request.value)
+                if relaxed:
+                    buffers[tid][(var, i)] = request.value
+                else:
+                    effects.append(("w", var, i, node))
+                continue
+            # Atomics and flushes are flush points under relaxed
+            # consistency, exactly as in the reference sweep.
+            if relaxed:
+                drain(tid)
+            if cls is rq.Flush:
+                clocks[tid] += plain_cost(PrimitiveKind.OMP_FLUSH)
+                continue
+            if cls is rq.AtomicRead:
+                var = request.var
+                i = validate(tid, var, request.idx)
+                dtype = request.dtype if request.dtype is not None \
+                    else var_dtype(var)
+                charge_mem(tid, ATOMIC_READ, var, i, dtype)
+                slot = new_slot()
+                effects.append(("r", var, i, slot))
+                pending[tid] = Sym(("s", slot, 0))
+                continue
+            if cls is rq.AtomicWrite:
+                var = request.var
+                i = validate(tid, var, request.idx)
+                dtype = request.dtype if request.dtype is not None \
+                    else var_dtype(var)
+                charge_mem(tid, ATOMIC_WRITE, var, i, dtype)
+                effects.append(("w", var, i,
+                                _plan_value_node(request.value)))
+                continue
+            if cls is rq.AtomicCapture or cls is rq.AtomicUpdate:
+                var = request.var
+                i = validate(tid, var, request.idx)
+                dtype = request.dtype if request.dtype is not None \
+                    else var_dtype(var)
+                is_capture = cls is rq.AtomicCapture
+                charge_mem(tid,
+                           ATOMIC_CAPTURE if is_capture else ATOMIC_UPDATE,
+                           var, i, dtype)
+                slot = new_slot()
+                old = Sym(("s", slot, 0))
+                try:
+                    new = request.func(old)
+                except CaptureEscape:
+                    raise
+                except Exception as exc:
+                    raise CaptureEscape(
+                        "atomic update function is not steady") from exc
+                effects.append(("au", var, i, slot,
+                                _plan_value_node(new)))
+                pending[tid] = (old if request.capture_old else new) \
+                    if is_capture else None
+                continue
+            raise CaptureEscape(
+                f"unknown request class {cls.__name__}")
+        if not progressed:
+            raise CaptureEscape("deadlock during capture")
+
+    for t in range(n):
+        drain(t)
+    if len(effects) > EFFECT_CAP:
+        raise CaptureEscape("plan too large")
+    elapsed = max(clocks) if clocks else 0.0
+    elapsed += plain_cost(PrimitiveKind.OMP_BARRIER)
+    return RegionPlan(
+        thread_times=tuple(clocks),
+        elapsed=elapsed,
+        barriers=barriers,
+        requests=steps,
+        steps=steps,
+        n_slots=n_slots,
+        effects=effects,
     )

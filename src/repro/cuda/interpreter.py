@@ -443,7 +443,8 @@ class Cuda:
             if ticket is not None:
                 block_cycles = ticket.replay(stats, budget)
                 if block_cycles is None:
-                    block_cycles = ticket.run_lifted(ctx, stats, budget)
+                    block_cycles = ticket.run_lifted(ctx, stats, budget,
+                                                     block_jobs)
             # Block fan-out rides on the fast runner (the reference path
             # is the authoritative *serial* semantics) and is
             # incompatible with a launch-wide race detector, whose

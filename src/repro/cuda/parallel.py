@@ -33,6 +33,7 @@ from __future__ import annotations
 import atexit
 import builtins
 import dataclasses
+import hashlib
 import importlib
 import marshal
 import os
@@ -40,6 +41,7 @@ import pickle
 import struct
 import threading
 import types
+from collections import OrderedDict
 from contextlib import contextmanager
 
 import numpy as np
@@ -59,6 +61,7 @@ _C_FORK_FORKED = _counter("interp.cuda.fork.forked")
 _C_FORK_FALLBACKS = _counter("interp.cuda.fork.fallbacks")
 _C_POOL_SPAWNED = _counter("interp.cuda.pool.spawned")
 _C_POOL_JOBS = _counter("interp.cuda.pool.jobs")
+_C_POOL_PLAN_JOBS = _counter("interp.cuda.pool.plan_jobs")
 
 #: Hard ceiling on resident pool workers.
 _MAX_WORKERS = 32
@@ -242,6 +245,53 @@ def _run_job(job: dict) -> dict:
     }
 
 
+#: Worker-side plan cache: lifted plan lists shipped once per content
+#: key and replayed across launches; bounded LRU so a long-lived worker
+#: sweeping many kernels cannot grow without limit.
+_worker_plans: OrderedDict = OrderedDict()
+_WORKER_PLAN_CAP = 64
+
+
+def _run_plan_job(job: dict) -> dict:
+    """Worker-side: replay cached lifted plans over one block chunk.
+
+    Everything but the memory bytes is static per plan (cycles, stats,
+    steps), so only the written elements travel back; the parent applies
+    plan stats/cycles/budget itself.
+    """
+    from repro.cuda.interpreter import LaunchStats
+    key = job["ship_key"]
+    plans = _worker_plans.get(key)
+    if plans is None:
+        blob = job["plans"]
+        if blob is None:
+            # The parent believed this worker already held the plans
+            # (e.g. state lost across an unnoticed respawn): surfacing
+            # an error discards the pool and the launch re-runs serially.
+            raise RuntimeError("plan cache miss for shipped key")
+        plans = pickle.loads(blob)
+        _worker_plans[key] = plans
+        while len(_worker_plans) > _WORKER_PLAN_CAP:
+            _worker_plans.popitem(last=False)
+    else:
+        _worker_plans.move_to_end(key)
+    memory = job["memory"]
+    shared_decls = job["shared_decls"]
+    stats = LaunchStats()  # throwaway: parent applies plan.stats
+    written: dict[str, set] = {}
+    for block_idx in job["chunk"]:
+        plan = plans[block_idx]
+        plan.execute(memory, shared_decls, stats)
+        for var, idxs in plan.footprint().writes.items():
+            written.setdefault(var, set()).update(idxs)
+    writes = {}
+    for var, idxs in written.items():
+        flat = memory[var].reshape(-1)
+        idx_arr = np.array(sorted(idxs), dtype=np.intp)
+        writes[var] = (idx_arr, flat[idx_arr].copy())
+    return {"writes": writes}
+
+
 def _worker_main(read_fd: int, write_fd: int) -> None:
     """Worker loop: frames in, frames out, until EOF/quit."""
     while True:
@@ -252,7 +302,10 @@ def _worker_main(read_fd: int, write_fd: int) -> None:
             request = pickle.loads(frame)
             if request[0] == "quit":
                 os._exit(0)
-            payload = ("ok", _run_job(request[1]))
+            if request[0] == "plan_job":
+                payload = ("ok", _run_plan_job(request[1]))
+            else:
+                payload = ("ok", _run_job(request[1]))
             data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         except BaseException as exc:  # noqa: BLE001 - shipped to parent
             try:
@@ -276,13 +329,16 @@ class _PoolError(Exception):
 
 
 class _Worker:
-    __slots__ = ("pid", "to_child", "from_child", "alive")
+    __slots__ = ("pid", "to_child", "from_child", "alive", "plan_digests")
 
     def __init__(self, pid: int, to_child: int, from_child: int) -> None:
         self.pid = pid
         self.to_child = to_child
         self.from_child = from_child
         self.alive = True
+        #: Plan content keys this worker has been shipped (so repeat
+        #: launches send only the chunk + memory, not the plans).
+        self.plan_digests: set[bytes] = set()
 
 
 class _WorkerPool:
@@ -377,6 +433,59 @@ class _WorkerPool:
                     raise _PoolError(f"worker error: {payload}")
                 results.append(payload)
             _C_POOL_JOBS.add(len(wave))
+        return results
+
+    def run_plan_jobs(self, ship_key: bytes, blob: bytes,
+                      jobs: list[dict]) -> list[dict]:
+        """Dispatch one lifted-plan chunk per worker.
+
+        The pickled plan list (``blob``, content-keyed by ``ship_key``)
+        is included only for workers that have not seen it yet; they
+        cache it, so steady-state launches ship just the chunk indices
+        and memory.  Failure semantics match :meth:`run_jobs`: any
+        worker error discards the whole pool and raises
+        :class:`_PoolError`.
+        """
+        with self._lock:
+            try:
+                return self._run_plan_jobs_locked(ship_key, blob, jobs)
+            except _PoolError:
+                for worker in self._workers:
+                    self._reap(worker)
+                self._workers = []
+                raise
+
+    def _run_plan_jobs_locked(self, ship_key: bytes, blob: bytes,
+                              jobs: list[dict]) -> list[dict]:
+        workers = self._ensure(len(jobs))
+        if not workers:
+            raise _PoolError("no workers")
+        results: list[dict] = []
+        for start in range(0, len(jobs), len(workers)):
+            wave = jobs[start:start + len(workers)]
+            active = workers[:len(wave)]
+            for worker, job in zip(active, wave):
+                send = dict(job, ship_key=ship_key)
+                if ship_key in worker.plan_digests:
+                    send["plans"] = None
+                else:
+                    send["plans"] = blob
+                    worker.plan_digests.add(ship_key)
+                frame = pickle.dumps(("plan_job", send),
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+                try:
+                    _write_frame(worker.to_child, frame)
+                except OSError as exc:
+                    raise _PoolError(f"worker write: {exc}") from exc
+            for worker in active:
+                data = _read_frame(worker.from_child)
+                if data is None:
+                    raise _PoolError("worker died")
+                status, payload = pickle.loads(data)
+                if status != "ok":
+                    raise _PoolError(f"worker error: {payload}")
+                results.append(payload)
+            _C_POOL_PLAN_JOBS.add(len(wave))
         return results
 
     def shutdown(self) -> None:
@@ -509,3 +618,86 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
     budget.charge(total_steps)
     _C_FORK_FORKED.add(1)
     return block_cycles
+
+
+def try_parallel_plans(pset, memory: dict[str, np.ndarray],
+                       shared_decls, stats, budget: StepBudget,
+                       block_jobs: int) -> list[float] | None:
+    """Fan lifted block plans out over the persistent worker pool.
+
+    Everything but the written bytes is known before dispatch — the
+    plans' cycles, stats deltas, and step counts are static, and their
+    footprints are derivable without execution — so disjointness and
+    the step budget are verified *up front*, and each job ships only
+    its chunk's arrays.  Returns per-block cycles with ``memory``/
+    ``stats``/``budget`` merged, or ``None`` when the attempt cannot
+    guarantee a byte-identical result (the caller replays the plans
+    serially on the untouched parent memory).
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only feature
+        return None
+    plans = pset.plans
+    chunks = _chunk_blocks(len(plans), block_jobs)
+    if len(chunks) < 2:
+        return None
+    total_steps = sum(plan.steps for plan in plans)
+    if total_steps > budget.remaining:
+        # Only the serial schedule knows the exact step at which the
+        # budget trips.
+        obs_event("cuda.plan.fallback", reason="step budget hazard")
+        return None
+    chunk_fps = []
+    for chunk in chunks:
+        fp = BlockFootprint()
+        for block_idx in chunk:
+            bf = plans[block_idx].footprint()
+            for var, idxs in bf.reads.items():
+                fp.reads.setdefault(var, set()).update(idxs)
+            for var, idxs in bf.writes.items():
+                fp.writes.setdefault(var, set()).update(idxs)
+        chunk_fps.append(fp)
+    if not footprints_disjoint(chunk_fps):
+        obs_event("cuda.plan.fallback", reason="overlapping footprints")
+        return None
+    if pset.blob is None:
+        try:
+            pset.blob = pickle.dumps(plans,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            obs_event("cuda.plan.fallback", reason="unpicklable plans")
+            return None
+        pset.ship_key = hashlib.sha256(pset.blob).digest()
+    jobs = []
+    for chunk, fp in zip(chunks, chunk_fps):
+        needed = set(fp.reads) | set(fp.writes)
+        jobs.append({
+            "chunk": chunk,
+            "memory": {var: memory[var] for var in needed},
+            "shared_decls": shared_decls,
+        })
+    try:
+        if _FORK_PER_LAUNCH:
+            pool = _WorkerPool()
+            try:
+                results = pool.run_plan_jobs(pset.ship_key, pset.blob,
+                                             jobs)
+            finally:
+                pool.shutdown()
+        else:
+            results = POOL.run_plan_jobs(pset.ship_key, pset.blob, jobs)
+    except _PoolError as exc:
+        obs_event("cuda.plan.fallback", reason=f"worker failure: {exc}")
+        return None
+
+    # Disjointness was proven pre-dispatch, so merge order is free; use
+    # chunk order anyway for determinism.
+    for result in results:
+        for var, (idx_arr, values) in result["writes"].items():
+            memory[var].reshape(-1)[idx_arr] = values
+    cycles: list[float] = []
+    for plan in plans:
+        cycles.append(plan.cycles)
+        for name, delta in plan.stats:
+            setattr(stats, name, getattr(stats, name) + delta)
+    budget.charge(total_steps)
+    return cycles

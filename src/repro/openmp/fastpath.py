@@ -78,6 +78,44 @@ _STOP = object()
 _NOTHING = object()
 
 
+def make_cost_model(machine, ctx):
+    """Memoized ``(mem_cost, plain_cost)`` closures for one region.
+
+    ``mem_cost(kind, dtype, contended)`` prices a memory request against
+    a contended :class:`SharedScalar` or a thread-private line-strided
+    element — the exact target selection of the reference scheduler's
+    ``_cost_target``.  ``plain_cost(kind)`` prices target-less ops
+    (barriers, flushes, locks).  Shared by :func:`parallel_fast` and the
+    lifted-tier capture (:func:`repro.compiler.lift.capture_region_plan`)
+    so both charge bit-identical costs.
+    """
+    line = machine.topology.line_bytes
+    mem_cost_cache: dict[tuple, float] = {}
+
+    def mem_cost(kind: PrimitiveKind, dtype, contended: bool) -> float:
+        key = (kind, dtype, contended)
+        c = mem_cost_cache.get(key)
+        if c is None:
+            target = SharedScalar(dtype) if contended else \
+                PrivateArrayElement(dtype,
+                                    stride=line // dtype.size_bytes)
+            c = machine.op_cost(Op(kind=kind, dtype=dtype, target=target),
+                                ctx)
+            mem_cost_cache[key] = c
+        return c
+
+    plain_cost_cache: dict[PrimitiveKind, float] = {}
+
+    def plain_cost(kind: PrimitiveKind) -> float:
+        c = plain_cost_cache.get(kind)
+        if c is None:
+            c = machine.op_cost(Op(kind=kind), ctx)
+            plain_cost_cache[kind] = c
+        return c
+
+    return mem_cost, plain_cost
+
+
 def parallel_fast(omp, body, shared: Mapping[str, np.ndarray] | None = None,
                   trace: bool = False) -> ParallelResult:
     """Run a parallel region with batched uniform-round dispatch.
@@ -146,29 +184,7 @@ def parallel_fast(omp, body, shared: Mapping[str, np.ndarray] | None = None,
             dtype_by_var[var] = dt
         return dt
 
-    line = machine.topology.line_bytes
-    mem_cost_cache: dict[tuple, float] = {}
-
-    def mem_cost(kind: PrimitiveKind, dtype, contended: bool) -> float:
-        key = (kind, dtype, contended)
-        c = mem_cost_cache.get(key)
-        if c is None:
-            target = SharedScalar(dtype) if contended else \
-                PrivateArrayElement(dtype,
-                                    stride=line // dtype.size_bytes)
-            c = machine.op_cost(Op(kind=kind, dtype=dtype, target=target),
-                                ctx)
-            mem_cost_cache[key] = c
-        return c
-
-    plain_cost_cache: dict[PrimitiveKind, float] = {}
-
-    def plain_cost(kind: PrimitiveKind) -> float:
-        c = plain_cost_cache.get(kind)
-        if c is None:
-            c = machine.op_cost(Op(kind=kind), ctx)
-            plain_cost_cache[kind] = c
-        return c
+    mem_cost, plain_cost = make_cost_model(machine, ctx)
 
     def classify(var: str, idx: int, tid: int) -> bool:
         """Contention classification, identical to ``_cost_target``."""

@@ -28,9 +28,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.results_io import atomic_write_text
+from repro.obs.metrics import counter as _counter
 
 #: Bump when the entry layout changes (old entries then read as misses).
 ENTRY_VERSION = 1
+
+#: Entries removed by any bounded cache's eviction policy (shared with
+#: the dispatcher's on-disk plan store; docs/observability.md).
+_C_EVICTIONS = _counter("cache.evictions")
 
 
 def cache_key(request_canonical: dict, fingerprint: str,
@@ -69,12 +74,18 @@ class ResultCache:
     Args:
         directory: Cache root; created on first ``put``.
         clock: Wall-clock source (injectable for staleness tests).
+        max_entries: Entry-count ceiling; each ``put`` evicts the
+            oldest-mtime entries beyond it (counted as
+            ``cache.evictions``).  ``None`` = unbounded (the
+            pre-existing behavior).
     """
 
     def __init__(self, directory: Path | str,
-                 clock=time.time) -> None:
+                 clock=time.time,
+                 max_entries: int | None = None) -> None:
         self.directory = Path(directory)
         self._clock = clock
+        self.max_entries = max_entries
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -93,8 +104,40 @@ class ResultCache:
             "result": result,
             "stored_at": self._clock(),
         }
-        return atomic_write_text(
+        path = atomic_write_text(
             self._path(key), json.dumps(entry, indent=1) + "\n")
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        """Drop the oldest entries beyond ``max_entries`` (by mtime).
+
+        Atomic puts make mtime a faithful recency signal; a concurrent
+        writer racing an unlink at worst re-creates the entry, never
+        tears it.
+        """
+        if self.max_entries is None:
+            return
+        try:
+            paths = list(self.directory.glob("*.json"))
+        except OSError:
+            return
+        excess = len(paths) - self.max_entries
+        if excess <= 0:
+            return
+        stamped = []
+        for path in paths:
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort(key=lambda pair: (pair[0], pair[1].name))
+        for _, path in stamped[:excess]:
+            try:
+                path.unlink()
+                _C_EVICTIONS.add(1)
+            except OSError:
+                pass
 
     def get(self, key: str) -> CacheEntry | None:
         """Retrieve an entry, or None on miss.

@@ -69,6 +69,7 @@ _C_SERVED = _counter("service.served")
 _C_DEGRADED = _counter("service.degraded")
 _C_FAILED = _counter("service.failed")
 _C_RETRIES = _counter("service.retries")
+_C_COALESCED = _counter("service.coalesced")
 _C_BREAKER_OPEN = _counter("service.breaker_open")
 _C_CACHE_HIT = _counter("service.cache_hit")
 _C_CACHE_STALE = _counter("service.cache_stale_served")
@@ -102,6 +103,14 @@ class ServiceConfig:
             graceful degradation).
         cache_ttl_s: Entry age at which a hit stops being fresh; stale
             entries only answer degraded requests.
+        cache_max_entries: Result-cache entry ceiling (oldest-mtime
+            eviction on put; ``cache.evictions``); None = unbounded.
+        plan_cache_dir: Root for the dispatcher's on-disk lifted-plan
+            store (:class:`repro.compiler.store.PlanStore`).  Configured
+            process-wide *before* the worker pool forks, so cold
+            service workers warm their dispatch tier from disk instead
+            of re-capturing per process; None leaves the dispatcher
+            memory-only (or on whatever ``SYNCPERF_PLAN_CACHE`` set).
         checkpoint_path: Optional request-ledger manifest
             (:class:`CampaignCheckpoint`), durable across kills.
         scenario: Measurement-time fault scenario active in workers.
@@ -116,9 +125,21 @@ class ServiceConfig:
     heartbeat_timeout_s: float = 1.0
     cache_dir: str | Path | None = None
     cache_ttl_s: float = 3600.0
+    cache_max_entries: int | None = None
+    plan_cache_dir: str | Path | None = None
     checkpoint_path: str | Path | None = None
     scenario: FaultScenario | None = None
     fault_plan: ProcessFaultPlan | None = None
+
+
+class _Flight:
+    """One in-flight request digest other threads can wait on."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: dict | None = None
 
 
 class MeasurementService:
@@ -143,14 +164,24 @@ class MeasurementService:
             service=repro.__version__)
         self.cache: ResultCache | None = None
         if self.config.cache_dir is not None:
-            self.cache = ResultCache(self.config.cache_dir)
+            self.cache = ResultCache(
+                self.config.cache_dir,
+                max_entries=self.config.cache_max_entries)
+        if self.config.plan_cache_dir is not None:
+            # Before the pool forks, so workers inherit the store and a
+            # cold process warms its dispatch tier from disk.
+            from repro.compiler.dispatcher import DISPATCHER
+            from repro.compiler.store import PlanStore
+            DISPATCHER.plan_store = PlanStore(
+                str(self.config.plan_cache_dir))
         self.pool: WorkerPool | None = None
         if self.config.workers > 0:
             self.pool = WorkerPool(
                 self.config.workers,
                 heartbeat_timeout_s=self.config.heartbeat_timeout_s,
                 scenario=self.config.scenario,
-                fault_plan=self.config.fault_plan)
+                fault_plan=self.config.fault_plan,
+                plan_cache_dir=self.config.plan_cache_dir)
         self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         self._checkpoint: CampaignCheckpoint | None = None
@@ -161,6 +192,8 @@ class MeasurementService:
                 fingerprint=self.fingerprint, resume=True)
         self._latency_lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=512)
+        self._flights: dict[str, _Flight] = {}
+        self._flight_lock = threading.Lock()
         self._request_index = len(
             self._checkpoint.state["experiments"]) \
             if self._checkpoint else 0
@@ -226,11 +259,12 @@ class MeasurementService:
 
     def _handle(self, payload: object) -> dict:
         request = MeasureRequest.from_json(payload)
-        key = None
+        # The request digest keys both the result cache and in-flight
+        # coalescing, so it is computed even when caching is off.
+        key = cache_key(request.canonical(),
+                        json.dumps(self.fingerprint, sort_keys=True),
+                        repro.__version__)
         if self.cache is not None:
-            key = cache_key(request.canonical(),
-                            json.dumps(self.fingerprint, sort_keys=True),
-                            repro.__version__)
             entry = self.cache.get(key)
             if entry is not None and \
                     entry.age_seconds <= self.config.cache_ttl_s:
@@ -240,6 +274,37 @@ class MeasurementService:
                         "result": entry.result,
                         "age_seconds": round(entry.age_seconds, 3)}
 
+        # Single-flight: identical cache-miss requests arriving while
+        # one is already executing share that execution's terminal
+        # response instead of burning workers on duplicate work.  Each
+        # follower still counts as its own request/served/degraded/
+        # failed, so the reconciliation invariant is untouched.
+        while True:
+            with self._flight_lock:
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    break  # this thread is the leader
+            flight.event.wait()
+            if flight.response is not None:
+                _C_COALESCED.add()
+                return dict(flight.response, coalesced=True)
+            # The leader terminated without a response (an internal
+            # error surfaced through submit's catch-all): contend for
+            # leadership and execute normally.
+        try:
+            response = self._measure_miss(request, key)
+            flight.response = response
+            return response
+        finally:
+            with self._flight_lock:
+                if self._flights.get(key) is flight:
+                    del self._flights[key]
+            flight.event.set()
+
+    def _measure_miss(self, request: MeasureRequest, key: str) -> dict:
+        """Breaker -> retry loop -> degrade for one cache-missed request."""
         breaker = self._breaker(request)
         if not breaker.allow():
             exc = CircuitOpenError(

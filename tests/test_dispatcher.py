@@ -522,3 +522,218 @@ class TestBenchCompare:
         old = _payload([("gone", 5.0)])
         new = _payload([("fresh", 0.1)])
         assert compare_payloads(new, old, tolerance=0.2) == []
+
+
+# --------------------------------------------------------------------- #
+# Shape-keyed lifted tier (tier 1)
+# --------------------------------------------------------------------- #
+
+
+_GUARD_SCALE = 2
+
+
+def guarded_kernel(t):
+    yield t.global_write("b", t.global_id, _GUARD_SCALE * 7)
+
+
+class TestShapeKeys:
+    def test_fresh_content_is_a_shape_hit(self, mini_gpu):
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        cuda.launch(steady_kernel, LC, _memory(0))  # capture
+        before = _counters("dispatch.shape_hit", "dispatch.compile")
+        cuda.launch(steady_kernel, LC, _memory(1))  # fresh content
+        d = _deltas(before)
+        assert d["dispatch.shape_hit"] == 1
+        assert d["dispatch.compile"] == 0
+
+    def test_identical_content_replays_without_shape_lookup(self,
+                                                            mini_gpu):
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        cuda.launch(steady_kernel, LC, _memory(0))
+        before = _counters("dispatch.shape_hit", "dispatch.hit")
+        cuda.launch(steady_kernel, LC, _memory(0))  # tier-0 replay
+        d = _deltas(before)
+        assert d["dispatch.hit"] == 1
+        assert d["dispatch.shape_hit"] == 0
+
+    def test_guard_falsifies_stale_plans(self, mini_gpu, monkeypatch):
+        """Same shape, different semantics must NOT replay.
+
+        Flipping a module global the kernel reads changes what the
+        kernel computes without changing any dtype, shape, or launch
+        parameter — the shape digest collides, and only the lift-time
+        guard stands between the dispatcher and a stale answer.
+        """
+        import sys
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        with dispatch_forced():  # module-global kernels are impure
+            cuda.launch(guarded_kernel, LC, _memory(0))  # capture @ 2
+            monkeypatch.setattr(sys.modules[__name__],
+                                "_GUARD_SCALE", 5)
+            before = _counters("dispatch.shape_hit", "dispatch.compile")
+            flipped = _memory(1)  # fresh content: tier 0 must miss
+            cuda.launch(guarded_kernel, LC, flipped)
+            d = _deltas(before)
+            assert d["dispatch.shape_hit"] == 0, \
+                "guard must reject the stale plan"
+            assert d["dispatch.compile"] == 1, "must recapture"
+        assert np.all(flipped["b"] == 35), "stale plan served 2 * 7"
+        ref = _memory(1)
+        Cuda(mini_gpu, fast=False).launch(guarded_kernel, LC, ref)
+        assert _snapshot(flipped) == _snapshot(ref)
+
+    def test_guard_accepts_unchanged_globals(self, mini_gpu):
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        with dispatch_forced():
+            cuda.launch(guarded_kernel, LC, _memory(0))
+            before = _counters("dispatch.shape_hit")
+            cuda.launch(guarded_kernel, LC, _memory(1))
+            assert _deltas(before)["dispatch.shape_hit"] == 1
+
+
+# --------------------------------------------------------------------- #
+# On-disk plan store (tier 2)
+# --------------------------------------------------------------------- #
+
+
+class TestPlanStore:
+    def _digest(self, n: int) -> bytes:
+        return bytes([n]) * 16
+
+    def test_round_trip(self, tmp_path):
+        from repro.compiler.store import PlanStore
+        store = PlanStore(tmp_path)
+        assert store.save(self._digest(1), [1, 2, 3], {"g": 7})
+        assert store.load(self._digest(1)) == ([1, 2, 3], {"g": 7})
+
+    def test_missing_digest_is_a_miss(self, tmp_path):
+        from repro.compiler.store import PlanStore
+        before = _counters("dispatch.disk_miss")
+        assert PlanStore(tmp_path).load(self._digest(2)) is None
+        assert _deltas(before)["dispatch.disk_miss"] == 1
+
+    def test_corruption_reads_as_miss(self, tmp_path):
+        from repro.compiler.store import PlanStore
+        store = PlanStore(tmp_path)
+        store.save(self._digest(3), ["plans"], None)
+        path, = tmp_path.glob("*.plan")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte: checksum must catch
+        path.write_bytes(bytes(blob))
+        before = _counters("dispatch.disk_corrupt")
+        assert store.load(self._digest(3)) is None
+        assert _deltas(before)["dispatch.disk_corrupt"] == 1
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path):
+        from repro.compiler.store import PlanStore
+        store = PlanStore(tmp_path)
+        store.save(self._digest(4), ["plans"], None)
+        path, = tmp_path.glob("*.plan")
+        path.write_bytes(path.read_bytes()[:10])  # torn write
+        assert store.load(self._digest(4)) is None
+
+    def test_eviction_bounds_the_store(self, tmp_path):
+        from repro.compiler.store import PlanStore
+        store = PlanStore(tmp_path, max_entries=2)
+        before = _counters("cache.evictions")
+        for n in range(4):
+            store.save(self._digest(n), [n], None)
+        assert store.entries() <= 2
+        assert _deltas(before)["cache.evictions"] >= 2
+
+    def test_cold_dispatcher_warms_from_disk(self, mini_gpu, tmp_path,
+                                             monkeypatch):
+        from repro.compiler.store import PlanStore
+        fresh = Dispatcher()
+        fresh.plan_store = PlanStore(tmp_path)
+        monkeypatch.setattr(dmod, "DISPATCHER", fresh)
+        cuda = Cuda(mini_gpu)
+        before = _counters("dispatch.disk_write")
+        cuda.launch(steady_kernel, LC, _memory(0))
+        assert _deltas(before)["dispatch.disk_write"] == 1
+
+        fresh.clear()  # simulate a cold process with a warm disk
+        before = _counters("dispatch.disk_hit", "dispatch.compile")
+        warm = _memory(1)
+        cuda.launch(steady_kernel, LC, warm)
+        d = _deltas(before)
+        assert d["dispatch.disk_hit"] == 1
+        assert d["dispatch.compile"] == 0, "plans came from disk"
+        ref = _memory(1)
+        Cuda(mini_gpu, fast=False).launch(steady_kernel, LC, ref)
+        assert _snapshot(warm) == _snapshot(ref)
+
+    def test_corrupt_disk_entry_forces_recapture(self, mini_gpu,
+                                                 tmp_path, monkeypatch):
+        from repro.compiler.store import PlanStore
+        fresh = Dispatcher()
+        fresh.plan_store = PlanStore(tmp_path)
+        monkeypatch.setattr(dmod, "DISPATCHER", fresh)
+        cuda = Cuda(mini_gpu)
+        cuda.launch(steady_kernel, LC, _memory(0))
+        for path in tmp_path.glob("*.plan"):
+            path.write_bytes(b"debris")
+        fresh.clear()
+        before = _counters("dispatch.compile", "dispatch.disk_hit")
+        warm = _memory(1)
+        cuda.launch(steady_kernel, LC, warm)
+        d = _deltas(before)
+        assert d["dispatch.disk_hit"] == 0
+        assert d["dispatch.compile"] == 1
+        ref = _memory(1)
+        Cuda(mini_gpu, fast=False).launch(steady_kernel, LC, ref)
+        assert _snapshot(warm) == _snapshot(ref)
+
+
+# --------------------------------------------------------------------- #
+# Pool plan shipping
+# --------------------------------------------------------------------- #
+
+
+class TestPoolPlanShipping:
+    def test_plans_replay_in_the_pool_byte_identically(self, mini_gpu):
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        cuda.launch(pool_kernel, GRID, _pool_memory(0), block_jobs=2)
+        before = _counters("interp.cuda.pool.plan_jobs",
+                           "dispatch.shape_hit")
+        fast = _pool_memory(1)  # fresh content: plans, not replay
+        f = cuda.launch(pool_kernel, GRID, fast, block_jobs=2)
+        d = _deltas(before)
+        assert d["interp.cuda.pool.plan_jobs"] >= 1
+        assert d["dispatch.shape_hit"] == 1
+        ref = _pool_memory(1)
+        r = Cuda(mini_gpu, fast=False).launch(pool_kernel, GRID, ref)
+        assert _snapshot(fast) == _snapshot(ref)
+        assert f.elapsed_cycles == r.elapsed_cycles
+        assert f.block_cycles == r.block_cycles
+        assert f.stats == r.stats
+
+    def test_dead_workers_fall_back_then_reship(self, mini_gpu):
+        import os
+        from repro.cuda.parallel import POOL
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        cuda.launch(pool_kernel, GRID, _pool_memory(0), block_jobs=2)
+        for worker in list(POOL._workers):
+            os.kill(worker.pid, signal.SIGKILL)
+        time.sleep(0.05)
+        # The dead pool is detected and the launch still answers
+        # correctly through the serial plan path.
+        dead = _pool_memory(5)
+        cuda.launch(pool_kernel, GRID, dead, block_jobs=2)
+        ref = _pool_memory(5)
+        Cuda(mini_gpu, fast=False).launch(pool_kernel, GRID, ref)
+        assert _snapshot(dead) == _snapshot(ref)
+        # The next fan-out gets fresh workers and re-ships the plans.
+        before = _counters("interp.cuda.pool.plan_jobs")
+        again = _pool_memory(6)
+        cuda.launch(pool_kernel, GRID, again, block_jobs=2)
+        assert _deltas(before)["interp.cuda.pool.plan_jobs"] >= 1
+        ref = _pool_memory(6)
+        Cuda(mini_gpu, fast=False).launch(pool_kernel, GRID, ref)
+        assert _snapshot(again) == _snapshot(ref)

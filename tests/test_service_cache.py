@@ -106,3 +106,36 @@ class TestCorruption:
         path.rename(tmp_path / f"{'f' * 64}.json")
         with pytest.raises(ValueError, match="wrong key"):
             cache.entries()
+
+
+class TestEviction:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(5):
+            cache.put(f"k{n}", {"n": n}, {})
+        assert len(list(tmp_path.glob("*.json"))) == 5
+
+    def test_max_entries_evicts_oldest_mtime(self, tmp_path):
+        import os
+        from repro.obs.metrics import counter_value
+        cache = ResultCache(tmp_path, max_entries=2)
+        before = counter_value("cache.evictions")
+        for n in range(4):
+            cache.put(f"k{n}", {"n": n}, {})
+            # Pin strictly increasing mtimes so recency is unambiguous
+            # even on coarse-timestamp filesystems.
+            os.utime(tmp_path / f"k{n}.json", (n, n))
+        cache.put("k4", {"n": 4}, {})
+        survivors = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert survivors == ["k3", "k4"]
+        assert counter_value("cache.evictions") - before == 3
+        assert cache.get("k4") is not None
+        assert cache.get("k0") is None
+
+    def test_eviction_keeps_entries_well_formed(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for n in range(6):
+            cache.put(f"k{n}", {"n": n}, {})
+        for key, entry in cache.entries().items():
+            assert entry["entry_version"] == ENTRY_VERSION
+            assert entry["key"] == key

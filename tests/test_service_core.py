@@ -266,3 +266,96 @@ class TestServiceInline:
         assert health["latency_p99_ms"] >= health["latency_p50_ms"]
         gauges = REGISTRY.gauges()
         assert gauges["service.latency_p50_ms"] > 0
+
+
+class TestCoalescing:
+    """Single-flight: concurrent identical misses share one execution."""
+
+    def _slow_service(self, tmp_path, monkeypatch, calls):
+        import time as _time
+        orig = MeasurementService._measure_miss
+
+        def slow(self, request, key):
+            calls.append(key)
+            _time.sleep(0.15)  # hold the flight open for the followers
+            return orig(self, request, key)
+
+        monkeypatch.setattr(MeasurementService, "_measure_miss", slow)
+        return MeasurementService(
+            ServiceConfig(workers=0, cache_dir=tmp_path / "cache"))
+
+    def test_concurrent_identical_requests_share_one_flight(
+            self, tmp_path, monkeypatch):
+        import threading
+        from repro.obs.metrics import counter_value
+        calls: list[str] = []
+        before = _service_counters()
+        coalesced = counter_value("service.coalesced")
+        with self._slow_service(tmp_path, monkeypatch, calls) as service:
+            results = [None] * 4
+
+            def submit(i):
+                results[i] = service.submit(
+                    {"primitive": "omp_atomic", "threads": 4})
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(calls) == 1, "followers must not re-measure"
+        assert counter_value("service.coalesced") - coalesced == 3
+        followers = [r for r in results if r.get("coalesced")]
+        assert len(followers) == 3
+        leader, = (r for r in results if not r.get("coalesced"))
+        for follower in followers:
+            assert follower["result"] == leader["result"]
+            assert follower["status"] == leader["status"] == "served"
+        assert _reconciles(before), \
+            "every submission still counts exactly once"
+
+    def test_different_requests_do_not_coalesce(self, tmp_path,
+                                                monkeypatch):
+        import threading
+        calls: list[str] = []
+        with self._slow_service(tmp_path, monkeypatch, calls) as service:
+            threads = [
+                threading.Thread(target=service.submit, args=(
+                    {"primitive": "omp_atomic", "threads": n},))
+                for n in (2, 4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(calls) == 2
+        assert len(set(calls)) == 2, "distinct digests, distinct flights"
+
+    def test_sequential_requests_never_coalesce(self, tmp_path):
+        from repro.obs.metrics import counter_value
+        coalesced = counter_value("service.coalesced")
+        with MeasurementService(
+                ServiceConfig(workers=0,
+                              cache_dir=tmp_path / "cache")) as service:
+            first = service.submit({"primitive": "omp_atomic"})
+            second = service.submit({"primitive": "omp_atomic"})
+        assert not first.get("coalesced")
+        assert not second.get("coalesced")  # warm hit, not a flight
+        assert counter_value("service.coalesced") == coalesced
+
+
+class TestServicePlanCache:
+    def test_plan_cache_dir_wires_the_dispatcher_store(self, tmp_path):
+        from repro.compiler.dispatcher import DISPATCHER
+        saved = DISPATCHER.plan_store
+        try:
+            with MeasurementService(ServiceConfig(
+                    workers=0,
+                    plan_cache_dir=tmp_path / "plans")) as service:
+                assert DISPATCHER.plan_store is not None
+                assert str(DISPATCHER.plan_store.root) == \
+                    str(tmp_path / "plans")
+                assert service.submit(
+                    {"primitive": "omp_atomic"})["status"] == "served"
+        finally:
+            DISPATCHER.plan_store = saved
