@@ -202,3 +202,68 @@ def render_svg(sweep: SweepResult, layout: ChartLayout | None = None,
 def _escape(text: str) -> str:
     return (text.replace("&", "&amp;").replace("<", "&lt;")
             .replace(">", "&gt;"))
+
+
+def render_bar_svg(labels: list[str], values: list[float],
+                   title: str = "", y_label: str = "",
+                   layout: ChartLayout | None = None,
+                   color: str = PALETTE[0]) -> str:
+    """A standalone vertical bar chart as an SVG string.
+
+    The service-ops counterpart of :func:`render_svg`: categorical
+    labels (histogram buckets, dispatch tiers, serving paths) on the x
+    axis, one value bar each, value printed above the bar.  Pure
+    stdlib, self-contained — the dashboard embeds the output directly.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    layout = layout or ChartLayout()
+    hi = max([v for v in values if v > 0], default=1.0)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{layout.width}" height="{layout.height}" '
+        f'viewBox="0 0 {layout.width} {layout.height}">',
+        f'<rect width="{layout.width}" height="{layout.height}" '
+        f'fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{layout.width / 2:.1f}" y="22" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="14" font-weight="bold">'
+            f'{_escape(title)}</text>')
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{layout.margin_top + layout.plot_height / 2:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="11" transform="rotate(-90 16 '
+            f'{layout.margin_top + layout.plot_height / 2:.1f})">'
+            f'{_escape(y_label)}</text>')
+    x0, y0 = layout.margin_left, layout.margin_top
+    floor = y0 + layout.plot_height
+    parts.append(f'<line x1="{x0}" y1="{floor}" '
+                 f'x2="{x0 + layout.plot_width}" y2="{floor}" '
+                 f'stroke="#333"/>')
+    n = max(1, len(labels))
+    slot = layout.plot_width / n
+    bar_width = max(4.0, slot * 0.7)
+    for index, (label, value) in enumerate(zip(labels, values)):
+        x = x0 + index * slot + (slot - bar_width) / 2
+        height = 0.0 if hi <= 0 else \
+            max(0.0, value / hi) * (layout.plot_height - 10)
+        top = floor - height
+        parts.append(
+            f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+            f'height="{height:.1f}" fill="{color}"/>')
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{top - 4:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{_escape(_fmt(float(value)))}</text>')
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{floor + 14:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10" transform="rotate(35 '
+            f'{x + bar_width / 2:.1f} {floor + 14:.1f})">'
+            f'{_escape(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -676,6 +676,86 @@ def _bench_service(repeats: int) -> list[dict]:
         ]
 
 
+def _bench_obs_tracing(repeats: int) -> dict:
+    """Price the tracing/attribution machinery on the hot serving path.
+
+    Three variants of the same warm cache-hit request:
+
+    * attribution off, untraced — the pre-observability fast path (the
+      recorder-off budget baseline);
+    * attribution on, untraced — the default service configuration;
+    * attribution on + a trace context on every request — full
+      cross-process tracing.
+
+    The row's ``speedup`` is traced vs untraced (how much a trace
+    costs when you ask for one); ``overhead_off_pct`` is the
+    attribution-on tax over the attribution-off baseline — the number
+    the <5% recorder-off overhead budget constrains.
+    """
+    import tempfile
+    from repro.obs.context import TraceContext
+    from repro.service.core import MeasurementService, ServiceConfig
+
+    payload = {"primitive": "omp_atomic", "threads": 8}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plain = MeasurementService(ServiceConfig(
+            workers=0, cache_dir=Path(tmp) / "off", cache_ttl_s=1e9,
+            attribution=False))
+        attr = MeasurementService(ServiceConfig(
+            workers=0, cache_dir=Path(tmp) / "on", cache_ttl_s=1e9))
+
+        # A warm hit is ~100 µs, far below timer noise for a single
+        # call: each timing sample is a batch of submissions, sized so
+        # one sample is tens of milliseconds — the <5% budget on the
+        # plain/attr gap is only a few µs per hit, well under timer
+        # noise at smaller batches.
+        batch = 300
+
+        def run_plain() -> None:
+            for _ in range(batch):
+                plain.submit(dict(payload))
+
+        def run_attr() -> None:
+            for _ in range(batch):
+                attr.submit(dict(payload))
+
+        def run_traced() -> None:
+            for _ in range(batch):
+                attr.submit(dict(
+                    payload, trace=TraceContext.new().to_wire()))
+
+        for service in (plain, attr):
+            if service.submit(dict(payload)).get("status") != "served":
+                raise SimulationError(
+                    "obs tracing bench: warm-up submit failed; "
+                    "refusing to benchmark")
+        if attr.submit(dict(
+                payload,
+                trace=TraceContext.new().to_wire())).get("cache") \
+                != "hit":
+            raise SimulationError(
+                "obs tracing bench: traced submit missed the warm "
+                "cache; refusing to benchmark")
+        # overhead_off_pct is a small difference of two ~100 µs
+        # timings; timing each variant in its own contiguous window
+        # lets CPU-frequency/load drift between the windows swamp the
+        # real gap.  Interleave the variants round-robin and take the
+        # per-variant minimum so every round sees the same machine.
+        best = [float("inf")] * 3
+        for _ in range(max(repeats, 7)):
+            for i, fn in enumerate((run_plain, run_attr, run_traced)):
+                start = time.perf_counter()
+                fn()
+                best[i] = min(best[i], time.perf_counter() - start)
+        plain_s, attr_s, traced_s = (b / batch for b in best)
+        return _row("obs_tracing_overhead", traced_s, attr_s,
+                    baseline_s=round(plain_s, 6),
+                    overhead_off_pct=round(
+                        (attr_s - plain_s) / plain_s * 100.0, 1)
+                    if plain_s > 0 else 0.0)
+
+
 # ------------------------------ campaign ------------------------------- #
 
 
@@ -823,6 +903,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
         _bench_dispatch_omp_lifted(repeats),
         _bench_dispatch_disk_warm(repeats),
         *_bench_service(repeats),
+        _bench_obs_tracing(repeats),
         _bench_campaign(CAMPAIGN_IDS_SMOKE if smoke else CAMPAIGN_IDS,
                         jobs),
     ]

@@ -49,7 +49,11 @@ without recapture), ``dispatch.compile`` (plan compilations),
 the fast/scalar tiers), ``dispatch.lifted_blocks``,
 ``dispatch.lifted_regions``, ``dispatch.evictions``, and the disk
 tier's ``dispatch.disk_hit`` / ``disk_miss`` / ``disk_write`` /
-``disk_corrupt`` (see :mod:`repro.compiler.store`).
+``disk_corrupt`` (see :mod:`repro.compiler.store`).  When a recorder
+is installed the tiers also emit spans — ``dispatch.capture``,
+``dispatch.replay``, and ``dispatch.lifted`` (with the plan
+``source``) — which traced service requests carry across process
+boundaries (docs/observability.md, "Cross-process trace context").
 
 The ``SYNCPERF_DISPATCH`` environment variable (``on`` default,
 ``off``, ``force``) and the :func:`dispatch_disabled` /
@@ -75,6 +79,7 @@ import numpy as np
 
 from repro.compiler import lift
 from repro.compiler.store import store_from_env
+from repro.obs import span as obs_span
 from repro.obs.metrics import counter as _counter
 
 _C_HIT = _counter("dispatch.hit")
@@ -468,8 +473,9 @@ class Dispatcher:
             self._put_plans(digest, _UNLIFTABLE)
             return _UNLIFTABLE, None
         try:
-            plans = capture()
-            guard = lift.build_plan_guard(fn, memory)
+            with obs_span("dispatch.capture", kernel=fn.__name__):
+                plans = capture()
+                guard = lift.build_plan_guard(fn, memory)
             _C_COMPILE.add(1)
         except Exception:
             self._capture_aborts[code] = \
@@ -603,10 +609,12 @@ class _CudaTicket:
         if entry is None or entry.steps > budget.remaining:
             _C_MISS.add(1)
             return None
-        _apply_writes(entry.writes, self.memory)
-        for name, delta in entry.stats:
-            setattr(stats, name, getattr(stats, name) + delta)
-        budget.charge(entry.steps)
+        with obs_span("dispatch.replay", kind="cuda",
+                      blocks=self.launch.grid_blocks):
+            _apply_writes(entry.writes, self.memory)
+            for name, delta in entry.stats:
+                setattr(stats, name, getattr(stats, name) + delta)
+            budget.charge(entry.steps)
         self.hit = True
         _C_HIT.add(1)
         return list(entry.block_cycles)
@@ -638,32 +646,36 @@ class _CudaTicket:
         if source == "mem":
             _C_SHAPE_HIT.add(1)
         plans = pset.plans
-        if block_jobs > 1 and self.launch.grid_blocks > 1:
-            from repro.cuda.parallel import try_parallel_plans
-            cycles = try_parallel_plans(pset, self.memory,
-                                        self.shared_decls, stats, budget,
-                                        block_jobs)
-            if cycles is not None:
-                _C_LIFTED.add(len(plans))
-                return cycles
-        from repro.cuda.fastpath import run_block_fast
-        cycles: list[float] = []
-        n_lifted = 0
-        for block_idx, plan in enumerate(plans):
-            if plan.steps <= budget.remaining:
-                cycles.append(plan.execute(self.memory, self.shared_decls,
-                                           stats))
-                budget.charge(plan.steps)
-                n_lifted += 1
-            else:
-                # Budget would trip mid-block: the fast tier raises at
-                # the exact step with the exact partial state.
-                cycles.append(run_block_fast(
-                    self.cuda, self.kernel, self.launch, ctx, block_idx,
-                    self.memory, self.shared_decls, stats, budget))
-        if n_lifted:
-            _C_LIFTED.add(n_lifted)
-        return cycles
+        with obs_span("dispatch.lifted", kind="cuda",
+                      blocks=len(plans), source=source):
+            if block_jobs > 1 and self.launch.grid_blocks > 1:
+                from repro.cuda.parallel import try_parallel_plans
+                cycles = try_parallel_plans(pset, self.memory,
+                                            self.shared_decls, stats,
+                                            budget, block_jobs)
+                if cycles is not None:
+                    _C_LIFTED.add(len(plans))
+                    return cycles
+            from repro.cuda.fastpath import run_block_fast
+            cycles: list[float] = []
+            n_lifted = 0
+            for block_idx, plan in enumerate(plans):
+                if plan.steps <= budget.remaining:
+                    cycles.append(plan.execute(self.memory,
+                                               self.shared_decls,
+                                               stats))
+                    budget.charge(plan.steps)
+                    n_lifted += 1
+                else:
+                    # Budget would trip mid-block: the fast tier raises
+                    # at the exact step with the exact partial state.
+                    cycles.append(run_block_fast(
+                        self.cuda, self.kernel, self.launch, ctx,
+                        block_idx, self.memory, self.shared_decls,
+                        stats, budget))
+            if n_lifted:
+                _C_LIFTED.add(n_lifted)
+            return cycles
 
     def record(self, block_cycles, stats, budget) -> None:
         """Store the completed launch for future replay (miss only)."""
@@ -705,8 +717,9 @@ class _OmpTicket:
             _C_MISS.add(1)
             return None
         from repro.openmp.interpreter import ParallelResult
-        memory = dict(self.shared_map)
-        _apply_writes(entry.writes, memory)
+        with obs_span("dispatch.replay", kind="omp"):
+            memory = dict(self.shared_map)
+            _apply_writes(entry.writes, memory)
         self.hit = True
         _C_HIT.add(1)
         return ParallelResult(
@@ -750,8 +763,9 @@ class _OmpTicket:
         if source == "mem":
             _C_SHAPE_HIT.add(1)
         from repro.openmp.interpreter import ParallelResult
-        memory = dict(self.shared_map)
-        plan.execute(memory)
+        with obs_span("dispatch.lifted", kind="omp", source=source):
+            memory = dict(self.shared_map)
+            plan.execute(memory)
         _C_LIFTED_REGIONS.add(1)
         return ParallelResult(
             memory=memory,

@@ -50,7 +50,9 @@ from repro.common.budget import StepBudget
 from repro.cuda.race import BlockFootprint, footprints_disjoint
 from repro.cuda.trace import Trace
 from repro.obs import event as obs_event
+from repro.obs.context import TraceContext, current_context, traced_execution
 from repro.obs.metrics import counter as _counter
+from repro.obs.recorder import get_recorder
 
 # Observability counters (docs/observability.md): attempted fan-outs,
 # merged (successful) fan-outs, serial fallbacks, workers ever forked,
@@ -213,8 +215,15 @@ def _worker_cuda(device_key, fast: bool):
 
 
 def _run_job(job: dict) -> dict:
-    """Worker-side: rebuild the launch state and run one block chunk."""
+    """Worker-side: rebuild the launch state and run one block chunk.
+
+    A job may carry a wire-format trace context; the chunk then runs
+    inside a ``pool``-role span whose records ship back in the result
+    so the parent can stitch them into its own trace.  Untraced jobs
+    take the identical code path with zero span machinery.
+    """
     from repro.cuda.interpreter import LaunchStats
+    tctx = TraceContext.from_wire(job.get("trace"))
     cuda = _worker_cuda(job["device"], job["fast"])
     device = cuda.device
     kernel = _build_function(job["kernel"])
@@ -226,16 +235,19 @@ def _run_job(job: dict) -> dict:
     budget = StepBudget(job["budget_limit"], hint="runaway kernel?")
     trace = Trace() if job["do_trace"] else None
     footprint = BlockFootprint()
-    cycles = [cuda._run_block(kernel, launch, ctx, block_idx, memory,
-                              shared_decls, stats, budget, trace, None,
-                              footprint)
-              for block_idx in job["chunk"]]
+    cycles, spans = traced_execution(
+        tctx, "pool", "cuda.pool.chunk",
+        lambda: [cuda._run_block(kernel, launch, ctx, block_idx, memory,
+                                 shared_decls, stats, budget, trace,
+                                 None, footprint)
+                 for block_idx in job["chunk"]],
+        blocks=len(job["chunk"]))
     writes = {}
     for var, idxs in footprint.writes.items():
         flat = memory[var].reshape(-1)
         idx_arr = np.array(sorted(idxs), dtype=np.intp)
         writes[var] = (idx_arr, flat[idx_arr].copy())
-    return {
+    result = {
         "cycles": cycles,
         "stats": dataclasses.asdict(stats),
         "footprint": footprint,
@@ -243,6 +255,9 @@ def _run_job(job: dict) -> dict:
         "trace": trace,
         "steps": budget.used,
     }
+    if spans:
+        result["spans"] = spans
+    return result
 
 
 #: Worker-side plan cache: lifted plan lists shipped once per content
@@ -279,17 +294,26 @@ def _run_plan_job(job: dict) -> dict:
     shared_decls = job["shared_decls"]
     stats = LaunchStats()  # throwaway: parent applies plan.stats
     written: dict[str, set] = {}
-    for block_idx in job["chunk"]:
-        plan = plans[block_idx]
-        plan.execute(memory, shared_decls, stats)
-        for var, idxs in plan.footprint().writes.items():
-            written.setdefault(var, set()).update(idxs)
+
+    def replay() -> None:
+        for block_idx in job["chunk"]:
+            plan = plans[block_idx]
+            plan.execute(memory, shared_decls, stats)
+            for var, idxs in plan.footprint().writes.items():
+                written.setdefault(var, set()).update(idxs)
+
+    _, spans = traced_execution(
+        TraceContext.from_wire(job.get("trace")), "pool",
+        "cuda.pool.plan_chunk", replay, blocks=len(job["chunk"]))
     writes = {}
     for var, idxs in written.items():
         flat = memory[var].reshape(-1)
         idx_arr = np.array(sorted(idxs), dtype=np.intp)
         writes[var] = (idx_arr, flat[idx_arr].copy())
-    return {"writes": writes}
+    result = {"writes": writes}
+    if spans:
+        result["spans"] = spans
+    return result
 
 
 def _worker_main(read_fd: int, write_fd: int) -> None:
@@ -533,6 +557,17 @@ def fork_per_launch():
 # Entry point
 # --------------------------------------------------------------------- #
 
+def _merge_remote_spans(results: list[dict]) -> None:
+    """Stitch pool-worker span buffers into the installed recorder."""
+    recorder = get_recorder()
+    if recorder is None:
+        return
+    for result in results:
+        spans = result.get("spans")
+        if spans:
+            recorder.add_remote_spans(spans)
+
+
 def try_parallel_blocks(cuda, kernel, launch, ctx,
                         memory: dict[str, np.ndarray],
                         shared_decls, stats, budget: StepBudget,
@@ -558,6 +593,11 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         return None
 
     device = cuda.device
+    # Ship a child trace context per chunk only when there is both a
+    # context to propagate and a recorder to stitch the returned spans
+    # into — the untraced frame stays byte-identical to before.
+    tctx = current_context()
+    ship_trace = tctx is not None and get_recorder() is not None
     try:
         base = {
             "device": (type(device), device.spec, device.params,
@@ -570,9 +610,13 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
             "do_trace": trace is not None,
             "budget_limit": budget.remaining,
         }
-        frames = [pickle.dumps(("job", dict(base, chunk=chunk)),
+        jobs = [dict(base, chunk=chunk) for chunk in chunks]
+        if ship_trace:
+            for job in jobs:
+                job["trace"] = tctx.child().to_wire()
+        frames = [pickle.dumps(("job", job),
                                protocol=pickle.HIGHEST_PROTOCOL)
-                  for chunk in chunks]
+                  for job in jobs]
     except Exception as exc:  # unpicklable/unshippable launch state
         _fork_fallback(f"unshippable launch state: {type(exc).__name__}")
         return None
@@ -603,6 +647,7 @@ def try_parallel_blocks(cuda, kernel, launch, ctx,
         _fork_fallback("step budget hazard")
         return None
 
+    _merge_remote_spans(results)
     # Safe: merge in block order so every artifact matches serial runs.
     block_cycles: list[float] = []
     for result in results:
@@ -667,14 +712,19 @@ def try_parallel_plans(pset, memory: dict[str, np.ndarray],
             obs_event("cuda.plan.fallback", reason="unpicklable plans")
             return None
         pset.ship_key = hashlib.sha256(pset.blob).digest()
+    tctx = current_context()
+    ship_trace = tctx is not None and get_recorder() is not None
     jobs = []
     for chunk, fp in zip(chunks, chunk_fps):
         needed = set(fp.reads) | set(fp.writes)
-        jobs.append({
+        job = {
             "chunk": chunk,
             "memory": {var: memory[var] for var in needed},
             "shared_decls": shared_decls,
-        })
+        }
+        if ship_trace:
+            job["trace"] = tctx.child().to_wire()
+        jobs.append(job)
     try:
         if _FORK_PER_LAUNCH:
             pool = _WorkerPool()
@@ -689,6 +739,7 @@ def try_parallel_plans(pset, memory: dict[str, np.ndarray],
         obs_event("cuda.plan.fallback", reason=f"worker failure: {exc}")
         return None
 
+    _merge_remote_spans(results)
     # Disjointness was proven pre-dispatch, so merge order is free; use
     # chunk order anyway for determinism.
     for result in results:

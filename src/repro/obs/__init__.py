@@ -22,12 +22,25 @@ Surface it from the CLI with
 --obs-metrics out.prom``.  See ``docs/observability.md``.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    TraceStore,
+    current_context,
+    maybe_context,
+    stitched_chrome,
+    traced_execution,
+    use_context,
+)
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.hist import LatencyHistogram
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
     Gauge,
     counter,
     counter_value,
+    counters_delta,
+    counters_snapshot,
     gauge,
 )
 from repro.obs.recorder import (
@@ -41,20 +54,32 @@ from repro.obs.recorder import (
 )
 
 __all__ = [
+    "FLIGHT",
+    "FlightRecorder",
+    "LatencyHistogram",
     "REGISTRY",
     "Counter",
     "Gauge",
     "Recorder",
+    "TraceContext",
+    "TraceStore",
     "attach_timeline",
     "count",
     "counter",
     "counter_value",
+    "counters_delta",
+    "counters_snapshot",
+    "current_context",
     "event",
     "gauge",
     "get_recorder",
+    "maybe_context",
     "recording",
     "set_recorder",
     "span",
+    "stitched_chrome",
+    "traced_execution",
+    "use_context",
 ]
 
 

@@ -128,13 +128,21 @@ def chrome_trace(recorder: Recorder) -> dict:
     Wall-clock spans render on pid :data:`SPAN_PID` (nested spans rely
     on the viewer's stacking of overlapping complete events on one
     tid); each attached interpreter timeline gets its own pid track so
-    modeled clocks never mix with wall time.
+    modeled clocks never mix with wall time.  Remote spans stitched in
+    from other processes (:meth:`Recorder.add_remote_spans`) group
+    into one extra track per producing ``(role, pid)`` pair above the
+    timelines — each normalized to its own earliest span, because a
+    foreign recorder's epoch is not this one's.
     """
     events = metadata_events(SPAN_PID, "syncperf spans (wall clock)",
                              {0: "spans"})
+    remote: list[dict] = []
     for record in recorder.events:
         kind = record["type"]
         if kind == "span" and record["t1"] is not None:
+            if record.get("remote"):
+                remote.append(record)
+                continue
             events.append(complete_event(
                 record["name"], SPAN_PID, 0, record["t0"] * 1e6,
                 (record["t1"] - record["t0"]) * 1e6, cat="span",
@@ -146,6 +154,22 @@ def chrome_trace(recorder: Recorder) -> dict:
     for offset, (source, rows, unit) in enumerate(recorder.timelines):
         events.extend(rows_to_chrome(rows, SPAN_PID + 1 + offset,
                                      unit, source))
+    tracks: dict[tuple, list[dict]] = {}
+    for record in remote:
+        key = (record.get("role", "remote"), record.get("pid", 0))
+        tracks.setdefault(key, []).append(record)
+    base_pid = SPAN_PID + 1 + len(recorder.timelines)
+    for index, ((role, pid), records) in enumerate(
+            sorted(tracks.items(), key=lambda item: str(item[0]))):
+        track = base_pid + index
+        epoch = min(r["t0"] for r in records)
+        events.extend(metadata_events(
+            track, f"remote {role} (pid {pid}, own clock)", {0: role}))
+        for record in records:
+            events.append(complete_event(
+                record["name"], track, 0, (record["t0"] - epoch) * 1e6,
+                (record["t1"] - record["t0"]) * 1e6, cat="remote-span",
+                args=record.get("attrs")))
     return chrome_payload(events)
 
 

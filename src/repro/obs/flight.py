@@ -1,0 +1,111 @@
+"""Always-on bounded flight recorder for post-mortem dumps.
+
+Spans need an installed recorder; counters have no per-request memory.
+Between the two sits the question a crashed worker leaves behind:
+*what were the last N things the service did before this?*  The
+:class:`FlightRecorder` answers it — a fixed-capacity ring of small
+event dicts that is always on (a deque append under a lock, cheap
+enough for every dispatch), is never exported during healthy
+operation, and is dumped to a JSON file only when something dies: the
+worker pool writes one on every crash / hang / deadline kill, and the
+chaos harness audits that the dump exists and parses.
+
+One process-wide instance, :data:`FLIGHT`, mirrors the metrics
+registry design; forked workers inherit a copy whose records die with
+them (the parent-side supervisor view is the one that matters for
+post-mortems — it saw the dispatch, the fate, and the kill).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+#: Schema tag of a flight-record dump file.
+FLIGHT_SCHEMA = "syncperf-flight/v1"
+
+#: Default ring capacity (records, not bytes).
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """A bounded, thread-safe ring buffer of recent operational events.
+
+    Args:
+        capacity: Ring size; the oldest record silently falls off.
+        clock: Wall-clock source (injectable for deterministic tests).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock=time.time) -> None:
+        self._records: deque[dict] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._seq = 0
+        self._dumps = 0
+
+    def record(self, kind: str, **attrs: object) -> None:
+        """Append one event (``kind`` plus free-form attributes)."""
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "t": self._clock(),
+                      "kind": kind}
+            record.update(attrs)
+            self._records.append(record)
+
+    def snapshot(self) -> list[dict]:
+        """The ring's current contents, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    def clear(self) -> None:
+        """Drop every record (the sequence keeps counting)."""
+        with self._lock:
+            self._records.clear()
+
+    def dump(self, directory: str | Path, reason: str) -> Path:
+        """Write the ring to a uniquely-named JSON file and return it.
+
+        The write is atomic (temp + rename) so a dump racing a second
+        crash never leaves a torn file for the auditor to choke on.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._dumps += 1
+            dump_id = self._dumps
+            records = [dict(record) for record in self._records]
+        safe_reason = "".join(c if c.isalnum() or c in "-_" else "-"
+                              for c in reason) or "unknown"
+        path = directory / (f"flight-{os.getpid()}-{dump_id:04d}-"
+                            f"{safe_reason}.json")
+        payload = {"schema": FLIGHT_SCHEMA, "reason": reason,
+                   "pid": os.getpid(), "dumped_at": self._clock(),
+                   "records": records}
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, default=str)
+                       + "\n")
+        os.replace(tmp, path)
+        return path
+
+
+#: The process-wide flight recorder every service layer reports into.
+FLIGHT = FlightRecorder()
+
+
+def load_flight_dump(path: str | Path) -> dict:
+    """Read a dump file back, validating its schema tag.
+
+    Raises ``ValueError`` on a torn or foreign file — the chaos
+    harness treats that as a contract violation.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"{path}: not a {FLIGHT_SCHEMA} dump")
+    if not isinstance(payload.get("records"), list):
+        raise ValueError(f"{path}: dump has no records list")
+    return payload

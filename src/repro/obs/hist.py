@@ -1,0 +1,232 @@
+"""Mergeable log-bucketed latency histograms.
+
+The service's latency story used to be two gauges recomputed by
+sorting a 512-sample window on every request — O(n log n) per
+observation, a bounded window that forgets history, and nothing a
+second process could combine with.  :class:`LatencyHistogram` replaces
+that with the standard fixed-bucket design:
+
+* **O(1) observe** — a binary search over ~28 geometric bucket bounds
+  plus three adds under a lock;
+* **mergeable** — two histograms over the same bounds combine by
+  element-wise addition (:meth:`merge`), and :meth:`diff` subtracts a
+  baseline snapshot, so client (loadgen) and server distributions, or
+  a run window of a long-lived daemon, reconcile exactly;
+* **quantiles at read time** — :meth:`percentile` interpolates within
+  the covering bucket, computed only when someone asks (``/healthz``,
+  the dashboard), never on the hot path;
+* **Prometheus exposition** — :meth:`prometheus_lines` renders the
+  standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+  triple, and :meth:`from_prometheus` parses it back, which is how the
+  load generator audits the daemon's exposition byte-for-byte.
+
+Default bounds cover 1 µs to ~2 minutes in milliseconds (factor-2
+growth), which brackets everything from a cache hit to a deadline-kill
+retry ladder; everything above the last bound lands in the implicit
+``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+#: Default bucket upper bounds, in ms: 0.001 * 2**i for i in 0..27.
+DEFAULT_BOUNDS: tuple[float, ...] = tuple(
+    0.001 * (2.0 ** i) for i in range(28))
+
+_BUCKET_RE = re.compile(
+    r'^(?P<name>[A-Za-z0-9_:]+)_bucket\{le="(?P<le>[^"]+)"\}\s+'
+    r'(?P<value>\d+(?:\.\d+)?)\s*$')
+
+
+def _fmt_bound(bound: float) -> str:
+    """Canonical ``le`` label for a bound (round-trips via ``float``)."""
+    return repr(bound)
+
+
+class LatencyHistogram:
+    """A thread-safe, mergeable histogram over fixed log-spaced buckets.
+
+    Args:
+        bounds: Strictly increasing bucket *upper* bounds; a final
+            implicit ``+Inf`` bucket catches the overflow.  All merge/
+            diff partners must share the exact bounds.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "_lock")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must strictly increase")
+        #: Per-bucket (non-cumulative) counts; last slot is +Inf.
+        self.counts = [0] * (len(self.bounds) + 1)
+        #: Total observations.
+        self.count = 0
+        #: Sum of observed values.
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    # ------------------------------ writes ------------------------------ #
+
+    def observe(self, value: float) -> None:
+        """Record one observation (O(log buckets), no allocation)."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (element-wise add)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        snapshot = other.snapshot()
+        with self._lock:
+            for index, n in enumerate(snapshot["counts"]):
+                self.counts[index] += n
+            self.count += snapshot["count"]
+            self.sum += snapshot["sum"]
+
+    # ------------------------------ reads ------------------------------- #
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy (JSON-safe)."""
+        with self._lock:
+            return {"bounds": list(self.bounds),
+                    "counts": list(self.counts),
+                    "count": self.count,
+                    "sum": self.sum}
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        hist = cls(tuple(payload["bounds"]))
+        counts = list(payload["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("snapshot counts do not match bounds")
+        hist.counts = counts
+        hist.count = int(payload["count"])
+        hist.sum = float(payload["sum"])
+        return hist
+
+    def diff(self, baseline: "LatencyHistogram") -> "LatencyHistogram":
+        """This histogram minus a ``baseline`` snapshot of it.
+
+        The window view a long-lived daemon needs: observe forever,
+        subtract the start-of-run baseline, reconcile the window.
+        """
+        if baseline.bounds != self.bounds:
+            raise ValueError("cannot diff histograms with different "
+                             "bucket bounds")
+        current, base = self.snapshot(), baseline.snapshot()
+        window = LatencyHistogram(self.bounds)
+        window.counts = [c - b for c, b in
+                         zip(current["counts"], base["counts"])]
+        if any(n < 0 for n in window.counts):
+            raise ValueError("baseline is not a prefix of this "
+                             "histogram")
+        window.count = current["count"] - base["count"]
+        window.sum = current["sum"] - base["sum"]
+        return window
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1), interpolated within its bucket.
+
+        The first bucket interpolates from 0; the ``+Inf`` bucket
+        reports its lower bound (no finite upper edge to blend to).
+        Returns 0.0 on an empty histogram.
+        """
+        snapshot = self.snapshot()
+        total = snapshot["count"]
+        if total <= 0:
+            return 0.0
+        rank = max(1.0, q * total)
+        cumulative = 0
+        for index, n in enumerate(snapshot["counts"]):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) \
+                    else lower
+                fraction = (rank - cumulative) / n
+                return round(lower + fraction * (upper - lower), 3)
+            cumulative += n
+        return round(self.bounds[-1], 3)  # pragma: no cover - defensive
+
+    def percentiles(self, *qs: float) -> tuple[float, ...]:
+        """Several quantiles from one consistent snapshot pass."""
+        return tuple(self.percentile(q) for q in qs)
+
+    # --------------------------- Prometheus ----------------------------- #
+
+    def prometheus_lines(self, name: str) -> list[str]:
+        """Standard Prometheus histogram exposition lines.
+
+        Cumulative ``<name>_bucket{le="..."}`` per bound plus
+        ``+Inf``, then ``<name>_sum`` and ``<name>_count``.
+        """
+        snapshot = self.snapshot()
+        lines = [f"# TYPE {name} histogram"]
+        cumulative = 0
+        for bound, n in zip(self.bounds, snapshot["counts"]):
+            cumulative += n
+            lines.append(
+                f'{name}_bucket{{le="{_fmt_bound(bound)}"}} {cumulative}')
+        cumulative += snapshot["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {snapshot['sum']!r}")
+        lines.append(f"{name}_count {snapshot['count']}")
+        return lines
+
+    @classmethod
+    def from_prometheus(cls, text: str,
+                        name: str) -> "LatencyHistogram":
+        """Parse one histogram back out of a text exposition.
+
+        The inverse of :meth:`prometheus_lines` — used by the load
+        generator to reconcile the daemon's served distribution against
+        its own.  Raises ``ValueError`` when the series is absent or
+        the cumulative counts are not monotone.
+        """
+        bounds: list[float] = []
+        cumulative: list[float] = []
+        total = None
+        span_sum = None
+        for line in text.splitlines():
+            line = line.strip()
+            match = _BUCKET_RE.match(line)
+            if match and match.group("name") == name:
+                le = match.group("le")
+                value = float(match.group("value"))
+                if le == "+Inf":
+                    cumulative.append(value)
+                else:
+                    bounds.append(float(le))
+                    cumulative.append(value)
+                continue
+            if line.startswith(f"{name}_sum "):
+                span_sum = float(line.split()[-1])
+            elif line.startswith(f"{name}_count "):
+                total = float(line.split()[-1])
+        if not bounds or total is None or span_sum is None:
+            raise ValueError(f"no histogram series {name!r} in text")
+        if len(cumulative) != len(bounds) + 1:
+            raise ValueError(f"{name}: missing +Inf bucket")
+        hist = cls(tuple(bounds))
+        previous = 0.0
+        for index, value in enumerate(cumulative):
+            if value < previous:
+                raise ValueError(f"{name}: non-monotone cumulative "
+                                 f"bucket at index {index}")
+            hist.counts[index] = int(value - previous)
+            previous = value
+        hist.count = int(total)
+        hist.sum = span_sum
+        if hist.count != sum(hist.counts):
+            raise ValueError(f"{name}: _count disagrees with buckets")
+        return hist

@@ -132,6 +132,34 @@ class MetricsRegistry:
 REGISTRY = MetricsRegistry()
 
 
+def counters_snapshot(
+        prefixes: tuple[str, ...] | None = None) -> dict[str, int]:
+    """Snapshot counter totals, optionally filtered by name prefixes.
+
+    The before-half of a delta window: snapshot, do work, call
+    :func:`counters_delta` with the snapshot to get exactly what the
+    work bumped.  Per-request attribution and the forked workers'
+    shipped deltas are both built on this pair.
+    """
+    return {name: metric.value
+            for name, metric in REGISTRY._counters.items()
+            if prefixes is None or name.startswith(prefixes)}
+
+
+def counters_delta(before: dict[str, int],
+                   prefixes: tuple[str, ...] | None = None
+                   ) -> dict[str, int]:
+    """Non-zero counter movement since a :func:`counters_snapshot`."""
+    deltas: dict[str, int] = {}
+    for name, metric in REGISTRY._counters.items():
+        if prefixes is not None and not name.startswith(prefixes):
+            continue
+        delta = metric.value - before.get(name, 0)
+        if delta:
+            deltas[name] = delta
+    return deltas
+
+
 def counter(name: str) -> Counter:
     """Get or create a process-wide counter (see :data:`REGISTRY`)."""
     return REGISTRY.counter(name)

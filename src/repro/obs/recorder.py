@@ -41,6 +41,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs import context as _context
 from repro.obs import metrics as _metrics
 
 #: The installed recorder (``None`` = observability off, the default).
@@ -92,6 +93,9 @@ class Recorder:
         }
         if attrs:
             record["attrs"] = dict(attrs)
+        ctx = _context.current_context()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
         self._open[sid] = record
         self._stack.append(sid)
         return sid
@@ -116,6 +120,36 @@ class Recorder:
     def spans(self) -> list[dict]:
         """Completed span records, in completion order."""
         return [e for e in self.events if e["type"] == "span"]
+
+    def add_remote_spans(self, records: list[dict] | None) -> None:
+        """Stitch in completed span records from another process.
+
+        The records come from :func:`repro.obs.context.span_records`
+        in a forked worker's reply frame.  Span ids are re-keyed into
+        this recorder's id space (remote parents are remapped when the
+        parent shipped in the same batch, dropped otherwise) so remote
+        and local spans can never collide.  Each stitched record is
+        marked ``"remote": True`` and keeps its foreign ``role``,
+        ``pid``, and clock — the Chrome exporter renders each remote
+        ``(role, pid)`` pair as its own normalized track.
+        """
+        batch = [dict(record) for record in records or ()
+                 if record.get("type") == "span"
+                 and record.get("t1") is not None]
+        # Children complete (and therefore ship) before their parents,
+        # so allocate every new sid first, then remap parent links.
+        mapping: dict[object, int] = {}
+        for merged in batch:
+            original = merged.get("sid")
+            sid = self._next_id
+            self._next_id += 1
+            if original is not None:
+                mapping[original] = sid
+            merged["sid"] = sid
+        for merged in batch:
+            merged["parent"] = mapping.get(merged.get("parent"))
+            merged["remote"] = True
+            self.events.append(merged)
 
     # ------------------------- events & metrics ------------------------ #
 

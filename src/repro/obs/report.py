@@ -12,13 +12,21 @@
 The summary is computed from the replayed event stream — the same
 records the exporter round-trip tests validate — so it works on any
 log regardless of which process wrote it.
+
+``python -m repro.obs.report --service host:port`` instead targets a
+live service daemon: it fetches ``/healthz`` and ``/metrics``, prints
+a compact ops summary (workers, breakers, latency percentiles, top
+counters), and with ``--out page.html`` writes the same self-contained
+SVG dashboard the daemon serves at ``/dashboard``.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from repro.obs.export import replay_jsonl
+from repro.obs.hist import LatencyHistogram
 
 
 def span_profile(spans: list[dict]) -> list[dict]:
@@ -94,18 +102,138 @@ def summarize(path: str, top: int = 15) -> str:
     return "\n".join(lines)
 
 
+def fetch_service(target: str, timeout: float = 10.0) -> dict:
+    """Fetch ``/healthz`` (JSON) and ``/metrics`` (text) from a daemon.
+
+    Args:
+        target: ``host:port`` of a running service daemon.
+        timeout: Per-request socket timeout in seconds.
+
+    Returns:
+        ``{"health": dict, "metrics_text": str}``.
+    """
+    import http.client
+    host, _, port_text = target.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--service wants host:port, got {target!r}")
+    out: dict = {}
+    for path, key in (("/healthz", "health"), ("/metrics",
+                                               "metrics_text")):
+        conn = http.client.HTTPConnection(host, int(port_text),
+                                          timeout=timeout)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            raw = response.read().decode()
+            if response.status != 200:
+                raise ValueError(f"GET {path} -> {response.status}")
+        finally:
+            conn.close()
+        out[key] = json.loads(raw) if key == "health" else raw
+    return out
+
+
+def _parse_counters(metrics_text: str) -> dict[str, float]:
+    """Pull ``syncperf_*`` scalar samples out of a text exposition."""
+    counters: dict[str, float] = {}
+    for line in metrics_text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition(" ")
+        if "{" in name:  # histogram buckets are parsed separately
+            continue
+        try:
+            counters[name] = float(value)
+        except ValueError:  # pragma: no cover - defensive
+            continue
+    return counters
+
+
+def service_summary(target: str, top: int = 15,
+                    out_html: str | None = None) -> str:
+    """Render the live-service ops summary (and optional dashboard).
+
+    Args:
+        target: ``host:port`` of a running daemon.
+        top: Counter rows to show.
+        out_html: When set, also write the SVG dashboard page here.
+    """
+    fetched = fetch_service(target)
+    health, metrics_text = fetched["health"], fetched["metrics_text"]
+    counters = _parse_counters(metrics_text)
+    try:
+        hist = LatencyHistogram.from_prometheus(
+            metrics_text, "syncperf_service_latency_ms")
+    except ValueError:
+        hist = LatencyHistogram()
+
+    lines = [f"service report — {target}", "",
+             f"version {health.get('version', '?')}  "
+             f"workers {health.get('workers', 0)}  "
+             f"restarts {health.get('worker_restarts', 0)}  "
+             f"requests {hist.count}",
+             f"latency p50 {hist.percentile(0.50)} ms  "
+             f"p99 {hist.percentile(0.99)} ms"]
+    breakers = health.get("breakers") or {}
+    if breakers:
+        lines.append("breakers: " + ", ".join(
+            f"{stream}={state}"
+            for stream, state in sorted(breakers.items())))
+    for worker in health.get("workers_detail", []):
+        lines.append(f"worker pid {worker.get('pid')}  "
+                     f"alive {worker.get('alive')}  "
+                     f"heartbeat {worker.get('heartbeat_age_s')}s ago")
+    lines.append("")
+    ranked = sorted(counters.items(), key=lambda kv: -kv[1])
+    lines.append(f"{'metric':<52s} {'value':>12s}")
+    for name, value in ranked[:top]:
+        lines.append(f"{name:<52s} {value:>12g}")
+
+    if out_html is not None:
+        from pathlib import Path
+
+        from repro.obs.dashboard import render_dashboard
+        dotted = {}
+        for name, value in counters.items():
+            if name.startswith("syncperf_"):
+                stem = name[len("syncperf_"):]
+                family, _, rest = stem.partition("_")
+                dotted[f"{family}.{rest}"] = value
+        page = render_dashboard(health, dotted, hist,
+                                title=f"measurement service {target}")
+        Path(out_html).write_text(page)
+        lines.append("")
+        lines.append(f"dashboard written to {out_html}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry: ``python -m repro.obs.report <log.jsonl> [--top N]``."""
+    """CLI entry: ``python -m repro.obs.report <log.jsonl> [--top N]``
+    or ``python -m repro.obs.report --service host:port [--out x.html]``.
+    """
     import argparse
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarize a syncperf --obs JSONL event log.")
-    parser.add_argument("log", help="JSONL log written by syncperf --obs")
+        description="Summarize a syncperf --obs JSONL event log, or a "
+                    "live service daemon with --service.")
+    parser.add_argument("log", nargs="?",
+                        help="JSONL log written by syncperf --obs")
     parser.add_argument("--top", type=int, default=15,
-                        help="span rows to show (default 15)")
+                        help="span/counter rows to show (default 15)")
+    parser.add_argument("--service", metavar="HOST:PORT",
+                        help="report on a live daemon instead of a log")
+    parser.add_argument("--out", metavar="PAGE.html",
+                        help="with --service: also write the SVG "
+                             "dashboard page here")
     args = parser.parse_args(argv)
+    if (args.log is None) == (args.service is None):
+        parser.error("pass exactly one of <log.jsonl> or --service")
     try:
-        print(summarize(args.log, top=args.top))
+        if args.service:
+            print(service_summary(args.service, top=args.top,
+                                  out_html=args.out))
+        else:
+            print(summarize(args.log, top=args.top))
     except (OSError, ValueError) as exc:
         print(f"repro.obs.report: {exc}", file=sys.stderr)
         return 2

@@ -52,6 +52,7 @@ def _service(args, cache_dir: Path | None,
             crash_prob=args.crash_prob, hang_prob=args.hang_prob,
             slow_prob=args.slow_prob, seed=args.seed)
     scenario = resolve_faults(args.faults) if args.faults else None
+    flight_dir = getattr(args, "flight_dir", None)
     return MeasurementService(ServiceConfig(
         workers=args.workers,
         deadline_s=args.deadline,
@@ -61,7 +62,8 @@ def _service(args, cache_dir: Path | None,
         cache_dir=cache_dir,
         checkpoint_path=checkpoint,
         scenario=scenario,
-        fault_plan=plan))
+        fault_plan=plan,
+        flight_dir=Path(flight_dir) if flight_dir else None))
 
 
 def _cmd_serve(args) -> int:
@@ -89,9 +91,14 @@ def _cmd_serve(args) -> int:
 
 def _cmd_loadgen(args) -> int:
     generator = LoadGenerator(args.host, args.port,
-                              concurrency=args.concurrency)
+                              concurrency=args.concurrency,
+                              trace=args.trace)
     report = generator.run(request_mix(args.requests, seed=args.seed))
     print(json.dumps(report, indent=1))
+    if args.trace_out and generator.last_trace:
+        Path(args.trace_out).write_text(
+            json.dumps(generator.last_trace, indent=1) + "\n")
+        print(f"stitched trace written to {args.trace_out}")
     return 0 if report["reconciled"] else 1
 
 
@@ -108,13 +115,16 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_smoke(args) -> int:
     base = Path(args.dir or tempfile.mkdtemp(prefix="service-smoke-"))
+    if args.flight_dir is None:
+        args.flight_dir = str(base / "flight")
     service = _service(args, base / "cache", base / "requests.ckpt.json")
     daemon = ServiceDaemon(service, host="127.0.0.1", port=0)
     daemon.run_in_thread()
     print(f"smoke daemon on 127.0.0.1:{daemon.port}", flush=True)
     try:
         generator = LoadGenerator("127.0.0.1", daemon.port,
-                                  concurrency=args.concurrency)
+                                  concurrency=args.concurrency,
+                                  trace=args.trace)
         report = generator.run(
             request_mix(args.requests, seed=args.seed))
     finally:
@@ -122,6 +132,10 @@ def _cmd_smoke(args) -> int:
     report["worker_restarts"] = service.pool.restarts \
         if service.pool else 0
     print(json.dumps(report, indent=1))
+    if args.trace_out and generator.last_trace:
+        Path(args.trace_out).write_text(
+            json.dumps(generator.last_trace, indent=1) + "\n")
+        print(f"stitched trace written to {args.trace_out}")
     if report["lost"]:
         print(f"SMOKE FAIL: {report['lost']} requests lost",
               file=sys.stderr)
@@ -131,9 +145,26 @@ def _cmd_smoke(args) -> int:
               "(requests != served + degraded + failed)",
               file=sys.stderr)
         return 1
+    if not report["attribution_reconciled"]:
+        print("SMOKE FAIL: per-response attribution counters do not "
+              "sum to the server-side deltas", file=sys.stderr)
+        return 1
+    if not report["hist"].get("reconciled"):
+        print("SMOKE FAIL: server latency-histogram window does not "
+              "count every processed request", file=sys.stderr)
+        return 1
+    if args.trace and not report["trace"]["ok"]:
+        print("SMOKE FAIL: no measured response produced a stitched "
+              "cross-process trace", file=sys.stderr)
+        return 1
+    trace_note = ""
+    if args.trace:
+        trace_note = (f", {report['trace']['stitched']} stitched "
+                      f"trace(s)")
     print(f"SMOKE OK: {report['sent']} requests, none lost, "
-          f"counters reconcile, "
-          f"{report['worker_restarts']} worker restart(s), "
+          f"counters + attribution + histogram reconcile, "
+          f"{report['worker_restarts']} worker restart(s)"
+          f"{trace_note}, "
           f"p50={report['p50_ms']}ms p99={report['p99_ms']}ms")
     return 0
 
@@ -153,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--deadline", type=float, default=30.0)
     serve.add_argument("--cache-dir", default=None)
     serve.add_argument("--checkpoint", default=None)
+    serve.add_argument("--flight-dir", default=None,
+                       help="dump the flight recorder here on worker "
+                       "retirement")
     serve.add_argument("--seed", type=int, default=0)
     _add_fault_args(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -164,6 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     load.add_argument("--requests", type=int, default=50)
     load.add_argument("--concurrency", type=int, default=4)
     load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--trace", action="store_true",
+                      help="stamp every request with a trace context "
+                      "and audit stitched traces")
+    load.add_argument("--trace-out", default=None,
+                      help="write the last stitched trace's spans "
+                      "(JSON) here")
     load.set_defaults(func=_cmd_loadgen)
 
     chaos = sub.add_parser("chaos", help="seeded chaos audit")
@@ -186,6 +226,15 @@ def main(argv: list[str] | None = None) -> int:
     smoke.add_argument("--deadline", type=float, default=10.0)
     smoke.add_argument("--concurrency", type=int, default=4)
     smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument("--trace", action="store_true",
+                       help="trace every request and gate on stitched "
+                       "cross-process traces")
+    smoke.add_argument("--flight-dir", default=None,
+                       help="flight-recorder dump directory (default: "
+                       "<dir>/flight)")
+    smoke.add_argument("--trace-out", default=None,
+                       help="write the last stitched trace's spans "
+                       "(JSON) here")
     _add_fault_args(smoke)
     smoke.set_defaults(func=_cmd_smoke)
 

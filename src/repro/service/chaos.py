@@ -18,6 +18,16 @@ resilience contract:
 5. **No torn state.** Every cache entry on disk parses completely, and
    the request ledger (checkpoint manifest) parses and accounts for
    every request.
+6. **Attribution is consistent.** Every terminal response carries an
+   attribution whose serving path agrees with its status — a faulted
+   run must not mislabel how an answer was produced.
+7. **Traces stitch across kills.** Every chaos submission is traced;
+   when any request was actually measured through the pool, at least
+   one stored trace must contain daemon *and* worker spans under one
+   trace id — worker kill/replace must not sever propagation.
+8. **Crashes leave flight records.** When workers were restarted, the
+   flight recorder must have dumped at least one post-mortem ring
+   that parses back (:func:`repro.obs.flight.load_flight_dump`).
 
 Two phases share one cache directory: a quiet phase primes the cache
 with the popular mix, then the chaos phase reopens the service with a
@@ -37,6 +47,8 @@ from pathlib import Path
 
 from repro.faults import resolve_faults
 from repro.faults.process import ProcessFaultPlan
+from repro.obs.context import TraceContext, trace_roles
+from repro.obs.flight import load_flight_dump
 from repro.obs.metrics import REGISTRY
 from repro.service.cache import ResultCache
 from repro.service.core import MeasurementService, ServiceConfig
@@ -111,7 +123,8 @@ def run_chaos(base_dir: str | Path, seed: int = 0,
         cache_ttl_s=0.0,  # everything is stale: degradation must label
         checkpoint_path=checkpoint_path,
         scenario=scenario,
-        fault_plan=plan)
+        fault_plan=plan,
+        flight_dir=base / "flight")
 
     before = {name: value
               for name, value in REGISTRY.counters().items()
@@ -126,7 +139,9 @@ def run_chaos(base_dir: str | Path, seed: int = 0,
 
         def lane(work: list[dict]) -> None:
             for payload in work:
-                outcome = service.submit(payload)
+                traced = dict(payload,
+                              trace=TraceContext.new().to_wire())
+                outcome = service.submit(traced)
                 with response_lock:
                     responses.append(outcome)
 
@@ -188,6 +203,53 @@ def run_chaos(base_dir: str | Path, seed: int = 0,
                     not EXIT_CLAIMS <= code <= EXIT_UNAVAILABLE:
                 violations.append(
                     f"failed response outside taxonomy: {outcome}")
+    # 6. Attribution agrees with the terminal status.
+    consistent_serving = {"served": {"measured", "cache_hit",
+                                     "coalesced"},
+                          "degraded": {"stale_cache", "coalesced"},
+                          "failed": {"none", "coalesced"}}
+    for outcome in responses:
+        status = outcome.get("status")
+        attribution = outcome.get("attribution")
+        if not isinstance(attribution, dict):
+            violations.append(f"response without attribution: {outcome}")
+            continue
+        serving = attribution.get("serving")
+        if status in consistent_serving and \
+                serving not in consistent_serving[status]:
+            violations.append(
+                f"attribution serving {serving!r} inconsistent with "
+                f"status {status!r}")
+    # 7. Traces stitch across worker kill/replace.
+    stitched_traces = 0
+    measured = [outcome for outcome in responses
+                if not outcome.get("coalesced")
+                and isinstance(outcome.get("attribution"), dict)
+                and outcome["attribution"].get("serving") == "measured"]
+    for outcome in measured:
+        spans = service.traces.get(outcome.get("trace_id") or "")
+        if not spans:
+            continue
+        roles = set(trace_roles(spans))
+        if "daemon" in roles and roles & {"worker", "daemon-inline"}:
+            stitched_traces += 1
+    if measured and workers > 0 and stitched_traces == 0:
+        violations.append(
+            f"{len(measured)} measured responses but no stitched "
+            f"daemon+worker trace survived the chaos run")
+    # 8. Worker restarts must leave parseable flight records.
+    flight_dumps = sorted((base / "flight").glob("flight-*.json"))
+    if restarts > 0:
+        if not flight_dumps:
+            violations.append(
+                f"{restarts} worker restarts but no flight-recorder "
+                f"dump on disk")
+        for dump_path in flight_dumps:
+            try:
+                load_flight_dump(dump_path)
+            except (OSError, ValueError) as exc:
+                violations.append(
+                    f"flight dump {dump_path.name} unreadable: {exc}")
     # 5a. No torn cache entries.
     try:
         entries = ResultCache(cache_dir).entries()
@@ -215,6 +277,8 @@ def run_chaos(base_dir: str | Path, seed: int = 0,
                      if delta[name]},
         "worker_restarts": restarts,
         "cache_entries": len(entries),
+        "stitched_traces": stitched_traces,
+        "flight_dumps": len(flight_dumps),
         "fault_plan": plan.describe(),
         "violations": violations,
     }

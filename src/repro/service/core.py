@@ -26,9 +26,9 @@ stops burning workers and falls back to the cache at the door.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -49,8 +49,19 @@ from repro.faults.process import ProcessFaultPlan
 from repro.faults.scenario import FaultScenario, use_faults
 from repro.obs import event as obs_event
 from repro.obs import span as obs_span
+from repro.obs.context import (
+    TraceContext,
+    TraceStore,
+    current_context,
+    maybe_context,
+    traced_execution,
+)
+from repro.obs.flight import FLIGHT
+from repro.obs.hist import LatencyHistogram
 from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import counters_delta, counters_snapshot
 from repro.obs.metrics import gauge as _gauge
+from repro.obs.recorder import get_recorder
 from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import MeasureRequest, execute_request
 from repro.service.policy import (
@@ -62,7 +73,7 @@ from repro.service.policy import (
     rebuild_exception,
     retryable_error_name,
 )
-from repro.service.workers import WorkerPool
+from repro.service.workers import ATTRIBUTION_PREFIXES, WorkerPool
 
 _C_REQUESTS = _counter("service.requests")
 _C_SERVED = _counter("service.served")
@@ -83,6 +94,90 @@ _INFRA_ERRORS = {
     "worker_hang": WorkerLost,
     "deadline": DeadlineExceeded,
 }
+
+#: Dispatch-tier evidence counters, in precedence order: the tier a
+#: request was served by is the one whose counter moved during its
+#: execution (ties broken cheapest-first).
+_TIER_COUNTERS = (
+    ("replay", "dispatch.hit"),
+    ("shape", "dispatch.shape_hit"),
+    ("disk", "dispatch.disk_hit"),
+    ("lift", "dispatch.compile"),
+)
+
+#: Counter families surfaced in per-response attribution (the ones a
+#: client can reconcile against ``/metrics``); the rest of the shipped
+#: prefixes still fold into the parent registry.
+_ATTR_COUNTER_PREFIXES = ("dispatch.", "cache.")
+
+
+def dispatch_tier(counters: dict[str, int]) -> str:
+    """Name the dispatch tier a request's counter deltas evidence.
+
+    ``replay`` (content-keyed replay hit), ``shape`` (shape-keyed
+    in-memory plan), ``disk`` (on-disk plan store), ``lift`` (plans
+    compiled this request), else ``interpret`` — nothing moved, the
+    launch ran on the plain interpreter (or fell back).
+    """
+    best_tier, best_delta = "interpret", 0
+    for tier, name in _TIER_COUNTERS:
+        delta = counters.get(name, 0)
+        if delta > best_delta:
+            best_tier, best_delta = tier, delta
+    return best_tier
+
+
+class _Attribution:
+    """Per-request attribution accumulator.
+
+    One instance rides through a submission and absorbs each attempt's
+    outcome — worker pid, shipped counter deltas, remote spans — so the
+    terminal response can say *how* it was served: the serving path,
+    the dispatch tier evidenced by ``dispatch.*`` deltas, retries, and
+    the breaker state at termination.
+    """
+
+    __slots__ = ("trace_id", "serving", "worker_pid", "attempts",
+                 "breaker", "counters", "spans")
+
+    def __init__(self, ctx: TraceContext | None) -> None:
+        self.trace_id = ctx.trace_id if ctx is not None else None
+        self.serving: str | None = None
+        self.worker_pid: int | None = None
+        self.attempts = 0
+        self.breaker: str | None = None
+        self.counters: dict[str, int] = {}
+        self.spans: list[dict] = []
+
+    def absorb(self, outcome: dict) -> None:
+        """Fold one attempt's shipped pid/deltas/spans in."""
+        pid = outcome.get("pid")
+        if pid is not None:
+            self.worker_pid = pid
+        for name, delta in (outcome.get("counters") or {}).items():
+            self.counters[name] = self.counters.get(name, 0) + delta
+        spans = outcome.get("spans")
+        if spans:
+            self.spans.extend(spans)
+
+    def as_dict(self) -> dict:
+        """The response's ``attribution`` field."""
+        counters = {name: value
+                    for name, value in sorted(self.counters.items())
+                    if name.startswith(_ATTR_COUNTER_PREFIXES)}
+        record = {
+            "serving": self.serving or "none",
+            "tier": dispatch_tier(self.counters)
+            if self.serving == "measured" else None,
+            "worker_pid": self.worker_pid,
+            "attempts": self.attempts,
+            "retries": max(0, self.attempts - 1),
+            "breaker": self.breaker,
+            "counters": counters,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        return record
 
 
 @dataclass(frozen=True)
@@ -115,6 +210,14 @@ class ServiceConfig:
             (:class:`CampaignCheckpoint`), durable across kills.
         scenario: Measurement-time fault scenario active in workers.
         fault_plan: Process-level fault plan (crash/hang/slow).
+        attribution: Attach per-request attribution (serving path,
+            dispatch tier, worker pid, retries, breaker state) to
+            every terminal response.  Default on; the bench baseline
+            turns it off to price the machinery.
+        flight_dir: When set, worker retirements dump the flight
+            recorder here for post-mortems (chaos-audited).
+        trace_max: Distinct traces the in-memory store retains for
+            ``GET /trace/<id>`` (oldest evicted).
     """
 
     workers: int = 2
@@ -130,6 +233,9 @@ class ServiceConfig:
     checkpoint_path: str | Path | None = None
     scenario: FaultScenario | None = None
     fault_plan: ProcessFaultPlan | None = None
+    attribution: bool = True
+    flight_dir: str | Path | None = None
+    trace_max: int = 512
 
 
 class _Flight:
@@ -181,7 +287,8 @@ class MeasurementService:
                 heartbeat_timeout_s=self.config.heartbeat_timeout_s,
                 scenario=self.config.scenario,
                 fault_plan=self.config.fault_plan,
-                plan_cache_dir=self.config.plan_cache_dir)
+                plan_cache_dir=self.config.plan_cache_dir,
+                flight_dir=self.config.flight_dir)
         self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         self._checkpoint: CampaignCheckpoint | None = None
@@ -190,8 +297,11 @@ class MeasurementService:
             self._checkpoint = CampaignCheckpoint.open(
                 self.config.checkpoint_path,
                 fingerprint=self.fingerprint, resume=True)
-        self._latency_lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=512)
+        #: Served-latency distribution (O(1) observe; percentiles only
+        #: at snapshot time — ``/healthz``, ``/metrics``, dashboard).
+        self.latency = LatencyHistogram()
+        #: Stitched cross-process traces for ``GET /trace/<id>``.
+        self.traces = TraceStore(max_traces=self.config.trace_max)
         self._flights: dict[str, _Flight] = {}
         self._flight_lock = threading.Lock()
         self._request_index = len(
@@ -199,6 +309,11 @@ class MeasurementService:
             if self._checkpoint else 0
         self._inline_seq = 0
         self._inline_lock = threading.Lock()
+        # The in-flight submission's attribution accumulator, keyed by
+        # handling thread so the orchestration chain keeps its public
+        # method signatures (each daemon executor thread handles one
+        # submission at a time).
+        self._attr_local = threading.local()
 
     # ------------------------------------------------------------ API
 
@@ -207,11 +322,21 @@ class MeasurementService:
 
         Never raises: every exception, including unforeseen internal
         ones, terminates as a counted ``failed`` response.
+
+        A dict payload may carry a ``"trace"`` field (wire-format
+        :class:`TraceContext`); it is stripped before request
+        validation — trace identity must never reach the cache key —
+        and becomes the thread's current context for the submission.
+        Traced responses gain a top-level ``trace_id`` and the stitched
+        spans land in :attr:`traces`.
         """
         _C_REQUESTS.add()
+        payload, ctx = self._extract_trace(payload)
+        attribution = _Attribution(ctx)
+        self._attr_local.value = attribution
         start = self._clock()
         try:
-            with obs_span("service.request"):
+            with maybe_context(ctx), obs_span("service.request"):
                 response = self._handle(payload)
         except BaseException as exc:  # noqa: BLE001 - terminal catch-all
             response = {
@@ -220,10 +345,22 @@ class MeasurementService:
                 "message": str(exc),
                 "exit_code": error_exit_code(exc),
             }
-        latency_ms = (self._clock() - start) * 1e3
+            if self.config.attribution and "attribution" not in response:
+                attribution.serving = attribution.serving or "none"
+                response["attribution"] = attribution.as_dict()
+        finally:
+            self._attr_local.value = None
+        end = self._clock()
+        latency_ms = (end - start) * 1e3
         response["latency_ms"] = round(latency_ms, 3)
         self._count(response)
         self._observe_latency(latency_ms)
+        self._record_trace(ctx, attribution, response, start, end)
+        FLIGHT.record("service.response",
+                      status=response.get("status"),
+                      serving=attribution.serving,
+                      latency_ms=response["latency_ms"],
+                      trace_id=attribution.trace_id)
         self._ledger(payload, response)
         return response
 
@@ -233,16 +370,33 @@ class MeasurementService:
             breakers = {f"{prim}/s{system}": breaker.state
                         for (prim, system), breaker
                         in sorted(self._breakers.items())}
-        p50, p99 = self._latency_percentiles()
+        p50, p99 = self.latency_snapshot()
         return {
             "status": "ok",
             "version": repro.__version__,
             "workers": self.config.workers,
             "worker_restarts": self.pool.restarts if self.pool else 0,
+            "restart_reasons": dict(sorted(
+                self.pool.restart_reasons.items())) if self.pool else {},
+            "workers_detail": self.pool.worker_stats()
+            if self.pool else [],
             "breakers": breakers,
             "latency_p50_ms": p50,
             "latency_p99_ms": p99,
+            "latency_count": self.latency.count,
         }
+
+    def latency_snapshot(self) -> tuple[float, float]:
+        """Current (p50, p99) from the histogram; refreshes the gauges.
+
+        The only place percentiles are computed — the per-request path
+        just buckets (the old implementation sorted the whole latency
+        window on every request).
+        """
+        p50, p99 = self.latency.percentiles(0.50, 0.99)
+        _G_LAT_P50.set(p50)
+        _G_LAT_P99.set(p99)
+        return p50, p99
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
@@ -257,7 +411,16 @@ class MeasurementService:
 
     # ----------------------------------------------------- orchestration
 
+    def _attribution(self) -> _Attribution:
+        """This thread's in-flight attribution accumulator."""
+        attribution = getattr(self._attr_local, "value", None)
+        if attribution is None:  # pragma: no cover - direct method use
+            attribution = _Attribution(None)
+            self._attr_local.value = attribution
+        return attribution
+
     def _handle(self, payload: object) -> dict:
+        attribution = self._attribution()
         request = MeasureRequest.from_json(payload)
         # The request digest keys both the result cache and in-flight
         # coalescing, so it is computed even when caching is off.
@@ -269,10 +432,14 @@ class MeasurementService:
             if entry is not None and \
                     entry.age_seconds <= self.config.cache_ttl_s:
                 _C_CACHE_HIT.add()
-                return {"status": "served", "cache": "hit",
-                        "request": request.canonical(),
-                        "result": entry.result,
-                        "age_seconds": round(entry.age_seconds, 3)}
+                attribution.serving = "cache_hit"
+                response = {"status": "served", "cache": "hit",
+                            "request": request.canonical(),
+                            "result": entry.result,
+                            "age_seconds": round(entry.age_seconds, 3)}
+                if self.config.attribution:
+                    response["attribution"] = attribution.as_dict()
+                return response
 
         # Single-flight: identical cache-miss requests arriving while
         # one is already executing share that execution's terminal
@@ -289,6 +456,10 @@ class MeasurementService:
             flight.event.wait()
             if flight.response is not None:
                 _C_COALESCED.add()
+                # A follower's attribution is the leader's (the work
+                # was the leader's); ``coalesced`` marks it so counter
+                # reconciliation can skip the duplicate deltas.
+                attribution.serving = "coalesced"
                 return dict(flight.response, coalesced=True)
             # The leader terminated without a response (an internal
             # error surfaced through submit's catch-all): contend for
@@ -305,6 +476,7 @@ class MeasurementService:
 
     def _measure_miss(self, request: MeasureRequest, key: str) -> dict:
         """Breaker -> retry loop -> degrade for one cache-missed request."""
+        attribution = self._attribution()
         breaker = self._breaker(request)
         if not breaker.allow():
             exc = CircuitOpenError(
@@ -315,16 +487,23 @@ class MeasurementService:
         failure = None
         delays = self.config.retry.delays(key=request.describe())
         for attempt in range(self.config.retry.max_attempts):
+            attribution.attempts += 1
             outcome = self._execute(request)
+            self._fold_outcome(outcome, attribution)
             if outcome["status"] == "ok":
                 breaker.record_success()
                 if self.cache is not None and key is not None:
                     self.cache.put(key, outcome["result"],
                                    request.canonical())
-                return {"status": "served", "cache": "miss",
-                        "request": request.canonical(),
-                        "result": outcome["result"],
-                        "attempts": attempt + 1}
+                attribution.serving = "measured"
+                attribution.breaker = breaker.state
+                response = {"status": "served", "cache": "miss",
+                            "request": request.canonical(),
+                            "result": outcome["result"],
+                            "attempts": attempt + 1}
+                if self.config.attribution:
+                    response["attribution"] = attribution.as_dict()
+                return response
             failure = outcome
             breaker.record_failure()
             error_name = outcome.get("error", "")
@@ -344,8 +523,11 @@ class MeasurementService:
 
     def _execute(self, request: MeasureRequest) -> dict:
         """One measurement attempt: pooled dispatch or inline call."""
+        ctx = current_context()
         if self.pool is not None:
-            return self.pool.execute(request, self.config.deadline_s)
+            return self.pool.execute(
+                request, self.config.deadline_s,
+                trace=ctx.child().to_wire() if ctx is not None else None)
         # Inline mode: same fate stream as a pool would draw, but
         # crash/hang collapse to WorkerLost without killing anything —
         # there is no process to kill.
@@ -358,13 +540,65 @@ class MeasurementService:
         if fate in ("crash", "hang"):
             return {"status": f"worker_{fate}",
                     "message": f"injected {fate} (inline mode)"}
-        try:
-            with use_faults(self.config.scenario):
-                result = execute_request(request)
-        except Exception as exc:  # noqa: BLE001 - mirrors worker reply
-            return {"status": "error", "error": type(exc).__name__,
-                    "message": str(exc)}
-        return {"status": "ok", "result": result}
+        return self._execute_inline(request, ctx)
+
+    def _execute_inline(self, request: MeasureRequest,
+                        ctx: TraceContext | None) -> dict:
+        """Inline execution with the same reply shape a worker ships.
+
+        Attribution needs per-request counter deltas; with no process
+        boundary to isolate them, inline executions serialize under
+        ``_inline_lock`` so concurrent submissions (the daemon's
+        executor threads) cannot interleave their counter windows.
+        """
+        if not self.config.attribution and ctx is None:
+            try:
+                with use_faults(self.config.scenario):
+                    result = execute_request(request)
+            except Exception as exc:  # noqa: BLE001 - mirrors worker reply
+                return {"status": "error", "error": type(exc).__name__,
+                        "message": str(exc)}
+            return {"status": "ok", "result": result}
+        with self._inline_lock:
+            before = counters_snapshot(ATTRIBUTION_PREFIXES)
+            spans = None
+            try:
+                with use_faults(self.config.scenario):
+                    result, spans = traced_execution(
+                        ctx, "daemon-inline", "service.execute",
+                        lambda: execute_request(request),
+                        request=request.describe())
+                outcome: dict = {"status": "ok", "result": result}
+            except Exception as exc:  # noqa: BLE001 - mirrors worker reply
+                outcome = {"status": "error",
+                           "error": type(exc).__name__,
+                           "message": str(exc)}
+            outcome["pid"] = os.getpid()
+            deltas = counters_delta(before, ATTRIBUTION_PREFIXES)
+            if deltas:
+                outcome["counters"] = deltas
+                outcome["counters_folded"] = True
+            if spans:
+                outcome["spans"] = spans
+            return outcome
+
+    def _fold_outcome(self, outcome: dict,
+                      attribution: _Attribution) -> None:
+        """Absorb one attempt's shipped telemetry into the parent side.
+
+        Pool-worker counter bumps died with the fork — fold the
+        shipped deltas into this process's registry so ``/metrics``
+        sees dispatcher/engine activity (inline outcomes mark
+        ``counters_folded``: their bumps already happened here).
+        Shipped spans also stitch into any installed recorder.
+        """
+        attribution.absorb(outcome)
+        if not outcome.get("counters_folded"):
+            for name, delta in (outcome.get("counters") or {}).items():
+                _counter(name).add(delta)
+        recorder = get_recorder()
+        if recorder is not None and outcome.get("spans"):
+            recorder.add_remote_spans(outcome["spans"])
 
     def _failure_exception(self, outcome: dict | None) -> ReproError:
         """The taxonomy exception a final failed outcome maps to."""
@@ -379,6 +613,8 @@ class MeasurementService:
     def _degrade_or_fail(self, request: MeasureRequest,
                          key: str | None, exc: Exception) -> dict:
         """Answer from stale cache if possible, else fail with taxonomy."""
+        attribution = self._attribution()
+        attribution.breaker = self._breaker(request).state
         if self.cache is not None and key is not None:
             entry = self.cache.get(key)
             if entry is not None:
@@ -387,16 +623,24 @@ class MeasurementService:
                           request=request.describe(),
                           error=type(exc).__name__,
                           stale_seconds=round(entry.age_seconds, 3))
-                return {"status": "degraded", "cache": "stale",
-                        "request": request.canonical(),
-                        "result": entry.result,
-                        "stale_seconds": round(entry.age_seconds, 3),
-                        "error": type(exc).__name__,
-                        "message": str(exc)}
-        return {"status": "failed",
-                "error": type(exc).__name__,
-                "message": str(exc),
-                "exit_code": error_exit_code(exc)}
+                attribution.serving = "stale_cache"
+                response = {"status": "degraded", "cache": "stale",
+                            "request": request.canonical(),
+                            "result": entry.result,
+                            "stale_seconds": round(entry.age_seconds, 3),
+                            "error": type(exc).__name__,
+                            "message": str(exc)}
+                if self.config.attribution:
+                    response["attribution"] = attribution.as_dict()
+                return response
+        attribution.serving = "none"
+        response = {"status": "failed",
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "exit_code": error_exit_code(exc)}
+        if self.config.attribution:
+            response["attribution"] = attribution.as_dict()
+        return response
 
     # ------------------------------------------------------- accounting
 
@@ -432,21 +676,44 @@ class MeasurementService:
             _C_FAILED.add()
 
     def _observe_latency(self, latency_ms: float) -> None:
-        with self._latency_lock:
-            self._latencies.append(latency_ms)
-        p50, p99 = self._latency_percentiles()
-        _G_LAT_P50.set(p50)
-        _G_LAT_P99.set(p99)
+        # O(1): one histogram bucket add.  Percentiles (and the
+        # back-compat gauges) materialize in latency_snapshot() only
+        # when a reader asks.
+        self.latency.observe(latency_ms)
 
-    def _latency_percentiles(self) -> tuple[float, float]:
-        with self._latency_lock:
-            sample = sorted(self._latencies)
-        if not sample:
-            return 0.0, 0.0
-        def pct(q: float) -> float:
-            index = min(len(sample) - 1, int(q * (len(sample) - 1)))
-            return round(sample[index], 3)
-        return pct(0.50), pct(0.99)
+    def _extract_trace(self, payload: object
+                       ) -> tuple[object, TraceContext | None]:
+        """Split the optional ``"trace"`` field off a request payload.
+
+        The field must come off before :class:`MeasureRequest`
+        validation (unknown fields are rejected by design) and before
+        the cache key is computed — trace identity can never change
+        what is measured or where it is cached.
+        """
+        if isinstance(payload, dict) and "trace" in payload:
+            payload = dict(payload)
+            ctx = TraceContext.from_wire(payload.pop("trace"))
+            return payload, ctx
+        return payload, None
+
+    def _record_trace(self, ctx: TraceContext | None,
+                      attribution: _Attribution, response: dict,
+                      start: float, end: float) -> None:
+        """Stitch one traced submission into the trace store."""
+        if ctx is None:
+            return
+        response["trace_id"] = ctx.trace_id
+        records = [{
+            "type": "span", "sid": 0, "parent": None,
+            "name": "service.request",
+            "t0": start, "t1": end,
+            "trace_id": ctx.trace_id,
+            "role": "daemon", "pid": os.getpid(),
+            "attrs": {"status": response.get("status"),
+                      "serving": attribution.serving or "none"},
+        }]
+        records.extend(attribution.spans)
+        self.traces.add(ctx.trace_id, records)
 
     def _ledger(self, payload: object, response: dict) -> None:
         """Durably record one terminal response in the checkpoint."""

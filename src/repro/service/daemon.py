@@ -15,13 +15,26 @@ streams; no frameworks) exposing three endpoints:
     ever parses and serializes.
 
 ``GET /metrics``
-    Prometheus text exposition of the service's counters — as deltas
-    against the daemon's start so one process can host sequential
-    daemons without leaking counts across them — plus latency gauges.
+    Prometheus text exposition of the service's counters (service,
+    dispatch, and cache families) — as deltas against the daemon's
+    start so one process can host sequential daemons without leaking
+    counts across them — plus latency gauges and the full
+    ``syncperf_service_latency_ms`` histogram triple.
 
 ``GET /healthz``
-    JSON liveness: version, worker restarts, per-stream breaker
-    states, latency percentiles, and the primitive catalogue.
+    JSON liveness: version, worker restarts and per-worker heartbeat
+    detail, per-stream breaker states, latency percentiles, and the
+    primitive catalogue.
+
+``GET /trace/<id>``
+    The stitched cross-process trace for one ``trace_id`` previously
+    returned by ``/measure`` — daemon, worker, and engine span records
+    sharing that id — or 404 when unknown/evicted.
+
+``GET /dashboard``
+    A self-contained SVG/HTML ops page (latency histogram, dispatch
+    tier mix, serving mix, breaker/worker tables) rendered through
+    :mod:`repro.obs.dashboard`.
 
 Connections are one-shot (``Connection: close``): the client mix is
 benchmarks and smoke tests, where per-request sockets keep failure
@@ -35,6 +48,7 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs.dashboard import render_dashboard
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import REGISTRY
 from repro.service.catalog import CATALOG
@@ -43,6 +57,16 @@ from repro.service.policy import EXIT_CONFIG, EXIT_UNAVAILABLE
 
 #: Largest accepted request body; a measure request is ~100 bytes.
 MAX_BODY_BYTES = 64 * 1024
+
+#: Counter families exposed (and baselined) by ``GET /metrics``.
+METRIC_PREFIXES = ("service.", "dispatch.", "cache.")
+
+#: Series name of the served-latency histogram exposition.
+LATENCY_SERIES = "syncperf_service_latency_ms"
+
+
+class _Html(str):
+    """Marker subclass: respond as ``text/html``, not ``text/plain``."""
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 413: "Payload Too Large",
@@ -90,7 +114,7 @@ class ServiceDaemon:
         """Bind and start serving (resolves :attr:`port`)."""
         self._counter_baseline = {
             name: value for name, value in REGISTRY.counters().items()
-            if name.startswith("service.")}
+            if name.startswith(METRIC_PREFIXES)}
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -196,26 +220,55 @@ class ServiceDaemon:
                                  for name, entry in sorted(
                                      CATALOG.items())}
             return 200, health
+        if path.startswith("/trace/"):
+            if method != "GET":
+                return 405, {"error": "GET /trace/<id>"}
+            trace_id = path[len("/trace/"):]
+            spans = self.service.traces.get(trace_id)
+            if spans is None:
+                return 404, {"error": f"unknown trace {trace_id!r}"}
+            return 200, {"trace_id": trace_id, "spans": spans}
+        if path == "/dashboard":
+            if method != "GET":
+                return 405, {"error": "GET /dashboard"}
+            return 200, _Html(self._dashboard_html())
         return 404, {"error": f"no route for {path}"}
 
-    def _metrics_text(self) -> str:
-        """Service counters as deltas since daemon start, plus gauges."""
+    def _dashboard_html(self) -> str:
+        """The ops dashboard rendered from the live service."""
         counters = {
             name: value - self._counter_baseline.get(name, 0)
             for name, value in REGISTRY.counters().items()
-            if name.startswith("service.")}
+            if name.startswith(METRIC_PREFIXES)}
+        return render_dashboard(self.service.health(), counters,
+                                self.service.latency)
+
+    def _metrics_text(self) -> str:
+        """Counter deltas since daemon start, gauges, and the latency
+        histogram exposition."""
+        counters = {
+            name: value - self._counter_baseline.get(name, 0)
+            for name, value in REGISTRY.counters().items()
+            if name.startswith(METRIC_PREFIXES)}
         gauges = {name: value
                   for name, value in REGISTRY.gauges().items()
                   if name.startswith("service.")}
-        return prometheus_text(counters, gauges)
+        text = prometheus_text(counters, gauges)
+        hist_lines = self.service.latency.prometheus_lines(
+            LATENCY_SERIES)
+        return text + "\n".join(hist_lines) + "\n"
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        body: dict | str) -> None:
-        if isinstance(body, str):
+        if isinstance(body, _Html):
+            payload = body.encode()
+            content_type = "text/html; charset=utf-8"
+        elif isinstance(body, str):
             payload = body.encode()
             content_type = "text/plain; version=0.0.4"
         else:
-            payload = (json.dumps(body, indent=1) + "\n").encode()
+            payload = (json.dumps(body, indent=1, default=str)
+                       + "\n").encode()
             content_type = "application/json"
         head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}"
                 f"\r\nContent-Type: {content_type}"

@@ -15,6 +15,21 @@ reconciles three views of the run:
   that already served other traffic still reconciles — but the
   generator must be the only active client while it runs.
 
+Three further audits ride on the same run:
+
+* **attribution** — every non-coalesced response's ``attribution.
+  counters`` (per-request ``dispatch.*``/``cache.*`` deltas) must sum
+  to exactly the server-side ``/metrics`` movement of those counters;
+* **histogram** — the daemon's ``syncperf_service_latency_ms``
+  exposition, diffed across the run, must have counted exactly the
+  requests the daemon reports serving (client and server observe
+  different clocks, so only counts — not sums — reconcile);
+* **tracing** (``trace=True``) — every request carries a fresh
+  :class:`TraceContext`; the report then proves at least one response's
+  ``trace_id`` resolves via ``GET /trace/<id>`` to a stitched
+  cross-process trace whose spans cover both the daemon and an
+  executor role (worker or inline).
+
 The mix is Zipf-flavoured on purpose: a small set of popular requests
 recurs (exercising the cache-hit path) over a long tail of distinct
 ones (exercising cold dispatch), all drawn from a seeded stream so two
@@ -29,12 +44,28 @@ import random
 import threading
 import time
 
+from repro.obs.context import TraceContext, trace_roles
+from repro.obs.export import _metric_name
+from repro.obs.hist import LatencyHistogram
 from repro.service.catalog import CATALOG, MeasureRequest
+from repro.service.daemon import LATENCY_SERIES
 
 #: Thread counts the CPU mix draws from (valid on every paper system).
 _CPU_THREADS = (2, 4, 8, 16)
 _GPU_THREADS = (32, 64, 128, 256)
 _GPU_BLOCKS = (1, 2, 4)
+
+#: Every ``dispatch.*``/``cache.*`` counter the engine can move — the
+#: attribution audit compares sums over the union of these and
+#: whatever the responses actually reported, so a counter the server
+#: moved but no response attributed still fails the audit.
+KNOWN_ATTR_COUNTERS = (
+    "dispatch.hit", "dispatch.miss", "dispatch.shape_hit",
+    "dispatch.compile", "dispatch.fallback", "dispatch.lifted_blocks",
+    "dispatch.lifted_regions", "dispatch.evictions",
+    "dispatch.disk_hit", "dispatch.disk_miss", "dispatch.disk_write",
+    "dispatch.disk_corrupt", "cache.evictions",
+)
 
 
 def request_mix(n: int, seed: int = 0,
@@ -103,14 +134,21 @@ class LoadGenerator:
         concurrency: Client lanes (threads).
         timeout_s: Per-request socket timeout; a timeout counts the
             request as ``lost`` (the one thing the smoke gate forbids).
+        trace: Stamp every request with a fresh trace context and
+            audit stitched traces via ``GET /trace/<id>`` after the
+            run.
     """
 
     def __init__(self, host: str, port: int, concurrency: int = 4,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0, trace: bool = False) -> None:
         self.host = host
         self.port = port
         self.concurrency = max(1, concurrency)
         self.timeout_s = timeout_s
+        self.trace = trace
+        #: Spans of the last stitched trace the post-run audit fetched
+        #: (for ``--trace-out`` export).
+        self.last_trace: list[dict] = []
 
     def _post(self, payload: dict) -> dict | None:
         conn = http.client.HTTPConnection(
@@ -140,21 +178,30 @@ class LoadGenerator:
         Returns:
             A report dict: ``sent``, per-status counts, ``lost``,
             client p50/p99 latencies, the ``/metrics`` counter deltas
-            across the run, and ``reconciled`` — whether the
-            server-side counter identity holds and matches ``sent``.
+            across the run, ``reconciled`` (the counter identity),
+            ``attribution_reconciled`` (per-response counter sums ==
+            server deltas), ``hist`` (client/server histogram counts +
+            ``reconciled``), and — with ``trace=True`` — ``trace``
+            (stitched-trace audit results).
         """
-        before = parse_metrics(self._get("/metrics"))
+        before_text = self._get("/metrics")
+        before = parse_metrics(before_text)
         lanes: list[list[dict]] = [[] for _ in range(self.concurrency)]
         for index, payload in enumerate(payloads):
             lanes[index % self.concurrency].append(payload)
         statuses: dict[str, int] = {}
         latencies: list[float] = []
+        responses: list[dict] = []
+        client_hist = LatencyHistogram()
         lost = 0
         lock = threading.Lock()
 
         def lane(work: list[dict]) -> None:
             nonlocal lost
             for payload in work:
+                if self.trace:
+                    payload = dict(payload,
+                                   trace=TraceContext.new().to_wire())
                 start = time.monotonic()
                 response = self._post(payload)
                 elapsed_ms = (time.monotonic() - start) * 1e3
@@ -163,6 +210,8 @@ class LoadGenerator:
                         lost += 1
                         continue
                     latencies.append(elapsed_ms)
+                    client_hist.observe(elapsed_ms)
+                    responses.append(response)
                     status = response["status"]
                     statuses[status] = statuses.get(status, 0) + 1
 
@@ -174,7 +223,8 @@ class LoadGenerator:
         for thread in threads:
             thread.join()
 
-        after = parse_metrics(self._get("/metrics"))
+        after_text = self._get("/metrics")
+        after = parse_metrics(after_text)
 
         def delta(name: str) -> float:
             return after.get(name, 0.0) - before.get(name, 0.0)
@@ -186,7 +236,7 @@ class LoadGenerator:
         reconciled = (lost == 0
                       and requests == served + degraded + failed
                       and requests == float(len(payloads)))
-        return {
+        report = {
             "sent": len(payloads),
             "statuses": dict(sorted(statuses.items())),
             "lost": lost,
@@ -196,3 +246,98 @@ class LoadGenerator:
                        "degraded": degraded, "failed": failed},
             "reconciled": reconciled,
         }
+        report["attribution_reconciled"] = self._reconcile_attribution(
+            responses, delta, lost)
+        report["hist"] = self._reconcile_histograms(
+            before_text, after_text, client_hist, requests)
+        if self.trace:
+            report["trace"] = self._audit_traces(responses)
+        return report
+
+    # ----------------------------------------------------------- audits
+
+    def _reconcile_attribution(self, responses: list[dict], delta,
+                               lost: int) -> bool:
+        """Per-response counter sums must equal the server's deltas.
+
+        Coalesced followers carry a *copy* of their leader's
+        attribution — the work happened once — so they are skipped.
+        A lost request may still have moved server counters the client
+        never saw, so any loss fails the audit outright.
+        """
+        if lost:
+            return False
+        sums: dict[str, float] = {}
+        for response in responses:
+            if response.get("coalesced"):
+                continue
+            attribution = response.get("attribution") or {}
+            for name, value in (attribution.get("counters")
+                                or {}).items():
+                sums[name] = sums.get(name, 0.0) + value
+        names = set(sums) | set(KNOWN_ATTR_COUNTERS)
+        return all(sums.get(name, 0.0) == delta(_metric_name(name))
+                   for name in names)
+
+    def _reconcile_histograms(self, before_text: str, after_text: str,
+                              client_hist: LatencyHistogram,
+                              requests: float) -> dict:
+        """Server histogram window vs the daemon's request accounting.
+
+        Client and server measure different clocks (socket round-trip
+        vs submission wall time), so the distributions differ — but
+        the *counts* must match exactly: the server bucketed one
+        latency per request it reports having processed.
+        """
+        try:
+            server_before = LatencyHistogram.from_prometheus(
+                before_text, LATENCY_SERIES)
+            server_after = LatencyHistogram.from_prometheus(
+                after_text, LATENCY_SERIES)
+            window = server_after.diff(server_before)
+        except ValueError as exc:
+            return {"reconciled": False, "error": str(exc)}
+        return {
+            "client_count": client_hist.count,
+            "server_count": window.count,
+            "server_p50_ms": window.percentile(0.50),
+            "server_p99_ms": window.percentile(0.99),
+            "reconciled": float(window.count) == requests,
+        }
+
+    def _audit_traces(self, responses: list[dict]) -> dict:
+        """Fetch stitched traces for measured responses and check them.
+
+        A trace counts as stitched when its spans span two roles — the
+        daemon plus an executor (worker or inline) — under one id, and
+        include a measurement-layer span (``engine.*``), proving the
+        context crossed the process (or at least the dispatch)
+        boundary and the worker's span buffer shipped back.
+        """
+        candidates = [
+            response for response in responses
+            if response.get("trace_id")
+            and not response.get("coalesced")
+            and (response.get("attribution") or {}).get("serving")
+            == "measured"]
+        stitched = 0
+        checked = 0
+        for response in candidates[:8]:
+            trace_id = response["trace_id"]
+            try:
+                body = json.loads(self._get(f"/trace/{trace_id}"))
+            except ValueError:
+                continue
+            spans = body.get("spans") or []
+            checked += 1
+            roles = set(trace_roles(spans))
+            names = {record.get("name") for record in spans}
+            if "daemon" in roles and \
+                    (roles & {"worker", "daemon-inline", "pool"}) and \
+                    any(str(name).startswith("engine.")
+                        for name in names):
+                stitched += 1
+                self.last_trace = spans
+        return {"traced": len(candidates), "checked": checked,
+                "stitched": stitched,
+                "ok": stitched > 0 or not candidates}

@@ -45,11 +45,21 @@ from pathlib import Path
 from repro.faults.process import ProcessFaultPlan
 from repro.faults.scenario import FaultScenario, use_faults
 from repro.obs import event as obs_event
+from repro.obs.context import TraceContext, traced_execution
+from repro.obs.flight import FLIGHT
 from repro.obs.metrics import counter as _counter
+from repro.obs.metrics import counters_delta, counters_snapshot
 from repro.service.catalog import MeasureRequest, execute_request
 
 _C_RESTARTS = _counter("service.worker_restarts")
 _C_DISPATCHES = _counter("service.dispatches")
+
+#: Counter families a worker ships back (as per-job deltas) in its
+#: reply frame, for per-request attribution and parent-side folding.
+#: ``service.*`` is deliberately excluded — those counters are bumped
+#: by the supervisor and would double-count if shipped.
+ATTRIBUTION_PREFIXES = ("dispatch.", "cache.", "engine.", "interp.",
+                        "faults.", "rng.")
 
 #: Exit code a fault-injected crash uses (distinct from real tracebacks).
 CRASH_EXIT_CODE = 70
@@ -100,18 +110,46 @@ def _worker_main(conn, heartbeat, scenario: FaultScenario | None,
                 time.sleep(3600.0)  # supervisor kills us long before
             if fate == "slow":
                 time.sleep(job.get("slow_seconds", 0.05))
-            try:
-                request = MeasureRequest(**job["request"])
-                result = execute_request(request)
-                reply = {"status": "ok", "result": result}
-            except BaseException as exc:  # noqa: BLE001 - report, don't die
-                reply = {"status": "error",
-                         "error": type(exc).__name__,
-                         "message": str(exc)}
+            reply = serve_job(job)
             try:
                 conn.send(reply)
             except (BrokenPipeError, OSError):
                 return
+
+
+def serve_job(job: dict) -> dict:
+    """Execute one job dict to a reply dict (the worker-side core).
+
+    Restores the shipped trace context (if any) for the duration of
+    the measurement, runs it under a private recorder so the worker's
+    spans — ``service.worker`` down through ``engine.measure`` and the
+    dispatcher — ship back in the reply, and attaches the worker's
+    per-job counter deltas (:data:`ATTRIBUTION_PREFIXES`) plus its
+    pid.  The context is installed and torn down *inside* this call,
+    so it can never leak into the next job on the same worker — torn
+    or malformed ``"trace"`` fields degrade to an untraced execution.
+    """
+    ctx = TraceContext.from_wire(job.get("trace"))
+    before = counters_snapshot(ATTRIBUTION_PREFIXES)
+    spans = None
+    try:
+        request = MeasureRequest(**job["request"])
+        result, spans = traced_execution(
+            ctx, "worker", "service.worker",
+            lambda: execute_request(request),
+            request=request.describe())
+        reply = {"status": "ok", "result": result}
+    except BaseException as exc:  # noqa: BLE001 - report, don't die
+        reply = {"status": "error",
+                 "error": type(exc).__name__,
+                 "message": str(exc)}
+    reply["pid"] = os.getpid()
+    deltas = counters_delta(before, ATTRIBUTION_PREFIXES)
+    if deltas:
+        reply["counters"] = deltas
+    if spans:
+        reply["spans"] = spans
+    return reply
 
 
 class _Worker:
@@ -156,6 +194,9 @@ class WorkerPool:
             worker (inherited semantics of a ``--faults`` campaign).
         fault_plan: Process-level fault plan applied per dispatch.
         poll_interval_s: Supervisor polling granularity.
+        flight_dir: When set, every worker retirement dumps the
+            process-wide flight recorder here (post-mortem context for
+            the crash/hang/deadline that caused it).
     """
 
     def __init__(self, n_workers: int,
@@ -163,7 +204,8 @@ class WorkerPool:
                  scenario: FaultScenario | None = None,
                  fault_plan: ProcessFaultPlan | None = None,
                  poll_interval_s: float = 0.01,
-                 plan_cache_dir: str | Path | None = None) -> None:
+                 plan_cache_dir: str | Path | None = None,
+                 flight_dir: str | Path | None = None) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self._ctx = multiprocessing.get_context("fork")
@@ -171,6 +213,8 @@ class WorkerPool:
         self._fault_plan = fault_plan
         self._plan_cache_dir = \
             str(plan_cache_dir) if plan_cache_dir is not None else None
+        self._flight_dir = Path(flight_dir) \
+            if flight_dir is not None else None
         self._heartbeat_timeout_s = heartbeat_timeout_s
         self._poll_interval_s = poll_interval_s
         self._seq_lock = threading.Lock()
@@ -182,6 +226,9 @@ class WorkerPool:
         for _ in range(n_workers):
             self._add_worker()
         self.restarts = 0
+        #: Retirement counts by reason (``worker_crash``, ``deadline``,
+        #: ...), surfaced through ``/healthz``.
+        self.restart_reasons: dict[str, int] = {}
 
     def _add_worker(self) -> None:
         worker = _Worker(self._ctx, self._scenario,
@@ -192,13 +239,43 @@ class WorkerPool:
 
     def _retire(self, worker: _Worker, reason: str) -> None:
         """Kill a misbehaving worker and put a fresh one in its slot."""
+        pid = worker.process.pid
         worker.kill()
         with self._all_lock:
             self._all.remove(worker)
         self.restarts += 1
+        self.restart_reasons[reason] = \
+            self.restart_reasons.get(reason, 0) + 1
         _C_RESTARTS.add()
         obs_event("service.worker_restart", reason=reason)
+        FLIGHT.record("service.worker_retired", reason=reason, pid=pid)
+        if self._flight_dir is not None:
+            try:
+                FLIGHT.dump(self._flight_dir, reason)
+            except OSError:  # pragma: no cover - dump must never kill
+                pass
         self._add_worker()
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker liveness for ``/healthz``: pid, heartbeat age,
+        aliveness."""
+        now = time.monotonic()
+        with self._all_lock:
+            workers = list(self._all)
+        stats = []
+        for worker in workers:
+            try:
+                alive = worker.process.is_alive()
+                pid = worker.process.pid
+            except ValueError:  # pragma: no cover - closed mid-snapshot
+                alive, pid = False, None
+            stats.append({
+                "pid": pid,
+                "alive": alive,
+                "heartbeat_age_s": round(
+                    max(0.0, now - worker.heartbeat.value), 3),
+            })
+        return stats
 
     def next_seq(self) -> int:
         """Allocate the next dispatch sequence number (fate stream key)."""
@@ -208,7 +285,8 @@ class WorkerPool:
             return seq
 
     def execute(self, request: MeasureRequest, deadline_s: float,
-                seq: int | None = None) -> dict:
+                seq: int | None = None,
+                trace: dict | None = None) -> dict:
         """Dispatch one request to a worker and supervise to an outcome.
 
         Args:
@@ -218,13 +296,17 @@ class WorkerPool:
                 stream; allocated automatically when omitted.  Callers
                 that retry pass a fresh ``next_seq()`` per attempt so
                 each attempt draws its own fate.
+            trace: Optional wire-format trace context
+                (:meth:`repro.obs.context.TraceContext.to_wire`)
+                restored inside the worker for this job only.
 
         Returns:
             ``{"status": "ok", "result": ...}`` or ``{"status":
             "error", "error": <class name>, "message": ...}`` from the
-            worker, or a supervisor verdict ``{"status":
-            "worker_crash" | "worker_hang" | "deadline", "message":
-            ...}``.
+            worker (both carrying the worker's ``pid`` and shipped
+            ``counters``/``spans``), or a supervisor verdict
+            ``{"status": "worker_crash" | "worker_hang" | "deadline",
+            "message": ...}``.
         """
         if self._closed:
             return {"status": "worker_crash",
@@ -234,8 +316,13 @@ class WorkerPool:
         _C_DISPATCHES.add()
         fate = self._fault_plan.decide(seq) if self._fault_plan else None
         job = {"request": request.canonical(), "seq": seq, "fate": fate}
+        if trace is not None:
+            job["trace"] = trace
         if fate == "slow":
             job["slow_seconds"] = self._fault_plan.slow_seconds
+        FLIGHT.record("service.dispatch", seq=seq, fate=fate,
+                      request=request.describe(),
+                      trace_id=(trace or {}).get("trace_id"))
         worker = self._free.get()
         try:
             if not worker.process.is_alive():
@@ -250,6 +337,9 @@ class WorkerPool:
                 return {"status": "worker_crash",
                         "message": "worker pipe closed at dispatch"}
             verdict = self._await_reply(worker, deadline_s)
+            FLIGHT.record("service.verdict", seq=seq,
+                          status=verdict.get("status"),
+                          pid=verdict.get("pid"))
             if verdict["status"] in ("ok", "error"):
                 self._free.put(worker)
             else:

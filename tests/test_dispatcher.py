@@ -183,6 +183,23 @@ class TestCudaDispatch:
         assert fast.elapsed_cycles == ref.elapsed_cycles
         assert fast.stats == ref.stats
 
+    def test_tiers_record_spans(self, mini_gpu):
+        from repro.obs import Recorder, recording
+        DISPATCHER.clear()
+        cuda = Cuda(mini_gpu)
+        rec = Recorder()
+        with recording(rec):
+            cuda.launch(steady_kernel, LC, _memory(0))  # capture
+            cuda.launch(steady_kernel, LC, _memory(0))  # replay hit
+            cuda.launch(steady_kernel, LC, _memory(1))  # lifted plans
+        names = [s["name"] for s in rec.spans()]
+        assert "dispatch.capture" in names
+        assert "dispatch.replay" in names
+        assert "dispatch.lifted" in names
+        lifted = next(s for s in rec.spans()
+                      if s["name"] == "dispatch.lifted")
+        assert lifted["attrs"]["kind"] == "cuda"
+
     def test_divergent_kernel_falls_back_but_replays(self, mini_gpu):
         DISPATCHER.clear()
         cuda = Cuda(mini_gpu)

@@ -297,6 +297,8 @@ class TestInterpreterCounters:
             before == 1
 
     def test_launch_and_region_record_spans(self, mini_gpu, quiet_cpu):
+        from repro.compiler.dispatcher import dispatch_disabled
+
         def kernel(t):
             yield t.alu(1)
 
@@ -304,7 +306,9 @@ class TestInterpreterCounters:
             yield tc.barrier()
 
         rec = Recorder()
-        with recording(rec):
+        # Dispatcher off: it records its own dispatch.* spans, pinned
+        # separately in tests/test_dispatcher.py.
+        with recording(rec), dispatch_disabled():
             Cuda(mini_gpu).launch(kernel, LaunchConfig(1, 32))
             OpenMP(quiet_cpu, n_threads=2).parallel(body)
         names = [s["name"] for s in rec.spans()]
