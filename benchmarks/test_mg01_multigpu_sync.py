@@ -1,0 +1,22 @@
+"""Extension: multi-GPU synchronization family (Zhang et al.) — the
+multi-grid cooperative barrier pays the interconnect per added device
+while grid.sync stays flat, and system-scope atomics strictly dominate
+device scope at equal contention."""
+
+from conftest import assert_claims, print_sweep
+
+from repro.experiments.multigpu_sync import (
+    claims_multigpu,
+    run_mg_atomic,
+    run_mg_barrier,
+)
+
+
+def test_mg01_multigpu_sync(bench_once):
+    def family():
+        return run_mg_barrier(), run_mg_atomic()
+
+    barrier, atomic = bench_once(family)
+    print_sweep(barrier, xs=[1, 2, 4, 8])
+    print_sweep(atomic, xs=[1, 2, 4, 8])
+    assert_claims(claims_multigpu(barrier, atomic))

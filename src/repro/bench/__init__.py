@@ -419,6 +419,72 @@ def _bench_dispatch_replay(repeats: int) -> dict:
                 _best_of(run_warm, repeats))
 
 
+def _bench_multigpu_replay(repeats: int) -> dict:
+    """Cold cooperative multi-GPU launch vs warm replay hits.
+
+    Same shape as ``dispatch_replay``, one layer up: a multi-device
+    kernel with system-scope atomics, fences, and ``multi_grid.sync``
+    rounds is launched cold (replay cache cleared every run) and warm
+    (identical relaunch through the same runtime).  Engagement is
+    witnessed by ``multigpu.replay_hit`` moving, and the replayed
+    system memory must be byte-identical to the cold run's.
+    """
+    import numpy as np
+    from repro.compiler.ops import Scope
+    from repro.cuda.multigpu import MultiCuda
+    from repro.gpu.multi import MultiGpu
+    from repro.gpu.presets import gpu_preset
+    from repro.gpu.spec import LaunchConfig
+
+    n_devices = 2
+    launch = LaunchConfig(2, 32)
+    n_total = n_devices * launch.grid_blocks * launch.block_threads
+    runtime = MultiCuda(MultiGpu(gpu_preset(3)), n_devices=n_devices)
+
+    def kernel(t):
+        acc = t.system_id % 7
+        for _ in range(3):
+            v = yield t.atomic_add("acc", 0, 1, scope=Scope.SYSTEM)
+            acc = (acc + int(v)) % 1009
+            yield t.system_write("buf", t.system_id, acc)
+            yield t.threadfence(Scope.SYSTEM)
+            yield t.multi_grid_sync()
+            w = yield t.system_read(
+                "buf", (t.system_id + 1) % t.system_threads)
+            acc = (acc + int(w)) % 1009
+        yield t.system_write("out", t.system_id, acc)
+
+    def system():
+        return {"acc": np.zeros(1, np.int64),
+                "buf": np.zeros(n_total, np.int64),
+                "out": np.zeros(n_total, np.int64)}
+
+    def run_cold():
+        runtime.clear()
+        return runtime.launch(kernel, launch, system=system())
+
+    def run_warm():
+        return runtime.launch(kernel, launch, system=system())
+
+    cold_result = run_cold()
+    prime = run_warm()  # record once, then every warm run replays
+    hits = counter_value("multigpu.replay_hit")
+    warm_result = run_warm()
+    if counter_value("multigpu.replay_hit") == hits:
+        raise SimulationError(
+            "multigpu_replay: identical relaunch missed the replay "
+            "cache; refusing to benchmark")
+    for a, b in ((cold_result, prime), (prime, warm_result)):
+        if a.elapsed_cycles != b.elapsed_cycles or any(
+                a.system[k].tobytes() != b.system[k].tobytes()
+                for k in a.system):
+            raise SimulationError(
+                "multigpu_replay: replay diverged from cold "
+                "execution; refusing to benchmark a broken cache")
+    return _row("multigpu_replay", _best_of(run_cold, repeats),
+                _best_of(run_warm, repeats))
+
+
 def _bench_dispatch_lifted(repeats: int) -> dict:
     """Compiled block plans vs the scalar reference on fresh data.
 
@@ -898,6 +964,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 2) -> dict:
                       omp_rounds, repeats),
         _bench_parallel_blocks(repeats),
         _bench_dispatch_replay(repeats),
+        _bench_multigpu_replay(repeats),
         _bench_dispatch_lifted(repeats),
         _bench_dispatch_shape_sweep(repeats),
         _bench_dispatch_omp_lifted(repeats),

@@ -50,6 +50,8 @@ class PrimitiveKind(enum.Enum):
     SYNCTHREADS_AND = "syncthreads_and"
     SYNCTHREADS_OR = "syncthreads_or"
     SYNCWARP = "syncwarp"
+    GRID_SYNC = "grid_sync"
+    MULTI_GRID_SYNC = "multi_grid_sync"
     ATOMIC_ADD = "atomic_add"
     ATOMIC_SUB = "atomic_sub"
     ATOMIC_MAX = "atomic_max"
@@ -108,6 +110,8 @@ _SYNCHRONIZING = frozenset({
     PrimitiveKind.SYNCTHREADS_AND,
     PrimitiveKind.SYNCTHREADS_OR,
     PrimitiveKind.SYNCWARP,
+    PrimitiveKind.GRID_SYNC,
+    PrimitiveKind.MULTI_GRID_SYNC,
     PrimitiveKind.THREADFENCE,
     PrimitiveKind.THREADFENCE_BLOCK,
     PrimitiveKind.THREADFENCE_SYSTEM,

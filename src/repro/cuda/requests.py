@@ -48,6 +48,18 @@ class SyncthreadsOr(Syncthreads):
 
 
 @dataclass(frozen=True)
+class GridSync(Request):
+    """``grid.sync()`` — cooperative barrier across every block of one
+    device's grid (multi-device runtime only)."""
+
+
+@dataclass(frozen=True)
+class MultiGridSync(Request):
+    """``multi_grid.sync()`` — cooperative barrier across every block on
+    every participating device; publishes pending system-memory writes."""
+
+
+@dataclass(frozen=True)
 class Syncwarp(Request):
     """``__syncwarp()`` — warp-wide barrier."""
 
@@ -82,6 +94,24 @@ class GlobalRead(MemoryRequest):
 @dataclass(frozen=True)
 class GlobalWrite(MemoryRequest):
     """Global-memory store."""
+
+    value: object = 0
+
+
+@dataclass(frozen=True)
+class SystemRead(MemoryRequest):
+    """System-memory (host/peer-visible) load; produces the value.
+
+    Reads the canonical system array plus the *issuing device's own*
+    unpublished writes; peers' plain writes become visible only after
+    they publish (system-scope fence, multi-grid barrier, or kernel
+    completion).
+    """
+
+
+@dataclass(frozen=True)
+class SystemWrite(MemoryRequest):
+    """System-memory store, buffered device-side until published."""
 
     value: object = 0
 

@@ -20,6 +20,7 @@ from repro.core.spec import MeasurementSpec
 from repro.cpu.affinity import Affinity
 from repro.cpu.machine import CpuMachine
 from repro.gpu.device import GpuDevice
+from repro.gpu.multi import MultiGpu
 from repro.gpu.spec import LaunchConfig, paper_thread_counts
 from repro.mem.layout import PrivateArrayElement, SharedScalar
 
@@ -160,6 +161,30 @@ def cuda_fence_spec(scope: Scope, dtype: DataType,
 
 
 @cache
+def cuda_grid_sync_spec() -> MeasurementSpec:
+    """Cooperative ``grid.sync()`` across one device's grid."""
+    return MeasurementSpec.single(
+        "cuda_grid_sync", op_barrier(PrimitiveKind.GRID_SYNC))
+
+
+@cache
+def cuda_multi_grid_sync_spec() -> MeasurementSpec:
+    """Cooperative ``multi_grid.sync()`` across every device's grid."""
+    return MeasurementSpec.single(
+        "cuda_multi_grid_sync", op_barrier(PrimitiveKind.MULTI_GRID_SYNC))
+
+
+@cache
+def cuda_atomic_scoped_spec(kind: PrimitiveKind, dtype: DataType,
+                            scope: Scope) -> MeasurementSpec:
+    """A CUDA atomic on one shared variable at an explicit scope
+    (device vs system, the multi-GPU contention contrast)."""
+    op = op_atomic(kind, dtype, SharedScalar(dtype), scope=scope)
+    return MeasurementSpec.single(
+        f"cuda_{kind.value}_{scope.value}_scalar_{dtype.name}", op)
+
+
+@cache
 def cuda_shfl_spec(kind: PrimitiveKind, dtype: DataType) -> MeasurementSpec:
     """A warp shuffle (Fig. 15); the result feeds the next iteration."""
     op = Op(kind=kind, dtype=dtype, result_used=True)
@@ -228,6 +253,38 @@ def sweep_omp(machine: CpuMachine, specs: dict[str, MeasurementSpec], *,
             ctx = machine.context(n, affinity)
             _measure_point(engine, sweep, series, spec, ctx, n,
                            label=f"{label}/t={n}")
+        sweep.series.append(series)
+    return sweep
+
+
+def sweep_multigpu(multi: "MultiGpu", specs: dict[str, MeasurementSpec], *,
+                   name: str, launch: LaunchConfig,
+                   protocol: MeasurementProtocol | None = None,
+                   device_counts: tuple[int, ...] = (1, 2, 4, 8)
+                   ) -> SweepResult:
+    """Run each labelled spec across device counts on a multi-GPU rig.
+
+    Every device runs the same per-device launch shape (a cooperative
+    multi-device launch requires it); the swept dimension is the number
+    of participating devices.
+
+    Returns:
+        One sweep with a series per spec label, x = device count.
+    """
+    engine = MeasurementEngine(multi, protocol)
+    sweep = SweepResult(name=name, x_label="devices",
+                        unit=multi.time_unit,
+                        metadata={"machine": multi.name,
+                                  "interconnect": multi.interconnect.name,
+                                  "blocks": launch.grid_blocks,
+                                  "block_threads": launch.block_threads})
+    for label, spec in specs.items():
+        series = Series(label=label)
+        engine.prime(spec, [f"{label}/d={d}" for d in device_counts])
+        for d in device_counts:
+            ctx = multi.context(d, launch)
+            _measure_point(engine, sweep, series, spec, ctx, d,
+                           label=f"{label}/d={d}")
         sweep.series.append(series)
     return sweep
 

@@ -57,11 +57,11 @@ def run_sanitizer() -> dict:
         and op-IR check outcomes.  Everything in it is deterministic.
     """
     rules: dict[str, dict] = {}
-    for rule in sorted(CORPUS):
-        case = CORPUS[rule]
-        bad, clean = corpus_reports(rule)
-        fired = [f for f in bad.findings if f.rule == rule]
-        rules[rule] = {
+    for case_id in sorted(CORPUS):
+        case = CORPUS[case_id]
+        bad, clean = corpus_reports(case_id)
+        fired = [f for f in bad.findings if f.rule == case.rule]
+        rules[case_id] = {
             "expected_severity": case.severity.value,
             "fired": len(fired),
             "severities": sorted({f.severity.value for f in fired}),

@@ -95,6 +95,18 @@ def _fig15() -> SweepResult:
     return run_fig15()["full"]
 
 
+@_register("mg_barrier")
+def _mg_barrier() -> SweepResult:
+    from repro.experiments.multigpu_sync import run_mg_barrier
+    return run_mg_barrier()
+
+
+@_register("mg_atomic")
+def _mg_atomic() -> SweepResult:
+    from repro.experiments.multigpu_sync import run_mg_atomic
+    return run_mg_atomic()
+
+
 @_register_text("ext_sanitizer_summary")
 def _ext_sanitizer() -> str:
     from repro.experiments.ext_sanitizer import run_sanitizer, summary_text

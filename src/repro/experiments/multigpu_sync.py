@@ -1,0 +1,115 @@
+"""Multi-GPU synchronization scenario family (extension).
+
+The source paper characterizes one device; Zhang et al., "A Study of
+Single and Multi-device Synchronization Methods in Nvidia GPUs", carry
+the same methodology across devices.  This family reproduces their two
+headline shapes on the modeled rig:
+
+* **mg-barrier** — single-device ``grid.sync()`` vs multi-device
+  ``multi_grid.sync()`` as the device count grows: the single-device
+  barrier is device-count independent, while the multi-device barrier
+  pays one interconnect round trip per extra device and its cost grows
+  accordingly.
+* **mg-atomic** — ``atomicAdd`` on one contended scalar at device vs
+  system scope, at equal contention per device: system scope pays the
+  host-visibility crossing plus line bouncing between contending
+  devices, so its cost strictly dominates device scope everywhere and
+  the gap widens with the device count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trends import TrendCheck, check, is_roughly_constant, \
+    series_above
+from repro.common.datatypes import INT
+from repro.compiler.ops import PrimitiveKind, Scope
+from repro.core.protocol import MeasurementProtocol
+from repro.core.results import SweepResult
+from repro.experiments.base import cuda_atomic_scoped_spec, \
+    cuda_grid_sync_spec, cuda_multi_grid_sync_spec, sweep_multigpu
+from repro.gpu.device import GpuDevice
+from repro.gpu.multi import MultiGpu
+from repro.gpu.presets import gpu_preset
+from repro.gpu.spec import LaunchConfig
+
+#: Device counts swept (Zhang et al. test up to 8-GPU DGX nodes).
+DEVICE_COUNTS = (1, 2, 4, 8)
+
+#: Per-device launch shape: enough blocks for a real grid barrier, one
+#: warp per block so atomic contention stays in the scalar regime.
+MG_LAUNCH = LaunchConfig(grid_blocks=16, block_threads=128)
+
+
+def _rig(device: GpuDevice | None) -> MultiGpu:
+    return MultiGpu(device or gpu_preset(3))
+
+
+def run_mg_barrier(device: GpuDevice | None = None,
+                   protocol: MeasurementProtocol | None = None
+                   ) -> SweepResult:
+    """Barrier scope family: grid vs multi-grid cost per device count."""
+    multi = _rig(device)
+    return sweep_multigpu(
+        multi,
+        {"grid.sync": cuda_grid_sync_spec(),
+         "multi_grid.sync": cuda_multi_grid_sync_spec()},
+        name="mg_barrier", launch=MG_LAUNCH, protocol=protocol,
+        device_counts=DEVICE_COUNTS)
+
+
+def run_mg_atomic(device: GpuDevice | None = None,
+                  protocol: MeasurementProtocol | None = None
+                  ) -> SweepResult:
+    """Atomic scope family: device vs system scope per device count."""
+    multi = _rig(device)
+    return sweep_multigpu(
+        multi,
+        {"atomicAdd device": cuda_atomic_scoped_spec(
+            PrimitiveKind.ATOMIC_ADD, INT, Scope.DEVICE),
+         "atomicAdd system": cuda_atomic_scoped_spec(
+            PrimitiveKind.ATOMIC_ADD, INT, Scope.SYSTEM)},
+        name="mg_atomic", launch=MG_LAUNCH, protocol=protocol,
+        device_counts=DEVICE_COUNTS)
+
+
+def claims_multigpu(barrier: SweepResult,
+                    atomic: SweepResult) -> list[TrendCheck]:
+    """The qualitative Zhang et al. shapes the family must reproduce."""
+    grid = barrier.series_by_label("grid.sync")
+    multi = barrier.series_by_label("multi_grid.sync")
+    device = atomic.series_by_label("atomicAdd device")
+    system = atomic.series_by_label("atomicAdd system")
+
+    grid_times = [p.per_op_time for p in grid.points]
+    multi_times = [p.per_op_time for p in multi.points]
+    checks = [
+        check("single-device grid.sync cost is device-count independent",
+              is_roughly_constant(grid_times, tol=0.05),
+              f"grid.sync cycles: {[round(t, 1) for t in grid_times]}"),
+        check("multi_grid.sync cost grows with every added device",
+              all(b > a for a, b in zip(multi_times, multi_times[1:])),
+              f"multi_grid.sync cycles: "
+              f"{[round(t, 1) for t in multi_times]}"),
+        check("multi_grid.sync never beats the single-device barrier",
+              all(m >= 0.97 * g for m, g in zip(multi_times, grid_times)),
+              "per-device barrier is a lower bound (3% measurement "
+              "tolerance: at one device the two barriers coincide)"),
+    ]
+
+    device_times = [p.per_op_time for p in device.points]
+    system_times = [p.per_op_time for p in system.points]
+    checks.append(check(
+        "system-scope atomicAdd strictly dominates device scope at "
+        "equal contention",
+        series_above(device, system, min_ratio=1.05, frac=1.0),
+        f"device cycles {[round(t, 1) for t in device_times]} vs "
+        f"system {[round(t, 1) for t in system_times]}"))
+    if device_times and system_times:
+        first_gap = system_times[0] / device_times[0]
+        last_gap = system_times[-1] / device_times[-1]
+        checks.append(check(
+            "the system-scope premium widens as devices are added",
+            last_gap > first_gap,
+            f"gap x{first_gap:.2f} at {DEVICE_COUNTS[0]} device(s) -> "
+            f"x{last_gap:.2f} at {DEVICE_COUNTS[-1]}"))
+    return checks

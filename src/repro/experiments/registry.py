@@ -28,6 +28,7 @@ from repro.experiments import (
     ext_reduction_strategies,
     ext_sanitizer,
     listing1,
+    multigpu_sync,
     omp_atomic_array,
     omp_atomic_update,
     omp_atomic_write,
@@ -251,6 +252,16 @@ def _build() -> dict[str, ExperimentDef]:
             lambda proto=None: ext_sanitizer.run_sanitizer(),
             ext_sanitizer.claims_sanitizer,
             lambda payload: []),
+        ExperimentDef(
+            "mg-sync", "§VII [Zhang et al.]",
+            "Multi-GPU barrier and atomic scope family",
+            "extension",
+            lambda proto=None: {
+                "barrier": multigpu_sync.run_mg_barrier(protocol=proto),
+                "atomic": multigpu_sync.run_mg_atomic(protocol=proto)},
+            lambda payload: multigpu_sync.claims_multigpu(
+                payload["barrier"], payload["atomic"]),
+            _dict_sweeps),
         ExperimentDef(
             "ext-reduce", "§V-A5",
             "Reduction strategies: privatized > atomic > critical",

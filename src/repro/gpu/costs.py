@@ -95,6 +95,10 @@ class GpuCostParams:
         block_launch_cycles: Per-block scheduling overhead (what makes the
             persistent-thread Reduction 5 win, §II-C).
         kernel_launch_cycles: Fixed kernel launch overhead.
+        grid_sync_block_cycles: Added per extra resident block for a
+            cooperative ``grid.sync()``: the arrival/release protocol
+            serializes one flag update per block through L2 (Zhang et
+            al.'s single-device grid barrier trend).
     """
 
     sync_base_cycles: float = 28.0
@@ -116,6 +120,7 @@ class GpuCostParams:
     uncoalesced_penalty_cycles: float = 4.0
     block_launch_cycles: float = 100.0
     kernel_launch_cycles: float = 2000.0
+    grid_sync_block_cycles: float = 30.0
 
     def with_overrides(self, **kwargs: float) -> "GpuCostParams":
         """Copy with some constants replaced (for ablations/calibration)."""
@@ -145,6 +150,8 @@ class GpuCostModel:
             return cost
         if kind is PrimitiveKind.SYNCWARP:
             return self._syncwarp(occ)
+        if kind is PrimitiveKind.GRID_SYNC:
+            return self._grid_sync(launch, occ)
         if kind in _SHFL_KINDS:
             return self._shfl(op, occ)
         if kind in _VOTE_KINDS:
@@ -179,6 +186,21 @@ class GpuCostModel:
         p = self.params
         return p.sync_base_cycles + \
             p.sync_warp_step_cycles * (launch.warps_per_block - 1)
+
+    def _grid_sync(self, launch: LaunchConfig,
+                   occ: OccupancyResult) -> float:
+        """Cooperative grid-wide barrier (``grid.sync()``).
+
+        Every block runs a block barrier, then the blocks rendezvous
+        through a device-wide arrival counter: a ``__threadfence()``
+        drain plus one L2 flag update per extra resident block.  Cost
+        therefore grows with the resident grid, unlike
+        ``__syncthreads()`` (Fig. 7), which is block-count independent.
+        """
+        p = self.params
+        blocks = self._resident_total_blocks(launch, occ)
+        return self._syncthreads(launch) + p.fence_drain_cycles + \
+            p.grid_sync_block_cycles * (blocks - 1)
 
     def _syncwarp(self, occ: OccupancyResult) -> float:
         """Warp barrier: throughput depends on warps resident on the SM,

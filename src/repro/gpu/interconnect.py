@@ -1,0 +1,79 @@
+"""Inter-GPU interconnect cost model (NVLink / PCIe style links).
+
+Multi-device synchronization pays for the link between devices: a
+system-scope atomic bounces the owning line between GPUs, a grid-wide
+multi-device barrier exchanges arrival flags across every link, and a
+``__threadfence_system()`` must drain writes all the way to host-visible
+memory.  Zhang et al. ("A Study of Single and Multi-device
+Synchronization Methods in Nvidia GPUs") measure exactly this gap:
+on-device sync costs tens of cycles, cross-device sync costs
+microseconds.
+
+The model is deliberately small: a one-way latency plus a bandwidth
+term, both in *device clock cycles* so they compose directly with
+:class:`repro.gpu.costs.GpuCostModel` prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """One point-to-point GPU interconnect.
+
+    Attributes:
+        name: Preset name ("nvlink3", "pcie4", ...).
+        latency_cycles: One-way small-message latency in device cycles.
+        bandwidth_bytes_per_cycle: Sustained payload bandwidth.
+    """
+
+    name: str
+    latency_cycles: float
+    bandwidth_bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles <= 0:
+            raise ConfigurationError("interconnect latency must be > 0")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError("interconnect bandwidth must be > 0")
+
+    def transfer_cycles(self, n_bytes: int) -> float:
+        """Cycles to move ``n_bytes`` one way (latency + serialization)."""
+        if n_bytes < 0:
+            raise ConfigurationError("cannot transfer a negative payload")
+        return self.latency_cycles + \
+            n_bytes / self.bandwidth_bytes_per_cycle
+
+    def roundtrip_cycles(self) -> float:
+        """Request/response pair for a small message (flag, atomic)."""
+        return 2.0 * self.latency_cycles
+
+
+#: NVLink 3.0-class link: ~2 µs visibility round trip at ~2 GHz device
+#: clocks, tens of GB/s per direction.
+NVLINK3 = InterconnectModel(
+    name="nvlink3", latency_cycles=700.0, bandwidth_bytes_per_cycle=20.0)
+
+#: PCIe 4.0 x16 fallback path: roughly twice the latency and under half
+#: the per-direction bandwidth of NVLink.
+PCIE4 = InterconnectModel(
+    name="pcie4", latency_cycles=1500.0, bandwidth_bytes_per_cycle=8.0)
+
+INTERCONNECT_PRESETS: dict[str, InterconnectModel] = {
+    NVLINK3.name: NVLINK3,
+    PCIE4.name: PCIE4,
+}
+
+
+def interconnect_preset(name: str) -> InterconnectModel:
+    """Look up a preset link by name."""
+    try:
+        return INTERCONNECT_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown interconnect {name!r}; known: "
+            f"{sorted(INTERCONNECT_PRESETS)}") from None

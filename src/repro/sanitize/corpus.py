@@ -37,7 +37,9 @@ class CorpusCase:
     clean: str
 
 
-#: The corpus, keyed by rule id.  Every sanitizer rule has an entry.
+#: The corpus, keyed by case id.  Every sanitizer rule has at least one
+#: entry; rules with several defect classes (``sync-scope``) have one
+#: case per class.
 CORPUS: dict[str, CorpusCase] = {
     "barrier-divergence": CorpusCase(
         rule="barrier-divergence",
@@ -80,6 +82,24 @@ def fenced_spin(t):
         yield t.threadfence()
     while (yield t.global_read("flag", 0)) != 1:
         yield t.alu(1)
+''',
+    ),
+    "sync-scope-xdev": CorpusCase(
+        rule="sync-scope",
+        severity=Severity.ERROR,
+        bad='''\
+def xdev_publish_stale(t):
+    """Hand a payload to a peer device behind a device-scope fence."""
+    yield t.system_write("payload", t.global_id, 42)
+    yield t.threadfence()
+    yield t.atomic_exch("flag", 0, 1)
+''',
+        clean='''\
+def xdev_publish_fenced(t):
+    """Same handoff with the system-scope fence peers require."""
+    yield t.system_write("payload", t.global_id, 42)
+    yield t.threadfence(Scope.SYSTEM)
+    yield t.atomic_exch("flag", 0, 1)
 ''',
     ),
     "lock-order": CorpusCase(
@@ -150,8 +170,8 @@ def single_barrier(t):
 }
 
 
-def corpus_reports(rule: str) -> tuple[Report, Report]:
+def corpus_reports(case_id: str) -> tuple[Report, Report]:
     """Sanitize a corpus case; returns ``(bad_report, clean_report)``."""
-    case = CORPUS[rule]
-    return (sanitize_source(case.bad, f"corpus:{rule}:bad"),
-            sanitize_source(case.clean, f"corpus:{rule}:clean"))
+    case = CORPUS[case_id]
+    return (sanitize_source(case.bad, f"corpus:{case_id}:bad"),
+            sanitize_source(case.clean, f"corpus:{case_id}:clean"))

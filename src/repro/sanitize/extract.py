@@ -87,7 +87,8 @@ _CUDA_METHODS = (frozenset(_CUDA_BARRIERS) | frozenset(_CUDA_COLLECTIVES)
                  | _CUDA_ATOMICS
                  | frozenset({"threadfence", "global_read", "global_write",
                               "shared_read", "shared_write", "alu",
-                              "activemask"}))
+                              "activemask", "system_read", "system_write",
+                              "grid_sync", "multi_grid_sync"}))
 
 #: Every sugar-method name that marks a function as an OpenMP body.
 _OMP_METHODS = frozenset({
@@ -363,6 +364,11 @@ class _Lifter:
                    pinned: bool) -> list[Stmt]:
         if method in _CUDA_BARRIERS:
             return [SyncStmt(kind=_CUDA_BARRIERS[method], line=line)]
+        if method == "grid_sync":
+            return [SyncStmt(kind=PrimitiveKind.GRID_SYNC, line=line)]
+        if method == "multi_grid_sync":
+            return [SyncStmt(kind=PrimitiveKind.MULTI_GRID_SYNC,
+                             line=line)]
         if method in _CUDA_COLLECTIVES:
             return [SyncStmt(kind=_CUDA_COLLECTIVES[method],
                              collective=True, line=line)]
@@ -373,11 +379,13 @@ class _Lifter:
                     }.get(scope, PrimitiveKind.THREADFENCE)
             return [FenceStmt(kind=kind, line=line)]
         if method in ("global_read", "global_write",
-                      "shared_read", "shared_write"):
+                      "shared_read", "shared_write",
+                      "system_read", "system_write"):
             idx = _arg(call, 1, "idx")
             return [AccessStmt(
                 var=_const_str(_arg(call, 0, "var")),
                 space=Space.GLOBAL if method.startswith("global")
+                else Space.SYSTEM if method.startswith("system")
                 else Space.SHARED,
                 is_write=method.endswith("write"),
                 index_dep=self.dep_of(idx),

@@ -48,6 +48,8 @@ class Space(enum.Enum):
 
     GLOBAL = "global"
     SHARED = "shared"
+    #: Host/peer-visible system memory (multi-device kernels).
+    SYSTEM = "system"
 
 
 #: Sentinel variable name for accesses whose array name is not a string

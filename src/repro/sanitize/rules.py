@@ -45,6 +45,7 @@ from repro.sanitize.ir import (
     LockStmt,
     LoopStmt,
     ReturnStmt,
+    Space,
     Stmt,
     SyncStmt,
 )
@@ -246,6 +247,19 @@ def rule_sync_scope(kernel: KernelIR) -> list[Finding]:
                     "spin-wait on plain global flag "
                     f"'{spin.var}' with {detail}; the store may never "
                     "become visible to the spinning block", spin.line))
+        system_writes = [
+            s for s in _all_stmts(kernel)
+            if isinstance(s, AccessStmt) and s.is_write
+            and not s.atomic and s.space is Space.SYSTEM]
+        if system_writes and fences and not any(
+                f.scope is Scope.SYSTEM for f in fences):
+            findings.append(_finding(
+                kernel, "sync-scope", Severity.ERROR,
+                "cross-device handoff: plain system-memory writes to "
+                f"'{system_writes[0].var}' published under a "
+                "device-scope fence; peer devices keep reading stale "
+                "data until __threadfence_system()",
+                system_writes[0].line))
         system_atomics = [
             s for s in _all_stmts(kernel)
             if isinstance(s, AccessStmt) and s.atomic

@@ -16,8 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.compiler.ops import Scope
 from repro.cuda.interpreter import Cuda
+from repro.cuda.multigpu import MultiCuda
 from repro.gpu.device import GpuDevice
+from repro.gpu.multi import MultiGpu
 from repro.gpu.spec import LaunchConfig
 
 
@@ -137,6 +140,92 @@ def gpu_bfs(device: GpuDevice, row_ptr: np.ndarray, cols: np.ndarray,
         correct=bool((mem["dist"] == expected).all()),
         elapsed=elapsed,
         levels=levels,
+    )
+
+
+def multi_gpu_bfs(multi: MultiGpu, row_ptr: np.ndarray,
+                  cols: np.ndarray, source: int = 0, n_devices: int = 2,
+                  grid_blocks: int = 2, block_threads: int = 32,
+                  max_levels: int = 64) -> BfsOutcome:
+    """Level-synchronized BFS as ONE cooperative multi-device launch.
+
+    Where :func:`gpu_bfs` relaunches a kernel per level (the host as the
+    grid-wide barrier), the multi-GPU version keeps every device
+    resident and separates levels with ``multi_grid.sync()``.  The graph
+    and all BFS state live in system (host/peer-visible) memory —
+    the zero-copy design of multi-GPU BFS codes; vertex claims and
+    frontier-slot reservations use *system-scope* atomics so no two
+    devices can both claim a vertex, and the buffered frontier writes
+    are published by the inter-level barrier before any peer reads them.
+
+    Frontiers ping-pong by level parity and per-level sizes land in
+    their own ``sizes`` slot, so no thread ever resets shared state.
+
+    Raises:
+        ConfigurationError: for malformed CSR input or level overflow.
+    """
+    n = int(row_ptr.size) - 1
+    if n < 1:
+        raise ConfigurationError("graph needs at least one vertex")
+    if not 0 <= source < n:
+        raise ConfigurationError(f"source {source} outside 0..{n - 1}")
+    if row_ptr[-1] != cols.size:
+        raise ConfigurationError("row_ptr[-1] must equal len(cols)")
+
+    system = {
+        "row_ptr": row_ptr.astype(np.int64),
+        "cols": cols.astype(np.int64),
+        "dist": np.full(n, -1, np.int64),
+        "frontier0": np.zeros(n, np.int64),
+        "frontier1": np.zeros(n, np.int64),
+        "sizes": np.zeros(max_levels + 1, np.int64),
+    }
+    system["dist"][source] = 0
+    system["frontier0"][0] = source
+    system["sizes"][0] = 1
+
+    def kernel(t):
+        for level in range(1, max_levels + 1):
+            size = yield t.system_read("sizes", level - 1)
+            if size == 0:
+                return
+            src = "frontier0" if (level - 1) % 2 == 0 else "frontier1"
+            dst = "frontier1" if (level - 1) % 2 == 0 else "frontier0"
+            i = t.system_id
+            while i < size:
+                u = yield t.system_read(src, i)
+                start = yield t.system_read("row_ptr", u)
+                stop = yield t.system_read("row_ptr", u + 1)
+                for e in range(start, stop):
+                    v = yield t.system_read("cols", e)
+                    # System-scope claim: immediately peer-visible, so
+                    # no two devices can both append the vertex.
+                    old = yield t.atomic_cas("dist", v, -1, level,
+                                             scope=Scope.SYSTEM)
+                    if old == -1:
+                        slot = yield t.atomic_add("sizes", level, 1,
+                                                  scope=Scope.SYSTEM)
+                        yield t.system_write(dst, slot, v)
+                i += t.system_threads
+            # Publishes the buffered frontier writes before any peer
+            # reads them at the next level.
+            yield t.multi_grid_sync()
+
+    runtime = MultiCuda(multi, n_devices=n_devices)
+    result = runtime.launch(kernel,
+                            LaunchConfig(grid_blocks, block_threads),
+                            system=system)
+    if system["sizes"][max_levels] != 0:
+        raise ConfigurationError(
+            f"BFS exceeded {max_levels} levels; cyclic row_ptr?")
+
+    expected = _reference_bfs(n, system["row_ptr"], system["cols"],
+                              source)
+    return BfsOutcome(
+        distances=system["dist"],
+        correct=bool((system["dist"] == expected).all()),
+        elapsed=result.elapsed_cycles,
+        levels=int(np.count_nonzero(system["sizes"])),
     )
 
 

@@ -13,7 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compiler.ops import Scope
 from repro.cpu.machine import CpuMachine
+from repro.cuda.multigpu import MultiCuda
+from repro.gpu.multi import MultiGpu
+from repro.gpu.spec import LaunchConfig
 from repro.openmp.interpreter import OpenMP
 
 
@@ -77,5 +81,59 @@ def cpu_jacobi(machine: CpuMachine, data: np.ndarray, iterations: int = 4,
         values=final,
         correct=bool(np.allclose(final, expected)),
         elapsed=result.elapsed_ns,
+        iterations=iterations,
+    )
+
+
+def multi_gpu_jacobi(multi: MultiGpu, data: np.ndarray,
+                     iterations: int = 4, n_devices: int = 2,
+                     grid_blocks: int = 1,
+                     block_threads: int = 32) -> StencilOutcome:
+    """Jacobi sweeps as one cooperative multi-device launch.
+
+    The two buffers live in system memory, split across devices by
+    thread rank.  Each iteration ends with the cross-device handshake
+    the sanitizer's sync-scope rule demands: a *system-scope* fence
+    publishes this device's halo writes, then ``multi_grid.sync()``
+    separates iteration *k*'s writes from iteration *k+1*'s reads on
+    every peer.  Buffers ping-pong by parity, exactly like the CPU
+    version.
+    """
+    n = int(data.size)
+    system = {"a": data.astype(np.float64).copy(),
+              "b": np.zeros(n, np.float64)}
+
+    def kernel(t):
+        for it in range(iterations):
+            src = "a" if it % 2 == 0 else "b"
+            dst = "b" if it % 2 == 0 else "a"
+            i = 1 + t.system_id
+            while i < n - 1:
+                left = yield t.system_read(src, i - 1)
+                mid = yield t.system_read(src, i)
+                right = yield t.system_read(src, i + 1)
+                yield t.system_write(dst, i,
+                                     (left + mid + right) / 3.0)
+                i += t.system_threads
+            if t.system_id == 0:
+                first = yield t.system_read(src, 0)
+                last = yield t.system_read(src, n - 1)
+                yield t.system_write(dst, 0, first)
+                yield t.system_write(dst, n - 1, last)
+            # Publish this device's writes to every peer, then keep
+            # iteration k+1's reads behind iteration k's writes.
+            yield t.threadfence(Scope.SYSTEM)
+            yield t.multi_grid_sync()
+
+    runtime = MultiCuda(multi, n_devices=n_devices)
+    result = runtime.launch(kernel,
+                            LaunchConfig(grid_blocks, block_threads),
+                            system=system)
+    final = system["a" if iterations % 2 == 0 else "b"]
+    expected = _reference(data, iterations)
+    return StencilOutcome(
+        values=final,
+        correct=bool(np.allclose(final, expected)),
+        elapsed=result.elapsed_cycles,
         iterations=iterations,
     )

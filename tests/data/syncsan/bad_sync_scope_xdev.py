@@ -1,0 +1,15 @@
+"""Seeded defect: cross-device handoff behind a device-scope fence.
+
+Never executed — parsed by the sanitizer test suite, which requires
+exactly one ``sync-scope`` ERROR from this file.  The payload is
+written to system (peer-visible) memory but the fence before the flag
+store only drains this device's caches, so the consuming device can
+observe the flag while still reading a stale payload.
+"""
+
+
+def publish_to_peer_stale(t):
+    """Producer device: write payload, fence too narrowly, raise flag."""
+    yield t.system_write("payload", t.global_id, 7)
+    yield t.threadfence()
+    yield t.atomic_exch("flag", 0, 1)

@@ -210,6 +210,149 @@ def test_cuda_dispatcher_forced_matches_reference(mini_gpu, seed):
                 f"seed {seed} ({label}): {name}"
 
 
+# ------------------------ multi-GPU programs ------------------------- #
+
+#: Multi-device vocabulary.  Everything is emitted at top level with
+#: uniform control flow, so the cooperative barriers are always safe:
+#: every thread on every device executes the same sequence.
+_MG_OPS = ("alu", "dread", "dwrite", "sysread", "syswrite",
+           "sysatomic", "devatomic", "fence", "fence_sys",
+           "grid_sync", "multi_grid_sync")
+_MG_ATOMICS = ("atomic_add", "atomic_max", "atomic_min", "atomic_or",
+               "atomic_xor", "atomic_exch")
+
+#: Fixed-seed multi-device corpus size (ISSUE floor: >= 25).
+N_MG_PROGRAMS = 25
+
+
+def _gen_mg_ops(rng):
+    """One random multi-device instruction list (descriptors)."""
+    ops = []
+    for _ in range(rng.randint(4, 10)):
+        kind = rng.choice(_MG_OPS)
+        if kind == "alu":
+            ops.append(("alu", rng.randint(1, 4)))
+        elif kind in ("dread", "dwrite"):
+            ops.append((kind, rng.choice(("tid", "const")),
+                        rng.randint(0, 7)))
+        elif kind == "sysread":
+            ops.append((kind, rng.choice(("s0", "s1")),
+                        rng.choice(("sid", "const")), rng.randint(0, 7)))
+        elif kind == "syswrite":
+            ops.append((kind, rng.choice(("s0", "s1")),
+                        rng.randint(1, 5)))
+        elif kind in ("sysatomic", "devatomic"):
+            ops.append((kind, rng.choice(_MG_ATOMICS),
+                        rng.randint(0, 7), rng.randint(1, 3)))
+        else:
+            ops.append((kind,))
+    return ops
+
+
+def _make_mg_kernel(program):
+    """Build a closure kernel replaying one multi-device descriptor
+    list.  One closure per program: the replay tier keys on the kernel
+    function object, so reference and fast instances must share it."""
+    from repro.compiler.ops import Scope
+
+    def kernel(t):
+        acc = t.system_id % 7
+        for op in program:
+            kind = op[0]
+            if kind == "alu":
+                yield t.alu(op[1])
+            elif kind == "dread":
+                idx = t.global_id if op[1] == "tid" else op[2]
+                v = yield t.global_read("d0", idx)
+                acc = (acc + int(v)) % 1009
+            elif kind == "dwrite":
+                idx = t.global_id if op[1] == "tid" else op[2]
+                yield t.global_write("d0", idx, acc + op[2])
+            elif kind == "sysread":
+                idx = t.system_id if op[2] == "sid" else op[3]
+                v = yield t.system_read(op[1], idx)
+                acc = (acc + int(v)) % 1009
+            elif kind == "syswrite":
+                yield t.system_write(op[1], t.system_id, acc + op[2])
+            elif kind in ("sysatomic", "devatomic"):
+                _, name, slot, val = op
+                scope = Scope.SYSTEM if kind == "sysatomic" \
+                    else Scope.DEVICE
+                v = yield getattr(t, name)("acc", slot,
+                                           acc % 5 + val, scope=scope)
+                acc = (acc + int(v)) % 1009
+            elif kind == "fence":
+                yield t.threadfence()
+            elif kind == "fence_sys":
+                yield t.threadfence(Scope.SYSTEM)
+            elif kind == "grid_sync":
+                yield t.grid_sync()
+            elif kind == "multi_grid_sync":
+                yield t.multi_grid_sync()
+        yield t.system_write("out", t.system_id, acc)
+
+    return kernel
+
+
+def _mg_system(n_total):
+    return {"s0": np.arange(n_total, dtype=np.int64),
+            "s1": (np.arange(n_total, dtype=np.int64) * 13) % 97,
+            "acc": np.zeros(8, np.int64),
+            "out": np.zeros(n_total, np.int64)}
+
+
+def _run_mg(runtime, kernel, grid, block, n_total):
+    return runtime.launch(
+        kernel, LaunchConfig(grid, block), system=_mg_system(n_total),
+        device_globals={"d0": (grid * block, np.dtype(np.int64))})
+
+
+@pytest.mark.parametrize("seed", range(N_MG_PROGRAMS))
+def test_multigpu_replay_matches_reference(mini_gpu, seed):
+    """Cooperative/system-scope programs must be byte-identical between
+    the reference run and the replay tier, cold and warm, with the
+    replay provably engaged (``multigpu.replay_hit`` tripwire)."""
+    from repro.cuda.multigpu import MultiCuda
+    from repro.gpu.multi import MultiGpu
+
+    rng = random.Random(4000 + seed)
+    program = _gen_mg_ops(rng)
+    grid = rng.choice((1, 2))
+    block = rng.choice((8, 16))
+    n_devices = rng.choice((2, 3))
+    n_total = n_devices * grid * block
+    kernel = _make_mg_kernel(program)
+    multi = MultiGpu(mini_gpu)
+
+    ref = _run_mg(MultiCuda(multi, n_devices=n_devices, fast=False),
+                  kernel, grid, block, n_total)
+    fast_runtime = MultiCuda(multi, n_devices=n_devices, fast=True)
+    with dispatch_forced():
+        cold = _run_mg(fast_runtime, kernel, grid, block, n_total)
+        hits = counter_value("multigpu.replay_hit")
+        warm = _run_mg(fast_runtime, kernel, grid, block, n_total)
+    assert counter_value("multigpu.replay_hit") > hits, \
+        f"seed {seed}: identical relaunch did not replay"
+    for label, result in (("cold", cold), ("warm", warm)):
+        assert result.elapsed_cycles == ref.elapsed_cycles, \
+            f"seed {seed} ({label})"
+        assert result.device_cycles == ref.device_cycles, \
+            f"seed {seed} ({label})"
+        assert vars(result.stats) == vars(ref.stats), \
+            f"seed {seed} ({label})"
+        assert set(result.system) == set(ref.system)
+        for name in ref.system:
+            assert result.system[name].tobytes() == \
+                ref.system[name].tobytes(), \
+                f"seed {seed} ({label}): {name}"
+        assert len(result.device_memories) == len(ref.device_memories)
+        for d, mem in enumerate(ref.device_memories):
+            for name in mem:
+                assert result.device_memories[d][name].tobytes() == \
+                    mem[name].tobytes(), \
+                    f"seed {seed} ({label}): device {d} {name}"
+
+
 # -------------------------- OpenMP programs -------------------------- #
 
 _OMP_OPS = ("read", "write", "atomic_update", "atomic_write",

@@ -1,0 +1,92 @@
+"""Property-based checks for the mergeable latency histogram.
+
+Complements the example-based suite (``test_obs_hist.py`` style
+fixtures): many random observation sets, fixed seeds, and two
+invariants that must hold for *every* set —
+
+* the Prometheus text exposition round-trips losslessly
+  (``from_prometheus(prometheus_lines(h))`` preserves every bucket
+  count, the total count, and the sum), and
+* merging two histograms yields percentiles bounded by the inputs'
+  percentiles (a merge can never invent latency outside the range its
+  inputs span).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.hist import LatencyHistogram
+
+N_SETS = 20
+
+#: Quantiles checked for the merge-bounding property.  The extreme
+#: left tail is excluded: with fewer observations than ``1/q`` the
+#: rank clamps to the first observation, which is well-defined but not
+#: a bound the property speaks about.
+QS = (0.05, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+#: Bucket-boundary interpolation error margin (percentile() rounds to
+#: three decimals and interpolates linearly inside a bucket).
+EPS = 1e-3
+
+
+def _random_observations(rng: random.Random) -> list[float]:
+    """20..120 latencies spanning several orders of magnitude, the
+    shape the exponential default buckets are built for."""
+    n = rng.randint(20, 120)
+    return [rng.choice((0.001, 0.01, 0.1, 1.0, 10.0))
+            * (1.0 + 9.0 * rng.random()) for _ in range(n)]
+
+
+def _fill(values: list[float]) -> LatencyHistogram:
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+@pytest.mark.parametrize("seed", range(N_SETS))
+def test_prometheus_roundtrip_preserves_buckets(seed):
+    rng = random.Random(8000 + seed)
+    hist = _fill(_random_observations(rng))
+    text = "\n".join(hist.prometheus_lines("svc_latency"))
+    back = LatencyHistogram.from_prometheus(text, "svc_latency")
+    assert back.bounds == hist.bounds, f"seed {seed}"
+    assert back.counts == hist.counts, f"seed {seed}"
+    assert back.count == hist.count, f"seed {seed}"
+    assert back.sum == pytest.approx(hist.sum), f"seed {seed}"
+    assert back.percentiles(*QS) == hist.percentiles(*QS), f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", range(N_SETS))
+def test_merge_percentiles_bound_the_inputs(seed):
+    rng = random.Random(9000 + seed)
+    values_a = _random_observations(rng)
+    values_b = _random_observations(rng)
+    a, b = _fill(values_a), _fill(values_b)
+    merged = _fill(values_a)
+    merged.merge(b)
+    assert merged.count == a.count + b.count
+    assert merged.sum == pytest.approx(a.sum + b.sum)
+    for q in QS:
+        lo = min(a.percentile(q), b.percentile(q))
+        hi = max(a.percentile(q), b.percentile(q))
+        got = merged.percentile(q)
+        assert lo - EPS <= got <= hi + EPS, \
+            f"seed {seed}: p{q} {got} outside [{lo}, {hi}]"
+
+
+def test_merge_is_commutative_on_random_sets():
+    rng = random.Random(12345)
+    for _ in range(5):
+        values_a = _random_observations(rng)
+        values_b = _random_observations(rng)
+        ab = _fill(values_a)
+        ab.merge(_fill(values_b))
+        ba = _fill(values_b)
+        ba.merge(_fill(values_a))
+        assert ab.counts == ba.counts
+        assert ab.percentiles(*QS) == ba.percentiles(*QS)

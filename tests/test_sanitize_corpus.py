@@ -25,42 +25,49 @@ from repro.sanitize.corpus import CORPUS, corpus_reports
 
 DATA = Path(__file__).parent / "data" / "syncsan"
 
-#: tests/data defect files, keyed by the rule each must trip.
+#: tests/data defect files, keyed by corpus case id; each entry maps to
+#: the rule it must trip and the expected severity.
 DATA_FILES = {
-    "barrier-divergence": ("bad_barrier_divergence.py", Severity.ERROR),
-    "sync-scope": ("bad_sync_scope.py", Severity.ERROR),
-    "lock-order": ("bad_lock_order.py", Severity.ERROR),
-    "static-race": ("bad_static_race.py", Severity.WARNING),
-    "redundant-sync": ("bad_redundant_sync.py", Severity.ADVICE),
+    "barrier-divergence": (
+        "bad_barrier_divergence.py", "barrier-divergence", Severity.ERROR),
+    "sync-scope": ("bad_sync_scope.py", "sync-scope", Severity.ERROR),
+    "sync-scope-xdev": (
+        "bad_sync_scope_xdev.py", "sync-scope", Severity.ERROR),
+    "lock-order": ("bad_lock_order.py", "lock-order", Severity.ERROR),
+    "static-race": ("bad_static_race.py", "static-race", Severity.WARNING),
+    "redundant-sync": (
+        "bad_redundant_sync.py", "redundant-sync", Severity.ADVICE),
 }
 
 
 class TestPackagedCorpus:
     def test_every_rule_has_a_corpus_entry(self):
-        assert set(CORPUS) == set(ALL_RULES)
+        assert {c.rule for c in CORPUS.values()} == set(ALL_RULES)
 
-    @pytest.mark.parametrize("rule", sorted(CORPUS))
-    def test_bad_kernel_trips_exactly_its_rule(self, rule):
-        bad, _ = corpus_reports(rule)
-        assert [f.rule for f in bad.findings] == [rule]
-        assert bad.findings[0].severity is CORPUS[rule].severity
+    @pytest.mark.parametrize("case_id", sorted(CORPUS))
+    def test_bad_kernel_trips_exactly_its_rule(self, case_id):
+        bad, _ = corpus_reports(case_id)
+        case = CORPUS[case_id]
+        assert [f.rule for f in bad.findings] == [case.rule]
+        assert bad.findings[0].severity is case.severity
 
-    @pytest.mark.parametrize("rule", sorted(CORPUS))
-    def test_clean_twin_is_silent(self, rule):
-        _, clean = corpus_reports(rule)
+    @pytest.mark.parametrize("case_id", sorted(CORPUS))
+    def test_clean_twin_is_silent(self, case_id):
+        _, clean = corpus_reports(case_id)
         assert clean.findings == []
         assert clean.kernels == 1
 
 
 class TestDataFileCorpus:
     def test_every_rule_has_a_data_file(self):
-        assert set(DATA_FILES) == set(ALL_RULES)
-        for filename, _ in DATA_FILES.values():
+        assert {rule for _, rule, _ in DATA_FILES.values()} \
+            == set(ALL_RULES)
+        for filename, _, _ in DATA_FILES.values():
             assert (DATA / filename).exists(), filename
 
-    @pytest.mark.parametrize("rule", sorted(DATA_FILES))
-    def test_defect_file_trips_exactly_its_rule(self, rule):
-        filename, severity = DATA_FILES[rule]
+    @pytest.mark.parametrize("case_id", sorted(DATA_FILES))
+    def test_defect_file_trips_exactly_its_rule(self, case_id):
+        filename, rule, severity = DATA_FILES[case_id]
         report = sanitize_paths([DATA / filename])
         assert [f.rule for f in report.findings] == [rule]
         assert report.findings[0].severity is severity
@@ -77,8 +84,8 @@ class TestExtSanitizerExperiment:
         checks = claims_sanitizer(payload)
         failed = [c.claim for c in checks if not c.passed]
         assert not failed, failed
-        # 4 per rule + surface + 3 op-IR checks.
-        assert len(checks) == 4 * len(ALL_RULES) + 4
+        # 4 per corpus case + surface + 3 op-IR checks.
+        assert len(checks) == 4 * len(CORPUS) + 4
 
     def test_surface_scan_is_clean(self):
         payload = run_sanitizer()
